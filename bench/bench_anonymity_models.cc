@@ -1,0 +1,61 @@
+// Ablation G: footnote 3 quantified — k-anonymity vs the stronger models.
+//
+// The paper warns (footnote 3) that k-anonymity does not guarantee
+// respondent privacy when classes share confidential values, and points to
+// p-sensitive k-anonymity; the later literature added l-diversity and
+// t-closeness. This bench k-anonymizes a census extract with MDAV for a
+// sweep of k and measures, per release:
+//   * identity disclosure (expected re-identification rate — what
+//     k-anonymity bounds),
+//   * attribute disclosure (homogeneity attack rate — what it does NOT),
+//   * the p-sensitivity / entropy-l-diversity / t-closeness levels a data
+//     protection officer would have to check before signing off.
+
+#include <cstdio>
+
+#include "sdc/anonymity.h"
+#include "sdc/diversity.h"
+#include "sdc/microaggregation.h"
+#include "sdc/risk.h"
+#include "table/datasets.h"
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv ablation G: anonymity models beyond k "
+              "(footnote 3) ===\n");
+  // Census extract: age/education numeric QIs; diagnosis is the
+  // confidential attribute under attack.
+  const DataTable census = MakeCensus(1200, 83);
+  const std::vector<size_t> qi = {0, 3};  // age, education (numeric QIs)
+  const size_t diagnosis = 5;
+  std::printf("data: census extract, n=%zu, QIs = {age, education}, "
+              "confidential = diagnosis\n\n",
+              census.num_rows());
+
+  std::printf("%4s  %10s  %12s  %12s  %8s  %10s  %9s\n", "k", "identity",
+              "homogeneity", "p-sensitive", "entropy", "recursive",
+              "t-close");
+  std::printf("%4s  %10s  %12s  %12s  %8s  %10s  %9s\n", "", "disclosure",
+              "attack", "level p", "l-div", "(3,2)?", "max EMD");
+  for (size_t k : {2u, 3u, 5u, 10u, 20u, 40u}) {
+    auto masked = MdavMicroaggregate(census, k, qi);
+    if (!masked.ok()) return 1;
+    const DataTable& release = masked->table;
+    const double identity = ExpectedReidentificationRate(release, qi);
+    const double homogeneity = HomogeneityAttackRate(release, qi, diagnosis);
+    const size_t p = SensitivityLevel(release, qi, diagnosis);
+    const double entropy = EntropyLDiversity(release, qi, diagnosis);
+    auto recursive = IsRecursiveCLDiverse(release, qi, diagnosis, 3.0, 2);
+    auto tclose = TClosenessMaxDistance(release, qi, diagnosis);
+    if (!recursive.ok() || !tclose.ok()) return 1;
+    std::printf("%4zu  %9.1f%%  %11.1f%%  %12zu  %8.2f  %10s  %9.3f\n", k,
+                100.0 * identity, 100.0 * homogeneity, p, entropy,
+                *recursive ? "yes" : "no", *tclose);
+  }
+  std::printf("\npaper's shape (footnote 3): identity disclosure falls as "
+              "1/k, but small k leaves\nhomogeneous classes whose diagnosis "
+              "leaks (homogeneity attack > 0, p = 1) — only\nlarger classes "
+              "buy attribute-disclosure protection, and t-closeness keeps\n"
+              "tightening after l-diversity saturates.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A: the SDC trade-off behind Table 2's SDC row.
+//
+// Sweep the microaggregation group size k and measure disclosure risk
+// (record linkage, expected re-identification) against information loss
+// (IL1s, variance deviation) — the risk/utility frontier that justifies
+// grading SDC respondent privacy "medium-high" at moderate utility cost.
+// Also compares MDAV against optimal univariate microaggregation and
+// Mondrian recoding at equal k.
+
+#include <cstdio>
+
+#include "sdc/anonymity.h"
+#include "sdc/information_loss.h"
+#include "sdc/microaggregation.h"
+#include "sdc/mondrian.h"
+#include "sdc/risk.h"
+#include "table/datasets.h"
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv ablation A: microaggregation k sweep ===\n");
+  const DataTable data = MakeExtendedTrial(600, 17);
+  std::printf("data: synthetic trial, n=600, 4 numeric quasi-identifiers\n\n");
+  std::printf("%4s  %8s  %12s  %12s  %8s  %10s\n", "k", "k-anon",
+              "linkage rate", "reid rate", "IL1s", "var dev");
+  for (size_t k : {2u, 3u, 5u, 8u, 12u, 20u, 35u, 50u}) {
+    auto masked = MdavMicroaggregate(data, k);
+    if (!masked.ok()) return 1;
+    auto linkage = DistanceLinkageAttack(data, masked->table);
+    auto loss = MeasureInformationLoss(data, masked->table);
+    if (!linkage.ok() || !loss.ok()) return 1;
+    std::printf("%4zu  %8zu  %11.1f%%  %11.1f%%  %8.3f  %10.3f\n", k,
+                AnonymityLevel(masked->table),
+                100.0 * linkage->correct_fraction,
+                100.0 * ExpectedReidentificationRate(masked->table),
+                loss->il1s, loss->var_deviation);
+  }
+
+  std::printf("\n--- method comparison at k = 5 ---\n");
+  std::printf("%-22s  %8s  %12s  %8s\n", "method", "k-anon", "linkage rate",
+              "IL1s");
+  {
+    auto mdav = MdavMicroaggregate(data, 5);
+    auto mondrian = MondrianAnonymize(data, 5);
+    auto univariate = OptimalUnivariateMicroaggregate(data, 5, 1);
+    if (!mdav.ok() || !mondrian.ok() || !univariate.ok()) return 1;
+    struct Row {
+      const char* name;
+      const DataTable* table;
+    } rows[] = {
+        {"MDAV (multivariate)", &mdav->table},
+        {"Mondrian", &mondrian->table},
+        {"optimal univariate*", &univariate->table},
+    };
+    for (const auto& row : rows) {
+      auto linkage = DistanceLinkageAttack(data, *row.table);
+      auto loss = MeasureInformationLoss(data, *row.table);
+      if (!linkage.ok() || !loss.ok()) return 1;
+      std::printf("%-22s  %8zu  %11.1f%%  %8.3f\n", row.name,
+                  AnonymityLevel(*row.table),
+                  100.0 * linkage->correct_fraction, loss->il1s);
+    }
+    std::printf("* optimal univariate masks only the height attribute, so "
+                "it does not yield\n  multivariate k-anonymity on its own "
+                "(k-anon column reflects that).\n");
+  }
+  std::printf("\npaper's shape: risk falls ~1/k while information loss grows "
+              "smoothly — the\nSDC dial between respondent privacy and "
+              "utility (Sections 2, 6).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation H: the utility price of each interactive-protection mode.
+//
+// Section 3 lists three strategies for protecting interactive statistical
+// databases — restriction, perturbation, intervals. This ablation runs a
+// fixed workload of legitimate analyst queries against each mode and
+// reports refusal rate and answer error, alongside the respondent
+// protection each mode bought against the tracker (bench_tracker_attack
+// measures the attack side in depth).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "querydb/protection.h"
+#include "querydb/tracker.h"
+#include "table/datasets.h"
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv ablation H: protection modes vs analyst utility "
+              "===\n");
+  const DataTable census = MakeCensus(2000, 7);
+  // A legitimate analyst workload: population-level statistics.
+  std::vector<std::string> workload;
+  for (int age = 20; age <= 80; age += 10) {
+    workload.push_back("SELECT COUNT(*) FROM c WHERE age >= " +
+                       std::to_string(age));
+    workload.push_back("SELECT AVG(income) FROM c WHERE age >= " +
+                       std::to_string(age) + " AND age < " +
+                       std::to_string(age + 10));
+  }
+  // Ground truth from an unprotected engine.
+  ProtectionConfig exact_config;
+  exact_config.mode = ProtectionMode::kNone;
+  StatDatabase exact(census, exact_config);
+
+  std::printf("workload: %zu aggregate queries over the census extract\n\n",
+              workload.size());
+  std::printf("%-16s  %10s  %12s  %14s\n", "mode", "refused", "mean |err|",
+              "tracker risk");
+  for (ProtectionMode mode :
+       {ProtectionMode::kNone, ProtectionMode::kQuerySetSize,
+        ProtectionMode::kAudit, ProtectionMode::kOutputNoise,
+        ProtectionMode::kCamouflage, ProtectionMode::kDifferentialPrivacy}) {
+    ProtectionConfig config;
+    config.mode = mode;
+    config.min_query_set_size = 5;
+    config.noise_fraction = 0.1;
+    config.camouflage_fraction = 0.05;
+    config.epsilon = 1.0;
+    config.seed = 13;
+    StatDatabase db(census, config);
+    size_t refused = 0;
+    double err = 0.0;
+    size_t answered = 0;
+    for (const auto& sql : workload) {
+      auto truth = exact.Query(sql);
+      auto masked = db.Query(sql);
+      if (!truth.ok() || !masked.ok()) continue;
+      if (masked->refused) {
+        ++refused;
+        continue;
+      }
+      const double got = masked->interval_lo != masked->interval_hi
+                             ? 0.5 * (masked->interval_lo + masked->interval_hi)
+                             : masked->value;
+      if (std::fabs(truth->value) > 1e-9) {
+        err += std::fabs(got - truth->value) / std::fabs(truth->value);
+        ++answered;
+      }
+    }
+    // Tracker risk: does the attack extract the target group's true total?
+    ProtectionConfig attack_config = config;
+    StatDatabase attack_db(census, attack_config);
+    const Predicate target = Predicate::And(
+        Predicate::Compare("age", CompareOp::kEq, Value(43)),
+        Predicate::Compare("education", CompareOp::kEq, Value(16)));
+    const char* risk = "n/a";
+    if (auto tracker = FindTracker(&attack_db, "age", 18, 90, 24)) {
+      auto attack = TrackerAttack(&attack_db, target, "income", *tracker);
+      if (attack.ok() && !attack->succeeded) {
+        risk = "blocked";
+      } else if (attack.ok()) {
+        // Compare the inference against ground truth: exact recovery means
+        // the protection bought nothing against the tracker.
+        StatQuery truth_query;
+        truth_query.fn = AggregateFn::kSum;
+        truth_query.attribute = "income";
+        truth_query.where = target;
+        auto truth = exact.Query(truth_query);
+        if (truth.ok()) {
+          const double rel =
+              std::fabs(attack->inferred_sum - truth->value) /
+              std::max(1.0, std::fabs(truth->value));
+          risk = rel < 1e-9 ? "EXPOSED" : "blurred";
+        }
+      }
+    }
+    std::printf("%-16s  %9.1f%%  %11.2f%%  %14s\n",
+                ProtectionModeToString(mode),
+                100.0 * static_cast<double>(refused) / workload.size(),
+                answered > 0 ? 100.0 * err / static_cast<double>(answered) : 0.0,
+                risk);
+  }
+  std::printf("\npaper's shape (Section 3): every protection mode trades "
+              "analyst utility (refusals\nor error) for respondent "
+              "protection, and none of them gives the USER any privacy —\n"
+              "the query log sees everything either way.\n");
+  return 0;
+}

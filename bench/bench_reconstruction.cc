@@ -1,0 +1,70 @@
+// Ablation B: the Agrawal-Srikant reconstruction behind the use-specific
+// non-crypto PPDM row of Table 2.
+//
+// Sweep the noise level sigma (as a fraction of the perturbed attribute's
+// range) and report, per Agrawal-Srikant:
+//   * distribution-reconstruction fidelity (total variation between the
+//     reconstructed histogram and the original one);
+//   * decision-tree accuracy trained on (a) original, (b) perturbed,
+//     (c) by-class reconstructed data — evaluated on clean test data.
+// The paper's shape: accuracy(reconstructed) tracks accuracy(original) far
+// better than accuracy(perturbed), which is what makes noise masking a
+// usable owner-privacy technology.
+
+#include <cstdio>
+
+#include "ppdm/decision_tree.h"
+#include "sdc/noise.h"
+#include "stats/histogram.h"
+#include "table/datasets.h"
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv ablation B: noise vs reconstruction "
+              "(Agrawal-Srikant [5]) ===\n");
+  const DataTable train = MakeClassification(4000, 2, 21);
+  const DataTable test = MakeClassification(1000, 2, 22);
+  const size_t age_col = 0;
+  const double age_range = 60.0;  // ages span 20-80
+
+  auto clean_tree = DecisionTree::Train(train, "group");
+  if (!clean_tree.ok()) return 1;
+  const double clean_acc = *clean_tree->Accuracy(test);
+  std::printf("baseline decision-tree accuracy on original data: %.1f%%\n\n",
+              100.0 * clean_acc);
+
+  std::printf("%10s  %10s  %12s  %12s  %12s\n", "sigma/range", "recon TV",
+              "acc original", "acc perturbed", "acc reconstr.");
+  for (double frac : {0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}) {
+    const double sigma = frac * age_range;
+    auto perturbed = AddFixedNoise(train, sigma, age_col, 23);
+    if (!perturbed.ok()) return 1;
+
+    // Distribution fidelity on the perturbed attribute.
+    auto orig_col = train.NumericColumn(age_col).value();
+    auto pert_col = perturbed->NumericColumn(age_col).value();
+    auto dist = ReconstructDistribution(pert_col, sigma);
+    if (!dist.ok()) return 1;
+    Histogram orig_hist =
+        Histogram::FromValues(orig_col, dist->lo, dist->hi,
+                              dist->probabilities.size());
+    const double tv =
+        TotalVariation(orig_hist.Probabilities(), dist->probabilities);
+
+    auto noisy_tree = DecisionTree::Train(*perturbed, "group");
+    auto reco_table =
+        ReconstructTableByClass(*perturbed, {age_col}, sigma, "group");
+    if (!noisy_tree.ok() || !reco_table.ok()) return 1;
+    auto reco_tree = DecisionTree::Train(*reco_table, "group");
+    if (!reco_tree.ok()) return 1;
+
+    std::printf("%9.0f%%  %10.3f  %11.1f%%  %12.1f%%  %12.1f%%\n",
+                100.0 * frac, tv, 100.0 * clean_acc,
+                100.0 * *noisy_tree->Accuracy(test),
+                100.0 * *reco_tree->Accuracy(test));
+  }
+  std::printf("\npaper's shape ([5] Figs. 5-7): reconstructed-data accuracy "
+              "stays near the original\nwell past sigma = 25%% of range, "
+              "while raw perturbed training degrades.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation E: the cost of crypto PPDM's "high" owner privacy.
+//
+// google-benchmark microbenchmarks of the secure-multiparty substrate:
+//   * secure sum vs number of parties and vector width (with communication
+//     counters);
+//   * secure scalar product (Paillier) vs vector length;
+//   * Shamir share/reconstruct;
+//   * distributed ID3 training vs centralized training on the union —
+//     the overhead Table 2's crypto-PPDM row buys its owner privacy with.
+
+#include <benchmark/benchmark.h>
+
+#include "ppdm/decision_tree.h"
+#include "smc/distributed_id3.h"
+#include "smc/scalar_product.h"
+#include "smc/secure_sum.h"
+#include "smc/shamir.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+void BM_SecureSum(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  const size_t width = static_cast<size_t>(state.range(1));
+  std::vector<std::vector<uint64_t>> counts(parties,
+                                            std::vector<uint64_t>(width, 7));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    PartyNetwork net(parties, 3);
+    auto sums = SecureSumCounts(&net, counts);
+    benchmark::DoNotOptimize(sums);
+    bytes = net.bytes_transferred();
+  }
+  state.counters["bytes/round"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SecureSum)
+    ->Args({2, 16})
+    ->Args({4, 16})
+    ->Args({8, 16})
+    ->Args({4, 1})
+    ->Args({4, 256});
+
+void BM_PlaintextSum(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  const size_t width = 16;
+  std::vector<std::vector<uint64_t>> counts(parties,
+                                            std::vector<uint64_t>(width, 7));
+  for (auto _ : state) {
+    std::vector<uint64_t> sums(width, 0);
+    for (const auto& vec : counts) {
+      for (size_t j = 0; j < width; ++j) sums[j] += vec[j];
+    }
+    benchmark::DoNotOptimize(sums);
+  }
+}
+BENCHMARK(BM_PlaintextSum)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SecureScalarProduct(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  std::vector<BigInt> a;
+  std::vector<BigInt> b;
+  for (size_t i = 0; i < dim; ++i) {
+    a.push_back(BigInt(static_cast<int64_t>(i % 5)));
+    b.push_back(BigInt(static_cast<int64_t>(i % 3)));
+  }
+  for (auto _ : state) {
+    PartyNetwork net(2, 7);
+    auto dot = SecureScalarProduct(&net, a, b, 256);
+    benchmark::DoNotOptimize(dot);
+  }
+}
+BENCHMARK(BM_SecureScalarProduct)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_ShamirShareReconstruct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t t = n / 2 + 1;
+  const BigInt prime = BigInt::FromString("2305843009213693951").value();
+  Rng rng(9);
+  for (auto _ : state) {
+    auto shares = ShamirShareSecret(BigInt(123456789), n, t, prime, &rng);
+    auto secret = ShamirReconstruct(*shares, prime);
+    benchmark::DoNotOptimize(secret);
+  }
+}
+BENCHMARK(BM_ShamirShareReconstruct)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DistributedId3(benchmark::State& state) {
+  const size_t parties = static_cast<size_t>(state.range(0));
+  DataTable train = MakeClassification(600, 3, 11);
+  std::vector<DataTable> partitions;
+  for (size_t p = 0; p < parties; ++p) {
+    std::vector<size_t> rows;
+    for (size_t r = p; r < train.num_rows(); r += parties) rows.push_back(r);
+    partitions.push_back(train.SelectRows(rows));
+  }
+  DistributedId3Config config;
+  config.max_depth = 4;
+  size_t bytes = 0;
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    PartyNetwork net(parties, 13);
+    auto tree = DistributedId3Tree::Train(partitions, "group", config, &net);
+    benchmark::DoNotOptimize(tree);
+    bytes = net.bytes_transferred();
+    if (tree.ok()) accuracy = tree->Accuracy(train).value();
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["train_acc_pct"] = 100.0 * accuracy;
+}
+BENCHMARK(BM_DistributedId3)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CentralizedTreeBaseline(benchmark::State& state) {
+  DataTable train = MakeClassification(600, 3, 11);
+  DecisionTreeConfig config;
+  config.max_depth = 4;
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    auto tree = DecisionTree::Train(train, "group", config);
+    benchmark::DoNotOptimize(tree);
+    if (tree.ok()) accuracy = tree->Accuracy(train).value();
+  }
+  state.counters["train_acc_pct"] = 100.0 * accuracy;
+}
+BENCHMARK(BM_CentralizedTreeBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tripriv
+
+BENCHMARK_MAIN();

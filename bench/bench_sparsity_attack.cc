@@ -1,0 +1,68 @@
+// Experiment: Section 2, "owner privacy without respondent privacy" —
+// the [11] sparsity attack.
+//
+// Sweep the number of binary attributes d at a fixed noise level and
+// measure how many respondents with unique attribute combinations are
+// re-disclosed by snapping the noise-masked data back to the nearest
+// binary vector. The paper's claim: for higher-dimensional data the
+// release still protects the owner's *distribution* masking, yet rare
+// combinations — hence respondents — leak.
+
+#include <cstdio>
+
+#include "ppdm/sparsity_attack.h"
+#include "table/datasets.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+/// Noise-masks every QI column of a binary table (real-typed copy so the
+/// noise survives).
+DataTable MaskBinary(const DataTable& original, double sigma, uint64_t seed) {
+  std::vector<Attribute> attrs = original.schema().attributes();
+  const auto qi = original.schema().QuasiIdentifierIndices();
+  for (size_t c : qi) attrs[c].type = AttributeType::kReal;
+  DataTable masked{Schema(attrs)};
+  Rng rng(seed);
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    std::vector<Value> row = original.row(r);
+    for (size_t c : qi) {
+      row[c] = Value(original.at(r, c).ToDouble() + rng.Normal(0.0, sigma));
+    }
+    auto st = masked.AppendRow(std::move(row));
+    TRIPRIV_CHECK(st.ok());
+  }
+  return masked;
+}
+
+}  // namespace
+}  // namespace tripriv
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv experiment: the [11] sparsity attack (Section 2) "
+              "===\n");
+  std::printf("n = 500 records, Gaussian noise sigma = 0.3 on every binary "
+              "attribute\n\n");
+  std::printf("%4s  %14s  %12s  %15s  %15s\n", "d", "unique combos",
+              "disclosed", "disclosure rate", "recovery rate");
+  for (size_t d : {2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+    DataTable original = MakeHighDimBinary(500, d, 11);
+    DataTable masked = MaskBinary(original, 0.3, 13 + d);
+    auto result = SparsityAttack(original, masked);
+    if (!result.ok()) {
+      std::printf("attack failed at d=%zu: %s\n", d,
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%4zu  %14zu  %12zu  %14.1f%%  %14.1f%%\n", d,
+                result->unique_originals, result->disclosed,
+                100.0 * result->disclosure_rate,
+                100.0 * result->overall_recovery_rate);
+  }
+  std::printf("\npaper's shape: disclosure (= respondent-privacy failures) "
+              "grows with d while the per-cell\nmasking (owner privacy) is "
+              "unchanged — owner privacy without respondent privacy.\n");
+  return 0;
+}

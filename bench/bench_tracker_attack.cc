@@ -1,0 +1,109 @@
+// Ablation C: the tracker attack (Section 3's "difficult since the 1980s").
+//
+// Sweep the query-set-size threshold t and the protection mode, and report
+// whether the Schloerer tracker still extracts an isolated respondent's
+// confidential value. Expected shape: pure size restriction never stops the
+// tracker (only inflates its query count); auditing refuses the padded
+// pair; output noise answers but distorts the inference.
+
+#include <cmath>
+#include <cstdio>
+
+#include "querydb/tracker.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+/// Builds a trial database with one planted extreme respondent that every
+/// tracker run targets.
+DataTable TargetedTrial(size_t n, uint64_t seed) {
+  DataTable data = MakeClinicalTrial(n, seed);
+  // Plant the paper's short-and-heavy respondent with blood pressure 146.
+  auto st = data.AppendRow({Value(160), Value(110), Value(146), Value("N")});
+  TRIPRIV_CHECK(st.ok());
+  return data;
+}
+
+}  // namespace
+}  // namespace tripriv
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv ablation C: tracker attack vs protection modes "
+              "===\n");
+  const size_t n = 150;
+  const Predicate target = Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Compare("weight", CompareOp::kGt, Value(105)));
+  std::printf("database: synthetic trial, n=%zu+1, target = the unique "
+              "(height<165, weight>105) respondent, true value 146\n\n",
+              n);
+
+  std::printf("--- query-set-size restriction, threshold sweep ---\n");
+  std::printf("%4s  %12s  %10s  %14s  %12s\n", "t", "direct query",
+              "tracker?", "inferred value", "queries used");
+  for (size_t t : {2u, 3u, 5u, 8u, 12u, 20u}) {
+    ProtectionConfig config;
+    config.mode = ProtectionMode::kQuerySetSize;
+    config.min_query_set_size = t;
+    StatDatabase db(TargetedTrial(n, 31), config);
+    StatQuery direct;
+    direct.fn = AggregateFn::kCount;
+    direct.where = target;
+    auto refused = db.Query(direct);
+    const char* direct_state =
+        refused.ok() && refused->refused ? "refused" : "answered";
+    auto tracker = FindTracker(&db, "height", 140, 205, 24);
+    if (!tracker.has_value()) {
+      std::printf("%4zu  %12s  %10s\n", t, direct_state, "none found");
+      continue;
+    }
+    auto attack = TrackerAttack(&db, target, "blood_pressure", *tracker);
+    if (!attack.ok()) return 1;
+    if (attack->succeeded) {
+      std::printf("%4zu  %12s  %10s  %14.1f  %12zu\n", t, direct_state,
+                  "found", attack->inferred_sum, attack->queries_used);
+    } else {
+      std::printf("%4zu  %12s  %10s  %14s  %12zu\n", t, direct_state, "found",
+                  "blocked", attack->queries_used);
+    }
+  }
+
+  std::printf("\n--- protection-mode comparison at t = 5 ---\n");
+  std::printf("%-16s  %10s  %16s  %18s\n", "mode", "attack?",
+              "inferred value", "error vs truth");
+  for (ProtectionMode mode :
+       {ProtectionMode::kNone, ProtectionMode::kQuerySetSize,
+        ProtectionMode::kAudit, ProtectionMode::kOutputNoise}) {
+    ProtectionConfig config;
+    config.mode = mode;
+    config.min_query_set_size = 5;
+    config.noise_fraction = 0.25;
+    config.seed = 33;
+    StatDatabase db(TargetedTrial(n, 31), config);
+    auto tracker = FindTracker(&db, "height", 140, 205, 24);
+    if (!tracker.has_value()) {
+      std::printf("%-16s  %10s\n", ProtectionModeToString(mode),
+                  "no tracker");
+      continue;
+    }
+    auto attack = TrackerAttack(&db, target, "blood_pressure", *tracker);
+    if (!attack.ok()) return 1;
+    if (attack->succeeded) {
+      std::printf("%-16s  %10s  %16.1f  %18.1f\n",
+                  ProtectionModeToString(mode), "succeeds",
+                  attack->inferred_sum,
+                  std::fabs(attack->inferred_sum - 146.0));
+    } else {
+      std::printf("%-16s  %10s  (%s)\n", ProtectionModeToString(mode),
+                  "blocked", attack->failure_reason.c_str());
+    }
+  }
+  std::printf("\npaper's shape: size restriction alone is defeated exactly "
+              "(error 0); auditing\nrefuses the padded pair; noise leaves "
+              "the answer blurred — respondent privacy in\ninteractive "
+              "databases needs more than query-set-size control "
+              "(Section 3, [22]).\n");
+  return 0;
+}

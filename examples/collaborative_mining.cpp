@@ -1,0 +1,145 @@
+// Collaborative mining with owner privacy: two pharmaceutical companies
+// jointly build a classifier without sharing their trial databases
+// (paper Sections 1 and 4; Lindell-Pinkas [18, 19]).
+//
+// Build & run:  ./build/examples/collaborative_mining
+//
+// Company A and Company B each ran a trial of the same drug. Together they
+// have enough data for a response-prediction model; separately they do
+// not. Crypto PPDM lets them train a joint decision tree where every count
+// crosses the company boundary only as a masked partial sum. The example
+// also shows the other owner-privacy primitives: private set intersection
+// (which patients participated in both trials?) and a secure scalar
+// product.
+
+#include <cstdio>
+
+#include "smc/distributed_id3.h"
+#include "smc/psi.h"
+#include "smc/scalar_product.h"
+#include "smc/vertical.h"
+#include "stats/descriptive.h"
+#include "table/datasets.h"
+
+using namespace tripriv;
+
+int main() {
+  // Two horizontal shards of the same classification problem.
+  const DataTable all = MakeClassification(1200, 2, 55);
+  std::vector<DataTable> companies;
+  for (size_t p = 0; p < 2; ++p) {
+    std::vector<size_t> rows;
+    for (size_t r = p; r < all.num_rows(); r += 2) rows.push_back(r);
+    companies.push_back(all.SelectRows(rows));
+  }
+  const DataTable test = MakeClassification(400, 2, 56);
+  std::printf("Company A holds %zu records, Company B holds %zu records.\n\n",
+              companies[0].num_rows(), companies[1].num_rows());
+
+  // --- Joint decision tree through secure count aggregation.
+  PartyNetwork net(2, 77);
+  DistributedId3Config config;
+  config.max_depth = 5;
+  config.numeric_bins = 8;
+  auto joint = DistributedId3Tree::Train(companies, "group", config, &net);
+  if (!joint.ok()) {
+    std::printf("joint training failed: %s\n",
+                joint.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("joint tree: %zu nodes, test accuracy %.1f%%\n",
+              joint->num_nodes(), 100.0 * joint->Accuracy(test).value());
+
+  // What would each company get alone? Train a local tree on its shard
+  // (also via the distributed trainer with a single... the local baseline
+  // just uses half the data through the same binned ID3 on 2 copies).
+  {
+    std::vector<DataTable> solo{companies[0].SelectRows([&] {
+                                  std::vector<size_t> rows;
+                                  for (size_t r = 0;
+                                       r < companies[0].num_rows() / 2; ++r) {
+                                    rows.push_back(r);
+                                  }
+                                  return rows;
+                                }()),
+                                companies[0].SelectRows([&] {
+                                  std::vector<size_t> rows;
+                                  for (size_t r = companies[0].num_rows() / 2;
+                                       r < companies[0].num_rows(); ++r) {
+                                    rows.push_back(r);
+                                  }
+                                  return rows;
+                                }())};
+    PartyNetwork solo_net(2, 78);
+    auto solo_tree = DistributedId3Tree::Train(solo, "group", config, &solo_net);
+    if (solo_tree.ok()) {
+      std::printf("Company A alone (same algorithm, half the data): test "
+                  "accuracy %.1f%%\n",
+                  100.0 * solo_tree->Accuracy(test).value());
+    }
+  }
+
+  // Owner-privacy audit of the joint run: scan the transcript.
+  size_t masked_messages = 0;
+  for (const auto& msg : net.transcript()) {
+    if (msg.tag != "secure_sum/result") ++masked_messages;
+  }
+  std::printf("\nprotocol transcript: %zu messages (%zu carrying masked "
+              "partial sums), %zu bytes total.\n",
+              net.messages_sent(), masked_messages, net.bytes_transferred());
+  std::printf("No record, count, or attribute value of either company "
+              "appears in the clear.\n\n");
+
+  // --- Which patients took part in both trials? Private set intersection.
+  std::vector<int64_t> patients_a{1001, 1004, 1007, 1013, 1020, 1031};
+  std::vector<int64_t> patients_b{1002, 1004, 1013, 1025, 1031, 1044};
+  PartyNetwork psi_net(2, 79);
+  auto shared = PrivateSetIntersection(&psi_net, patients_a, patients_b);
+  if (shared.ok()) {
+    std::printf("private set intersection: %zu shared participants (ids:",
+                shared->intersection.size());
+    for (int64_t id : shared->intersection) std::printf(" %lld",
+                                                        static_cast<long long>(id));
+    std::printf(") — %zu bytes exchanged, no other ids revealed.\n",
+                shared->bytes_transferred);
+  }
+
+  // --- Secure scalar product: joint count under a conjunctive predicate
+  // over vertically split indicator vectors.
+  PartyNetwork dot_net(2, 80);
+  std::vector<BigInt> a_flags;  // Company A: "responded to treatment"
+  std::vector<BigInt> b_flags;  // Company B: "had side effects"
+  Rng rng(81);
+  for (int i = 0; i < 200; ++i) {
+    a_flags.push_back(BigInt(rng.Bernoulli(0.4) ? 1 : 0));
+    b_flags.push_back(BigInt(rng.Bernoulli(0.25) ? 1 : 0));
+  }
+  auto both = SecureScalarProduct(&dot_net, a_flags, b_flags);
+  if (both.ok()) {
+    std::printf("secure scalar product: %s patients responded AND had side "
+                "effects — computed without either side seeing the other's "
+                "flags.\n",
+                both->ToString().c_str());
+  }
+
+  // --- Vertical partitioning: Company A measured dosage, Company B
+  // measured outcome, for the same patients. Joint covariance without
+  // exchanging columns.
+  Rng v_rng(83);
+  std::vector<double> dosage;   // held by A
+  std::vector<double> outcome;  // held by B
+  for (int i = 0; i < 150; ++i) {
+    dosage.push_back(v_rng.UniformDouble(10.0, 60.0));
+    outcome.push_back(0.8 * dosage.back() + v_rng.Normal(0.0, 6.0));
+  }
+  PartyNetwork v_net(2, 85);
+  auto moments = SecureJointMoments(&v_net, dosage, outcome);
+  if (moments.ok()) {
+    std::printf("\nvertically partitioned joint analysis: corr(dosage, "
+                "outcome) = %.3f (plain: %.3f),\ncomputed with %zu bytes of "
+                "ciphertext — neither company saw the other's column.\n",
+                moments->correlation, PearsonCorrelation(dosage, outcome),
+                moments->bytes_transferred);
+  }
+  return 0;
+}

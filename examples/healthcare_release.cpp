@@ -1,0 +1,117 @@
+// Healthcare microdata release: a hospital publishes patient data to
+// researchers ("hippocratic database" scenario, paper Section 1 and [3, 4]).
+//
+// Build & run:  ./build/examples/healthcare_release
+//
+// The hospital must honour respondent privacy (patients must not be
+// re-identifiable) while keeping the release useful. This example compares
+// the SDC masking arsenal — Datafly recoding, Mondrian, MDAV, condensation,
+// noise, rank swapping — on one dataset, with the risk/utility numbers a
+// data protection officer would want, and verifies p-sensitive k-anonymity
+// for the stronger guarantee of footnote 3.
+
+#include <cstdio>
+
+#include "sdc/anonymity.h"
+#include "sdc/condensation.h"
+#include "sdc/information_loss.h"
+#include "sdc/microaggregation.h"
+#include "sdc/mondrian.h"
+#include "sdc/noise.h"
+#include "sdc/rank_swap.h"
+#include "sdc/recoding.h"
+#include "sdc/risk.h"
+#include "table/datasets.h"
+
+using namespace tripriv;
+
+namespace {
+
+void Report(const char* name, const DataTable& original,
+            const DataTable& release) {
+  auto linkage = DistanceLinkageAttack(original, release);
+  auto loss = MeasureInformationLoss(original, release);
+  if (!linkage.ok() || !loss.ok()) {
+    std::printf("%-24s  (measurement failed)\n", name);
+    return;
+  }
+  std::printf("%-24s  %8zu  %12.1f%%  %8.3f  %9.3f  %11.0f\n", name,
+              AnonymityLevel(release), 100.0 * linkage->correct_fraction,
+              loss->il1s, loss->corr_deviation,
+              DiscernibilityMetric(release));
+}
+
+}  // namespace
+
+int main() {
+  // The hospital's raw extract: 800 hypertension patients.
+  const DataTable patients = MakeExtendedTrial(800, 99);
+  std::printf("hospital extract: %zu patients, QIs = {age, height, weight, "
+              "cholesterol}, confidential = {blood_pressure, aids}\n",
+              patients.num_rows());
+  std::printf("raw anonymity level: %zu -> release forbidden\n\n",
+              AnonymityLevel(patients));
+
+  std::printf("%-24s  %8s  %12s  %8s  %9s  %11s\n", "method", "k-anon",
+              "linkage risk", "IL1s", "corr dev", "discern.");
+  std::printf("%-24s  %8s  %12s  %8s  %9s  %11s\n", "------", "------",
+              "------------", "----", "--------", "--------");
+
+  const size_t k = 4;
+  if (auto r = MdavMicroaggregate(patients, k); r.ok()) {
+    Report("MDAV microaggregation", patients, r->table);
+  }
+  if (auto r = MondrianAnonymize(patients, k); r.ok()) {
+    Report("Mondrian", patients, r->table);
+  }
+  {
+    RecodingConfig config;
+    config.k = k;
+    config.max_suppression_fraction = 0.02;
+    config.hierarchies["age"] =
+        std::make_shared<NumericIntervalHierarchy>(0.0, 5.0, 2, 4);
+    config.hierarchies["height"] =
+        std::make_shared<NumericIntervalHierarchy>(0.0, 5.0, 2, 4);
+    config.hierarchies["weight"] =
+        std::make_shared<NumericIntervalHierarchy>(0.0, 5.0, 2, 4);
+    config.hierarchies["cholesterol"] =
+        std::make_shared<NumericIntervalHierarchy>(0.0, 20.0, 2, 4);
+    if (auto r = DataflyAnonymize(patients, config); r.ok()) {
+      // Generalized labels defeat the numeric linkage attack outright, so
+      // report released anonymity plus suppression cost instead.
+      std::printf("%-24s  %8zu  %12s  %8s  %9s  %11.0f  (%zu rows "
+                  "suppressed)\n",
+                  "Datafly recoding", AnonymityLevel(r->table), "n/a", "n/a",
+                  "n/a", DiscernibilityMetric(r->table), r->suppressed_rows);
+    }
+  }
+  if (auto r = Condense(patients, k, 7); r.ok()) {
+    Report("condensation", patients, r->table);
+  }
+  if (auto r = AddCorrelatedNoise(
+          patients, 0.4, patients.schema().QuasiIdentifierIndices(), 7);
+      r.ok()) {
+    Report("correlated noise", patients, *r);
+  }
+  if (auto r = RankSwap(patients, 8.0,
+                        patients.schema().QuasiIdentifierIndices(), 7);
+      r.ok()) {
+    Report("rank swapping", patients, *r);
+  }
+
+  // The stronger guarantee of footnote 3: within every equivalence class
+  // there must be at least p distinct confidential values.
+  auto masked = MdavMicroaggregate(patients, k);
+  if (masked.ok()) {
+    std::printf("\nfootnote-3 check on the MDAV release: ");
+    if (IsPSensitiveKAnonymous(masked->table, k, 2)) {
+      std::printf("2-sensitive %zu-anonymous — no class leaks a uniform "
+                  "diagnosis.\n", k);
+    } else {
+      std::printf("k-anonymous but NOT 2-sensitive: some class shares one "
+                  "confidential value;\nthe officer should raise k or "
+                  "recode confidentials before release.\n");
+    }
+  }
+  return 0;
+}

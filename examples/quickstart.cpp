@@ -1,0 +1,65 @@
+// Quickstart: load microdata, check k-anonymity, mask it, measure risk.
+//
+// Build & run:  ./build/examples/quickstart
+//
+// Walks through the core loop of the library on the paper's own Table 1
+// datasets: verify anonymity, anonymize the unsafe dataset, and confirm
+// with the attack suite that re-identification risk actually dropped.
+
+#include <cstdio>
+
+#include "sdc/anonymity.h"
+#include "sdc/information_loss.h"
+#include "sdc/microaggregation.h"
+#include "sdc/risk.h"
+#include "table/datasets.h"
+#include "table/io.h"
+
+using namespace tripriv;
+
+int main() {
+  // 1. Load data. Built-in datasets here; TableFromCsv loads your own.
+  DataTable safe = PaperDataset1();
+  DataTable unsafe = PaperDataset2();
+  std::printf("Dataset 2 (as collected):\n%s\n",
+              unsafe.ToPrettyString().c_str());
+
+  // 2. Check respondent privacy: is the data k-anonymous on its
+  //    quasi-identifiers (height, weight)?
+  std::printf("Dataset 1 anonymity level: %zu (safe to publish at k=3)\n",
+              AnonymityLevel(safe));
+  std::printf("Dataset 2 anonymity level: %zu (every key combination is "
+              "unique!)\n\n",
+              AnonymityLevel(unsafe));
+
+  // 3. Anonymize with MDAV microaggregation (k = 3): quasi-identifier
+  //    values are replaced by group centroids; confidential attributes
+  //    stay intact for analysis.
+  auto masked = MdavMicroaggregate(unsafe, 3);
+  if (!masked.ok()) {
+    std::printf("masking failed: %s\n", masked.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Dataset 2 after 3-microaggregation:\n%s\n",
+              masked->table.ToPrettyString().c_str());
+  std::printf("anonymity level now: %zu\n\n", AnonymityLevel(masked->table));
+
+  // 4. Measure what an intruder can still do: link original records
+  //    (external identified data) against the release.
+  auto attack = DistanceLinkageAttack(unsafe, masked->table);
+  if (!attack.ok()) return 1;
+  std::printf("record-linkage attack: %.0f%% of respondents re-identified "
+              "(was 100%% on the raw data)\n",
+              100.0 * attack->correct_fraction);
+
+  // 5. And what an analyst still gets: information loss of the release.
+  auto loss = MeasureInformationLoss(unsafe, masked->table);
+  if (!loss.ok()) return 1;
+  std::printf("information loss: IL1s=%.3f, mean deviation=%.4f "
+              "(means are preserved by centroid replacement)\n",
+              loss->il1s, loss->mean_deviation);
+
+  // 6. Export the release.
+  std::printf("\nrelease as CSV:\n%s", TableToCsv(masked->table).c_str());
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "core/advisor.h"
+
+#include "sdc/anonymity.h"
+#include "sdc/microaggregation.h"
+
+namespace tripriv {
+
+Result<Recommendation> RecommendTechnology(const PrivacyRequirements& req) {
+  if (!req.respondent && !req.owner && !req.user) {
+    return Status::InvalidArgument("no privacy dimension requested");
+  }
+  Recommendation rec;
+  if (req.user && !req.respondent && !req.owner) {
+    rec.technology = TechnologyClass::kPir;
+    rec.rationale = {
+        "only user privacy is required: PIR protects queries and nothing "
+        "else needs masking (the public-database case of Section 4)"};
+    return rec;
+  }
+  if (req.owner && !req.respondent && !req.user) {
+    rec.technology = TechnologyClass::kCryptoPpdm;
+    rec.rationale = {
+        "only owner privacy is required: crypto PPDM offers the highest "
+        "owner privacy (Table 2) and its incompatibility with PIR does not "
+        "matter here"};
+    return rec;
+  }
+  if (req.respondent && !req.owner && !req.user) {
+    rec.technology = TechnologyClass::kSdc;
+    rec.rationale = {
+        "only respondent privacy is required: SDC masking is the dedicated "
+        "technology (Section 2)"};
+    return rec;
+  }
+  if (req.respondent && req.owner && !req.user) {
+    rec.technology = TechnologyClass::kGenericNonCryptoPpdm;
+    rec.rationale = {
+        "respondent + owner: non-crypto PPDM whose perturbation "
+        "k-anonymizes the data achieves both at once (Section 6, via [2], "
+        "[12])"};
+    return rec;
+  }
+  // Every remaining combination includes user privacy plus something else.
+  rec.rationale.push_back(
+      "user privacy required: query control is ruled out (the owner would "
+      "have to see queries, Section 3), so data masking must carry the "
+      "other dimensions");
+  if (req.owner) {
+    rec.rationale.push_back(
+        "owner privacy required together with user privacy: crypto PPDM is "
+        "ruled out (the joint analysis is known to all parties, Section 4); "
+        "use non-crypto PPDM");
+  }
+  if (req.respondent && req.owner) {
+    rec.technology = TechnologyClass::kGenericNonCryptoPpdmPlusPir;
+    rec.rationale.push_back(
+        "all three dimensions: k-anonymize via microaggregation/recoding "
+        "(respondent + owner) and add PIR for user queries — the Section 6 "
+        "recipe; generic (not use-specific) PPDM so the owner cannot infer "
+        "the query family (Section 5)");
+  } else if (req.respondent) {
+    rec.technology = TechnologyClass::kSdcPlusPir;
+    rec.rationale.push_back(
+        "respondent + user: masking-based SDC composed with PIR (Section 3: "
+        "k-anonymous records make PIR affordable)");
+  } else {
+    rec.technology = TechnologyClass::kGenericNonCryptoPpdmPlusPir;
+    rec.rationale.push_back(
+        "owner + user: generic non-crypto PPDM composed with PIR "
+        "(Section 4)");
+  }
+  return rec;
+}
+
+Result<Section6Deployment> ApplySection6Recipe(const DataTable& table,
+                                               size_t k) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto masked, MdavMicroaggregate(table, k));
+  Section6Deployment deployment;
+  deployment.anonymity_level = AnonymityLevel(masked.table);
+  if (deployment.anonymity_level < k) {
+    return Status::Internal(
+        "microaggregation failed to deliver k-anonymity (got " +
+        std::to_string(deployment.anonymity_level) + ", wanted " +
+        std::to_string(k) + ")");
+  }
+  deployment.release = std::move(masked.table);
+  return deployment;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,59 @@
+// The Section 6 guidelines as an executable advisor.
+//
+// Lessons learned in the paper's conclusions:
+//   * respondent privacy needs data masking or query control; query control
+//     is incompatible with user privacy, so masking must be used when both
+//     are required;
+//   * owner privacy needs PPDM; crypto PPDM is incompatible with user
+//     privacy, so non-crypto PPDM must be used when both are required;
+//   * non-crypto PPDM whose perturbation k-anonymizes the data (e.g.
+//     microaggregation) achieves owner AND respondent privacy at once;
+//   * hence the recipe for all three dimensions: k-anonymize (via
+//     microaggregation/recoding/suppression) and serve queries through PIR.
+
+#ifndef TRIPRIV_CORE_ADVISOR_H_
+#define TRIPRIV_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/technology.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Which privacy dimensions a deployment must provide.
+struct PrivacyRequirements {
+  bool respondent = false;
+  bool owner = false;
+  bool user = false;
+};
+
+/// A recommended technology class plus the chain of Section 6 arguments
+/// that selected it.
+struct Recommendation {
+  TechnologyClass technology;
+  std::vector<std::string> rationale;
+};
+
+/// Recommends a technology class for the requirements. Fails when no
+/// dimension is requested.
+Result<Recommendation> RecommendTechnology(const PrivacyRequirements& req);
+
+/// Result of the executable Section 6 recipe.
+struct Section6Deployment {
+  /// The k-anonymized table, ready to be served through PIR.
+  DataTable release;
+  /// Verified anonymity level of the release (>= k).
+  size_t anonymity_level = 0;
+};
+
+/// Applies the paper's closing recipe to a concrete dataset: k-anonymize
+/// the quasi-identifiers via microaggregation, verify the k-anonymity
+/// post-condition, and hand back a release fit for PIR serving. Fails if
+/// the post-condition does not hold (it always should, per [12]).
+Result<Section6Deployment> ApplySection6Recipe(const DataTable& table, size_t k);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_CORE_ADVISOR_H_

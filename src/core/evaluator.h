@@ -1,0 +1,128 @@
+// Empirical scoring engine: regenerates Table 2 from attacks instead of
+// expert judgment.
+//
+// The paper's Table 2 is "qualitative and tentative". TriPriv
+// operationalizes each dimension with the standard attack from the cited
+// literature and *measures* the grades on a reference scenario (a clinical
+// drug-trial microdata set, the paper's running example):
+//
+//   respondent — distance-based record linkage between the original
+//     quasi-identifiers (the intruder's external data) and whatever the
+//     technology exposes; for crypto PPDM, a scan of the protocol
+//     transcript for leaked records. Score = 1 - re-identification rate.
+//   owner — dataset-reconstruction attack: the fraction of original cells
+//     an adversary recovers (numeric cells within a small window of the
+//     truth, categorical cells exactly) from the released data or protocol
+//     transcript. Score = 1 - recovery rate.
+//   user — the owner/server tries to learn the user's query target from
+//     its view: the full query log without PIR (trivially successful), the
+//     PIR selection bitmaps with PIR (a guessing game measured over
+//     repeated retrievals). Score = 1 - success rate.
+//
+// One modeling constant stands in for a measurement (documented at
+// kUseSpecificQueryVisibility): when use-specific non-crypto PPDM is
+// combined with PIR, the owner still knows the released data only supports
+// one analysis family, so roughly half of the query's information (its
+// family, not its parameters) is exposed — the paper's rationale for the
+// "medium" user grade of that row.
+
+#ifndef TRIPRIV_CORE_EVALUATOR_H_
+#define TRIPRIV_CORE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/technology.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Fraction of query information considered visible when the owner knows
+/// the analysis family but not the parameters (Section 5's rationale for
+/// use-specific non-crypto PPDM + PIR).
+inline constexpr double kUseSpecificQueryVisibility = 0.5;
+
+/// Per-dimension empirical protection scores in [0, 1].
+struct DimensionScores {
+  double respondent = 0.0;
+  double owner = 0.0;
+  double user = 0.0;
+
+  double of(Dimension d) const;
+};
+
+/// One evaluated technology class.
+struct TechnologyEvaluation {
+  TechnologyClass technology;
+  DimensionScores scores;
+
+  Grade MeasuredGrade(Dimension d) const { return GradeFromScore(scores.of(d)); }
+  Grade ClaimedGrade(Dimension d) const {
+    return PaperClaimedGrade(technology, d);
+  }
+  /// True when every measured grade is within one band of the claim.
+  bool AgreesWithPaper() const;
+};
+
+/// Evaluation harness over a fixed original dataset.
+class PrivacyEvaluator {
+ public:
+  /// Knobs of the reference deployments.
+  struct Options {
+    /// Microaggregation group size for the SDC deployment.
+    size_t sdc_k = 4;
+    /// Noise amplitude (x column sd) for the use-specific PPDM deployment.
+    /// 0.4 keeps the masked data analytically useful ([5] uses comparable
+    /// "50% privacy level" settings) while leaving measurable linkage risk.
+    double noise_alpha = 0.4;
+    /// Condensation group size for the generic PPDM deployment.
+    size_t condensation_k = 3;
+    /// Retention probability of randomized response on categorical
+    /// confidential attributes in the PPDM deployments.
+    double rr_keep_probability = 0.8;
+    /// Owner-attack recovery window (percent of attribute range).
+    double recovery_window_percent = 2.0;
+    /// Number of PIR retrievals in the user-privacy guessing game.
+    size_t pir_trials = 32;
+    /// Parties in the crypto PPDM deployment.
+    size_t crypto_parties = 3;
+    uint64_t seed = 7;
+  };
+
+  /// The dataset plays the paper's clinical-trial role: schema must declare
+  /// quasi-identifiers and confidential attributes, all QIs numeric.
+  PrivacyEvaluator(DataTable original, Options options);
+
+  /// Evaluates one technology class with the three attack suites.
+  Result<TechnologyEvaluation> Evaluate(TechnologyClass technology);
+
+  /// Evaluates all eight Table 2 rows.
+  Result<std::vector<TechnologyEvaluation>> EvaluateAll();
+
+  /// ASCII rendering of a scoreboard; with `with_claims`, each cell shows
+  /// "measured (paper: claimed)".
+  static std::string FormatScoreboard(
+      const std::vector<TechnologyEvaluation>& evals, bool with_claims);
+
+ private:
+  /// The masked release of a non-crypto deployment (original for kPir).
+  Result<DataTable> BuildRelease(TechnologyClass base, uint64_t seed) const;
+
+  Result<double> RespondentScoreFromRelease(const DataTable& release) const;
+  Result<double> OwnerScoreFromRelease(const DataTable& release) const;
+  /// Runs the crypto PPDM deployment and scores respondent + owner from the
+  /// transcript.
+  Result<std::pair<double, double>> CryptoScores(uint64_t seed) const;
+  /// The PIR guessing game on `release` records.
+  Result<double> UserScoreWithPir(const DataTable& release, uint64_t seed) const;
+  /// The query-log visibility check without PIR.
+  Result<double> UserScoreWithoutPir(const DataTable& release,
+                                     uint64_t seed) const;
+
+  DataTable original_;
+  Options options_;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_CORE_EVALUATOR_H_

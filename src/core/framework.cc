@@ -1,0 +1,51 @@
+#include "core/framework.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tripriv {
+
+const char* DimensionToString(Dimension d) {
+  switch (d) {
+    case Dimension::kRespondent:
+      return "respondent";
+    case Dimension::kOwner:
+      return "owner";
+    case Dimension::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+const char* GradeToString(Grade g) {
+  switch (g) {
+    case Grade::kNone:
+      return "none";
+    case Grade::kLow:
+      return "low";
+    case Grade::kMedium:
+      return "medium";
+    case Grade::kMediumHigh:
+      return "medium-high";
+    case Grade::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+Grade GradeFromScore(double score) {
+  TRIPRIV_CHECK(score >= -1e-9 && score <= 1.0 + 1e-9) << "score" << score;
+  if (score < 0.2) return Grade::kNone;
+  if (score < 0.4) return Grade::kLow;
+  if (score < 0.6) return Grade::kMedium;
+  if (score < 0.8) return Grade::kMediumHigh;
+  return Grade::kHigh;
+}
+
+bool GradesAgree(Grade claimed, Grade measured) {
+  return std::abs(static_cast<int>(claimed) - static_cast<int>(measured)) <= 1;
+}
+
+}  // namespace tripriv

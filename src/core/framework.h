@@ -1,0 +1,44 @@
+// The paper's contribution: the three-dimensional privacy framework.
+//
+// Database privacy splits by WHOSE privacy is protected (Section 1):
+//   * respondent privacy — the individuals behind the records;
+//   * owner privacy     — the entity holding the dataset;
+//   * user privacy      — the entity submitting queries.
+// Sections 2-4 show pairwise independence; Table 2 scores technology
+// classes per dimension. This header defines the dimensions, the
+// qualitative grades, and the mapping from empirical scores to grades.
+
+#ifndef TRIPRIV_CORE_FRAMEWORK_H_
+#define TRIPRIV_CORE_FRAMEWORK_H_
+
+#include <array>
+#include <string>
+
+namespace tripriv {
+
+/// Whose privacy a measurement refers to.
+enum class Dimension { kRespondent = 0, kOwner = 1, kUser = 2 };
+
+inline constexpr std::array<Dimension, 3> kAllDimensions = {
+    Dimension::kRespondent, Dimension::kOwner, Dimension::kUser};
+
+const char* DimensionToString(Dimension d);
+
+/// Qualitative protection grades, matching Table 2's vocabulary.
+enum class Grade { kNone = 0, kLow = 1, kMedium = 2, kMediumHigh = 3, kHigh = 4 };
+
+const char* GradeToString(Grade g);
+
+/// Maps an empirical protection score in [0, 1] (1 = the attack suite
+/// failed completely) to a grade. Bands: [0, .2) none, [.2, .4) low,
+/// [.4, .6) medium, [.6, .8) medium-high, [.8, 1] high.
+Grade GradeFromScore(double score);
+
+/// True when `measured` is within one band of `claimed` — the agreement
+/// criterion EXPERIMENTS.md uses when comparing against the paper's
+/// qualitative Table 2.
+bool GradesAgree(Grade claimed, Grade measured);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_CORE_FRAMEWORK_H_

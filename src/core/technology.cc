@@ -1,0 +1,161 @@
+#include "core/technology.h"
+
+namespace tripriv {
+
+const char* TechnologyClassToString(TechnologyClass t) {
+  switch (t) {
+    case TechnologyClass::kSdc:
+      return "SDC";
+    case TechnologyClass::kUseSpecificNonCryptoPpdm:
+      return "Use-specific non-crypto PPDM";
+    case TechnologyClass::kGenericNonCryptoPpdm:
+      return "Generic non-crypto PPDM";
+    case TechnologyClass::kCryptoPpdm:
+      return "Crypto PPDM";
+    case TechnologyClass::kPir:
+      return "PIR";
+    case TechnologyClass::kSdcPlusPir:
+      return "SDC + PIR";
+    case TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir:
+      return "Use-specific non-crypto PPDM + PIR";
+    case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
+      return "Generic non-crypto PPDM + PIR";
+  }
+  return "?";
+}
+
+bool IncludesPir(TechnologyClass t) {
+  switch (t) {
+    case TechnologyClass::kPir:
+    case TechnologyClass::kSdcPlusPir:
+    case TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir:
+    case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TechnologyClass BaseClass(TechnologyClass t) {
+  switch (t) {
+    case TechnologyClass::kSdcPlusPir:
+      return TechnologyClass::kSdc;
+    case TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir:
+      return TechnologyClass::kUseSpecificNonCryptoPpdm;
+    case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
+      return TechnologyClass::kGenericNonCryptoPpdm;
+    default:
+      return t;
+  }
+}
+
+Result<TechnologyClass> ComposeWithPir(TechnologyClass base) {
+  switch (base) {
+    case TechnologyClass::kSdc:
+      return TechnologyClass::kSdcPlusPir;
+    case TechnologyClass::kUseSpecificNonCryptoPpdm:
+      return TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir;
+    case TechnologyClass::kGenericNonCryptoPpdm:
+      return TechnologyClass::kGenericNonCryptoPpdmPlusPir;
+    case TechnologyClass::kCryptoPpdm:
+      return Status::FailedPrecondition(
+          "crypto PPDM is interactive multiparty computation whose joint "
+          "analysis is known to all parties; it cannot be composed with PIR "
+          "(Section 4)");
+    case TechnologyClass::kPir:
+    case TechnologyClass::kSdcPlusPir:
+    case TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir:
+    case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
+      return Status::InvalidArgument("class already includes PIR");
+  }
+  return Status::Internal("unknown technology class");
+}
+
+Grade PaperClaimedGrade(TechnologyClass t, Dimension d) {
+  // Verbatim transcription of Table 2.
+  switch (t) {
+    case TechnologyClass::kSdc:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kMediumHigh;
+        case Dimension::kOwner:
+          return Grade::kMedium;
+        case Dimension::kUser:
+          return Grade::kNone;
+      }
+      break;
+    case TechnologyClass::kUseSpecificNonCryptoPpdm:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kMedium;
+        case Dimension::kOwner:
+          return Grade::kMediumHigh;
+        case Dimension::kUser:
+          return Grade::kNone;
+      }
+      break;
+    case TechnologyClass::kGenericNonCryptoPpdm:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kMedium;
+        case Dimension::kOwner:
+          return Grade::kMediumHigh;
+        case Dimension::kUser:
+          return Grade::kNone;
+      }
+      break;
+    case TechnologyClass::kCryptoPpdm:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kHigh;
+        case Dimension::kOwner:
+          return Grade::kHigh;
+        case Dimension::kUser:
+          return Grade::kNone;
+      }
+      break;
+    case TechnologyClass::kPir:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kNone;
+        case Dimension::kOwner:
+          return Grade::kNone;
+        case Dimension::kUser:
+          return Grade::kHigh;
+      }
+      break;
+    case TechnologyClass::kSdcPlusPir:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kMediumHigh;
+        case Dimension::kOwner:
+          return Grade::kMedium;
+        case Dimension::kUser:
+          return Grade::kHigh;
+      }
+      break;
+    case TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kMedium;
+        case Dimension::kOwner:
+          return Grade::kMediumHigh;
+        case Dimension::kUser:
+          return Grade::kMedium;
+      }
+      break;
+    case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kMedium;
+        case Dimension::kOwner:
+          return Grade::kMediumHigh;
+        case Dimension::kUser:
+          return Grade::kHigh;
+      }
+      break;
+  }
+  return Grade::kNone;
+}
+
+}  // namespace tripriv

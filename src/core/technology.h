@@ -1,0 +1,59 @@
+// The technology classes of Table 2 and their composition rules.
+
+#ifndef TRIPRIV_CORE_TECHNOLOGY_H_
+#define TRIPRIV_CORE_TECHNOLOGY_H_
+
+#include <array>
+
+#include "core/framework.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// The eight technology classes the paper scores (Table 2).
+enum class TechnologyClass {
+  kSdc = 0,                            ///< SDC masking ([17, 26])
+  kUseSpecificNonCryptoPpdm = 1,       ///< e.g. [5, 25]
+  kGenericNonCryptoPpdm = 2,           ///< e.g. [2] (k-anonymization)
+  kCryptoPpdm = 3,                     ///< secure multiparty computation [18]
+  kPir = 4,                            ///< private information retrieval [8]
+  kSdcPlusPir = 5,
+  kUseSpecificNonCryptoPpdmPlusPir = 6,
+  kGenericNonCryptoPpdmPlusPir = 7,
+};
+
+inline constexpr std::array<TechnologyClass, 8> kAllTechnologyClasses = {
+    TechnologyClass::kSdc,
+    TechnologyClass::kUseSpecificNonCryptoPpdm,
+    TechnologyClass::kGenericNonCryptoPpdm,
+    TechnologyClass::kCryptoPpdm,
+    TechnologyClass::kPir,
+    TechnologyClass::kSdcPlusPir,
+    TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir,
+    TechnologyClass::kGenericNonCryptoPpdmPlusPir,
+};
+
+/// The row label used in Table 2.
+const char* TechnologyClassToString(TechnologyClass t);
+
+/// Whether the class includes a PIR layer for user queries.
+bool IncludesPir(TechnologyClass t);
+
+/// The non-PIR base of a composite class (identity for base classes).
+TechnologyClass BaseClass(TechnologyClass t);
+
+/// Composition rules from Sections 3, 4, and 6:
+///   * crypto PPDM is interactive multiparty computation where the joint
+///     analysis is known to all parties — incompatible with PIR;
+///   * query control (auditing) requires the owner to see queries —
+///     incompatible with PIR (that is why SDC must rely on data masking
+///     when composed with PIR).
+/// Returns the composite class, or FailedPrecondition for crypto PPDM.
+Result<TechnologyClass> ComposeWithPir(TechnologyClass base);
+
+/// The paper's claimed grade (Table 2) for comparison with measurements.
+Grade PaperClaimedGrade(TechnologyClass t, Dimension d);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_CORE_TECHNOLOGY_H_

@@ -1,0 +1,137 @@
+// Private aggregate queries: the "PIR protocols for statistical query
+// types" hypothesized in Section 3 of the paper.
+//
+// The paper's user-privacy-without-respondent-privacy example assumes a
+// user can run
+//   SELECT COUNT(*)             WHERE height < 165 AND weight > 105
+//   SELECT AVG(blood_pressure)  WHERE height < 165 AND weight > 105
+// through PIR, so the server cannot see the predicate. This module builds
+// that protocol from Paillier:
+//   * the server publishes a public domain grid over the predicate
+//     attributes (e.g. all (height, weight) cells) and precomputes, per
+//     cell, the record count and attribute sums;
+//   * the user evaluates their private predicate on each grid cell and
+//     sends the encrypted indicator vector Enc(w_1) ... Enc(w_m);
+//   * the server folds Prod_c Enc(w_c)^{count_c} = Enc(COUNT) and
+//     Prod_c Enc(w_c)^{sum_c} = Enc(SUM) without learning the predicate;
+//   * the user decrypts and, for AVG, divides.
+// The server's view is ciphertexts only — exactly the property the Section
+// 3 attack exploits and the Section 6 recipe must neutralize with
+// k-anonymous data.
+
+#ifndef TRIPRIV_PIR_AGGREGATE_H_
+#define TRIPRIV_PIR_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "smc/paillier.h"
+#include "table/data_table.h"
+#include "table/predicate.h"
+
+namespace tripriv {
+
+/// One axis of the public domain grid (integer-valued attribute).
+struct GridAxis {
+  std::string attribute;
+  int64_t lo = 0;       ///< smallest domain value (inclusive)
+  int64_t hi = 0;       ///< largest domain value (inclusive)
+  int64_t step = 1;     ///< cell width; cells are [lo + k*step, lo + (k+1)*step)
+};
+
+/// Server side: per-cell precomputed counts and sums.
+class PrivateAggregateServer {
+ public:
+  /// Bins `table` over the cross product of `axes`. Grid attributes must be
+  /// integer-typed; aggregate attributes (everything numeric) must be
+  /// non-negative integers (counts/sums ride inside Paillier plaintexts).
+  /// Records falling outside the grid are rejected (the axes are supposed
+  /// to cover the public attribute domains).
+  static Result<PrivateAggregateServer> Build(const DataTable& table,
+                                              std::vector<GridAxis> axes);
+
+  size_t num_cells() const { return counts_.size(); }
+  const std::vector<GridAxis>& axes() const { return axes_; }
+
+  /// Enc(COUNT of records in cells with w_c = 1). One ciphertext per cell
+  /// in `encrypted_selector`.
+  Result<BigInt> EncryptedCount(const PaillierPublicKey& pub,
+                                const std::vector<BigInt>& encrypted_selector) const;
+
+  /// Enc(SUM of `attribute` over records in selected cells).
+  Result<BigInt> EncryptedSum(const PaillierPublicKey& pub,
+                              const std::vector<BigInt>& encrypted_selector,
+                              const std::string& attribute) const;
+
+  /// Enc(COUNT + Laplace(1/epsilon)) — the server adds discretized Laplace
+  /// noise HOMOMORPHICALLY, so the released count is epsilon-differentially
+  /// private w.r.t. respondents while the predicate stays hidden from the
+  /// server: respondent privacy and user privacy from one ciphertext. The
+  /// noise is encoded mod n (negative values as n - |x|); decode with
+  /// PrivateAggregateClient::DpCount. Requires epsilon > 0.
+  Result<BigInt> EncryptedDpCount(const PaillierPublicKey& pub,
+                                  const std::vector<BigInt>& encrypted_selector,
+                                  double epsilon, Rng* rng) const;
+
+  /// Representative value of cell `cell` on each axis (the cell's lower
+  /// bound) — the public information a client needs to evaluate its
+  /// predicate per cell.
+  std::vector<int64_t> CellRepresentative(size_t cell) const;
+
+  /// How many aggregate queries this server has answered (its view is
+  /// otherwise ciphertext-only).
+  size_t queries_served() const { return queries_served_; }
+
+ private:
+  std::vector<GridAxis> axes_;
+  std::vector<uint64_t> counts_;                       // per cell
+  std::vector<std::string> sum_attributes_;            // numeric attrs
+  std::vector<std::vector<uint64_t>> sums_;            // [attr][cell]
+  mutable size_t queries_served_ = 0;
+};
+
+/// Client side: key pair, selector construction, decryption.
+class PrivateAggregateClient {
+ public:
+  static Result<PrivateAggregateClient> Create(size_t modulus_bits,
+                                               uint64_t seed);
+
+  const PaillierPublicKey& public_key() const { return keys_.pub; }
+
+  /// Builds the encrypted per-cell indicator vector for `predicate`, which
+  /// may reference only grid attributes. The predicate is evaluated on each
+  /// cell representative.
+  Result<std::vector<BigInt>> MakeSelector(const PrivateAggregateServer& server,
+                                           const Predicate& predicate);
+
+  /// Private COUNT(*) WHERE predicate.
+  Result<uint64_t> Count(const PrivateAggregateServer& server,
+                         const Predicate& predicate);
+
+  /// Private SUM(attribute) WHERE predicate.
+  Result<uint64_t> Sum(const PrivateAggregateServer& server,
+                       const std::string& attribute, const Predicate& predicate);
+
+  /// Private AVG(attribute) WHERE predicate; fails when the count is 0.
+  Result<double> Average(const PrivateAggregateServer& server,
+                         const std::string& attribute,
+                         const Predicate& predicate);
+
+  /// Differentially private COUNT(*) WHERE predicate: the server never sees
+  /// the predicate (PIR) and the client never sees the exact count (DP) —
+  /// the composition Section 6 asks future research to explore. The result
+  /// may be negative (Laplace noise); `server_rng` supplies the server's
+  /// noise randomness.
+  Result<int64_t> DpCount(const PrivateAggregateServer& server,
+                          const Predicate& predicate, double epsilon,
+                          Rng* server_rng);
+
+ private:
+  PaillierKeyPair keys_;
+  Rng rng_{0};
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PIR_AGGREGATE_H_

@@ -1,0 +1,85 @@
+#include "pir/cpir.h"
+
+#include <cmath>
+
+namespace tripriv {
+
+Result<CpirServer> CpirServer::Create(std::vector<uint64_t> database) {
+  if (database.empty()) return Status::InvalidArgument("empty database");
+  CpirServer server;
+  server.cols_ = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(database.size()))));
+  server.rows_ = (database.size() + server.cols_ - 1) / server.cols_;
+  server.database_ = std::move(database);
+  return server;
+}
+
+Result<std::vector<BigInt>> CpirServer::Answer(
+    const PaillierPublicKey& pub, const std::vector<BigInt>& encrypted_selector) {
+  if (encrypted_selector.size() != rows_) {
+    return Status::InvalidArgument("selector must have one ciphertext per row");
+  }
+  ++queries_served_;
+  std::vector<BigInt> out;
+  out.reserve(cols_);
+  for (size_t j = 0; j < cols_; ++j) {
+    // Enc(sum_i sel_i * M[i][j]); missing cells in the last row count as 0.
+    BigInt acc(1);  // neutral ciphertext product accumulator: Enc(0) not
+                    // needed because c = prod of factors; start at 1 and
+                    // multiply in (mod n^2) — the empty product decrypts
+                    // from the first multiplied factor onward.
+    bool have_factor = false;
+    for (size_t i = 0; i < rows_; ++i) {
+      const size_t idx = i * cols_ + j;
+      if (idx >= database_.size()) continue;
+      const uint64_t entry = database_[idx];
+      if (entry == 0) continue;  // Enc(x)^0 contributes nothing
+      const BigInt factor =
+          PaillierMulPlain(pub, encrypted_selector[i], BigInt::FromU64(entry));
+      acc = have_factor ? PaillierAdd(pub, acc, factor) : factor;
+      have_factor = true;
+    }
+    if (!have_factor) {
+      // Whole column is zero: Enc(0) with fixed randomness 1 -> ciphertext 1
+      // ((1 + 0*n) * 1^n = 1). Deterministic, but it encodes a public fact.
+      acc = BigInt(1);
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+Result<CpirClient> CpirClient::Create(size_t modulus_bits, uint64_t seed) {
+  CpirClient client;
+  client.rng_ = Rng(seed);
+  TRIPRIV_ASSIGN_OR_RETURN(client.keys_,
+                           PaillierGenerateKeys(modulus_bits, &client.rng_));
+  return client;
+}
+
+Result<uint64_t> CpirClient::Read(CpirServer* server, size_t index) {
+  TRIPRIV_CHECK(server != nullptr);
+  if (index >= server->num_entries()) {
+    return Status::OutOfRange("entry index out of range");
+  }
+  const size_t target_row = index / server->cols();
+  const size_t target_col = index % server->cols();
+
+  std::vector<BigInt> selector;
+  selector.reserve(server->rows());
+  for (size_t i = 0; i < server->rows(); ++i) {
+    TRIPRIV_ASSIGN_OR_RETURN(
+        BigInt c,
+        PaillierEncrypt(keys_.pub, i == target_row ? BigInt(1) : BigInt(),
+                        &rng_));
+    selector.push_back(std::move(c));
+  }
+  last_upload_ = selector.size();
+  TRIPRIV_ASSIGN_OR_RETURN(auto answer, server->Answer(keys_.pub, selector));
+  last_download_ = answer.size();
+  TRIPRIV_ASSIGN_OR_RETURN(
+      BigInt value, PaillierDecrypt(keys_.pub, keys_.priv, answer[target_col]));
+  return value.ToU64();
+}
+
+}  // namespace tripriv

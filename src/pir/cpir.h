@@ -1,0 +1,70 @@
+// Single-server computational PIR via Paillier homomorphic folding
+// (Kushilevitz-Ostrovsky style square layout).
+//
+// A single server holds the database; user privacy rests on a computational
+// assumption (here: the security of Paillier). The database is arranged as
+// an r x c matrix of 64-bit entries; the user sends one ciphertext per row
+// (the encrypted row indicator e_i); the server returns, per column j,
+//   Prod_i Enc(sel_i)^{M[i][j]}  =  Enc(M[target_row][j])
+// and the user decrypts the column of interest. Communication is
+// O(sqrt(n)) ciphertexts each way.
+
+#ifndef TRIPRIV_PIR_CPIR_H_
+#define TRIPRIV_PIR_CPIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "smc/paillier.h"
+
+namespace tripriv {
+
+/// The single PIR server: matrix layout of a vector of 64-bit entries.
+class CpirServer {
+ public:
+  /// Requires a non-empty database.
+  static Result<CpirServer> Create(std::vector<uint64_t> database);
+
+  size_t num_entries() const { return database_.size(); }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Server-side evaluation: one encrypted row-selector per row; returns
+  /// one ciphertext per column. The server also logs each query it saw.
+  Result<std::vector<BigInt>> Answer(const PaillierPublicKey& pub,
+                                     const std::vector<BigInt>& encrypted_selector);
+
+  /// Number of queries served (the server's entire view beyond ciphertexts).
+  size_t queries_served() const { return queries_served_; }
+
+ private:
+  std::vector<uint64_t> database_;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t queries_served_ = 0;
+};
+
+/// Client-side state (key pair) plus the query protocol.
+class CpirClient {
+ public:
+  /// Generates the client key pair. modulus_bits >= 256 recommended so
+  /// 64-bit entries never wrap.
+  static Result<CpirClient> Create(size_t modulus_bits, uint64_t seed);
+
+  /// Retrieves entry `index` from the server privately.
+  Result<uint64_t> Read(CpirServer* server, size_t index);
+
+  /// Communication cost of the last Read, in ciphertext counts.
+  size_t last_upload_ciphertexts() const { return last_upload_; }
+  size_t last_download_ciphertexts() const { return last_download_; }
+
+ private:
+  PaillierKeyPair keys_;
+  Rng rng_{0};
+  size_t last_upload_ = 0;
+  size_t last_download_ = 0;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PIR_CPIR_H_

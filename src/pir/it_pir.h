@@ -1,0 +1,83 @@
+// Information-theoretic private information retrieval (Chor, Goldreich,
+// Kushilevitz & Sudan [8]).
+//
+// The user-privacy primitive: retrieve record i from replicated,
+// non-colluding servers such that no single server learns anything about i.
+//   * 2-server XOR scheme: server A gets a uniformly random subset S of
+//     record indices, server B gets S xor {i}; each returns the XOR of the
+//     selected records; the two answers XOR to record i. Query cost:
+//     n bits up, one record down, per server.
+//   * 4-server cube scheme: the index is split over a sqrt(n) x sqrt(n)
+//     grid and the subset trick applied per axis, cutting upload to
+//     O(sqrt(n)) bits per server.
+// Every query also reports what the servers observed, which the evaluation
+// harness uses to verify the "no single server learns i" claim empirically.
+
+#ifndef TRIPRIV_PIR_IT_PIR_H_
+#define TRIPRIV_PIR_IT_PIR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// One PIR server: a replica of the database of equal-length records,
+/// answering XOR-subset queries. The server keeps a log of the selection
+/// vectors it has seen (its entire view of the protocol).
+class XorPirServer {
+ public:
+  /// Requires >= 1 record; all records must have equal, non-zero length.
+  static Result<XorPirServer> Create(std::vector<std::vector<uint8_t>> records);
+
+  size_t num_records() const { return records_.size(); }
+  size_t record_size() const { return records_.empty() ? 0 : records_[0].size(); }
+
+  /// XOR of the records selected by `selection` (one bit per record, packed
+  /// LSB-first into bytes). Also logs the query.
+  Result<std::vector<uint8_t>> Answer(const std::vector<uint8_t>& selection);
+
+  /// Everything this server has observed: the selection bitmaps of all
+  /// queries answered so far.
+  const std::vector<std::vector<uint8_t>>& observed_queries() const {
+    return observed_;
+  }
+
+  /// Direct (non-private) record access, for testing and for the baseline
+  /// "no PIR" comparison.
+  const std::vector<uint8_t>& record(size_t i) const {
+    TRIPRIV_CHECK_LT(i, records_.size());
+    return records_[i];
+  }
+
+ private:
+  std::vector<std::vector<uint8_t>> records_;
+  std::vector<std::vector<uint8_t>> observed_;
+};
+
+/// Communication accounting for one query.
+struct PirStats {
+  size_t upload_bits = 0;
+  size_t download_bits = 0;
+};
+
+/// Retrieves record `index` via the 2-server scheme. The two servers must
+/// hold identical replicas.
+Result<std::vector<uint8_t>> TwoServerPirRead(XorPirServer* server_a,
+                                              XorPirServer* server_b,
+                                              size_t index, Rng* rng,
+                                              PirStats* stats = nullptr);
+
+/// Retrieves record `index` via the 4-server cube scheme (upload
+/// O(sqrt(n)) bits per server). All four servers must hold identical
+/// replicas.
+Result<std::vector<uint8_t>> FourServerCubePirRead(
+    const std::array<XorPirServer*, 4>& servers, size_t index, Rng* rng,
+    PirStats* stats = nullptr);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PIR_IT_PIR_H_

@@ -1,0 +1,49 @@
+// Keyword PIR: retrieval by key instead of index.
+//
+// Practical queries name a key ("the record of patient 4711"), not an array
+// position. Standard reduction (Chor, Gilboa & Naor): the server publishes
+// a sorted key array; the client binary-searches it with O(log n) index-PIR
+// reads, then retrieves the value — no server learns which key was probed.
+// Built here on the 2-server XOR scheme.
+
+#ifndef TRIPRIV_PIR_KEYWORD_PIR_H_
+#define TRIPRIV_PIR_KEYWORD_PIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pir/it_pir.h"
+
+namespace tripriv {
+
+/// A replicated key-value PIR store (two non-colluding servers).
+class KeywordPirStore {
+ public:
+  /// Builds the store from key-value pairs (keys must be unique; they are
+  /// sorted internally). Values are fixed 8-byte payloads.
+  static Result<KeywordPirStore> Create(
+      std::vector<std::pair<uint64_t, uint64_t>> entries);
+
+  size_t size() const { return num_entries_; }
+
+  /// Privately looks up `key`; nullopt when absent. Accumulates stats over
+  /// the O(log n) underlying PIR reads.
+  Result<std::optional<uint64_t>> Lookup(uint64_t key, Rng* rng,
+                                         PirStats* stats = nullptr);
+
+  /// Combined view of both servers' observed queries (for the evaluation
+  /// harness).
+  size_t queries_observed() const;
+
+ private:
+  // Each record stores key (8 bytes LE) + value (8 bytes LE).
+  XorPirServer server_a_;
+  XorPirServer server_b_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PIR_KEYWORD_PIR_H_

@@ -1,0 +1,169 @@
+#include "ppdm/association_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace tripriv {
+namespace {
+
+bool Contains(const Transaction& txn, const std::vector<int>& itemset) {
+  // Both sorted: subset test by merge walk.
+  size_t i = 0;
+  for (int item : itemset) {
+    while (i < txn.size() && txn[i] < item) ++i;
+    if (i == txn.size() || txn[i] != item) return false;
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string AssociationRule::ToString() const {
+  auto render = [](const std::vector<int>& items) {
+    std::vector<std::string> parts;
+    parts.reserve(items.size());
+    for (int it : items) parts.push_back(std::to_string(it));
+    return "{" + Join(parts, ",") + "}";
+  };
+  return render(antecedent) + " => " + render(consequent) + " (sup=" +
+         std::to_string(support) + ", conf=" + FormatDouble(confidence, 4) + ")";
+}
+
+size_t SupportCount(const TransactionDb& db, const std::vector<int>& itemset) {
+  size_t count = 0;
+  for (const auto& txn : db) {
+    if (Contains(txn, itemset)) ++count;
+  }
+  return count;
+}
+
+Result<std::vector<FrequentItemset>> AprioriFrequentItemsets(
+    const TransactionDb& db, size_t min_support) {
+  if (min_support < 1) return Status::InvalidArgument("min_support must be >= 1");
+  std::vector<FrequentItemset> result;
+
+  // L1: frequent single items.
+  std::map<int, size_t> item_counts;
+  for (const auto& txn : db) {
+    for (int item : txn) item_counts[item]++;
+  }
+  std::vector<std::vector<int>> current;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_support) {
+      result.push_back({{item}, count});
+      current.push_back({item});
+    }
+  }
+
+  // Lk from Lk-1: join candidates sharing the first k-2 items, prune by the
+  // Apriori property, count, filter.
+  while (!current.empty()) {
+    std::set<std::vector<int>> prev_set(current.begin(), current.end());
+    std::vector<std::vector<int>> next;
+    for (size_t a = 0; a < current.size(); ++a) {
+      for (size_t b = a + 1; b < current.size(); ++b) {
+        const auto& x = current[a];
+        const auto& y = current[b];
+        if (!std::equal(x.begin(), x.end() - 1, y.begin())) continue;
+        std::vector<int> candidate = x;
+        candidate.push_back(std::max(x.back(), y.back()));
+        if (x.back() > y.back()) {
+          candidate[candidate.size() - 2] = y.back();
+        }
+        // Apriori prune: every (k-1)-subset must be frequent.
+        bool prunable = false;
+        for (size_t skip = 0; skip + 2 < candidate.size() && !prunable; ++skip) {
+          std::vector<int> subset;
+          for (size_t i = 0; i < candidate.size(); ++i) {
+            if (i != skip) subset.push_back(candidate[i]);
+          }
+          if (!prev_set.contains(subset)) prunable = true;
+        }
+        if (prunable) continue;
+        const size_t support = SupportCount(db, candidate);
+        if (support >= min_support) {
+          next.push_back(candidate);
+          result.push_back({candidate, support});
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    current = std::move(next);
+  }
+  return result;
+}
+
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const TransactionDb& db, size_t min_support, double min_confidence) {
+  if (min_confidence < 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto frequent,
+                           AprioriFrequentItemsets(db, min_support));
+  std::map<std::vector<int>, size_t> support_of;
+  for (const auto& fi : frequent) support_of[fi.items] = fi.support;
+
+  std::vector<AssociationRule> rules;
+  for (const auto& fi : frequent) {
+    if (fi.items.size() < 2) continue;
+    // Single-item consequents.
+    for (size_t skip = 0; skip < fi.items.size(); ++skip) {
+      AssociationRule rule;
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i == skip) {
+          rule.consequent.push_back(fi.items[i]);
+        } else {
+          rule.antecedent.push_back(fi.items[i]);
+        }
+      }
+      const auto it = support_of.find(rule.antecedent);
+      TRIPRIV_CHECK(it != support_of.end());  // Apriori closure
+      rule.support = fi.support;
+      rule.confidence =
+          static_cast<double>(fi.support) / static_cast<double>(it->second);
+      if (rule.confidence >= min_confidence) rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+TransactionDb MakeTransactions(size_t n_transactions, int n_items,
+                               size_t n_patterns, uint64_t seed) {
+  TRIPRIV_CHECK_GE(n_items, 4);
+  Rng rng(seed);
+  // Plant patterns of size 2-4.
+  std::vector<std::vector<int>> patterns;
+  for (size_t p = 0; p < n_patterns; ++p) {
+    const size_t size = 2 + rng.UniformU64(3);
+    std::set<int> items;
+    while (items.size() < size) {
+      items.insert(static_cast<int>(rng.UniformU64(static_cast<uint64_t>(n_items))));
+    }
+    patterns.emplace_back(items.begin(), items.end());
+  }
+  TransactionDb db;
+  db.reserve(n_transactions);
+  for (size_t t = 0; t < n_transactions; ++t) {
+    std::set<int> txn;
+    // Each pattern appears in ~40% of transactions.
+    for (const auto& pattern : patterns) {
+      if (rng.Bernoulli(0.4)) txn.insert(pattern.begin(), pattern.end());
+    }
+    // Background noise items.
+    const size_t extra = 1 + rng.UniformU64(4);
+    for (size_t e = 0; e < extra; ++e) {
+      txn.insert(static_cast<int>(rng.UniformU64(static_cast<uint64_t>(n_items))));
+    }
+    db.emplace_back(txn.begin(), txn.end());
+  }
+  return db;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,64 @@
+// Apriori frequent-itemset mining and association-rule generation.
+//
+// The analysis workload of the rule-hiding PPDM methods ([25]): market
+// basket transactions, frequent itemsets above a support threshold, and
+// rules X => Y above a confidence threshold.
+
+#ifndef TRIPRIV_PPDM_ASSOCIATION_RULES_H_
+#define TRIPRIV_PPDM_ASSOCIATION_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// A transaction is a sorted, duplicate-free list of item ids.
+using Transaction = std::vector<int>;
+using TransactionDb = std::vector<Transaction>;
+
+/// An itemset with its absolute support count.
+struct FrequentItemset {
+  std::vector<int> items;  // sorted
+  size_t support = 0;
+};
+
+/// An association rule X => Y with its quality measures.
+struct AssociationRule {
+  std::vector<int> antecedent;  // X, sorted
+  std::vector<int> consequent;  // Y, sorted
+  size_t support = 0;           // |X u Y| occurrences
+  double confidence = 0.0;      // support(X u Y) / support(X)
+
+  std::string ToString() const;
+  bool SameAs(const AssociationRule& other) const {
+    return antecedent == other.antecedent && consequent == other.consequent;
+  }
+};
+
+/// Absolute support count of `itemset` (sorted) in `db`.
+size_t SupportCount(const TransactionDb& db, const std::vector<int>& itemset);
+
+/// Apriori: all itemsets with support >= min_support (absolute count).
+/// Requires min_support >= 1.
+Result<std::vector<FrequentItemset>> AprioriFrequentItemsets(
+    const TransactionDb& db, size_t min_support);
+
+/// All rules X => Y derivable from the frequent itemsets with confidence
+/// >= min_confidence (Y restricted to single items, the classic setting of
+/// rule-hiding papers).
+Result<std::vector<AssociationRule>> MineAssociationRules(
+    const TransactionDb& db, size_t min_support, double min_confidence);
+
+/// Synthetic transaction generator with planted patterns: `n_patterns`
+/// random pattern itemsets of size 2-4 are embedded into transactions with
+/// high probability, over a catalogue of `n_items` items. Deterministic in
+/// `seed`.
+TransactionDb MakeTransactions(size_t n_transactions, int n_items,
+                               size_t n_patterns, uint64_t seed);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PPDM_ASSOCIATION_RULES_H_

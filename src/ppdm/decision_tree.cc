@@ -1,0 +1,274 @@
+#include "ppdm/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace tripriv {
+namespace {
+
+double Entropy(const std::map<std::string, size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::map<std::string, size_t> LabelCounts(const DataTable& data,
+                                          size_t label_col,
+                                          const std::vector<size_t>& rows) {
+  std::map<std::string, size_t> counts;
+  for (size_t r : rows) counts[data.at(r, label_col).AsString()]++;
+  return counts;
+}
+
+std::string MajorityLabel(const std::map<std::string, size_t>& counts) {
+  std::string best;
+  size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Train(const DataTable& data,
+                                         std::string_view label_attr,
+                                         const DecisionTreeConfig& config) {
+  TRIPRIV_ASSIGN_OR_RETURN(size_t label_col, data.schema().IndexOf(label_attr));
+  if (data.schema().attribute(label_col).type != AttributeType::kCategorical) {
+    return Status::InvalidArgument("label attribute must be categorical");
+  }
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("cannot train on an empty table");
+  }
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    if (!data.at(r, label_col).is_string()) {
+      return Status::InvalidArgument("null label at row " + std::to_string(r));
+    }
+  }
+  DecisionTree tree;
+  tree.label_attr_ = std::string(label_attr);
+  std::vector<size_t> rows(data.num_rows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+  tree.root_ = tree.BuildNode(data, label_col, rows, config, 0);
+  return tree;
+}
+
+size_t DecisionTree::BuildNode(const DataTable& data, size_t label_col,
+                               const std::vector<size_t>& rows,
+                               const DecisionTreeConfig& config, size_t depth) {
+  depth_ = std::max(depth_, depth);
+  const auto counts = LabelCounts(data, label_col, rows);
+  const double node_entropy = Entropy(counts, rows.size());
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.label = MajorityLabel(counts);
+    nodes_.push_back(std::move(leaf));
+    return nodes_.size() - 1;
+  };
+
+  if (depth >= config.max_depth || rows.size() < 2 * config.min_leaf ||
+      node_entropy <= 0.0) {
+    return make_leaf();
+  }
+
+  // Search all predictor attributes for the best binary split.
+  double best_gain = config.min_gain;
+  Node best;
+  std::vector<size_t> best_left;
+  std::vector<size_t> best_right;
+
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    if (c == label_col) continue;
+    const Attribute& attr = data.schema().attribute(c);
+    if (attr.type == AttributeType::kCategorical) {
+      std::set<std::string> values;
+      for (size_t r : rows) {
+        if (data.at(r, c).is_string()) values.insert(data.at(r, c).AsString());
+      }
+      size_t considered = 0;
+      for (const auto& v : values) {
+        if (++considered > config.max_thresholds) break;
+        std::vector<size_t> left;
+        std::vector<size_t> right;
+        for (size_t r : rows) {
+          const Value& cell = data.at(r, c);
+          (cell.is_string() && cell.AsString() == v ? left : right).push_back(r);
+        }
+        if (left.size() < config.min_leaf || right.size() < config.min_leaf) {
+          continue;
+        }
+        const double gain =
+            node_entropy -
+            (static_cast<double>(left.size()) * Entropy(LabelCounts(data, label_col, left), left.size()) +
+             static_cast<double>(right.size()) * Entropy(LabelCounts(data, label_col, right), right.size())) /
+                static_cast<double>(rows.size());
+        if (gain > best_gain) {
+          best_gain = gain;
+          best.is_leaf = false;
+          best.attr = attr.name;
+          best.numeric_split = false;
+          best.category = Value(v);
+          best_left = std::move(left);
+          best_right = std::move(right);
+        }
+      }
+    } else {
+      // Numeric attribute: quantile-spaced candidate thresholds.
+      std::vector<double> values;
+      values.reserve(rows.size());
+      for (size_t r : rows) {
+        if (data.at(r, c).is_numeric()) values.push_back(data.at(r, c).ToDouble());
+      }
+      if (values.size() < 2 * config.min_leaf) continue;
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      if (values.size() < 2) continue;
+      const size_t candidates =
+          std::min(config.max_thresholds, values.size() - 1);
+      for (size_t t = 1; t <= candidates; ++t) {
+        const size_t idx = t * (values.size() - 1) / (candidates + 1) + 1;
+        const double threshold = 0.5 * (values[idx - 1] + values[idx]);
+        std::vector<size_t> left;
+        std::vector<size_t> right;
+        for (size_t r : rows) {
+          const Value& cell = data.at(r, c);
+          const bool go_left = cell.is_numeric() && cell.ToDouble() < threshold;
+          (go_left ? left : right).push_back(r);
+        }
+        if (left.size() < config.min_leaf || right.size() < config.min_leaf) {
+          continue;
+        }
+        const double gain =
+            node_entropy -
+            (static_cast<double>(left.size()) * Entropy(LabelCounts(data, label_col, left), left.size()) +
+             static_cast<double>(right.size()) * Entropy(LabelCounts(data, label_col, right), right.size())) /
+                static_cast<double>(rows.size());
+        if (gain > best_gain) {
+          best_gain = gain;
+          best.is_leaf = false;
+          best.attr = data.schema().attribute(c).name;
+          best.numeric_split = true;
+          best.threshold = threshold;
+          best_left = std::move(left);
+          best_right = std::move(right);
+        }
+      }
+    }
+  }
+
+  if (best.is_leaf) return make_leaf();
+  const size_t left_child =
+      BuildNode(data, label_col, best_left, config, depth + 1);
+  const size_t right_child =
+      BuildNode(data, label_col, best_right, config, depth + 1);
+  best.left = left_child;
+  best.right = right_child;
+  nodes_.push_back(std::move(best));
+  return nodes_.size() - 1;
+}
+
+Result<size_t> DecisionTree::Descend(const DataTable& table, size_t row) const {
+  size_t node = root_;
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    TRIPRIV_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(n.attr));
+    const Value& cell = table.at(row, col);
+    bool go_left;
+    if (n.numeric_split) {
+      go_left = cell.is_numeric() && cell.ToDouble() < n.threshold;
+    } else {
+      go_left = cell == n.category;
+    }
+    node = go_left ? n.left : n.right;
+  }
+  return node;
+}
+
+Result<std::string> DecisionTree::Predict(const DataTable& table,
+                                          size_t row) const {
+  TRIPRIV_ASSIGN_OR_RETURN(size_t node, Descend(table, row));
+  return nodes_[node].label;
+}
+
+Result<double> DecisionTree::Accuracy(const DataTable& data) const {
+  TRIPRIV_ASSIGN_OR_RETURN(size_t label_col,
+                           data.schema().IndexOf(label_attr_));
+  if (data.num_rows() == 0) return Status::InvalidArgument("empty table");
+  size_t correct = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    TRIPRIV_ASSIGN_OR_RETURN(std::string pred, Predict(data, r));
+    if (data.at(r, label_col).is_string() &&
+        data.at(r, label_col).AsString() == pred) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+void DecisionTree::Render(size_t node, int indent, std::string* out) const {
+  const Node& n = nodes_[node];
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (n.is_leaf) {
+    *out += "-> " + n.label + "\n";
+    return;
+  }
+  if (n.numeric_split) {
+    *out += n.attr + " < " + std::to_string(n.threshold) + "?\n";
+  } else {
+    *out += n.attr + " == " + n.category.ToDisplayString() + "?\n";
+  }
+  Render(n.left, indent + 1, out);
+  Render(n.right, indent + 1, out);
+}
+
+std::string DecisionTree::ToString() const {
+  std::string out;
+  if (!nodes_.empty()) Render(root_, 0, &out);
+  return out;
+}
+
+Result<DataTable> ReconstructTableByClass(
+    const DataTable& perturbed, const std::vector<size_t>& perturbed_cols,
+    double sigma, std::string_view label_attr,
+    const ReconstructionConfig& config) {
+  TRIPRIV_ASSIGN_OR_RETURN(size_t label_col,
+                           perturbed.schema().IndexOf(label_attr));
+  // Partition rows by class label.
+  std::map<std::string, std::vector<size_t>> rows_by_class;
+  for (size_t r = 0; r < perturbed.num_rows(); ++r) {
+    const Value& v = perturbed.at(r, label_col);
+    if (!v.is_string()) {
+      return Status::InvalidArgument("null label at row " + std::to_string(r));
+    }
+    rows_by_class[v.AsString()].push_back(r);
+  }
+  DataTable out = perturbed;
+  for (size_t c : perturbed_cols) {
+    TRIPRIV_ASSIGN_OR_RETURN(auto column, perturbed.NumericColumn(c));
+    std::vector<double> reconstructed = column;
+    for (const auto& [label, rows] : rows_by_class) {
+      std::vector<double> sub;
+      sub.reserve(rows.size());
+      for (size_t r : rows) sub.push_back(column[r]);
+      TRIPRIV_ASSIGN_OR_RETURN(auto fixed, ReconstructValues(sub, sigma, config));
+      for (size_t i = 0; i < rows.size(); ++i) reconstructed[rows[i]] = fixed[i];
+    }
+    TRIPRIV_RETURN_IF_ERROR(out.SetNumericColumn(c, reconstructed));
+  }
+  return out;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,94 @@
+// Decision-tree classification, including training over perturbed data.
+//
+// The analysis workload of [5]: decision-tree classifiers whose accuracy is
+// the utility yardstick for noise-based PPDM. A standard entropy/information
+// gain tree (numeric threshold splits, categorical equality splits), plus
+// the ByClass pipeline of [5]: perturb -> reconstruct each attribute's
+// distribution per class -> rank-match values -> train on the reconstructed
+// table.
+
+#ifndef TRIPRIV_PPDM_DECISION_TREE_H_
+#define TRIPRIV_PPDM_DECISION_TREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ppdm/reconstruction.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Training hyper-parameters.
+struct DecisionTreeConfig {
+  size_t max_depth = 12;
+  size_t min_leaf = 4;
+  /// Splits with information gain below this are rejected (node -> leaf).
+  double min_gain = 1e-6;
+  /// Cap on candidate thresholds per numeric attribute (quantile-spaced).
+  size_t max_thresholds = 32;
+};
+
+/// Entropy-based binary decision tree over a DataTable.
+///
+/// Attributes are referenced by name, so a tree trained on one table can
+/// classify any table with compatibly-named columns (e.g. train on a
+/// reconstructed release, test on the original).
+class DecisionTree {
+ public:
+  /// Trains on `data` with categorical label column `label_attr`. All other
+  /// columns are used as predictors. Requires >= 1 row.
+  static Result<DecisionTree> Train(const DataTable& data,
+                                    std::string_view label_attr,
+                                    const DecisionTreeConfig& config = {});
+
+  /// Predicted label for row `row` of `table`.
+  Result<std::string> Predict(const DataTable& table, size_t row) const;
+
+  /// Fraction of rows of `data` whose label the tree predicts correctly.
+  Result<double> Accuracy(const DataTable& data) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+  const std::string& label_attribute() const { return label_attr_; }
+
+  /// Indented textual rendering of the tree.
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::string label;        // leaf payload
+    std::string attr;         // split attribute (internal nodes)
+    bool numeric_split = true;
+    double threshold = 0.0;   // numeric: go left when value < threshold
+    Value category;           // categorical: go left when value == category
+    size_t left = 0;
+    size_t right = 0;
+  };
+
+  size_t BuildNode(const DataTable& data, size_t label_col,
+                   const std::vector<size_t>& rows,
+                   const DecisionTreeConfig& config, size_t depth);
+  Result<size_t> Descend(const DataTable& table, size_t row) const;
+  void Render(size_t node, int indent, std::string* out) const;
+
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  size_t depth_ = 0;
+  std::string label_attr_;
+};
+
+/// The ByClass reconstruction step of [5]: for every column in
+/// `perturbed_cols` and every label class, reconstructs the original value
+/// distribution from the perturbed values (noise sigma `sigma`) and
+/// replaces them by rank-matched reconstructed values. Returns the
+/// reconstructed training table.
+Result<DataTable> ReconstructTableByClass(
+    const DataTable& perturbed, const std::vector<size_t>& perturbed_cols,
+    double sigma, std::string_view label_attr,
+    const ReconstructionConfig& config = {});
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PPDM_DECISION_TREE_H_

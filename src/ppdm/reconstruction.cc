@@ -1,0 +1,115 @@
+#include "ppdm/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "stats/descriptive.h"
+
+namespace tripriv {
+
+double ReconstructedDistribution::BinWidth() const {
+  return (hi - lo) / static_cast<double>(probabilities.size());
+}
+
+double ReconstructedDistribution::BinCenter(size_t j) const {
+  TRIPRIV_CHECK_LT(j, probabilities.size());
+  return lo + (static_cast<double>(j) + 0.5) * BinWidth();
+}
+
+double ReconstructedDistribution::MeanEstimate() const {
+  double m = 0;
+  for (size_t j = 0; j < probabilities.size(); ++j) {
+    m += probabilities[j] * BinCenter(j);
+  }
+  return m;
+}
+
+double ReconstructedDistribution::Quantile(double q) const {
+  TRIPRIV_CHECK(q >= 0.0 && q <= 1.0);
+  double acc = 0.0;
+  for (size_t j = 0; j < probabilities.size(); ++j) {
+    const double next = acc + probabilities[j];
+    if (q <= next || j + 1 == probabilities.size()) {
+      // Linear interpolation inside the bin.
+      const double frac =
+          probabilities[j] > 0.0 ? (q - acc) / probabilities[j] : 0.5;
+      return lo + (static_cast<double>(j) + std::clamp(frac, 0.0, 1.0)) *
+                      BinWidth();
+    }
+    acc = next;
+  }
+  return hi;
+}
+
+Result<ReconstructedDistribution> ReconstructDistribution(
+    const std::vector<double>& perturbed, double sigma,
+    const ReconstructionConfig& config) {
+  if (perturbed.empty()) return Status::InvalidArgument("empty sample");
+  if (sigma <= 0.0) return Status::InvalidArgument("sigma must be > 0");
+  if (config.bins < 2) return Status::InvalidArgument("need >= 2 bins");
+
+  ReconstructedDistribution dist;
+  dist.lo = Min(perturbed) - 3.0 * sigma;
+  dist.hi = Max(perturbed) + 3.0 * sigma;
+  if (dist.hi <= dist.lo) dist.hi = dist.lo + 1.0;
+  const size_t bins = config.bins;
+  dist.probabilities.assign(bins, 1.0 / static_cast<double>(bins));
+
+  // Precompute the Gaussian kernel phi_sigma(w_i - c_j).
+  const size_t n = perturbed.size();
+  const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+  const double norm = 1.0 / (sigma * std::sqrt(2.0 * std::numbers::pi));
+  std::vector<std::vector<double>> kernel(n, std::vector<double>(bins));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < bins; ++j) {
+      const double d = perturbed[i] - dist.BinCenter(j);
+      kernel[i][j] = norm * std::exp(-d * d * inv_two_sigma_sq);
+    }
+  }
+
+  std::vector<double> next(bins);
+  for (size_t it = 0; it < config.max_iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double denom = 0.0;
+      for (size_t j = 0; j < bins; ++j) {
+        denom += dist.probabilities[j] * kernel[i][j];
+      }
+      if (denom <= 0.0) continue;
+      for (size_t j = 0; j < bins; ++j) {
+        next[j] += dist.probabilities[j] * kernel[i][j] / denom;
+      }
+    }
+    double total = std::accumulate(next.begin(), next.end(), 0.0);
+    if (total <= 0.0) break;
+    for (double& v : next) v /= total;
+    const double tv = TotalVariation(dist.probabilities, next);
+    dist.probabilities = next;
+    dist.iterations = it + 1;
+    if (tv < config.convergence_tv) break;
+  }
+  return dist;
+}
+
+Result<std::vector<double>> ReconstructValues(
+    const std::vector<double>& perturbed, double sigma,
+    const ReconstructionConfig& config) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto dist,
+                           ReconstructDistribution(perturbed, sigma, config));
+  const size_t n = perturbed.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return perturbed[a] < perturbed[b];
+  });
+  std::vector<double> out(n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    const double q = (static_cast<double>(rank) + 0.5) / static_cast<double>(n);
+    out[order[rank]] = dist.Quantile(q);
+  }
+  return out;
+}
+
+}  // namespace tripriv

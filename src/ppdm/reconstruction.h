@@ -1,0 +1,71 @@
+// Agrawal-Srikant distribution reconstruction from noise-perturbed values.
+//
+// The owner-privacy masking of [5]: each respondent value x_i is released
+// as w_i = x_i + e_i with e_i ~ N(0, sigma^2). The miner never sees x, yet
+// can recover the *distribution* of x by Bayesian iterative refinement
+// (equivalent to EM over a binned density):
+//
+//   f^{t+1}(j) ∝ (1/n) Σ_i  f^t(j) φ_σ(w_i - c_j) / Σ_k f^t(k) φ_σ(w_i - c_k)
+//
+// where c_j are bin centers. This file implements the estimator plus the
+// rank-matching "reconstructed dataset" used to train classifiers on
+// perturbed data (the ByClass variant of [5]).
+
+#ifndef TRIPRIV_PPDM_RECONSTRUCTION_H_
+#define TRIPRIV_PPDM_RECONSTRUCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Parameters of the reconstruction EM.
+struct ReconstructionConfig {
+  size_t bins = 50;
+  size_t max_iterations = 200;
+  /// Stop when the total-variation change between successive estimates
+  /// drops below this threshold.
+  double convergence_tv = 1e-4;
+};
+
+/// Result: a binned estimate of the original density.
+struct ReconstructedDistribution {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Probability mass per bin (sums to 1).
+  std::vector<double> probabilities;
+  size_t iterations = 0;
+
+  double BinCenter(size_t j) const;
+  double BinWidth() const;
+  /// Mean of the reconstructed distribution.
+  double MeanEstimate() const;
+  /// Draws the q-quantile (q in [0,1]) of the binned distribution.
+  double Quantile(double q) const;
+};
+
+/// Reconstructs the original distribution of the values underlying
+/// `perturbed` given the noise sigma. The support [lo, hi] defaults to the
+/// observed range widened by 3 sigma. Requires sigma > 0 and a non-empty
+/// sample.
+Result<ReconstructedDistribution> ReconstructDistribution(
+    const std::vector<double>& perturbed, double sigma,
+    const ReconstructionConfig& config = {});
+
+/// Rank-matching reconstruction of individual values: sorts the perturbed
+/// values and maps rank r to the (r + 0.5)/n quantile of the reconstructed
+/// distribution. The output vector is aligned with the input (value i is
+/// the reconstructed stand-in for perturbed[i]). This is the step that
+/// turns a reconstructed *distribution* back into training *data* — and,
+/// per [11], the step that can violate respondent privacy when the fit is
+/// too good.
+Result<std::vector<double>> ReconstructValues(
+    const std::vector<double>& perturbed, double sigma,
+    const ReconstructionConfig& config = {});
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PPDM_RECONSTRUCTION_H_

@@ -1,0 +1,121 @@
+#include "ppdm/rule_hiding.h"
+
+#include <algorithm>
+
+namespace tripriv {
+namespace {
+
+bool ContainsAll(const Transaction& txn, const std::vector<int>& items) {
+  size_t i = 0;
+  for (int item : items) {
+    while (i < txn.size() && txn[i] < item) ++i;
+    if (i == txn.size() || txn[i] != item) return false;
+    ++i;
+  }
+  return true;
+}
+
+std::vector<int> Union(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// True if `rule` appears in the mining output of `db` at the thresholds.
+Result<bool> IsMinable(const TransactionDb& db, const AssociationRule& rule,
+                       size_t min_support, double min_confidence) {
+  const auto both = Union(rule.antecedent, rule.consequent);
+  const size_t sup_xy = SupportCount(db, both);
+  if (sup_xy < min_support) return false;
+  const size_t sup_x = SupportCount(db, rule.antecedent);
+  if (sup_x == 0) return false;
+  const double conf =
+      static_cast<double>(sup_xy) / static_cast<double>(sup_x);
+  return conf >= min_confidence;
+}
+
+}  // namespace
+
+Result<RuleHidingResult> HideAssociationRules(
+    const TransactionDb& db, const std::vector<AssociationRule>& sensitive,
+    size_t min_support, double min_confidence) {
+  if (sensitive.empty()) {
+    return Status::InvalidArgument("no sensitive rules given");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto before,
+                           MineAssociationRules(db, min_support, min_confidence));
+
+  RuleHidingResult result;
+  result.sanitized = db;
+  for (const auto& rule : sensitive) {
+    TRIPRIV_ASSIGN_OR_RETURN(
+        bool minable,
+        IsMinable(result.sanitized, rule, min_support, min_confidence));
+    if (!minable) {
+      return Status::NotFound("rule " + rule.ToString() +
+                              " is not minable at the given thresholds");
+    }
+    // Remove consequent items from transactions that fully support the
+    // rule, one at a time, until the rule drops out. Removing from full
+    // supporters lowers sup(X u Y) while leaving sup(X) unchanged, so the
+    // confidence strictly decreases.
+    const auto both = Union(rule.antecedent, rule.consequent);
+    for (size_t t = 0;
+         t < result.sanitized.size() && minable; ++t) {
+      Transaction& txn = result.sanitized[t];
+      if (!ContainsAll(txn, both)) continue;
+      Transaction cleaned;
+      cleaned.reserve(txn.size());
+      for (int item : txn) {
+        if (!std::binary_search(rule.consequent.begin(), rule.consequent.end(),
+                                item)) {
+          cleaned.push_back(item);
+        }
+      }
+      txn = std::move(cleaned);
+      ++result.modified_transactions;
+      TRIPRIV_ASSIGN_OR_RETURN(
+          minable,
+          IsMinable(result.sanitized, rule, min_support, min_confidence));
+    }
+    if (minable) {
+      return Status::Internal("failed to hide rule " + rule.ToString());
+    }
+  }
+
+  // Side-effect accounting.
+  TRIPRIV_ASSIGN_OR_RETURN(
+      auto after,
+      MineAssociationRules(result.sanitized, min_support, min_confidence));
+  auto is_sensitive = [&](const AssociationRule& r) {
+    for (const auto& s : sensitive) {
+      if (r.SameAs(s)) return true;
+    }
+    return false;
+  };
+  for (const auto& rule : before) {
+    if (is_sensitive(rule)) continue;
+    bool still = false;
+    for (const auto& r : after) {
+      if (r.SameAs(rule)) {
+        still = true;
+        break;
+      }
+    }
+    if (!still) result.lost_rules.push_back(rule);
+  }
+  for (const auto& rule : after) {
+    bool existed = false;
+    for (const auto& r : before) {
+      if (r.SameAs(rule)) {
+        existed = true;
+        break;
+      }
+    }
+    if (!existed) result.ghost_rules.push_back(rule);
+  }
+  return result;
+}
+
+}  // namespace tripriv

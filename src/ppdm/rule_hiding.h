@@ -1,0 +1,39 @@
+// Association-rule hiding (Verykios et al. [25]).
+//
+// Use-specific non-crypto PPDM: the owner wants to release a transaction
+// database while making designated sensitive rules unminable. The sanitizer
+// lowers a rule's confidence below the mining threshold by removing the
+// consequent item from selected transactions that fully support the rule,
+// and reports the collateral damage (legitimate rules lost, spurious rules
+// created).
+
+#ifndef TRIPRIV_PPDM_RULE_HIDING_H_
+#define TRIPRIV_PPDM_RULE_HIDING_H_
+
+#include "ppdm/association_rules.h"
+
+namespace tripriv {
+
+/// Result of sanitizing a database against one or more sensitive rules.
+struct RuleHidingResult {
+  TransactionDb sanitized;
+  /// Transactions modified by the sanitizer.
+  size_t modified_transactions = 0;
+  /// Rules minable before but not after (excluding the hidden ones).
+  std::vector<AssociationRule> lost_rules;
+  /// Rules minable after but not before ("ghost" rules).
+  std::vector<AssociationRule> ghost_rules;
+};
+
+/// Hides each rule in `sensitive` from `db` so that, when mined with the
+/// given thresholds, the rule no longer appears (confidence driven below
+/// min_confidence, or support below min_support if necessary). Fails when a
+/// rule is not minable in the first place (NotFound) — hiding it would be a
+/// no-op the caller probably did not intend.
+Result<RuleHidingResult> HideAssociationRules(
+    const TransactionDb& db, const std::vector<AssociationRule>& sensitive,
+    size_t min_support, double min_confidence);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_PPDM_RULE_HIDING_H_

@@ -1,0 +1,69 @@
+#include "ppdm/sparsity_attack.h"
+
+#include <cmath>
+#include <map>
+
+namespace tripriv {
+
+Result<SparsityAttackResult> SparsityAttack(const DataTable& original,
+                                            const DataTable& masked) {
+  if (original.num_rows() != masked.num_rows()) {
+    return Status::InvalidArgument("tables must be row-aligned");
+  }
+  const auto qi = original.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::FailedPrecondition("schema declares no quasi-identifiers");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto orig, original.NumericMatrix(qi));
+  TRIPRIV_ASSIGN_OR_RETURN(auto mask, masked.NumericMatrix(qi));
+
+  const size_t n = original.num_rows();
+  // Validate binary originals and snap the masked records.
+  std::vector<std::vector<int>> orig_bits(n);
+  std::vector<std::vector<int>> guess_bits(n);
+  for (size_t r = 0; r < n; ++r) {
+    orig_bits[r].resize(qi.size());
+    guess_bits[r].resize(qi.size());
+    for (size_t j = 0; j < qi.size(); ++j) {
+      if (orig[r][j] != 0.0 && orig[r][j] != 1.0) {
+        return Status::InvalidArgument(
+            "sparsity attack requires binary quasi-identifiers");
+      }
+      orig_bits[r][j] = static_cast<int>(orig[r][j]);
+      guess_bits[r][j] = mask[r][j] >= 0.5 ? 1 : 0;
+    }
+  }
+
+  // Multiplicity of each original combination and of each guessed one.
+  std::map<std::vector<int>, size_t> orig_count;
+  std::map<std::vector<int>, size_t> guess_count;
+  for (size_t r = 0; r < n; ++r) {
+    orig_count[orig_bits[r]]++;
+    guess_count[guess_bits[r]]++;
+  }
+
+  SparsityAttackResult result;
+  size_t recovered = 0;
+  for (size_t r = 0; r < n; ++r) {
+    const bool unique_orig = orig_count[orig_bits[r]] == 1;
+    const bool exact = orig_bits[r] == guess_bits[r];
+    if (exact) ++recovered;
+    if (unique_orig) {
+      ++result.unique_originals;
+      // Disclosure: the rare combination is recovered exactly and remains
+      // unique in the attacker's reconstruction, so it singles out the
+      // respondent.
+      if (exact && guess_count[guess_bits[r]] == 1) ++result.disclosed;
+    }
+  }
+  result.disclosure_rate =
+      result.unique_originals == 0
+          ? 0.0
+          : static_cast<double>(result.disclosed) /
+                static_cast<double>(result.unique_originals);
+  result.overall_recovery_rate =
+      n == 0 ? 0.0 : static_cast<double>(recovered) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,65 @@
+#include "querydb/engine.h"
+
+#include <algorithm>
+
+namespace tripriv {
+
+Result<QueryAnswer> ExecuteQuery(const DataTable& table,
+                                 const StatQuery& query) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto rows, query.where.MatchingRows(table));
+  QueryAnswer answer;
+  answer.query_set_size = rows.size();
+  if (query.fn == AggregateFn::kCount) {
+    answer.value = static_cast<double>(rows.size());
+    return answer;
+  }
+  if (query.attribute.empty()) {
+    return Status::InvalidArgument("aggregate needs an attribute");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(query.attribute));
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (size_t r : rows) {
+    const Value& v = table.at(r, col);
+    if (v.is_null()) continue;  // nulls are excluded from aggregates
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument("attribute '" + query.attribute +
+                                     "' is not numeric");
+    }
+    values.push_back(v.ToDouble());
+  }
+  switch (query.fn) {
+    case AggregateFn::kSum: {
+      double s = 0;
+      for (double v : values) s += v;
+      answer.value = s;
+      return answer;
+    }
+    case AggregateFn::kAvg: {
+      if (values.empty()) {
+        return Status::FailedPrecondition("AVG over an empty selection");
+      }
+      double s = 0;
+      for (double v : values) s += v;
+      answer.value = s / static_cast<double>(values.size());
+      return answer;
+    }
+    case AggregateFn::kMin:
+      if (values.empty()) {
+        return Status::FailedPrecondition("MIN over an empty selection");
+      }
+      answer.value = *std::min_element(values.begin(), values.end());
+      return answer;
+    case AggregateFn::kMax:
+      if (values.empty()) {
+        return Status::FailedPrecondition("MAX over an empty selection");
+      }
+      answer.value = *std::max_element(values.begin(), values.end());
+      return answer;
+    case AggregateFn::kCount:
+      break;  // handled above
+  }
+  return Status::Internal("unhandled aggregate");
+}
+
+}  // namespace tripriv

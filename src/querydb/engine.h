@@ -1,0 +1,25 @@
+// Exact (unprotected) evaluation of statistical queries.
+
+#ifndef TRIPRIV_QUERYDB_ENGINE_H_
+#define TRIPRIV_QUERYDB_ENGINE_H_
+
+#include "querydb/query.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Exact answer to a query plus the query-set size — the quantity
+/// protection mechanisms key off.
+struct QueryAnswer {
+  double value = 0.0;
+  size_t query_set_size = 0;
+};
+
+/// Evaluates `query` on `table`. COUNT needs no attribute; SUM/AVG/MIN/MAX
+/// need a numeric attribute. AVG/MIN/MAX over an empty selection fail with
+/// FailedPrecondition; SUM and COUNT return 0.
+Result<QueryAnswer> ExecuteQuery(const DataTable& table, const StatQuery& query);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_QUERYDB_ENGINE_H_

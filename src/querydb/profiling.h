@@ -1,0 +1,49 @@
+// Query-log profiling: what the owner learns about a user.
+//
+// The paper's Section 1 motivation is the August 2006 AOL release — 36
+// million user queries, each a window into a person's life. This module
+// makes "the owner can profile users from the query log" measurable: given
+// a log, it summarizes which attributes and value regions a user probed,
+// and scores how revealing the log is.
+
+#ifndef TRIPRIV_QUERYDB_PROFILING_H_
+#define TRIPRIV_QUERYDB_PROFILING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "querydb/query.h"
+
+namespace tripriv {
+
+/// An owner-side profile distilled from a user's query log.
+struct UserProfile {
+  /// How often each attribute was referenced in WHERE clauses.
+  std::map<std::string, size_t> attribute_interest;
+  /// How often each aggregate function was used.
+  std::map<std::string, size_t> function_use;
+  /// Number of logged queries.
+  size_t queries = 0;
+  /// Number of distinct WHERE predicates (verbatim).
+  size_t distinct_predicates = 0;
+
+  /// The attribute the user probed most (empty when no predicates logged).
+  std::string TopInterest() const;
+  /// Human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Builds the profile an owner can extract from `log`.
+UserProfile ProfileQueryLog(const std::vector<StatQuery>& log);
+
+/// A [0, 1] score of how much the log reveals: 0 when the log is empty or
+/// predicate-free, approaching 1 as queries carry many distinct,
+/// attribute-rich predicates. Defined as the fraction of logged queries
+/// whose full predicate is visible (which, for a plaintext query channel,
+/// is all of them — the measured "none" user-privacy grade of Table 2).
+double QueryLogVisibility(const std::vector<StatQuery>& log);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_QUERYDB_PROFILING_H_

@@ -1,0 +1,101 @@
+// Protected interactive statistical database.
+//
+// Section 3: "currently employed strategies rely on perturbing, restricting
+// or replacing by intervals the answers to certain queries" — citing
+// Chin & Ozsoyoglu [7] (auditing / restriction), Duncan & Mukherjee [14]
+// (additive output noise), and Gopal et al. [16] (CVC interval answers).
+// StatDatabase wraps a DataTable behind one of those mechanisms, and —
+// crucially for the framework — keeps the full query log: every SDC method
+// for interactive databases assumes the owner sees the queries, which is
+// exactly why this protection family provides NO user privacy (Table 2).
+
+#ifndef TRIPRIV_QUERYDB_PROTECTION_H_
+#define TRIPRIV_QUERYDB_PROTECTION_H_
+
+#include <optional>
+#include <vector>
+
+#include "querydb/engine.h"
+#include "util/random.h"
+
+namespace tripriv {
+
+/// Protection mechanism applied to query answers.
+enum class ProtectionMode {
+  kNone,            ///< exact answers, no restriction (the AOL scenario)
+  kQuerySetSize,    ///< refuse when |QS| < t or |QS| > n - t
+  kAudit,           ///< query-set-size + overlap control over the audit log
+  kOutputNoise,     ///< exact size checks off; answers perturbed with noise
+  kCamouflage,      ///< interval answers guaranteed to contain the truth
+  /// The paper's "future research" direction, as it played out historically:
+  /// epsilon-differential privacy via the Laplace mechanism. COUNT queries
+  /// get Laplace(1/epsilon) noise; SUM/AVG use the public attribute range
+  /// as sensitivity bound; MIN/MAX are refused (unbounded sensitivity).
+  /// Unlike query auditing, no query inspection is needed — so this mode,
+  /// alone among the respondent protections here, composes with PIR.
+  kDifferentialPrivacy,
+};
+
+const char* ProtectionModeToString(ProtectionMode mode);
+
+/// Configuration of a protected database.
+struct ProtectionConfig {
+  ProtectionMode mode = ProtectionMode::kQuerySetSize;
+  /// Query-set-size threshold t.
+  size_t min_query_set_size = 3;
+  /// Output-noise standard deviation as a fraction of the aggregated
+  /// attribute's standard deviation (Duncan-Mukherjee style).
+  double noise_fraction = 0.15;
+  /// Camouflage interval half-width as a fraction of the attribute range.
+  double camouflage_fraction = 0.1;
+  /// Per-query privacy budget for kDifferentialPrivacy.
+  double epsilon = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Answer from a protected database.
+struct ProtectedAnswer {
+  bool refused = false;
+  std::string refusal_reason;
+  /// Point answer (kNone, kQuerySetSize, kAudit, kOutputNoise).
+  double value = 0.0;
+  /// Interval answer (kCamouflage); contains the true value.
+  double interval_lo = 0.0;
+  double interval_hi = 0.0;
+};
+
+/// An interactive statistical database guarded by one protection mode.
+class StatDatabase {
+ public:
+  StatDatabase(DataTable data, ProtectionConfig config);
+
+  /// Answers (or refuses) `query`; the query is logged either way.
+  Result<ProtectedAnswer> Query(const StatQuery& query);
+
+  /// Parses and answers a SQL-ish query string.
+  Result<ProtectedAnswer> Query(std::string_view sql);
+
+  /// The owner's complete view of user activity. Its existence is the
+  /// user-privacy failure the paper attributes to query control.
+  const std::vector<StatQuery>& query_log() const { return log_; }
+
+  size_t num_records() const { return data_.num_rows(); }
+  const DataTable& data() const { return data_; }
+  const ProtectionConfig& config() const { return config_; }
+
+ private:
+  /// Refusal logic shared by kQuerySetSize and kAudit.
+  std::optional<std::string> ShouldRefuse(const StatQuery& query,
+                                          const std::vector<size_t>& rows);
+
+  DataTable data_;
+  ProtectionConfig config_;
+  Rng rng_;
+  std::vector<StatQuery> log_;
+  /// Query sets of previously *answered* queries (audit mode).
+  std::vector<std::vector<size_t>> answered_sets_;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_QUERYDB_PROTECTION_H_

@@ -1,0 +1,340 @@
+#include "querydb/query.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace tripriv {
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kAvg:
+      return "AVG";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string StatQuery::ToString() const {
+  std::string out = "SELECT ";
+  out += AggregateFnToString(fn);
+  out += "(";
+  out += attribute.empty() ? "*" : attribute;
+  out += ") FROM ";
+  out += table.empty() ? "t" : table;
+  out += " WHERE ";
+  out += where.ToString();
+  return out;
+}
+
+namespace {
+
+/// Token kinds for the small lexer.
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kOp,   // comparison operator
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  Value literal;  // for numbers / strings
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '(') {
+        out.push_back({Tok::kLParen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({Tok::kRParen, ")"});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({Tok::kComma, ","});
+        ++pos_;
+      } else if (c == '*') {
+        out.push_back({Tok::kStar, "*"});
+        ++pos_;
+      } else if (c == ';') {
+        ++pos_;  // trailing semicolon is cosmetic
+      } else if (c == '\'') {
+        TRIPRIV_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+' || c == '.') {
+        TRIPRIV_ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(std::move(t));
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        TRIPRIV_ASSIGN_OR_RETURN(Token t, LexOperator());
+        out.push_back(std::move(t));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in query");
+      }
+    }
+    out.push_back({Tok::kEnd, ""});
+    return out;
+  }
+
+ private:
+  Result<Token> LexString() {
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < input_.size() && input_[pos_] != '\'') {
+      text += input_[pos_++];
+    }
+    if (pos_ == input_.size()) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    ++pos_;  // closing quote
+    Token t{Tok::kString, text};
+    t.literal = Value(text);
+    return t;
+  }
+
+  Result<Token> LexNumber() {
+    const size_t start = pos_;
+    if (input_[pos_] == '-' || input_[pos_] == '+') ++pos_;
+    bool has_dot = false;
+    bool has_exp = false;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !has_dot && !has_exp) {
+        has_dot = true;
+        ++pos_;
+      } else if ((c == 'e' || c == 'E') && !has_exp) {
+        has_exp = true;
+        ++pos_;
+        if (pos_ < input_.size() && (input_[pos_] == '-' || input_[pos_] == '+')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    Token t{Tok::kNumber, text};
+    int64_t iv;
+    double dv;
+    if (!has_dot && !has_exp && ParseInt64(text, &iv)) {
+      t.literal = Value(iv);
+    } else if (ParseDouble(text, &dv)) {
+      t.literal = Value(dv);
+    } else {
+      return Status::InvalidArgument("malformed number '" + text + "'");
+    }
+    return t;
+  }
+
+  Result<Token> LexOperator() {
+    const char c = input_[pos_];
+    std::string op(1, c);
+    ++pos_;
+    if (pos_ < input_.size() && input_[pos_] == '=') {
+      op += '=';
+      ++pos_;
+    }
+    if (op == "=" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=") {
+      return Token{Tok::kOp, op};
+    }
+    return Status::InvalidArgument("unknown operator '" + op + "'");
+  }
+
+  Token LexIdent() {
+    const size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {Tok::kIdent, std::string(input_.substr(start, pos_ - start))};
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatQuery> Parse() {
+    StatQuery query;
+    TRIPRIV_RETURN_IF_ERROR(ExpectKeyword("select"));
+    TRIPRIV_ASSIGN_OR_RETURN(query.fn, ParseAggregateFn());
+    TRIPRIV_RETURN_IF_ERROR(Expect(Tok::kLParen, "("));
+    if (Peek().kind == Tok::kStar) {
+      if (query.fn != AggregateFn::kCount) {
+        return Status::InvalidArgument("'*' is only valid in COUNT(*)");
+      }
+      Advance();
+    } else {
+      TRIPRIV_ASSIGN_OR_RETURN(query.attribute, ExpectIdent());
+    }
+    TRIPRIV_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+    TRIPRIV_RETURN_IF_ERROR(ExpectKeyword("from"));
+    TRIPRIV_ASSIGN_OR_RETURN(query.table, ExpectIdent());
+    if (PeekKeyword("where")) {
+      Advance();
+      TRIPRIV_ASSIGN_OR_RETURN(query.where, ParseOr());
+    }
+    if (Peek().kind != Tok::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query: '" +
+                                     Peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == Tok::kIdent && ToLower(Peek().text) == kw;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument("expected '" + std::string(kw) +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(Tok kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected '" + std::string(what) +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != Tok::kIdent) {
+      return Status::InvalidArgument("expected identifier, got '" +
+                                     Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  Result<AggregateFn> ParseAggregateFn() {
+    TRIPRIV_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    const std::string lower = ToLower(name);
+    if (lower == "count") return AggregateFn::kCount;
+    if (lower == "sum") return AggregateFn::kSum;
+    if (lower == "avg") return AggregateFn::kAvg;
+    if (lower == "min") return AggregateFn::kMin;
+    if (lower == "max") return AggregateFn::kMax;
+    return Status::InvalidArgument("unknown aggregate '" + name + "'");
+  }
+
+  // or := and (OR and)*
+  Result<Predicate> ParseOr() {
+    TRIPRIV_ASSIGN_OR_RETURN(Predicate lhs, ParseAnd());
+    while (PeekKeyword("or")) {
+      Advance();
+      TRIPRIV_ASSIGN_OR_RETURN(Predicate rhs, ParseAnd());
+      lhs = Predicate::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // and := unary (AND unary)*
+  Result<Predicate> ParseAnd() {
+    TRIPRIV_ASSIGN_OR_RETURN(Predicate lhs, ParseUnary());
+    while (PeekKeyword("and")) {
+      Advance();
+      TRIPRIV_ASSIGN_OR_RETURN(Predicate rhs, ParseUnary());
+      lhs = Predicate::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // unary := NOT unary | '(' or ')' | comparison
+  Result<Predicate> ParseUnary() {
+    if (PeekKeyword("not")) {
+      Advance();
+      TRIPRIV_ASSIGN_OR_RETURN(Predicate inner, ParseUnary());
+      return Predicate::Not(std::move(inner));
+    }
+    if (Peek().kind == Tok::kLParen) {
+      Advance();
+      TRIPRIV_ASSIGN_OR_RETURN(Predicate inner, ParseOr());
+      TRIPRIV_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Predicate> ParseComparison() {
+    TRIPRIV_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+    if (Peek().kind != Tok::kOp) {
+      return Status::InvalidArgument("expected comparison operator after '" +
+                                     attr + "'");
+    }
+    const std::string op = Peek().text;
+    Advance();
+    if (Peek().kind != Tok::kNumber && Peek().kind != Tok::kString) {
+      return Status::InvalidArgument("expected literal after operator, got '" +
+                                     Peek().text + "'");
+    }
+    Value literal = Peek().literal;
+    Advance();
+    CompareOp cmp;
+    if (op == "=") cmp = CompareOp::kEq;
+    else if (op == "!=") cmp = CompareOp::kNe;
+    else if (op == "<") cmp = CompareOp::kLt;
+    else if (op == "<=") cmp = CompareOp::kLe;
+    else if (op == ">") cmp = CompareOp::kGt;
+    else cmp = CompareOp::kGe;
+    return Predicate::Compare(std::move(attr), cmp, std::move(literal));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatQuery> ParseQuery(std::string_view sql) {
+  Lexer lexer(sql);
+  TRIPRIV_ASSIGN_OR_RETURN(auto tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tripriv

@@ -1,0 +1,47 @@
+// Statistical queries: AST and a small SQL-ish parser.
+//
+// The interactive-statistical-database scenario of Section 3: users submit
+// aggregate queries such as
+//   SELECT COUNT(*) FROM trial WHERE height < 165 AND weight > 105
+//   SELECT AVG(blood_pressure) FROM trial WHERE height < 165 AND weight > 105
+// This module parses exactly that shape: one aggregate over one table with
+// a boolean combination of attribute/literal comparisons.
+
+#ifndef TRIPRIV_QUERYDB_QUERY_H_
+#define TRIPRIV_QUERYDB_QUERY_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/predicate.h"
+
+namespace tripriv {
+
+/// Supported aggregate functions.
+enum class AggregateFn { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// One statistical query.
+struct StatQuery {
+  AggregateFn fn = AggregateFn::kCount;
+  /// Aggregated attribute; empty for COUNT(*).
+  std::string attribute;
+  /// FROM table name (informational; execution binds to a DataTable).
+  std::string table;
+  Predicate where = Predicate::True();
+
+  /// SQL-ish rendering.
+  std::string ToString() const;
+};
+
+/// Parses "SELECT <FN>(<attr>|*) FROM <name> [WHERE <condition>]".
+/// Keywords are case-insensitive; condition supports comparisons
+/// (= != < <= > >=) between an attribute and an integer, real, or
+/// single-quoted string literal, combined with AND / OR / NOT and
+/// parentheses (AND binds tighter than OR).
+Result<StatQuery> ParseQuery(std::string_view sql);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_QUERYDB_QUERY_H_

@@ -1,0 +1,103 @@
+#include "querydb/tracker.h"
+
+#include <cmath>
+
+namespace tripriv {
+namespace {
+
+StatQuery CountQuery(Predicate where) {
+  StatQuery q;
+  q.fn = AggregateFn::kCount;
+  q.table = "t";
+  q.where = std::move(where);
+  return q;
+}
+
+StatQuery SumQuery(std::string attribute, Predicate where) {
+  StatQuery q;
+  q.fn = AggregateFn::kSum;
+  q.attribute = std::move(attribute);
+  q.table = "t";
+  q.where = std::move(where);
+  return q;
+}
+
+}  // namespace
+
+std::optional<Predicate> FindTracker(StatDatabase* db,
+                                     const std::string& numeric_attribute,
+                                     double lo, double hi, size_t probes) {
+  TRIPRIV_CHECK(db != nullptr);
+  // Among answerable candidates, prefer the most balanced one
+  // (|T| close to |not T|): padding a refused query with a lopsided tracker
+  // can push the padded set past the upper size bound n - t, so balance
+  // maximizes the attack's room (Schloerer's "general tracker" condition).
+  std::optional<Predicate> best;
+  double best_imbalance = 0.0;
+  for (size_t i = 1; i <= probes; ++i) {
+    const double threshold =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(probes + 1);
+    Predicate t =
+        Predicate::Compare(numeric_attribute, CompareOp::kLt, Value(threshold));
+    auto a = db->Query(CountQuery(t));
+    auto b = db->Query(CountQuery(Predicate::Not(t)));
+    if (a.ok() && b.ok() && !a->refused && !b->refused) {
+      const double imbalance = std::fabs(a->value - b->value);
+      if (!best.has_value() || imbalance < best_imbalance) {
+        best = t;
+        best_imbalance = imbalance;
+      }
+    }
+  }
+  return best;
+}
+
+Result<TrackerAttackResult> TrackerAttack(StatDatabase* db,
+                                          const Predicate& target,
+                                          const std::string& conf_attribute,
+                                          const Predicate& tracker) {
+  TRIPRIV_CHECK(db != nullptr);
+  TrackerAttackResult result;
+  const size_t log_before = db->query_log().size();
+
+  auto ask = [&](const StatQuery& q) -> Result<double> {
+    TRIPRIV_ASSIGN_OR_RETURN(ProtectedAnswer a, db->Query(q));
+    if (a.refused) {
+      return Status::PermissionDenied("refused: " + a.refusal_reason +
+                                      " for " + q.ToString());
+    }
+    return a.value;
+  };
+
+  const Predicate not_tracker = Predicate::Not(tracker);
+  // n = count(T) + count(not T); both answerable by tracker definition.
+  auto n_left = ask(CountQuery(tracker));
+  auto n_right = ask(CountQuery(not_tracker));
+  // Padded target counts.
+  auto c_left = ask(CountQuery(Predicate::Or(target, tracker)));
+  auto c_right = ask(CountQuery(Predicate::Or(target, not_tracker)));
+  // Padded sums.
+  auto s_t = ask(SumQuery(conf_attribute, tracker));
+  auto s_nt = ask(SumQuery(conf_attribute, not_tracker));
+  auto s_left = ask(SumQuery(conf_attribute, Predicate::Or(target, tracker)));
+  auto s_right =
+      ask(SumQuery(conf_attribute, Predicate::Or(target, not_tracker)));
+
+  result.queries_used = db->query_log().size() - log_before;
+  for (const auto* piece :
+       {&n_left, &n_right, &c_left, &c_right, &s_t, &s_nt, &s_left, &s_right}) {
+    if (!piece->ok()) {
+      result.succeeded = false;
+      result.failure_reason = piece->status().message();
+      return result;
+    }
+  }
+  const double n = n_left.value() + n_right.value();
+  result.inferred_count = c_left.value() + c_right.value() - n;
+  result.inferred_sum =
+      s_left.value() + s_right.value() - (s_t.value() + s_nt.value());
+  result.succeeded = true;
+  return result;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,59 @@
+// The Schlörer tracker attack [22] on query-set-size-restricted databases.
+//
+// Section 3: "the SDC problem in this kind of databases is known to be
+// difficult since the 1980s, due to the existence of the tracker attack."
+// A query-set-size control refuses any query whose set C has |C| < t or
+// |C| > n - t. A *tracker* is a padding predicate T with both |T| and
+// |not T| answerable; the refused statistic splits into answerable pieces:
+//
+//   count(C) = count(C or T) + count(C or not T) - n
+//   sum(C)   = sum(C or T)  + sum(C or not T)  - (sum(T) + sum(not T))
+//
+// The attacker below finds a tracker automatically by probing threshold
+// predicates on numeric attributes, then infers a target respondent's
+// confidential value — demonstrating respondent-privacy failure of pure
+// query restriction.
+
+#ifndef TRIPRIV_QUERYDB_TRACKER_H_
+#define TRIPRIV_QUERYDB_TRACKER_H_
+
+#include <optional>
+#include <string>
+
+#include "querydb/protection.h"
+
+namespace tripriv {
+
+/// Outcome of a tracker attack.
+struct TrackerAttackResult {
+  bool succeeded = false;
+  /// Why the attack failed (refusals that padding could not circumvent).
+  std::string failure_reason;
+  /// Inferred count of records matching the target predicate.
+  double inferred_count = 0.0;
+  /// Inferred sum of the confidential attribute over the target set; when
+  /// inferred_count == 1 this is the respondent's exact value.
+  double inferred_sum = 0.0;
+  /// Queries issued against the database during the attack.
+  size_t queries_used = 0;
+};
+
+/// Probes `db` for a general tracker: a threshold predicate on a numeric
+/// attribute such that both T and NOT T are answerable. Issues live probe
+/// queries (they appear in the log, like a real attack). Returns nullopt if
+/// no tracker is found among the probed candidates.
+std::optional<Predicate> FindTracker(StatDatabase* db,
+                                     const std::string& numeric_attribute,
+                                     double lo, double hi, size_t probes = 16);
+
+/// Runs the full attack: uses `tracker` to pad the (presumably refused)
+/// target predicate and infer count(target) and sum(conf_attribute) over
+/// the target set via the Schlörer identities.
+Result<TrackerAttackResult> TrackerAttack(StatDatabase* db,
+                                          const Predicate& target,
+                                          const std::string& conf_attribute,
+                                          const Predicate& tracker);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_QUERYDB_TRACKER_H_

@@ -1,0 +1,58 @@
+// k-anonymity and its refinements.
+//
+// Verifiers for the respondent-privacy properties the paper relies on:
+//   * k-anonymity (Samarati & Sweeney [20, 21, 23]): every QI combination
+//     is shared by at least k records;
+//   * p-sensitive k-anonymity (Truta & Vinay [24], the paper's footnote 3):
+//     additionally, each class contains at least p distinct values of every
+//     confidential attribute;
+//   * distinct l-diversity: l distinct values of one given confidential
+//     attribute per class.
+
+#ifndef TRIPRIV_SDC_ANONYMITY_H_
+#define TRIPRIV_SDC_ANONYMITY_H_
+
+#include <vector>
+
+#include "sdc/equivalence.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// The largest k for which `table` is k-anonymous on `qi_cols`
+/// (i.e. the smallest equivalence-class size). 0 for an empty table.
+size_t AnonymityLevel(const DataTable& table, const std::vector<size_t>& qi_cols);
+
+/// AnonymityLevel over the schema's quasi-identifiers.
+size_t AnonymityLevel(const DataTable& table);
+
+/// True iff every equivalence class on `qi_cols` has size >= k.
+bool IsKAnonymous(const DataTable& table, size_t k,
+                  const std::vector<size_t>& qi_cols);
+
+/// IsKAnonymous over the schema's quasi-identifiers.
+bool IsKAnonymous(const DataTable& table, size_t k);
+
+/// The largest p such that every equivalence class contains at least p
+/// distinct values of the confidential column `conf_col`. 0 for an empty
+/// table.
+size_t SensitivityLevel(const DataTable& table,
+                        const std::vector<size_t>& qi_cols, size_t conf_col);
+
+/// True iff `table` is k-anonymous on `qi_cols` AND every class has at
+/// least p distinct values of EVERY confidential attribute in the schema
+/// (p-sensitive k-anonymity, [24]).
+bool IsPSensitiveKAnonymous(const DataTable& table, size_t k, size_t p);
+
+/// Distinct l-diversity of `conf_col` over the schema's quasi-identifiers:
+/// alias of SensitivityLevel on the schema QIs.
+size_t DistinctLDiversity(const DataTable& table, size_t conf_col);
+
+/// Fraction of records whose QI combination is unique (class size 1) —
+/// sample uniqueness, a baseline re-identification-risk measure.
+double UniquenessFraction(const DataTable& table,
+                          const std::vector<size_t>& qi_cols);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_ANONYMITY_H_

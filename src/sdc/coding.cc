@@ -1,0 +1,31 @@
+#include "sdc/coding.h"
+
+#include "stats/descriptive.h"
+
+namespace tripriv {
+
+Result<TailCodingResult> TopBottomCode(const DataTable& table, size_t col,
+                                       double lower_q, double upper_q) {
+  if (!(lower_q >= 0.0 && lower_q < upper_q && upper_q <= 1.0)) {
+    return Status::InvalidArgument("need 0 <= lower_q < upper_q <= 1");
+  }
+  if (table.num_rows() == 0) return Status::InvalidArgument("empty table");
+  TRIPRIV_ASSIGN_OR_RETURN(auto values, table.NumericColumn(col));
+  TailCodingResult result;
+  result.lower_threshold = Quantile(values, lower_q);
+  result.upper_threshold = Quantile(values, upper_q);
+  for (double& v : values) {
+    if (v < result.lower_threshold) {
+      v = result.lower_threshold;
+      ++result.bottom_coded;
+    } else if (v > result.upper_threshold) {
+      v = result.upper_threshold;
+      ++result.top_coded;
+    }
+  }
+  result.table = table;
+  TRIPRIV_RETURN_IF_ERROR(result.table.SetNumericColumn(col, values));
+  return result;
+}
+
+}  // namespace tripriv

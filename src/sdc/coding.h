@@ -1,0 +1,34 @@
+// Top- and bottom-coding: the simplest SDC operators of [17, 26].
+//
+// Extreme values are the most identifying ones (the paper's Section 3
+// respondent is "small and heavy"). Top/bottom-coding truncates the tails
+// of a numeric attribute at chosen quantiles, collapsing outliers into the
+// threshold value.
+
+#ifndef TRIPRIV_SDC_CODING_H_
+#define TRIPRIV_SDC_CODING_H_
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Result of tail coding.
+struct TailCodingResult {
+  DataTable table;
+  /// Values below this were raised to it (bottom-coding threshold).
+  double lower_threshold = 0.0;
+  /// Values above this were lowered to it (top-coding threshold).
+  double upper_threshold = 0.0;
+  size_t bottom_coded = 0;
+  size_t top_coded = 0;
+};
+
+/// Bottom-codes `col` at the `lower_q` quantile and top-codes at the
+/// `upper_q` quantile (0 <= lower_q < upper_q <= 1; use 0/1 to disable a
+/// side). Requires a non-empty numeric column.
+Result<TailCodingResult> TopBottomCode(const DataTable& table, size_t col,
+                                       double lower_q, double upper_q);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_CODING_H_

@@ -1,0 +1,64 @@
+#include "sdc/condensation.h"
+
+#include "sdc/microaggregation.h"
+#include "stats/descriptive.h"
+#include "stats/linalg.h"
+#include "util/random.h"
+
+namespace tripriv {
+
+Result<CondensationResult> Condense(const DataTable& table, size_t k,
+                                    const std::vector<size_t>& cols,
+                                    uint64_t seed) {
+  // Group via MDAV so groups are locality-preserving (as in [1], where
+  // groups are built around nearest neighbours).
+  TRIPRIV_ASSIGN_OR_RETURN(auto mdav, MdavMicroaggregate(table, k, cols));
+  TRIPRIV_ASSIGN_OR_RETURN(auto data, table.NumericMatrix(cols));
+
+  Rng rng(seed);
+  CondensationResult result;
+  result.table = table;
+  result.group_of_row = mdav.group_of_row;
+  result.num_groups = mdav.num_groups;
+
+  std::vector<std::vector<size_t>> groups(mdav.num_groups);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    groups[mdav.group_of_row[r]].push_back(r);
+  }
+
+  std::vector<std::vector<double>> synthetic = data;
+  for (const auto& group : groups) {
+    std::vector<std::vector<double>> sub;
+    sub.reserve(group.size());
+    for (size_t r : group) sub.push_back(data[r]);
+    const auto mean = ColumnMeans(sub);
+    if (sub.size() < 2) {
+      // A singleton group (k == 1) regenerates as its own mean.
+      synthetic[group[0]] = mean;
+      continue;
+    }
+    auto cov = CovarianceMatrix(sub);
+    auto chol = CholeskyDecompose(std::move(cov));
+    if (!chol.ok()) return chol.status();
+    for (size_t r : group) {
+      synthetic[r] = MultivariateNormalSample(mean, *chol, &rng);
+    }
+  }
+  for (size_t j = 0; j < cols.size(); ++j) {
+    std::vector<double> col(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) col[r] = synthetic[r][j];
+    TRIPRIV_RETURN_IF_ERROR(result.table.SetNumericColumn(cols[j], col));
+  }
+  return result;
+}
+
+Result<CondensationResult> Condense(const DataTable& table, size_t k,
+                                    uint64_t seed) {
+  const auto qi = table.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::FailedPrecondition("schema declares no quasi-identifiers");
+  }
+  return Condense(table, k, qi, seed);
+}
+
+}  // namespace tripriv

@@ -1,0 +1,43 @@
+// Condensation (Aggarwal & Yu [1]): privacy-preserving data mining through
+// group-level synthetic regeneration.
+//
+// Records are partitioned into groups of at least k (here with MDAV, which
+// [12] shows yields k-anonymity when run on the quasi-identifiers); within
+// each group, first and second moments (mean vector and covariance matrix)
+// are estimated and synthetic records are drawn from a Gaussian with those
+// moments. The released data preserve the covariance structure — the
+// property [1] relies on for downstream analyses — while no original record
+// is released.
+
+#ifndef TRIPRIV_SDC_CONDENSATION_H_
+#define TRIPRIV_SDC_CONDENSATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Result of condensation.
+struct CondensationResult {
+  /// Table whose `cols` are replaced by per-group synthetic values; other
+  /// columns are left untouched.
+  DataTable table;
+  std::vector<size_t> group_of_row;
+  size_t num_groups = 0;
+};
+
+/// Condenses the numeric columns `cols` with minimum group size k.
+/// Deterministic in `seed`.
+Result<CondensationResult> Condense(const DataTable& table, size_t k,
+                                    const std::vector<size_t>& cols,
+                                    uint64_t seed);
+
+/// Condenses the schema's quasi-identifiers.
+Result<CondensationResult> Condense(const DataTable& table, size_t k,
+                                    uint64_t seed);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_CONDENSATION_H_

@@ -1,0 +1,135 @@
+#include "sdc/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sdc/equivalence.h"
+
+namespace tripriv {
+namespace {
+
+/// Counts of each confidential value within the rows of `rows`.
+std::map<Value, double> ValueCounts(const DataTable& table, size_t conf_col,
+                                    const std::vector<size_t>& rows) {
+  std::map<Value, double> counts;
+  for (size_t r : rows) counts[table.at(r, conf_col)] += 1.0;
+  return counts;
+}
+
+}  // namespace
+
+double EntropyLDiversity(const DataTable& table,
+                         const std::vector<size_t>& qi_cols, size_t conf_col) {
+  const auto classes = GroupByColumns(table, qi_cols);
+  if (classes.classes.empty()) return 0.0;
+  double min_exp_entropy = 0.0;
+  bool first = true;
+  for (const auto& cls : classes.classes) {
+    const auto counts = ValueCounts(table, conf_col, cls);
+    const double n = static_cast<double>(cls.size());
+    double h = 0.0;
+    for (const auto& [value, count] : counts) {
+      const double p = count / n;
+      h -= p * std::log(p);
+    }
+    const double exp_h = std::exp(h);
+    if (first || exp_h < min_exp_entropy) {
+      min_exp_entropy = exp_h;
+      first = false;
+    }
+  }
+  return min_exp_entropy;
+}
+
+Result<bool> IsRecursiveCLDiverse(const DataTable& table,
+                                  const std::vector<size_t>& qi_cols,
+                                  size_t conf_col, double c, size_t l) {
+  if (c <= 0.0) return Status::InvalidArgument("c must be > 0");
+  if (l < 1) return Status::InvalidArgument("l must be >= 1");
+  const auto classes = GroupByColumns(table, qi_cols);
+  for (const auto& cls : classes.classes) {
+    const auto counts = ValueCounts(table, conf_col, cls);
+    std::vector<double> sorted;
+    sorted.reserve(counts.size());
+    for (const auto& [value, count] : counts) sorted.push_back(count);
+    std::sort(sorted.rbegin(), sorted.rend());
+    // Fewer than l distinct values: the tail sum is empty -> fails unless
+    // l == 1 (where the condition is r_1 < c * total).
+    double tail = 0.0;
+    for (size_t i = l - 1; i < sorted.size(); ++i) tail += sorted[i];
+    if (!(sorted[0] < c * tail)) return false;
+  }
+  return true;
+}
+
+Result<double> TClosenessMaxDistance(const DataTable& table,
+                                     const std::vector<size_t>& qi_cols,
+                                     size_t conf_col) {
+  if (table.num_rows() == 0) return 0.0;
+  const auto classes = GroupByColumns(table, qi_cols);
+  // Global distribution over the ordered list of observed values.
+  std::vector<size_t> all_rows(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) all_rows[r] = r;
+  const auto global_counts = ValueCounts(table, conf_col, all_rows);
+  std::vector<Value> domain;
+  domain.reserve(global_counts.size());
+  for (const auto& [value, count] : global_counts) domain.push_back(value);
+  const bool numeric =
+      table.schema().attribute(conf_col).type != AttributeType::kCategorical;
+  const double n = static_cast<double>(table.num_rows());
+  const double m = static_cast<double>(domain.size());
+
+  double max_emd = 0.0;
+  for (const auto& cls : classes.classes) {
+    const auto counts = ValueCounts(table, conf_col, cls);
+    const double cn = static_cast<double>(cls.size());
+    double emd = 0.0;
+    if (numeric) {
+      // Ordered-domain EMD: sum of |cumulative differences| / (m - 1).
+      double cum = 0.0;
+      for (size_t i = 0; i + 1 < domain.size(); ++i) {
+        const double p =
+            (counts.contains(domain[i]) ? counts.at(domain[i]) : 0.0) / cn;
+        const double q = global_counts.at(domain[i]) / n;
+        cum += p - q;
+        emd += std::fabs(cum);
+      }
+      if (m > 1) emd /= (m - 1);
+    } else {
+      // Equal-distance EMD = total variation.
+      double tv = 0.0;
+      for (const auto& value : domain) {
+        const double p = (counts.contains(value) ? counts.at(value) : 0.0) / cn;
+        const double q = global_counts.at(value) / n;
+        tv += std::fabs(p - q);
+      }
+      emd = 0.5 * tv;
+    }
+    max_emd = std::max(max_emd, emd);
+  }
+  return max_emd;
+}
+
+Result<bool> IsTClose(const DataTable& table,
+                      const std::vector<size_t>& qi_cols, size_t conf_col,
+                      double t) {
+  if (t < 0.0) return Status::InvalidArgument("t must be >= 0");
+  TRIPRIV_ASSIGN_OR_RETURN(double d,
+                           TClosenessMaxDistance(table, qi_cols, conf_col));
+  return d <= t;
+}
+
+double HomogeneityAttackRate(const DataTable& table,
+                             const std::vector<size_t>& qi_cols,
+                             size_t conf_col) {
+  if (table.num_rows() == 0) return 0.0;
+  const auto classes = GroupByColumns(table, qi_cols);
+  size_t exposed = 0;
+  for (const auto& cls : classes.classes) {
+    if (ValueCounts(table, conf_col, cls).size() == 1) exposed += cls.size();
+  }
+  return static_cast<double>(exposed) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace tripriv

@@ -1,0 +1,63 @@
+// Diversity and closeness models: the refinement line opened by the
+// paper's footnote 3.
+//
+// The paper notes that k-anonymity alone fails when an equivalence class
+// shares one confidential value, and points to p-sensitive k-anonymity
+// [24]. This module implements the rest of that research line so releases
+// can be vetted against attribute disclosure, not just identity
+// disclosure:
+//   * distinct l-diversity (in anonymity.h) and its entropy variant;
+//   * recursive (c, l)-diversity (Machanavajjhala et al.);
+//   * t-closeness (Li et al.): the class-conditional distribution of the
+//     confidential attribute must stay within Earth Mover's Distance t of
+//     the global distribution;
+//   * the homogeneity attack that motivates all of them.
+
+#ifndef TRIPRIV_SDC_DIVERSITY_H_
+#define TRIPRIV_SDC_DIVERSITY_H_
+
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Entropy l-diversity level: min over equivalence classes of
+/// exp(H(confidential distribution within the class)), where H is the
+/// natural-log entropy. A table is entropy l-diverse iff this is >= l.
+/// Returns 0 for an empty table.
+double EntropyLDiversity(const DataTable& table,
+                         const std::vector<size_t>& qi_cols, size_t conf_col);
+
+/// Recursive (c, l)-diversity: in every class, with value counts sorted
+/// descending r_1 >= r_2 >= ..., require r_1 < c * (r_l + r_{l+1} + ...).
+/// Requires c > 0 and l >= 1. An empty table is trivially diverse.
+Result<bool> IsRecursiveCLDiverse(const DataTable& table,
+                                  const std::vector<size_t>& qi_cols,
+                                  size_t conf_col, double c, size_t l);
+
+/// Maximum Earth Mover's Distance between any class's confidential
+/// distribution and the table-wide one. For numeric attributes the EMD is
+/// computed on the ordered domain of observed values (normalized by the
+/// domain size); for categorical attributes the equal-distance EMD (total
+/// variation) is used. Returns 0 for an empty table.
+Result<double> TClosenessMaxDistance(const DataTable& table,
+                                     const std::vector<size_t>& qi_cols,
+                                     size_t conf_col);
+
+/// True iff TClosenessMaxDistance <= t.
+Result<bool> IsTClose(const DataTable& table,
+                      const std::vector<size_t>& qi_cols, size_t conf_col,
+                      double t);
+
+/// The homogeneity attack of the l-diversity literature: the fraction of
+/// records whose equivalence class carries a single confidential value —
+/// those respondents' confidential attribute is disclosed by ANY
+/// k-anonymous release, which is footnote 3's point.
+double HomogeneityAttackRate(const DataTable& table,
+                             const std::vector<size_t>& qi_cols,
+                             size_t conf_col);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_DIVERSITY_H_

@@ -1,0 +1,36 @@
+#include "sdc/equivalence.h"
+
+#include <map>
+
+namespace tripriv {
+
+size_t EquivalenceClasses::MinClassSize() const {
+  size_t min = 0;
+  for (const auto& cls : classes) {
+    if (min == 0 || cls.size() < min) min = cls.size();
+  }
+  return min;
+}
+
+EquivalenceClasses GroupByColumns(const DataTable& table,
+                                  const std::vector<size_t>& qi_cols) {
+  // std::map keyed on the value tuple; Value has a strict weak order.
+  std::map<std::vector<Value>, size_t> class_of_key;
+  EquivalenceClasses out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(qi_cols.size());
+    for (size_t c : qi_cols) key.push_back(table.at(r, c));
+    auto [it, inserted] = class_of_key.try_emplace(std::move(key),
+                                                   out.classes.size());
+    if (inserted) out.classes.emplace_back();
+    out.classes[it->second].push_back(r);
+  }
+  return out;
+}
+
+EquivalenceClasses GroupByQuasiIdentifiers(const DataTable& table) {
+  return GroupByColumns(table, table.schema().QuasiIdentifierIndices());
+}
+
+}  // namespace tripriv

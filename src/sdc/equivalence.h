@@ -1,0 +1,36 @@
+// Equivalence classes over quasi-identifier attributes.
+//
+// An equivalence class is a maximal set of records sharing the same
+// combination of quasi-identifier values — the unit over which k-anonymity,
+// p-sensitivity, and l-diversity are defined (Samarati & Sweeney).
+
+#ifndef TRIPRIV_SDC_EQUIVALENCE_H_
+#define TRIPRIV_SDC_EQUIVALENCE_H_
+
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Partition of row indices into equivalence classes.
+struct EquivalenceClasses {
+  /// Row indices grouped by identical QI combination; classes ordered by
+  /// first appearance, rows in table order within each class.
+  std::vector<std::vector<size_t>> classes;
+
+  /// Size of the smallest class; 0 when there are no rows.
+  size_t MinClassSize() const;
+};
+
+/// Groups rows of `table` by identical values of the columns `qi_cols`.
+/// Null (suppressed) cells compare equal to each other.
+EquivalenceClasses GroupByColumns(const DataTable& table,
+                                  const std::vector<size_t>& qi_cols);
+
+/// Groups by the schema's quasi-identifier attributes.
+EquivalenceClasses GroupByQuasiIdentifiers(const DataTable& table);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_EQUIVALENCE_H_

@@ -1,0 +1,78 @@
+#include "sdc/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace tripriv {
+
+NumericIntervalHierarchy::NumericIntervalHierarchy(double origin,
+                                                   double base_width,
+                                                   int growth, int levels)
+    : origin_(origin), base_width_(base_width), growth_(growth), levels_(levels) {
+  TRIPRIV_CHECK_GT(base_width, 0.0);
+  TRIPRIV_CHECK_GE(growth, 2);
+  TRIPRIV_CHECK_GE(levels, 1);
+}
+
+Result<Value> NumericIntervalHierarchy::Generalize(const Value& v,
+                                                   int level) const {
+  if (v.is_null()) return Value::Null();
+  level = std::clamp(level, 0, max_level());
+  if (level == 0) return v;
+  if (!v.is_numeric()) {
+    return Status::InvalidArgument(
+        "numeric hierarchy applied to non-numeric value " + v.ToDisplayString());
+  }
+  if (level == max_level()) return Value("*");
+  double width = base_width_;
+  for (int l = 1; l < level; ++l) width *= growth_;
+  const double x = v.ToDouble();
+  const double lo = origin_ + std::floor((x - origin_) / width) * width;
+  return Value("[" + FormatDouble(lo) + "," + FormatDouble(lo + width) + ")");
+}
+
+Status CategoricalTreeHierarchy::AddLeaf(const std::string& leaf,
+                                         std::vector<std::string> ancestors) {
+  if (ancestors.empty()) {
+    return Status::InvalidArgument("ancestor chain must reach a root");
+  }
+  const int depth = static_cast<int>(ancestors.size());
+  if (!chains_.empty() && depth != depth_) {
+    return Status::InvalidArgument(
+        "inconsistent hierarchy depth for leaf '" + leaf + "': expected " +
+        std::to_string(depth_) + ", got " + std::to_string(depth));
+  }
+  auto [it, inserted] = chains_.emplace(leaf, std::move(ancestors));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("leaf '" + leaf + "' already registered");
+  }
+  depth_ = depth;
+  return Status::OK();
+}
+
+Result<Value> CategoricalTreeHierarchy::Generalize(const Value& v,
+                                                   int level) const {
+  if (v.is_null()) return Value::Null();
+  level = std::clamp(level, 0, max_level());
+  if (level == 0) return v;
+  if (!v.is_string()) {
+    return Status::InvalidArgument(
+        "categorical hierarchy applied to non-string value " +
+        v.ToDisplayString());
+  }
+  auto it = chains_.find(v.AsString());
+  if (it == chains_.end()) {
+    return Status::NotFound("value '" + v.AsString() + "' not in hierarchy");
+  }
+  return Value(it->second[static_cast<size_t>(level - 1)]);
+}
+
+Result<Value> SuppressionHierarchy::Generalize(const Value& v, int level) const {
+  if (v.is_null()) return Value::Null();
+  return level <= 0 ? v : Value("*");
+}
+
+}  // namespace tripriv

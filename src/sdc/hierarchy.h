@@ -1,0 +1,96 @@
+// Generalization hierarchies for recoding and suppression.
+//
+// A hierarchy maps an attribute value to progressively coarser
+// representations: level 0 is the value itself, the top level is full
+// suppression ("*"). Two concrete hierarchies cover the microdata types:
+//   * NumericIntervalHierarchy — intervals whose width doubles (or grows by
+//     a chosen factor) per level, e.g. age 37 -> [35,40) -> [30,40) -> ...
+//   * CategoricalTreeHierarchy — a value taxonomy (leaf -> ancestors),
+//     e.g. flu -> respiratory -> any-illness.
+
+#ifndef TRIPRIV_SDC_HIERARCHY_H_
+#define TRIPRIV_SDC_HIERARCHY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Interface: per-attribute value generalization ladder.
+class GeneralizationHierarchy {
+ public:
+  virtual ~GeneralizationHierarchy() = default;
+
+  /// Number of the coarsest level. Level 0 is the identity; level
+  /// max_level() must map every value to the same label (suppression).
+  virtual int max_level() const = 0;
+
+  /// Generalizes `v` to `level` (clamped to [0, max_level()]). Null values
+  /// stay null. Fails on values outside the hierarchy's domain.
+  virtual Result<Value> Generalize(const Value& v, int level) const = 0;
+};
+
+/// Equal-width interval generalization for numeric attributes.
+///
+/// Level l >= 1 maps v to the label "[lo,hi)" of the interval of width
+/// base_width * growth^(l-1) containing v (intervals are anchored at
+/// `origin`). The final level is "*".
+class NumericIntervalHierarchy : public GeneralizationHierarchy {
+ public:
+  /// Requires base_width > 0, growth >= 2, levels >= 1. `levels` counts the
+  /// interval levels; max_level() == levels + 1 (the suppression level).
+  NumericIntervalHierarchy(double origin, double base_width, int growth,
+                           int levels);
+
+  int max_level() const override { return levels_ + 1; }
+  Result<Value> Generalize(const Value& v, int level) const override;
+
+ private:
+  double origin_;
+  double base_width_;
+  int growth_;
+  int levels_;
+};
+
+/// Taxonomy-tree generalization for categorical attributes.
+///
+/// Built from root-to-leaf paths; level l maps a leaf to its l-th ancestor
+/// (clamped at the root). All paths must have equal depth so every level is
+/// well-defined for every value; max_level() is that depth.
+class CategoricalTreeHierarchy : public GeneralizationHierarchy {
+ public:
+  CategoricalTreeHierarchy() = default;
+
+  /// Registers one leaf with its ancestor chain ordered from the leaf's
+  /// immediate parent up to the root, e.g.
+  ///   AddLeaf("flu", {"respiratory", "any"}).
+  /// All chains must share the same length; the root of every chain should
+  /// be the same label (conventionally "*"). Fails on inconsistent depth or
+  /// duplicate leaf.
+  Status AddLeaf(const std::string& leaf, std::vector<std::string> ancestors);
+
+  int max_level() const override { return depth_; }
+  Result<Value> Generalize(const Value& v, int level) const override;
+
+ private:
+  // leaf -> [parent, ..., root]
+  std::map<std::string, std::vector<std::string>> chains_;
+  int depth_ = 0;
+};
+
+/// Trivial hierarchy whose only non-identity level is suppression; works
+/// for any attribute type. max_level() == 1.
+class SuppressionHierarchy : public GeneralizationHierarchy {
+ public:
+  int max_level() const override { return 1; }
+  Result<Value> Generalize(const Value& v, int level) const override;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_HIERARCHY_H_

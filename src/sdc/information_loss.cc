@@ -1,0 +1,110 @@
+#include "sdc/information_loss.h"
+
+#include <cmath>
+
+#include "sdc/equivalence.h"
+#include "stats/descriptive.h"
+#include "stats/linalg.h"
+
+namespace tripriv {
+
+Result<InformationLoss> MeasureInformationLoss(const DataTable& original,
+                                               const DataTable& masked,
+                                               const std::vector<size_t>& cols) {
+  if (original.num_rows() != masked.num_rows()) {
+    return Status::InvalidArgument("tables must be row-aligned");
+  }
+  if (original.num_rows() < 2) {
+    return Status::InvalidArgument("need >= 2 rows to measure loss");
+  }
+  if (cols.empty()) return Status::InvalidArgument("no columns given");
+  TRIPRIV_ASSIGN_OR_RETURN(auto x, original.NumericMatrix(cols));
+  TRIPRIV_ASSIGN_OR_RETURN(auto y, masked.NumericMatrix(cols));
+
+  InformationLoss loss;
+  const size_t n = x.size();
+  const size_t d = cols.size();
+
+  // IL1s + mean/variance deviations, column by column.
+  double il1s_sum = 0.0;
+  size_t il1s_cells = 0;
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> xo(n);
+    std::vector<double> xm(n);
+    for (size_t i = 0; i < n; ++i) {
+      xo[i] = x[i][j];
+      xm[i] = y[i][j];
+    }
+    const double sd = SampleStddev(xo);
+    if (sd > 0.0) {
+      for (size_t i = 0; i < n; ++i) {
+        il1s_sum += std::fabs(xo[i] - xm[i]) / (std::sqrt(2.0) * sd);
+      }
+      il1s_cells += n;
+      loss.mean_deviation += std::fabs(Mean(xo) - Mean(xm)) / sd;
+    }
+    const double vo = SampleVariance(xo);
+    if (vo > 0.0) {
+      loss.var_deviation += std::fabs(vo - SampleVariance(xm)) / vo;
+    }
+  }
+  loss.il1s = il1s_cells > 0 ? il1s_sum / static_cast<double>(il1s_cells) : 0.0;
+  loss.mean_deviation /= static_cast<double>(d);
+  loss.var_deviation /= static_cast<double>(d);
+
+  // Covariance / correlation structure.
+  const auto cov_x = CovarianceMatrix(x);
+  const auto cov_y = CovarianceMatrix(y);
+  std::vector<std::vector<double>> cov_diff(d, std::vector<double>(d));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) cov_diff[i][j] = cov_x[i][j] - cov_y[i][j];
+  }
+  const double cov_norm = FrobeniusNorm(cov_x);
+  loss.cov_deviation =
+      cov_norm > 0.0 ? FrobeniusNorm(cov_diff) / cov_norm : FrobeniusNorm(cov_diff);
+
+  const auto corr_x = CorrelationMatrix(x);
+  const auto corr_y = CorrelationMatrix(y);
+  std::vector<std::vector<double>> corr_diff(d, std::vector<double>(d));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      corr_diff[i][j] = corr_x[i][j] - corr_y[i][j];
+    }
+  }
+  loss.corr_deviation = FrobeniusNorm(corr_diff) / static_cast<double>(d);
+  return loss;
+}
+
+Result<InformationLoss> MeasureInformationLoss(const DataTable& original,
+                                               const DataTable& masked) {
+  return MeasureInformationLoss(original, masked,
+                                original.schema().QuasiIdentifierIndices());
+}
+
+double DiscernibilityMetric(const DataTable& table,
+                            const std::vector<size_t>& qi_cols) {
+  double dm = 0.0;
+  for (const auto& cls : GroupByColumns(table, qi_cols).classes) {
+    const double s = static_cast<double>(cls.size());
+    dm += s * s;
+  }
+  return dm;
+}
+
+double DiscernibilityMetric(const DataTable& table) {
+  return DiscernibilityMetric(table, table.schema().QuasiIdentifierIndices());
+}
+
+Result<double> NormalizedAverageClassSize(const DataTable& table,
+                                          const std::vector<size_t>& qi_cols,
+                                          size_t k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const auto classes = GroupByColumns(table, qi_cols);
+  if (classes.classes.empty()) {
+    return Status::InvalidArgument("empty table");
+  }
+  return static_cast<double>(table.num_rows()) /
+         static_cast<double>(classes.classes.size()) / static_cast<double>(k);
+}
+
+}  // namespace tripriv

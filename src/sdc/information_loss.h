@@ -1,0 +1,63 @@
+// Information-loss (utility) measurement between an original table and its
+// masked release.
+//
+// The flip side of disclosure risk: Section 6 of the paper asks what the
+// "data utility penalty" of each privacy dimension is. These are the
+// standard SDC measures ([10, 17]):
+//   * IL1s — mean absolute cell deviation scaled by sqrt(2) * sd of the
+//     original attribute;
+//   * deviation of means and variances;
+//   * relative Frobenius deviation of the covariance matrix (the statistic
+//     condensation preserves by construction);
+//   * relative deviation of the Pearson correlation matrix.
+
+#ifndef TRIPRIV_SDC_INFORMATION_LOSS_H_
+#define TRIPRIV_SDC_INFORMATION_LOSS_H_
+
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Per-release information-loss summary; all measures are >= 0 and 0 for
+/// an identical release.
+struct InformationLoss {
+  double il1s = 0.0;             ///< mean |x - x'| / (sqrt(2) sd(x)) over cells
+  double mean_deviation = 0.0;   ///< mean over cols of |mean - mean'| / sd
+  double var_deviation = 0.0;    ///< mean over cols of |var - var'| / var
+  double cov_deviation = 0.0;    ///< ||Cov - Cov'||_F / ||Cov||_F
+  double corr_deviation = 0.0;   ///< ||Corr - Corr'||_F / d
+};
+
+/// Measures information loss of `masked` w.r.t. `original` over the numeric
+/// columns `cols`. Requires row-aligned tables with >= 2 rows.
+Result<InformationLoss> MeasureInformationLoss(const DataTable& original,
+                                               const DataTable& masked,
+                                               const std::vector<size_t>& cols);
+
+/// MeasureInformationLoss over the schema's quasi-identifiers.
+Result<InformationLoss> MeasureInformationLoss(const DataTable& original,
+                                               const DataTable& masked);
+
+/// The discernibility metric of the k-anonymity literature: sum over
+/// equivalence classes of |class|^2 — each record pays a penalty equal to
+/// the number of records it has become indistinguishable from. Works on
+/// ANY release (including generalized/categorical tables where numeric
+/// losses are undefined). Minimum n (all unique), maximum n^2 (one class).
+double DiscernibilityMetric(const DataTable& table,
+                            const std::vector<size_t>& qi_cols);
+
+/// DiscernibilityMetric over the schema's quasi-identifiers.
+double DiscernibilityMetric(const DataTable& table);
+
+/// Normalized average equivalence-class size: (n / #classes) / k. A value
+/// of 1 means classes are as small as k-anonymity allows (ideal utility);
+/// larger values mean over-generalization.
+Result<double> NormalizedAverageClassSize(const DataTable& table,
+                                          const std::vector<size_t>& qi_cols,
+                                          size_t k);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_INFORMATION_LOSS_H_

@@ -1,0 +1,251 @@
+#include "sdc/microaggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/descriptive.h"
+
+namespace tripriv {
+namespace {
+
+/// Column-standardizes a row-major matrix in place (constant columns are
+/// left centered at 0).
+void Standardize(std::vector<std::vector<double>>* m) {
+  if (m->empty()) return;
+  const size_t d = (*m)[0].size();
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<double> col(m->size());
+    for (size_t i = 0; i < m->size(); ++i) col[i] = (*m)[i][j];
+    const double mean = Mean(col);
+    const double sd = col.size() >= 2 ? SampleStddev(col) : 0.0;
+    for (size_t i = 0; i < m->size(); ++i) {
+      (*m)[i][j] = sd > 0.0 ? ((*m)[i][j] - mean) / sd : 0.0;
+    }
+  }
+}
+
+/// Centroid of the rows at `idx`.
+std::vector<double> CentroidOf(const std::vector<std::vector<double>>& m,
+                               const std::vector<size_t>& idx) {
+  TRIPRIV_CHECK(!idx.empty());
+  std::vector<double> c(m[0].size(), 0.0);
+  for (size_t i : idx) {
+    for (size_t j = 0; j < c.size(); ++j) c[j] += m[i][j];
+  }
+  for (double& v : c) v /= static_cast<double>(idx.size());
+  return c;
+}
+
+/// Index (into `pool`) of the element of `pool` farthest from `point`.
+size_t FarthestFrom(const std::vector<std::vector<double>>& m,
+                    const std::vector<size_t>& pool,
+                    const std::vector<double>& point) {
+  size_t best = 0;
+  double best_d = -1.0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const double d = SquaredDistance(m[pool[i]], point);
+    if (d > best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Removes from `pool` the record at pool-index `seed_pos` and its k-1
+/// nearest pool neighbours; returns their row ids.
+std::vector<size_t> TakeGroupAround(const std::vector<std::vector<double>>& m,
+                                    std::vector<size_t>* pool, size_t seed_pos,
+                                    size_t k) {
+  const size_t seed_row = (*pool)[seed_pos];
+  // Order pool by distance to the seed record.
+  std::vector<std::pair<double, size_t>> by_dist;  // (distance, pool index)
+  by_dist.reserve(pool->size());
+  for (size_t i = 0; i < pool->size(); ++i) {
+    by_dist.emplace_back(SquaredDistance(m[(*pool)[i]], m[seed_row]), i);
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  const size_t take = std::min(k, pool->size());
+  std::vector<size_t> group;
+  std::vector<bool> taken(pool->size(), false);
+  for (size_t i = 0; i < take; ++i) {
+    group.push_back((*pool)[by_dist[i].second]);
+    taken[by_dist[i].second] = true;
+  }
+  std::vector<size_t> rest;
+  rest.reserve(pool->size() - take);
+  for (size_t i = 0; i < pool->size(); ++i) {
+    if (!taken[i]) rest.push_back((*pool)[i]);
+  }
+  *pool = std::move(rest);
+  return group;
+}
+
+}  // namespace
+
+Result<MicroaggregationResult> MdavMicroaggregate(
+    const DataTable& table, size_t k, const std::vector<size_t>& cols) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot microaggregate an empty table");
+  }
+  if (cols.empty()) {
+    return Status::InvalidArgument("no columns to microaggregate");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto raw, table.NumericMatrix(cols));
+  auto std_data = raw;
+  Standardize(&std_data);
+
+  const size_t n = table.num_rows();
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<std::vector<size_t>> groups;
+
+  // MDAV-generic main loop.
+  while (pool.size() >= 3 * k) {
+    const auto centroid = CentroidOf(std_data, pool);
+    const size_t far1 = FarthestFrom(std_data, pool, centroid);
+    const size_t far1_row = pool[far1];
+    groups.push_back(TakeGroupAround(std_data, &pool, far1, k));
+    // Record farthest from the first extreme.
+    const size_t far2 = FarthestFrom(std_data, pool, std_data[far1_row]);
+    groups.push_back(TakeGroupAround(std_data, &pool, far2, k));
+  }
+  if (pool.size() >= 2 * k) {
+    const auto centroid = CentroidOf(std_data, pool);
+    const size_t far1 = FarthestFrom(std_data, pool, centroid);
+    groups.push_back(TakeGroupAround(std_data, &pool, far1, k));
+  }
+  if (!pool.empty()) {
+    groups.push_back(pool);  // remaining < 2k records form the last group
+    pool.clear();
+  }
+
+  MicroaggregationResult result;
+  result.table = table;
+  result.group_of_row.assign(n, 0);
+  result.num_groups = groups.size();
+  // Replace values by group centroids (original scale) and accumulate the
+  // standardized within-group SSE.
+  std::vector<std::vector<double>> masked = raw;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto centroid_raw = CentroidOf(raw, groups[g]);
+    const auto centroid_std = CentroidOf(std_data, groups[g]);
+    for (size_t row : groups[g]) {
+      result.group_of_row[row] = g;
+      masked[row] = centroid_raw;
+      result.within_group_sse += SquaredDistance(std_data[row], centroid_std);
+    }
+  }
+  for (size_t j = 0; j < cols.size(); ++j) {
+    std::vector<double> col(n);
+    for (size_t r = 0; r < n; ++r) col[r] = masked[r][j];
+    TRIPRIV_RETURN_IF_ERROR(result.table.SetNumericColumn(cols[j], col));
+  }
+  return result;
+}
+
+Result<MicroaggregationResult> MdavMicroaggregate(const DataTable& table,
+                                                  size_t k) {
+  const auto qi = table.schema().QuasiIdentifierIndices();
+  if (qi.empty()) {
+    return Status::FailedPrecondition("schema declares no quasi-identifiers");
+  }
+  return MdavMicroaggregate(table, k, qi);
+}
+
+Result<std::vector<size_t>> OptimalUnivariateGroups(
+    const std::vector<double>& values, size_t k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const size_t n = values.size();
+  if (n == 0) return Status::InvalidArgument("empty input");
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  // Hansen-Mukherjee: shortest path over sorted prefixes. cost[i] = minimal
+  // SSE of grouping the first i sorted elements; the last group has size
+  // g in [k, 2k-1].
+  std::vector<double> prefix(n + 1, 0.0);
+  std::vector<double> prefix_sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = values[order[i]];
+    prefix[i + 1] = prefix[i] + v;
+    prefix_sq[i + 1] = prefix_sq[i] + v * v;
+  }
+  auto group_sse = [&](size_t lo, size_t hi) {  // sorted elements [lo, hi)
+    const double cnt = static_cast<double>(hi - lo);
+    const double sum = prefix[hi] - prefix[lo];
+    return (prefix_sq[hi] - prefix_sq[lo]) - sum * sum / cnt;
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> cost(n + 1, kInf);
+  std::vector<size_t> prev(n + 1, 0);
+  cost[0] = 0.0;
+  for (size_t i = k; i <= n; ++i) {
+    const size_t g_max = std::min(i, 2 * k - 1);
+    for (size_t g = k; g <= g_max; ++g) {
+      const size_t j = i - g;
+      if (cost[j] == kInf) continue;
+      // A valid predecessor must itself be partitionable: j == 0 or j >= k.
+      if (j != 0 && j < k) continue;
+      const double c = cost[j] + group_sse(j, i);
+      if (c < cost[i]) {
+        cost[i] = c;
+        prev[i] = j;
+      }
+    }
+  }
+  if (cost[n] == kInf) {
+    // n < k: a single group of everything is the only option.
+    std::vector<size_t> all(n, 0);
+    return all;
+  }
+  // Recover boundaries, then map back to original indices.
+  std::vector<size_t> boundaries;
+  for (size_t i = n; i > 0; i = prev[i]) boundaries.push_back(i);
+  std::reverse(boundaries.begin(), boundaries.end());
+  std::vector<size_t> group_of(n, 0);
+  size_t start = 0;
+  for (size_t g = 0; g < boundaries.size(); ++g) {
+    for (size_t pos = start; pos < boundaries[g]; ++pos) {
+      group_of[order[pos]] = g;
+    }
+    start = boundaries[g];
+  }
+  return group_of;
+}
+
+Result<MicroaggregationResult> OptimalUnivariateMicroaggregate(
+    const DataTable& table, size_t k, size_t col) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto values, table.NumericColumn(col));
+  TRIPRIV_ASSIGN_OR_RETURN(auto groups, OptimalUnivariateGroups(values, k));
+  MicroaggregationResult result;
+  result.table = table;
+  result.group_of_row = groups;
+  result.num_groups = *std::max_element(groups.begin(), groups.end()) + 1;
+  // Replace by group means; SSE measured on standardized values.
+  std::vector<double> sums(result.num_groups, 0.0);
+  std::vector<double> counts(result.num_groups, 0.0);
+  for (size_t r = 0; r < values.size(); ++r) {
+    sums[groups[r]] += values[r];
+    counts[groups[r]] += 1.0;
+  }
+  std::vector<double> masked(values.size());
+  for (size_t r = 0; r < values.size(); ++r) {
+    masked[r] = sums[groups[r]] / counts[groups[r]];
+  }
+  const double sd = values.size() >= 2 ? SampleStddev(values) : 0.0;
+  for (size_t r = 0; r < values.size(); ++r) {
+    const double d = sd > 0.0 ? (values[r] - masked[r]) / sd : 0.0;
+    result.within_group_sse += d * d;
+  }
+  TRIPRIV_RETURN_IF_ERROR(result.table.SetNumericColumn(col, masked));
+  return result;
+}
+
+}  // namespace tripriv

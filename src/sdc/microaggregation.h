@@ -1,0 +1,60 @@
+// Microaggregation: k-anonymity through aggregation of numeric records.
+//
+// Implements the two microaggregation flavours the paper leans on:
+//   * MDAV (Maximum Distance to Average Vector) — the practical
+//     data-oriented multivariate heuristic of Domingo-Ferrer & Mateo-Sanz
+//     [10], also used by [12] to prove that microaggregation with minimum
+//     group size k over the quasi-identifiers yields k-anonymity;
+//   * optimal univariate microaggregation (Hansen-Mukherjee shortest-path
+//     dynamic program) — exact minimum within-group SSE for one attribute.
+//
+// Groups have sizes in [k, 2k-1]; every record's microaggregated attributes
+// are replaced by its group centroid.
+
+#ifndef TRIPRIV_SDC_MICROAGGREGATION_H_
+#define TRIPRIV_SDC_MICROAGGREGATION_H_
+
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// A masked table plus the group structure that produced it.
+struct MicroaggregationResult {
+  DataTable table;
+  /// group_of_row[r] is the 0-based group id of row r.
+  std::vector<size_t> group_of_row;
+  size_t num_groups = 0;
+  /// Within-group sum of squared errors, measured on standardized data —
+  /// the objective microaggregation minimizes (a raw information-loss
+  /// figure; see information_loss.h for normalized measures).
+  double within_group_sse = 0.0;
+};
+
+/// MDAV-generic over the numeric columns `cols` (attribute values are
+/// standardized for distance computation; centroids are written back in the
+/// original scale). Requires k >= 1, all `cols` numeric, and at least one
+/// row. Guarantees every group has size in [k, 2k-1] when n >= k; if
+/// n < k the single group holds all rows.
+Result<MicroaggregationResult> MdavMicroaggregate(
+    const DataTable& table, size_t k, const std::vector<size_t>& cols);
+
+/// MDAV over the schema's quasi-identifiers (all must be numeric). By [12],
+/// the result is k-anonymous on those attributes.
+Result<MicroaggregationResult> MdavMicroaggregate(const DataTable& table,
+                                                  size_t k);
+
+/// Optimal univariate microaggregation of `values` (Hansen-Mukherjee):
+/// returns the group id per element minimizing total within-group SSE under
+/// the size constraint [k, 2k-1]. Group ids follow ascending value order.
+Result<std::vector<size_t>> OptimalUnivariateGroups(
+    const std::vector<double>& values, size_t k);
+
+/// Applies optimal univariate microaggregation to one numeric column.
+Result<MicroaggregationResult> OptimalUnivariateMicroaggregate(
+    const DataTable& table, size_t k, size_t col);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_MICROAGGREGATION_H_

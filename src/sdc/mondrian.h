@@ -1,0 +1,33 @@
+// Mondrian: greedy multidimensional k-anonymity by recursive partitioning.
+//
+// The multidimensional recoding algorithm (LeFevre et al.; the class of
+// k-anonymization algorithms referenced by the paper via [2]): recursively
+// split the record set on the median of the quasi-identifier with the
+// widest normalized range, as long as both halves keep at least k records;
+// then recode each leaf partition by its QI centroid.
+
+#ifndef TRIPRIV_SDC_MONDRIAN_H_
+#define TRIPRIV_SDC_MONDRIAN_H_
+
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Result of Mondrian anonymization.
+struct MondrianResult {
+  /// Table with each partition's quasi-identifier values replaced by the
+  /// partition centroid (so the output is k-anonymous on the QIs).
+  DataTable table;
+  std::vector<size_t> group_of_row;
+  size_t num_groups = 0;
+};
+
+/// Runs strict Mondrian over the schema's quasi-identifiers, which must all
+/// be numeric. Requires k >= 1 and a non-empty table.
+Result<MondrianResult> MondrianAnonymize(const DataTable& table, size_t k);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_MONDRIAN_H_

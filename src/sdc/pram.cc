@@ -1,0 +1,125 @@
+#include "sdc/pram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.h"
+#include "util/random.h"
+
+namespace tripriv {
+
+Status PramSpec::Validate() const {
+  const size_t c = domain.size();
+  if (c == 0) return Status::InvalidArgument("PRAM domain is empty");
+  if (transition.size() != c) {
+    return Status::InvalidArgument("transition matrix must be |domain| x |domain|");
+  }
+  for (size_t i = 0; i < c; ++i) {
+    if (transition[i].size() != c) {
+      return Status::InvalidArgument("transition matrix must be square");
+    }
+    double row_sum = 0.0;
+    for (double p : transition[i]) {
+      if (p < 0.0) return Status::InvalidArgument("negative transition probability");
+      row_sum += p;
+    }
+    if (std::fabs(row_sum - 1.0) > 1e-9) {
+      return Status::InvalidArgument("transition row " + std::to_string(i) +
+                                     " sums to " + std::to_string(row_sum));
+    }
+  }
+  // Domain labels must be unique.
+  for (size_t i = 0; i < c; ++i) {
+    for (size_t j = i + 1; j < c; ++j) {
+      if (domain[i] == domain[j]) {
+        return Status::InvalidArgument("duplicate domain label '" + domain[i] + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+PramSpec RetentionPramSpec(std::vector<std::string> domain, double p) {
+  const size_t c = domain.size();
+  PramSpec spec;
+  spec.domain = std::move(domain);
+  const double off = c > 0 ? (1.0 - p) / static_cast<double>(c) : 0.0;
+  spec.transition.assign(c, std::vector<double>(c, off));
+  for (size_t i = 0; i < c; ++i) spec.transition[i][i] += p;
+  return spec;
+}
+
+namespace {
+
+Result<size_t> DomainIndex(const PramSpec& spec, const std::string& v) {
+  for (size_t i = 0; i < spec.domain.size(); ++i) {
+    if (spec.domain[i] == v) return i;
+  }
+  return Status::NotFound("value '" + v + "' outside the PRAM domain");
+}
+
+}  // namespace
+
+Result<DataTable> PramMask(const DataTable& table, size_t col,
+                           const PramSpec& spec, uint64_t seed) {
+  TRIPRIV_RETURN_IF_ERROR(spec.Validate());
+  if (col >= table.num_columns() ||
+      table.schema().attribute(col).type != AttributeType::kCategorical) {
+    return Status::InvalidArgument("PRAM needs a categorical column");
+  }
+  Rng rng(seed);
+  DataTable out = table;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.at(r, col);
+    if (v.is_null()) continue;
+    TRIPRIV_ASSIGN_OR_RETURN(size_t from, DomainIndex(spec, v.AsString()));
+    double u = rng.UniformDouble();
+    size_t to = spec.domain.size() - 1;
+    for (size_t j = 0; j < spec.domain.size(); ++j) {
+      if (u < spec.transition[from][j]) {
+        to = j;
+        break;
+      }
+      u -= spec.transition[from][j];
+    }
+    TRIPRIV_RETURN_IF_ERROR(out.Set(r, col, Value(spec.domain[to])));
+  }
+  return out;
+}
+
+Result<std::map<std::string, double>> PramEstimateTrueDistribution(
+    const DataTable& masked, size_t col, const PramSpec& spec) {
+  TRIPRIV_RETURN_IF_ERROR(spec.Validate());
+  const size_t c = spec.domain.size();
+  // Observed frequencies, in domain order.
+  std::vector<double> lambda(c, 0.0);
+  double n = 0.0;
+  for (size_t r = 0; r < masked.num_rows(); ++r) {
+    const Value& v = masked.at(r, col);
+    if (v.is_null()) continue;
+    TRIPRIV_ASSIGN_OR_RETURN(size_t idx, DomainIndex(spec, v.AsString()));
+    lambda[idx] += 1.0;
+    n += 1.0;
+  }
+  if (n == 0.0) return Status::InvalidArgument("column has no values");
+  for (double& v : lambda) v /= n;
+  // Solve P^T pi = lambda.
+  std::vector<std::vector<double>> pt(c, std::vector<double>(c));
+  for (size_t i = 0; i < c; ++i) {
+    for (size_t j = 0; j < c; ++j) pt[i][j] = spec.transition[j][i];
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto pi, SolveLinearSystem(std::move(pt), lambda));
+  // Clamp to a probability vector.
+  double total = 0.0;
+  for (double& v : pi) {
+    v = std::clamp(v, 0.0, 1.0);
+    total += v;
+  }
+  std::map<std::string, double> out;
+  for (size_t i = 0; i < c; ++i) {
+    out[spec.domain[i]] = total > 0.0 ? pi[i] / total : 0.0;
+  }
+  return out;
+}
+
+}  // namespace tripriv

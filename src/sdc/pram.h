@@ -1,0 +1,48 @@
+// PRAM — the Post-RAndomization Method for categorical attributes.
+//
+// The general owner-applied randomization of the SDC handbook [17]: each
+// category is replaced according to a row-stochastic transition matrix P
+// (PRAM subsumes randomized response, which is P = p*I + (1-p)/c * J). The
+// published frequencies relate to the true ones by lambda = P^T pi, so the
+// owner (or any user given P) can recover unbiased estimates of the true
+// distribution by solving the linear system.
+
+#ifndef TRIPRIV_SDC_PRAM_H_
+#define TRIPRIV_SDC_PRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// A PRAM specification: the category domain (defines matrix indexing) and
+/// the row-stochastic transition matrix (transition[i][j] = P(i -> j)).
+struct PramSpec {
+  std::vector<std::string> domain;
+  std::vector<std::vector<double>> transition;
+
+  /// Validates shape, non-negativity, and row sums (within 1e-9).
+  Status Validate() const;
+};
+
+/// The randomized-response matrix as a PramSpec: keep with probability p,
+/// otherwise redraw uniformly from the whole domain.
+PramSpec RetentionPramSpec(std::vector<std::string> domain, double p);
+
+/// Applies PRAM to categorical column `col`. Every non-null cell must be in
+/// the spec's domain. Deterministic in `seed`.
+Result<DataTable> PramMask(const DataTable& table, size_t col,
+                           const PramSpec& spec, uint64_t seed);
+
+/// Unbiased estimate of the true category distribution of a PRAM-masked
+/// column: solves P^T pi = lambda, then clamps to [0, 1] and renormalizes.
+Result<std::map<std::string, double>> PramEstimateTrueDistribution(
+    const DataTable& masked, size_t col, const PramSpec& spec);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_PRAM_H_

@@ -1,0 +1,25 @@
+// Rank swapping: value-exchange masking for numeric attributes.
+//
+// For each masked attribute, values are sorted by rank and each value is
+// swapped with another whose rank differs by at most p% of n. Marginal
+// distributions are exactly preserved (the multiset of values is
+// unchanged); record-level linkage is broken in proportion to p.
+
+#ifndef TRIPRIV_SDC_RANK_SWAP_H_
+#define TRIPRIV_SDC_RANK_SWAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Rank-swaps the numeric columns `cols` with a window of `p` percent of
+/// the table size (p in [0, 100]). Deterministic in `seed`.
+Result<DataTable> RankSwap(const DataTable& table, double p,
+                           const std::vector<size_t>& cols, uint64_t seed);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_RANK_SWAP_H_

@@ -1,0 +1,220 @@
+#include "sdc/recoding.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "sdc/equivalence.h"
+
+namespace tripriv {
+namespace {
+
+/// Materializes the table with the QI columns generalized to `levels`
+/// (levels keyed by position within `qi_cols`). Generalized columns become
+/// categorical.
+Result<DataTable> ApplyLevels(
+    const DataTable& table, const std::vector<size_t>& qi_cols,
+    const std::vector<int>& levels,
+    const std::vector<std::shared_ptr<const GeneralizationHierarchy>>& hiers) {
+  std::vector<Attribute> attrs = table.schema().attributes();
+  for (size_t j = 0; j < qi_cols.size(); ++j) {
+    if (levels[j] > 0) attrs[qi_cols[j]].type = AttributeType::kCategorical;
+  }
+  DataTable out{Schema(std::move(attrs))};
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> row = table.row(r);
+    for (size_t j = 0; j < qi_cols.size(); ++j) {
+      if (levels[j] == 0) continue;
+      TRIPRIV_ASSIGN_OR_RETURN(
+          Value g, hiers[j]->Generalize(table.at(r, qi_cols[j]), levels[j]));
+      // Level >= 1 of any hierarchy yields string labels (or null).
+      row[qi_cols[j]] = std::move(g);
+    }
+    TRIPRIV_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+/// Row indices living in equivalence classes smaller than k.
+std::vector<size_t> OutlierRows(const DataTable& table,
+                                const std::vector<size_t>& qi_cols, size_t k) {
+  std::vector<size_t> out;
+  for (const auto& cls : GroupByColumns(table, qi_cols).classes) {
+    if (cls.size() < k) out.insert(out.end(), cls.begin(), cls.end());
+  }
+  return out;
+}
+
+/// Resolves a hierarchy per QI column (default: plain suppression).
+std::vector<std::shared_ptr<const GeneralizationHierarchy>> ResolveHierarchies(
+    const DataTable& table, const std::vector<size_t>& qi_cols,
+    const RecodingConfig& config) {
+  static const auto kDefault = std::make_shared<const SuppressionHierarchy>();
+  std::vector<std::shared_ptr<const GeneralizationHierarchy>> hiers;
+  hiers.reserve(qi_cols.size());
+  for (size_t c : qi_cols) {
+    const std::string& name = table.schema().attribute(c).name;
+    auto it = config.hierarchies.find(name);
+    hiers.push_back(it != config.hierarchies.end() ? it->second : kDefault);
+  }
+  return hiers;
+}
+
+/// Drops `outliers` from `table` and packages a RecodingResult.
+RecodingResult FinishRecoding(const DataTable& table,
+                              const std::vector<size_t>& qi_cols,
+                              const std::vector<int>& levels,
+                              const Schema& schema,
+                              const std::vector<size_t>& outliers) {
+  std::set<size_t> drop(outliers.begin(), outliers.end());
+  std::vector<size_t> keep;
+  keep.reserve(table.num_rows() - drop.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!drop.contains(r)) keep.push_back(r);
+  }
+  RecodingResult result{table.SelectRows(keep), {}, drop.size()};
+  for (size_t j = 0; j < qi_cols.size(); ++j) {
+    result.levels[schema.attribute(qi_cols[j]).name] = levels[j];
+  }
+  return result;
+}
+
+/// Enumerates level vectors with the given total height (bounded parts),
+/// invoking `visit` until it returns true; returns whether any visit
+/// succeeded.
+bool EnumerateVectors(const std::vector<int>& max_levels, int height,
+                      size_t pos, std::vector<int>* current,
+                      const std::function<bool(const std::vector<int>&)>& visit) {
+  if (pos == max_levels.size()) {
+    return height == 0 && visit(*current);
+  }
+  // Remaining capacity prune.
+  int capacity = 0;
+  for (size_t j = pos; j < max_levels.size(); ++j) capacity += max_levels[j];
+  if (height > capacity) return false;
+  for (int level = 0; level <= std::min(max_levels[pos], height); ++level) {
+    (*current)[pos] = level;
+    if (EnumerateVectors(max_levels, height - level, pos + 1, current, visit)) {
+      return true;
+    }
+  }
+  (*current)[pos] = 0;
+  return false;
+}
+
+}  // namespace
+
+Result<RecodingResult> SamaratiAnonymize(const DataTable& table,
+                                         const RecodingConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  const std::vector<size_t> qi_cols = table.schema().QuasiIdentifierIndices();
+  if (qi_cols.empty()) return RecodingResult{table, {}, 0};
+  const auto hiers = ResolveHierarchies(table, qi_cols, config);
+  std::vector<int> max_levels(qi_cols.size());
+  int total_max = 0;
+  for (size_t j = 0; j < qi_cols.size(); ++j) {
+    max_levels[j] = hiers[j]->max_level();
+    total_max += max_levels[j];
+  }
+  const auto budget = static_cast<size_t>(config.max_suppression_fraction *
+                                          static_cast<double>(table.num_rows()));
+
+  Status lattice_error = Status::OK();
+  std::optional<RecodingResult> found;
+  for (int height = 0; height <= total_max && !found.has_value(); ++height) {
+    std::vector<int> levels(qi_cols.size(), 0);
+    EnumerateVectors(
+        max_levels, height, 0, &levels, [&](const std::vector<int>& v) {
+          auto current = ApplyLevels(table, qi_cols, v, hiers);
+          if (!current.ok()) {
+            lattice_error = current.status();
+            return true;  // abort enumeration
+          }
+          const auto outliers = OutlierRows(*current, qi_cols, config.k);
+          if (outliers.size() <= budget) {
+            found = FinishRecoding(*current, qi_cols, v, current->schema(),
+                                   outliers);
+            return true;
+          }
+          return false;
+        });
+    TRIPRIV_RETURN_IF_ERROR(lattice_error);
+  }
+  if (!found.has_value()) {
+    return Status::FailedPrecondition(
+        "no generalization satisfies k = " + std::to_string(config.k) +
+        " within the suppression budget (k larger than the table?)");
+  }
+  return std::move(*found);
+}
+
+Result<RecodingResult> DataflyAnonymize(const DataTable& table,
+                                        const RecodingConfig& config) {
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+  const std::vector<size_t> qi_cols = table.schema().QuasiIdentifierIndices();
+  if (qi_cols.empty()) {
+    // No quasi-identifiers: trivially k-anonymous for any k <= n.
+    return RecodingResult{table, {}, 0};
+  }
+
+  // Resolve hierarchies (default: plain suppression).
+  static const auto kDefault = std::make_shared<const SuppressionHierarchy>();
+  std::vector<std::shared_ptr<const GeneralizationHierarchy>> hiers;
+  for (size_t c : qi_cols) {
+    const std::string& name = table.schema().attribute(c).name;
+    auto it = config.hierarchies.find(name);
+    hiers.push_back(it != config.hierarchies.end() ? it->second : kDefault);
+  }
+
+  std::vector<int> levels(qi_cols.size(), 0);
+  const size_t n = table.num_rows();
+  const auto suppression_budget =
+      static_cast<size_t>(config.max_suppression_fraction * static_cast<double>(n));
+
+  for (;;) {
+    TRIPRIV_ASSIGN_OR_RETURN(DataTable current,
+                             ApplyLevels(table, qi_cols, levels, hiers));
+    std::vector<size_t> outliers = OutlierRows(current, qi_cols, config.k);
+    const bool all_maxed = [&] {
+      for (size_t j = 0; j < levels.size(); ++j) {
+        if (levels[j] < hiers[j]->max_level()) return false;
+      }
+      return true;
+    }();
+    if (outliers.empty() || outliers.size() <= suppression_budget || all_maxed) {
+      // Done: suppress residual outliers (always, if generalization is
+      // exhausted — the released table must honour k-anonymity).
+      std::set<size_t> drop(outliers.begin(), outliers.end());
+      std::vector<size_t> keep;
+      keep.reserve(n - drop.size());
+      for (size_t r = 0; r < n; ++r) {
+        if (!drop.contains(r)) keep.push_back(r);
+      }
+      RecodingResult result{current.SelectRows(keep), {}, drop.size()};
+      for (size_t j = 0; j < qi_cols.size(); ++j) {
+        result.levels[table.schema().attribute(qi_cols[j]).name] = levels[j];
+      }
+      return result;
+    }
+    // Generalize the QI with the most distinct values among those that can
+    // still be generalized (the Datafly heuristic).
+    size_t best = qi_cols.size();
+    size_t best_distinct = 0;
+    for (size_t j = 0; j < qi_cols.size(); ++j) {
+      if (levels[j] >= hiers[j]->max_level()) continue;
+      std::set<Value> distinct;
+      for (size_t r = 0; r < current.num_rows(); ++r) {
+        distinct.insert(current.at(r, qi_cols[j]));
+      }
+      if (best == qi_cols.size() || distinct.size() > best_distinct) {
+        best = j;
+        best_distinct = distinct.size();
+      }
+    }
+    TRIPRIV_CHECK_LT(best, qi_cols.size());  // all_maxed handled above
+    ++levels[best];
+  }
+}
+
+}  // namespace tripriv

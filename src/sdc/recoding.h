@@ -1,0 +1,64 @@
+// Global recoding + local suppression k-anonymizer (Datafly-style).
+//
+// The greedy full-domain algorithm of Sweeney's Datafly system, cited by the
+// paper through [21]: while the table is not k-anonymous, generalize the
+// quasi-identifier with the most distinct values by one hierarchy level;
+// when fewer than `max_suppression_fraction * n` records remain in
+// undersized classes, suppress (drop) them instead.
+
+#ifndef TRIPRIV_SDC_RECODING_H_
+#define TRIPRIV_SDC_RECODING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sdc/hierarchy.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Configuration for DataflyAnonymize.
+struct RecodingConfig {
+  /// Required anonymity level (k >= 1).
+  size_t k = 3;
+  /// Records in undersized classes may be dropped once their number is at
+  /// most this fraction of the table.
+  double max_suppression_fraction = 0.05;
+  /// Hierarchy per quasi-identifier attribute name. QIs without an entry
+  /// get a SuppressionHierarchy.
+  std::map<std::string, std::shared_ptr<const GeneralizationHierarchy>>
+      hierarchies;
+};
+
+/// Result of recoding: the released table plus what it cost.
+struct RecodingResult {
+  /// The k-anonymous table. Generalized QI columns become categorical.
+  DataTable table;
+  /// Applied generalization level, keyed by QI attribute name.
+  std::map<std::string, int> levels;
+  /// Rows removed by local suppression.
+  size_t suppressed_rows = 0;
+};
+
+/// Runs Datafly-style global recoding on the schema's quasi-identifiers.
+/// Post-condition (verified by tests): the output is k-anonymous on its
+/// QIs, or the table is empty.
+Result<RecodingResult> DataflyAnonymize(const DataTable& table,
+                                        const RecodingConfig& config);
+
+/// Samarati's full-domain algorithm ([20], cited by the paper): searches
+/// the lattice of generalization-level vectors for a MINIMAL solution —
+/// a level vector of least total height whose generalization, after
+/// suppressing at most max_suppression_fraction * n outlier rows, is
+/// k-anonymous. Unlike the greedy Datafly heuristic this is exact w.r.t.
+/// total generalization height. Exponential in the number of QIs (fine for
+/// the handfuls of quasi-identifiers real microdata has); fails with
+/// FailedPrecondition when even full suppression of every QI cannot reach
+/// k (i.e. k > n).
+Result<RecodingResult> SamaratiAnonymize(const DataTable& table,
+                                         const RecodingConfig& config);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_RECODING_H_

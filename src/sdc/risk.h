@@ -1,0 +1,68 @@
+// Disclosure-risk measurement: the attacks that operationalize
+// "respondent privacy".
+//
+// Respondent privacy in the paper means resistance to re-identification.
+// This module implements the standard empirical attacks used in the SDC
+// literature ([17, 26]) to score it:
+//   * distance-based record linkage — the intruder holds the original
+//     quasi-identifier values (external identified data, like gauging the
+//     height and weight of someone he knows) and links each of them to the
+//     nearest released record;
+//   * expected re-identification rate of a released table under the
+//     prosecutor model (uniform guessing within an equivalence class);
+//   * interval disclosure — even without exact linkage, a masked value that
+//     stays within a narrow interval of the original leaks it.
+
+#ifndef TRIPRIV_SDC_RISK_H_
+#define TRIPRIV_SDC_RISK_H_
+
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Outcome of a record-linkage attack.
+struct LinkageResult {
+  size_t correct = 0;  ///< records linked to their true counterpart
+  size_t total = 0;
+  double correct_fraction = 0.0;
+};
+
+/// Distance-based record linkage. `original` and `masked` must have the
+/// same row count with row i of both referring to the same respondent. For
+/// each original record, the attack links the nearest masked record on the
+/// standardized numeric columns `qi_cols`; a link is correct when it points
+/// to the true row. Ties resolve to the lowest row (conservative for the
+/// attacker when groups share a centroid: we instead credit the attacker
+/// with probability 1/|tie set| when the true row is among the ties).
+Result<LinkageResult> DistanceLinkageAttack(const DataTable& original,
+                                            const DataTable& masked,
+                                            const std::vector<size_t>& qi_cols);
+
+/// DistanceLinkageAttack over the schema's quasi-identifiers.
+Result<LinkageResult> DistanceLinkageAttack(const DataTable& original,
+                                            const DataTable& masked);
+
+/// Expected fraction of respondents an intruder re-identifies from the
+/// released table alone under the prosecutor model: each equivalence class
+/// of size s contributes s * (1/s) = 1 correct guess in expectation, so the
+/// rate is (#classes / #rows). Equals 1.0 when all rows are unique and
+/// <= 1/k for a k-anonymous table.
+double ExpectedReidentificationRate(const DataTable& table,
+                                    const std::vector<size_t>& qi_cols);
+
+/// ExpectedReidentificationRate over the schema's quasi-identifiers.
+double ExpectedReidentificationRate(const DataTable& table);
+
+/// Fraction of cells in `col` whose masked value lies within
+/// +-(window_percent/100)*range(original column) of the original value —
+/// interval disclosure (a small value means the mask genuinely hides
+/// magnitudes; 1.0 means values are essentially published).
+Result<double> IntervalDisclosureRate(const DataTable& original,
+                                      const DataTable& masked, size_t col,
+                                      double window_percent);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SDC_RISK_H_

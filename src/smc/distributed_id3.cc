@@ -1,0 +1,318 @@
+#include "smc/distributed_id3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "smc/secure_sum.h"
+
+namespace tripriv {
+namespace {
+
+double EntropyOfCounts(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Helper owning the training state; friend of DistributedId3Tree.
+struct Id3Builder {
+  const std::vector<DataTable>* partitions;
+  const DistributedId3Config* config;
+  PartyNetwork* net;
+  DistributedId3Tree* tree;
+  size_t label_col = 0;
+
+  using Constraint = std::vector<std::pair<size_t, size_t>>;  // (attr, value)
+
+  /// Value id of row `r` of partition `p` for attribute meta index `a`.
+  Result<size_t> RowValueId(size_t p, size_t r, size_t a) const {
+    const auto& meta = tree->attrs_[a];
+    const auto& table = (*partitions)[p];
+    TRIPRIV_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(meta.name));
+    return tree->ValueId(meta, table.at(r, col));
+  }
+
+  Result<bool> RowMatches(size_t p, size_t r, const Constraint& constraint) const {
+    for (const auto& [attr, value] : constraint) {
+      TRIPRIV_ASSIGN_OR_RETURN(size_t id, RowValueId(p, r, attr));
+      if (id != value) return false;
+    }
+    return true;
+  }
+
+  Result<size_t> RowLabelId(size_t p, size_t r) const {
+    const Value& v = (*partitions)[p].at(r, label_col);
+    if (!v.is_string()) return Status::InvalidArgument("null label");
+    for (size_t i = 0; i < tree->label_domain_.size(); ++i) {
+      if (tree->label_domain_[i] == v.AsString()) return i;
+    }
+    return Status::Internal("label outside collected domain");
+  }
+
+  /// Securely aggregates, per party, the flattened count tensor
+  /// [attr value x label class] for attribute `attr` restricted to rows
+  /// matching `constraint`.
+  Result<std::vector<uint64_t>> SecureCounts(size_t attr,
+                                             const Constraint& constraint) const {
+    const size_t arity = tree->attrs_[attr].arity();
+    const size_t classes = tree->label_domain_.size();
+    std::vector<std::vector<uint64_t>> local(
+        partitions->size(), std::vector<uint64_t>(arity * classes, 0));
+    for (size_t p = 0; p < partitions->size(); ++p) {
+      const auto& table = (*partitions)[p];
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        TRIPRIV_ASSIGN_OR_RETURN(bool match, RowMatches(p, r, constraint));
+        if (!match) continue;
+        TRIPRIV_ASSIGN_OR_RETURN(size_t vid, RowValueId(p, r, attr));
+        TRIPRIV_ASSIGN_OR_RETURN(size_t lid, RowLabelId(p, r));
+        local[p][vid * classes + lid]++;
+      }
+    }
+    return SecureSumCounts(net, local);
+  }
+
+  /// Securely aggregates label counts under `constraint`.
+  Result<std::vector<uint64_t>> SecureLabelCounts(
+      const Constraint& constraint) const {
+    const size_t classes = tree->label_domain_.size();
+    std::vector<std::vector<uint64_t>> local(
+        partitions->size(), std::vector<uint64_t>(classes, 0));
+    for (size_t p = 0; p < partitions->size(); ++p) {
+      const auto& table = (*partitions)[p];
+      for (size_t r = 0; r < table.num_rows(); ++r) {
+        TRIPRIV_ASSIGN_OR_RETURN(bool match, RowMatches(p, r, constraint));
+        if (!match) continue;
+        TRIPRIV_ASSIGN_OR_RETURN(size_t lid, RowLabelId(p, r));
+        local[p][lid]++;
+      }
+    }
+    return SecureSumCounts(net, local);
+  }
+
+  Result<size_t> Build(const Constraint& constraint,
+                       std::vector<bool> used_attrs, size_t depth) {
+    TRIPRIV_ASSIGN_OR_RETURN(auto label_counts, SecureLabelCounts(constraint));
+    uint64_t total = 0;
+    size_t majority = 0;
+    for (size_t i = 0; i < label_counts.size(); ++i) {
+      total += label_counts[i];
+      if (label_counts[i] > label_counts[majority]) majority = i;
+    }
+    const double node_entropy = EntropyOfCounts(label_counts);
+
+    auto make_leaf = [&]() {
+      DistributedId3Tree::Node leaf;
+      leaf.is_leaf = true;
+      leaf.label = tree->label_domain_[majority];
+      tree->nodes_.push_back(std::move(leaf));
+      return tree->nodes_.size() - 1;
+    };
+    if (depth >= config->max_depth || total < config->min_records ||
+        node_entropy <= 0.0) {
+      return make_leaf();
+    }
+
+    // Pick the unused attribute with the highest information gain, all
+    // counts obtained through secure aggregation.
+    double best_gain = 1e-9;
+    size_t best_attr = tree->attrs_.size();
+    std::vector<uint64_t> best_counts;
+    const size_t classes = tree->label_domain_.size();
+    for (size_t a = 0; a < tree->attrs_.size(); ++a) {
+      if (used_attrs[a]) continue;
+      TRIPRIV_ASSIGN_OR_RETURN(auto counts, SecureCounts(a, constraint));
+      double conditional = 0.0;
+      for (size_t v = 0; v < tree->attrs_[a].arity(); ++v) {
+        std::vector<uint64_t> slice(counts.begin() + v * classes,
+                                    counts.begin() + (v + 1) * classes);
+        uint64_t slice_total = 0;
+        for (uint64_t c : slice) slice_total += c;
+        conditional += static_cast<double>(slice_total) /
+                       static_cast<double>(total) * EntropyOfCounts(slice);
+      }
+      const double gain = node_entropy - conditional;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_attr = a;
+        best_counts = counts;
+      }
+    }
+    if (best_attr == tree->attrs_.size()) return make_leaf();
+
+    DistributedId3Tree::Node node;
+    node.is_leaf = false;
+    node.attr = tree->attrs_[best_attr].name;
+    node.attr_index = best_attr;
+    node.fallback_label = tree->label_domain_[majority];
+    used_attrs[best_attr] = true;
+
+    std::vector<std::pair<size_t, size_t>> children;  // (value id, node)
+    for (size_t v = 0; v < tree->attrs_[best_attr].arity(); ++v) {
+      uint64_t slice_total = 0;
+      for (size_t c = 0; c < classes; ++c) {
+        slice_total += best_counts[v * classes + c];
+      }
+      if (slice_total == 0) continue;  // unseen value -> fallback at predict
+      Constraint child_constraint = constraint;
+      child_constraint.emplace_back(best_attr, v);
+      TRIPRIV_ASSIGN_OR_RETURN(
+          size_t child, Build(child_constraint, used_attrs, depth + 1));
+      children.emplace_back(v, child);
+    }
+    for (const auto& [v, child] : children) node.children[v] = child;
+    tree->nodes_.push_back(std::move(node));
+    return tree->nodes_.size() - 1;
+  }
+};
+
+Result<size_t> DistributedId3Tree::ValueId(const AttrMeta& meta,
+                                           const Value& v) const {
+  if (meta.numeric) {
+    if (!v.is_numeric()) {
+      return Status::InvalidArgument("expected numeric value for attribute " +
+                                     meta.name);
+    }
+    const double x = v.ToDouble();
+    size_t bin = 0;
+    while (bin < meta.bin_edges.size() && x >= meta.bin_edges[bin]) ++bin;
+    return bin;
+  }
+  if (!v.is_string()) {
+    return Status::InvalidArgument("expected categorical value for attribute " +
+                                   meta.name);
+  }
+  for (size_t i = 0; i < meta.categories.size(); ++i) {
+    if (meta.categories[i] == v.AsString()) return i;
+  }
+  return Status::NotFound("value '" + v.AsString() + "' outside the domain of " +
+                          meta.name);
+}
+
+Result<DistributedId3Tree> DistributedId3Tree::Train(
+    const std::vector<DataTable>& partitions, std::string_view label_attr,
+    const DistributedId3Config& config, PartyNetwork* net) {
+  TRIPRIV_CHECK(net != nullptr);
+  if (partitions.size() < 2) {
+    return Status::FailedPrecondition("need >= 2 partitions (owners)");
+  }
+  if (net->num_parties() != partitions.size()) {
+    return Status::InvalidArgument("one network party per partition required");
+  }
+  for (const auto& p : partitions) {
+    if (p.num_rows() == 0) {
+      return Status::InvalidArgument("every partition must be non-empty");
+    }
+    if (!(p.schema() == partitions[0].schema())) {
+      return Status::InvalidArgument("partitions must share one schema");
+    }
+  }
+  const Schema& schema = partitions[0].schema();
+  DistributedId3Tree tree;
+  tree.label_attr_ = std::string(label_attr);
+  TRIPRIV_ASSIGN_OR_RETURN(size_t label_col, schema.IndexOf(label_attr));
+  if (schema.attribute(label_col).type != AttributeType::kCategorical) {
+    return Status::InvalidArgument("label attribute must be categorical");
+  }
+
+  // Public metadata: label domain, categorical domains, numeric bin edges.
+  // (Documented leakage: domains and global ranges.)
+  std::set<std::string> labels;
+  for (const auto& p : partitions) {
+    for (size_t r = 0; r < p.num_rows(); ++r) {
+      const Value& v = p.at(r, label_col);
+      if (!v.is_string()) return Status::InvalidArgument("null label");
+      labels.insert(v.AsString());
+    }
+  }
+  tree.label_domain_.assign(labels.begin(), labels.end());
+
+  for (size_t c = 0; c < schema.size(); ++c) {
+    if (c == label_col) continue;
+    AttrMeta meta;
+    meta.name = schema.attribute(c).name;
+    if (schema.attribute(c).type == AttributeType::kCategorical) {
+      std::set<std::string> domain;
+      for (const auto& p : partitions) {
+        for (size_t r = 0; r < p.num_rows(); ++r) {
+          const Value& v = p.at(r, c);
+          if (v.is_string()) domain.insert(v.AsString());
+        }
+      }
+      if (domain.empty()) continue;
+      meta.categories.assign(domain.begin(), domain.end());
+    } else {
+      meta.numeric = true;
+      double lo = 0.0;
+      double hi = 0.0;
+      bool first = true;
+      for (const auto& p : partitions) {
+        for (size_t r = 0; r < p.num_rows(); ++r) {
+          const Value& v = p.at(r, c);
+          if (!v.is_numeric()) continue;
+          const double x = v.ToDouble();
+          if (first || x < lo) lo = first ? x : std::min(lo, x);
+          if (first || x > hi) hi = first ? x : std::max(hi, x);
+          first = false;
+        }
+      }
+      if (first || hi <= lo) continue;
+      for (size_t b = 1; b < config.numeric_bins; ++b) {
+        meta.bin_edges.push_back(
+            lo + (hi - lo) * static_cast<double>(b) /
+                     static_cast<double>(config.numeric_bins));
+      }
+    }
+    tree.attrs_.push_back(std::move(meta));
+  }
+  if (tree.attrs_.empty()) {
+    return Status::InvalidArgument("no usable predictor attributes");
+  }
+
+  Id3Builder builder{&partitions, &config, net, &tree, label_col};
+  TRIPRIV_ASSIGN_OR_RETURN(
+      tree.root_,
+      builder.Build({}, std::vector<bool>(tree.attrs_.size(), false), 0));
+  return tree;
+}
+
+Result<std::string> DistributedId3Tree::Predict(const DataTable& table,
+                                                size_t row) const {
+  size_t node = root_;
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    TRIPRIV_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(n.attr));
+    auto vid = ValueId(attrs_[n.attr_index], table.at(row, col));
+    if (!vid.ok()) return n.fallback_label;  // out-of-domain value
+    auto it = n.children.find(*vid);
+    if (it == n.children.end()) return n.fallback_label;  // unseen branch
+    node = it->second;
+  }
+  return nodes_[node].label;
+}
+
+Result<double> DistributedId3Tree::Accuracy(const DataTable& table) const {
+  TRIPRIV_ASSIGN_OR_RETURN(size_t label_col,
+                           table.schema().IndexOf(label_attr_));
+  if (table.num_rows() == 0) return Status::InvalidArgument("empty table");
+  size_t correct = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    TRIPRIV_ASSIGN_OR_RETURN(std::string pred, Predict(table, r));
+    if (table.at(r, label_col).is_string() &&
+        table.at(r, label_col).AsString() == pred) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace tripriv

@@ -1,0 +1,90 @@
+// Privacy-preserving distributed ID3 over horizontally partitioned data.
+//
+// The Lindell-Pinkas [18, 19] setting: several owners hold disjoint record
+// subsets of the same schema and want a joint decision-tree classifier
+// without revealing any record. This implementation follows the standard
+// count-aggregation construction: ID3 only ever needs class counts under
+// node constraints, and every count is aggregated with the secure-sum ring
+// protocol — so the PartyNetwork transcript contains masked partial sums
+// and final aggregates only, never a record.
+//
+// Public metadata (exchanged in the clear, documented leakage): attribute
+// names/types, categorical domains, numeric bin edges, and the aggregated
+// counts themselves.
+
+#ifndef TRIPRIV_SMC_DISTRIBUTED_ID3_H_
+#define TRIPRIV_SMC_DISTRIBUTED_ID3_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smc/party.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Training hyper-parameters.
+struct DistributedId3Config {
+  size_t max_depth = 6;
+  /// A node with fewer aggregated records becomes a leaf.
+  size_t min_records = 8;
+  /// Public equal-width discretization of numeric attributes.
+  size_t numeric_bins = 6;
+};
+
+/// Multiway ID3 tree trained by secure count aggregation.
+class DistributedId3Tree {
+ public:
+  /// Trains a joint tree from `partitions` (>= 2 non-empty shards with
+  /// identical schemas) using the secure-sum protocol on `net`, which must
+  /// have one party per partition. `label_attr` must be categorical.
+  static Result<DistributedId3Tree> Train(
+      const std::vector<DataTable>& partitions, std::string_view label_attr,
+      const DistributedId3Config& config, PartyNetwork* net);
+
+  /// Predicted label for row `row` of `table`.
+  Result<std::string> Predict(const DataTable& table, size_t row) const;
+
+  /// Fraction of correctly classified rows.
+  Result<double> Accuracy(const DataTable& table) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::string& label_attribute() const { return label_attr_; }
+
+ private:
+  friend struct Id3Builder;
+
+  struct Node {
+    bool is_leaf = true;
+    std::string label;
+    std::string attr;                    // split attribute (internal nodes)
+    size_t attr_index = 0;               // index into attribute metadata
+    std::map<size_t, size_t> children;   // value id -> node index
+    std::string fallback_label;          // for unseen values at prediction
+  };
+
+  /// Public per-attribute discretization metadata.
+  struct AttrMeta {
+    std::string name;
+    bool numeric = false;
+    std::vector<double> bin_edges;        // numeric: ascending inner edges
+    std::vector<std::string> categories;  // categorical domain
+    size_t arity() const {
+      return numeric ? bin_edges.size() + 1 : categories.size();
+    }
+  };
+
+  Result<size_t> ValueId(const AttrMeta& meta, const Value& v) const;
+
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  std::vector<AttrMeta> attrs_;
+  std::vector<std::string> label_domain_;
+  std::string label_attr_;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_DISTRIBUTED_ID3_H_

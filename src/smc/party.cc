@@ -1,0 +1,43 @@
+#include "smc/party.h"
+
+namespace tripriv {
+
+PartyNetwork::PartyNetwork(size_t num_parties, uint64_t seed) {
+  TRIPRIV_CHECK_GE(num_parties, 1u);
+  Rng root(seed);
+  rngs_.reserve(num_parties);
+  for (size_t i = 0; i < num_parties; ++i) rngs_.push_back(root.Fork());
+  mailboxes_.resize(num_parties);
+}
+
+Status PartyNetwork::Send(size_t from, size_t to, std::string tag,
+                          std::vector<BigInt> payload) {
+  if (from >= num_parties() || to >= num_parties()) {
+    return Status::OutOfRange("invalid party index");
+  }
+  for (const BigInt& v : payload) {
+    bytes_ += std::max<size_t>(1, (v.BitLength() + 7) / 8);
+  }
+  PartyMessage msg{from, to, std::move(tag), std::move(payload)};
+  transcript_.push_back(msg);
+  mailboxes_[to].push_back(std::move(msg));
+  return Status::OK();
+}
+
+Result<PartyMessage> PartyNetwork::Receive(size_t to) {
+  if (to >= num_parties()) return Status::OutOfRange("invalid party index");
+  if (mailboxes_[to].empty()) {
+    return Status::FailedPrecondition("mailbox of party " + std::to_string(to) +
+                                      " is empty");
+  }
+  PartyMessage msg = std::move(mailboxes_[to].front());
+  mailboxes_[to].pop_front();
+  return msg;
+}
+
+Rng* PartyNetwork::rng(size_t party) {
+  TRIPRIV_CHECK_LT(party, rngs_.size());
+  return &rngs_[party];
+}
+
+}  // namespace tripriv

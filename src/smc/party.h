@@ -1,0 +1,71 @@
+// Simulated multi-party network with transcript recording.
+//
+// Crypto PPDM (Lindell-Pinkas [18, 19]) runs between autonomous data
+// owners. TriPriv simulates the parties in-process: protocols exchange
+// messages through a PartyNetwork that records every message. The
+// transcript is the basis of the owner-privacy measurement — a protocol
+// leaks exactly what its transcript reveals to the other parties, so the
+// evaluator can check that only masked values and final aggregates ever
+// cross party boundaries.
+
+#ifndef TRIPRIV_SMC_PARTY_H_
+#define TRIPRIV_SMC_PARTY_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/bigint.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// One protocol message.
+struct PartyMessage {
+  size_t from = 0;
+  size_t to = 0;
+  std::string tag;              ///< protocol step label
+  std::vector<BigInt> payload;  ///< transmitted values
+};
+
+/// In-process message fabric between `num_parties` simulated parties.
+class PartyNetwork {
+ public:
+  /// Creates the fabric; each party gets an independent RNG forked from
+  /// `seed`.
+  PartyNetwork(size_t num_parties, uint64_t seed);
+
+  size_t num_parties() const { return rngs_.size(); }
+
+  /// Enqueues a message. `from`/`to` must be valid party indices.
+  Status Send(size_t from, size_t to, std::string tag,
+              std::vector<BigInt> payload);
+
+  /// Dequeues the oldest pending message addressed to `to`; FailedPrecondition
+  /// when the mailbox is empty.
+  Result<PartyMessage> Receive(size_t to);
+
+  /// Party-private randomness.
+  Rng* rng(size_t party);
+
+  /// Every message ever sent, in order.
+  const std::vector<PartyMessage>& transcript() const { return transcript_; }
+
+  /// Total payload volume sent so far, counted in BigInt bytes (magnitude
+  /// bytes, minimum 1 per value) — the communication-cost metric of the
+  /// SMC benchmarks.
+  size_t bytes_transferred() const { return bytes_; }
+
+  size_t messages_sent() const { return transcript_.size(); }
+
+ private:
+  std::vector<Rng> rngs_;
+  std::vector<std::deque<PartyMessage>> mailboxes_;
+  std::vector<PartyMessage> transcript_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_PARTY_H_

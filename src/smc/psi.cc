@@ -1,0 +1,111 @@
+#include "smc/psi.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tripriv {
+namespace {
+
+/// Random exponent coprime to p-1 (so x -> x^k is a bijection on Z_p^*).
+BigInt RandomCommutativeKey(const BigInt& p, Rng* rng) {
+  const BigInt order = p - BigInt(1);
+  for (;;) {
+    BigInt k = BigInt::RandomBelow(order - BigInt(2), rng) + BigInt(2);
+    if (BigInt::Gcd(k, order) == BigInt(1)) return k;
+  }
+}
+
+/// Encodes a 63-bit element id into Z_p^* (shift away from 0 and 1 so the
+/// encoding is never a fixed point of exponentiation).
+BigInt Encode(int64_t element, const BigInt& p) {
+  TRIPRIV_CHECK_GE(element, 0);
+  BigInt v = BigInt(element) + BigInt(2);
+  TRIPRIV_CHECK(v < p) << "element does not fit the group";
+  return v;
+}
+
+}  // namespace
+
+Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
+                                         const std::vector<int64_t>& set_a,
+                                         const std::vector<int64_t>& set_b,
+                                         size_t prime_bits) {
+  TRIPRIV_CHECK(net != nullptr);
+  if (net->num_parties() != 2) {
+    return Status::FailedPrecondition("PSI is a 2-party protocol");
+  }
+  if (prime_bits < 80) {
+    return Status::InvalidArgument("prime must be >= 80 bits");
+  }
+  for (int64_t e : set_a) {
+    if (e < 0) return Status::InvalidArgument("element ids must be >= 0");
+  }
+  for (int64_t e : set_b) {
+    if (e < 0) return Status::InvalidArgument("element ids must be >= 0");
+  }
+  const size_t start_bytes = net->bytes_transferred();
+
+  // Party 0 (A) picks the public group and her key.
+  const BigInt p = BigInt::RandomPrime(prime_bits, net->rng(0));
+  const BigInt key_a = RandomCommutativeKey(p, net->rng(0));
+  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "psi/group", {p}));
+
+  // A -> B: E_A(a_i), order preserved (A remembers which index is which).
+  std::vector<BigInt> enc_a;
+  enc_a.reserve(set_a.size());
+  for (int64_t e : set_a) {
+    enc_a.push_back(BigInt::ModExp(Encode(e, p), key_a, p));
+  }
+  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "psi/enc_a", enc_a));
+
+  // Party 1 (B): key, double-encrypt A's list (order preserved), and send
+  // his own singly-encrypted (shuffled) list.
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage group_msg, net->Receive(1));
+  const BigInt& p_b = group_msg.payload[0];
+  const BigInt key_b = RandomCommutativeKey(p_b, net->rng(1));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage enc_a_msg, net->Receive(1));
+  std::vector<BigInt> double_a;
+  double_a.reserve(enc_a_msg.payload.size());
+  for (const BigInt& c : enc_a_msg.payload) {
+    double_a.push_back(BigInt::ModExp(c, key_b, p_b));
+  }
+  std::vector<BigInt> enc_b;
+  enc_b.reserve(set_b.size());
+  for (int64_t e : set_b) {
+    enc_b.push_back(BigInt::ModExp(Encode(e, p_b), key_b, p_b));
+  }
+  net->rng(1)->Shuffle(&enc_b);  // hide B's element order
+  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "psi/double_a", double_a));
+  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "psi/enc_b", enc_b));
+
+  // A: double-encrypt B's list with her key; E_B(E_A(x)) == E_A(E_B(x)), so
+  // equal values identify common elements.
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage double_a_msg, net->Receive(0));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage enc_b_msg, net->Receive(0));
+  std::map<std::string, size_t> double_a_index;  // hex -> index into set_a
+  for (size_t i = 0; i < double_a_msg.payload.size(); ++i) {
+    double_a_index[double_a_msg.payload[i].ToHex()] = i;
+  }
+  PsiResult result;
+  for (const BigInt& c : enc_b_msg.payload) {
+    const BigInt both = BigInt::ModExp(c, key_a, p);
+    auto it = double_a_index.find(both.ToHex());
+    if (it != double_a_index.end()) {
+      result.intersection.push_back(set_a[it->second]);
+    }
+  }
+  std::sort(result.intersection.begin(), result.intersection.end());
+  result.intersection.erase(
+      std::unique(result.intersection.begin(), result.intersection.end()),
+      result.intersection.end());
+
+  // A shares the outcome with B.
+  std::vector<BigInt> outcome;
+  outcome.reserve(result.intersection.size());
+  for (int64_t e : result.intersection) outcome.push_back(BigInt(e));
+  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "psi/result", outcome));
+  result.bytes_transferred = net->bytes_transferred() - start_bytes;
+  return result;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,40 @@
+// Private set intersection via commutative encryption.
+//
+// Two owners learn which elements they share and nothing about the rest —
+// the set-operation face of crypto PPDM. Pohlig-Hellman style exponentiation
+// over a safe prime p: E_k(x) = x^k mod p commutes, so after both parties
+// exponentiate both sets with their own keys, equal double-encryptions
+// identify common elements. Elements are first mapped into the
+// quadratic-residue subgroup (order q = (p-1)/2, prime) so encryption is a
+// bijection on the element encoding.
+
+#ifndef TRIPRIV_SMC_PSI_H_
+#define TRIPRIV_SMC_PSI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "smc/party.h"
+
+namespace tripriv {
+
+/// Outcome of the PSI protocol.
+struct PsiResult {
+  /// The intersection, in ascending order.
+  std::vector<int64_t> intersection;
+  /// Communication volume in bytes (from the network transcript).
+  size_t bytes_transferred = 0;
+};
+
+/// Computes the intersection of two sets of non-negative 63-bit element
+/// ids. Requires a 2-party network. `prime_bits` sizes the group
+/// (>= 80 recommended for experiments). Both parties learn the
+/// intersection and the other set's cardinality, nothing else.
+Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
+                                         const std::vector<int64_t>& set_a,
+                                         const std::vector<int64_t>& set_b,
+                                         size_t prime_bits = 128);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_PSI_H_

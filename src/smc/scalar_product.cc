@@ -1,0 +1,58 @@
+#include "smc/scalar_product.h"
+
+namespace tripriv {
+
+Result<BigInt> SecureScalarProduct(PartyNetwork* net,
+                                   const std::vector<BigInt>& a,
+                                   const std::vector<BigInt>& b,
+                                   size_t modulus_bits) {
+  TRIPRIV_CHECK(net != nullptr);
+  if (net->num_parties() != 2) {
+    return Status::FailedPrecondition("scalar product is a 2-party protocol");
+  }
+  if (a.empty() || a.size() != b.size()) {
+    return Status::InvalidArgument("vectors must be non-empty and equal-sized");
+  }
+  for (const BigInt& v : a) {
+    if (v.IsNegative()) return Status::InvalidArgument("entries must be >= 0");
+  }
+  for (const BigInt& v : b) {
+    if (v.IsNegative()) return Status::InvalidArgument("entries must be >= 0");
+  }
+
+  // Alice (party 0): keygen + encrypt her vector.
+  TRIPRIV_ASSIGN_OR_RETURN(PaillierKeyPair keys,
+                           PaillierGenerateKeys(modulus_bits, net->rng(0)));
+  std::vector<BigInt> encrypted;
+  encrypted.reserve(a.size());
+  for (const BigInt& ai : a) {
+    TRIPRIV_ASSIGN_OR_RETURN(BigInt c,
+                             PaillierEncrypt(keys.pub, ai.Mod(keys.pub.n),
+                                             net->rng(0)));
+    encrypted.push_back(std::move(c));
+  }
+  // Public key rides along (n is public).
+  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "scalar_product/pubkey", {keys.pub.n}));
+  TRIPRIV_RETURN_IF_ERROR(
+      net->Send(0, 1, "scalar_product/ciphertexts", std::move(encrypted)));
+
+  // Bob (party 1): homomorphic fold.
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage key_msg, net->Receive(1));
+  PaillierPublicKey pub;
+  pub.n = key_msg.payload[0];
+  pub.n_squared = pub.n * pub.n;
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage data_msg, net->Receive(1));
+  TRIPRIV_ASSIGN_OR_RETURN(BigInt acc, PaillierEncryptZero(pub, net->rng(1)));
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (b[i].IsZero()) continue;
+    acc = PaillierAdd(pub, acc,
+                      PaillierMulPlain(pub, data_msg.payload[i], b[i]));
+  }
+  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "scalar_product/result", {acc}));
+
+  // Alice decrypts.
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage result_msg, net->Receive(0));
+  return PaillierDecrypt(keys.pub, keys.priv, result_msg.payload[0]);
+}
+
+}  // namespace tripriv

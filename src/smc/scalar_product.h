@@ -1,0 +1,33 @@
+// Secure two-party scalar product.
+//
+// Vertically partitioned crypto PPDM reduces many analyses (counts under
+// conjunctive predicates, covariances) to dot products between vectors held
+// by different owners. Paillier-based protocol:
+//   Alice: sends Enc(a_1) ... Enc(a_d)           (her key)
+//   Bob:   computes Prod_i Enc(a_i)^{b_i} = Enc(<a, b>), re-randomizes,
+//          returns it
+//   Alice: decrypts <a, b>
+// Bob learns nothing (he only ever sees ciphertexts); Alice learns only the
+// dot product. Messages flow through a PartyNetwork (party 0 = Alice,
+// party 1 = Bob), so the transcript is available for leakage inspection.
+
+#ifndef TRIPRIV_SMC_SCALAR_PRODUCT_H_
+#define TRIPRIV_SMC_SCALAR_PRODUCT_H_
+
+#include "smc/paillier.h"
+#include "smc/party.h"
+
+namespace tripriv {
+
+/// Computes <a, b> for non-negative integer vectors. Requires a PartyNetwork
+/// with exactly 2 parties, equal-sized non-empty vectors, and entries small
+/// enough that the true dot product is below the Paillier modulus (always
+/// true for the count/indicator workloads here with >= 256-bit keys).
+Result<BigInt> SecureScalarProduct(PartyNetwork* net,
+                                   const std::vector<BigInt>& a,
+                                   const std::vector<BigInt>& b,
+                                   size_t modulus_bits = 256);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_SCALAR_PRODUCT_H_

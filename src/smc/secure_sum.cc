@@ -1,0 +1,102 @@
+#include "smc/secure_sum.h"
+
+namespace tripriv {
+
+Result<std::vector<BigInt>> SecureSumVector(
+    PartyNetwork* net, const std::vector<std::vector<BigInt>>& inputs,
+    const BigInt& modulus) {
+  TRIPRIV_CHECK(net != nullptr);
+  const size_t parties = net->num_parties();
+  if (parties < 2) {
+    return Status::FailedPrecondition("secure sum needs >= 2 parties");
+  }
+  if (inputs.size() != parties) {
+    return Status::InvalidArgument("one input vector per party required");
+  }
+  if (modulus.IsZero() || modulus.IsNegative()) {
+    return Status::InvalidArgument("modulus must be positive");
+  }
+  const size_t width = inputs[0].size();
+  for (const auto& in : inputs) {
+    if (in.size() != width) {
+      return Status::InvalidArgument("input vectors must have equal size");
+    }
+    for (const BigInt& v : in) {
+      if (v.IsNegative() || v >= modulus) {
+        return Status::InvalidArgument("inputs must lie in [0, modulus)");
+      }
+    }
+  }
+
+  // Party 0 blinds with a random mask vector.
+  std::vector<BigInt> masks(width);
+  std::vector<BigInt> running(width);
+  for (size_t j = 0; j < width; ++j) {
+    masks[j] = BigInt::RandomBelow(modulus, net->rng(0));
+    running[j] = BigInt::ModAdd(inputs[0][j], masks[j], modulus);
+  }
+  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1 % parties, "secure_sum/forward", running));
+
+  // Each subsequent party adds its input and forwards.
+  for (size_t p = 1; p < parties; ++p) {
+    TRIPRIV_ASSIGN_OR_RETURN(PartyMessage msg, net->Receive(p));
+    std::vector<BigInt> acc = std::move(msg.payload);
+    for (size_t j = 0; j < width; ++j) {
+      acc[j] = BigInt::ModAdd(acc[j], inputs[p][j], modulus);
+    }
+    TRIPRIV_RETURN_IF_ERROR(
+        net->Send(p, (p + 1) % parties, "secure_sum/forward", std::move(acc)));
+  }
+
+  // Party 0 removes the mask and broadcasts the result.
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage final_msg, net->Receive(0));
+  if (final_msg.payload.size() != width) {
+    return Status::Internal("secure sum: ring message width mismatch");
+  }
+  std::vector<BigInt> result = std::move(final_msg.payload);
+  for (size_t j = 0; j < width; ++j) {
+    result[j] = BigInt::ModSub(result[j], masks[j], modulus);
+  }
+  for (size_t p = 1; p < parties; ++p) {
+    TRIPRIV_RETURN_IF_ERROR(net->Send(0, p, "secure_sum/result", result));
+    // Each party consumes its copy so mailboxes are drained between
+    // protocol rounds (a stale broadcast must never alias the next round's
+    // ring message).
+    TRIPRIV_ASSIGN_OR_RETURN(PartyMessage copy, net->Receive(p));
+    if (copy.tag != "secure_sum/result") {
+      return Status::Internal("secure sum: unexpected message " + copy.tag);
+    }
+  }
+  return result;
+}
+
+Result<BigInt> SecureSum(PartyNetwork* net, const std::vector<BigInt>& inputs,
+                         const BigInt& modulus) {
+  std::vector<std::vector<BigInt>> vec_inputs;
+  vec_inputs.reserve(inputs.size());
+  for (const BigInt& v : inputs) vec_inputs.push_back({v});
+  TRIPRIV_ASSIGN_OR_RETURN(auto result,
+                           SecureSumVector(net, vec_inputs, modulus));
+  return result[0];
+}
+
+Result<std::vector<uint64_t>> SecureSumCounts(
+    PartyNetwork* net, const std::vector<std::vector<uint64_t>>& counts) {
+  // 2^80: far above any sum of 64-bit counts from a bounded party set.
+  const BigInt modulus = BigInt(1) << 80;
+  std::vector<std::vector<BigInt>> inputs;
+  inputs.reserve(counts.size());
+  for (const auto& vec : counts) {
+    std::vector<BigInt> row;
+    row.reserve(vec.size());
+    for (uint64_t v : vec) row.push_back(BigInt::FromU64(v));
+    inputs.push_back(std::move(row));
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto sums, SecureSumVector(net, inputs, modulus));
+  std::vector<uint64_t> out;
+  out.reserve(sums.size());
+  for (const BigInt& v : sums) out.push_back(v.ToU64());
+  return out;
+}
+
+}  // namespace tripriv

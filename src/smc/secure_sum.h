@@ -1,0 +1,36 @@
+// Secure sum: the aggregation primitive of horizontal crypto PPDM.
+//
+// Classic ring protocol: party 0 blinds its input with a random mask
+// R mod M and passes the running total around the ring; each party adds its
+// input mod M; party 0 removes the mask and announces the sum. No party
+// learns more than its neighbours' running totals, which are uniformly
+// random mod M. Everything goes through the PartyNetwork, so the transcript
+// demonstrably contains only masked values plus the final aggregate.
+
+#ifndef TRIPRIV_SMC_SECURE_SUM_H_
+#define TRIPRIV_SMC_SECURE_SUM_H_
+
+#include "smc/party.h"
+
+namespace tripriv {
+
+/// Computes sum(inputs) mod `modulus` over the ring protocol.
+/// `inputs[i]` is party i's private value (must be in [0, modulus)).
+/// Requires inputs.size() == net->num_parties() >= 2 and modulus > 0.
+Result<BigInt> SecureSum(PartyNetwork* net, const std::vector<BigInt>& inputs,
+                         const BigInt& modulus);
+
+/// Element-wise secure sum of equally-sized private vectors (one ring pass
+/// carrying the whole vector). inputs[i][j] is party i's j-th value.
+Result<std::vector<BigInt>> SecureSumVector(
+    PartyNetwork* net, const std::vector<std::vector<BigInt>>& inputs,
+    const BigInt& modulus);
+
+/// Convenience for count aggregation: sums per-party uint64 count vectors
+/// with a modulus large enough to never wrap.
+Result<std::vector<uint64_t>> SecureSumCounts(
+    PartyNetwork* net, const std::vector<std::vector<uint64_t>>& counts);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_SECURE_SUM_H_

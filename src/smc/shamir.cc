@@ -1,0 +1,90 @@
+#include "smc/shamir.h"
+
+#include <set>
+
+namespace tripriv {
+
+Result<std::vector<ShamirShare>> ShamirShareSecret(const BigInt& secret,
+                                                   size_t n, size_t t,
+                                                   const BigInt& prime,
+                                                   Rng* rng) {
+  TRIPRIV_CHECK(rng != nullptr);
+  if (t < 1 || t > n) {
+    return Status::InvalidArgument("need 1 <= t <= n");
+  }
+  if (secret.IsNegative() || secret >= prime) {
+    return Status::InvalidArgument("secret must lie in [0, prime)");
+  }
+  if (BigInt::FromU64(n) >= prime) {
+    return Status::InvalidArgument("prime must exceed the number of shares");
+  }
+  // Random polynomial with constant term = secret.
+  std::vector<BigInt> coeffs;
+  coeffs.push_back(secret);
+  for (size_t i = 1; i < t; ++i) {
+    coeffs.push_back(BigInt::RandomBelow(prime, rng));
+  }
+  std::vector<ShamirShare> shares;
+  shares.reserve(n);
+  for (uint64_t x = 1; x <= n; ++x) {
+    // Horner evaluation mod prime.
+    BigInt y;
+    const BigInt bx = BigInt::FromU64(x);
+    for (size_t i = coeffs.size(); i-- > 0;) {
+      y = BigInt::ModAdd(BigInt::ModMul(y, bx, prime), coeffs[i], prime);
+    }
+    shares.push_back({x, std::move(y)});
+  }
+  return shares;
+}
+
+Result<BigInt> ShamirReconstruct(const std::vector<ShamirShare>& shares,
+                                 const BigInt& prime) {
+  if (shares.empty()) return Status::InvalidArgument("no shares given");
+  std::set<uint64_t> xs;
+  for (const auto& s : shares) {
+    if (!xs.insert(s.x).second) {
+      return Status::InvalidArgument("duplicate share x = " +
+                                     std::to_string(s.x));
+    }
+  }
+  // Lagrange interpolation at 0.
+  BigInt secret;
+  for (size_t i = 0; i < shares.size(); ++i) {
+    BigInt num(1);
+    BigInt den(1);
+    const BigInt xi = BigInt::FromU64(shares[i].x);
+    for (size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) continue;
+      const BigInt xj = BigInt::FromU64(shares[j].x);
+      num = BigInt::ModMul(num, BigInt::ModSub(BigInt(), xj.Mod(prime), prime),
+                           prime);
+      den = BigInt::ModMul(den, BigInt::ModSub(xi.Mod(prime), xj.Mod(prime), prime),
+                           prime);
+    }
+    TRIPRIV_ASSIGN_OR_RETURN(BigInt den_inv, BigInt::ModInverse(den, prime));
+    const BigInt weight = BigInt::ModMul(num, den_inv, prime);
+    secret = BigInt::ModAdd(secret, BigInt::ModMul(shares[i].y, weight, prime),
+                            prime);
+  }
+  return secret;
+}
+
+Result<std::vector<ShamirShare>> ShamirAddShares(
+    const std::vector<ShamirShare>& a, const std::vector<ShamirShare>& b,
+    const BigInt& prime) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("share vectors differ in size");
+  }
+  std::vector<ShamirShare> out;
+  out.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].x != b[i].x) {
+      return Status::InvalidArgument("share x layouts differ");
+    }
+    out.push_back({a[i].x, BigInt::ModAdd(a[i].y, b[i].y, prime)});
+  }
+  return out;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,44 @@
+// Shamir (t, n) secret sharing over a prime field.
+//
+// The threshold primitive underlying generic secure multiparty computation:
+// a secret s is embedded as the constant term of a random degree-(t-1)
+// polynomial; any t shares reconstruct s by Lagrange interpolation, fewer
+// reveal nothing. Shares are additively homomorphic, which the tests and
+// benches exercise (share-wise addition reconstructs the sum of secrets).
+
+#ifndef TRIPRIV_SMC_SHAMIR_H_
+#define TRIPRIV_SMC_SHAMIR_H_
+
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace tripriv {
+
+/// One share: the polynomial evaluated at x (x >= 1).
+struct ShamirShare {
+  uint64_t x = 0;
+  BigInt y;
+};
+
+/// Splits `secret` into n shares with threshold t over GF(prime).
+/// Requires 1 <= t <= n < prime, prime prime, and secret in [0, prime).
+Result<std::vector<ShamirShare>> ShamirShareSecret(const BigInt& secret,
+                                                   size_t n, size_t t,
+                                                   const BigInt& prime,
+                                                   Rng* rng);
+
+/// Reconstructs the secret from >= t shares (extra shares are fine; shares
+/// must have distinct x). Fails on duplicate x values.
+Result<BigInt> ShamirReconstruct(const std::vector<ShamirShare>& shares,
+                                 const BigInt& prime);
+
+/// Share-wise sum of two share vectors (same x layout required):
+/// reconstructing the result yields (secret_a + secret_b) mod prime.
+Result<std::vector<ShamirShare>> ShamirAddShares(
+    const std::vector<ShamirShare>& a, const std::vector<ShamirShare>& b,
+    const BigInt& prime);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_SHAMIR_H_

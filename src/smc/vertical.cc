@@ -1,0 +1,85 @@
+#include "smc/vertical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smc/scalar_product.h"
+#include "stats/descriptive.h"
+
+namespace tripriv {
+
+Result<SecureMomentsResult> SecureJointMoments(PartyNetwork* net,
+                                               const std::vector<double>& x,
+                                               const std::vector<double>& y,
+                                               int64_t scale,
+                                               size_t modulus_bits) {
+  TRIPRIV_CHECK(net != nullptr);
+  if (net->num_parties() != 2) {
+    return Status::FailedPrecondition("joint moments is a 2-party protocol");
+  }
+  if (x.size() != y.size() || x.size() < 2) {
+    return Status::InvalidArgument("need equal-sized columns with >= 2 rows");
+  }
+  if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
+  const size_t start_bytes = net->bytes_transferred();
+  const double n = static_cast<double>(x.size());
+
+  // Each party locally shifts its column non-negative and quantizes.
+  // Covariance and correlation are invariant to the shifts.
+  auto quantize = [scale](const std::vector<double>& v) {
+    const double lo = *std::min_element(v.begin(), v.end());
+    std::vector<BigInt> out;
+    out.reserve(v.size());
+    for (double value : v) {
+      out.push_back(BigInt(static_cast<int64_t>(
+          std::llround((value - lo) * static_cast<double>(scale)))));
+    }
+    return out;
+  };
+  const std::vector<BigInt> qx = quantize(x);
+  const std::vector<BigInt> qy = quantize(y);
+
+  // The only cross-boundary value computation: <qx, qy> via Paillier.
+  TRIPRIV_ASSIGN_OR_RETURN(BigInt dot,
+                           SecureScalarProduct(net, qx, qy, modulus_bits));
+  auto dot_i64 = dot.ToI64();
+  if (!dot_i64.has_value()) {
+    return Status::OutOfRange("dot product exceeds 63 bits; lower the scale");
+  }
+
+  // Published aggregates (documented leakage): each party's quantized sum
+  // and sum of squares — exactly what a joint covariance/correlation output
+  // reveals anyway.
+  auto moments = [](const std::vector<BigInt>& q) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const BigInt& v : q) {
+      const double d = static_cast<double>(*v.ToI64());
+      sum += d;
+      sum_sq += d * d;
+    }
+    return std::make_pair(sum, sum_sq);
+  };
+  const auto [sum_x, sum_sq_x] = moments(qx);
+  const auto [sum_y, sum_sq_y] = moments(qy);
+  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "joint_moments/aggregates",
+                                    {BigInt(static_cast<int64_t>(sum_x))}));
+  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "joint_moments/aggregates",
+                                    {BigInt(static_cast<int64_t>(sum_y))}));
+  TRIPRIV_RETURN_IF_ERROR(net->Receive(1).status());
+  TRIPRIV_RETURN_IF_ERROR(net->Receive(0).status());
+
+  const double s2 = static_cast<double>(scale) * static_cast<double>(scale);
+  SecureMomentsResult result;
+  result.covariance =
+      (static_cast<double>(*dot_i64) - sum_x * sum_y / n) / (n - 1.0) / s2;
+  const double var_x = (sum_sq_x - sum_x * sum_x / n) / (n - 1.0) / s2;
+  const double var_y = (sum_sq_y - sum_y * sum_y / n) / (n - 1.0) / s2;
+  result.correlation = var_x > 0.0 && var_y > 0.0
+                           ? result.covariance / std::sqrt(var_x * var_y)
+                           : 0.0;
+  result.bytes_transferred = net->bytes_transferred() - start_bytes;
+  return result;
+}
+
+}  // namespace tripriv

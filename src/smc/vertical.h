@@ -1,0 +1,47 @@
+// Vertically partitioned secure statistics.
+//
+// The paper's Section 1 motivating case — "co-operative market analysis
+// ... keeping private the databases owned by the various collaborating
+// corporations" — often has VERTICAL partitioning: the same customers, but
+// each owner holds different attributes. The classic scalar-product
+// reduction (Vaidya-Clifton style) computes joint second moments without
+// either party revealing its column:
+//
+//   cov(x, y) = (<x, y> - sum(x) sum(y) / n) / (n - 1)
+//
+// where <x, y> crosses the boundary only through the Paillier secure
+// scalar product, and sum(x)/sum(y) are aggregates the parties agree to
+// publish (documented leakage — the same aggregates any joint analysis
+// output reveals). Real values ride as fixed-point integers; covariance is
+// shift-invariant, so each party locally shifts its column non-negative.
+
+#ifndef TRIPRIV_SMC_VERTICAL_H_
+#define TRIPRIV_SMC_VERTICAL_H_
+
+#include <vector>
+
+#include "smc/party.h"
+
+namespace tripriv {
+
+/// Result of a secure joint-moment computation.
+struct SecureMomentsResult {
+  double covariance = 0.0;
+  double correlation = 0.0;
+  /// Communication volume of the underlying protocol, in bytes.
+  size_t bytes_transferred = 0;
+};
+
+/// Computes cov(x, y) and corr(x, y) where party 0 of `net` holds column
+/// `x` and party 1 holds column `y` for the same n respondents. `scale`
+/// sets the fixed-point precision (values are quantized to 1/scale).
+/// Requires a 2-party network, equal sizes >= 2, and scale >= 1.
+Result<SecureMomentsResult> SecureJointMoments(PartyNetwork* net,
+                                               const std::vector<double>& x,
+                                               const std::vector<double>& y,
+                                               int64_t scale = 1000,
+                                               size_t modulus_bits = 256);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_VERTICAL_H_

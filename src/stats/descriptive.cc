@@ -1,0 +1,147 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tripriv {
+
+double Mean(const std::vector<double>& v) {
+  TRIPRIV_CHECK(!v.empty());
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double SampleVariance(const std::vector<double>& v) {
+  TRIPRIV_CHECK_GE(v.size(), 2u);
+  const double m = Mean(v);
+  double ss = 0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+double PopulationVariance(const std::vector<double>& v) {
+  TRIPRIV_CHECK(!v.empty());
+  const double m = Mean(v);
+  double ss = 0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size());
+}
+
+double SampleStddev(const std::vector<double>& v) {
+  return std::sqrt(SampleVariance(v));
+}
+
+double SampleCovariance(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  TRIPRIV_CHECK_EQ(x.size(), y.size());
+  TRIPRIV_CHECK_GE(x.size(), 2u);
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double s = 0;
+  for (size_t i = 0; i < x.size(); ++i) s += (x[i] - mx) * (y[i] - my);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  const double cov = SampleCovariance(x, y);
+  const double vx = SampleVariance(x);
+  const double vy = SampleVariance(y);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+double Quantile(std::vector<double> v, double q) {
+  TRIPRIV_CHECK(!v.empty());
+  TRIPRIV_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double Min(const std::vector<double>& v) {
+  TRIPRIV_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  TRIPRIV_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+std::vector<double> ColumnMeans(const std::vector<std::vector<double>>& m) {
+  TRIPRIV_CHECK(!m.empty());
+  const size_t d = m[0].size();
+  std::vector<double> means(d, 0.0);
+  for (const auto& row : m) {
+    TRIPRIV_CHECK_EQ(row.size(), d);
+    for (size_t j = 0; j < d; ++j) means[j] += row[j];
+  }
+  for (double& v : means) v /= static_cast<double>(m.size());
+  return means;
+}
+
+std::vector<std::vector<double>> CovarianceMatrix(
+    const std::vector<std::vector<double>>& m) {
+  TRIPRIV_CHECK_GE(m.size(), 2u);
+  const size_t d = m[0].size();
+  const std::vector<double> means = ColumnMeans(m);
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& row : m) {
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i; j < d; ++j) {
+        cov[i][j] += (row[i] - means[i]) * (row[j] - means[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(m.size() - 1);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov[i][j] /= denom;
+      cov[j][i] = cov[i][j];
+    }
+  }
+  return cov;
+}
+
+std::vector<std::vector<double>> CorrelationMatrix(
+    const std::vector<std::vector<double>>& m) {
+  auto cov = CovarianceMatrix(m);
+  const size_t d = cov.size();
+  std::vector<std::vector<double>> corr(d, std::vector<double>(d, 0.0));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double denom = std::sqrt(cov[i][i] * cov[j][j]);
+      corr[i][j] = denom > 0.0 ? cov[i][j] / denom : (i == j ? 1.0 : 0.0);
+    }
+  }
+  for (size_t i = 0; i < d; ++i) corr[i][i] = 1.0;
+  return corr;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TRIPRIV_CHECK_EQ(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double MatrixSse(const std::vector<std::vector<double>>& a,
+                 const std::vector<std::vector<double>>& b) {
+  TRIPRIV_CHECK_EQ(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += SquaredDistance(a[i], b[i]);
+  return s;
+}
+
+}  // namespace tripriv

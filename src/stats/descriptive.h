@@ -1,0 +1,70 @@
+// Descriptive statistics over numeric vectors and matrices.
+//
+// These are the primitives behind utility / information-loss measurement
+// (how much a masking method distorts means, variances, and the covariance
+// structure — the property condensation [1] explicitly preserves) and the
+// statistical query engine.
+
+#ifndef TRIPRIV_STATS_DESCRIPTIVE_H_
+#define TRIPRIV_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Arithmetic mean. Requires non-empty input.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double SampleVariance(const std::vector<double>& v);
+
+/// Population variance (n denominator). Requires non-empty input.
+double PopulationVariance(const std::vector<double>& v);
+
+/// Square root of the unbiased sample variance.
+double SampleStddev(const std::vector<double>& v);
+
+/// Unbiased sample covariance of two equally-sized vectors (size >= 2).
+double SampleCovariance(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when either vector is constant.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires non-empty input.
+double Quantile(std::vector<double> v, double q);
+
+/// Median (0.5 quantile).
+double Median(std::vector<double> v);
+
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Column means of a row-major matrix. Requires a non-empty rectangular
+/// matrix.
+std::vector<double> ColumnMeans(const std::vector<std::vector<double>>& m);
+
+/// Unbiased sample covariance matrix of a row-major matrix (rows are
+/// observations). Requires >= 2 rows.
+std::vector<std::vector<double>> CovarianceMatrix(
+    const std::vector<std::vector<double>>& m);
+
+/// Pearson correlation matrix (unit diagonal; 0 for constant columns).
+std::vector<std::vector<double>> CorrelationMatrix(
+    const std::vector<std::vector<double>>& m);
+
+/// Squared Euclidean distance between two points of equal dimension.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Sum over cells of squared differences between two equally-shaped
+/// matrices — the SSE information-loss primitive.
+double MatrixSse(const std::vector<std::vector<double>>& a,
+                 const std::vector<std::vector<double>>& b);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_STATS_DESCRIPTIVE_H_

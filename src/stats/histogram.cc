@@ -1,0 +1,115 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tripriv {
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi) {
+  TRIPRIV_CHECK_LT(lo, hi);
+  TRIPRIV_CHECK_GE(bins, 1u);
+  counts_.assign(bins, 0.0);
+}
+
+Histogram Histogram::FromValues(const std::vector<double>& values, double lo,
+                                double hi, size_t bins) {
+  Histogram h(lo, hi, bins);
+  for (double v : values) h.Add(v);
+  return h;
+}
+
+size_t Histogram::BinIndex(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const double w = bin_width();
+  size_t idx = static_cast<size_t>((value - lo_) / w);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::Add(double value) {
+  counts_[BinIndex(value)] += 1.0;
+  total_ += 1.0;
+}
+
+double Histogram::BinCenter(size_t i) const {
+  TRIPRIV_CHECK_LT(i, counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  std::vector<double> p(counts_.size());
+  if (total_ <= 0.0) {
+    const double u = 1.0 / static_cast<double>(counts_.size());
+    std::fill(p.begin(), p.end(), u);
+    return p;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) p[i] = counts_[i] / total_;
+  return p;
+}
+
+double Histogram::ApproxMean() const {
+  const auto p = Probabilities();
+  double m = 0;
+  for (size_t i = 0; i < p.size(); ++i) m += p[i] * BinCenter(i);
+  return m;
+}
+
+double TotalVariation(const std::vector<double>& p, const std::vector<double>& q) {
+  TRIPRIV_CHECK_EQ(p.size(), q.size());
+  double s = 0;
+  for (size_t i = 0; i < p.size(); ++i) s += std::fabs(p[i] - q[i]);
+  return 0.5 * s;
+}
+
+double KsStatistic(std::vector<double> a, std::vector<double> b) {
+  TRIPRIV_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t ia = 0;
+  size_t ib = 0;
+  double d = 0;
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  // Advance past all ties of the current smallest value in BOTH samples
+  // before comparing CDFs, so equal samples yield distance 0.
+  while (ia < a.size() || ib < b.size()) {
+    double v;
+    if (ia == a.size()) {
+      v = b[ib];
+    } else if (ib == b.size()) {
+      v = a[ia];
+    } else {
+      v = std::min(a[ia], b[ib]);
+    }
+    while (ia < a.size() && a[ia] == v) ++ia;
+    while (ib < b.size() && b[ib] == v) ++ib;
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected) {
+  TRIPRIV_CHECK_EQ(observed.size(), expected.size());
+  double s = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) continue;
+    const double d = observed[i] - expected[i];
+    s += d * d / expected[i];
+  }
+  return s;
+}
+
+double HellingerDistance(const std::vector<double>& p,
+                         const std::vector<double>& q) {
+  TRIPRIV_CHECK_EQ(p.size(), q.size());
+  double s = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double d = std::sqrt(std::max(0.0, p[i])) - std::sqrt(std::max(0.0, q[i]));
+    s += d * d;
+  }
+  return std::sqrt(0.5 * s);
+}
+
+}  // namespace tripriv

@@ -1,0 +1,79 @@
+// Histograms and distribution-distance measures.
+//
+// The Agrawal-Srikant reconstruction (ppdm) represents distributions as
+// equal-width histograms; the disclosure experiments compare original and
+// reconstructed distributions with total-variation / KS / chi-square
+// distances.
+
+#ifndef TRIPRIV_STATS_HISTOGRAM_H_
+#define TRIPRIV_STATS_HISTOGRAM_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Equal-width histogram over [lo, hi) with a fixed bin count.
+class Histogram {
+ public:
+  /// Creates an empty histogram. Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, size_t bins);
+
+  /// Builds a histogram of `values` (values outside [lo, hi) are clamped
+  /// into the boundary bins).
+  static Histogram FromValues(const std::vector<double>& values, double lo,
+                              double hi, size_t bins);
+
+  /// Adds one observation (clamped into range).
+  void Add(double value);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return (hi_ - lo_) / static_cast<double>(counts_.size()); }
+  /// Raw count of bin `i`.
+  double count(size_t i) const {
+    TRIPRIV_CHECK_LT(i, counts_.size());
+    return counts_[i];
+  }
+  double total() const { return total_; }
+
+  /// Bin index a value falls into (after clamping).
+  size_t BinIndex(double value) const;
+  /// Center of bin `i`.
+  double BinCenter(size_t i) const;
+
+  /// Normalized bin masses (sum 1); all-zero histogram yields uniform.
+  std::vector<double> Probabilities() const;
+
+  /// Mean of the binned distribution (bin centers weighted by mass).
+  double ApproxMean() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Total variation distance between two probability vectors of equal size:
+/// (1/2) sum |p_i - q_i|, in [0, 1].
+double TotalVariation(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Two-sample Kolmogorov-Smirnov statistic (sup distance between empirical
+/// CDFs). Requires non-empty samples.
+double KsStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Pearson chi-square statistic of observed counts against expected counts
+/// (bins with expected <= 0 are skipped).
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected);
+
+/// Hellinger distance between two probability vectors, in [0, 1].
+double HellingerDistance(const std::vector<double>& p,
+                         const std::vector<double>& q);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_STATS_HISTOGRAM_H_

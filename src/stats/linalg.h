@@ -1,0 +1,40 @@
+// Minimal dense linear algebra: Cholesky factorization and multivariate
+// normal sampling, used by correlated-noise masking and condensation.
+
+#ifndef TRIPRIV_STATS_LINALG_H_
+#define TRIPRIV_STATS_LINALG_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Lower-triangular Cholesky factor L of a symmetric positive-semidefinite
+/// matrix (A = L L^T). A diagonal `jitter` is added (and escalated up to
+/// 1e6x) when A is only semidefinite; fails if the matrix is indefinite
+/// beyond that.
+Result<std::vector<std::vector<double>>> CholeskyDecompose(
+    std::vector<std::vector<double>> a, double jitter = 1e-10);
+
+/// Draws one sample from N(mean, L L^T) given the Cholesky factor L.
+std::vector<double> MultivariateNormalSample(
+    const std::vector<double>& mean,
+    const std::vector<std::vector<double>>& chol, Rng* rng);
+
+/// Matrix-vector product.
+std::vector<double> MatVec(const std::vector<std::vector<double>>& m,
+                           const std::vector<double>& v);
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting. Fails on non-square input or a (numerically) singular matrix.
+Result<std::vector<double>> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                              std::vector<double> b);
+
+/// Frobenius norm.
+double FrobeniusNorm(const std::vector<std::vector<double>>& m);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_STATS_LINALG_H_

@@ -1,0 +1,232 @@
+#include "table/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+DataTable MustFromRows(Schema schema, std::vector<std::vector<Value>> rows) {
+  auto result = DataTable::FromRows(std::move(schema), std::move(rows));
+  TRIPRIV_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+int64_t ClampInt(double v, int64_t lo, int64_t hi) {
+  const int64_t r = static_cast<int64_t>(std::llround(v));
+  return std::max(lo, std::min(hi, r));
+}
+
+}  // namespace
+
+Schema PatientSchema() {
+  return Schema({
+      {"height", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"weight", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"blood_pressure", AttributeType::kInteger, AttributeRole::kConfidential},
+      {"aids", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+}
+
+DataTable PaperDataset1() {
+  // Three equivalence classes on (height, weight): sizes 3, 3, 4 -> the
+  // dataset is 3-anonymous "spontaneously". The AIDS column follows the
+  // paper's visible Y/N sequence (Y N N N Y N N Y N N), which gives every
+  // class at least two distinct AIDS values (2-sensitive 3-anonymity).
+  return MustFromRows(PatientSchema(), {
+      {170, 75, 150, "Y"},
+      {170, 75, 145, "N"},
+      {170, 75, 160, "N"},
+      {180, 90, 155, "N"},
+      {180, 90, 148, "Y"},
+      {180, 90, 162, "N"},
+      {160, 60, 141, "N"},
+      {160, 60, 170, "Y"},
+      {160, 60, 152, "N"},
+      {160, 60, 144, "N"},
+  });
+}
+
+DataTable PaperDataset2() {
+  // Unique key combinations (no 3-anonymity); row 4 is the short (<165 cm)
+  // and heavy (>105 kg) respondent isolated by the Section 3 attack, with
+  // systolic blood pressure 146. AIDS column: N Y N N N Y N Y N N.
+  return MustFromRows(PatientSchema(), {
+      {175, 80, 152, "N"},
+      {168, 72, 149, "Y"},
+      {182, 95, 158, "N"},
+      {190, 98, 161, "N"},
+      {160, 110, 146, "N"},
+      {171, 77, 143, "Y"},
+      {165, 64, 166, "N"},
+      {186, 91, 154, "Y"},
+      {158, 55, 147, "N"},
+      {177, 85, 150, "N"},
+  });
+}
+
+DataTable MakeClinicalTrial(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DataTable table(PatientSchema());
+  for (size_t i = 0; i < n; ++i) {
+    const double height = rng.Normal(170.0, 9.0);
+    const double weight = (height - 100.0) + rng.Normal(0.0, 11.0);
+    // Trial population: hypertension only (systolic >= 140).
+    const double bp = 140.0 + std::fabs(rng.Normal(0.0, 14.0));
+    const bool aids = rng.Bernoulli(0.12);
+    auto st = table.AppendRow({Value(ClampInt(height, 140, 205)),
+                               Value(ClampInt(weight, 40, 160)),
+                               Value(ClampInt(bp, 140, 230)),
+                               Value(aids ? "Y" : "N")});
+    TRIPRIV_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+DataTable MakeExtendedTrial(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({
+      {"age", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"height", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"weight", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"cholesterol", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"blood_pressure", AttributeType::kInteger, AttributeRole::kConfidential},
+      {"aids", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+  DataTable table(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const double age = rng.UniformDouble(25.0, 85.0);
+    const double height = rng.Normal(170.0, 9.0);
+    const double weight = (height - 100.0) + rng.Normal(0.0, 11.0);
+    // Cholesterol drifts up with age and weight.
+    const double chol =
+        150.0 + 0.8 * age + 0.3 * weight + rng.Normal(0.0, 20.0);
+    const double bp = 140.0 + 0.15 * age + std::fabs(rng.Normal(0.0, 12.0));
+    const bool aids = rng.Bernoulli(0.12);
+    auto st = table.AppendRow(
+        {Value(ClampInt(age, 25, 85)), Value(ClampInt(height, 140, 205)),
+         Value(ClampInt(weight, 40, 160)), Value(ClampInt(chol, 100, 400)),
+         Value(ClampInt(bp, 140, 230)), Value(aids ? "Y" : "N")});
+    TRIPRIV_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+DataTable MakeCensus(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({
+      {"age", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"sex", AttributeType::kCategorical, AttributeRole::kQuasiIdentifier},
+      {"region", AttributeType::kCategorical, AttributeRole::kQuasiIdentifier},
+      {"education", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"income", AttributeType::kReal, AttributeRole::kConfidential},
+      {"diagnosis", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+  static const char* kDiagnoses[] = {"none",         "hypertension", "diabetes",
+                                     "asthma",       "depression",   "cancer"};
+  static const double kDiagnosisWeights[] = {0.55, 0.16, 0.11, 0.09, 0.06, 0.03};
+  DataTable table(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t age = rng.UniformInt(18, 90);
+    const bool male = rng.Bernoulli(0.49);
+    const int64_t region = rng.UniformInt(0, 11);
+    // Education correlates weakly with age bracket.
+    const int64_t education =
+        ClampInt(8.0 + rng.Normal(0.0, 3.0) + (age > 30 ? 2.0 : 0.0), 1, 16);
+    // Log-normal income rising with education.
+    const double income =
+        std::exp(9.2 + 0.12 * static_cast<double>(education) +
+                 rng.Normal(0.0, 0.55));
+    double u = rng.UniformDouble();
+    size_t diag = 0;
+    for (; diag + 1 < 6; ++diag) {
+      if (u < kDiagnosisWeights[diag]) break;
+      u -= kDiagnosisWeights[diag];
+    }
+    auto st = table.AppendRow({Value(age), Value(male ? "M" : "F"),
+                               Value("R" + std::to_string(region)),
+                               Value(education), Value(income),
+                               Value(kDiagnoses[diag])});
+    TRIPRIV_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+DataTable MakeHighDimBinary(size_t n, size_t d, uint64_t seed) {
+  TRIPRIV_CHECK_GE(d, 2u);
+  Rng rng(seed);
+  std::vector<Attribute> attrs;
+  attrs.reserve(d);
+  for (size_t j = 0; j < d; ++j) {
+    attrs.push_back({"a" + std::to_string(j), AttributeType::kInteger,
+                     j + 1 == d ? AttributeRole::kConfidential
+                                : AttributeRole::kQuasiIdentifier});
+  }
+  // Per-attribute marginal probabilities away from 1/2 so value combinations
+  // become increasingly rare as d grows (the sparsity regime of [11]).
+  std::vector<double> p(d);
+  for (size_t j = 0; j < d; ++j) p[j] = rng.UniformDouble(0.15, 0.45);
+  DataTable table{Schema(std::move(attrs))};
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row;
+    row.reserve(d);
+    for (size_t j = 0; j < d; ++j) {
+      row.push_back(Value(static_cast<int64_t>(rng.Bernoulli(p[j]) ? 1 : 0)));
+    }
+    auto st = table.AppendRow(std::move(row));
+    TRIPRIV_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+DataTable MakeClassification(size_t n, int function_id, uint64_t seed) {
+  TRIPRIV_CHECK(function_id >= 1 && function_id <= 3);
+  Rng rng(seed);
+  Schema schema({
+      {"age", AttributeType::kReal, AttributeRole::kNonConfidential},
+      {"salary", AttributeType::kReal, AttributeRole::kNonConfidential},
+      {"commission", AttributeType::kReal, AttributeRole::kNonConfidential},
+      {"elevel", AttributeType::kInteger, AttributeRole::kNonConfidential},
+      {"group", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+  DataTable table(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const double age = rng.UniformDouble(20.0, 80.0);
+    const double salary = rng.UniformDouble(20000.0, 150000.0);
+    const double commission =
+        salary >= 75000.0 ? 0.0 : rng.UniformDouble(10000.0, 75000.0);
+    const int64_t elevel = rng.UniformInt(0, 4);
+    bool is_a = false;
+    switch (function_id) {
+      case 1:
+        is_a = age < 40.0 || age >= 60.0;
+        break;
+      case 2:
+        if (age < 40.0) {
+          is_a = salary >= 50000.0 && salary <= 100000.0;
+        } else if (age < 60.0) {
+          is_a = salary >= 75000.0 && salary <= 125000.0;
+        } else {
+          is_a = salary >= 25000.0 && salary <= 75000.0;
+        }
+        break;
+      case 3:
+        if (age < 40.0) {
+          is_a = elevel <= 1;
+        } else if (age < 60.0) {
+          is_a = elevel >= 1 && elevel <= 3;
+        } else {
+          is_a = elevel >= 2;
+        }
+        break;
+    }
+    auto st = table.AppendRow({Value(age), Value(salary), Value(commission),
+                               Value(elevel), Value(is_a ? "A" : "B")});
+    TRIPRIV_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,153 @@
+#include "table/io.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace tripriv {
+namespace {
+
+Result<Value> ParseCell(const Attribute& attr, const std::string& text) {
+  if (text.empty()) return Value::Null();
+  switch (attr.type) {
+    case AttributeType::kInteger: {
+      int64_t v = 0;
+      if (!ParseInt64(text, &v)) {
+        return Status::InvalidArgument("cannot parse '" + text +
+                                       "' as integer for attribute '" +
+                                       attr.name + "'");
+      }
+      return Value(v);
+    }
+    case AttributeType::kReal: {
+      double v = 0;
+      if (!ParseDouble(text, &v)) {
+        return Status::InvalidArgument("cannot parse '" + text +
+                                       "' as real for attribute '" +
+                                       attr.name + "'");
+      }
+      return Value(v);
+    }
+    case AttributeType::kCategorical:
+      return Value(text);
+  }
+  return Status::Internal("unknown attribute type");
+}
+
+}  // namespace
+
+Result<DataTable> TableFromCsv(const Schema& schema, std::string_view csv_text) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto rows, ParseCsv(csv_text));
+  if (rows.empty()) return Status::InvalidArgument("CSV has no header row");
+  const auto& header = rows[0];
+  if (header.size() != schema.size()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, schema has " + std::to_string(schema.size()));
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (Trim(header[c]) != schema.attribute(c).name) {
+      return Status::InvalidArgument("CSV header column " + std::to_string(c) +
+                                     " is '" + header[c] + "', expected '" +
+                                     schema.attribute(c).name + "'");
+    }
+  }
+  DataTable table(schema);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != schema.size()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(r) + " has " +
+                                     std::to_string(rows[r].size()) +
+                                     " cells, expected " +
+                                     std::to_string(schema.size()));
+    }
+    std::vector<Value> cells;
+    cells.reserve(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      TRIPRIV_ASSIGN_OR_RETURN(Value v, ParseCell(schema.attribute(c), rows[r][c]));
+      cells.push_back(std::move(v));
+    }
+    TRIPRIV_RETURN_IF_ERROR(table.AppendRow(std::move(cells)));
+  }
+  return table;
+}
+
+Result<DataTable> TableFromCsvInferred(std::string_view csv_text) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto rows, ParseCsv(csv_text));
+  if (rows.empty()) return Status::InvalidArgument("CSV has no header row");
+  const size_t ncols = rows[0].size();
+  // Duplicate header names would violate the Schema invariant (a CHECK);
+  // reject them as malformed input instead.
+  {
+    std::set<std::string> seen;
+    for (const auto& name : rows[0]) {
+      if (!seen.insert(std::string(Trim(name))).second) {
+        return Status::InvalidArgument("duplicate CSV header column '" +
+                                       std::string(Trim(name)) + "'");
+      }
+    }
+  }
+  std::vector<Attribute> attrs(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    attrs[c].name = std::string(Trim(rows[0][c]));
+    bool all_int = true;
+    bool all_real = true;
+    bool any_value = false;
+    for (size_t r = 1; r < rows.size(); ++r) {
+      if (c >= rows[r].size() || rows[r][c].empty()) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      if (!ParseInt64(rows[r][c], &iv)) all_int = false;
+      if (!ParseDouble(rows[r][c], &dv)) all_real = false;
+    }
+    if (any_value && all_int) {
+      attrs[c].type = AttributeType::kInteger;
+    } else if (any_value && all_real) {
+      attrs[c].type = AttributeType::kReal;
+    } else {
+      attrs[c].type = AttributeType::kCategorical;
+    }
+    attrs[c].role = AttributeRole::kNonConfidential;
+  }
+  return TableFromCsv(Schema(std::move(attrs)), csv_text);
+}
+
+std::string TableToCsv(const DataTable& table) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(table.num_rows() + 1);
+  std::vector<std::string> header;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    header.push_back(table.schema().attribute(c).name);
+  }
+  rows.push_back(std::move(header));
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(table.num_columns());
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      cells.push_back(table.at(r, c).ToDisplayString());
+    }
+    rows.push_back(std::move(cells));
+  }
+  return WriteCsv(rows);
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open file for write: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::Internal("short write to file: " + path);
+  return Status::OK();
+}
+
+}  // namespace tripriv

@@ -1,0 +1,34 @@
+// CSV import/export for DataTable.
+
+#ifndef TRIPRIV_TABLE_IO_H_
+#define TRIPRIV_TABLE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Parses CSV text (header row required, matching the schema's attribute
+/// names in order) into a table. Cells are parsed according to the schema
+/// column types; empty cells become null.
+Result<DataTable> TableFromCsv(const Schema& schema, std::string_view csv_text);
+
+/// Parses CSV text and infers a schema: a column where every non-empty cell
+/// parses as int64 is kInteger; else if every cell parses as double, kReal;
+/// otherwise kCategorical. All roles default to kNonConfidential.
+Result<DataTable> TableFromCsvInferred(std::string_view csv_text);
+
+/// Serializes a table to CSV with a header row. Null cells serialize empty.
+std::string TableToCsv(const DataTable& table);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes a string to a file, replacing any existing content.
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_TABLE_IO_H_

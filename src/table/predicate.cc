@@ -1,0 +1,184 @@
+#include "table/predicate.h"
+
+namespace tripriv {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Predicate Predicate::True() { return Predicate(); }
+
+Predicate Predicate::Compare(std::string attribute, CompareOp op, Value literal) {
+  Predicate p;
+  p.kind_ = Kind::kCompare;
+  p.attribute_ = std::move(attribute);
+  p.op_ = op;
+  p.literal_ = std::move(literal);
+  return p;
+}
+
+Predicate Predicate::And(Predicate lhs, Predicate rhs) {
+  Predicate p;
+  p.kind_ = Kind::kAnd;
+  p.lhs_ = std::make_shared<const Predicate>(std::move(lhs));
+  p.rhs_ = std::make_shared<const Predicate>(std::move(rhs));
+  return p;
+}
+
+Predicate Predicate::Or(Predicate lhs, Predicate rhs) {
+  Predicate p;
+  p.kind_ = Kind::kOr;
+  p.lhs_ = std::make_shared<const Predicate>(std::move(lhs));
+  p.rhs_ = std::make_shared<const Predicate>(std::move(rhs));
+  return p;
+}
+
+Predicate Predicate::Not(Predicate inner) {
+  Predicate p;
+  p.kind_ = Kind::kNot;
+  p.lhs_ = std::make_shared<const Predicate>(std::move(inner));
+  return p;
+}
+
+namespace {
+
+/// Three-valued comparison result following SQL null semantics.
+Result<bool> EvalCompare(const Value& cell, CompareOp op, const Value& literal) {
+  if (cell.is_null()) {
+    // Suppressed cells match nothing except explicit inequality to a value.
+    return op == CompareOp::kNe;
+  }
+  if (cell.is_numeric() && literal.is_numeric()) {
+    const double a = cell.ToDouble();
+    const double b = literal.ToDouble();
+    switch (op) {
+      case CompareOp::kEq:
+        return a == b;
+      case CompareOp::kNe:
+        return a != b;
+      case CompareOp::kLt:
+        return a < b;
+      case CompareOp::kLe:
+        return a <= b;
+      case CompareOp::kGt:
+        return a > b;
+      case CompareOp::kGe:
+        return a >= b;
+    }
+  }
+  if (cell.is_string() && literal.is_string()) {
+    const int cmp = cell.AsString().compare(literal.AsString());
+    switch (op) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+  }
+  return Status::InvalidArgument("type mismatch in comparison: " +
+                                 cell.ToDisplayString() + " vs " +
+                                 literal.ToDisplayString());
+}
+
+}  // namespace
+
+Result<bool> Predicate::Matches(const DataTable& table, size_t row) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare: {
+      TRIPRIV_ASSIGN_OR_RETURN(size_t col, table.schema().IndexOf(attribute_));
+      return EvalCompare(table.at(row, col), op_, literal_);
+    }
+    case Kind::kAnd: {
+      TRIPRIV_ASSIGN_OR_RETURN(bool a, lhs_->Matches(table, row));
+      if (!a) return false;
+      return rhs_->Matches(table, row);
+    }
+    case Kind::kOr: {
+      TRIPRIV_ASSIGN_OR_RETURN(bool a, lhs_->Matches(table, row));
+      if (a) return true;
+      return rhs_->Matches(table, row);
+    }
+    case Kind::kNot: {
+      TRIPRIV_ASSIGN_OR_RETURN(bool a, lhs_->Matches(table, row));
+      return !a;
+    }
+  }
+  return Status::Internal("corrupt predicate kind");
+}
+
+Result<std::vector<size_t>> Predicate::MatchingRows(const DataTable& table) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    TRIPRIV_ASSIGN_OR_RETURN(bool match, Matches(table, r));
+    if (match) out.push_back(r);
+  }
+  return out;
+}
+
+void Predicate::CollectAttributes(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return;
+    case Kind::kCompare:
+      out->push_back(attribute_);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      lhs_->CollectAttributes(out);
+      rhs_->CollectAttributes(out);
+      return;
+    case Kind::kNot:
+      lhs_->CollectAttributes(out);
+      return;
+  }
+}
+
+std::vector<std::string> Predicate::ReferencedAttributes() const {
+  std::vector<std::string> out;
+  CollectAttributes(&out);
+  return out;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return attribute_ + " " + CompareOpToString(op_) + " " +
+             (literal_.is_string() ? "'" + literal_.AsString() + "'"
+                                   : literal_.ToDisplayString());
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " AND " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " OR " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace tripriv

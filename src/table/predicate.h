@@ -1,0 +1,71 @@
+// Row predicates: the WHERE clauses of statistical queries.
+//
+// A Predicate is a small expression tree over attribute comparisons,
+// combined with AND / OR / NOT. It backs both the interactive statistical
+// database (querydb) and the private aggregate queries (pir), including the
+// paper's Section 3 example:
+//   height < 165 AND weight > 105.
+
+#ifndef TRIPRIV_TABLE_PREDICATE_H_
+#define TRIPRIV_TABLE_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/data_table.h"
+
+namespace tripriv {
+
+/// Comparison operator of a leaf predicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// Immutable predicate expression tree.
+class Predicate {
+ public:
+  /// Predicate that accepts every row.
+  static Predicate True();
+  /// Leaf: `attribute <op> literal`.
+  static Predicate Compare(std::string attribute, CompareOp op, Value literal);
+  static Predicate And(Predicate lhs, Predicate rhs);
+  static Predicate Or(Predicate lhs, Predicate rhs);
+  static Predicate Not(Predicate inner);
+
+  /// Evaluates against row `row` of `table`. Fails if a referenced
+  /// attribute does not exist or a comparison is ill-typed (e.g. `<` between
+  /// a number and a string). Null cells compare false under every operator
+  /// except kNe, mirroring SQL's null semantics closely enough for the
+  /// statistical-query workloads here.
+  Result<bool> Matches(const DataTable& table, size_t row) const;
+
+  /// Indices of all rows of `table` satisfying the predicate.
+  Result<std::vector<size_t>> MatchingRows(const DataTable& table) const;
+
+  /// Attribute names referenced by the predicate (with duplicates), in
+  /// left-to-right order. The query-auditing machinery uses this to know
+  /// which attributes a user has probed.
+  std::vector<std::string> ReferencedAttributes() const;
+
+  /// SQL-ish rendering, e.g. "(height < 165 AND weight > 105)".
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kTrue, kCompare, kAnd, kOr, kNot };
+
+  Kind kind_ = Kind::kTrue;
+  // Leaf payload.
+  std::string attribute_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  // Children (shared so Predicate stays copyable).
+  std::shared_ptr<const Predicate> lhs_;
+  std::shared_ptr<const Predicate> rhs_;
+
+  void CollectAttributes(std::vector<std::string>* out) const;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_TABLE_PREDICATE_H_

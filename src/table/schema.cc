@@ -1,0 +1,75 @@
+#include "table/schema.h"
+
+#include <unordered_set>
+
+namespace tripriv {
+
+const char* AttributeTypeToString(AttributeType type) {
+  switch (type) {
+    case AttributeType::kInteger:
+      return "integer";
+    case AttributeType::kReal:
+      return "real";
+    case AttributeType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+const char* AttributeRoleToString(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kIdentifier:
+      return "identifier";
+    case AttributeRole::kQuasiIdentifier:
+      return "quasi-identifier";
+    case AttributeRole::kConfidential:
+      return "confidential";
+    case AttributeRole::kNonConfidential:
+      return "non-confidential";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  std::unordered_set<std::string> names;
+  for (const auto& a : attributes_) {
+    TRIPRIV_CHECK(names.insert(a.name).second)
+        << "duplicate attribute name:" << a.name;
+  }
+}
+
+std::optional<size_t> Schema::FindIndex(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  auto idx = FindIndex(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return *idx;
+}
+
+std::vector<size_t> Schema::IndicesWithRole(AttributeRole role) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(indices.size());
+  for (size_t i : indices) {
+    TRIPRIV_CHECK_LT(i, attributes_.size());
+    attrs.push_back(attributes_[i]);
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace tripriv

@@ -1,0 +1,94 @@
+// Microdata schema: attribute names, types, and privacy roles.
+//
+// The paper (Section 2, following Dalenius and Samarati) classifies
+// attributes by the role they play in disclosure:
+//   * identifiers      — directly name the respondent (removed before any
+//                        release);
+//   * quasi-identifiers (key attributes) — e.g. height and weight in
+//                        Table 1: individually harmless, jointly linkable
+//                        to external knowledge;
+//   * confidential     — the sensitive payload (blood pressure, AIDS);
+//   * non-confidential — everything else.
+// The SDC, PPDM, and evaluation modules all key off these roles.
+
+#ifndef TRIPRIV_TABLE_SCHEMA_H_
+#define TRIPRIV_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Storage/semantic type of an attribute.
+enum class AttributeType {
+  kInteger,      ///< int64 values
+  kReal,         ///< double values
+  kCategorical,  ///< string labels, unordered
+};
+
+/// Disclosure role of an attribute (see file comment).
+enum class AttributeRole {
+  kIdentifier,
+  kQuasiIdentifier,
+  kConfidential,
+  kNonConfidential,
+};
+
+const char* AttributeTypeToString(AttributeType type);
+const char* AttributeRoleToString(AttributeRole role);
+
+/// One column's metadata.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kReal;
+  AttributeRole role = AttributeRole::kNonConfidential;
+
+  bool operator==(const Attribute& other) const = default;
+};
+
+/// Ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema; duplicate names are a programmer error (CHECK).
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const {
+    TRIPRIV_CHECK_LT(i, attributes_.size());
+    return attributes_[i];
+  }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> FindIndex(std::string_view name) const;
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// Indices of all attributes with the given role, in schema order.
+  std::vector<size_t> IndicesWithRole(AttributeRole role) const;
+  /// Convenience: quasi-identifier indices (the paper's "key attributes").
+  std::vector<size_t> QuasiIdentifierIndices() const {
+    return IndicesWithRole(AttributeRole::kQuasiIdentifier);
+  }
+  /// Convenience: confidential-attribute indices.
+  std::vector<size_t> ConfidentialIndices() const {
+    return IndicesWithRole(AttributeRole::kConfidential);
+  }
+
+  /// New schema containing only the attributes at `indices`, in order.
+  Schema Project(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_TABLE_SCHEMA_H_

@@ -1,0 +1,45 @@
+#include "table/value.h"
+
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace tripriv {
+
+std::string Value::ToDisplayString() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_real()) return FormatDouble(AsReal(), 10);
+  return AsString();
+}
+
+bool Value::operator<(const Value& other) const {
+  // Rank: null(0) < numeric(1) < string(2); numerics compare by value.
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  const int ra = rank(*this);
+  const int rb = rank(other);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // null == null
+  if (ra == 1) {
+    const double a = ToDouble();
+    const double b = other.ToDouble();
+    if (a != b) return a < b;
+    // Numerically equal: order ints before reals for a strict weak order
+    // consistent with operator== (Value(1) != Value(1.0)).
+    return is_int() && other.is_real();
+  }
+  return AsString() < other.AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9E3779B9u;
+  if (is_int()) return std::hash<int64_t>{}(AsInt());
+  if (is_real()) return std::hash<double>{}(AsReal());
+  return std::hash<std::string>{}(AsString());
+}
+
+}  // namespace tripriv

@@ -1,0 +1,568 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <array>
+
+namespace tripriv {
+namespace {
+
+constexpr uint64_t kBase = 1ULL << 32;
+
+}  // namespace
+
+BigInt::BigInt(int64_t v) {
+  negative_ = v < 0;
+  // Two's-complement-safe absolute value.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  if (mag != 0) limbs_.push_back(static_cast<uint32_t>(mag & 0xFFFFFFFFu));
+  if (mag >> 32) limbs_.push_back(static_cast<uint32_t>(mag >> 32));
+  Normalize();
+}
+
+BigInt BigInt::FromU64(uint64_t v) {
+  BigInt out;
+  if (v != 0) out.limbs_.push_back(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  if (v >> 32) out.limbs_.push_back(static_cast<uint32_t>(v >> 32));
+  return out;
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::TestBit(size_t i) const {
+  const size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+uint64_t BigInt::ToU64() const {
+  uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() > 1) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return negative_ ? ~mag + 1 : mag;
+}
+
+std::optional<int64_t> BigInt::ToI64() const {
+  if (BitLength() > 63) {
+    // The one representable 64-bit value with 64 magnitude bits is INT64_MIN.
+    if (negative_ && BitLength() == 64 && limbs_[0] == 0 &&
+        limbs_[1] == 0x80000000u) {
+      return INT64_MIN;
+    }
+    return std::nullopt;
+  }
+  uint64_t mag = 0;
+  if (!limbs_.empty()) mag = limbs_[0];
+  if (limbs_.size() > 1) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return negative_ ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  const int mag = CompareMagnitude(*this, other);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum & 0xFFFFFFFFu);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b) {
+  TRIPRIV_CHECK_GE(CompareMagnitude(a, b), 0);
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (negative_ == other.negative_) {
+    BigInt out = AddMagnitude(*this, other);
+    out.negative_ = negative_ && !out.IsZero();
+    return out;
+  }
+  const int mag = CompareMagnitude(*this, other);
+  if (mag == 0) return BigInt();
+  BigInt out = mag > 0 ? SubMagnitude(*this, other) : SubMagnitude(other, *this);
+  out.negative_ = (mag > 0 ? negative_ : other.negative_) && !out.IsZero();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::MulMagnitude(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  if (a.IsZero() || b.IsZero()) return out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out = MulMagnitude(*this, other);
+  out.negative_ = (negative_ != other.negative_) && !out.IsZero();
+  return out;
+}
+
+void BigInt::DivModMagnitude(const BigInt& a, const BigInt& b, BigInt* q,
+                             BigInt* r) {
+  TRIPRIV_CHECK(!b.IsZero()) << "BigInt division by zero";
+  if (CompareMagnitude(a, b) < 0) {
+    *q = BigInt();
+    *r = a;
+    r->negative_ = false;
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    // Short division by a single limb.
+    const uint64_t d = b.limbs_[0];
+    BigInt quot;
+    quot.limbs_.resize(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | a.limbs_[i];
+      quot.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quot.Normalize();
+    *q = std::move(quot);
+    *r = FromU64(rem);
+    return;
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) on base-2^32 limbs.
+  // D1: normalize so the top limb of the divisor has its high bit set.
+  int shift = 0;
+  uint32_t top = b.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  BigInt u = a.Abs() << static_cast<size_t>(shift);
+  const BigInt v = b.Abs() << static_cast<size_t>(shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+  u.limbs_.resize(u.limbs_.size() + 1, 0);  // u has m+n+1 limbs
+
+  BigInt quot;
+  quot.limbs_.assign(m + 1, 0);
+  const uint64_t v1 = v.limbs_[n - 1];
+  const uint64_t v2 = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat from the top two limbs of the current remainder.
+    const uint64_t num =
+        (static_cast<uint64_t>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    uint64_t q_hat = num / v1;
+    uint64_t r_hat = num % v1;
+    while (q_hat >= kBase ||
+           q_hat * v2 > ((r_hat << 32) | u.limbs_[j + n - 2])) {
+      --q_hat;
+      r_hat += v1;
+      if (r_hat >= kBase) break;
+    }
+    // D4: multiply-and-subtract q_hat * v from u[j .. j+n].
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t prod = q_hat * v.limbs_[i] + carry;
+      carry = prod >> 32;
+      int64_t diff = static_cast<int64_t>(u.limbs_[i + j]) -
+                     static_cast<int64_t>(prod & 0xFFFFFFFFu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u.limbs_[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t diff = static_cast<int64_t>(u.limbs_[j + n]) -
+                   static_cast<int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u.limbs_[j + n] = static_cast<uint32_t>(diff & 0xFFFFFFFF);
+
+    // D6: q_hat was one too large (probability ~2/2^32): add back.
+    if (negative) {
+      --q_hat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u.limbs_[i + j]) + v.limbs_[i] + carry2;
+        u.limbs_[i + j] = static_cast<uint32_t>(sum & 0xFFFFFFFFu);
+        carry2 = sum >> 32;
+      }
+      u.limbs_[j + n] = static_cast<uint32_t>(u.limbs_[j + n] + carry2);
+    }
+    quot.limbs_[j] = static_cast<uint32_t>(q_hat);
+  }
+
+  quot.Normalize();
+  // D8: de-normalize the remainder.
+  u.Normalize();
+  BigInt rem = u >> static_cast<size_t>(shift);
+  *q = std::move(quot);
+  *r = std::move(rem);
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r) {
+  BigInt qm;
+  BigInt rm;
+  DivModMagnitude(a.Abs(), b.Abs(), &qm, &rm);
+  qm.negative_ = (a.negative_ != b.negative_) && !qm.IsZero();
+  rm.negative_ = a.negative_ && !rm.IsZero();
+  *q = std::move(qm);
+  *r = std::move(rm);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt q;
+  BigInt r;
+  DivMod(*this, other, &q, &r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt q;
+  BigInt r;
+  DivMod(*this, other, &q, &r);
+  return r;
+}
+
+BigInt BigInt::Mod(const BigInt& mod) const {
+  TRIPRIV_CHECK(!mod.IsZero() && !mod.IsNegative());
+  BigInt r = *this % mod;
+  if (r.IsNegative()) r += mod;
+  return r;
+}
+
+BigInt BigInt::operator<<(size_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t shifted = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(shifted & 0xFFFFFFFFu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(shifted >> 32);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(size_t bits) const {
+  if (IsZero() || bits == 0) return *this;
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t cur = static_cast<uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      cur |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+             << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(cur & 0xFFFFFFFFu);
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ModAdd(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a + b;
+  if (s >= m) s -= m;
+  return s;
+}
+
+BigInt BigInt::ModSub(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a - b;
+  if (s.IsNegative()) s += m;
+  return s;
+}
+
+BigInt BigInt::ModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b).Mod(m);
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  TRIPRIV_CHECK(!m.IsZero() && !m.IsNegative());
+  TRIPRIV_CHECK(!exp.IsNegative()) << "ModExp requires non-negative exponent";
+  if (m == BigInt(1)) return BigInt();
+  BigInt result(1);
+  BigInt b = base.Mod(m);
+  const size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = ModMul(result, result, m);
+    if (exp.TestBit(i)) result = ModMul(result, b, m);
+  }
+  return result;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  TRIPRIV_CHECK(!m.IsZero() && !m.IsNegative());
+  // Extended Euclid on (a mod m, m).
+  BigInt r0 = a.Mod(m);
+  BigInt r1 = m;
+  BigInt s0(1);
+  BigInt s1(0);
+  while (!r1.IsZero()) {
+    BigInt q;
+    BigInt r;
+    DivMod(r0, r1, &q, &r);
+    BigInt s = s0 - q * s1;
+    r0 = std::move(r1);
+    r1 = std::move(r);
+    s0 = std::move(s1);
+    s1 = std::move(s);
+  }
+  if (r0 != BigInt(1)) {
+    return Status::InvalidArgument("ModInverse: operands are not coprime");
+  }
+  return s0.Mod(m);
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  return (a.Abs() / Gcd(a, b)) * b.Abs();
+}
+
+BigInt BigInt::Random(size_t bits, Rng* rng) {
+  TRIPRIV_CHECK(rng != nullptr);
+  BigInt out;
+  if (bits == 0) return out;
+  const size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) limb = static_cast<uint32_t>(rng->NextU64());
+  const size_t extra = limbs * 32 - bits;
+  if (extra != 0) out.limbs_.back() &= 0xFFFFFFFFu >> extra;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::RandomBelow(const BigInt& bound, Rng* rng) {
+  TRIPRIV_CHECK(!bound.IsZero() && !bound.IsNegative());
+  const size_t bits = bound.BitLength();
+  for (;;) {
+    BigInt candidate = Random(bits, rng);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigInt::IsProbablePrime(const BigInt& n, int rounds, Rng* rng) {
+  TRIPRIV_CHECK(rng != nullptr);
+  if (n.IsNegative()) return false;
+  static constexpr std::array<uint32_t, 15> kSmallPrimes = {
+      2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47};
+  for (uint32_t p : kSmallPrimes) {
+    const BigInt bp(static_cast<int64_t>(p));
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  if (n < BigInt(2)) return false;
+
+  // Write n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d = d >> 1;
+    ++s;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    const BigInt a = BigInt(2) + RandomBelow(n - BigInt(4), rng);
+    BigInt x = ModExp(a, d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < s; ++i) {
+      x = ModMul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::RandomPrime(size_t bits, Rng* rng, int rounds) {
+  TRIPRIV_CHECK_GE(bits, 2u);
+  for (;;) {
+    BigInt candidate = Random(bits, rng);
+    // Force exact bit length and oddness.
+    candidate.limbs_.resize((bits + 31) / 32, 0);
+    const size_t top_bit = (bits - 1) % 32;
+    candidate.limbs_.back() |= 1u << top_bit;
+    const size_t extra = candidate.limbs_.size() * 32 - bits;
+    if (extra != 0) candidate.limbs_.back() &= 0xFFFFFFFFu >> extra;
+    candidate.limbs_[0] |= 1u;
+    candidate.Normalize();
+    if (IsProbablePrime(candidate, rounds, rng)) return candidate;
+  }
+}
+
+Result<BigInt> BigInt::FromString(std::string_view s) {
+  s = std::string_view(s.data(), s.size());
+  bool negative = false;
+  size_t i = 0;
+  if (i < s.size() && (s[i] == '-' || s[i] == '+')) {
+    negative = s[i] == '-';
+    ++i;
+  }
+  if (i == s.size()) return Status::InvalidArgument("BigInt: empty numeral");
+  BigInt out;
+  const BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return Status::InvalidArgument("BigInt: invalid digit in numeral");
+    }
+    out = out * ten + BigInt(s[i] - '0');
+  }
+  if (negative && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+Result<BigInt> BigInt::FromHex(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("BigInt: empty hex numeral");
+  BigInt out;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return Status::InvalidArgument("BigInt: invalid hex digit");
+    out = (out << 4) + BigInt(digit);
+  }
+  return out;
+}
+
+std::string BigInt::ToString() const {
+  if (IsZero()) return "0";
+  // Repeated short division by 10^9.
+  std::vector<uint32_t> chunks;
+  BigInt cur = Abs();
+  const BigInt billion(1000000000);
+  while (!cur.IsZero()) {
+    BigInt q;
+    BigInt r;
+    DivMod(cur, billion, &q, &r);
+    chunks.push_back(static_cast<uint32_t>(r.ToU64()));
+    cur = std::move(q);
+  }
+  std::string out;
+  if (negative_) out += '-';
+  out += std::to_string(chunks.back());
+  char buf[16];
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof(buf), "%09u", chunks[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      const uint32_t d = (limbs_[i] >> (nib * 4)) & 0xF;
+      if (out.empty() && d == 0) continue;
+      out += kDigits[d];
+    }
+  }
+  return out;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,140 @@
+// Arbitrary-precision integers.
+//
+// TriPriv implements its own multi-precision arithmetic (sign-magnitude,
+// base-2^32 limbs) so the cryptographic substrates — the Paillier
+// cryptosystem used by crypto PPDM and computational PIR, commutative
+// encryption for private set intersection, and prime-field secret sharing —
+// have no external dependencies. The feature set is exactly what those
+// protocols need: ring arithmetic, Knuth division, modular exponentiation
+// and inversion, gcd/lcm, Miller-Rabin primality, and random prime
+// generation from the deterministic `Rng`.
+
+#ifndef TRIPRIV_UTIL_BIGINT_H_
+#define TRIPRIV_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Arbitrary-precision signed integer (sign-magnitude, base 2^32).
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From a machine integer (implicit: BigInt participates in arithmetic
+  /// expressions with int literals throughout the crypto code).
+  BigInt(int64_t v);            // NOLINT(runtime/explicit)
+  static BigInt FromU64(uint64_t v);
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromString(std::string_view s);
+  /// Parses a hexadecimal string (no prefix, no sign).
+  static Result<BigInt> FromHex(std::string_view s);
+
+  /// Decimal representation.
+  std::string ToString() const;
+  /// Lowercase hexadecimal magnitude (no sign); "0" for zero.
+  std::string ToHex() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  bool IsEven() const { return !IsOdd(); }
+
+  /// Number of significant bits of the magnitude; 0 for zero.
+  size_t BitLength() const;
+  /// Bit `i` (zero-based, little-endian) of the magnitude.
+  bool TestBit(size_t i) const;
+
+  /// Low 64 bits of the magnitude, with the sign applied modulo 2^64.
+  uint64_t ToU64() const;
+  /// Exact conversion to int64_t when the value fits, else nullopt.
+  std::optional<int64_t> ToI64() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated (C-style) quotient. Requires non-zero divisor.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend. Requires non-zero divisor.
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
+
+  BigInt operator<<(size_t bits) const;
+  BigInt operator>>(size_t bits) const;
+
+  /// -1, 0, +1 for less / equal / greater.
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  /// Quotient and remainder in one division. Requires non-zero divisor.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r);
+
+  /// Canonical residue in [0, mod). Requires mod > 0.
+  BigInt Mod(const BigInt& mod) const;
+
+  /// (a + b) mod m, inputs assumed in [0, m).
+  static BigInt ModAdd(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (a - b) mod m, inputs assumed in [0, m).
+  static BigInt ModSub(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (a * b) mod m.
+  static BigInt ModMul(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// base^exp mod m via left-to-right square-and-multiply. Requires m > 0
+  /// and exp >= 0.
+  static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+  /// Multiplicative inverse of a mod m, when gcd(a, m) == 1.
+  static Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+  /// Greatest common divisor (non-negative).
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+  /// Least common multiple (non-negative).
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+
+  /// Uniform value with exactly `bits` random bits (top bit may be zero).
+  static BigInt Random(size_t bits, Rng* rng);
+  /// Uniform value in [0, bound). Requires bound > 0.
+  static BigInt RandomBelow(const BigInt& bound, Rng* rng);
+  /// Miller-Rabin with `rounds` random bases (plus small-prime sieve).
+  static bool IsProbablePrime(const BigInt& n, int rounds, Rng* rng);
+  /// Random probable prime with exactly `bits` bits (top bit set).
+  static BigInt RandomPrime(size_t bits, Rng* rng, int rounds = 20);
+
+ private:
+  void Normalize();
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b);
+  /// Requires |a| >= |b|.
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b);
+  static BigInt MulMagnitude(const BigInt& a, const BigInt& b);
+  /// Knuth Algorithm D on magnitudes. Requires b non-zero.
+  static void DivModMagnitude(const BigInt& a, const BigInt& b, BigInt* q,
+                              BigInt* r);
+
+  // Little-endian base-2^32 magnitude; empty means zero.
+  std::vector<uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_UTIL_BIGINT_H_

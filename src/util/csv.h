@@ -1,0 +1,28 @@
+// RFC-4180-style CSV reading and writing.
+//
+// Supports quoted fields (embedded commas, quotes doubled, embedded
+// newlines), CRLF and LF line endings. Used by table/io for microdata files.
+
+#ifndef TRIPRIV_UTIL_CSV_H_
+#define TRIPRIV_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Parses an entire CSV document into rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// Serializes rows as CSV, quoting fields only when necessary.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Quotes one field if it contains a comma, quote, or newline.
+std::string CsvEscape(std::string_view field);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_UTIL_CSV_H_

@@ -1,0 +1,63 @@
+// Minimal logging and assertion macros.
+//
+// TRIPRIV_CHECK(cond) aborts with a message when `cond` is false; it is the
+// mechanism for programmer-error preconditions in an exception-free codebase.
+// Streaming extra context is supported: TRIPRIV_CHECK(i < n) << "i=" << i;
+
+#ifndef TRIPRIV_UTIL_LOGGING_H_
+#define TRIPRIV_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tripriv {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed check-failure expression to void so it can sit on
+/// one arm of a ternary whose other arm is `(void)0` (glog's Voidify trick;
+/// `&` binds looser than `<<`).
+class Voidify {
+ public:
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace tripriv
+
+/// Aborts the process with a diagnostic if `condition` is false. Additional
+/// context may be streamed: TRIPRIV_CHECK(ok) << "context";
+#define TRIPRIV_CHECK(condition)                            \
+  (condition) ? (void)0                                     \
+              : ::tripriv::internal::Voidify() &            \
+                    ::tripriv::internal::CheckFailStream(   \
+                        __FILE__, __LINE__, #condition)
+
+#define TRIPRIV_CHECK_EQ(a, b) TRIPRIV_CHECK((a) == (b))
+#define TRIPRIV_CHECK_NE(a, b) TRIPRIV_CHECK((a) != (b))
+#define TRIPRIV_CHECK_LT(a, b) TRIPRIV_CHECK((a) < (b))
+#define TRIPRIV_CHECK_LE(a, b) TRIPRIV_CHECK((a) <= (b))
+#define TRIPRIV_CHECK_GT(a, b) TRIPRIV_CHECK((a) > (b))
+#define TRIPRIV_CHECK_GE(a, b) TRIPRIV_CHECK((a) >= (b))
+
+#endif  // TRIPRIV_UTIL_LOGGING_H_

@@ -1,0 +1,151 @@
+// Status and Result<T>: exception-free error handling for TriPriv.
+//
+// The library follows the Google C++ Style Guide and does not use C++
+// exceptions. Every fallible operation returns either a `Status` (when there
+// is no payload) or a `Result<T>` (a value-or-status union). Programmer
+// errors (violated preconditions) abort via the CHECK macros in logging.h.
+
+#ifndef TRIPRIV_UTIL_STATUS_H_
+#define TRIPRIV_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tripriv {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller supplied a malformed value
+  kNotFound,          ///< a named entity (column, key, record) does not exist
+  kOutOfRange,        ///< an index or parameter is outside its legal domain
+  kFailedPrecondition,///< object state does not allow the operation
+  kAlreadyExists,     ///< a named entity would be duplicated
+  kUnimplemented,     ///< declared but not supported combination
+  kInternal,          ///< invariant violation detected at runtime
+  kPermissionDenied,  ///< a privacy policy or protection mechanism refused
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation with no payload.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (an OK
+/// status stores no message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status union returned by fallible operations with a payload.
+///
+/// Use `ok()` to discriminate; `value()` CHECK-fails on a non-OK result, so
+/// callers must test first (or use ASSIGN_OR_RETURN below).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TRIPRIV_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    TRIPRIV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TRIPRIV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TRIPRIV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from `expr` out of the enclosing function.
+#define TRIPRIV_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::tripriv::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+#define TRIPRIV_CONCAT_INNER_(a, b) a##b
+#define TRIPRIV_CONCAT_(a, b) TRIPRIV_CONCAT_INNER_(a, b)
+
+/// `TRIPRIV_ASSIGN_OR_RETURN(auto x, Fallible())` — unwraps a Result<T> or
+/// propagates its Status.
+#define TRIPRIV_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto TRIPRIV_CONCAT_(_res_, __LINE__) = (rexpr);                 \
+  if (!TRIPRIV_CONCAT_(_res_, __LINE__).ok())                      \
+    return TRIPRIV_CONCAT_(_res_, __LINE__).status();              \
+  lhs = std::move(TRIPRIV_CONCAT_(_res_, __LINE__)).value()
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_UTIL_STATUS_H_

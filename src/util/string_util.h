@@ -1,0 +1,39 @@
+// Small string helpers shared across the library.
+
+#ifndef TRIPRIV_UTIL_STRING_UTIL_H_
+#define TRIPRIV_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tripriv {
+
+/// Splits `s` on `sep`; adjacent separators yield empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True if `s` parses completely as a signed 64-bit integer; stores it.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// True if `s` parses completely as a double; stores it.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double compactly (up to `precision` significant digits, no
+/// trailing zeros), suitable for table output.
+std::string FormatDouble(double v, int precision = 6);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_UTIL_STRING_UTIL_H_

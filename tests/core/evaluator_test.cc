@@ -1,0 +1,121 @@
+// Tests for the empirical Table 2 scoring engine.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+PrivacyEvaluator::Options FastOptions() {
+  PrivacyEvaluator::Options options;
+  options.pir_trials = 16;
+  return options;
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : evaluator_(MakeExtendedTrial(300, 11), FastOptions()) {}
+  PrivacyEvaluator evaluator_;
+};
+
+TEST_F(EvaluatorTest, ScoresAreInRange) {
+  for (TechnologyClass t : kAllTechnologyClasses) {
+    auto eval = evaluator_.Evaluate(t);
+    ASSERT_TRUE(eval.ok()) << TechnologyClassToString(t) << ": "
+                           << eval.status().ToString();
+    for (Dimension d : kAllDimensions) {
+      const double s = eval->scores.of(d);
+      EXPECT_GE(s, 0.0) << TechnologyClassToString(t);
+      EXPECT_LE(s, 1.0) << TechnologyClassToString(t);
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, PirAloneProtectsOnlyUsers) {
+  auto eval = evaluator_.Evaluate(TechnologyClass::kPir);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kRespondent), Grade::kNone);
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kOwner), Grade::kNone);
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kUser), Grade::kHigh);
+}
+
+TEST_F(EvaluatorTest, CryptoPpdmProtectsOwnersNotUsers) {
+  auto eval = evaluator_.Evaluate(TechnologyClass::kCryptoPpdm);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kOwner), Grade::kHigh);
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kRespondent), Grade::kHigh);
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kUser), Grade::kNone);
+}
+
+TEST_F(EvaluatorTest, SdcRespondentBeatsItsOwner) {
+  // SDC masks the quasi-identifiers but publishes exact confidentials:
+  // respondent protection must exceed owner protection (Table 2's
+  // medium-high vs medium).
+  auto eval = evaluator_.Evaluate(TechnologyClass::kSdc);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_GT(eval->scores.respondent, eval->scores.owner);
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kUser), Grade::kNone);
+}
+
+TEST_F(EvaluatorTest, PpdmOwnerBeatsSdcOwner) {
+  // PPDM perturbs everything (including confidentials): its owner privacy
+  // must exceed SDC's (Table 2's medium-high vs medium).
+  auto sdc = evaluator_.Evaluate(TechnologyClass::kSdc);
+  auto ppdm = evaluator_.Evaluate(TechnologyClass::kUseSpecificNonCryptoPpdm);
+  ASSERT_TRUE(sdc.ok() && ppdm.ok());
+  EXPECT_GT(ppdm->scores.owner, sdc->scores.owner);
+}
+
+TEST_F(EvaluatorTest, AddingPirOnlyChangesUserDimension) {
+  auto base = evaluator_.Evaluate(TechnologyClass::kSdc);
+  auto with_pir = evaluator_.Evaluate(TechnologyClass::kSdcPlusPir);
+  ASSERT_TRUE(base.ok() && with_pir.ok());
+  EXPECT_DOUBLE_EQ(base->scores.respondent, with_pir->scores.respondent);
+  EXPECT_DOUBLE_EQ(base->scores.owner, with_pir->scores.owner);
+  EXPECT_LT(base->scores.user, with_pir->scores.user);
+  EXPECT_EQ(with_pir->MeasuredGrade(Dimension::kUser), Grade::kHigh);
+}
+
+TEST_F(EvaluatorTest, UseSpecificPirGivesMediumUserPrivacy) {
+  auto eval =
+      evaluator_.Evaluate(TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->MeasuredGrade(Dimension::kUser), Grade::kMedium);
+}
+
+TEST_F(EvaluatorTest, AllRowsAgreeWithPaperWithinOneBand) {
+  // The headline Table 2 reproduction: every measured grade within one band
+  // of the paper's claim.
+  auto evals = evaluator_.EvaluateAll();
+  ASSERT_TRUE(evals.ok()) << evals.status().ToString();
+  ASSERT_EQ(evals->size(), 8u);
+  for (const auto& eval : *evals) {
+    for (Dimension d : kAllDimensions) {
+      EXPECT_TRUE(GradesAgree(eval.ClaimedGrade(d), eval.MeasuredGrade(d)))
+          << TechnologyClassToString(eval.technology) << " / "
+          << DimensionToString(d) << ": measured "
+          << GradeToString(eval.MeasuredGrade(d)) << " (" << eval.scores.of(d)
+          << "), paper claims " << GradeToString(eval.ClaimedGrade(d));
+    }
+  }
+}
+
+TEST_F(EvaluatorTest, ScoreboardRendersAllRows) {
+  auto evals = evaluator_.EvaluateAll();
+  ASSERT_TRUE(evals.ok());
+  const std::string board = PrivacyEvaluator::FormatScoreboard(*evals, true);
+  for (TechnologyClass t : kAllTechnologyClasses) {
+    EXPECT_NE(board.find(TechnologyClassToString(t)), std::string::npos);
+  }
+  EXPECT_NE(board.find("paper:"), std::string::npos);
+}
+
+TEST(EvaluatorEdgeTest, TinyTableRejected) {
+  PrivacyEvaluator tiny(MakeExtendedTrial(5, 1), PrivacyEvaluator::Options{});
+  EXPECT_FALSE(tiny.Evaluate(TechnologyClass::kSdc).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,154 @@
+// Tests for the framework enums, technology classes, and the advisor.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/framework.h"
+#include "core/technology.h"
+#include "sdc/anonymity.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(FrameworkTest, GradeBands) {
+  EXPECT_EQ(GradeFromScore(0.0), Grade::kNone);
+  EXPECT_EQ(GradeFromScore(0.19), Grade::kNone);
+  EXPECT_EQ(GradeFromScore(0.2), Grade::kLow);
+  EXPECT_EQ(GradeFromScore(0.45), Grade::kMedium);
+  EXPECT_EQ(GradeFromScore(0.65), Grade::kMediumHigh);
+  EXPECT_EQ(GradeFromScore(0.8), Grade::kHigh);
+  EXPECT_EQ(GradeFromScore(1.0), Grade::kHigh);
+}
+
+TEST(FrameworkTest, GradeAgreementIsWithinOneBand) {
+  EXPECT_TRUE(GradesAgree(Grade::kMedium, Grade::kMedium));
+  EXPECT_TRUE(GradesAgree(Grade::kMedium, Grade::kMediumHigh));
+  EXPECT_TRUE(GradesAgree(Grade::kMedium, Grade::kLow));
+  EXPECT_FALSE(GradesAgree(Grade::kNone, Grade::kMedium));
+  EXPECT_FALSE(GradesAgree(Grade::kHigh, Grade::kMedium));
+}
+
+TEST(FrameworkTest, Names) {
+  EXPECT_STREQ(DimensionToString(Dimension::kRespondent), "respondent");
+  EXPECT_STREQ(DimensionToString(Dimension::kOwner), "owner");
+  EXPECT_STREQ(DimensionToString(Dimension::kUser), "user");
+  EXPECT_STREQ(GradeToString(Grade::kMediumHigh), "medium-high");
+  EXPECT_STREQ(GradeToString(Grade::kNone), "none");
+}
+
+TEST(TechnologyTest, PirMembershipAndBase) {
+  EXPECT_FALSE(IncludesPir(TechnologyClass::kSdc));
+  EXPECT_FALSE(IncludesPir(TechnologyClass::kCryptoPpdm));
+  EXPECT_TRUE(IncludesPir(TechnologyClass::kPir));
+  EXPECT_TRUE(IncludesPir(TechnologyClass::kSdcPlusPir));
+  EXPECT_EQ(BaseClass(TechnologyClass::kSdcPlusPir), TechnologyClass::kSdc);
+  EXPECT_EQ(BaseClass(TechnologyClass::kGenericNonCryptoPpdmPlusPir),
+            TechnologyClass::kGenericNonCryptoPpdm);
+  EXPECT_EQ(BaseClass(TechnologyClass::kSdc), TechnologyClass::kSdc);
+}
+
+TEST(TechnologyTest, CompositionRules) {
+  auto sdc = ComposeWithPir(TechnologyClass::kSdc);
+  ASSERT_TRUE(sdc.ok());
+  EXPECT_EQ(*sdc, TechnologyClass::kSdcPlusPir);
+  // Section 4: crypto PPDM cannot compose with PIR.
+  auto crypto = ComposeWithPir(TechnologyClass::kCryptoPpdm);
+  ASSERT_FALSE(crypto.ok());
+  EXPECT_EQ(crypto.status().code(), StatusCode::kFailedPrecondition);
+  // Idempotence guard.
+  EXPECT_FALSE(ComposeWithPir(TechnologyClass::kPir).ok());
+  EXPECT_FALSE(ComposeWithPir(TechnologyClass::kSdcPlusPir).ok());
+}
+
+TEST(TechnologyTest, Table2ClaimsTranscribedFaithfully) {
+  // Spot-check the verbatim Table 2 transcription.
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kSdc, Dimension::kRespondent),
+            Grade::kMediumHigh);
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kSdc, Dimension::kUser),
+            Grade::kNone);
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kCryptoPpdm, Dimension::kOwner),
+            Grade::kHigh);
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kPir, Dimension::kRespondent),
+            Grade::kNone);
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kPir, Dimension::kUser),
+            Grade::kHigh);
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir,
+                              Dimension::kUser),
+            Grade::kMedium);
+  EXPECT_EQ(PaperClaimedGrade(TechnologyClass::kGenericNonCryptoPpdmPlusPir,
+                              Dimension::kUser),
+            Grade::kHigh);
+}
+
+TEST(AdvisorTest, SingleDimensionRecommendations) {
+  PrivacyRequirements user_only;
+  user_only.user = true;
+  auto r = RecommendTechnology(user_only);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->technology, TechnologyClass::kPir);
+
+  PrivacyRequirements owner_only;
+  owner_only.owner = true;
+  r = RecommendTechnology(owner_only);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->technology, TechnologyClass::kCryptoPpdm);
+
+  PrivacyRequirements resp_only;
+  resp_only.respondent = true;
+  r = RecommendTechnology(resp_only);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->technology, TechnologyClass::kSdc);
+}
+
+TEST(AdvisorTest, PairsFollowSection6) {
+  PrivacyRequirements resp_owner;
+  resp_owner.respondent = true;
+  resp_owner.owner = true;
+  auto r = RecommendTechnology(resp_owner);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->technology, TechnologyClass::kGenericNonCryptoPpdm);
+
+  PrivacyRequirements resp_user;
+  resp_user.respondent = true;
+  resp_user.user = true;
+  r = RecommendTechnology(resp_user);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->technology, TechnologyClass::kSdcPlusPir);
+
+  PrivacyRequirements owner_user;
+  owner_user.owner = true;
+  owner_user.user = true;
+  r = RecommendTechnology(owner_user);
+  ASSERT_TRUE(r.ok());
+  // Crypto PPDM ruled out by user privacy.
+  EXPECT_EQ(r->technology, TechnologyClass::kGenericNonCryptoPpdmPlusPir);
+  EXPECT_FALSE(IncludesPir(TechnologyClass::kCryptoPpdm));
+}
+
+TEST(AdvisorTest, AllThreeDimensionsGiveTheSection6Recipe) {
+  PrivacyRequirements all;
+  all.respondent = all.owner = all.user = true;
+  auto r = RecommendTechnology(all);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->technology, TechnologyClass::kGenericNonCryptoPpdmPlusPir);
+  EXPECT_FALSE(r->rationale.empty());
+}
+
+TEST(AdvisorTest, NoRequirementsRejected) {
+  EXPECT_FALSE(RecommendTechnology(PrivacyRequirements{}).ok());
+}
+
+TEST(AdvisorTest, Section6RecipeDeliversKAnonymity) {
+  DataTable data = MakeClinicalTrial(120, 5);
+  for (size_t k : {3u, 6u}) {
+    auto deployment = ApplySection6Recipe(data, k);
+    ASSERT_TRUE(deployment.ok()) << deployment.status().ToString();
+    EXPECT_GE(deployment->anonymity_level, k);
+    EXPECT_GE(AnonymityLevel(deployment->release), k);
+    EXPECT_EQ(deployment->release.num_rows(), data.num_rows());
+  }
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,72 @@
+// Remaining coverage for the evaluator's rendering and the crypto-PPDM
+// scoring path.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(ScoreboardTest, NoClaimsVariantOmitsPaperColumn) {
+  PrivacyEvaluator::Options options;
+  options.pir_trials = 8;
+  PrivacyEvaluator evaluator(MakeExtendedTrial(120, 3), options);
+  auto eval = evaluator.Evaluate(TechnologyClass::kPir);
+  ASSERT_TRUE(eval.ok());
+  const std::string board =
+      PrivacyEvaluator::FormatScoreboard({*eval}, /*with_claims=*/false);
+  EXPECT_EQ(board.find("paper:"), std::string::npos);
+  EXPECT_NE(board.find("PIR"), std::string::npos);
+  EXPECT_NE(board.find("respondent"), std::string::npos);
+  EXPECT_NE(board.find("user"), std::string::npos);
+}
+
+TEST(ScoreboardTest, AgreesWithPaperHelper) {
+  PrivacyEvaluator::Options options;
+  options.pir_trials = 8;
+  PrivacyEvaluator evaluator(MakeExtendedTrial(150, 5), options);
+  auto eval = evaluator.Evaluate(TechnologyClass::kCryptoPpdm);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(eval->AgreesWithPaper());
+}
+
+TEST(ScoreboardTest, CryptoScoresDeterministicInSeed) {
+  PrivacyEvaluator::Options options;
+  options.seed = 17;
+  PrivacyEvaluator a(MakeExtendedTrial(120, 7), options);
+  PrivacyEvaluator b(MakeExtendedTrial(120, 7), options);
+  auto ea = a.Evaluate(TechnologyClass::kCryptoPpdm);
+  auto eb = b.Evaluate(TechnologyClass::kCryptoPpdm);
+  ASSERT_TRUE(ea.ok() && eb.ok());
+  EXPECT_DOUBLE_EQ(ea->scores.respondent, eb->scores.respondent);
+  EXPECT_DOUBLE_EQ(ea->scores.owner, eb->scores.owner);
+  EXPECT_DOUBLE_EQ(ea->scores.user, eb->scores.user);
+}
+
+TEST(ScoreboardTest, DimensionScoresAccessor) {
+  DimensionScores scores;
+  scores.respondent = 0.1;
+  scores.owner = 0.2;
+  scores.user = 0.3;
+  EXPECT_DOUBLE_EQ(scores.of(Dimension::kRespondent), 0.1);
+  EXPECT_DOUBLE_EQ(scores.of(Dimension::kOwner), 0.2);
+  EXPECT_DOUBLE_EQ(scores.of(Dimension::kUser), 0.3);
+}
+
+TEST(ScoreboardTest, MorePirTrialsSharpenUserScore) {
+  // With a 120-row release, the owner's guessing success is ~1/120 per
+  // trial; the user score must stay high for any trial count.
+  for (size_t trials : {4u, 16u, 64u}) {
+    PrivacyEvaluator::Options options;
+    options.pir_trials = trials;
+    PrivacyEvaluator evaluator(MakeExtendedTrial(120, 9), options);
+    auto eval = evaluator.Evaluate(TechnologyClass::kSdcPlusPir);
+    ASSERT_TRUE(eval.ok());
+    EXPECT_GE(eval->scores.user, 0.8) << trials;
+  }
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,212 @@
+// Tests for private aggregate queries — the Section 3 scenario end to end.
+
+#include <gtest/gtest.h>
+
+#include "pir/aggregate.h"
+#include "sdc/microaggregation.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+constexpr size_t kTestKeyBits = 192;
+
+std::vector<GridAxis> PatientGrid() {
+  return {
+      {"height", 140, 205, 1},
+      {"weight", 40, 160, 1},
+  };
+}
+
+Predicate Section3Predicate() {
+  return Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Compare("weight", CompareOp::kGt, Value(105)));
+}
+
+TEST(PrivateAggregateTest, PaperSection3AttackSucceedsOnDataset2) {
+  // The COUNT isolates one respondent; the AVG leaks their blood pressure
+  // (146) — while the server sees only ciphertexts.
+  auto server = PrivateAggregateServer::Build(PaperDataset2(), PatientGrid());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 3);
+  ASSERT_TRUE(client.ok());
+
+  auto count = client->Count(*server, Section3Predicate());
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 1u);
+
+  auto avg = client->Average(*server, "blood_pressure", Section3Predicate());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(*avg, 146.0);
+}
+
+TEST(PrivateAggregateTest, AttackNeutralizedByKAnonymization) {
+  // Section 3's flip side: on (3-anonymized) data no predicate over the key
+  // attributes isolates a single respondent.
+  auto masked = MdavMicroaggregate(PaperDataset2(), 3);
+  ASSERT_TRUE(masked.ok());
+  auto server = PrivateAggregateServer::Build(masked->table, PatientGrid());
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 5);
+  ASSERT_TRUE(client.ok());
+  auto count = client->Count(*server, Section3Predicate());
+  ASSERT_TRUE(count.ok());
+  EXPECT_TRUE(*count == 0 || *count >= 3) << *count;
+}
+
+TEST(PrivateAggregateTest, CountMatchesPlainExecution) {
+  DataTable data = MakeClinicalTrial(60, 7);
+  auto server = PrivateAggregateServer::Build(data, PatientGrid());
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 9);
+  ASSERT_TRUE(client.ok());
+  Predicate p = Predicate::Compare("height", CompareOp::kGe, Value(175));
+  auto priv_count = client->Count(*server, p);
+  ASSERT_TRUE(priv_count.ok());
+  auto plain_rows = p.MatchingRows(data);
+  ASSERT_TRUE(plain_rows.ok());
+  EXPECT_EQ(*priv_count, plain_rows->size());
+}
+
+TEST(PrivateAggregateTest, SumMatchesPlainExecution) {
+  DataTable data = MakeClinicalTrial(40, 11);
+  auto server = PrivateAggregateServer::Build(data, PatientGrid());
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 13);
+  ASSERT_TRUE(client.ok());
+  Predicate p = Predicate::Compare("weight", CompareOp::kLt, Value(70));
+  auto priv_sum = client->Sum(*server, "blood_pressure", p);
+  ASSERT_TRUE(priv_sum.ok());
+  auto rows = p.MatchingRows(data);
+  ASSERT_TRUE(rows.ok());
+  uint64_t expected = 0;
+  const size_t bp = *data.schema().FindIndex("blood_pressure");
+  for (size_t r : *rows) expected += static_cast<uint64_t>(data.at(r, bp).AsInt());
+  EXPECT_EQ(*priv_sum, expected);
+}
+
+TEST(PrivateAggregateTest, EmptySelection) {
+  DataTable data = PaperDataset1();
+  auto server = PrivateAggregateServer::Build(data, PatientGrid());
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 15);
+  ASSERT_TRUE(client.ok());
+  Predicate impossible =
+      Predicate::Compare("height", CompareOp::kLt, Value(141));
+  auto count = client->Count(*server, impossible);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  EXPECT_EQ(client->Average(*server, "blood_pressure", impossible)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PrivateAggregateTest, CoarserGridStillExact) {
+  // Step-5 cells: predicates aligned to cell boundaries remain exact.
+  DataTable data = PaperDataset2();
+  std::vector<GridAxis> grid{{"height", 140, 205, 5}, {"weight", 40, 160, 5}};
+  auto server = PrivateAggregateServer::Build(data, grid);
+  ASSERT_TRUE(server.ok());
+  EXPECT_LT(server->num_cells(), 400u);
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 17);
+  ASSERT_TRUE(client.ok());
+  Predicate aligned = Predicate::Compare("height", CompareOp::kLt, Value(165));
+  auto count = client->Count(*server, aligned);
+  ASSERT_TRUE(count.ok());
+  auto plain = aligned.MatchingRows(data);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*count, plain->size());
+}
+
+TEST(PrivateAggregateTest, ServerViewIsCiphertextOnly) {
+  auto server = PrivateAggregateServer::Build(PaperDataset2(), PatientGrid());
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 19);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Count(*server, Section3Predicate()).ok());
+  // The server cannot tell which cells were selected: all it stored is the
+  // number of queries answered. (The selector ciphertexts are semantically
+  // secure; PaillierTest.EncryptionIsRandomized covers the crypto side.)
+  EXPECT_EQ(server->queries_served(), 1u);
+}
+
+TEST(PrivateAggregateTest, DpCountIsNoisyButCentered) {
+  // The DP-over-PIR composition: server adds Laplace noise homomorphically.
+  DataTable data = MakeClinicalTrial(80, 21);
+  // Coarse grid keeps the per-trial selector small (and the test fast).
+  std::vector<GridAxis> grid{{"height", 140, 205, 5}, {"weight", 40, 160, 5}};
+  auto server = PrivateAggregateServer::Build(data, grid);
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 23);
+  ASSERT_TRUE(client.ok());
+  Predicate p = Predicate::Compare("height", CompareOp::kGe, Value(170));
+  auto exact = client->Count(*server, p);
+  ASSERT_TRUE(exact.ok());
+  Rng server_rng(29);
+  double sum = 0.0;
+  bool any_noise = false;
+  const int trials = 8;
+  for (int i = 0; i < trials; ++i) {
+    auto noisy = client->DpCount(*server, p, 0.5, &server_rng);
+    ASSERT_TRUE(noisy.ok()) << noisy.status().ToString();
+    sum += static_cast<double>(*noisy);
+    if (*noisy != static_cast<int64_t>(*exact)) any_noise = true;
+  }
+  EXPECT_TRUE(any_noise);  // epsilon = 0.5 noise is clearly visible
+  EXPECT_NEAR(sum / trials, static_cast<double>(*exact), 4.0);
+}
+
+TEST(PrivateAggregateTest, DpCountHandlesNegativeResults) {
+  // An empty selection plus Laplace noise can go negative: the modular
+  // encoding must decode it as a signed value, not a huge positive one.
+  DataTable data = PaperDataset1();
+  std::vector<GridAxis> grid{{"height", 140, 205, 5}, {"weight", 40, 160, 5}};
+  auto server = PrivateAggregateServer::Build(data, grid);
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 31);
+  ASSERT_TRUE(client.ok());
+  Predicate impossible =
+      Predicate::Compare("height", CompareOp::kLt, Value(140));
+  Rng server_rng(37);
+  bool saw_negative = false;
+  for (int i = 0; i < 12; ++i) {
+    auto noisy = client->DpCount(*server, impossible, 0.3, &server_rng);
+    ASSERT_TRUE(noisy.ok());
+    EXPECT_LT(std::abs(*noisy), 100);  // sane magnitude either sign
+    if (*noisy < 0) saw_negative = true;
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(PrivateAggregateTest, DpCountRejectsBadEpsilon) {
+  DataTable data = PaperDataset1();
+  std::vector<GridAxis> grid{{"height", 140, 205, 5}, {"weight", 40, 160, 5}};
+  auto server = PrivateAggregateServer::Build(data, grid);
+  ASSERT_TRUE(server.ok());
+  auto client = PrivateAggregateClient::Create(kTestKeyBits, 41);
+  ASSERT_TRUE(client.ok());
+  Rng server_rng(43);
+  EXPECT_FALSE(
+      client->DpCount(*server, Predicate::True(), 0.0, &server_rng).ok());
+  EXPECT_FALSE(
+      client->DpCount(*server, Predicate::True(), -1.0, &server_rng).ok());
+}
+
+TEST(PrivateAggregateTest, BuildValidatesInput) {
+  EXPECT_FALSE(
+      PrivateAggregateServer::Build(PaperDataset1(), {}).ok());
+  // Out-of-domain record.
+  std::vector<GridAxis> narrow{{"height", 150, 160, 1}, {"weight", 40, 160, 1}};
+  EXPECT_FALSE(PrivateAggregateServer::Build(PaperDataset1(), narrow).ok());
+  // Categorical grid attribute.
+  std::vector<GridAxis> bad{{"aids", 0, 1, 1}};
+  EXPECT_FALSE(PrivateAggregateServer::Build(PaperDataset1(), bad).ok());
+  // Oversized grid.
+  std::vector<GridAxis> huge{{"height", 0, 10000000, 1}};
+  EXPECT_FALSE(PrivateAggregateServer::Build(PaperDataset1(), huge).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,194 @@
+// Tests for information-theoretic PIR, computational PIR, and keyword PIR.
+
+#include <gtest/gtest.h>
+
+#include "pir/cpir.h"
+#include "pir/it_pir.h"
+#include "pir/keyword_pir.h"
+
+namespace tripriv {
+namespace {
+
+std::vector<std::vector<uint8_t>> MakeRecords(size_t n, size_t size) {
+  std::vector<std::vector<uint8_t>> records(n, std::vector<uint8_t>(size));
+  Rng rng(99);
+  for (auto& r : records) {
+    for (auto& b : r) b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return records;
+}
+
+TEST(TwoServerPirTest, RetrievesEveryIndex) {
+  auto records = MakeRecords(37, 16);
+  auto a = XorPirServer::Create(records);
+  auto b = XorPirServer::Create(records);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(1);
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto got = TwoServerPirRead(&*a, &*b, i, &rng);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, records[i]) << i;
+  }
+}
+
+TEST(TwoServerPirTest, StatsAreReported) {
+  auto records = MakeRecords(64, 8);
+  auto a = XorPirServer::Create(records);
+  auto b = XorPirServer::Create(records);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(2);
+  PirStats stats;
+  ASSERT_TRUE(TwoServerPirRead(&*a, &*b, 5, &rng, &stats).ok());
+  EXPECT_EQ(stats.upload_bits, 2 * 64u);
+  EXPECT_EQ(stats.download_bits, 2 * 8 * 8u);
+}
+
+TEST(TwoServerPirTest, SingleServerViewIsTargetIndependent) {
+  // Empirical privacy check: the marginal distribution of each selection
+  // bit seen by server A must be ~Bernoulli(1/2) regardless of the target.
+  auto records = MakeRecords(16, 4);
+  auto a = XorPirServer::Create(records);
+  auto b = XorPirServer::Create(records);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(3);
+  const size_t trials = 600;
+  std::vector<size_t> bit_counts(16, 0);
+  for (size_t t = 0; t < trials; ++t) {
+    ASSERT_TRUE(TwoServerPirRead(&*a, &*b, /*index=*/7, &rng).ok());
+    const auto& view = a->observed_queries().back();
+    for (size_t i = 0; i < 16; ++i) {
+      bit_counts[i] += (view[i / 8] >> (i % 8)) & 1u;
+    }
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    const double freq = static_cast<double>(bit_counts[i]) / trials;
+    EXPECT_NEAR(freq, 0.5, 0.08) << "bit " << i;
+  }
+}
+
+TEST(TwoServerPirTest, RejectsBadInput) {
+  auto records = MakeRecords(8, 4);
+  auto a = XorPirServer::Create(records);
+  auto b = XorPirServer::Create(MakeRecords(9, 4));
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(4);
+  EXPECT_FALSE(TwoServerPirRead(&*a, &*b, 0, &rng).ok());  // size mismatch
+  auto b2 = XorPirServer::Create(records);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_FALSE(TwoServerPirRead(&*a, &*b2, 8, &rng).ok());  // out of range
+  EXPECT_FALSE(XorPirServer::Create({}).ok());
+  EXPECT_FALSE(XorPirServer::Create({{}}).ok());
+  EXPECT_FALSE(XorPirServer::Create({{1, 2}, {3}}).ok());
+}
+
+TEST(FourServerCubePirTest, RetrievesEveryIndex) {
+  auto records = MakeRecords(30, 8);  // non-square count exercises padding
+  std::vector<XorPirServer> servers;
+  for (int i = 0; i < 4; ++i) {
+    auto s = XorPirServer::Create(records);
+    ASSERT_TRUE(s.ok());
+    servers.push_back(std::move(*s));
+  }
+  Rng rng(5);
+  std::array<XorPirServer*, 4> ptrs{&servers[0], &servers[1], &servers[2],
+                                    &servers[3]};
+  for (size_t i = 0; i < records.size(); ++i) {
+    PirStats stats;
+    auto got = FourServerCubePirRead(ptrs, i, &rng, &stats);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, records[i]) << i;
+    // Upload is O(sqrt(n)) per the compact per-axis accounting.
+    EXPECT_LT(stats.upload_bits, 4 * 2 * 8u * 2);
+  }
+}
+
+TEST(CpirTest, RetrievesEveryEntry) {
+  std::vector<uint64_t> db;
+  for (uint64_t i = 0; i < 23; ++i) db.push_back(i * i + 1);
+  auto server = CpirServer::Create(db);
+  ASSERT_TRUE(server.ok());
+  auto client = CpirClient::Create(192, 7);
+  ASSERT_TRUE(client.ok());
+  for (size_t i = 0; i < db.size(); ++i) {
+    auto got = client->Read(&*server, i);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(*got, db[i]) << i;
+  }
+  EXPECT_EQ(server->queries_served(), db.size());
+}
+
+TEST(CpirTest, CommunicationIsSquareRootShaped) {
+  std::vector<uint64_t> db(100, 5);
+  auto server = CpirServer::Create(db);
+  ASSERT_TRUE(server.ok());
+  auto client = CpirClient::Create(192, 9);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Read(&*server, 42).ok());
+  EXPECT_EQ(client->last_upload_ciphertexts(), 10u);   // rows
+  EXPECT_EQ(client->last_download_ciphertexts(), 10u); // cols
+}
+
+TEST(CpirTest, HandlesZeroEntriesAndColumns) {
+  std::vector<uint64_t> db{0, 0, 7, 0, 0, 0};
+  auto server = CpirServer::Create(db);
+  ASSERT_TRUE(server.ok());
+  auto client = CpirClient::Create(192, 11);
+  ASSERT_TRUE(client.ok());
+  for (size_t i = 0; i < db.size(); ++i) {
+    auto got = client->Read(&*server, i);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, db[i]);
+  }
+}
+
+TEST(CpirTest, RejectsBadInput) {
+  EXPECT_FALSE(CpirServer::Create({}).ok());
+  std::vector<uint64_t> db{1, 2, 3};
+  auto server = CpirServer::Create(db);
+  ASSERT_TRUE(server.ok());
+  auto client = CpirClient::Create(192, 13);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client->Read(&*server, 3).ok());
+}
+
+TEST(KeywordPirTest, LookupsHitAndMiss) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 50; ++k) entries.emplace_back(k * 10, k * 1000);
+  auto store = KeywordPirStore::Create(entries);
+  ASSERT_TRUE(store.ok());
+  Rng rng(15);
+  for (uint64_t k = 0; k < 50; ++k) {
+    auto hit = store->Lookup(k * 10, &rng);
+    ASSERT_TRUE(hit.ok());
+    ASSERT_TRUE(hit->has_value());
+    EXPECT_EQ(**hit, k * 1000);
+  }
+  auto miss = store->Lookup(5, &rng);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->has_value());
+  auto miss2 = store->Lookup(9999, &rng);
+  ASSERT_TRUE(miss2.ok());
+  EXPECT_FALSE(miss2->has_value());
+}
+
+TEST(KeywordPirTest, LogarithmicQueryCount) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t k = 0; k < 128; ++k) entries.emplace_back(k, k);
+  auto store = KeywordPirStore::Create(entries);
+  ASSERT_TRUE(store.ok());
+  Rng rng(17);
+  PirStats stats;
+  auto hit = store->Lookup(64, &rng, &stats);
+  ASSERT_TRUE(hit.ok());
+  // Binary search over 128 keys: <= 8 reads of 2x128 bits upload each.
+  EXPECT_LE(stats.upload_bits, 8 * 2 * 128u);
+  EXPECT_GT(stats.upload_bits, 0u);
+}
+
+TEST(KeywordPirTest, RejectsBadInput) {
+  EXPECT_FALSE(KeywordPirStore::Create({}).ok());
+  EXPECT_FALSE(KeywordPirStore::Create({{1, 2}, {1, 3}}).ok());  // dup key
+}
+
+}  // namespace
+}  // namespace tripriv

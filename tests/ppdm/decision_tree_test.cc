@@ -1,0 +1,133 @@
+#include "ppdm/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "sdc/noise.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(DecisionTreeTest, LearnsFunction1) {
+  DataTable train = MakeClassification(2000, 1, 3);
+  DataTable test = MakeClassification(500, 1, 4);
+  auto tree = DecisionTree::Train(train, "group");
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto acc = tree->Accuracy(test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);  // axis-aligned boundary, easily learnable
+}
+
+TEST(DecisionTreeTest, LearnsFunction2And3) {
+  for (int f : {2, 3}) {
+    DataTable train = MakeClassification(3000, f, 5);
+    DataTable test = MakeClassification(600, f, 6);
+    auto tree = DecisionTree::Train(train, "group");
+    ASSERT_TRUE(tree.ok());
+    auto acc = tree->Accuracy(test);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_GT(*acc, 0.9) << "function " << f;
+  }
+}
+
+TEST(DecisionTreeTest, PureLeafOnConstantLabels) {
+  Schema s({
+      {"x", AttributeType::kReal, AttributeRole::kNonConfidential},
+      {"y", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+  auto t = DataTable::FromRows(s, {{1.0, "A"}, {2.0, "A"}, {3.0, "A"}});
+  ASSERT_TRUE(t.ok());
+  auto tree = DecisionTree::Train(*t, "y");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1u);
+  EXPECT_EQ(*tree->Predict(*t, 0), "A");
+  EXPECT_DOUBLE_EQ(*tree->Accuracy(*t), 1.0);
+}
+
+TEST(DecisionTreeTest, CategoricalSplits) {
+  // Label fully determined by a categorical attribute.
+  Schema s({
+      {"color", AttributeType::kCategorical, AttributeRole::kNonConfidential},
+      {"label", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+  DataTable t(s);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i % 2 == 0 ? "red" : "blue"),
+                             Value(i % 2 == 0 ? "hot" : "cold")})
+                    .ok());
+  }
+  DecisionTreeConfig config;
+  config.min_leaf = 2;
+  auto tree = DecisionTree::Train(t, "label", config);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(*tree->Accuracy(t), 1.0);
+  EXPECT_GT(tree->num_nodes(), 1u);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  DataTable train = MakeClassification(2000, 2, 7);
+  DecisionTreeConfig config;
+  config.max_depth = 2;
+  auto tree = DecisionTree::Train(train, "group", config);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->depth(), 2u);
+}
+
+TEST(DecisionTreeTest, RejectsBadInput) {
+  DataTable train = MakeClassification(100, 1, 9);
+  EXPECT_FALSE(DecisionTree::Train(train, "salary").ok());   // numeric label
+  EXPECT_FALSE(DecisionTree::Train(train, "missing").ok());  // no such column
+  Schema s({{"y", AttributeType::kCategorical, AttributeRole::kConfidential}});
+  DataTable empty(s);
+  EXPECT_FALSE(DecisionTree::Train(empty, "y").ok());
+}
+
+TEST(DecisionTreeTest, ToStringRendersTree) {
+  DataTable train = MakeClassification(500, 1, 11);
+  auto tree = DecisionTree::Train(train, "group");
+  ASSERT_TRUE(tree.ok());
+  const std::string s = tree->ToString();
+  EXPECT_NE(s.find("age"), std::string::npos);
+  EXPECT_NE(s.find("-> "), std::string::npos);
+}
+
+TEST(ByClassReconstructionTest, RestoresClassifierAccuracy) {
+  // The headline Agrawal-Srikant result: training on perturbed data hurts;
+  // training on by-class reconstructed data recovers most of the accuracy.
+  DataTable train = MakeClassification(3000, 1, 13);
+  DataTable test = MakeClassification(600, 1, 14);
+  const size_t age_col = 0;
+  const double sigma = 12.0;  // substantial: age spans 20-80
+  auto perturbed = AddFixedNoise(train, sigma, age_col, 15);
+  ASSERT_TRUE(perturbed.ok());
+
+  auto tree_clean = DecisionTree::Train(train, "group");
+  auto tree_noisy = DecisionTree::Train(*perturbed, "group");
+  auto reconstructed = ReconstructTableByClass(*perturbed, {age_col}, sigma,
+                                               "group");
+  ASSERT_TRUE(reconstructed.ok()) << reconstructed.status().ToString();
+  auto tree_reco = DecisionTree::Train(*reconstructed, "group");
+  ASSERT_TRUE(tree_clean.ok() && tree_noisy.ok() && tree_reco.ok());
+
+  const double acc_clean = *tree_clean->Accuracy(test);
+  const double acc_noisy = *tree_noisy->Accuracy(test);
+  const double acc_reco = *tree_reco->Accuracy(test);
+  EXPECT_GT(acc_clean, 0.95);
+  EXPECT_GT(acc_reco, acc_noisy);         // reconstruction helps
+  EXPECT_GT(acc_reco, acc_clean - 0.12);  // and recovers most of the gap
+}
+
+TEST(ByClassReconstructionTest, KeepsLabelsAndShape) {
+  DataTable train = MakeClassification(500, 1, 17);
+  auto perturbed = AddFixedNoise(train, 10.0, 0, 18);
+  ASSERT_TRUE(perturbed.ok());
+  auto reco = ReconstructTableByClass(*perturbed, {0}, 10.0, "group");
+  ASSERT_TRUE(reco.ok());
+  EXPECT_EQ(reco->num_rows(), train.num_rows());
+  for (size_t r = 0; r < train.num_rows(); ++r) {
+    EXPECT_EQ(reco->at(r, 4), train.at(r, 4));  // labels untouched
+  }
+}
+
+}  // namespace
+}  // namespace tripriv

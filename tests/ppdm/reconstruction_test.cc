@@ -1,0 +1,137 @@
+#include "ppdm/reconstruction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+// Perturbed sample from a bimodal original distribution.
+std::vector<double> BimodalPerturbed(size_t n, double sigma, uint64_t seed,
+                                     std::vector<double>* original = nullptr) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Bernoulli(0.5) ? rng.Normal(20.0, 2.0)
+                                        : rng.Normal(60.0, 2.0);
+    if (original != nullptr) original->push_back(x);
+    out.push_back(x + rng.Normal(0.0, sigma));
+  }
+  return out;
+}
+
+TEST(ReconstructionTest, RecoversBimodalShape) {
+  std::vector<double> original;
+  auto perturbed = BimodalPerturbed(4000, 10.0, 3, &original);
+  auto dist = ReconstructDistribution(perturbed, 10.0);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  // The reconstructed density should place most mass near the two true
+  // modes and little in the valley between them, even though the noisy
+  // sample smears the modes together (sigma = 10 vs mode gap 40).
+  double mass_modes = 0.0;
+  double mass_valley = 0.0;
+  for (size_t j = 0; j < dist->probabilities.size(); ++j) {
+    const double c = dist->BinCenter(j);
+    if (std::fabs(c - 20.0) < 8.0 || std::fabs(c - 60.0) < 8.0) {
+      mass_modes += dist->probabilities[j];
+    } else if (std::fabs(c - 40.0) < 8.0) {
+      mass_valley += dist->probabilities[j];
+    }
+  }
+  EXPECT_GT(mass_modes, 0.7);
+  EXPECT_LT(mass_valley, 0.1);
+}
+
+TEST(ReconstructionTest, MeanIsPreserved) {
+  std::vector<double> original;
+  auto perturbed = BimodalPerturbed(4000, 8.0, 7, &original);
+  auto dist = ReconstructDistribution(perturbed, 8.0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->MeanEstimate(), Mean(original), 1.5);
+}
+
+TEST(ReconstructionTest, ProbabilitiesSumToOne) {
+  auto perturbed = BimodalPerturbed(500, 5.0, 11);
+  auto dist = ReconstructDistribution(perturbed, 5.0);
+  ASSERT_TRUE(dist.ok());
+  double sum = 0;
+  for (double p : dist->probabilities) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(dist->iterations, 0u);
+}
+
+TEST(ReconstructionTest, QuantileIsMonotone) {
+  auto perturbed = BimodalPerturbed(1000, 5.0, 13);
+  auto dist = ReconstructDistribution(perturbed, 5.0);
+  ASSERT_TRUE(dist.ok());
+  double prev = dist->Quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = dist->Quantile(q);
+    EXPECT_GE(cur, prev - 1e-9);
+    prev = cur;
+  }
+  EXPECT_LE(dist->Quantile(0.0), dist->Quantile(1.0));
+}
+
+TEST(ReconstructionTest, SharperWithLowerNoise) {
+  // With lower noise the reconstruction concentrates better around modes.
+  auto conc = [](double sigma, uint64_t seed) {
+    auto perturbed = BimodalPerturbed(3000, sigma, seed);
+    auto dist = ReconstructDistribution(perturbed, sigma);
+    EXPECT_TRUE(dist.ok());
+    double mass = 0.0;
+    for (size_t j = 0; j < dist->probabilities.size(); ++j) {
+      const double c = dist->BinCenter(j);
+      if (std::fabs(c - 20.0) < 5.0 || std::fabs(c - 60.0) < 5.0) {
+        mass += dist->probabilities[j];
+      }
+    }
+    return mass;
+  };
+  EXPECT_GT(conc(2.0, 17), conc(25.0, 17));
+}
+
+TEST(ReconstructionTest, RejectsBadInput) {
+  EXPECT_FALSE(ReconstructDistribution({}, 1.0).ok());
+  EXPECT_FALSE(ReconstructDistribution({1.0, 2.0}, 0.0).ok());
+  ReconstructionConfig config;
+  config.bins = 1;
+  EXPECT_FALSE(ReconstructDistribution({1.0, 2.0}, 1.0, config).ok());
+}
+
+TEST(ReconstructValuesTest, AlignedWithInputAndRankPreserving) {
+  std::vector<double> original;
+  auto perturbed = BimodalPerturbed(800, 6.0, 19, &original);
+  auto values = ReconstructValues(perturbed, 6.0);
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), perturbed.size());
+  // Rank-preserving: if perturbed[i] < perturbed[j] then value[i] <= value[j].
+  for (size_t i = 0; i + 1 < 100; ++i) {
+    for (size_t j = i + 1; j < 100; ++j) {
+      if (perturbed[i] < perturbed[j]) {
+        EXPECT_LE((*values)[i], (*values)[j] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ReconstructValuesTest, ValuesApproximateOriginalDistribution) {
+  std::vector<double> original;
+  auto perturbed = BimodalPerturbed(3000, 8.0, 23, &original);
+  auto values = ReconstructValues(perturbed, 8.0);
+  ASSERT_TRUE(values.ok());
+  // The reconstructed values should be much closer to the original
+  // *distribution* than the perturbed ones: compare variances.
+  const double var_orig = SampleVariance(original);
+  const double var_pert = SampleVariance(perturbed);
+  const double var_reco = SampleVariance(*values);
+  EXPECT_LT(std::fabs(var_reco - var_orig), std::fabs(var_pert - var_orig));
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,162 @@
+// Property sweeps over masking methods and measurement: marginal
+// preservation of rank swapping, unbiasedness of noise and randomized
+// response, monotonicity of the risk/utility dials, and reconstruction
+// consistency across noise levels.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ppdm/randomized_response.h"
+#include "ppdm/reconstruction.h"
+#include "sdc/information_loss.h"
+#include "sdc/noise.h"
+#include "sdc/rank_swap.h"
+#include "sdc/risk.h"
+#include "stats/descriptive.h"
+#include "table/datasets.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+class RankSwapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RankSwapSweep, MarginalsExactlyPreservedForEveryWindow) {
+  const double p = GetParam();
+  DataTable data = MakeCensus(250, 17);
+  auto masked = RankSwap(data, p, {0, 4}, 23);
+  ASSERT_TRUE(masked.ok());
+  for (size_t c : {0u, 4u}) {
+    auto orig = data.NumericColumn(c).value();
+    auto swap = masked->NumericColumn(c).value();
+    std::sort(orig.begin(), orig.end());
+    std::sort(swap.begin(), swap.end());
+    EXPECT_EQ(orig, swap) << "window " << p << ", column " << c;
+  }
+}
+
+TEST_P(RankSwapSweep, LinkageRiskFallsAsWindowGrows) {
+  const double p = GetParam();
+  if (p == 0.0) return;  // degenerate window
+  DataTable data = MakeExtendedTrial(250, 19);
+  auto narrow = RankSwap(data, p, data.schema().QuasiIdentifierIndices(), 29);
+  auto wide =
+      RankSwap(data, std::min(100.0, p * 4), data.schema().QuasiIdentifierIndices(), 29);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  auto risk_narrow = DistanceLinkageAttack(data, *narrow);
+  auto risk_wide = DistanceLinkageAttack(data, *wide);
+  ASSERT_TRUE(risk_narrow.ok() && risk_wide.ok());
+  EXPECT_GE(risk_narrow->correct_fraction + 0.05, risk_wide->correct_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RankSwapSweep,
+                         ::testing::Values(0.0, 2.0, 5.0, 10.0, 25.0, 100.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "p" + std::to_string(
+                                            static_cast<int>(info.param));
+                         });
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, NoiseIsCenteredAndScaled) {
+  const double alpha = GetParam();
+  DataTable data = MakeCensus(3000, 31);
+  auto masked = AddUncorrelatedNoise(data, alpha, {4}, 37);
+  ASSERT_TRUE(masked.ok());
+  auto orig = data.NumericColumn(size_t{4}).value();
+  auto noisy = masked->NumericColumn(size_t{4}).value();
+  std::vector<double> noise(orig.size());
+  for (size_t i = 0; i < orig.size(); ++i) noise[i] = noisy[i] - orig[i];
+  const double sd = SampleStddev(orig);
+  EXPECT_NEAR(Mean(noise), 0.0, 0.08 * (alpha + 0.01) * sd + 1e-9);
+  if (alpha > 0.0) {
+    EXPECT_NEAR(SampleStddev(noise) / (alpha * sd), 1.0, 0.08);
+  }
+}
+
+TEST_P(NoiseSweep, InformationLossMonotoneInAlpha) {
+  const double alpha = GetParam();
+  if (alpha == 0.0) return;
+  DataTable data = MakeExtendedTrial(400, 41);
+  const auto qi = data.schema().QuasiIdentifierIndices();
+  auto lo = AddUncorrelatedNoise(data, alpha, qi, 43);
+  auto hi = AddUncorrelatedNoise(data, alpha * 2.0, qi, 43);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  auto loss_lo = MeasureInformationLoss(data, *lo);
+  auto loss_hi = MeasureInformationLoss(data, *hi);
+  ASSERT_TRUE(loss_lo.ok() && loss_hi.ok());
+  EXPECT_LT(loss_lo->il1s, loss_hi->il1s * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, NoiseSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 1.0, 2.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "alpha" + std::to_string(static_cast<int>(
+                                                info.param * 100));
+                         });
+
+class RandomizedResponseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomizedResponseSweep, EstimatorUnbiasedAcrossRetention) {
+  const double p = GetParam();
+  DataTable data = MakeCensus(6000, 47);
+  const size_t col = 5;
+  auto truth = ObservedDistribution(data, col);
+  ASSERT_TRUE(truth.ok());
+  std::vector<std::string> domain;
+  for (const auto& [k, v] : *truth) domain.push_back(k);
+  auto masked = RandomizedResponseMask(data, col, p, 53);
+  ASSERT_TRUE(masked.ok());
+  auto estimate = EstimateTrueDistribution(*masked, col, p, domain);
+  ASSERT_TRUE(estimate.ok());
+  // Estimation noise grows as p falls; tolerance scales with 1/p.
+  const double tol = 0.02 / p + 0.01;
+  for (const auto& [category, prob] : *truth) {
+    EXPECT_NEAR(estimate->at(category), prob, tol) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Retention, RandomizedResponseSweep,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "p" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+class ReconstructionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReconstructionSweep, MeanRecoveredAcrossNoiseLevels) {
+  const double sigma = GetParam();
+  Rng rng(59);
+  std::vector<double> original;
+  std::vector<double> perturbed;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.Bernoulli(0.3) ? rng.Normal(10, 3) : rng.Normal(50, 5);
+    original.push_back(x);
+    perturbed.push_back(x + rng.Normal(0.0, sigma));
+  }
+  auto dist = ReconstructDistribution(perturbed, sigma);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->MeanEstimate(), Mean(original), 1.6) << "sigma " << sigma;
+  // The reconstructed variance must be closer to the original's than the
+  // (inflated) perturbed variance for meaningful noise levels.
+  auto values = ReconstructValues(perturbed, sigma);
+  ASSERT_TRUE(values.ok());
+  if (sigma >= 5.0) {
+    const double var_orig = SampleVariance(original);
+    EXPECT_LT(std::fabs(SampleVariance(*values) - var_orig),
+              std::fabs(SampleVariance(perturbed) - var_orig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ReconstructionSweep,
+                         ::testing::Values(1.0, 5.0, 10.0, 20.0, 40.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "sigma" + std::to_string(static_cast<int>(
+                                                info.param));
+                         });
+
+}  // namespace
+}  // namespace tripriv

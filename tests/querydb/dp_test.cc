@@ -1,0 +1,139 @@
+// Tests for the differential-privacy protection mode (the library's
+// future-work extension of the paper's interactive-database strategies).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "querydb/protection.h"
+#include "querydb/tracker.h"
+#include "stats/descriptive.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+ProtectionConfig DpConfig(double epsilon, uint64_t seed = 3) {
+  ProtectionConfig config;
+  config.mode = ProtectionMode::kDifferentialPrivacy;
+  config.epsilon = epsilon;
+  config.seed = seed;
+  return config;
+}
+
+TEST(DpTest, CountNoiseMatchesLaplaceScale) {
+  DataTable data = MakeCensus(800, 3);
+  StatDatabase db(data, DpConfig(0.5, 7));
+  ProtectionConfig exact_config;
+  exact_config.mode = ProtectionMode::kNone;
+  StatDatabase exact(data, exact_config);
+  const std::string sql = "SELECT COUNT(*) FROM c WHERE age >= 50";
+  const double truth = exact.Query(sql)->value;
+  std::vector<double> noise;
+  for (int i = 0; i < 2000; ++i) {
+    auto a = db.Query(sql);
+    ASSERT_TRUE(a.ok());
+    ASSERT_FALSE(a->refused);
+    noise.push_back(a->value - truth);
+  }
+  // Laplace(1/0.5 = 2): mean 0, sd = sqrt(2)*2 ~ 2.83 (plus rounding).
+  EXPECT_NEAR(Mean(noise), 0.0, 0.25);
+  EXPECT_NEAR(SampleStddev(noise), std::sqrt(2.0) * 2.0, 0.5);
+}
+
+TEST(DpTest, LargerEpsilonMeansLessNoise) {
+  DataTable data = MakeCensus(800, 5);
+  const std::string sql = "SELECT COUNT(*) FROM c WHERE age < 40";
+  auto spread = [&](double epsilon) {
+    StatDatabase db(data, DpConfig(epsilon, 11));
+    std::vector<double> answers;
+    for (int i = 0; i < 400; ++i) answers.push_back(db.Query(sql)->value);
+    return SampleStddev(answers);
+  };
+  EXPECT_GT(spread(0.1), spread(1.0));
+  EXPECT_GT(spread(1.0), spread(10.0));
+}
+
+TEST(DpTest, CountsAreNonNegativeIntegers) {
+  DataTable data = MakeCensus(100, 7);
+  StatDatabase db(data, DpConfig(0.05, 13));  // very noisy
+  for (int i = 0; i < 200; ++i) {
+    auto a = db.Query("SELECT COUNT(*) FROM c WHERE age = 30");
+    ASSERT_TRUE(a.ok());
+    EXPECT_GE(a->value, 0.0);
+    EXPECT_DOUBLE_EQ(a->value, std::round(a->value));
+  }
+}
+
+TEST(DpTest, SumUsesRangeSensitivity) {
+  DataTable data = MakeCensus(2000, 9);
+  StatDatabase db(data, DpConfig(1.0, 17));
+  ProtectionConfig exact_config;
+  exact_config.mode = ProtectionMode::kNone;
+  StatDatabase exact(data, exact_config);
+  const std::string sql = "SELECT SUM(income) FROM c WHERE age >= 40";
+  const double truth = exact.Query(sql)->value;
+  std::vector<double> noise;
+  for (int i = 0; i < 500; ++i) noise.push_back(db.Query(sql)->value - truth);
+  const auto incomes = data.NumericColumn("income").value();
+  const double range = Max(incomes) - Min(incomes);
+  // Laplace(range / 1.0): sd = sqrt(2) * range.
+  EXPECT_NEAR(SampleStddev(noise) / (std::sqrt(2.0) * range), 1.0, 0.2);
+}
+
+TEST(DpTest, AvgSplitsBudgetAndStaysReasonable) {
+  DataTable data = MakeCensus(2000, 11);
+  StatDatabase db(data, DpConfig(2.0, 19));
+  ProtectionConfig exact_config;
+  exact_config.mode = ProtectionMode::kNone;
+  StatDatabase exact(data, exact_config);
+  const std::string sql = "SELECT AVG(income) FROM c WHERE education >= 10";
+  const double truth = exact.Query(sql)->value;
+  std::vector<double> answers;
+  for (int i = 0; i < 200; ++i) {
+    auto a = db.Query(sql);
+    ASSERT_TRUE(a.ok());
+    if (!a->refused) answers.push_back(a->value);
+  }
+  ASSERT_GT(answers.size(), 150u);
+  // The average over many noisy answers should approach the truth.
+  EXPECT_NEAR(Mean(answers) / truth, 1.0, 0.1);
+}
+
+TEST(DpTest, MinMaxAreRefused) {
+  DataTable data = MakeCensus(100, 13);
+  StatDatabase db(data, DpConfig(1.0));
+  auto min = db.Query("SELECT MIN(income) FROM c");
+  auto max = db.Query("SELECT MAX(income) FROM c");
+  ASSERT_TRUE(min.ok() && max.ok());
+  EXPECT_TRUE(min->refused);
+  EXPECT_TRUE(max->refused);
+}
+
+TEST(DpTest, InvalidEpsilonFails) {
+  DataTable data = MakeCensus(50, 15);
+  StatDatabase db(data, DpConfig(0.0));
+  auto a = db.Query("SELECT COUNT(*) FROM c");
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(DpTest, TrackerInferenceIsBlurred) {
+  // Unlike size restriction, DP answers everything — but the tracker's
+  // arithmetic no longer recovers the exact respondent value.
+  DataTable data = MakeClinicalTrial(120, 17);
+  ASSERT_TRUE(data.AppendRow({Value(160), Value(110), Value(146), Value("N")})
+                  .ok());
+  StatDatabase db(data, DpConfig(1.0, 21));
+  const Predicate target = Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Compare("weight", CompareOp::kGt, Value(105)));
+  const Predicate tracker =
+      Predicate::Compare("height", CompareOp::kLt, Value(172));
+  auto attack = TrackerAttack(&db, target, "blood_pressure", tracker);
+  ASSERT_TRUE(attack.ok());
+  ASSERT_TRUE(attack->succeeded);
+  EXPECT_GT(std::fabs(attack->inferred_sum - 146.0), 1.0);
+}
+
+}  // namespace
+}  // namespace tripriv

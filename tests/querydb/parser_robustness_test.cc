@@ -1,0 +1,85 @@
+// Robustness sweep: the query parser must return a Status — never crash,
+// hang, or accept garbage — for arbitrary byte soup and truncations.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "querydb/query.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+TEST(ParserRobustnessTest, RandomByteSoupNeverCrashes) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t len = rng.UniformU64(64);
+    std::string soup;
+    for (size_t i = 0; i < len; ++i) {
+      soup += static_cast<char>(32 + rng.UniformU64(95));  // printable ASCII
+    }
+    (void)ParseQuery(soup);  // must simply return ok() or an error
+  }
+}
+
+TEST(ParserRobustnessTest, TokenSoupNeverCrashes) {
+  // Random sequences of VALID tokens are the adversarial middle ground.
+  static const char* kTokens[] = {"SELECT", "COUNT",  "(",    ")",   "*",
+                                  "FROM",   "WHERE",  "AND",  "OR",  "NOT",
+                                  "height", "165",    "<",    ">=",  "'Y'",
+                                  "3.5",    "-2",     "=",    "!=",  "t"};
+  Rng rng(2027);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t len = rng.UniformU64(12);
+    std::string q;
+    for (size_t i = 0; i < len; ++i) {
+      q += kTokens[rng.UniformU64(std::size(kTokens))];
+      q += ' ';
+    }
+    (void)ParseQuery(q);
+  }
+}
+
+TEST(ParserRobustnessTest, EveryPrefixOfAValidQueryIsHandled) {
+  const std::string query =
+      "SELECT AVG(blood_pressure) FROM trial WHERE (height < 165 AND "
+      "weight > 105) OR NOT aids = 'Y'";
+  for (size_t len = 0; len < query.size(); ++len) {
+    // Every prefix must be handled without crashing; prefixes cut before
+    // the table name cannot be complete queries.
+    auto r = ParseQuery(query.substr(0, len));
+    if (len < 33) {  // "...FROM t" is the shortest valid prefix
+      EXPECT_FALSE(r.ok()) << "prefix length " << len;
+    }
+  }
+  EXPECT_TRUE(ParseQuery(query).ok());
+  // A prefix that truncates inside an identifier is still a valid query
+  // over a shorter identifier — by design, not an error.
+  EXPECT_TRUE(ParseQuery(query.substr(0, 36)).ok());  // "... FROM tria"
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedParenthesesAreFine) {
+  std::string q = "SELECT COUNT(*) FROM t WHERE ";
+  for (int i = 0; i < 200; ++i) q += "(";
+  q += "x = 1";
+  for (int i = 0; i < 200; ++i) q += ")";
+  auto r = ParseQuery(q);
+  ASSERT_TRUE(r.ok());
+  // Unbalanced versions fail cleanly.
+  EXPECT_FALSE(ParseQuery(q + ")").ok());
+  EXPECT_FALSE(ParseQuery(q.substr(0, q.size() - 1)).ok());
+}
+
+TEST(ParserRobustnessTest, PathologicalNumbersAndStrings) {
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = 1e").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = .").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = -").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = ''extra''").ok());
+  EXPECT_TRUE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = ''").ok());
+  EXPECT_TRUE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = 1e10").ok());
+  EXPECT_TRUE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = .5").ok());
+}
+
+}  // namespace
+}  // namespace tripriv

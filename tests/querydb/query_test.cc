@@ -1,0 +1,156 @@
+// Tests for the query language parser and the execution engine.
+
+#include <gtest/gtest.h>
+
+#include "querydb/engine.h"
+#include "querydb/query.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(ParserTest, ParsesPaperQueries) {
+  auto q1 = ParseQuery(
+      "SELECT COUNT(*) FROM Dataset2 WHERE height < 165 AND weight > 105");
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_EQ(q1->fn, AggregateFn::kCount);
+  EXPECT_TRUE(q1->attribute.empty());
+  EXPECT_EQ(q1->table, "Dataset2");
+  EXPECT_EQ(q1->where.ToString(), "(height < 165 AND weight > 105)");
+
+  auto q2 = ParseQuery(
+      "SELECT AVG(blood_pressure) FROM Dataset2 WHERE height < 165 AND "
+      "weight > 105");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->fn, AggregateFn::kAvg);
+  EXPECT_EQ(q2->attribute, "blood_pressure");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  auto q = ParseQuery("select sum(weight) from t where height >= 170;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->fn, AggregateFn::kSum);
+  EXPECT_EQ(q->attribute, "weight");
+}
+
+TEST(ParserTest, AllAggregates) {
+  EXPECT_EQ(ParseQuery("SELECT MIN(x) FROM t")->fn, AggregateFn::kMin);
+  EXPECT_EQ(ParseQuery("SELECT MAX(x) FROM t")->fn, AggregateFn::kMax);
+  EXPECT_EQ(ParseQuery("SELECT AVG(x) FROM t")->fn, AggregateFn::kAvg);
+  EXPECT_EQ(ParseQuery("SELECT COUNT(*) FROM t")->fn, AggregateFn::kCount);
+}
+
+TEST(ParserTest, MissingWhereMeansTrue) {
+  auto q = ParseQuery("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.ToString(), "TRUE");
+}
+
+TEST(ParserTest, PrecedenceAndParentheses) {
+  // AND binds tighter than OR.
+  auto q = ParseQuery("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.ToString(), "(a = 1 OR (b = 2 AND c = 3))");
+  auto q2 =
+      ParseQuery("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->where.ToString(), "((a = 1 OR b = 2) AND c = 3)");
+}
+
+TEST(ParserTest, NotAndStringsAndReals) {
+  auto q = ParseQuery(
+      "SELECT COUNT(*) FROM t WHERE NOT aids = 'Y' AND score <= 1.5");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.ToString(), "((NOT aids = 'Y') AND score <= 1.5)");
+}
+
+TEST(ParserTest, NegativeAndScientificNumbers) {
+  auto q = ParseQuery("SELECT COUNT(*) FROM t WHERE x > -5 AND y < 1e3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.ToString(), "(x > -5 AND y < 1000)");
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) FROM t").ok());       // * needs COUNT
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(x FROM t").ok());      // missing )
+  EXPECT_FALSE(ParseQuery("SELECT MEDIAN(x) FROM t").ok());    // unknown fn
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) WHERE x = 1").ok());  // no FROM
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = ").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x = 'open").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t extra").ok());
+  EXPECT_FALSE(ParseQuery("SELECT COUNT(*) FROM t WHERE x ~ 3").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const std::string sql =
+      "SELECT AVG(blood_pressure) FROM t WHERE (height < 165 AND weight > 105)";
+  auto q = ParseQuery(sql);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->ToString(), q->ToString());
+}
+
+TEST(EngineTest, PaperQueriesOnDataset2) {
+  DataTable data = PaperDataset2();
+  auto q1 = ParseQuery(
+      "SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105");
+  ASSERT_TRUE(q1.ok());
+  auto a1 = ExecuteQuery(data, *q1);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_DOUBLE_EQ(a1->value, 1.0);
+  EXPECT_EQ(a1->query_set_size, 1u);
+
+  auto q2 = ParseQuery(
+      "SELECT AVG(blood_pressure) FROM t WHERE height < 165 AND weight > 105");
+  ASSERT_TRUE(q2.ok());
+  auto a2 = ExecuteQuery(data, *q2);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_DOUBLE_EQ(a2->value, 146.0);
+}
+
+TEST(EngineTest, AllAggregatesComputeCorrectly) {
+  DataTable data = PaperDataset1();
+  auto run = [&](const std::string& sql) {
+    auto q = ParseQuery(sql);
+    EXPECT_TRUE(q.ok());
+    auto a = ExecuteQuery(data, *q);
+    EXPECT_TRUE(a.ok()) << sql;
+    return a->value;
+  };
+  EXPECT_DOUBLE_EQ(run("SELECT COUNT(*) FROM t"), 10.0);
+  EXPECT_DOUBLE_EQ(run("SELECT MIN(blood_pressure) FROM t"), 141.0);
+  EXPECT_DOUBLE_EQ(run("SELECT MAX(blood_pressure) FROM t"), 170.0);
+  EXPECT_DOUBLE_EQ(run("SELECT SUM(height) FROM t WHERE height = 160"), 640.0);
+  EXPECT_DOUBLE_EQ(run("SELECT AVG(weight) FROM t WHERE height = 180"), 90.0);
+}
+
+TEST(EngineTest, EmptySelectionSemantics) {
+  DataTable data = PaperDataset1();
+  auto count = ParseQuery("SELECT COUNT(*) FROM t WHERE height > 999");
+  ASSERT_TRUE(count.ok());
+  EXPECT_DOUBLE_EQ(ExecuteQuery(data, *count)->value, 0.0);
+  auto sum = ParseQuery("SELECT SUM(weight) FROM t WHERE height > 999");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(ExecuteQuery(data, *sum)->value, 0.0);
+  auto avg = ParseQuery("SELECT AVG(weight) FROM t WHERE height > 999");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(ExecuteQuery(data, *avg).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, ErrorsOnBadAttribute) {
+  DataTable data = PaperDataset1();
+  auto q = ParseQuery("SELECT SUM(aids) FROM t");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(ExecuteQuery(data, *q).ok());  // categorical
+  auto q2 = ParseQuery("SELECT SUM(nothing) FROM t");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(ExecuteQuery(data, *q2).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,98 @@
+#include "sdc/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace tripriv {
+namespace {
+
+TEST(NumericHierarchyTest, LevelZeroIsIdentity) {
+  NumericIntervalHierarchy h(0.0, 5.0, 2, 3);
+  auto v = h.Generalize(Value(37), 0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value(37));
+}
+
+TEST(NumericHierarchyTest, IntervalsWidenPerLevel) {
+  NumericIntervalHierarchy h(0.0, 5.0, 2, 3);
+  EXPECT_EQ(h.Generalize(Value(37), 1)->AsString(), "[35,40)");
+  EXPECT_EQ(h.Generalize(Value(37), 2)->AsString(), "[30,40)");
+  EXPECT_EQ(h.Generalize(Value(37), 3)->AsString(), "[20,40)");
+}
+
+TEST(NumericHierarchyTest, TopLevelSuppresses) {
+  NumericIntervalHierarchy h(0.0, 5.0, 2, 3);
+  EXPECT_EQ(h.max_level(), 4);
+  EXPECT_EQ(h.Generalize(Value(37), 4)->AsString(), "*");
+  // Levels beyond max clamp to suppression.
+  EXPECT_EQ(h.Generalize(Value(37), 99)->AsString(), "*");
+}
+
+TEST(NumericHierarchyTest, NegativeValuesAndOrigin) {
+  NumericIntervalHierarchy h(0.0, 10.0, 2, 1);
+  EXPECT_EQ(h.Generalize(Value(-3), 1)->AsString(), "[-10,0)");
+  NumericIntervalHierarchy shifted(5.0, 10.0, 2, 1);
+  EXPECT_EQ(shifted.Generalize(Value(7), 1)->AsString(), "[5,15)");
+}
+
+TEST(NumericHierarchyTest, BoundaryBelongsToUpperInterval) {
+  NumericIntervalHierarchy h(0.0, 5.0, 2, 1);
+  EXPECT_EQ(h.Generalize(Value(35), 1)->AsString(), "[35,40)");
+  EXPECT_EQ(h.Generalize(Value(34.999), 1)->AsString(), "[30,35)");
+}
+
+TEST(NumericHierarchyTest, NullStaysNull) {
+  NumericIntervalHierarchy h(0.0, 5.0, 2, 3);
+  EXPECT_TRUE(h.Generalize(Value::Null(), 2)->is_null());
+}
+
+TEST(NumericHierarchyTest, RejectsNonNumeric) {
+  NumericIntervalHierarchy h(0.0, 5.0, 2, 3);
+  EXPECT_FALSE(h.Generalize(Value("x"), 1).ok());
+}
+
+TEST(CategoricalHierarchyTest, AncestorChain) {
+  CategoricalTreeHierarchy h;
+  ASSERT_TRUE(h.AddLeaf("flu", {"respiratory", "*"}).ok());
+  ASSERT_TRUE(h.AddLeaf("asthma", {"respiratory", "*"}).ok());
+  ASSERT_TRUE(h.AddLeaf("diabetes", {"metabolic", "*"}).ok());
+  EXPECT_EQ(h.max_level(), 2);
+  EXPECT_EQ(h.Generalize(Value("flu"), 0)->AsString(), "flu");
+  EXPECT_EQ(h.Generalize(Value("flu"), 1)->AsString(), "respiratory");
+  EXPECT_EQ(h.Generalize(Value("flu"), 2)->AsString(), "*");
+  EXPECT_EQ(h.Generalize(Value("diabetes"), 1)->AsString(), "metabolic");
+}
+
+TEST(CategoricalHierarchyTest, InconsistentDepthRejected) {
+  CategoricalTreeHierarchy h;
+  ASSERT_TRUE(h.AddLeaf("a", {"x", "*"}).ok());
+  EXPECT_FALSE(h.AddLeaf("b", {"*"}).ok());
+}
+
+TEST(CategoricalHierarchyTest, DuplicateLeafRejected) {
+  CategoricalTreeHierarchy h;
+  ASSERT_TRUE(h.AddLeaf("a", {"*"}).ok());
+  EXPECT_EQ(h.AddLeaf("a", {"*"}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CategoricalHierarchyTest, UnknownValueFails) {
+  CategoricalTreeHierarchy h;
+  ASSERT_TRUE(h.AddLeaf("a", {"*"}).ok());
+  EXPECT_EQ(h.Generalize(Value("zzz"), 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(CategoricalHierarchyTest, EmptyChainRejected) {
+  CategoricalTreeHierarchy h;
+  EXPECT_FALSE(h.AddLeaf("a", {}).ok());
+}
+
+TEST(SuppressionHierarchyTest, OnlySuppresses) {
+  SuppressionHierarchy h;
+  EXPECT_EQ(h.max_level(), 1);
+  EXPECT_EQ(*h.Generalize(Value(7), 0), Value(7));
+  EXPECT_EQ(h.Generalize(Value(7), 1)->AsString(), "*");
+  EXPECT_EQ(h.Generalize(Value("cat"), 1)->AsString(), "*");
+  EXPECT_TRUE(h.Generalize(Value::Null(), 1)->is_null());
+}
+
+}  // namespace
+}  // namespace tripriv

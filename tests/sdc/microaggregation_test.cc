@@ -1,0 +1,173 @@
+#include "sdc/microaggregation.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "sdc/anonymity.h"
+#include "stats/descriptive.h"
+#include "table/datasets.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+std::map<size_t, size_t> GroupSizes(const std::vector<size_t>& group_of_row) {
+  std::map<size_t, size_t> sizes;
+  for (size_t g : group_of_row) sizes[g]++;
+  return sizes;
+}
+
+TEST(MdavTest, GroupSizesWithinBounds) {
+  DataTable data = MakeClinicalTrial(100, 3);
+  for (size_t k : {2u, 3u, 5u, 10u}) {
+    auto r = MdavMicroaggregate(data, k);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (const auto& [g, size] : GroupSizes(r->group_of_row)) {
+      EXPECT_GE(size, k) << "k=" << k;
+      EXPECT_LE(size, 2 * k - 1) << "k=" << k;
+    }
+  }
+}
+
+TEST(MdavTest, ResultIsKAnonymousPerReference12) {
+  // [12]: microaggregation with minimum group size k over the QIs yields
+  // k-anonymity.
+  DataTable data = MakeClinicalTrial(150, 11);
+  for (size_t k : {3u, 7u}) {
+    auto r = MdavMicroaggregate(data, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(AnonymityLevel(r->table), k);
+  }
+}
+
+TEST(MdavTest, CentroidsPreserveColumnMeans) {
+  DataTable data = MakeClinicalTrial(120, 5);
+  // Use real-typed copies to avoid integer rounding in this check.
+  Schema s({
+      {"height", AttributeType::kReal, AttributeRole::kQuasiIdentifier},
+      {"weight", AttributeType::kReal, AttributeRole::kQuasiIdentifier},
+  });
+  DataTable real_data(s);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_TRUE(real_data
+                    .AppendRow({Value(data.at(r, 0).ToDouble()),
+                                Value(data.at(r, 1).ToDouble())})
+                    .ok());
+  }
+  auto r = MdavMicroaggregate(real_data, 4, {0, 1});
+  ASSERT_TRUE(r.ok());
+  for (size_t c : {0u, 1u}) {
+    const double orig_mean = Mean(real_data.NumericColumn(c).value());
+    const double masked_mean = Mean(r->table.NumericColumn(c).value());
+    EXPECT_NEAR(orig_mean, masked_mean, 1e-9);
+  }
+}
+
+TEST(MdavTest, MembersShareGroupCentroid) {
+  DataTable data = MakeClinicalTrial(60, 9);
+  auto r = MdavMicroaggregate(data, 3);
+  ASSERT_TRUE(r.ok());
+  for (size_t a = 0; a < data.num_rows(); ++a) {
+    for (size_t b = a + 1; b < data.num_rows(); ++b) {
+      if (r->group_of_row[a] == r->group_of_row[b]) {
+        EXPECT_EQ(r->table.at(a, 0), r->table.at(b, 0));
+        EXPECT_EQ(r->table.at(a, 1), r->table.at(b, 1));
+      }
+    }
+  }
+}
+
+TEST(MdavTest, SmallTableSingleGroup) {
+  DataTable data = MakeClinicalTrial(4, 21);
+  auto r = MdavMicroaggregate(data, 5);  // k > n
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_groups, 1u);
+}
+
+TEST(MdavTest, KEquals1IsLossless) {
+  DataTable data = MakeClinicalTrial(30, 2);
+  auto r = MdavMicroaggregate(data, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->within_group_sse, 0.0, 1e-9);
+}
+
+TEST(MdavTest, SseGrowsWithK) {
+  DataTable data = MakeClinicalTrial(200, 13);
+  double prev = -1.0;
+  for (size_t k : {2u, 5u, 20u, 50u}) {
+    auto r = MdavMicroaggregate(data, k);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->within_group_sse, prev);
+    prev = r->within_group_sse;
+  }
+}
+
+TEST(MdavTest, ErrorsOnBadInput) {
+  DataTable data = MakeClinicalTrial(10, 1);
+  EXPECT_FALSE(MdavMicroaggregate(data, 0).ok());
+  EXPECT_FALSE(MdavMicroaggregate(data, 3, {}).ok());
+  EXPECT_FALSE(MdavMicroaggregate(data, 3, {3}).ok());  // categorical column
+  DataTable empty(PatientSchema());
+  EXPECT_FALSE(MdavMicroaggregate(empty, 3).ok());
+}
+
+TEST(OptimalUnivariateTest, RespectsSizeBounds) {
+  std::vector<double> values{1, 2, 3, 10, 11, 12, 20, 21, 22, 23};
+  auto groups = OptimalUnivariateGroups(values, 3);
+  ASSERT_TRUE(groups.ok());
+  for (const auto& [g, size] : GroupSizes(*groups)) {
+    EXPECT_GE(size, 3u);
+    EXPECT_LE(size, 5u);
+  }
+}
+
+TEST(OptimalUnivariateTest, FindsNaturalClusters) {
+  // Three well-separated clusters of size 3: the optimum groups them.
+  std::vector<double> values{1, 2, 3, 100, 101, 102, 200, 201, 202};
+  auto groups = OptimalUnivariateGroups(values, 3);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)[0], (*groups)[1]);
+  EXPECT_EQ((*groups)[1], (*groups)[2]);
+  EXPECT_EQ((*groups)[3], (*groups)[4]);
+  EXPECT_NE((*groups)[2], (*groups)[3]);
+  EXPECT_NE((*groups)[5], (*groups)[6]);
+}
+
+TEST(OptimalUnivariateTest, GroupsAreContiguousInSortedOrder) {
+  Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 50; ++i) values.push_back(rng.UniformDouble(0, 100));
+  auto groups = OptimalUnivariateGroups(values, 4);
+  ASSERT_TRUE(groups.ok());
+  // Sort values; group ids along the sorted order must be non-decreasing.
+  std::vector<size_t> order(values.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE((*groups)[order[i - 1]], (*groups)[order[i]]);
+  }
+}
+
+TEST(OptimalUnivariateTest, BeatsOrTiesMdavOnSse) {
+  DataTable data = MakeClinicalTrial(100, 17);
+  const size_t k = 4;
+  auto optimal = OptimalUnivariateMicroaggregate(data, k, 0);
+  auto mdav = MdavMicroaggregate(data, k, {0});
+  ASSERT_TRUE(optimal.ok());
+  ASSERT_TRUE(mdav.ok());
+  EXPECT_LE(optimal->within_group_sse, mdav->within_group_sse + 1e-9);
+}
+
+TEST(OptimalUnivariateTest, TinyInputSingleGroup) {
+  auto groups = OptimalUnivariateGroups({5.0, 6.0}, 3);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(*groups, (std::vector<size_t>{0, 0}));
+  EXPECT_FALSE(OptimalUnivariateGroups({}, 3).ok());
+  EXPECT_FALSE(OptimalUnivariateGroups({1.0}, 0).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,157 @@
+// Tests for PRAM, the linear solver behind its estimator, and tail coding.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ppdm/randomized_response.h"
+#include "sdc/coding.h"
+#include "sdc/pram.h"
+#include "stats/descriptive.h"
+#include "stats/linalg.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(LinearSolverTest, SolvesKnownSystems) {
+  auto x = SolveLinearSystem({{2, 1}, {1, 3}}, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+  // Identity.
+  auto y = SolveLinearSystem({{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, {7, -2, 0.5});
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ((*y), (std::vector<double>{7, -2, 0.5}));
+}
+
+TEST(LinearSolverTest, PivotingHandlesZeroDiagonal) {
+  auto x = SolveLinearSystem({{0, 1}, {1, 0}}, {3, 4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 4.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolverTest, RejectsSingularAndMalformed) {
+  EXPECT_FALSE(SolveLinearSystem({{1, 2}, {2, 4}}, {1, 2}).ok());
+  EXPECT_FALSE(SolveLinearSystem({{1, 2}}, {1}).ok());
+  EXPECT_FALSE(SolveLinearSystem({{1}}, {1, 2}).ok());
+}
+
+TEST(PramSpecTest, ValidationCatchesBadMatrices) {
+  PramSpec spec = RetentionPramSpec({"a", "b", "c"}, 0.7);
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.transition[0][0] += 0.5;  // row no longer sums to 1
+  EXPECT_FALSE(spec.Validate().ok());
+  PramSpec dup = RetentionPramSpec({"a", "a"}, 0.5);
+  EXPECT_FALSE(dup.Validate().ok());
+  PramSpec empty;
+  EXPECT_FALSE(empty.Validate().ok());
+  PramSpec negative = RetentionPramSpec({"a", "b"}, 0.5);
+  negative.transition[0][0] = -0.1;
+  negative.transition[0][1] = 1.1;
+  EXPECT_FALSE(negative.Validate().ok());
+}
+
+TEST(PramTest, RetentionSpecMatchesRandomizedResponseSemantics) {
+  // PRAM with the retention matrix must estimate as well as the dedicated
+  // randomized-response estimator.
+  DataTable data = MakeCensus(6000, 91);
+  const size_t col = 5;
+  auto truth = ObservedDistribution(data, col);
+  ASSERT_TRUE(truth.ok());
+  std::vector<std::string> domain;
+  for (const auto& [k, v] : *truth) domain.push_back(k);
+  const PramSpec spec = RetentionPramSpec(domain, 0.6);
+  auto masked = PramMask(data, col, spec, 97);
+  ASSERT_TRUE(masked.ok());
+  auto estimate = PramEstimateTrueDistribution(*masked, col, spec);
+  ASSERT_TRUE(estimate.ok());
+  for (const auto& [category, p] : *truth) {
+    EXPECT_NEAR(estimate->at(category), p, 0.04) << category;
+  }
+}
+
+TEST(PramTest, AsymmetricMatrixStillEstimable) {
+  // A deliberately lopsided matrix: a -> b with high probability.
+  Schema s({{"x", AttributeType::kCategorical, AttributeRole::kConfidential}});
+  DataTable data(s);
+  Rng rng(101);
+  size_t a_count = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const bool is_a = rng.Bernoulli(0.7);
+    a_count += is_a;
+    ASSERT_TRUE(data.AppendRow({Value(is_a ? "a" : "b")}).ok());
+  }
+  PramSpec spec;
+  spec.domain = {"a", "b"};
+  spec.transition = {{0.4, 0.6}, {0.1, 0.9}};
+  auto masked = PramMask(data, 0, spec, 103);
+  ASSERT_TRUE(masked.ok());
+  auto estimate = PramEstimateTrueDistribution(*masked, 0, spec);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->at("a"), static_cast<double>(a_count) / 8000.0, 0.05);
+}
+
+TEST(PramTest, IdentityMatrixIsNoOp) {
+  DataTable data = MakeCensus(100, 105);
+  auto truth = ObservedDistribution(data, 5);
+  ASSERT_TRUE(truth.ok());
+  std::vector<std::string> domain;
+  for (const auto& [k, v] : *truth) domain.push_back(k);
+  const PramSpec spec = RetentionPramSpec(domain, 1.0);
+  auto masked = PramMask(data, 5, spec, 107);
+  ASSERT_TRUE(masked.ok());
+  EXPECT_EQ(*masked, data);
+}
+
+TEST(PramTest, RejectsBadInput) {
+  DataTable data = MakeCensus(50, 109);
+  PramSpec spec = RetentionPramSpec({"none"}, 0.5);
+  // Values outside the domain.
+  EXPECT_FALSE(PramMask(data, 5, spec, 1).ok());
+  // Non-categorical column.
+  PramSpec ok_spec = RetentionPramSpec({"a", "b"}, 0.5);
+  EXPECT_FALSE(PramMask(data, 0, ok_spec, 1).ok());
+}
+
+TEST(TailCodingTest, ClampsOutliersOnly) {
+  DataTable data = MakeCensus(500, 111);
+  const size_t income = 4;
+  auto r = TopBottomCode(data, income, 0.05, 0.95);
+  ASSERT_TRUE(r.ok());
+  auto coded = r->table.NumericColumn(income).value();
+  EXPECT_NEAR(Min(coded), r->lower_threshold, 1e-9);
+  EXPECT_NEAR(Max(coded), r->upper_threshold, 1e-9);
+  // ~5% coded on each side.
+  EXPECT_NEAR(static_cast<double>(r->top_coded), 25.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(r->bottom_coded), 25.0, 10.0);
+  // Middle values untouched.
+  auto orig = data.NumericColumn(income).value();
+  for (size_t i = 0; i < orig.size(); ++i) {
+    if (orig[i] > r->lower_threshold && orig[i] < r->upper_threshold) {
+      EXPECT_DOUBLE_EQ(orig[i], coded[i]);
+    }
+  }
+}
+
+TEST(TailCodingTest, OneSidedCoding) {
+  DataTable data = MakeCensus(300, 113);
+  auto top_only = TopBottomCode(data, 4, 0.0, 0.9);
+  ASSERT_TRUE(top_only.ok());
+  EXPECT_EQ(top_only->bottom_coded, 0u);
+  EXPECT_GT(top_only->top_coded, 0u);
+}
+
+TEST(TailCodingTest, RejectsBadArguments) {
+  DataTable data = MakeCensus(50, 115);
+  EXPECT_FALSE(TopBottomCode(data, 4, 0.5, 0.5).ok());
+  EXPECT_FALSE(TopBottomCode(data, 4, -0.1, 0.9).ok());
+  EXPECT_FALSE(TopBottomCode(data, 4, 0.1, 1.1).ok());
+  EXPECT_FALSE(TopBottomCode(data, 5, 0.1, 0.9).ok());  // categorical
+  DataTable empty(PatientSchema());
+  EXPECT_FALSE(TopBottomCode(empty, 0, 0.1, 0.9).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,123 @@
+#include "sdc/recoding.h"
+
+#include <gtest/gtest.h>
+
+#include "sdc/anonymity.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+RecodingConfig PatientConfig(size_t k) {
+  RecodingConfig config;
+  config.k = k;
+  config.max_suppression_fraction = 0.1;
+  config.hierarchies["height"] =
+      std::make_shared<NumericIntervalHierarchy>(0.0, 5.0, 2, 4);
+  config.hierarchies["weight"] =
+      std::make_shared<NumericIntervalHierarchy>(0.0, 5.0, 2, 4);
+  return config;
+}
+
+TEST(RecodingTest, AlreadyAnonymousNeedsNoGeneralization) {
+  auto r = DataflyAnonymize(PaperDataset1(), PatientConfig(3));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->suppressed_rows, 0u);
+  EXPECT_EQ(r->levels.at("height"), 0);
+  EXPECT_EQ(r->levels.at("weight"), 0);
+  EXPECT_EQ(r->table, PaperDataset1());
+}
+
+TEST(RecodingTest, Dataset2BecomesKAnonymous) {
+  auto r = DataflyAnonymize(PaperDataset2(), PatientConfig(3));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(IsKAnonymous(r->table, 3));
+  EXPECT_GE(r->table.num_rows(), 8u);  // at most 10% suppression + rounding
+}
+
+TEST(RecodingTest, PostconditionHoldsAcrossKs) {
+  DataTable data = MakeCensus(400, 5);
+  RecodingConfig config;
+  config.max_suppression_fraction = 0.05;
+  config.hierarchies["age"] =
+      std::make_shared<NumericIntervalHierarchy>(0.0, 5.0, 2, 4);
+  config.hierarchies["education"] =
+      std::make_shared<NumericIntervalHierarchy>(0.0, 2.0, 2, 3);
+  for (size_t k : {2u, 5u, 10u, 25u}) {
+    config.k = k;
+    auto r = DataflyAnonymize(data, config);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(IsKAnonymous(r->table, k)) << "k=" << k;
+    EXPECT_LE(r->suppressed_rows, data.num_rows() / 10);
+  }
+}
+
+TEST(RecodingTest, GeneralizedColumnsBecomeCategorical) {
+  auto r = DataflyAnonymize(PaperDataset2(), PatientConfig(3));
+  ASSERT_TRUE(r.ok());
+  bool any_generalized = false;
+  for (const auto& [name, level] : r->levels) {
+    if (level > 0) {
+      any_generalized = true;
+      const size_t col = *r->table.schema().FindIndex(name);
+      EXPECT_EQ(r->table.schema().attribute(col).type,
+                AttributeType::kCategorical);
+    }
+  }
+  EXPECT_TRUE(any_generalized);
+}
+
+TEST(RecodingTest, ConfidentialColumnsUntouched) {
+  DataTable input = PaperDataset2();
+  auto r = DataflyAnonymize(input, PatientConfig(3));
+  ASSERT_TRUE(r.ok());
+  // Every surviving row's confidential cells appear verbatim in the input.
+  const size_t bp = *r->table.schema().FindIndex("blood_pressure");
+  for (size_t row = 0; row < r->table.num_rows(); ++row) {
+    bool found = false;
+    for (size_t orig = 0; orig < input.num_rows(); ++orig) {
+      if (input.at(orig, bp) == r->table.at(row, bp)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RecodingTest, ExhaustedHierarchySuppressesResidual) {
+  // Identical hierarchy ceilings but a k larger than any class can reach
+  // without full suppression: the sole level left is "*", making one big
+  // class. k <= n keeps everything; k > n must empty the table.
+  RecodingConfig config = PatientConfig(10);
+  auto r = DataflyAnonymize(PaperDataset2(), config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(IsKAnonymous(r->table, 10));
+  EXPECT_EQ(r->table.num_rows(), 10u);  // all records in the "*" class
+
+  config.k = 11;
+  auto r2 = DataflyAnonymize(PaperDataset2(), config);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->table.num_rows(), 0u);
+  EXPECT_EQ(r2->suppressed_rows, 10u);
+}
+
+TEST(RecodingTest, NoQuasiIdentifiersIsIdentity) {
+  Schema s({{"x", AttributeType::kInteger, AttributeRole::kConfidential}});
+  auto t = DataTable::FromRows(s, {{1}, {2}});
+  ASSERT_TRUE(t.ok());
+  RecodingConfig config;
+  config.k = 2;
+  auto r = DataflyAnonymize(*t, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table, *t);
+}
+
+TEST(RecodingTest, InvalidKRejected) {
+  RecodingConfig config;
+  config.k = 0;
+  EXPECT_FALSE(DataflyAnonymize(PaperDataset1(), config).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

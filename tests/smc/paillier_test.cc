@@ -1,0 +1,202 @@
+// Tests for the Paillier cryptosystem, secure scalar product, and
+// distributed ID3.
+
+#include <gtest/gtest.h>
+
+#include "ppdm/decision_tree.h"
+#include "smc/distributed_id3.h"
+#include "smc/paillier.h"
+#include "smc/scalar_product.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+// Experiment-scale keys keep the test suite fast.
+constexpr size_t kTestKeyBits = 192;
+
+PaillierKeyPair TestKeys(uint64_t seed = 1) {
+  Rng rng(seed);
+  auto keys = PaillierGenerateKeys(kTestKeyBits, &rng);
+  EXPECT_TRUE(keys.ok());
+  return std::move(keys).value();
+}
+
+TEST(PaillierTest, EncryptDecryptRoundTrip) {
+  auto keys = TestKeys();
+  Rng rng(2);
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{146}, int64_t{1234567890}}) {
+    auto c = PaillierEncrypt(keys.pub, BigInt(m), &rng);
+    ASSERT_TRUE(c.ok());
+    auto back = PaillierDecrypt(keys.pub, keys.priv, *c);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, BigInt(m)) << m;
+  }
+}
+
+TEST(PaillierTest, EncryptionIsRandomized) {
+  auto keys = TestKeys();
+  Rng rng(3);
+  auto c1 = PaillierEncrypt(keys.pub, BigInt(7), &rng);
+  auto c2 = PaillierEncrypt(keys.pub, BigInt(7), &rng);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(*c1, *c2);  // semantic security: same plaintext, new randomness
+}
+
+TEST(PaillierTest, HomomorphicAddition) {
+  auto keys = TestKeys();
+  Rng rng(5);
+  auto c1 = PaillierEncrypt(keys.pub, BigInt(100), &rng);
+  auto c2 = PaillierEncrypt(keys.pub, BigInt(46), &rng);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  const BigInt sum_c = PaillierAdd(keys.pub, *c1, *c2);
+  auto sum = PaillierDecrypt(keys.pub, keys.priv, sum_c);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, BigInt(146));
+}
+
+TEST(PaillierTest, HomomorphicPlainOperations) {
+  auto keys = TestKeys();
+  Rng rng(7);
+  auto c = PaillierEncrypt(keys.pub, BigInt(20), &rng);
+  ASSERT_TRUE(c.ok());
+  auto plus = PaillierDecrypt(keys.pub, keys.priv,
+                              PaillierAddPlain(keys.pub, *c, BigInt(22)));
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(*plus, BigInt(42));
+  auto times = PaillierDecrypt(keys.pub, keys.priv,
+                               PaillierMulPlain(keys.pub, *c, BigInt(7)));
+  ASSERT_TRUE(times.ok());
+  EXPECT_EQ(*times, BigInt(140));
+  auto zero = PaillierEncryptZero(keys.pub, &rng);
+  ASSERT_TRUE(zero.ok());
+  auto rerandomized = PaillierDecrypt(keys.pub, keys.priv,
+                                      PaillierAdd(keys.pub, *c, *zero));
+  ASSERT_TRUE(rerandomized.ok());
+  EXPECT_EQ(*rerandomized, BigInt(20));
+}
+
+TEST(PaillierTest, ModularWraparound) {
+  auto keys = TestKeys();
+  Rng rng(9);
+  const BigInt big = keys.pub.n - BigInt(1);
+  auto c = PaillierEncrypt(keys.pub, big, &rng);
+  ASSERT_TRUE(c.ok());
+  auto doubled = PaillierDecrypt(keys.pub, keys.priv,
+                                 PaillierMulPlain(keys.pub, *c, BigInt(2)));
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, keys.pub.n - BigInt(2));  // 2(n-1) mod n
+}
+
+TEST(PaillierTest, RejectsBadInput) {
+  auto keys = TestKeys();
+  Rng rng(11);
+  EXPECT_FALSE(PaillierEncrypt(keys.pub, keys.pub.n, &rng).ok());
+  EXPECT_FALSE(PaillierEncrypt(keys.pub, BigInt(-1), &rng).ok());
+  EXPECT_FALSE(PaillierDecrypt(keys.pub, keys.priv, keys.pub.n_squared).ok());
+  EXPECT_FALSE(PaillierGenerateKeys(32, &rng).ok());
+}
+
+TEST(ScalarProductTest, ComputesDotProduct) {
+  PartyNetwork net(2, 13);
+  std::vector<BigInt> a{BigInt(1), BigInt(0), BigInt(3), BigInt(2)};
+  std::vector<BigInt> b{BigInt(5), BigInt(7), BigInt(1), BigInt(10)};
+  auto dot = SecureScalarProduct(&net, a, b, kTestKeyBits);
+  ASSERT_TRUE(dot.ok()) << dot.status().ToString();
+  EXPECT_EQ(*dot, BigInt(5 + 0 + 3 + 20));
+}
+
+TEST(ScalarProductTest, TranscriptContainsOnlyCiphertexts) {
+  PartyNetwork net(2, 17);
+  std::vector<BigInt> a{BigInt(123), BigInt(456)};
+  std::vector<BigInt> b{BigInt(1), BigInt(1)};
+  auto dot = SecureScalarProduct(&net, a, b, kTestKeyBits);
+  ASSERT_TRUE(dot.ok());
+  EXPECT_EQ(*dot, BigInt(579));
+  for (const auto& msg : net.transcript()) {
+    if (msg.tag == "scalar_product/pubkey") continue;
+    for (const BigInt& payload : msg.payload) {
+      EXPECT_NE(payload, BigInt(123));
+      EXPECT_NE(payload, BigInt(456));
+      EXPECT_NE(payload, BigInt(579));  // even the result crosses encrypted
+    }
+  }
+}
+
+TEST(ScalarProductTest, RejectsBadInput) {
+  PartyNetwork net(2, 1);
+  std::vector<BigInt> a{BigInt(1)};
+  std::vector<BigInt> b{BigInt(1), BigInt(2)};
+  EXPECT_FALSE(SecureScalarProduct(&net, a, b, kTestKeyBits).ok());
+  EXPECT_FALSE(SecureScalarProduct(&net, {}, {}, kTestKeyBits).ok());
+  std::vector<BigInt> neg{BigInt(-1)};
+  std::vector<BigInt> one{BigInt(1)};
+  EXPECT_FALSE(SecureScalarProduct(&net, neg, one, kTestKeyBits).ok());
+  PartyNetwork net3(3, 1);
+  EXPECT_FALSE(SecureScalarProduct(&net3, one, one, kTestKeyBits).ok());
+}
+
+std::vector<DataTable> SplitHorizontally(const DataTable& data, size_t parts) {
+  std::vector<DataTable> out;
+  for (size_t p = 0; p < parts; ++p) {
+    std::vector<size_t> rows;
+    for (size_t r = p; r < data.num_rows(); r += parts) rows.push_back(r);
+    out.push_back(data.SelectRows(rows));
+  }
+  return out;
+}
+
+TEST(DistributedId3Test, MatchesCentralizedAccuracy) {
+  DataTable train = MakeClassification(1500, 3, 19);
+  DataTable test = MakeClassification(400, 3, 20);
+  auto partitions = SplitHorizontally(train, 3);
+  PartyNetwork net(3, 21);
+  DistributedId3Config config;
+  auto tree = DistributedId3Tree::Train(partitions, "group", config, &net);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  auto acc = tree->Accuracy(test);
+  ASSERT_TRUE(acc.ok());
+  // Function 3 depends on age (binned) and elevel, both visible to ID3.
+  EXPECT_GT(*acc, 0.85);
+  EXPECT_GT(net.messages_sent(), 0u);
+}
+
+TEST(DistributedId3Test, NoRecordCrossesTheWire) {
+  DataTable train = MakeClassification(300, 1, 23);
+  auto partitions = SplitHorizontally(train, 2);
+  PartyNetwork net(2, 25);
+  DistributedId3Config config;
+  config.max_depth = 3;
+  auto tree = DistributedId3Tree::Train(partitions, "group", config, &net);
+  ASSERT_TRUE(tree.ok());
+  // Every non-result message payload is a masked partial sum: it must not
+  // equal any record's raw salary or age (cast to integers).
+  for (const auto& msg : net.transcript()) {
+    if (msg.tag == "secure_sum/result") continue;
+    for (const BigInt& payload : msg.payload) {
+      auto v = payload.ToI64();
+      if (!v.has_value()) continue;  // >= 2^63: clearly a mask
+      for (size_t r = 0; r < train.num_rows(); ++r) {
+        EXPECT_NE(*v, static_cast<int64_t>(train.at(r, 1).AsReal()))
+            << "salary leaked";
+      }
+    }
+  }
+}
+
+TEST(DistributedId3Test, RejectsBadSetups) {
+  DataTable train = MakeClassification(100, 1, 27);
+  auto partitions = SplitHorizontally(train, 2);
+  PartyNetwork wrong_size(3, 1);
+  DistributedId3Config config;
+  EXPECT_FALSE(
+      DistributedId3Tree::Train(partitions, "group", config, &wrong_size).ok());
+  PartyNetwork net(2, 1);
+  EXPECT_FALSE(
+      DistributedId3Tree::Train({train}, "group", config, &net).ok());
+  EXPECT_FALSE(
+      DistributedId3Tree::Train(partitions, "salary", config, &net).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,215 @@
+// Tests for the party network, secure sum, Shamir sharing, and PSI.
+
+#include <gtest/gtest.h>
+
+#include "smc/party.h"
+#include "smc/psi.h"
+#include "smc/secure_sum.h"
+#include "smc/shamir.h"
+
+namespace tripriv {
+namespace {
+
+TEST(PartyNetworkTest, FifoDeliveryAndTranscript) {
+  PartyNetwork net(3, 1);
+  ASSERT_TRUE(net.Send(0, 1, "a", {BigInt(1)}).ok());
+  ASSERT_TRUE(net.Send(2, 1, "b", {BigInt(2), BigInt(3)}).ok());
+  auto m1 = net.Receive(1);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->tag, "a");
+  EXPECT_EQ(m1->from, 0u);
+  auto m2 = net.Receive(1);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_EQ(m2->tag, "b");
+  EXPECT_EQ(net.transcript().size(), 2u);
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_GT(net.bytes_transferred(), 0u);
+}
+
+TEST(PartyNetworkTest, EmptyMailboxAndBadIndices) {
+  PartyNetwork net(2, 1);
+  EXPECT_EQ(net.Receive(0).status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(net.Send(0, 5, "x", {}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(net.Receive(9).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SecureSumTest, ComputesExactSum) {
+  for (size_t parties : {2u, 3u, 8u}) {
+    PartyNetwork net(parties, 42);
+    std::vector<BigInt> inputs;
+    BigInt expected;
+    for (size_t p = 0; p < parties; ++p) {
+      inputs.push_back(BigInt(static_cast<int64_t>(100 * p + 7)));
+      expected += inputs.back();
+    }
+    auto sum = SecureSum(&net, inputs, BigInt(1) << 40);
+    ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+    EXPECT_EQ(*sum, expected) << parties << " parties";
+  }
+}
+
+TEST(SecureSumTest, TranscriptNeverContainsRawInputs) {
+  // The core owner-privacy claim: messages carry only masked values (plus
+  // the final aggregate).
+  PartyNetwork net(4, 7);
+  std::vector<BigInt> inputs{BigInt(111), BigInt(222), BigInt(333), BigInt(444)};
+  const BigInt modulus = BigInt(1) << 64;
+  auto sum = SecureSum(&net, inputs, modulus);
+  ASSERT_TRUE(sum.ok());
+  const BigInt total(111 + 222 + 333 + 444);
+  for (const auto& msg : net.transcript()) {
+    if (msg.tag == "secure_sum/result") continue;
+    for (const BigInt& payload : msg.payload) {
+      for (const BigInt& input : inputs) {
+        EXPECT_NE(payload, input) << "raw input leaked in " << msg.tag;
+      }
+      // Running totals of un-masked prefixes must not appear either.
+      EXPECT_NE(payload, BigInt(111 + 222));
+      EXPECT_NE(payload, BigInt(111 + 222 + 333));
+    }
+  }
+  EXPECT_EQ(*sum, total);
+}
+
+TEST(SecureSumTest, VectorVariantAndWrapAround) {
+  PartyNetwork net(3, 9);
+  const BigInt modulus(1000);
+  std::vector<std::vector<BigInt>> inputs{
+      {BigInt(900), BigInt(1)},
+      {BigInt(900), BigInt(2)},
+      {BigInt(900), BigInt(3)},
+  };
+  auto sums = SecureSumVector(&net, inputs, modulus);
+  ASSERT_TRUE(sums.ok());
+  EXPECT_EQ((*sums)[0], BigInt(700));  // 2700 mod 1000
+  EXPECT_EQ((*sums)[1], BigInt(6));
+}
+
+TEST(SecureSumTest, CountsHelper) {
+  PartyNetwork net(3, 11);
+  std::vector<std::vector<uint64_t>> counts{{10, 0, 5}, {1, 2, 3}, {0, 0, 7}};
+  auto sums = SecureSumCounts(&net, counts);
+  ASSERT_TRUE(sums.ok());
+  EXPECT_EQ(*sums, (std::vector<uint64_t>{11, 2, 15}));
+}
+
+TEST(SecureSumTest, RejectsBadInput) {
+  PartyNetwork net(3, 1);
+  std::vector<BigInt> two_inputs{BigInt(1), BigInt(2)};
+  EXPECT_FALSE(SecureSum(&net, two_inputs, BigInt(100)).ok());
+  std::vector<BigInt> inputs{BigInt(1), BigInt(2), BigInt(200)};
+  EXPECT_FALSE(SecureSum(&net, inputs, BigInt(100)).ok());  // out of range
+  EXPECT_FALSE(SecureSum(&net, inputs, BigInt(0)).ok());
+  PartyNetwork solo(1, 1);
+  EXPECT_FALSE(SecureSum(&solo, {BigInt(1)}, BigInt(10)).ok());
+}
+
+TEST(ShamirTest, RoundTripAllThresholds) {
+  Rng rng(3);
+  const BigInt prime = BigInt::FromString("2305843009213693951").value();  // 2^61-1
+  const BigInt secret(123456789);
+  for (size_t t : {1u, 2u, 3u, 5u}) {
+    auto shares = ShamirShareSecret(secret, 5, t, prime, &rng);
+    ASSERT_TRUE(shares.ok()) << "t=" << t;
+    auto back = ShamirReconstruct(*shares, prime);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, secret);
+    // Exactly t shares suffice.
+    std::vector<ShamirShare> subset(shares->begin(), shares->begin() + t);
+    auto partial = ShamirReconstruct(subset, prime);
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(*partial, secret);
+  }
+}
+
+TEST(ShamirTest, FewerThanThresholdRevealsNothingUseful) {
+  Rng rng(5);
+  const BigInt prime = BigInt::FromString("2305843009213693951").value();
+  const BigInt secret(42);
+  auto shares = ShamirShareSecret(secret, 5, 3, prime, &rng);
+  ASSERT_TRUE(shares.ok());
+  // Interpolating from only 2 of 3 required shares yields a value that is
+  // (with overwhelming probability) NOT the secret.
+  std::vector<ShamirShare> two(shares->begin(), shares->begin() + 2);
+  auto wrong = ShamirReconstruct(two, prime);
+  ASSERT_TRUE(wrong.ok());
+  EXPECT_NE(*wrong, secret);
+}
+
+TEST(ShamirTest, AdditiveHomomorphism) {
+  Rng rng(7);
+  const BigInt prime(10007);
+  auto a = ShamirShareSecret(BigInt(1234), 4, 2, prime, &rng);
+  auto b = ShamirShareSecret(BigInt(4321), 4, 2, prime, &rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sum_shares = ShamirAddShares(*a, *b, prime);
+  ASSERT_TRUE(sum_shares.ok());
+  auto sum = ShamirReconstruct(*sum_shares, prime);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, BigInt(5555));
+}
+
+TEST(ShamirTest, RejectsBadInput) {
+  Rng rng(9);
+  const BigInt prime(101);
+  EXPECT_FALSE(ShamirShareSecret(BigInt(5), 3, 0, prime, &rng).ok());
+  EXPECT_FALSE(ShamirShareSecret(BigInt(5), 2, 3, prime, &rng).ok());
+  EXPECT_FALSE(ShamirShareSecret(BigInt(200), 3, 2, prime, &rng).ok());
+  EXPECT_FALSE(ShamirShareSecret(BigInt(5), 200, 2, prime, &rng).ok());
+  EXPECT_FALSE(ShamirReconstruct({}, prime).ok());
+  auto shares = ShamirShareSecret(BigInt(5), 3, 2, prime, &rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<ShamirShare> dup{(*shares)[0], (*shares)[0]};
+  EXPECT_FALSE(ShamirReconstruct(dup, prime).ok());
+}
+
+TEST(PsiTest, FindsExactIntersection) {
+  PartyNetwork net(2, 13);
+  std::vector<int64_t> a{1, 5, 9, 42, 100};
+  std::vector<int64_t> b{2, 5, 42, 77};
+  auto result = PrivateSetIntersection(&net, a, b, 96);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->intersection, (std::vector<int64_t>{5, 42}));
+  EXPECT_GT(result->bytes_transferred, 0u);
+}
+
+TEST(PsiTest, DisjointAndIdenticalSets) {
+  PartyNetwork net(2, 17);
+  auto empty = PrivateSetIntersection(&net, {1, 2}, {3, 4}, 96);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->intersection.empty());
+  PartyNetwork net2(2, 19);
+  auto all = PrivateSetIntersection(&net2, {7, 8, 9}, {9, 8, 7}, 96);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->intersection, (std::vector<int64_t>{7, 8, 9}));
+}
+
+TEST(PsiTest, TranscriptHidesNonSharedElements) {
+  PartyNetwork net(2, 23);
+  std::vector<int64_t> a{11, 22, 33};
+  std::vector<int64_t> b{22, 44};
+  auto result = PrivateSetIntersection(&net, a, b, 96);
+  ASSERT_TRUE(result.ok());
+  // No message payload may contain a raw element id (they are all
+  // exponentiated group elements or the final intersection).
+  for (const auto& msg : net.transcript()) {
+    if (msg.tag == "psi/result") continue;
+    for (const BigInt& payload : msg.payload) {
+      for (int64_t e : {11, 33, 44}) {
+        EXPECT_NE(payload, BigInt(e)) << msg.tag;
+        EXPECT_NE(payload, BigInt(e + 2)) << msg.tag;  // the encoding
+      }
+    }
+  }
+}
+
+TEST(PsiTest, RejectsBadInput) {
+  PartyNetwork net(3, 1);
+  EXPECT_FALSE(PrivateSetIntersection(&net, {1}, {2}, 96).ok());  // 3 parties
+  PartyNetwork net2(2, 1);
+  EXPECT_FALSE(PrivateSetIntersection(&net2, {-1}, {2}, 96).ok());
+  EXPECT_FALSE(PrivateSetIntersection(&net2, {1}, {2}, 8).ok());  // tiny group
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,95 @@
+// Tests for vertically partitioned secure joint moments.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "smc/vertical.h"
+#include "stats/descriptive.h"
+#include "table/datasets.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+TEST(SecureJointMomentsTest, MatchesPlainCovariance) {
+  DataTable data = MakeClinicalTrial(150, 3);
+  const auto heights = data.NumericColumn("height").value();
+  const auto weights = data.NumericColumn("weight").value();
+  PartyNetwork net(2, 5);
+  auto result = SecureJointMoments(&net, heights, weights, 100, 192);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->covariance, SampleCovariance(heights, weights),
+              std::fabs(SampleCovariance(heights, weights)) * 0.02 + 0.5);
+  EXPECT_NEAR(result->correlation, PearsonCorrelation(heights, weights), 0.02);
+  EXPECT_GT(result->bytes_transferred, 0u);
+}
+
+TEST(SecureJointMomentsTest, NegativeAndFractionalValues) {
+  Rng rng(7);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 120; ++i) {
+    const double base = rng.Normal(0.0, 2.0);  // centered: negative values
+    x.push_back(base + rng.Normal(0.0, 0.5));
+    y.push_back(-1.5 * base + rng.Normal(0.0, 0.5));  // negative correlation
+  }
+  PartyNetwork net(2, 9);
+  auto result = SecureJointMoments(&net, x, y, 10000, 192);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->covariance, SampleCovariance(x, y), 0.05);
+  EXPECT_LT(result->correlation, -0.9);
+}
+
+TEST(SecureJointMomentsTest, HigherScaleIsMorePrecise) {
+  Rng rng(11);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.UniformDouble(0.0, 1.0));
+    y.push_back(x.back() * 0.5 + rng.UniformDouble(0.0, 0.1));
+  }
+  const double truth = SampleCovariance(x, y);
+  PartyNetwork coarse_net(2, 13);
+  PartyNetwork fine_net(2, 13);
+  auto coarse = SecureJointMoments(&coarse_net, x, y, 10, 192);
+  auto fine = SecureJointMoments(&fine_net, x, y, 100000, 192);
+  ASSERT_TRUE(coarse.ok() && fine.ok());
+  EXPECT_LE(std::fabs(fine->covariance - truth),
+            std::fabs(coarse->covariance - truth) + 1e-9);
+}
+
+TEST(SecureJointMomentsTest, ColumnsNeverCrossInClear) {
+  DataTable data = MakeClinicalTrial(60, 15);
+  const auto heights = data.NumericColumn("height").value();
+  const auto weights = data.NumericColumn("weight").value();
+  PartyNetwork net(2, 17);
+  ASSERT_TRUE(SecureJointMoments(&net, heights, weights, 100, 192).ok());
+  // Quantized shifted column values (scale 100) must not appear in any
+  // payload: only ciphertexts and the two aggregate sums cross.
+  const double min_h = *std::min_element(heights.begin(), heights.end());
+  for (const auto& msg : net.transcript()) {
+    if (msg.tag == "joint_moments/aggregates") continue;
+    if (msg.tag == "scalar_product/pubkey") continue;
+    for (const BigInt& payload : msg.payload) {
+      for (double h : heights) {
+        const auto q = static_cast<int64_t>(std::llround((h - min_h) * 100));
+        EXPECT_NE(payload, BigInt(q));
+      }
+    }
+  }
+}
+
+TEST(SecureJointMomentsTest, RejectsBadInput) {
+  PartyNetwork net(2, 19);
+  std::vector<double> x{1, 2, 3};
+  std::vector<double> y{1, 2};
+  EXPECT_FALSE(SecureJointMoments(&net, x, y).ok());
+  EXPECT_FALSE(SecureJointMoments(&net, {1.0}, {2.0}).ok());
+  EXPECT_FALSE(SecureJointMoments(&net, x, x, 0).ok());
+  PartyNetwork net3(3, 19);
+  EXPECT_FALSE(SecureJointMoments(&net3, x, x).ok());
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,196 @@
+#include "table/datasets.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tripriv {
+namespace {
+
+// Multiplicity of each (height, weight) combination.
+std::map<std::pair<int64_t, int64_t>, int> KeyCounts(const DataTable& t) {
+  std::map<std::pair<int64_t, int64_t>, int> counts;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    counts[{t.at(r, 0).AsInt(), t.at(r, 1).AsInt()}]++;
+  }
+  return counts;
+}
+
+TEST(PaperDatasetsTest, SchemaRolesMatchPaper) {
+  Schema s = PatientSchema();
+  EXPECT_EQ(s.QuasiIdentifierIndices(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(s.ConfidentialIndices(), (std::vector<size_t>{2, 3}));
+}
+
+TEST(PaperDatasetsTest, Dataset1Is3Anonymous) {
+  DataTable t = PaperDataset1();
+  EXPECT_EQ(t.num_rows(), 10u);
+  for (const auto& [key, count] : KeyCounts(t)) {
+    EXPECT_GE(count, 3) << "(" << key.first << "," << key.second << ")";
+  }
+}
+
+TEST(PaperDatasetsTest, Dataset1ClassesHaveDiverseConfidentials) {
+  // Footnote 3: groups sharing key attributes should not share a single
+  // confidential value (2-sensitivity). Check the AIDS attribute.
+  DataTable t = PaperDataset1();
+  std::map<std::pair<int64_t, int64_t>, std::set<std::string>> aids_by_class;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    aids_by_class[{t.at(r, 0).AsInt(), t.at(r, 1).AsInt()}].insert(
+        t.at(r, 3).AsString());
+  }
+  for (const auto& [key, values] : aids_by_class) {
+    EXPECT_GE(values.size(), 2u);
+  }
+}
+
+TEST(PaperDatasetsTest, Dataset2IsNot3Anonymous) {
+  DataTable t = PaperDataset2();
+  EXPECT_EQ(t.num_rows(), 10u);
+  int unique_combos = 0;
+  for (const auto& [key, count] : KeyCounts(t)) {
+    if (count < 3) ++unique_combos;
+  }
+  EXPECT_GT(unique_combos, 0);
+}
+
+TEST(PaperDatasetsTest, Dataset2HasTheSection3Respondent) {
+  DataTable t = PaperDataset2();
+  int matches = 0;
+  int64_t bp = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (t.at(r, 0).AsInt() < 165 && t.at(r, 1).AsInt() > 105) {
+      ++matches;
+      bp = t.at(r, 2).AsInt();
+    }
+  }
+  EXPECT_EQ(matches, 1);
+  EXPECT_EQ(bp, 146);
+}
+
+TEST(PaperDatasetsTest, AllPatientsHypertensive) {
+  for (const DataTable& t : {PaperDataset1(), PaperDataset2()}) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      EXPECT_GE(t.at(r, 2).AsInt(), 140);
+    }
+  }
+}
+
+TEST(SyntheticTest, ClinicalTrialDeterministicAndHypertensive) {
+  DataTable a = MakeClinicalTrial(200, 42);
+  DataTable b = MakeClinicalTrial(200, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.num_rows(), 200u);
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_GE(a.at(r, 2).AsInt(), 140);
+    const std::string& aids = a.at(r, 3).AsString();
+    EXPECT_TRUE(aids == "Y" || aids == "N");
+  }
+  EXPECT_FALSE(a == MakeClinicalTrial(200, 43));
+}
+
+TEST(SyntheticTest, ClinicalTrialHeightWeightCorrelated) {
+  DataTable t = MakeClinicalTrial(2000, 7);
+  auto h = t.NumericColumn("height").value();
+  auto w = t.NumericColumn("weight").value();
+  double mh = 0;
+  double mw = 0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    mh += h[i];
+    mw += w[i];
+  }
+  mh /= h.size();
+  mw /= w.size();
+  double cov = 0;
+  double vh = 0;
+  double vw = 0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    cov += (h[i] - mh) * (w[i] - mw);
+    vh += (h[i] - mh) * (h[i] - mh);
+    vw += (w[i] - mw) * (w[i] - mw);
+  }
+  const double corr = cov / std::sqrt(vh * vw);
+  EXPECT_GT(corr, 0.4);
+}
+
+TEST(SyntheticTest, CensusSchemaAndRanges) {
+  DataTable t = MakeCensus(500, 1);
+  EXPECT_EQ(t.num_rows(), 500u);
+  EXPECT_EQ(t.schema().QuasiIdentifierIndices().size(), 4u);
+  EXPECT_EQ(t.schema().ConfidentialIndices().size(), 2u);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const int64_t age = t.at(r, 0).AsInt();
+    EXPECT_GE(age, 18);
+    EXPECT_LE(age, 90);
+    const int64_t edu = t.at(r, 3).AsInt();
+    EXPECT_GE(edu, 1);
+    EXPECT_LE(edu, 16);
+    EXPECT_GT(t.at(r, 4).ToDouble(), 0.0);
+  }
+  EXPECT_EQ(t, MakeCensus(500, 1));
+}
+
+TEST(SyntheticTest, HighDimBinaryShape) {
+  DataTable t = MakeHighDimBinary(300, 8, 3);
+  EXPECT_EQ(t.num_rows(), 300u);
+  EXPECT_EQ(t.num_columns(), 8u);
+  EXPECT_EQ(t.schema().QuasiIdentifierIndices().size(), 7u);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      const int64_t v = t.at(r, c).AsInt();
+      EXPECT_TRUE(v == 0 || v == 1);
+    }
+  }
+}
+
+TEST(SyntheticTest, HighDimSparsityGrowsWithDimension) {
+  // More attributes => more unique QI combinations (the [11] regime).
+  auto unique_fraction = [](const DataTable& t) {
+    std::set<std::vector<Value>> combos;
+    std::map<std::vector<Value>, int> counts;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      std::vector<Value> key;
+      for (size_t c = 0; c + 1 < t.num_columns(); ++c) key.push_back(t.at(r, c));
+      counts[key]++;
+    }
+    int unique = 0;
+    for (const auto& [k, n] : counts) {
+      if (n == 1) ++unique;
+    }
+    return static_cast<double>(unique) / static_cast<double>(t.num_rows());
+  };
+  const double low = unique_fraction(MakeHighDimBinary(500, 3, 11));
+  const double high = unique_fraction(MakeHighDimBinary(500, 14, 11));
+  EXPECT_LT(low, high);
+  EXPECT_GT(high, 0.3);
+}
+
+TEST(SyntheticTest, ClassificationLabelsFollowFunctions) {
+  for (int f = 1; f <= 3; ++f) {
+    DataTable t = MakeClassification(300, f, 5);
+    EXPECT_EQ(t.num_rows(), 300u);
+    size_t a_count = 0;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      const std::string& g = t.at(r, 4).AsString();
+      EXPECT_TRUE(g == "A" || g == "B");
+      if (g == "A") ++a_count;
+    }
+    // Both classes are represented.
+    EXPECT_GT(a_count, 0u);
+    EXPECT_LT(a_count, t.num_rows());
+  }
+}
+
+TEST(SyntheticTest, ClassificationFunction1Definition) {
+  DataTable t = MakeClassification(500, 1, 9);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double age = t.at(r, 0).AsReal();
+    const bool expect_a = age < 40.0 || age >= 60.0;
+    EXPECT_EQ(t.at(r, 4).AsString(), expect_a ? "A" : "B");
+  }
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,101 @@
+#include "table/io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(TableIoTest, CsvRoundTripPaperDataset) {
+  DataTable t = PaperDataset1();
+  std::string csv = TableToCsv(t);
+  auto back = TableFromCsv(t.schema(), csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TableIoTest, ParsesTypedCells) {
+  Schema s({
+      {"i", AttributeType::kInteger, AttributeRole::kNonConfidential},
+      {"r", AttributeType::kReal, AttributeRole::kNonConfidential},
+      {"c", AttributeType::kCategorical, AttributeRole::kNonConfidential},
+  });
+  auto t = TableFromCsv(s, "i,r,c\n1,2.5,hello\n-7,1e3,\"a,b\"\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_EQ(t->at(0, 0), Value(1));
+  EXPECT_EQ(t->at(0, 1), Value(2.5));
+  EXPECT_EQ(t->at(1, 1), Value(1000.0));
+  EXPECT_EQ(t->at(1, 2), Value("a,b"));
+}
+
+TEST(TableIoTest, EmptyCellsBecomeNull) {
+  Schema s({
+      {"i", AttributeType::kInteger, AttributeRole::kNonConfidential},
+      {"c", AttributeType::kCategorical, AttributeRole::kNonConfidential},
+  });
+  auto t = TableFromCsv(s, "i,c\n,\n5,x\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->at(0, 0).is_null());
+  EXPECT_TRUE(t->at(0, 1).is_null());
+  EXPECT_EQ(t->at(1, 0), Value(5));
+}
+
+TEST(TableIoTest, HeaderMismatchFails) {
+  Schema s({{"a", AttributeType::kInteger, AttributeRole::kNonConfidential}});
+  EXPECT_FALSE(TableFromCsv(s, "b\n1\n").ok());
+  EXPECT_FALSE(TableFromCsv(s, "a,b\n1,2\n").ok());
+  EXPECT_FALSE(TableFromCsv(s, "").ok());
+}
+
+TEST(TableIoTest, BadCellFails) {
+  Schema s({{"a", AttributeType::kInteger, AttributeRole::kNonConfidential}});
+  EXPECT_FALSE(TableFromCsv(s, "a\nxyz\n").ok());
+  EXPECT_FALSE(TableFromCsv(s, "a\n1.5\n").ok());
+}
+
+TEST(TableIoTest, RaggedRowFails) {
+  Schema s({
+      {"a", AttributeType::kInteger, AttributeRole::kNonConfidential},
+      {"b", AttributeType::kInteger, AttributeRole::kNonConfidential},
+  });
+  EXPECT_FALSE(TableFromCsv(s, "a,b\n1\n").ok());
+}
+
+TEST(TableIoTest, InferenceDetectsTypes) {
+  auto t = TableFromCsvInferred("n,score,tag\n1,1.5,x\n2,2,y\n3,-0.25,z\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->schema().attribute(0).type, AttributeType::kInteger);
+  EXPECT_EQ(t->schema().attribute(1).type, AttributeType::kReal);
+  EXPECT_EQ(t->schema().attribute(2).type, AttributeType::kCategorical);
+}
+
+TEST(TableIoTest, InferenceAllEmptyColumnIsCategorical) {
+  auto t = TableFromCsvInferred("a,b\n1,\n2,\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->schema().attribute(1).type, AttributeType::kCategorical);
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tripriv_io_test.csv";
+  DataTable t = PaperDataset2();
+  ASSERT_TRUE(WriteFile(path, TableToCsv(t)).ok());
+  auto content = ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  auto back = TableFromCsv(t.schema(), *content);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, ReadMissingFileFails) {
+  auto r = ReadFile("/nonexistent/path/xyz.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tripriv

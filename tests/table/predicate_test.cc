@@ -1,0 +1,126 @@
+#include "table/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(PredicateTest, TrueMatchesAll) {
+  DataTable t = PaperDataset2();
+  auto rows = Predicate::True().MatchingRows(t);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), t.num_rows());
+}
+
+TEST(PredicateTest, PaperSection3Predicate) {
+  // height < 165 AND weight > 105 isolates exactly one record of Dataset 2.
+  DataTable t = PaperDataset2();
+  Predicate p = Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Compare("weight", CompareOp::kGt, Value(105)));
+  auto rows = p.MatchingRows(t);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  // ... whose blood pressure is 146.
+  const size_t bp_col = *t.schema().FindIndex("blood_pressure");
+  EXPECT_EQ(t.at((*rows)[0], bp_col), Value(146));
+}
+
+TEST(PredicateTest, AllComparisonOps) {
+  DataTable t = PaperDataset1();
+  auto count = [&](Predicate p) {
+    auto rows = p.MatchingRows(t);
+    EXPECT_TRUE(rows.ok());
+    return rows->size();
+  };
+  EXPECT_EQ(count(Predicate::Compare("height", CompareOp::kEq, Value(160))), 4u);
+  EXPECT_EQ(count(Predicate::Compare("height", CompareOp::kNe, Value(160))), 6u);
+  EXPECT_EQ(count(Predicate::Compare("height", CompareOp::kLt, Value(170))), 4u);
+  EXPECT_EQ(count(Predicate::Compare("height", CompareOp::kLe, Value(170))), 7u);
+  EXPECT_EQ(count(Predicate::Compare("height", CompareOp::kGt, Value(170))), 3u);
+  EXPECT_EQ(count(Predicate::Compare("height", CompareOp::kGe, Value(170))), 6u);
+}
+
+TEST(PredicateTest, StringComparisons) {
+  DataTable t = PaperDataset1();
+  Predicate y = Predicate::Compare("aids", CompareOp::kEq, Value("Y"));
+  auto rows = y.MatchingRows(t);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // Y N N N Y N N Y N N
+}
+
+TEST(PredicateTest, OrAndNot) {
+  DataTable t = PaperDataset1();
+  Predicate tall_or_short = Predicate::Or(
+      Predicate::Compare("height", CompareOp::kGe, Value(180)),
+      Predicate::Compare("height", CompareOp::kLe, Value(160)));
+  auto rows = tall_or_short.MatchingRows(t);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 7u);
+
+  auto middle = Predicate::Not(tall_or_short).MatchingRows(t);
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ(middle->size(), 3u);
+}
+
+TEST(PredicateTest, TypeMismatchIsError) {
+  DataTable t = PaperDataset1();
+  Predicate p = Predicate::Compare("aids", CompareOp::kLt, Value(10));
+  EXPECT_FALSE(p.MatchingRows(t).ok());
+}
+
+TEST(PredicateTest, UnknownAttributeIsError) {
+  DataTable t = PaperDataset1();
+  Predicate p = Predicate::Compare("shoe_size", CompareOp::kEq, Value(42));
+  auto r = p.MatchingRows(t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, NullCellsMatchOnlyNe) {
+  Schema s({{"x", AttributeType::kInteger, AttributeRole::kNonConfidential}});
+  auto t = DataTable::FromRows(s, {{Value::Null()}, {5}});
+  ASSERT_TRUE(t.ok());
+  auto eq = Predicate::Compare("x", CompareOp::kEq, Value(5)).MatchingRows(*t);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->size(), 1u);
+  auto ne = Predicate::Compare("x", CompareOp::kNe, Value(7)).MatchingRows(*t);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->size(), 2u);  // null counts as "not equal"
+  auto lt = Predicate::Compare("x", CompareOp::kLt, Value(100)).MatchingRows(*t);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ(lt->size(), 1u);
+}
+
+TEST(PredicateTest, ReferencedAttributes) {
+  Predicate p = Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Not(Predicate::Compare("weight", CompareOp::kGt, Value(105))));
+  EXPECT_EQ(p.ReferencedAttributes(),
+            (std::vector<std::string>{"height", "weight"}));
+  EXPECT_TRUE(Predicate::True().ReferencedAttributes().empty());
+}
+
+TEST(PredicateTest, ToStringRendersSqlish) {
+  Predicate p = Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Compare("aids", CompareOp::kEq, Value("Y")));
+  EXPECT_EQ(p.ToString(), "(height < 165 AND aids = 'Y')");
+  EXPECT_EQ(Predicate::True().ToString(), "TRUE");
+}
+
+TEST(PredicateTest, ShortCircuitDoesNotMaskErrors) {
+  // AND short-circuits on false LHS, so an invalid RHS never evaluates.
+  DataTable t = PaperDataset1();
+  Predicate p = Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(0)),
+      Predicate::Compare("missing", CompareOp::kEq, Value(1)));
+  auto rows = p.MatchingRows(t);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+}  // namespace
+}  // namespace tripriv

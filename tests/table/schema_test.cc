@@ -1,0 +1,78 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace tripriv {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      {"name", AttributeType::kCategorical, AttributeRole::kIdentifier},
+      {"height", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"weight", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"bp", AttributeType::kReal, AttributeRole::kConfidential},
+      {"note", AttributeType::kCategorical, AttributeRole::kNonConfidential},
+  });
+}
+
+TEST(SchemaTest, SizeAndAccess) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.attribute(1).name, "height");
+  EXPECT_EQ(s.attribute(1).type, AttributeType::kInteger);
+  EXPECT_EQ(s.attribute(3).role, AttributeRole::kConfidential);
+}
+
+TEST(SchemaTest, FindIndex) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.FindIndex("weight"), 2u);
+  EXPECT_FALSE(s.FindIndex("missing").has_value());
+}
+
+TEST(SchemaTest, IndexOfStatus) {
+  Schema s = TestSchema();
+  auto ok = s.IndexOf("bp");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 3u);
+  auto bad = s.IndexOf("zzz");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RoleQueries) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.QuasiIdentifierIndices(), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(s.ConfidentialIndices(), (std::vector<size_t>{3}));
+  EXPECT_EQ(s.IndicesWithRole(AttributeRole::kIdentifier),
+            (std::vector<size_t>{0}));
+}
+
+TEST(SchemaTest, Project) {
+  Schema s = TestSchema();
+  Schema p = s.Project({1, 3});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.attribute(0).name, "height");
+  EXPECT_EQ(p.attribute(1).name, "bp");
+}
+
+TEST(SchemaTest, EnumNames) {
+  EXPECT_STREQ(AttributeTypeToString(AttributeType::kInteger), "integer");
+  EXPECT_STREQ(AttributeTypeToString(AttributeType::kReal), "real");
+  EXPECT_STREQ(AttributeTypeToString(AttributeType::kCategorical), "categorical");
+  EXPECT_STREQ(AttributeRoleToString(AttributeRole::kQuasiIdentifier),
+               "quasi-identifier");
+  EXPECT_STREQ(AttributeRoleToString(AttributeRole::kConfidential),
+               "confidential");
+}
+
+TEST(SchemaDeathTest, DuplicateNamesAbort) {
+  EXPECT_DEATH(
+      {
+        Schema s({{"a", AttributeType::kReal, AttributeRole::kNonConfidential},
+                  {"a", AttributeType::kReal, AttributeRole::kNonConfidential}});
+      },
+      "duplicate attribute name");
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,257 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace tripriv {
+namespace {
+
+BigInt FromStr(const std::string& s) {
+  auto r = BigInt::FromString(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+TEST(BigIntTest, ZeroBasics) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_EQ(z, BigInt(0));
+}
+
+TEST(BigIntTest, SmallConstruction) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt::FromU64(UINT64_MAX).ToString(), "18446744073709551615");
+}
+
+TEST(BigIntTest, RoundTripToI64) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{123456789},
+                    INT64_MAX, INT64_MIN, INT64_MIN + 1}) {
+    auto back = BigInt(v).ToI64();
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+  }
+  // Too large values do not fit.
+  BigInt big = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(big.ToI64().has_value());
+}
+
+TEST(BigIntTest, DecimalStringRoundTrip) {
+  const std::string digits =
+      "123456789012345678901234567890123456789012345678901234567890";
+  EXPECT_EQ(FromStr(digits).ToString(), digits);
+  EXPECT_EQ(FromStr("-" + digits).ToString(), "-" + digits);
+  EXPECT_EQ(FromStr("000123").ToString(), "123");
+  EXPECT_EQ(FromStr("-0").ToString(), "0");
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  EXPECT_EQ(FromStr("255").ToHex(), "ff");
+  auto h = BigInt::FromHex("deadbeefcafebabe0123456789");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().ToHex(), "deadbeefcafebabe0123456789");
+  EXPECT_FALSE(BigInt::FromHex("xyz").ok());
+}
+
+TEST(BigIntTest, AdditionWithCarryChains) {
+  // 2^96 - 1 plus 1 carries across three limbs.
+  BigInt v = (BigInt(1) << 96) - BigInt(1);
+  EXPECT_EQ((v + BigInt(1)).ToHex(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SignedArithmetic) {
+  EXPECT_EQ((BigInt(10) + BigInt(-4)).ToString(), "6");
+  EXPECT_EQ((BigInt(-10) + BigInt(4)).ToString(), "-6");
+  EXPECT_EQ((BigInt(-10) + BigInt(-4)).ToString(), "-14");
+  EXPECT_EQ((BigInt(4) - BigInt(10)).ToString(), "-6");
+  EXPECT_EQ((BigInt(-4) - BigInt(-10)).ToString(), "6");
+  EXPECT_EQ((BigInt(3) * BigInt(-7)).ToString(), "-21");
+  EXPECT_EQ((BigInt(-3) * BigInt(-7)).ToString(), "21");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  const BigInt a = FromStr("123456789123456789123456789");
+  const BigInt b = FromStr("987654321987654321987654321");
+  EXPECT_EQ((a * b).ToString(),
+            "121932631356500531591068431581771069347203169112635269");
+}
+
+TEST(BigIntTest, DivisionSmallDivisor) {
+  const BigInt a = FromStr("1000000000000000000000000007");
+  EXPECT_EQ((a / BigInt(7)).ToString(), "142857142857142857142857143");
+  EXPECT_EQ((a % BigInt(7)).ToString(), "6");
+}
+
+TEST(BigIntTest, DivisionMultiLimb) {
+  const BigInt a = FromStr("340282366920938463463374607431768211456");  // 2^128
+  const BigInt b = FromStr("18446744073709551629");  // prime > 2^64
+  BigInt q;
+  BigInt r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+  EXPECT_FALSE(r.IsNegative());
+}
+
+TEST(BigIntTest, DivisionIdentityRandomized) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = BigInt::Random(1 + rng.UniformU64(192), &rng);
+    BigInt b = BigInt::Random(1 + rng.UniformU64(128), &rng);
+    if (b.IsZero()) continue;
+    BigInt q;
+    BigInt r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+  }
+}
+
+TEST(BigIntTest, TruncatedDivisionSigns) {
+  // C-style: quotient truncates toward zero, remainder keeps dividend sign.
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToString(), "-1");
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).ToString(), "1");
+}
+
+TEST(BigIntTest, ModIsCanonical) {
+  EXPECT_EQ(BigInt(-7).Mod(BigInt(5)).ToString(), "3");
+  EXPECT_EQ(BigInt(7).Mod(BigInt(5)).ToString(), "2");
+  EXPECT_EQ(BigInt(-10).Mod(BigInt(5)).ToString(), "0");
+}
+
+TEST(BigIntTest, Shifts) {
+  EXPECT_EQ((BigInt(1) << 100).ToHex(), "10000000000000000000000000");
+  EXPECT_EQ(((BigInt(1) << 100) >> 100).ToString(), "1");
+  EXPECT_EQ((FromStr("12345678901234567890") >> 64).ToString(), "0");
+  EXPECT_EQ((BigInt(0xFF) >> 4).ToString(), "15");
+}
+
+TEST(BigIntTest, BitOps) {
+  BigInt v = FromStr("1025");  // 10000000001b
+  EXPECT_EQ(v.BitLength(), 11u);
+  EXPECT_TRUE(v.TestBit(0));
+  EXPECT_FALSE(v.TestBit(1));
+  EXPECT_TRUE(v.TestBit(10));
+  EXPECT_FALSE(v.TestBit(11));
+  EXPECT_FALSE(v.TestBit(1000));
+  EXPECT_TRUE(v.IsOdd());
+  EXPECT_TRUE((v + BigInt(1)).IsEven());
+}
+
+TEST(BigIntTest, Comparison) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(FromStr("999999999999999999"), FromStr("1000000000000000000"));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigIntTest, ModExpKnownValues) {
+  // 2^10 mod 1000 = 24; Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(BigInt::ModExp(BigInt(2), BigInt(10), BigInt(1000)).ToString(), "24");
+  const BigInt p = FromStr("1000000007");
+  EXPECT_EQ(BigInt::ModExp(BigInt(12345), p - BigInt(1), p), BigInt(1));
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(0), BigInt(7)), BigInt(1));
+  EXPECT_EQ(BigInt::ModExp(BigInt(5), BigInt(3), BigInt(1)), BigInt(0));
+}
+
+TEST(BigIntTest, ModExpLarge) {
+  const BigInt p = FromStr("170141183460469231731687303715884105727");  // 2^127-1
+  const BigInt a = FromStr("123456789123456789");
+  EXPECT_EQ(BigInt::ModExp(a, p - BigInt(1), p), BigInt(1));  // Fermat
+}
+
+TEST(BigIntTest, ModInverse) {
+  auto inv = BigInt::ModInverse(BigInt(3), BigInt(11));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv.value().ToString(), "4");  // 3*4 = 12 = 1 mod 11
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());  // gcd 3
+}
+
+TEST(BigIntTest, ModInverseRandomized) {
+  Rng rng(7);
+  const BigInt p = FromStr("170141183460469231731687303715884105727");
+  for (int i = 0; i < 50; ++i) {
+    BigInt a = BigInt::RandomBelow(p - BigInt(1), &rng) + BigInt(1);
+    auto inv = BigInt::ModInverse(a, p);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(BigInt::ModMul(a, inv.value(), p), BigInt(1));
+  }
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)).ToString(), "12");
+  EXPECT_EQ(BigInt::Lcm(BigInt(0), BigInt(6)).ToString(), "0");
+}
+
+TEST(BigIntTest, RandomHasRequestedBits) {
+  Rng rng(13);
+  for (size_t bits : {1u, 31u, 32u, 33u, 64u, 100u, 256u}) {
+    BigInt v = BigInt::Random(bits, &rng);
+    EXPECT_LE(v.BitLength(), bits);
+  }
+}
+
+TEST(BigIntTest, RandomBelowIsBelow) {
+  Rng rng(17);
+  const BigInt bound = FromStr("98765432109876543210");
+  for (int i = 0; i < 100; ++i) {
+    BigInt v = BigInt::RandomBelow(bound, &rng);
+    EXPECT_TRUE(v < bound);
+    EXPECT_FALSE(v.IsNegative());
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownPrimes) {
+  Rng rng(19);
+  for (const char* p : {"2", "3", "5", "97", "1000000007",
+                        "170141183460469231731687303715884105727"}) {
+    EXPECT_TRUE(BigInt::IsProbablePrime(FromStr(p), 20, &rng)) << p;
+  }
+}
+
+TEST(BigIntTest, PrimalityKnownComposites) {
+  Rng rng(23);
+  // Includes Carmichael numbers 561 and 41041 which fool the Fermat test.
+  for (const char* c : {"0", "1", "4", "100", "561", "41041",
+                        "1000000008", "340282366920938463463374607431768211456"}) {
+    EXPECT_FALSE(BigInt::IsProbablePrime(FromStr(c), 20, &rng)) << c;
+  }
+}
+
+TEST(BigIntTest, RandomPrimeHasExactBitLength) {
+  Rng rng(29);
+  for (size_t bits : {16u, 48u, 96u}) {
+    BigInt p = BigInt::RandomPrime(bits, &rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(BigInt::IsProbablePrime(p, 30, &rng));
+  }
+}
+
+TEST(BigIntTest, ModAddSubStayCanonical) {
+  const BigInt m(97);
+  EXPECT_EQ(BigInt::ModAdd(BigInt(90), BigInt(10), m).ToString(), "3");
+  EXPECT_EQ(BigInt::ModSub(BigInt(3), BigInt(10), m).ToString(), "90");
+  EXPECT_EQ(BigInt::ModMul(BigInt(50), BigInt(2), m).ToString(), "3");
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,90 @@
+// Robustness sweep for the CSV parser and table loader: arbitrary byte
+// soup must produce a Status, never a crash, and successful parses must
+// round-trip.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "table/io.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+TEST(CsvFuzzTest, RandomBytesNeverCrashParser) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const size_t len = rng.UniformU64(80);
+    std::string soup;
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward CSV-special characters to hit the quote machinery.
+      switch (rng.UniformU64(6)) {
+        case 0:
+          soup += '"';
+          break;
+        case 1:
+          soup += ',';
+          break;
+        case 2:
+          soup += '\n';
+          break;
+        case 3:
+          soup += '\r';
+          break;
+        default:
+          soup += static_cast<char>(32 + rng.UniformU64(95));
+      }
+    }
+    auto parsed = ParseCsv(soup);
+    if (parsed.ok()) {
+      // Whatever parsed must serialize and re-parse identically.
+      auto reparsed = ParseCsv(WriteCsv(*parsed));
+      ASSERT_TRUE(reparsed.ok());
+      EXPECT_EQ(*reparsed, *parsed);
+    }
+  }
+}
+
+TEST(CsvFuzzTest, RandomBytesNeverCrashInferredLoader) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const size_t len = rng.UniformU64(60);
+    std::string soup;
+    for (size_t i = 0; i < len; ++i) {
+      switch (rng.UniformU64(8)) {
+        case 0:
+          soup += ',';
+          break;
+        case 1:
+          soup += '\n';
+          break;
+        case 2:
+          soup += static_cast<char>('0' + rng.UniformU64(10));
+          break;
+        case 3:
+          soup += '.';
+          break;
+        default:
+          soup += static_cast<char>('a' + rng.UniformU64(26));
+      }
+    }
+    (void)TableFromCsvInferred(soup);  // ok() or error, never a crash
+  }
+}
+
+TEST(CsvFuzzTest, DuplicateHeaderNamesRejectedNotCrashed) {
+  // Duplicate headers would violate the Schema invariant (a CHECK / abort);
+  // the loader must catch them first and return a clean error. This case
+  // is fuzz-reachable, so it was found by the random loader sweep.
+  auto r = TableFromCsvInferred("a,a\n1,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Names that differ only by surrounding whitespace are also duplicates
+  // after trimming.
+  EXPECT_FALSE(TableFromCsvInferred("a, a\n1,2\n").ok());
+}
+
+}  // namespace
+}  // namespace tripriv

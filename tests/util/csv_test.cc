@@ -1,0 +1,90 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace tripriv {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, LastLineWithoutNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto r = ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, QuotedFieldWithComma) {
+  auto r = ParseCsv("\"x,y\",z\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], (std::vector<std::string>{"x,y", "z"}));
+}
+
+TEST(CsvTest, QuotedFieldWithEscapedQuote) {
+  auto r = ParseCsv("\"he said \"\"hi\"\"\",b\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0][0], "he said \"hi\"");
+}
+
+TEST(CsvTest, QuotedFieldWithNewline) {
+  auto r = ParseCsv("\"line1\nline2\",b\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("\"oops\n").ok());
+}
+
+TEST(CsvTest, QuoteInsideUnquotedFieldFails) {
+  EXPECT_FALSE(ParseCsv("ab\"cd,e\n").ok());
+}
+
+TEST(CsvTest, EmptyInputIsNoRows) {
+  auto r = ParseCsv("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(CsvTest, EscapePlainField) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvEscape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvEscape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  std::vector<std::vector<std::string>> rows{
+      {"name", "note"},
+      {"alice", "likes, commas"},
+      {"bob", "said \"hello\""},
+      {"carol", "multi\nline"},
+  };
+  auto parsed = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+}  // namespace
+}  // namespace tripriv
