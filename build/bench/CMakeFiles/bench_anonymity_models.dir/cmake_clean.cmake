@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anonymity_models.dir/bench_anonymity_models.cc.o"
+  "CMakeFiles/bench_anonymity_models.dir/bench_anonymity_models.cc.o.d"
+  "bench_anonymity_models"
+  "bench_anonymity_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anonymity_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

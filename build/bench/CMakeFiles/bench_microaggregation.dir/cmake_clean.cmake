@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microaggregation.dir/bench_microaggregation.cc.o"
+  "CMakeFiles/bench_microaggregation.dir/bench_microaggregation.cc.o.d"
+  "bench_microaggregation"
+  "bench_microaggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microaggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

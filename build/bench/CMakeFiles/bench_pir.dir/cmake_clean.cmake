@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pir.dir/bench_pir.cc.o"
+  "CMakeFiles/bench_pir.dir/bench_pir.cc.o.d"
+  "bench_pir"
+  "bench_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_protection.dir/bench_query_protection.cc.o"
+  "CMakeFiles/bench_query_protection.dir/bench_query_protection.cc.o.d"
+  "bench_query_protection"
+  "bench_query_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smc.dir/bench_smc.cc.o"
+  "CMakeFiles/bench_smc.dir/bench_smc.cc.o.d"
+  "bench_smc"
+  "bench_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sparsity_attack.dir/bench_sparsity_attack.cc.o"
+  "CMakeFiles/bench_sparsity_attack.dir/bench_sparsity_attack.cc.o.d"
+  "bench_sparsity_attack"
+  "bench_sparsity_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparsity_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

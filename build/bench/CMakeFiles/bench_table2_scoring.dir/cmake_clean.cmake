@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scoring.dir/bench_table2_scoring.cc.o"
+  "CMakeFiles/bench_table2_scoring.dir/bench_table2_scoring.cc.o.d"
+  "bench_table2_scoring"
+  "bench_table2_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

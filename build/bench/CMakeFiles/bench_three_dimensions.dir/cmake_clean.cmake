@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_dimensions.dir/bench_three_dimensions.cc.o"
+  "CMakeFiles/bench_three_dimensions.dir/bench_three_dimensions.cc.o.d"
+  "bench_three_dimensions"
+  "bench_three_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracker_attack.dir/bench_tracker_attack.cc.o"
+  "CMakeFiles/bench_tracker_attack.dir/bench_tracker_attack.cc.o.d"
+  "bench_tracker_attack"
+  "bench_tracker_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracker_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaborative_mining.dir/collaborative_mining.cpp.o"
+  "CMakeFiles/collaborative_mining.dir/collaborative_mining.cpp.o.d"
+  "collaborative_mining"
+  "collaborative_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaborative_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

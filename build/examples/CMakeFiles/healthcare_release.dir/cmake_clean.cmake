@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_release.dir/healthcare_release.cpp.o"
+  "CMakeFiles/healthcare_release.dir/healthcare_release.cpp.o.d"
+  "healthcare_release"
+  "healthcare_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

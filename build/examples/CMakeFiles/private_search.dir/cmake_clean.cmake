@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_search.dir/private_search.cpp.o"
+  "CMakeFiles/private_search.dir/private_search.cpp.o.d"
+  "private_search"
+  "private_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statistical_agency.dir/statistical_agency.cpp.o"
+  "CMakeFiles/statistical_agency.dir/statistical_agency.cpp.o.d"
+  "statistical_agency"
+  "statistical_agency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statistical_agency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

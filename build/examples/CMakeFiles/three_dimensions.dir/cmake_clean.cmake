@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_dimensions.dir/three_dimensions.cpp.o"
+  "CMakeFiles/three_dimensions.dir/three_dimensions.cpp.o.d"
+  "three_dimensions"
+  "three_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

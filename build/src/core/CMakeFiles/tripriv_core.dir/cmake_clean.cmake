@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_core.dir/advisor.cc.o"
+  "CMakeFiles/tripriv_core.dir/advisor.cc.o.d"
+  "CMakeFiles/tripriv_core.dir/evaluator.cc.o"
+  "CMakeFiles/tripriv_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/tripriv_core.dir/framework.cc.o"
+  "CMakeFiles/tripriv_core.dir/framework.cc.o.d"
+  "CMakeFiles/tripriv_core.dir/technology.cc.o"
+  "CMakeFiles/tripriv_core.dir/technology.cc.o.d"
+  "libtripriv_core.a"
+  "libtripriv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

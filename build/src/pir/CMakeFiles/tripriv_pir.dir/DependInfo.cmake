@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pir/aggregate.cc" "src/pir/CMakeFiles/tripriv_pir.dir/aggregate.cc.o" "gcc" "src/pir/CMakeFiles/tripriv_pir.dir/aggregate.cc.o.d"
+  "/root/repo/src/pir/cpir.cc" "src/pir/CMakeFiles/tripriv_pir.dir/cpir.cc.o" "gcc" "src/pir/CMakeFiles/tripriv_pir.dir/cpir.cc.o.d"
+  "/root/repo/src/pir/it_pir.cc" "src/pir/CMakeFiles/tripriv_pir.dir/it_pir.cc.o" "gcc" "src/pir/CMakeFiles/tripriv_pir.dir/it_pir.cc.o.d"
+  "/root/repo/src/pir/keyword_pir.cc" "src/pir/CMakeFiles/tripriv_pir.dir/keyword_pir.cc.o" "gcc" "src/pir/CMakeFiles/tripriv_pir.dir/keyword_pir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smc/CMakeFiles/tripriv_smc.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tripriv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tripriv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_pir.dir/aggregate.cc.o"
+  "CMakeFiles/tripriv_pir.dir/aggregate.cc.o.d"
+  "CMakeFiles/tripriv_pir.dir/cpir.cc.o"
+  "CMakeFiles/tripriv_pir.dir/cpir.cc.o.d"
+  "CMakeFiles/tripriv_pir.dir/it_pir.cc.o"
+  "CMakeFiles/tripriv_pir.dir/it_pir.cc.o.d"
+  "CMakeFiles/tripriv_pir.dir/keyword_pir.cc.o"
+  "CMakeFiles/tripriv_pir.dir/keyword_pir.cc.o.d"
+  "libtripriv_pir.a"
+  "libtripriv_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

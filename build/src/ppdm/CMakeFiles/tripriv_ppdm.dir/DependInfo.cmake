@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppdm/association_rules.cc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/association_rules.cc.o" "gcc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/association_rules.cc.o.d"
+  "/root/repo/src/ppdm/decision_tree.cc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/decision_tree.cc.o" "gcc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ppdm/randomized_response.cc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/randomized_response.cc.o" "gcc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/randomized_response.cc.o.d"
+  "/root/repo/src/ppdm/reconstruction.cc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/reconstruction.cc.o" "gcc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/reconstruction.cc.o.d"
+  "/root/repo/src/ppdm/rule_hiding.cc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/rule_hiding.cc.o" "gcc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/rule_hiding.cc.o.d"
+  "/root/repo/src/ppdm/sparsity_attack.cc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/sparsity_attack.cc.o" "gcc" "src/ppdm/CMakeFiles/tripriv_ppdm.dir/sparsity_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/tripriv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tripriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

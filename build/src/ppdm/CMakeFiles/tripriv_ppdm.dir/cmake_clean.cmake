@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_ppdm.dir/association_rules.cc.o"
+  "CMakeFiles/tripriv_ppdm.dir/association_rules.cc.o.d"
+  "CMakeFiles/tripriv_ppdm.dir/decision_tree.cc.o"
+  "CMakeFiles/tripriv_ppdm.dir/decision_tree.cc.o.d"
+  "CMakeFiles/tripriv_ppdm.dir/randomized_response.cc.o"
+  "CMakeFiles/tripriv_ppdm.dir/randomized_response.cc.o.d"
+  "CMakeFiles/tripriv_ppdm.dir/reconstruction.cc.o"
+  "CMakeFiles/tripriv_ppdm.dir/reconstruction.cc.o.d"
+  "CMakeFiles/tripriv_ppdm.dir/rule_hiding.cc.o"
+  "CMakeFiles/tripriv_ppdm.dir/rule_hiding.cc.o.d"
+  "CMakeFiles/tripriv_ppdm.dir/sparsity_attack.cc.o"
+  "CMakeFiles/tripriv_ppdm.dir/sparsity_attack.cc.o.d"
+  "libtripriv_ppdm.a"
+  "libtripriv_ppdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_ppdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tripriv_ppdm.
+# This may be replaced when dependencies are built.

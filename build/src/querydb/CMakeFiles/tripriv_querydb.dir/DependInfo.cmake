@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/querydb/engine.cc" "src/querydb/CMakeFiles/tripriv_querydb.dir/engine.cc.o" "gcc" "src/querydb/CMakeFiles/tripriv_querydb.dir/engine.cc.o.d"
+  "/root/repo/src/querydb/profiling.cc" "src/querydb/CMakeFiles/tripriv_querydb.dir/profiling.cc.o" "gcc" "src/querydb/CMakeFiles/tripriv_querydb.dir/profiling.cc.o.d"
+  "/root/repo/src/querydb/protection.cc" "src/querydb/CMakeFiles/tripriv_querydb.dir/protection.cc.o" "gcc" "src/querydb/CMakeFiles/tripriv_querydb.dir/protection.cc.o.d"
+  "/root/repo/src/querydb/query.cc" "src/querydb/CMakeFiles/tripriv_querydb.dir/query.cc.o" "gcc" "src/querydb/CMakeFiles/tripriv_querydb.dir/query.cc.o.d"
+  "/root/repo/src/querydb/tracker.cc" "src/querydb/CMakeFiles/tripriv_querydb.dir/tracker.cc.o" "gcc" "src/querydb/CMakeFiles/tripriv_querydb.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/tripriv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tripriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_querydb.dir/engine.cc.o"
+  "CMakeFiles/tripriv_querydb.dir/engine.cc.o.d"
+  "CMakeFiles/tripriv_querydb.dir/profiling.cc.o"
+  "CMakeFiles/tripriv_querydb.dir/profiling.cc.o.d"
+  "CMakeFiles/tripriv_querydb.dir/protection.cc.o"
+  "CMakeFiles/tripriv_querydb.dir/protection.cc.o.d"
+  "CMakeFiles/tripriv_querydb.dir/query.cc.o"
+  "CMakeFiles/tripriv_querydb.dir/query.cc.o.d"
+  "CMakeFiles/tripriv_querydb.dir/tracker.cc.o"
+  "CMakeFiles/tripriv_querydb.dir/tracker.cc.o.d"
+  "libtripriv_querydb.a"
+  "libtripriv_querydb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_querydb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tripriv_querydb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdc/anonymity.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/anonymity.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/anonymity.cc.o.d"
+  "/root/repo/src/sdc/coding.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/coding.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/coding.cc.o.d"
+  "/root/repo/src/sdc/condensation.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/condensation.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/condensation.cc.o.d"
+  "/root/repo/src/sdc/diversity.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/diversity.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/diversity.cc.o.d"
+  "/root/repo/src/sdc/equivalence.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/equivalence.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/equivalence.cc.o.d"
+  "/root/repo/src/sdc/hierarchy.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/hierarchy.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/hierarchy.cc.o.d"
+  "/root/repo/src/sdc/information_loss.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/information_loss.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/information_loss.cc.o.d"
+  "/root/repo/src/sdc/microaggregation.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/microaggregation.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/microaggregation.cc.o.d"
+  "/root/repo/src/sdc/mondrian.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/mondrian.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/mondrian.cc.o.d"
+  "/root/repo/src/sdc/noise.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/noise.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/noise.cc.o.d"
+  "/root/repo/src/sdc/pram.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/pram.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/pram.cc.o.d"
+  "/root/repo/src/sdc/rank_swap.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/rank_swap.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/rank_swap.cc.o.d"
+  "/root/repo/src/sdc/recoding.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/recoding.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/recoding.cc.o.d"
+  "/root/repo/src/sdc/risk.cc" "src/sdc/CMakeFiles/tripriv_sdc.dir/risk.cc.o" "gcc" "src/sdc/CMakeFiles/tripriv_sdc.dir/risk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/tripriv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tripriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_sdc.dir/anonymity.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/anonymity.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/coding.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/coding.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/condensation.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/condensation.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/diversity.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/diversity.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/equivalence.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/equivalence.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/hierarchy.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/hierarchy.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/information_loss.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/information_loss.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/microaggregation.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/microaggregation.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/mondrian.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/mondrian.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/noise.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/noise.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/pram.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/pram.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/rank_swap.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/rank_swap.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/recoding.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/recoding.cc.o.d"
+  "CMakeFiles/tripriv_sdc.dir/risk.cc.o"
+  "CMakeFiles/tripriv_sdc.dir/risk.cc.o.d"
+  "libtripriv_sdc.a"
+  "libtripriv_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smc/distributed_id3.cc" "src/smc/CMakeFiles/tripriv_smc.dir/distributed_id3.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/distributed_id3.cc.o.d"
+  "/root/repo/src/smc/paillier.cc" "src/smc/CMakeFiles/tripriv_smc.dir/paillier.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/paillier.cc.o.d"
+  "/root/repo/src/smc/party.cc" "src/smc/CMakeFiles/tripriv_smc.dir/party.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/party.cc.o.d"
+  "/root/repo/src/smc/psi.cc" "src/smc/CMakeFiles/tripriv_smc.dir/psi.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/psi.cc.o.d"
+  "/root/repo/src/smc/scalar_product.cc" "src/smc/CMakeFiles/tripriv_smc.dir/scalar_product.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/scalar_product.cc.o.d"
+  "/root/repo/src/smc/secure_sum.cc" "src/smc/CMakeFiles/tripriv_smc.dir/secure_sum.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/secure_sum.cc.o.d"
+  "/root/repo/src/smc/shamir.cc" "src/smc/CMakeFiles/tripriv_smc.dir/shamir.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/shamir.cc.o.d"
+  "/root/repo/src/smc/vertical.cc" "src/smc/CMakeFiles/tripriv_smc.dir/vertical.cc.o" "gcc" "src/smc/CMakeFiles/tripriv_smc.dir/vertical.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/tripriv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tripriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_smc.dir/distributed_id3.cc.o"
+  "CMakeFiles/tripriv_smc.dir/distributed_id3.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/paillier.cc.o"
+  "CMakeFiles/tripriv_smc.dir/paillier.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/party.cc.o"
+  "CMakeFiles/tripriv_smc.dir/party.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/psi.cc.o"
+  "CMakeFiles/tripriv_smc.dir/psi.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/scalar_product.cc.o"
+  "CMakeFiles/tripriv_smc.dir/scalar_product.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/secure_sum.cc.o"
+  "CMakeFiles/tripriv_smc.dir/secure_sum.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/shamir.cc.o"
+  "CMakeFiles/tripriv_smc.dir/shamir.cc.o.d"
+  "CMakeFiles/tripriv_smc.dir/vertical.cc.o"
+  "CMakeFiles/tripriv_smc.dir/vertical.cc.o.d"
+  "libtripriv_smc.a"
+  "libtripriv_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_stats.dir/descriptive.cc.o"
+  "CMakeFiles/tripriv_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/tripriv_stats.dir/histogram.cc.o"
+  "CMakeFiles/tripriv_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/tripriv_stats.dir/linalg.cc.o"
+  "CMakeFiles/tripriv_stats.dir/linalg.cc.o.d"
+  "libtripriv_stats.a"
+  "libtripriv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

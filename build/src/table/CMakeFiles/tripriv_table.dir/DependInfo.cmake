@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/data_table.cc" "src/table/CMakeFiles/tripriv_table.dir/data_table.cc.o" "gcc" "src/table/CMakeFiles/tripriv_table.dir/data_table.cc.o.d"
+  "/root/repo/src/table/datasets.cc" "src/table/CMakeFiles/tripriv_table.dir/datasets.cc.o" "gcc" "src/table/CMakeFiles/tripriv_table.dir/datasets.cc.o.d"
+  "/root/repo/src/table/io.cc" "src/table/CMakeFiles/tripriv_table.dir/io.cc.o" "gcc" "src/table/CMakeFiles/tripriv_table.dir/io.cc.o.d"
+  "/root/repo/src/table/predicate.cc" "src/table/CMakeFiles/tripriv_table.dir/predicate.cc.o" "gcc" "src/table/CMakeFiles/tripriv_table.dir/predicate.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/table/CMakeFiles/tripriv_table.dir/schema.cc.o" "gcc" "src/table/CMakeFiles/tripriv_table.dir/schema.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/table/CMakeFiles/tripriv_table.dir/value.cc.o" "gcc" "src/table/CMakeFiles/tripriv_table.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_table.dir/data_table.cc.o"
+  "CMakeFiles/tripriv_table.dir/data_table.cc.o.d"
+  "CMakeFiles/tripriv_table.dir/datasets.cc.o"
+  "CMakeFiles/tripriv_table.dir/datasets.cc.o.d"
+  "CMakeFiles/tripriv_table.dir/io.cc.o"
+  "CMakeFiles/tripriv_table.dir/io.cc.o.d"
+  "CMakeFiles/tripriv_table.dir/predicate.cc.o"
+  "CMakeFiles/tripriv_table.dir/predicate.cc.o.d"
+  "CMakeFiles/tripriv_table.dir/schema.cc.o"
+  "CMakeFiles/tripriv_table.dir/schema.cc.o.d"
+  "CMakeFiles/tripriv_table.dir/value.cc.o"
+  "CMakeFiles/tripriv_table.dir/value.cc.o.d"
+  "libtripriv_table.a"
+  "libtripriv_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

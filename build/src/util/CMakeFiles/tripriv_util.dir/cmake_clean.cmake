@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_util.dir/bigint.cc.o"
+  "CMakeFiles/tripriv_util.dir/bigint.cc.o.d"
+  "CMakeFiles/tripriv_util.dir/csv.cc.o"
+  "CMakeFiles/tripriv_util.dir/csv.cc.o.d"
+  "CMakeFiles/tripriv_util.dir/random.cc.o"
+  "CMakeFiles/tripriv_util.dir/random.cc.o.d"
+  "CMakeFiles/tripriv_util.dir/status.cc.o"
+  "CMakeFiles/tripriv_util.dir/status.cc.o.d"
+  "CMakeFiles/tripriv_util.dir/string_util.cc.o"
+  "CMakeFiles/tripriv_util.dir/string_util.cc.o.d"
+  "libtripriv_util.a"
+  "libtripriv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tripriv_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/evaluator_test.cc" "tests/CMakeFiles/core_evaluator_test.dir/core/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/core_evaluator_test.dir/core/evaluator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tripriv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/querydb/CMakeFiles/tripriv_querydb.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/tripriv_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/smc/CMakeFiles/tripriv_smc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppdm/CMakeFiles/tripriv_ppdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdc/CMakeFiles/tripriv_sdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tripriv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/tripriv_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tripriv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

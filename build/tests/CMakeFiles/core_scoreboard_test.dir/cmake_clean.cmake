@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scoreboard_test.dir/core/scoreboard_test.cc.o"
+  "CMakeFiles/core_scoreboard_test.dir/core/scoreboard_test.cc.o.d"
+  "core_scoreboard_test"
+  "core_scoreboard_test.pdb"
+  "core_scoreboard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scoreboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

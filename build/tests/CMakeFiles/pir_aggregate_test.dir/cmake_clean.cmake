@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pir_aggregate_test.dir/pir/aggregate_test.cc.o"
+  "CMakeFiles/pir_aggregate_test.dir/pir/aggregate_test.cc.o.d"
+  "pir_aggregate_test"
+  "pir_aggregate_test.pdb"
+  "pir_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pir_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdm_decision_tree_test.dir/ppdm/decision_tree_test.cc.o"
+  "CMakeFiles/ppdm_decision_tree_test.dir/ppdm/decision_tree_test.cc.o.d"
+  "ppdm_decision_tree_test"
+  "ppdm_decision_tree_test.pdb"
+  "ppdm_decision_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdm_decision_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdm_mining_test.dir/ppdm/mining_test.cc.o"
+  "CMakeFiles/ppdm_mining_test.dir/ppdm/mining_test.cc.o.d"
+  "ppdm_mining_test"
+  "ppdm_mining_test.pdb"
+  "ppdm_mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdm_mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

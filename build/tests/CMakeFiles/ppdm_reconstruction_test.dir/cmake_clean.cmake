@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppdm_reconstruction_test.dir/ppdm/reconstruction_test.cc.o"
+  "CMakeFiles/ppdm_reconstruction_test.dir/ppdm/reconstruction_test.cc.o.d"
+  "ppdm_reconstruction_test"
+  "ppdm_reconstruction_test.pdb"
+  "ppdm_reconstruction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppdm_reconstruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/properties_anonymizer_properties_test.dir/properties/anonymizer_properties_test.cc.o"
+  "CMakeFiles/properties_anonymizer_properties_test.dir/properties/anonymizer_properties_test.cc.o.d"
+  "properties_anonymizer_properties_test"
+  "properties_anonymizer_properties_test.pdb"
+  "properties_anonymizer_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/properties_anonymizer_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

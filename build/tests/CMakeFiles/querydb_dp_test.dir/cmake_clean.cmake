@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querydb_dp_test.dir/querydb/dp_test.cc.o"
+  "CMakeFiles/querydb_dp_test.dir/querydb/dp_test.cc.o.d"
+  "querydb_dp_test"
+  "querydb_dp_test.pdb"
+  "querydb_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querydb_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

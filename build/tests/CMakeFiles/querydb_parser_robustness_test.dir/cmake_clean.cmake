@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querydb_parser_robustness_test.dir/querydb/parser_robustness_test.cc.o"
+  "CMakeFiles/querydb_parser_robustness_test.dir/querydb/parser_robustness_test.cc.o.d"
+  "querydb_parser_robustness_test"
+  "querydb_parser_robustness_test.pdb"
+  "querydb_parser_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querydb_parser_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querydb_profiling_test.dir/querydb/profiling_test.cc.o"
+  "CMakeFiles/querydb_profiling_test.dir/querydb/profiling_test.cc.o.d"
+  "querydb_profiling_test"
+  "querydb_profiling_test.pdb"
+  "querydb_profiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querydb_profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

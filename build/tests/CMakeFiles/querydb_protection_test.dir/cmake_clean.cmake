@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querydb_protection_test.dir/querydb/protection_test.cc.o"
+  "CMakeFiles/querydb_protection_test.dir/querydb/protection_test.cc.o.d"
+  "querydb_protection_test"
+  "querydb_protection_test.pdb"
+  "querydb_protection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querydb_protection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

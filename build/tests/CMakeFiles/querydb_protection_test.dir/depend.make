@@ -1,0 +1,2 @@
+# Empty dependencies file for querydb_protection_test.
+# This may be replaced when dependencies are built.

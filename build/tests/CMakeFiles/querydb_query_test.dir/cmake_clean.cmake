@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querydb_query_test.dir/querydb/query_test.cc.o"
+  "CMakeFiles/querydb_query_test.dir/querydb/query_test.cc.o.d"
+  "querydb_query_test"
+  "querydb_query_test.pdb"
+  "querydb_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querydb_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_anonymity_test.dir/sdc/anonymity_test.cc.o"
+  "CMakeFiles/sdc_anonymity_test.dir/sdc/anonymity_test.cc.o.d"
+  "sdc_anonymity_test"
+  "sdc_anonymity_test.pdb"
+  "sdc_anonymity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_anonymity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

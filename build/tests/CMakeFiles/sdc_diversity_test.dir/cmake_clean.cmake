@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_diversity_test.dir/sdc/diversity_test.cc.o"
+  "CMakeFiles/sdc_diversity_test.dir/sdc/diversity_test.cc.o.d"
+  "sdc_diversity_test"
+  "sdc_diversity_test.pdb"
+  "sdc_diversity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_diversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_hierarchy_test.dir/sdc/hierarchy_test.cc.o"
+  "CMakeFiles/sdc_hierarchy_test.dir/sdc/hierarchy_test.cc.o.d"
+  "sdc_hierarchy_test"
+  "sdc_hierarchy_test.pdb"
+  "sdc_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_masking_test.dir/sdc/masking_test.cc.o"
+  "CMakeFiles/sdc_masking_test.dir/sdc/masking_test.cc.o.d"
+  "sdc_masking_test"
+  "sdc_masking_test.pdb"
+  "sdc_masking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_masking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

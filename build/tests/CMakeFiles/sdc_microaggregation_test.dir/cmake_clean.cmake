@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_microaggregation_test.dir/sdc/microaggregation_test.cc.o"
+  "CMakeFiles/sdc_microaggregation_test.dir/sdc/microaggregation_test.cc.o.d"
+  "sdc_microaggregation_test"
+  "sdc_microaggregation_test.pdb"
+  "sdc_microaggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_microaggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_pram_test.dir/sdc/pram_test.cc.o"
+  "CMakeFiles/sdc_pram_test.dir/sdc/pram_test.cc.o.d"
+  "sdc_pram_test"
+  "sdc_pram_test.pdb"
+  "sdc_pram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_pram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

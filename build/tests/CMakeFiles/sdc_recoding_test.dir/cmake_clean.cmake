@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_recoding_test.dir/sdc/recoding_test.cc.o"
+  "CMakeFiles/sdc_recoding_test.dir/sdc/recoding_test.cc.o.d"
+  "sdc_recoding_test"
+  "sdc_recoding_test.pdb"
+  "sdc_recoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_recoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

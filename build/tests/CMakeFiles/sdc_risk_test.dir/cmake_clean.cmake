@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_risk_test.dir/sdc/risk_test.cc.o"
+  "CMakeFiles/sdc_risk_test.dir/sdc/risk_test.cc.o.d"
+  "sdc_risk_test"
+  "sdc_risk_test.pdb"
+  "sdc_risk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_risk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_samarati_test.dir/sdc/samarati_test.cc.o"
+  "CMakeFiles/sdc_samarati_test.dir/sdc/samarati_test.cc.o.d"
+  "sdc_samarati_test"
+  "sdc_samarati_test.pdb"
+  "sdc_samarati_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_samarati_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_paillier_test.dir/smc/paillier_test.cc.o"
+  "CMakeFiles/smc_paillier_test.dir/smc/paillier_test.cc.o.d"
+  "smc_paillier_test"
+  "smc_paillier_test.pdb"
+  "smc_paillier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_paillier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_smc_test.dir/smc/smc_test.cc.o"
+  "CMakeFiles/smc_smc_test.dir/smc/smc_test.cc.o.d"
+  "smc_smc_test"
+  "smc_smc_test.pdb"
+  "smc_smc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_smc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

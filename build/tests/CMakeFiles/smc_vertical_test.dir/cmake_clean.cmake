@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smc_vertical_test.dir/smc/vertical_test.cc.o"
+  "CMakeFiles/smc_vertical_test.dir/smc/vertical_test.cc.o.d"
+  "smc_vertical_test"
+  "smc_vertical_test.pdb"
+  "smc_vertical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smc_vertical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_datasets_test.dir/table/datasets_test.cc.o"
+  "CMakeFiles/table_datasets_test.dir/table/datasets_test.cc.o.d"
+  "table_datasets_test"
+  "table_datasets_test.pdb"
+  "table_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

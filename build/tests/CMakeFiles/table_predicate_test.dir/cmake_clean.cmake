@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_predicate_test.dir/table/predicate_test.cc.o"
+  "CMakeFiles/table_predicate_test.dir/table/predicate_test.cc.o.d"
+  "table_predicate_test"
+  "table_predicate_test.pdb"
+  "table_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

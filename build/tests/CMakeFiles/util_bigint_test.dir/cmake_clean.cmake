@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bigint_test.dir/util/bigint_test.cc.o"
+  "CMakeFiles/util_bigint_test.dir/util/bigint_test.cc.o.d"
+  "util_bigint_test"
+  "util_bigint_test.pdb"
+  "util_bigint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bigint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

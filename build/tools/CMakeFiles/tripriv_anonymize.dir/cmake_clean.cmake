@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tripriv_anonymize.dir/tripriv_anonymize.cc.o"
+  "CMakeFiles/tripriv_anonymize.dir/tripriv_anonymize.cc.o.d"
+  "tripriv_anonymize"
+  "tripriv_anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tripriv_anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
