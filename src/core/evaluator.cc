@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "pir/it_pir.h"
@@ -10,6 +11,7 @@
 #include "sdc/microaggregation.h"
 #include "sdc/noise.h"
 #include "sdc/risk.h"
+#include "smc/reliable_channel.h"
 #include "smc/secure_sum.h"
 #include "stats/descriptive.h"
 
@@ -171,6 +173,11 @@ Result<std::pair<double, double>> PrivacyEvaluator::CryptoScores(
   // adversary is one of the parties: it sees the transcript.
   const size_t parties = options_.crypto_parties;
   PartyNetwork net(parties, seed);
+  if (options_.chaos_drop_rate > 0.0) {
+    FaultPlan plan;
+    plan.drop_rate = options_.chaos_drop_rate;
+    net.InjectFaults(plan);
+  }
   const auto numeric = NumericColumns(original_);
   std::vector<std::vector<uint64_t>> local(parties,
                                            std::vector<uint64_t>(numeric.size() + 1, 0));
@@ -189,11 +196,29 @@ Result<std::pair<double, double>> PrivacyEvaluator::CryptoScores(
 
   // Respondent/owner attack on the transcript: scan payloads for verbatim
   // original values (a record or cell that crossed the wire in clear).
+  // Under fault injection the wire carries extras that are protocol
+  // metadata, not data: ack messages, the [session, seq, checksum] header
+  // of each reliable message, and byte-identical retransmissions. Acks and
+  // headers are skipped; retransmissions are deduplicated so a resent
+  // masked value is counted exactly once — retransmitting can never leak
+  // more than the original transmission did.
   size_t leaked_cells = 0;
   size_t total_cells = original_.num_rows() * numeric.size();
+  const size_t header_elems =
+      net.fault_injection_enabled() ? kReliableHeaderElems : 0;
+  std::set<std::string> seen_payloads;
   for (const auto& msg : net.transcript()) {
     if (msg.tag == "secure_sum/result") continue;  // public aggregate
-    for (const BigInt& payload : msg.payload) {
+    if (IsReliableControlMessage(msg)) continue;   // acks: metadata only
+    std::string fingerprint =
+        std::to_string(msg.from) + '>' + std::to_string(msg.to) + ':' +
+        msg.tag;
+    for (const BigInt& v : msg.payload) fingerprint += ',' + v.ToHex();
+    if (!seen_payloads.insert(std::move(fingerprint)).second) {
+      continue;  // retransmission of an already-counted message
+    }
+    for (size_t i = header_elems; i < msg.payload.size(); ++i) {
+      const BigInt& payload = msg.payload[i];
       auto as_int = payload.ToI64();
       if (!as_int.has_value()) continue;  // masked values are ~2^80
       for (size_t r = 0; r < original_.num_rows(); ++r) {

@@ -86,6 +86,12 @@ class PrivacyEvaluator {
     size_t pir_trials = 32;
     /// Parties in the crypto PPDM deployment.
     size_t crypto_parties = 3;
+    /// Message drop rate injected into the crypto PPDM deployment's network
+    /// (0 = reliable fabric). When > 0 the protocols run over the reliable
+    /// channel and the transcript scan accounts for retransmissions and
+    /// wire headers — retransmitted masked values must never change the
+    /// measured leakage.
+    double chaos_drop_rate = 0.0;
     uint64_t seed = 7;
   };
 

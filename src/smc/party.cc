@@ -1,6 +1,28 @@
 #include "smc/party.h"
 
+#include <algorithm>
+
 namespace tripriv {
+
+const char* FaultTypeToString(FaultType type) {
+  switch (type) {
+    case FaultType::kDrop:
+      return "Drop";
+    case FaultType::kDuplicate:
+      return "Duplicate";
+    case FaultType::kReorder:
+      return "Reorder";
+    case FaultType::kCorrupt:
+      return "Corrupt";
+    case FaultType::kDelay:
+      return "Delay";
+    case FaultType::kCrash:
+      return "Crash";
+    case FaultType::kCrashDrop:
+      return "CrashDrop";
+  }
+  return "Unknown";
+}
 
 PartyNetwork::PartyNetwork(size_t num_parties, uint64_t seed) {
   TRIPRIV_CHECK_GE(num_parties, 1u);
@@ -10,29 +32,119 @@ PartyNetwork::PartyNetwork(size_t num_parties, uint64_t seed) {
   mailboxes_.resize(num_parties);
 }
 
+void PartyNetwork::InjectFaults(const FaultPlan& plan) {
+  plan_ = plan;
+  faults_enabled_ = true;
+  fault_rng_ = Rng(plan.seed);
+}
+
+bool PartyNetwork::crashed(size_t party) const {
+  return crash_fired_ && party == plan_.crash_party;
+}
+
+void PartyNetwork::StepAndMaybeCrash() {
+  ++steps_;
+  if (faults_enabled_ && !crash_fired_ && plan_.crash_party != FaultPlan::kNoCrash &&
+      plan_.crash_party < num_parties() && steps_ >= plan_.crash_at_step) {
+    crash_fired_ = true;
+    RecordFault(FaultType::kCrash, plan_.crash_party, plan_.crash_party, "");
+  }
+}
+
+void PartyNetwork::RecordFault(FaultType type, size_t from, size_t to,
+                               const std::string& tag) {
+  fault_log_.push_back({tick_, type, from, to, tag});
+}
+
+void PartyNetwork::Deliver(const PartyMessage& msg) {
+  uint64_t latency = 0;
+  if (plan_.max_latency_ticks > 0) {
+    latency = fault_rng_.UniformU64(
+        static_cast<uint64_t>(plan_.max_latency_ticks) + 1);
+    if (latency > 0) RecordFault(FaultType::kDelay, msg.from, msg.to, msg.tag);
+  }
+
+  Delivery delivery{msg, tick_ + latency};
+  if (plan_.corrupt_rate > 0.0 && fault_rng_.Bernoulli(plan_.corrupt_rate) &&
+      !delivery.msg.payload.empty()) {
+    // Perturb one value in flight; the transcript keeps the original (that
+    // is what left the sender), the receiver sees the damaged copy.
+    const size_t i = static_cast<size_t>(
+        fault_rng_.UniformU64(delivery.msg.payload.size()));
+    delivery.msg.payload[i] +=
+        BigInt(static_cast<int64_t>(1 + fault_rng_.UniformU64(255)));
+    RecordFault(FaultType::kCorrupt, msg.from, msg.to, msg.tag);
+  }
+
+  auto& box = mailboxes_[msg.to];
+  if (plan_.reorder_rate > 0.0 && !box.empty() &&
+      fault_rng_.Bernoulli(plan_.reorder_rate)) {
+    // The new message overtakes a random suffix of the pending queue.
+    const size_t pos = static_cast<size_t>(fault_rng_.UniformU64(box.size()));
+    box.insert(box.begin() + static_cast<std::ptrdiff_t>(pos),
+               std::move(delivery));
+    RecordFault(FaultType::kReorder, msg.from, msg.to, msg.tag);
+  } else {
+    box.push_back(std::move(delivery));
+  }
+
+  if (plan_.duplicate_rate > 0.0 && fault_rng_.Bernoulli(plan_.duplicate_rate)) {
+    uint64_t dup_latency = 0;
+    if (plan_.max_latency_ticks > 0) {
+      dup_latency = fault_rng_.UniformU64(
+          static_cast<uint64_t>(plan_.max_latency_ticks) + 1);
+    }
+    mailboxes_[msg.to].push_back(Delivery{msg, tick_ + dup_latency});
+    RecordFault(FaultType::kDuplicate, msg.from, msg.to, msg.tag);
+  }
+}
+
 Status PartyNetwork::Send(size_t from, size_t to, std::string tag,
                           std::vector<BigInt> payload) {
   if (from >= num_parties() || to >= num_parties()) {
     return Status::OutOfRange("invalid party index");
   }
+  StepAndMaybeCrash();
   for (const BigInt& v : payload) {
     bytes_ += std::max<size_t>(1, (v.BitLength() + 7) / 8);
   }
   PartyMessage msg{from, to, std::move(tag), std::move(payload)};
   transcript_.push_back(msg);
-  mailboxes_[to].push_back(std::move(msg));
+
+  if (!faults_enabled_) {
+    mailboxes_[to].push_back(Delivery{std::move(msg), tick_});
+    return Status::OK();
+  }
+  if (crashed(from) || crashed(to)) {
+    // A dead sender transmits nothing; a dead receiver hears nothing.
+    RecordFault(FaultType::kCrashDrop, msg.from, msg.to, msg.tag);
+    return Status::OK();
+  }
+  if (plan_.drop_rate > 0.0 && fault_rng_.Bernoulli(plan_.drop_rate)) {
+    RecordFault(FaultType::kDrop, msg.from, msg.to, msg.tag);
+    return Status::OK();
+  }
+  Deliver(msg);
   return Status::OK();
 }
 
 Result<PartyMessage> PartyNetwork::Receive(size_t to) {
   if (to >= num_parties()) return Status::OutOfRange("invalid party index");
-  if (mailboxes_[to].empty()) {
-    return Status::FailedPrecondition("mailbox of party " + std::to_string(to) +
-                                      " is empty");
+  StepAndMaybeCrash();
+  ++tick_;  // one poll interval
+  if (crashed(to)) {
+    return Status::Unavailable("party " + std::to_string(to) + " crashed");
   }
-  PartyMessage msg = std::move(mailboxes_[to].front());
-  mailboxes_[to].pop_front();
-  return msg;
+  auto& box = mailboxes_[to];
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->deliver_at > tick_) continue;  // still in flight
+    PartyMessage msg = std::move(it->msg);
+    box.erase(it);
+    return msg;
+  }
+  return Status::Unavailable("mailbox of party " + std::to_string(to) +
+                             (box.empty() ? " is empty"
+                                          : " has only in-flight messages"));
 }
 
 Rng* PartyNetwork::rng(size_t party) {

@@ -1,5 +1,7 @@
 #include "smc/psi.h"
 
+#include "smc/reliable_channel.h"
+
 #include <algorithm>
 #include <map>
 
@@ -44,11 +46,12 @@ Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
     if (e < 0) return Status::InvalidArgument("element ids must be >= 0");
   }
   const size_t start_bytes = net->bytes_transferred();
+  std::unique_ptr<Channel> ch = MakeChannel(net);
 
   // Party 0 (A) picks the public group and her key.
   const BigInt p = BigInt::RandomPrime(prime_bits, net->rng(0));
   const BigInt key_a = RandomCommutativeKey(p, net->rng(0));
-  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "psi/group", {p}));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(0, 1, "psi/group", {p}));
 
   // A -> B: E_A(a_i), order preserved (A remembers which index is which).
   std::vector<BigInt> enc_a;
@@ -56,14 +59,14 @@ Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
   for (int64_t e : set_a) {
     enc_a.push_back(BigInt::ModExp(Encode(e, p), key_a, p));
   }
-  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "psi/enc_a", enc_a));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(0, 1, "psi/enc_a", enc_a));
 
   // Party 1 (B): key, double-encrypt A's list (order preserved), and send
   // his own singly-encrypted (shuffled) list.
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage group_msg, net->Receive(1));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage group_msg, ch->Receive(1));
   const BigInt& p_b = group_msg.payload[0];
   const BigInt key_b = RandomCommutativeKey(p_b, net->rng(1));
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage enc_a_msg, net->Receive(1));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage enc_a_msg, ch->Receive(1));
   std::vector<BigInt> double_a;
   double_a.reserve(enc_a_msg.payload.size());
   for (const BigInt& c : enc_a_msg.payload) {
@@ -75,13 +78,13 @@ Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
     enc_b.push_back(BigInt::ModExp(Encode(e, p_b), key_b, p_b));
   }
   net->rng(1)->Shuffle(&enc_b);  // hide B's element order
-  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "psi/double_a", double_a));
-  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "psi/enc_b", enc_b));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(1, 0, "psi/double_a", double_a));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(1, 0, "psi/enc_b", enc_b));
 
   // A: double-encrypt B's list with her key; E_B(E_A(x)) == E_A(E_B(x)), so
   // equal values identify common elements.
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage double_a_msg, net->Receive(0));
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage enc_b_msg, net->Receive(0));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage double_a_msg, ch->Receive(0));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage enc_b_msg, ch->Receive(0));
   std::map<std::string, size_t> double_a_index;  // hex -> index into set_a
   for (size_t i = 0; i < double_a_msg.payload.size(); ++i) {
     double_a_index[double_a_msg.payload[i].ToHex()] = i;
@@ -103,7 +106,7 @@ Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
   std::vector<BigInt> outcome;
   outcome.reserve(result.intersection.size());
   for (int64_t e : result.intersection) outcome.push_back(BigInt(e));
-  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "psi/result", outcome));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(0, 1, "psi/result", outcome));
   result.bytes_transferred = net->bytes_transferred() - start_bytes;
   return result;
 }

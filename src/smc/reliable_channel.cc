@@ -1,0 +1,223 @@
+#include "smc/reliable_channel.h"
+
+namespace tripriv {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void MixByte(uint64_t* h, uint8_t b) {
+  *h ^= b;
+  *h *= kFnvPrime;
+}
+
+void MixU64(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) MixByte(h, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void MixString(uint64_t* h, const std::string& s) {
+  for (char c : s) MixByte(h, static_cast<uint8_t>(c));
+  MixByte(h, 0xFF);  // length delimiter
+}
+
+/// FNV-1a over route, tag, header, and payload: detects in-flight payload
+/// corruption (and header corruption, since the header is mixed in too).
+uint64_t WireChecksum(size_t from, size_t to, const std::string& tag,
+                      uint64_t session, uint64_t seq,
+                      const std::vector<BigInt>& payload) {
+  uint64_t h = kFnvOffset;
+  MixU64(&h, from);
+  MixU64(&h, to);
+  MixString(&h, tag);
+  MixU64(&h, session);
+  MixU64(&h, seq);
+  for (const BigInt& v : payload) {
+    MixByte(&h, v.IsNegative() ? 1 : 0);
+    MixString(&h, v.ToHex());
+  }
+  return h;
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(PartyNetwork* net, RetryPolicy policy)
+    : Channel(net), policy_(policy), session_(net->NextChannelSession()) {}
+
+Status ReliableChannel::Send(size_t from, size_t to, std::string tag,
+                             std::vector<BigInt> payload) {
+  if (from >= net_->num_parties() || to >= net_->num_parties()) {
+    return Status::OutOfRange("invalid party index");
+  }
+  RouteState& route = routes_[{from, to}];
+  const uint64_t seq = route.next_send_seq++;
+
+  std::vector<BigInt> wire;
+  wire.reserve(payload.size() + kReliableHeaderElems);
+  wire.push_back(BigInt::FromU64(session_));
+  wire.push_back(BigInt::FromU64(seq));
+  wire.push_back(
+      BigInt::FromU64(WireChecksum(from, to, tag, session_, seq, payload)));
+  for (BigInt& v : payload) wire.push_back(std::move(v));
+
+  PendingSend pending{from, to, tag, wire, net_->now(), 1};
+  TRIPRIV_RETURN_IF_ERROR(net_->Send(from, to, std::move(tag), std::move(wire)));
+  unacked_.emplace(std::make_pair(Route{from, to}, seq), std::move(pending));
+  return Status::OK();
+}
+
+bool ReliableChannel::TakeBuffered(size_t to, PartyMessage* out) {
+  for (auto& [route, state] : routes_) {
+    if (route.second != to) continue;
+    auto it = state.reorder_buffer.find(state.next_recv_seq);
+    if (it == state.reorder_buffer.end()) continue;
+    *out = std::move(it->second);
+    state.reorder_buffer.erase(it);
+    ++state.next_recv_seq;
+    return true;
+  }
+  return false;
+}
+
+Status ReliableChannel::SendAck(size_t receiver, size_t sender, uint64_t seq) {
+  std::vector<BigInt> payload;
+  payload.reserve(kReliableHeaderElems);
+  payload.push_back(BigInt::FromU64(session_));
+  payload.push_back(BigInt::FromU64(seq));
+  payload.push_back(BigInt::FromU64(
+      WireChecksum(receiver, sender, kAckTag, session_, seq, {})));
+  ++acks_sent_;
+  return net_->Send(receiver, sender, kAckTag, std::move(payload));
+}
+
+void ReliableChannel::ProcessAck(const PartyMessage& raw) {
+  if (raw.payload.size() != kReliableHeaderElems) {
+    ++checksum_failures_;
+    return;
+  }
+  const uint64_t session = raw.payload[0].ToU64();
+  const uint64_t seq = raw.payload[1].ToU64();
+  if (raw.payload[2] !=
+      BigInt::FromU64(
+          WireChecksum(raw.from, raw.to, kAckTag, session, seq, {}))) {
+    ++checksum_failures_;  // corrupted ack; the data retransmit will re-ack
+    return;
+  }
+  if (session != session_) {
+    ++stale_dropped_;  // ack for a message of an earlier protocol run
+    return;
+  }
+  // raw.from is the data receiver, raw.to the original data sender.
+  unacked_.erase(std::make_pair(Route{raw.to, raw.from}, seq));
+}
+
+Status ReliableChannel::HandleRaw(PartyMessage raw, size_t to,
+                                  PartyMessage* out, bool* delivered) {
+  if (IsReliableControlMessage(raw)) {
+    ProcessAck(raw);
+    return Status::OK();
+  }
+  if (raw.payload.size() < kReliableHeaderElems) {
+    ++checksum_failures_;  // malformed; drop and await retransmission
+    return Status::OK();
+  }
+  const uint64_t session = raw.payload[0].ToU64();
+  const uint64_t seq = raw.payload[1].ToU64();
+  std::vector<BigInt> data(raw.payload.begin() + kReliableHeaderElems,
+                           raw.payload.end());
+  if (raw.payload[2] !=
+      BigInt::FromU64(
+          WireChecksum(raw.from, to, raw.tag, session, seq, data))) {
+    ++checksum_failures_;  // corrupted in flight; drop, sender retransmits
+    return Status::OK();
+  }
+  if (session != session_) {
+    ++stale_dropped_;  // left over from an earlier protocol run
+    return Status::OK();
+  }
+  // Ack every intact arrival, duplicates included: a duplicate means our
+  // previous ack was lost.
+  TRIPRIV_RETURN_IF_ERROR(SendAck(to, raw.from, seq));
+
+  RouteState& route = routes_[{raw.from, to}];
+  if (seq < route.next_recv_seq) {
+    ++duplicates_suppressed_;
+    return Status::OK();
+  }
+  PartyMessage logical{raw.from, to, std::move(raw.tag), std::move(data)};
+  if (seq > route.next_recv_seq) {
+    // Arrived ahead of order: park until predecessors land. emplace keeps
+    // the first copy if a duplicate of a parked message shows up.
+    if (!route.reorder_buffer.emplace(seq, std::move(logical)).second) {
+      ++duplicates_suppressed_;
+    }
+    return Status::OK();
+  }
+  ++route.next_recv_seq;
+  *out = std::move(logical);
+  *delivered = true;
+  return Status::OK();
+}
+
+Status ReliableChannel::RetransmitPendingTo(size_t to) {
+  for (auto& [key, pending] : unacked_) {
+    if (pending.to != to) continue;
+    if (pending.attempts >= policy_.max_attempts) continue;
+    const uint64_t backoff = policy_.BackoffTicks(pending.attempts - 1);
+    if (net_->now() - pending.last_send_tick < backoff) continue;
+    TRIPRIV_RETURN_IF_ERROR(
+        net_->Send(pending.from, pending.to, pending.tag,
+                   pending.wire_payload));
+    pending.last_send_tick = net_->now();
+    ++pending.attempts;
+    ++retransmissions_;
+  }
+  return Status::OK();
+}
+
+Result<PartyMessage> ReliableChannel::Receive(size_t to) {
+  if (to >= net_->num_parties()) {
+    return Status::OutOfRange("invalid party index");
+  }
+  const uint64_t deadline = net_->now() + policy_.deadline_ticks;
+  size_t poll = 0;
+  for (;;) {
+    PartyMessage buffered;
+    if (TakeBuffered(to, &buffered)) return buffered;
+
+    auto raw = net_->Receive(to);
+    if (raw.ok()) {
+      PartyMessage out;
+      bool delivered = false;
+      TRIPRIV_RETURN_IF_ERROR(
+          HandleRaw(std::move(*raw), to, &out, &delivered));
+      if (delivered) return out;
+      continue;  // ack / duplicate / stale / corrupt / parked out-of-order
+    }
+    if (!IsTransient(raw.status())) return raw.status();
+    if (net_->crashed(to)) return raw.status();  // the receiver itself died
+
+    if (net_->now() >= deadline) {
+      if (net_->any_crashed()) {
+        return Status::Unavailable(
+            "peer crashed: no message for party " + std::to_string(to) +
+            " within " + std::to_string(policy_.deadline_ticks) + " ticks");
+      }
+      return Status::DeadlineExceeded(
+          "no message for party " + std::to_string(to) + " within " +
+          std::to_string(policy_.deadline_ticks) + " ticks");
+    }
+    net_->AdvanceTicks(policy_.BackoffTicks(poll));
+    ++poll;
+    TRIPRIV_RETURN_IF_ERROR(RetransmitPendingTo(to));
+  }
+}
+
+std::unique_ptr<Channel> MakeChannel(PartyNetwork* net) {
+  TRIPRIV_CHECK(net != nullptr);
+  if (!net->fault_injection_enabled()) {
+    return std::make_unique<RawChannel>(net);
+  }
+  return std::make_unique<ReliableChannel>(net, net->retry_policy());
+}
+
+}  // namespace tripriv

@@ -1,0 +1,157 @@
+// Reliable messaging over the (possibly faulty) PartyNetwork fabric.
+//
+// The SMC protocols are written against the small Channel interface. On a
+// reliable fabric they use the zero-overhead RawChannel (byte-identical to
+// calling the network directly). Once a FaultPlan is installed,
+// MakeChannel returns a ReliableChannel instead, which layers a classic
+// ARQ discipline over the lossy wire:
+//
+//   * every data message carries a header [session, seq, checksum] in front
+//     of its payload; the checksum (FNV-1a over route, tag, header, and
+//     payload) detects in-flight corruption;
+//   * the receiver acks each delivery ("rc/ack"); unacked messages are
+//     retransmitted with exponential backoff, bounded by
+//     RetryPolicy::max_attempts;
+//   * per-(from, to) sequence numbers restore FIFO order under reordering
+//     and suppress duplicates (including retransmissions whose ack was
+//     lost);
+//   * the session id (unique per channel, from the network) isolates a
+//     protocol run from stale messages a previous faulty run left behind;
+//   * a blocking Receive gives up after RetryPolicy::deadline_ticks of
+//     simulated time and returns kDeadlineExceeded — or kUnavailable when a
+//     party is known to have crashed — so protocols degrade into typed
+//     transient errors instead of hanging.
+//
+// Retransmissions resend byte-identical wire payloads, so the reliability
+// layer can never leak more than the original transcript — a property the
+// chaos tests assert on the recorded transcript.
+
+#ifndef TRIPRIV_SMC_RELIABLE_CHANNEL_H_
+#define TRIPRIV_SMC_RELIABLE_CHANNEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "smc/party.h"
+#include "util/retry.h"
+
+namespace tripriv {
+
+/// Tag of reliable-channel acknowledgements.
+inline constexpr const char* kAckTag = "rc/ack";
+/// Header elements ([session, seq, checksum]) prepended to reliable
+/// data payloads on the wire.
+inline constexpr size_t kReliableHeaderElems = 3;
+
+/// True for reliability-control messages (acks) that carry protocol
+/// metadata, not data — transcript scans skip them.
+inline bool IsReliableControlMessage(const PartyMessage& msg) {
+  return msg.tag == kAckTag;
+}
+
+/// Messaging interface the SMC protocols are written against.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends a logical message; reliability semantics depend on the subclass.
+  virtual Status Send(size_t from, size_t to, std::string tag,
+                      std::vector<BigInt> payload) = 0;
+
+  /// Blocking receive of the next logical message for `to`. RawChannel
+  /// fails fast with kUnavailable on an empty mailbox; ReliableChannel
+  /// retries until its deadline budget is exhausted.
+  virtual Result<PartyMessage> Receive(size_t to) = 0;
+
+  PartyNetwork* net() const { return net_; }
+
+ protected:
+  explicit Channel(PartyNetwork* net) : net_(net) {}
+  PartyNetwork* net_;
+};
+
+/// Pass-through channel: exactly the historical reliable-fabric behavior.
+class RawChannel final : public Channel {
+ public:
+  explicit RawChannel(PartyNetwork* net) : Channel(net) {}
+
+  Status Send(size_t from, size_t to, std::string tag,
+              std::vector<BigInt> payload) override {
+    return net_->Send(from, to, std::move(tag), std::move(payload));
+  }
+  Result<PartyMessage> Receive(size_t to) override {
+    return net_->Receive(to);
+  }
+};
+
+/// ARQ reliability layer (see file comment for the wire discipline).
+class ReliableChannel final : public Channel {
+ public:
+  ReliableChannel(PartyNetwork* net, RetryPolicy policy);
+
+  Status Send(size_t from, size_t to, std::string tag,
+              std::vector<BigInt> payload) override;
+  Result<PartyMessage> Receive(size_t to) override;
+
+  // Reliability statistics (for tests and the overhead benchmarks).
+  size_t retransmissions() const { return retransmissions_; }
+  size_t duplicates_suppressed() const { return duplicates_suppressed_; }
+  size_t checksum_failures() const { return checksum_failures_; }
+  size_t acks_sent() const { return acks_sent_; }
+  size_t stale_dropped() const { return stale_dropped_; }
+
+ private:
+  using Route = std::pair<size_t, size_t>;  // (from, to)
+
+  /// Sender-side copy of an unacknowledged message.
+  struct PendingSend {
+    size_t from = 0;
+    size_t to = 0;
+    std::string tag;
+    std::vector<BigInt> wire_payload;  // header included
+    uint64_t last_send_tick = 0;
+    size_t attempts = 1;  // transmissions so far
+  };
+
+  /// Per-route sequencing state.
+  struct RouteState {
+    uint64_t next_send_seq = 0;
+    uint64_t next_recv_seq = 0;
+    /// Out-of-order arrivals parked until their predecessors land.
+    std::map<uint64_t, PartyMessage> reorder_buffer;
+  };
+
+  /// Delivers the next in-order parked message for `to`, if any.
+  bool TakeBuffered(size_t to, PartyMessage* out);
+  /// Handles one raw fabric message; sets *out/\*delivered when it was an
+  /// in-order data message for the caller.
+  Status HandleRaw(PartyMessage raw, size_t to, PartyMessage* out,
+                   bool* delivered);
+  void ProcessAck(const PartyMessage& raw);
+  Status SendAck(size_t receiver, size_t sender, uint64_t seq);
+  /// Fires expired retransmission timers for messages addressed to `to`.
+  Status RetransmitPendingTo(size_t to);
+
+  RetryPolicy policy_;
+  uint64_t session_ = 0;
+  std::map<Route, RouteState> routes_;
+  std::map<std::pair<Route, uint64_t>, PendingSend> unacked_;
+
+  size_t retransmissions_ = 0;
+  size_t duplicates_suppressed_ = 0;
+  size_t checksum_failures_ = 0;
+  size_t acks_sent_ = 0;
+  size_t stale_dropped_ = 0;
+};
+
+/// Channel appropriate for `net`: RawChannel while the fabric is reliable,
+/// ReliableChannel (with the network's retry policy) once a FaultPlan has
+/// been installed.
+std::unique_ptr<Channel> MakeChannel(PartyNetwork* net);
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_SMC_RELIABLE_CHANNEL_H_

@@ -1,5 +1,7 @@
 #include "smc/scalar_product.h"
 
+#include "smc/reliable_channel.h"
+
 namespace tripriv {
 
 Result<BigInt> SecureScalarProduct(PartyNetwork* net,
@@ -20,6 +22,8 @@ Result<BigInt> SecureScalarProduct(PartyNetwork* net,
     if (v.IsNegative()) return Status::InvalidArgument("entries must be >= 0");
   }
 
+  std::unique_ptr<Channel> ch = MakeChannel(net);
+
   // Alice (party 0): keygen + encrypt her vector.
   TRIPRIV_ASSIGN_OR_RETURN(PaillierKeyPair keys,
                            PaillierGenerateKeys(modulus_bits, net->rng(0)));
@@ -32,26 +36,26 @@ Result<BigInt> SecureScalarProduct(PartyNetwork* net,
     encrypted.push_back(std::move(c));
   }
   // Public key rides along (n is public).
-  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "scalar_product/pubkey", {keys.pub.n}));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(0, 1, "scalar_product/pubkey", {keys.pub.n}));
   TRIPRIV_RETURN_IF_ERROR(
-      net->Send(0, 1, "scalar_product/ciphertexts", std::move(encrypted)));
+      ch->Send(0, 1, "scalar_product/ciphertexts", std::move(encrypted)));
 
   // Bob (party 1): homomorphic fold.
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage key_msg, net->Receive(1));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage key_msg, ch->Receive(1));
   PaillierPublicKey pub;
   pub.n = key_msg.payload[0];
   pub.n_squared = pub.n * pub.n;
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage data_msg, net->Receive(1));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage data_msg, ch->Receive(1));
   TRIPRIV_ASSIGN_OR_RETURN(BigInt acc, PaillierEncryptZero(pub, net->rng(1)));
   for (size_t i = 0; i < b.size(); ++i) {
     if (b[i].IsZero()) continue;
     acc = PaillierAdd(pub, acc,
                       PaillierMulPlain(pub, data_msg.payload[i], b[i]));
   }
-  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "scalar_product/result", {acc}));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(1, 0, "scalar_product/result", {acc}));
 
   // Alice decrypts.
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage result_msg, net->Receive(0));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage result_msg, ch->Receive(0));
   return PaillierDecrypt(keys.pub, keys.priv, result_msg.payload[0]);
 }
 

@@ -1,5 +1,7 @@
 #include "smc/secure_sum.h"
 
+#include "smc/reliable_channel.h"
+
 namespace tripriv {
 
 Result<std::vector<BigInt>> SecureSumVector(
@@ -17,6 +19,8 @@ Result<std::vector<BigInt>> SecureSumVector(
     return Status::InvalidArgument("modulus must be positive");
   }
   const size_t width = inputs[0].size();
+  // Raw fabric by default; ARQ reliability once a FaultPlan is installed.
+  std::unique_ptr<Channel> ch = MakeChannel(net);
   for (const auto& in : inputs) {
     if (in.size() != width) {
       return Status::InvalidArgument("input vectors must have equal size");
@@ -35,21 +39,21 @@ Result<std::vector<BigInt>> SecureSumVector(
     masks[j] = BigInt::RandomBelow(modulus, net->rng(0));
     running[j] = BigInt::ModAdd(inputs[0][j], masks[j], modulus);
   }
-  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1 % parties, "secure_sum/forward", running));
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(0, 1 % parties, "secure_sum/forward", running));
 
   // Each subsequent party adds its input and forwards.
   for (size_t p = 1; p < parties; ++p) {
-    TRIPRIV_ASSIGN_OR_RETURN(PartyMessage msg, net->Receive(p));
+    TRIPRIV_ASSIGN_OR_RETURN(PartyMessage msg, ch->Receive(p));
     std::vector<BigInt> acc = std::move(msg.payload);
     for (size_t j = 0; j < width; ++j) {
       acc[j] = BigInt::ModAdd(acc[j], inputs[p][j], modulus);
     }
     TRIPRIV_RETURN_IF_ERROR(
-        net->Send(p, (p + 1) % parties, "secure_sum/forward", std::move(acc)));
+        ch->Send(p, (p + 1) % parties, "secure_sum/forward", std::move(acc)));
   }
 
   // Party 0 removes the mask and broadcasts the result.
-  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage final_msg, net->Receive(0));
+  TRIPRIV_ASSIGN_OR_RETURN(PartyMessage final_msg, ch->Receive(0));
   if (final_msg.payload.size() != width) {
     return Status::Internal("secure sum: ring message width mismatch");
   }
@@ -58,11 +62,11 @@ Result<std::vector<BigInt>> SecureSumVector(
     result[j] = BigInt::ModSub(result[j], masks[j], modulus);
   }
   for (size_t p = 1; p < parties; ++p) {
-    TRIPRIV_RETURN_IF_ERROR(net->Send(0, p, "secure_sum/result", result));
+    TRIPRIV_RETURN_IF_ERROR(ch->Send(0, p, "secure_sum/result", result));
     // Each party consumes its copy so mailboxes are drained between
     // protocol rounds (a stale broadcast must never alias the next round's
     // ring message).
-    TRIPRIV_ASSIGN_OR_RETURN(PartyMessage copy, net->Receive(p));
+    TRIPRIV_ASSIGN_OR_RETURN(PartyMessage copy, ch->Receive(p));
     if (copy.tag != "secure_sum/result") {
       return Status::Internal("secure sum: unexpected message " + copy.tag);
     }

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "smc/reliable_channel.h"
+
 namespace tripriv {
 
 Result<std::vector<ShamirShare>> ShamirShareSecret(const BigInt& secret,
@@ -85,6 +87,49 @@ Result<std::vector<ShamirShare>> ShamirAddShares(
     out.push_back({a[i].x, BigInt::ModAdd(a[i].y, b[i].y, prime)});
   }
   return out;
+}
+
+Result<BigInt> ShamirReconstructOverNetwork(
+    PartyNetwork* net, const std::vector<ShamirShare>& shares, size_t t,
+    const BigInt& prime) {
+  TRIPRIV_CHECK(net != nullptr);
+  const size_t n = net->num_parties();
+  if (shares.size() != n) {
+    return Status::InvalidArgument("one share per network party required");
+  }
+  if (t < 1 || t > n) return Status::InvalidArgument("need 1 <= t <= n");
+  std::unique_ptr<Channel> ch = MakeChannel(net);
+
+  // Parties 1..n-1 transmit their shares to the collector; a crashed party's
+  // send is silently swallowed by the fabric.
+  for (size_t p = 1; p < n; ++p) {
+    TRIPRIV_RETURN_IF_ERROR(
+        ch->Send(p, 0, "shamir/share",
+                 {BigInt::FromU64(shares[p].x), shares[p].y}));
+  }
+
+  // The collector keeps its own share and gathers whatever else survives;
+  // a transient failure on one expected share must not abort the others.
+  std::vector<ShamirShare> collected{shares[0]};
+  for (size_t expected = 1; expected < n; ++expected) {
+    auto msg = ch->Receive(0);
+    if (!msg.ok()) {
+      if (IsTransient(msg.status())) continue;  // lost sender; keep going
+      return msg.status();
+    }
+    if (msg->tag != "shamir/share" || msg->payload.size() != 2) {
+      return Status::Internal("shamir: unexpected message " + msg->tag);
+    }
+    collected.push_back({msg->payload[0].ToU64(), msg->payload[1]});
+  }
+  if (collected.size() < t) {
+    return Status::Unavailable(
+        "shamir: only " + std::to_string(collected.size()) + " of " +
+        std::to_string(t) + " required shares survived");
+  }
+  // Any t shares reconstruct; use the first t collected.
+  collected.resize(t);
+  return ShamirReconstruct(collected, prime);
 }
 
 }  // namespace tripriv

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "smc/party.h"
 #include "util/bigint.h"
 
 namespace tripriv {
@@ -37,6 +38,18 @@ Result<BigInt> ShamirReconstruct(const std::vector<ShamirShare>& shares,
 /// reconstructing the result yields (secret_a + secret_b) mod prime.
 Result<std::vector<ShamirShare>> ShamirAddShares(
     const std::vector<ShamirShare>& a, const std::vector<ShamirShare>& b,
+    const BigInt& prime);
+
+/// Threshold reconstruction over a (possibly faulty) party network: party i
+/// holds `shares[i]`; parties 1..n-1 send their shares to the collector
+/// (party 0), which reconstructs from whatever arrives. This is the whole
+/// point of (t, n) sharing: the secret survives `n - t` missing parties, so
+/// reconstruction succeeds with ANY t surviving shares and fails with a
+/// typed kUnavailable only when fewer than t shares make it through the
+/// installed FaultPlan (crashes, drops past retry exhaustion).
+/// Requires shares.size() == net->num_parties() >= t >= 1.
+Result<BigInt> ShamirReconstructOverNetwork(
+    PartyNetwork* net, const std::vector<ShamirShare>& shares, size_t t,
     const BigInt& prime);
 
 }  // namespace tripriv

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "smc/reliable_channel.h"
 #include "smc/scalar_product.h"
 #include "stats/descriptive.h"
 
@@ -22,6 +23,7 @@ Result<SecureMomentsResult> SecureJointMoments(PartyNetwork* net,
   }
   if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
   const size_t start_bytes = net->bytes_transferred();
+  std::unique_ptr<Channel> ch = MakeChannel(net);
   const double n = static_cast<double>(x.size());
 
   // Each party locally shifts its column non-negative and quantizes.
@@ -62,12 +64,12 @@ Result<SecureMomentsResult> SecureJointMoments(PartyNetwork* net,
   };
   const auto [sum_x, sum_sq_x] = moments(qx);
   const auto [sum_y, sum_sq_y] = moments(qy);
-  TRIPRIV_RETURN_IF_ERROR(net->Send(0, 1, "joint_moments/aggregates",
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(0, 1, "joint_moments/aggregates",
                                     {BigInt(static_cast<int64_t>(sum_x))}));
-  TRIPRIV_RETURN_IF_ERROR(net->Send(1, 0, "joint_moments/aggregates",
+  TRIPRIV_RETURN_IF_ERROR(ch->Send(1, 0, "joint_moments/aggregates",
                                     {BigInt(static_cast<int64_t>(sum_y))}));
-  TRIPRIV_RETURN_IF_ERROR(net->Receive(1).status());
-  TRIPRIV_RETURN_IF_ERROR(net->Receive(0).status());
+  TRIPRIV_RETURN_IF_ERROR(ch->Receive(1).status());
+  TRIPRIV_RETURN_IF_ERROR(ch->Receive(0).status());
 
   const double s2 = static_cast<double>(scale) * static_cast<double>(scale);
   SecureMomentsResult result;

@@ -1,0 +1,20 @@
+#include "util/retry.h"
+
+#include <cmath>
+
+namespace tripriv {
+
+uint64_t RetryPolicy::BackoffTicks(size_t attempt) const {
+  const double base = static_cast<double>(initial_backoff_ticks < 1
+                                              ? 1
+                                              : initial_backoff_ticks);
+  const double mult = backoff_multiplier < 1.0 ? 1.0 : backoff_multiplier;
+  const double raw = base * std::pow(mult, static_cast<double>(attempt));
+  const double cap = static_cast<double>(max_backoff_ticks < 1
+                                             ? 1
+                                             : max_backoff_ticks);
+  const double clamped = raw < 1.0 ? 1.0 : (raw > cap ? cap : raw);
+  return static_cast<uint64_t>(clamped);
+}
+
+}  // namespace tripriv

@@ -1,0 +1,47 @@
+// Retry policies for operations over unreliable substrates.
+//
+// The SMC protocols run over a simulated lossy network (smc/party.h); a
+// RetryPolicy bounds how hard a reliability layer fights the faults before
+// surfacing a typed transient error. Time is measured in *simulated ticks*
+// (PartyNetwork's clock), never wall clock, so chaos experiments stay
+// bit-reproducible: a given seed always retries, backs off, and gives up at
+// exactly the same points.
+
+#ifndef TRIPRIV_UTIL_RETRY_H_
+#define TRIPRIV_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Bounded-attempt exponential backoff with a total deadline budget.
+struct RetryPolicy {
+  /// Transmissions allowed per message (first send + retransmissions).
+  size_t max_attempts = 6;
+  /// Backoff before the first retransmission, in simulated ticks.
+  uint64_t initial_backoff_ticks = 1;
+  /// Multiplier applied per additional attempt (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling, in simulated ticks.
+  uint64_t max_backoff_ticks = 64;
+  /// Total simulated-tick budget of one blocking receive; when the budget
+  /// is exhausted the operation fails with kDeadlineExceeded (or
+  /// kUnavailable when a peer is known to have crashed).
+  uint64_t deadline_ticks = 512;
+
+  /// Backoff before retransmission number `attempt` (0-based):
+  /// min(initial * multiplier^attempt, max), and at least 1 tick.
+  uint64_t BackoffTicks(size_t attempt) const;
+};
+
+/// True when `status` is worth retrying under a RetryPolicy.
+inline bool IsTransient(const Status& status) {
+  return IsTransientCode(status.code());
+}
+
+}  // namespace tripriv
+
+#endif  // TRIPRIV_UTIL_RETRY_H_

@@ -22,8 +22,17 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kPermissionDenied:
       return "PermissionDenied";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
 }
 
 std::string Status::ToString() const {

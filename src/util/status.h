@@ -27,7 +27,13 @@ enum class StatusCode {
   kUnimplemented,     ///< declared but not supported combination
   kInternal,          ///< invariant violation detected at runtime
   kPermissionDenied,  ///< a privacy policy or protection mechanism refused
+  kUnavailable,       ///< transient: resource not ready, retry may succeed
+  kDeadlineExceeded,  ///< transient: operation ran out of time budget
 };
+
+/// True for the transient codes (kUnavailable, kDeadlineExceeded): the
+/// operation may succeed if retried; all other codes are permanent.
+bool IsTransientCode(StatusCode code);
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -70,8 +76,16 @@ class Status {
   static Status PermissionDenied(std::string msg) {
     return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True when the failure is transient (see IsTransientCode).
+  bool transient() const { return IsTransientCode(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

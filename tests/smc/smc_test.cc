@@ -28,7 +28,10 @@ TEST(PartyNetworkTest, FifoDeliveryAndTranscript) {
 
 TEST(PartyNetworkTest, EmptyMailboxAndBadIndices) {
   PartyNetwork net(2, 1);
-  EXPECT_EQ(net.Receive(0).status().code(), StatusCode::kFailedPrecondition);
+  // An empty mailbox is a transient condition (the peer may simply not have
+  // sent yet), not a state error: kUnavailable, worth retrying.
+  EXPECT_EQ(net.Receive(0).status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(net.Receive(0).status().transient());
   EXPECT_EQ(net.Send(0, 5, "x", {}).code(), StatusCode::kOutOfRange);
   EXPECT_EQ(net.Receive(9).status().code(), StatusCode::kOutOfRange);
 }

@@ -1,0 +1,65 @@
+// Tests for RetryPolicy backoff arithmetic and transient classification.
+
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace tripriv {
+namespace {
+
+TEST(RetryPolicyTest, ExponentialBackoffWithCeiling) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 2;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ticks = 16;
+  EXPECT_EQ(policy.BackoffTicks(0), 2u);
+  EXPECT_EQ(policy.BackoffTicks(1), 4u);
+  EXPECT_EQ(policy.BackoffTicks(2), 8u);
+  EXPECT_EQ(policy.BackoffTicks(3), 16u);
+  EXPECT_EQ(policy.BackoffTicks(4), 16u);   // clamped
+  EXPECT_EQ(policy.BackoffTicks(60), 16u);  // no overflow at large attempts
+}
+
+TEST(RetryPolicyTest, DegenerateParametersStaySane) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 0;  // silently raised to 1
+  policy.backoff_multiplier = 0.5;   // silently raised to 1 (never shrinks)
+  policy.max_backoff_ticks = 0;      // silently raised to 1
+  EXPECT_EQ(policy.BackoffTicks(0), 1u);
+  EXPECT_EQ(policy.BackoffTicks(7), 1u);
+}
+
+TEST(RetryPolicyTest, ConstantBackoffWhenMultiplierIsOne) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 3;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_ticks = 100;
+  for (size_t attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(policy.BackoffTicks(attempt), 3u);
+  }
+}
+
+TEST(RetryPolicyTest, TransientClassification) {
+  EXPECT_TRUE(IsTransient(Status::Unavailable("mailbox empty")));
+  EXPECT_TRUE(IsTransient(Status::DeadlineExceeded("budget spent")));
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsTransient(Status::Internal("bug")));
+  EXPECT_FALSE(IsTransient(Status::FailedPrecondition("state")));
+}
+
+TEST(RetryPolicyTest, DefaultsAreUsableForChaosSweeps) {
+  // The defaults must tolerate a 20% drop rate: enough attempts that loss
+  // of all transmissions is vanishingly rare, and a deadline larger than
+  // the worst-case cumulative backoff of one message.
+  RetryPolicy policy;
+  EXPECT_GE(policy.max_attempts, 4u);
+  uint64_t worst_case = 0;
+  for (size_t a = 0; a + 1 < policy.max_attempts; ++a) {
+    worst_case += policy.BackoffTicks(a);
+  }
+  EXPECT_GT(policy.deadline_ticks, worst_case);
+}
+
+}  // namespace
+}  // namespace tripriv

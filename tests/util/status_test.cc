@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace tripriv {
 namespace {
 
@@ -18,6 +21,46 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(s.message(), "bad k");
   EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EveryCodeRoundTripsToUniqueNonNullString) {
+  // Regression guard: adding a StatusCode without extending
+  // StatusCodeToString would fall through to "Unknown" and collide.
+  const StatusCode all[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kAlreadyExists,
+      StatusCode::kUnimplemented,
+      StatusCode::kInternal,
+      StatusCode::kPermissionDenied,
+      StatusCode::kUnavailable,
+      StatusCode::kDeadlineExceeded,
+  };
+  std::set<std::string> names;
+  for (StatusCode code : all) {
+    const char* name = StatusCodeToString(code);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "Unknown") << "code " << static_cast<int>(code);
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate name '" << name << "'";
+  }
+  EXPECT_EQ(names.size(), std::size(all));
+}
+
+TEST(StatusTest, TransientCodes) {
+  EXPECT_TRUE(IsTransientCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsTransientCode(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kOk));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsTransientCode(StatusCode::kInternal));
+  EXPECT_TRUE(Status::Unavailable("mailbox empty").transient());
+  EXPECT_TRUE(Status::DeadlineExceeded("out of ticks").transient());
+  EXPECT_FALSE(Status::NotFound("x").transient());
+  EXPECT_FALSE(Status().transient());
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
