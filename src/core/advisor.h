@@ -11,8 +11,7 @@
 //   * hence the recipe for all three dimensions: k-anonymize (via
 //     microaggregation/recoding/suppression) and serve queries through PIR.
 
-#ifndef TRIPRIV_CORE_ADVISOR_H_
-#define TRIPRIV_CORE_ADVISOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -56,4 +55,3 @@ Result<Section6Deployment> ApplySection6Recipe(const DataTable& table, size_t k)
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_CORE_ADVISOR_H_

@@ -306,8 +306,9 @@ Result<double> PrivacyEvaluator::UserScoreWithoutPir(const DataTable& release,
     if (!parsed.ok()) continue;
     ++issued;
     // The answer itself is irrelevant to the measurement (and may fail on a
-    // generalized release); the log entry is what leaks.
-    (void)db.Query(*parsed);
+    // generalized release); the log entry is what leaks, and Query records
+    // it before any failure path.
+    IgnoreError(db.Query(*parsed).status());
     const StatQuery& logged = db.query_log().back();
     if (logged.where.ToString() == parsed->where.ToString()) ++reconstructed;
   }

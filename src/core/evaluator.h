@@ -26,8 +26,7 @@
 // family, not its parameters) is exposed — the paper's rationale for the
 // "medium" user grade of that row.
 
-#ifndef TRIPRIV_CORE_EVALUATOR_H_
-#define TRIPRIV_CORE_EVALUATOR_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -131,4 +130,3 @@ class PrivacyEvaluator {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_CORE_EVALUATOR_H_

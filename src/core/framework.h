@@ -8,8 +8,7 @@
 // classes per dimension. This header defines the dimensions, the
 // qualitative grades, and the mapping from empirical scores to grades.
 
-#ifndef TRIPRIV_CORE_FRAMEWORK_H_
-#define TRIPRIV_CORE_FRAMEWORK_H_
+#pragma once
 
 #include <array>
 #include <string>
@@ -41,4 +40,3 @@ bool GradesAgree(Grade claimed, Grade measured);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_CORE_FRAMEWORK_H_

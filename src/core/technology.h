@@ -1,7 +1,6 @@
 // The technology classes of Table 2 and their composition rules.
 
-#ifndef TRIPRIV_CORE_TECHNOLOGY_H_
-#define TRIPRIV_CORE_TECHNOLOGY_H_
+#pragma once
 
 #include <array>
 
@@ -56,4 +55,3 @@ Grade PaperClaimedGrade(TechnologyClass t, Dimension d);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_CORE_TECHNOLOGY_H_

@@ -19,8 +19,7 @@
 // 3 attack exploits and the Section 6 recipe must neutralize with
 // k-anonymous data.
 
-#ifndef TRIPRIV_PIR_AGGREGATE_H_
-#define TRIPRIV_PIR_AGGREGATE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -134,4 +133,3 @@ class PrivateAggregateClient {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PIR_AGGREGATE_H_

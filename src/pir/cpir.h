@@ -9,8 +9,7 @@
 // and the user decrypts the column of interest. Communication is
 // O(sqrt(n)) ciphertexts each way.
 
-#ifndef TRIPRIV_PIR_CPIR_H_
-#define TRIPRIV_PIR_CPIR_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -67,4 +66,3 @@ class CpirClient {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PIR_CPIR_H_

@@ -13,8 +13,7 @@
 // Every query also reports what the servers observed, which the evaluation
 // harness uses to verify the "no single server learns i" claim empirically.
 
-#ifndef TRIPRIV_PIR_IT_PIR_H_
-#define TRIPRIV_PIR_IT_PIR_H_
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -80,4 +79,3 @@ Result<std::vector<uint8_t>> FourServerCubePirRead(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PIR_IT_PIR_H_

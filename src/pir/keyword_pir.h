@@ -6,8 +6,7 @@
 // reads, then retrieves the value — no server learns which key was probed.
 // Built here on the 2-server XOR scheme.
 
-#ifndef TRIPRIV_PIR_KEYWORD_PIR_H_
-#define TRIPRIV_PIR_KEYWORD_PIR_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -46,4 +45,3 @@ class KeywordPirStore {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PIR_KEYWORD_PIR_H_

@@ -4,8 +4,7 @@
 // basket transactions, frequent itemsets above a support threshold, and
 // rules X => Y above a confidence threshold.
 
-#ifndef TRIPRIV_PPDM_ASSOCIATION_RULES_H_
-#define TRIPRIV_PPDM_ASSOCIATION_RULES_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -61,4 +60,3 @@ TransactionDb MakeTransactions(size_t n_transactions, int n_items,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PPDM_ASSOCIATION_RULES_H_

@@ -7,8 +7,7 @@
 // distribution per class -> rank-match values -> train on the reconstructed
 // table.
 
-#ifndef TRIPRIV_PPDM_DECISION_TREE_H_
-#define TRIPRIV_PPDM_DECISION_TREE_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -91,4 +90,3 @@ Result<DataTable> ReconstructTableByClass(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PPDM_DECISION_TREE_H_

@@ -7,8 +7,7 @@
 // random category; the true category distribution remains estimable without
 // bias.
 
-#ifndef TRIPRIV_PPDM_RANDOMIZED_RESPONSE_H_
-#define TRIPRIV_PPDM_RANDOMIZED_RESPONSE_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -41,4 +40,3 @@ Result<std::map<std::string, double>> ObservedDistribution(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PPDM_RANDOMIZED_RESPONSE_H_

@@ -11,8 +11,7 @@
 // rank-matching "reconstructed dataset" used to train classifiers on
 // perturbed data (the ByClass variant of [5]).
 
-#ifndef TRIPRIV_PPDM_RECONSTRUCTION_H_
-#define TRIPRIV_PPDM_RECONSTRUCTION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -68,4 +67,3 @@ Result<std::vector<double>> ReconstructValues(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PPDM_RECONSTRUCTION_H_

@@ -7,8 +7,7 @@
 // and reports the collateral damage (legitimate rules lost, spurious rules
 // created).
 
-#ifndef TRIPRIV_PPDM_RULE_HIDING_H_
-#define TRIPRIV_PPDM_RULE_HIDING_H_
+#pragma once
 
 #include "ppdm/association_rules.h"
 
@@ -36,4 +35,3 @@ Result<RuleHidingResult> HideAssociationRules(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PPDM_RULE_HIDING_H_

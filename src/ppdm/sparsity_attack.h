@@ -16,8 +16,7 @@
 // the paper's "non-trivial case of owner privacy without respondent
 // privacy".
 
-#ifndef TRIPRIV_PPDM_SPARSITY_ATTACK_H_
-#define TRIPRIV_PPDM_SPARSITY_ATTACK_H_
+#pragma once
 
 #include "table/data_table.h"
 
@@ -43,4 +42,3 @@ Result<SparsityAttackResult> SparsityAttack(const DataTable& original,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_PPDM_SPARSITY_ATTACK_H_

@@ -1,7 +1,6 @@
 // Exact (unprotected) evaluation of statistical queries.
 
-#ifndef TRIPRIV_QUERYDB_ENGINE_H_
-#define TRIPRIV_QUERYDB_ENGINE_H_
+#pragma once
 
 #include "querydb/query.h"
 #include "table/data_table.h"
@@ -22,4 +21,3 @@ Result<QueryAnswer> ExecuteQuery(const DataTable& table, const StatQuery& query)
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_QUERYDB_ENGINE_H_

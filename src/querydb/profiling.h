@@ -6,8 +6,7 @@
 // a log, it summarizes which attributes and value regions a user probed,
 // and scores how revealing the log is.
 
-#ifndef TRIPRIV_QUERYDB_PROFILING_H_
-#define TRIPRIV_QUERYDB_PROFILING_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -46,4 +45,3 @@ double QueryLogVisibility(const std::vector<StatQuery>& log);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_QUERYDB_PROFILING_H_

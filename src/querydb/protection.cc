@@ -105,7 +105,7 @@ Result<ProtectedAnswer> StatDatabase::Query(const StatQuery& query) {
         return Status::FailedPrecondition("epsilon must be > 0");
       }
       // Laplace mechanism: noise scale = sensitivity / epsilon.
-      double sensitivity;
+      double sensitivity = 1.0;
       switch (query.fn) {
         case AggregateFn::kCount:
           sensitivity = 1.0;

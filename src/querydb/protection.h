@@ -9,8 +9,7 @@
 // for interactive databases assumes the owner sees the queries, which is
 // exactly why this protection family provides NO user privacy (Table 2).
 
-#ifndef TRIPRIV_QUERYDB_PROTECTION_H_
-#define TRIPRIV_QUERYDB_PROTECTION_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -98,4 +97,3 @@ class StatDatabase {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_QUERYDB_PROTECTION_H_

@@ -51,8 +51,8 @@ enum class Tok {
 
 struct Token {
   Tok kind = Tok::kEnd;
-  std::string text;
-  Value literal;  // for numbers / strings
+  std::string text{};
+  Value literal{};  // for numbers / strings
 };
 
 class Lexer {

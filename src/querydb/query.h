@@ -7,8 +7,7 @@
 // This module parses exactly that shape: one aggregate over one table with
 // a boolean combination of attribute/literal comparisons.
 
-#ifndef TRIPRIV_QUERYDB_QUERY_H_
-#define TRIPRIV_QUERYDB_QUERY_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -44,4 +43,3 @@ Result<StatQuery> ParseQuery(std::string_view sql);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_QUERYDB_QUERY_H_

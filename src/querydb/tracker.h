@@ -14,8 +14,7 @@
 // confidential value — demonstrating respondent-privacy failure of pure
 // query restriction.
 
-#ifndef TRIPRIV_QUERYDB_TRACKER_H_
-#define TRIPRIV_QUERYDB_TRACKER_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -56,4 +55,3 @@ Result<TrackerAttackResult> TrackerAttack(StatDatabase* db,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_QUERYDB_TRACKER_H_

@@ -9,8 +9,7 @@
 //   * distinct l-diversity: l distinct values of one given confidential
 //     attribute per class.
 
-#ifndef TRIPRIV_SDC_ANONYMITY_H_
-#define TRIPRIV_SDC_ANONYMITY_H_
+#pragma once
 
 #include <vector>
 
@@ -55,4 +54,3 @@ double UniquenessFraction(const DataTable& table,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_ANONYMITY_H_

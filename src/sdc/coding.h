@@ -5,8 +5,7 @@
 // of a numeric attribute at chosen quantiles, collapsing outliers into the
 // threshold value.
 
-#ifndef TRIPRIV_SDC_CODING_H_
-#define TRIPRIV_SDC_CODING_H_
+#pragma once
 
 #include "table/data_table.h"
 
@@ -31,4 +30,3 @@ Result<TailCodingResult> TopBottomCode(const DataTable& table, size_t col,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_CODING_H_

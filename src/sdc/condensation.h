@@ -9,8 +9,7 @@
 // property [1] relies on for downstream analyses — while no original record
 // is released.
 
-#ifndef TRIPRIV_SDC_CONDENSATION_H_
-#define TRIPRIV_SDC_CONDENSATION_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -40,4 +39,3 @@ Result<CondensationResult> Condense(const DataTable& table, size_t k,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_CONDENSATION_H_

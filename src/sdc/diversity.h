@@ -13,8 +13,7 @@
 //     the global distribution;
 //   * the homogeneity attack that motivates all of them.
 
-#ifndef TRIPRIV_SDC_DIVERSITY_H_
-#define TRIPRIV_SDC_DIVERSITY_H_
+#pragma once
 
 #include <vector>
 
@@ -60,4 +59,3 @@ double HomogeneityAttackRate(const DataTable& table,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_DIVERSITY_H_

@@ -4,8 +4,7 @@
 // combination of quasi-identifier values — the unit over which k-anonymity,
 // p-sensitivity, and l-diversity are defined (Samarati & Sweeney).
 
-#ifndef TRIPRIV_SDC_EQUIVALENCE_H_
-#define TRIPRIV_SDC_EQUIVALENCE_H_
+#pragma once
 
 #include <vector>
 
@@ -33,4 +32,3 @@ EquivalenceClasses GroupByQuasiIdentifiers(const DataTable& table);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_EQUIVALENCE_H_

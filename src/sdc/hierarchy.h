@@ -8,8 +8,7 @@
 //   * CategoricalTreeHierarchy — a value taxonomy (leaf -> ancestors),
 //     e.g. flu -> respiratory -> any-illness.
 
-#ifndef TRIPRIV_SDC_HIERARCHY_H_
-#define TRIPRIV_SDC_HIERARCHY_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -93,4 +92,3 @@ class SuppressionHierarchy : public GeneralizationHierarchy {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_HIERARCHY_H_

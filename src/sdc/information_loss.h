@@ -11,8 +11,7 @@
 //     condensation preserves by construction);
 //   * relative deviation of the Pearson correlation matrix.
 
-#ifndef TRIPRIV_SDC_INFORMATION_LOSS_H_
-#define TRIPRIV_SDC_INFORMATION_LOSS_H_
+#pragma once
 
 #include <vector>
 
@@ -60,4 +59,3 @@ Result<double> NormalizedAverageClassSize(const DataTable& table,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_INFORMATION_LOSS_H_

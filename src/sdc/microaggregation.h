@@ -11,8 +11,7 @@
 // Groups have sizes in [k, 2k-1]; every record's microaggregated attributes
 // are replaced by its group centroid.
 
-#ifndef TRIPRIV_SDC_MICROAGGREGATION_H_
-#define TRIPRIV_SDC_MICROAGGREGATION_H_
+#pragma once
 
 #include <vector>
 
@@ -57,4 +56,3 @@ Result<MicroaggregationResult> OptimalUnivariateMicroaggregate(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_MICROAGGREGATION_H_

@@ -6,8 +6,7 @@
 // widest normalized range, as long as both halves keep at least k records;
 // then recode each leaf partition by its QI centroid.
 
-#ifndef TRIPRIV_SDC_MONDRIAN_H_
-#define TRIPRIV_SDC_MONDRIAN_H_
+#pragma once
 
 #include <vector>
 
@@ -30,4 +29,3 @@ Result<MondrianResult> MondrianAnonymize(const DataTable& table, size_t k);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_MONDRIAN_H_

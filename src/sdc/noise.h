@@ -9,8 +9,7 @@
 //     structure of the data up to a known scale factor, so analyses on
 //     second moments remain valid (classic Kim-style noise).
 
-#ifndef TRIPRIV_SDC_NOISE_H_
-#define TRIPRIV_SDC_NOISE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -49,4 +48,3 @@ Result<DataTable> AddNoiseWithVarianceRestoration(const DataTable& table,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_NOISE_H_

@@ -7,8 +7,7 @@
 // owner (or any user given P) can recover unbiased estimates of the true
 // distribution by solving the linear system.
 
-#ifndef TRIPRIV_SDC_PRAM_H_
-#define TRIPRIV_SDC_PRAM_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -45,4 +44,3 @@ Result<std::map<std::string, double>> PramEstimateTrueDistribution(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_PRAM_H_

@@ -5,8 +5,7 @@
 // distributions are exactly preserved (the multiset of values is
 // unchanged); record-level linkage is broken in proportion to p.
 
-#ifndef TRIPRIV_SDC_RANK_SWAP_H_
-#define TRIPRIV_SDC_RANK_SWAP_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -22,4 +21,3 @@ Result<DataTable> RankSwap(const DataTable& table, double p,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_RANK_SWAP_H_

@@ -6,8 +6,7 @@
 // when fewer than `max_suppression_fraction * n` records remain in
 // undersized classes, suppress (drop) them instead.
 
-#ifndef TRIPRIV_SDC_RECODING_H_
-#define TRIPRIV_SDC_RECODING_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -61,4 +60,3 @@ Result<RecodingResult> SamaratiAnonymize(const DataTable& table,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_RECODING_H_

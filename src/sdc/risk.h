@@ -13,8 +13,7 @@
 //   * interval disclosure — even without exact linkage, a masked value that
 //     stays within a narrow interval of the original leaks it.
 
-#ifndef TRIPRIV_SDC_RISK_H_
-#define TRIPRIV_SDC_RISK_H_
+#pragma once
 
 #include <vector>
 
@@ -65,4 +64,3 @@ Result<double> IntervalDisclosureRate(const DataTable& original,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SDC_RISK_H_

@@ -12,8 +12,7 @@
 // names/types, categorical domains, numeric bin edges, and the aggregated
 // counts themselves.
 
-#ifndef TRIPRIV_SMC_DISTRIBUTED_ID3_H_
-#define TRIPRIV_SMC_DISTRIBUTED_ID3_H_
+#pragma once
 
 #include <map>
 #include <string>
@@ -87,4 +86,3 @@ class DistributedId3Tree {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_DISTRIBUTED_ID3_H_

@@ -11,8 +11,7 @@
 // Key sizes here are experiment-scale (>= 256-bit modulus); the point is
 // protocol behaviour, not production-grade cryptographic strength.
 
-#ifndef TRIPRIV_SMC_PAILLIER_H_
-#define TRIPRIV_SMC_PAILLIER_H_
+#pragma once
 
 #include "util/bigint.h"
 
@@ -68,4 +67,3 @@ Result<BigInt> PaillierEncryptZero(const PaillierPublicKey& pub, Rng* rng);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_PAILLIER_H_

@@ -21,8 +21,7 @@
 // and reliability layers (smc/reliable_channel.h) advance it further when
 // backing off. Deadlines are measured against this clock, never wall time.
 
-#ifndef TRIPRIV_SMC_PARTY_H_
-#define TRIPRIV_SMC_PARTY_H_
+#pragma once
 
 #include <deque>
 #include <string>
@@ -191,4 +190,3 @@ class PartyNetwork {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_PARTY_H_

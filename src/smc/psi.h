@@ -8,8 +8,7 @@
 // quadratic-residue subgroup (order q = (p-1)/2, prime) so encryption is a
 // bijection on the element encoding.
 
-#ifndef TRIPRIV_SMC_PSI_H_
-#define TRIPRIV_SMC_PSI_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -37,4 +36,3 @@ Result<PsiResult> PrivateSetIntersection(PartyNetwork* net,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_PSI_H_

@@ -26,8 +26,7 @@
 // layer can never leak more than the original transcript — a property the
 // chaos tests assert on the recorded transcript.
 
-#ifndef TRIPRIV_SMC_RELIABLE_CHANNEL_H_
-#define TRIPRIV_SMC_RELIABLE_CHANNEL_H_
+#pragma once
 
 #include <map>
 #include <memory>
@@ -154,4 +153,3 @@ std::unique_ptr<Channel> MakeChannel(PartyNetwork* net);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_RELIABLE_CHANNEL_H_

@@ -11,8 +11,7 @@
 // dot product. Messages flow through a PartyNetwork (party 0 = Alice,
 // party 1 = Bob), so the transcript is available for leakage inspection.
 
-#ifndef TRIPRIV_SMC_SCALAR_PRODUCT_H_
-#define TRIPRIV_SMC_SCALAR_PRODUCT_H_
+#pragma once
 
 #include "smc/paillier.h"
 #include "smc/party.h"
@@ -30,4 +29,3 @@ Result<BigInt> SecureScalarProduct(PartyNetwork* net,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_SCALAR_PRODUCT_H_

@@ -7,8 +7,7 @@
 // random mod M. Everything goes through the PartyNetwork, so the transcript
 // demonstrably contains only masked values plus the final aggregate.
 
-#ifndef TRIPRIV_SMC_SECURE_SUM_H_
-#define TRIPRIV_SMC_SECURE_SUM_H_
+#pragma once
 
 #include "smc/party.h"
 
@@ -33,4 +32,3 @@ Result<std::vector<uint64_t>> SecureSumCounts(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_SECURE_SUM_H_

@@ -6,8 +6,7 @@
 // reveal nothing. Shares are additively homomorphic, which the tests and
 // benches exercise (share-wise addition reconstructs the sum of secrets).
 
-#ifndef TRIPRIV_SMC_SHAMIR_H_
-#define TRIPRIV_SMC_SHAMIR_H_
+#pragma once
 
 #include <vector>
 
@@ -54,4 +53,3 @@ Result<BigInt> ShamirReconstructOverNetwork(
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_SHAMIR_H_

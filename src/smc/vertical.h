@@ -15,8 +15,7 @@
 // output reveals). Real values ride as fixed-point integers; covariance is
 // shift-invariant, so each party locally shifts its column non-negative.
 
-#ifndef TRIPRIV_SMC_VERTICAL_H_
-#define TRIPRIV_SMC_VERTICAL_H_
+#pragma once
 
 #include <vector>
 
@@ -44,4 +43,3 @@ Result<SecureMomentsResult> SecureJointMoments(PartyNetwork* net,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_SMC_VERTICAL_H_

@@ -5,8 +5,7 @@
 // structure — the property condensation [1] explicitly preserves) and the
 // statistical query engine.
 
-#ifndef TRIPRIV_STATS_DESCRIPTIVE_H_
-#define TRIPRIV_STATS_DESCRIPTIVE_H_
+#pragma once
 
 #include <vector>
 
@@ -67,4 +66,3 @@ double MatrixSse(const std::vector<std::vector<double>>& a,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_STATS_DESCRIPTIVE_H_

@@ -5,8 +5,7 @@
 // reconstructed distributions with total-variation / KS / chi-square
 // distances.
 
-#ifndef TRIPRIV_STATS_HISTOGRAM_H_
-#define TRIPRIV_STATS_HISTOGRAM_H_
+#pragma once
 
 #include <vector>
 
@@ -76,4 +75,3 @@ double HellingerDistance(const std::vector<double>& p,
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_STATS_HISTOGRAM_H_

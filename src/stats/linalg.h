@@ -1,8 +1,7 @@
 // Minimal dense linear algebra: Cholesky factorization and multivariate
 // normal sampling, used by correlated-noise masking and condensation.
 
-#ifndef TRIPRIV_STATS_LINALG_H_
-#define TRIPRIV_STATS_LINALG_H_
+#pragma once
 
 #include <vector>
 
@@ -37,4 +36,3 @@ double FrobeniusNorm(const std::vector<std::vector<double>>& m);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_STATS_LINALG_H_

@@ -4,8 +4,7 @@
 // record-oriented (records are the unit of re-identification), and tables
 // are laptop-scale. Cells are type-checked against the schema on insertion.
 
-#ifndef TRIPRIV_TABLE_DATA_TABLE_H_
-#define TRIPRIV_TABLE_DATA_TABLE_H_
+#pragma once
 
 #include <functional>
 #include <string_view>
@@ -92,4 +91,3 @@ class DataTable {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_TABLE_DATA_TABLE_H_

@@ -15,8 +15,7 @@
 //   Both: every patient is hypertensive (systolic >= 140), since only
 //   hypertension patients underwent the trial.
 
-#ifndef TRIPRIV_TABLE_DATASETS_H_
-#define TRIPRIV_TABLE_DATASETS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -71,4 +70,3 @@ DataTable MakeClassification(size_t n, int function_id, uint64_t seed);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_TABLE_DATASETS_H_

@@ -1,7 +1,6 @@
 // CSV import/export for DataTable.
 
-#ifndef TRIPRIV_TABLE_IO_H_
-#define TRIPRIV_TABLE_IO_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -31,4 +30,3 @@ Status WriteFile(const std::string& path, std::string_view content);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_TABLE_IO_H_

@@ -6,8 +6,7 @@
 // paper's Section 3 example:
 //   height < 165 AND weight > 105.
 
-#ifndef TRIPRIV_TABLE_PREDICATE_H_
-#define TRIPRIV_TABLE_PREDICATE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -68,4 +67,3 @@ class Predicate {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_TABLE_PREDICATE_H_

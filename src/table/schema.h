@@ -11,8 +11,7 @@
 //   * non-confidential — everything else.
 // The SDC, PPDM, and evaluation modules all key off these roles.
 
-#ifndef TRIPRIV_TABLE_SCHEMA_H_
-#define TRIPRIV_TABLE_SCHEMA_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -91,4 +90,3 @@ class Schema {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_TABLE_SCHEMA_H_

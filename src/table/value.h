@@ -4,8 +4,7 @@
 // string. Attribute typing lives in the Schema; Value is the dynamic
 // representation used for storage, predicates, and I/O.
 
-#ifndef TRIPRIV_TABLE_VALUE_H_
-#define TRIPRIV_TABLE_VALUE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -85,4 +84,3 @@ struct ValueHash {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_TABLE_VALUE_H_

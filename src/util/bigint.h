@@ -9,8 +9,7 @@
 // and inversion, gcd/lcm, Miller-Rabin primality, and random prime
 // generation from the deterministic `Rng`.
 
-#ifndef TRIPRIV_UTIL_BIGINT_H_
-#define TRIPRIV_UTIL_BIGINT_H_
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -137,4 +136,3 @@ class BigInt {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_UTIL_BIGINT_H_

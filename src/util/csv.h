@@ -3,8 +3,7 @@
 // Supports quoted fields (embedded commas, quotes doubled, embedded
 // newlines), CRLF and LF line endings. Used by table/io for microdata files.
 
-#ifndef TRIPRIV_UTIL_CSV_H_
-#define TRIPRIV_UTIL_CSV_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -25,4 +24,3 @@ std::string CsvEscape(std::string_view field);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_UTIL_CSV_H_

@@ -4,8 +4,7 @@
 // mechanism for programmer-error preconditions in an exception-free codebase.
 // Streaming extra context is supported: TRIPRIV_CHECK(i < n) << "i=" << i;
 
-#ifndef TRIPRIV_UTIL_LOGGING_H_
-#define TRIPRIV_UTIL_LOGGING_H_
+#pragma once
 
 #include <cstdlib>
 #include <iostream>
@@ -60,4 +59,3 @@ class Voidify {
 #define TRIPRIV_CHECK_GT(a, b) TRIPRIV_CHECK((a) > (b))
 #define TRIPRIV_CHECK_GE(a, b) TRIPRIV_CHECK((a) >= (b))
 
-#endif  // TRIPRIV_UTIL_LOGGING_H_

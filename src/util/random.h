@@ -7,8 +7,7 @@
 // (uniform, normal, laplace, shuffle) are implemented here rather than with
 // <random> distributions, whose output is implementation-defined.
 
-#ifndef TRIPRIV_UTIL_RANDOM_H_
-#define TRIPRIV_UTIL_RANDOM_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -72,4 +71,3 @@ class Rng {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_UTIL_RANDOM_H_

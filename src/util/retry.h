@@ -7,8 +7,7 @@
 // bit-reproducible: a given seed always retries, backs off, and gives up at
 // exactly the same points.
 
-#ifndef TRIPRIV_UTIL_RETRY_H_
-#define TRIPRIV_UTIL_RETRY_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -44,4 +43,3 @@ inline bool IsTransient(const Status& status) {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_UTIL_RETRY_H_

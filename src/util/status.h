@@ -5,8 +5,7 @@
 // is no payload) or a `Result<T>` (a value-or-status union). Programmer
 // errors (violated preconditions) abort via the CHECK macros in logging.h.
 
-#ifndef TRIPRIV_UTIL_STATUS_H_
-#define TRIPRIV_UTIL_STATUS_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -42,7 +41,14 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (an OK
 /// status stores no message).
-class Status {
+///
+/// `[[nodiscard]]` makes silently dropping a returned Status a compiler
+/// warning (an error under TRIPRIV_WERROR): transient network failures
+/// (kUnavailable, kDeadlineExceeded) surface as Statuses, and ignoring one
+/// turns a recoverable fault into silent data corruption. A call site that
+/// genuinely cannot fail should still branch on ok() and escalate with
+/// TRIPRIV_CHECK rather than cast the result away.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -106,7 +112,7 @@ class Status {
 /// Use `ok()` to discriminate; `value()` CHECK-fails on a non-OK result, so
 /// callers must test first (or use ASSIGN_OR_RETURN below).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -142,6 +148,12 @@ class Result {
   std::optional<T> value_;
 };
 
+/// Explicitly discards a Status: the call site has considered the failure
+/// and decided it is irrelevant (e.g. a probe whose side effect, not answer,
+/// is being measured). Unlike a `(void)` cast this is greppable and states
+/// intent; use `Fallible().status()` / `IgnoreError(...)` for Result<T>.
+inline void IgnoreError(const Status&) {}
+
 /// Propagates a non-OK Status from `expr` out of the enclosing function.
 #define TRIPRIV_RETURN_IF_ERROR(expr)                  \
   do {                                                 \
@@ -162,4 +174,3 @@ class Result {
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_UTIL_STATUS_H_

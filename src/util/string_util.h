@@ -1,7 +1,6 @@
 // Small string helpers shared across the library.
 
-#ifndef TRIPRIV_UTIL_STRING_UTIL_H_
-#define TRIPRIV_UTIL_STRING_UTIL_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -36,4 +35,3 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 
 }  // namespace tripriv
 
-#endif  // TRIPRIV_UTIL_STRING_UTIL_H_

@@ -100,6 +100,31 @@ TEST(DpTest, AvgSplitsBudgetAndStaysReasonable) {
   EXPECT_NEAR(Mean(answers) / truth, 1.0, 0.1);
 }
 
+TEST(DpTest, ConstantColumnSumIsStillNoised) {
+  // A constant column has range 0; if the range were used verbatim as the
+  // sensitivity, the Laplace scale would collapse to 0 and SUM would come
+  // back exact — leaking the true value. The mechanism must fall back to a
+  // sensitivity of 1 and keep noising.
+  Schema schema({{"id", AttributeType::kInteger, AttributeRole::kIdentifier},
+                 {"dose", AttributeType::kReal, AttributeRole::kConfidential}});
+  DataTable data(schema);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(data.AppendRow({Value(int64_t{i}), Value(2.5)}).ok());
+  }
+  StatDatabase db(data, DpConfig(1.0, 23));
+  const double truth = 50 * 2.5;
+  int exact_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto a = db.Query("SELECT SUM(dose) FROM t");
+    ASSERT_TRUE(a.ok());
+    ASSERT_FALSE(a->refused);
+    if (a->value == truth) ++exact_hits;
+  }
+  // Laplace(1/1.0) noise makes an exact hit measure-zero; a streak of them
+  // means the noise collapsed.
+  EXPECT_LT(exact_hits, 5);
+}
+
 TEST(DpTest, MinMaxAreRefused) {
   DataTable data = MakeCensus(100, 13);
   StatDatabase db(data, DpConfig(1.0));

@@ -51,8 +51,11 @@ TEST(ProfilingTest, FullVisibilityOnPlainChannel) {
   ProtectionConfig config;
   config.mode = ProtectionMode::kNone;
   StatDatabase db(PaperDataset2(), config);
-  (void)db.Query("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105");
-  (void)db.Query("SELECT AVG(blood_pressure) FROM t WHERE aids = 'Y'");
+  ASSERT_TRUE(
+      db.Query("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105")
+          .ok());
+  ASSERT_TRUE(db.Query("SELECT AVG(blood_pressure) FROM t WHERE aids = 'Y'")
+                  .ok());
   EXPECT_DOUBLE_EQ(QueryLogVisibility(db.query_log()), 1.0);
   UserProfile profile = ProfileQueryLog(db.query_log());
   // The owner now knows this user is probing AIDS status.

@@ -11,12 +11,6 @@
 namespace tripriv {
 namespace {
 
-StatQuery MustParse(const std::string& sql) {
-  auto q = ParseQuery(sql);
-  EXPECT_TRUE(q.ok()) << sql;
-  return std::move(q).value();
-}
-
 TEST(StatDatabaseTest, NoneModeAnswersExactly) {
   ProtectionConfig config;
   config.mode = ProtectionMode::kNone;

@@ -1,0 +1,240 @@
+// tripriv_lint rule fixtures: one seeded violation per rule proves each rule
+// fires at the right line with the right name; a clean fixture proves the
+// absence of false positives on idiomatic project code; NOLINT fixtures
+// prove every suppression form silences exactly the named rule.
+//
+// The fixtures are in-memory sources fed to LintSource with a chosen
+// relative path, because rule applicability is path-scoped (e.g. wall clocks
+// are legal in bench/, raw sends are legal in the fabric files).
+
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tripriv {
+namespace lint {
+namespace {
+
+/// All findings for `rule` in the result set.
+std::vector<Diagnostic> ForRule(const std::vector<Diagnostic>& diags,
+                                const std::string& rule) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+TEST(LintRuleTest, NoRawRngFires) {
+  const std::string src =
+      "#include <random>\n"
+      "int Draw() {\n"
+      "  std::mt19937 gen(42);\n"
+      "  return static_cast<int>(gen());\n"
+      "}\n";
+  const auto diags = LintSource("src/sdc/bad_rng.cc", src);
+  const auto hits = ForRule(diags, "no-raw-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("mt19937"), std::string::npos);
+}
+
+TEST(LintRuleTest, NoRawRngAllowsTheRngImplementationItself) {
+  // src/util/random.* is the one sanctioned home for generator internals.
+  const std::string src = "std::mt19937 reference_check;\n";
+  EXPECT_TRUE(ForRule(LintSource("src/util/random.cc", src), "no-raw-rng")
+                  .empty());
+  EXPECT_FALSE(
+      ForRule(LintSource("src/util/other.cc", src), "no-raw-rng").empty());
+}
+
+TEST(LintRuleTest, NoWallClockFires) {
+  const std::string src =
+      "#include <chrono>\n"
+      "long Now() {\n"
+      "  return std::chrono::system_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  const auto hits =
+      ForRule(LintSource("src/smc/bad_clock.cc", src), "no-wall-clock");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("system_clock"), std::string::npos);
+}
+
+TEST(LintRuleTest, NoWallClockFlagsBareTimeCallButNotMembers) {
+  const auto hits = ForRule(
+      LintSource("src/util/t.cc", "long f() { return time(nullptr); }\n"),
+      "no-wall-clock");
+  ASSERT_EQ(hits.size(), 1u);
+  // A member named time() is someone's simulated clock, not the libc call.
+  EXPECT_TRUE(ForRule(LintSource("src/util/t.cc",
+                                 "long g(Net* n) { return n->time(); }\n"),
+                      "no-wall-clock")
+                  .empty());
+}
+
+TEST(LintRuleTest, NoWallClockIsLegalInBench) {
+  const std::string src =
+      "#include <chrono>\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(
+      ForRule(LintSource("bench/bench_x.cc", src), "no-wall-clock").empty());
+}
+
+TEST(LintRuleTest, NoSensitiveLoggingFires) {
+  const std::string src =
+      "#include <iostream>\n"
+      "void Dump(int secret) {\n"
+      "  std::cout << secret;\n"
+      "}\n";
+  const auto diags = LintSource("src/querydb/bad_log.cc", src);
+  const auto hits = ForRule(diags, "no-sensitive-logging");
+  ASSERT_EQ(hits.size(), 2u);  // the include and the stream write
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[1].line, 3);
+}
+
+TEST(LintRuleTest, NoSensitiveLoggingScopedToPrivacyLibraries) {
+  // The same code is legal in tools/ (CLI output is the caller's business).
+  const std::string src =
+      "#include <iostream>\n"
+      "void Report(int k) { std::cout << k; }\n";
+  EXPECT_TRUE(ForRule(LintSource("tools/report.cc", src),
+                      "no-sensitive-logging")
+                  .empty());
+  EXPECT_TRUE(ForRule(LintSource("src/table/x.cc", src),
+                      "no-sensitive-logging")
+                  .empty());
+  EXPECT_FALSE(ForRule(LintSource("src/pir/x.cc", src),
+                       "no-sensitive-logging")
+                   .empty());
+}
+
+TEST(LintRuleTest, HeaderHygieneFires) {
+  const auto hits = ForRule(
+      LintSource("src/sdc/no_pragma.h", "int x;\n"), "header-hygiene");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_TRUE(ForRule(LintSource("src/sdc/good.h", "#pragma once\nint x;\n"),
+                      "header-hygiene")
+                  .empty());
+  // Rule is header-only: a .cc without the pragma is fine.
+  EXPECT_TRUE(ForRule(LintSource("src/sdc/impl.cc", "int x;\n"),
+                      "header-hygiene")
+                  .empty());
+}
+
+TEST(LintRuleTest, NoChannelBypassFires) {
+  const std::string src =
+      "Status Run(PartyNetwork* net) {\n"
+      "  return net->Send(0, 1, \"t\", {});\n"
+      "}\n";
+  const auto hits =
+      ForRule(LintSource("src/smc/bad_proto.cc", src), "no-channel-bypass");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+}
+
+TEST(LintRuleTest, NoChannelBypassCoversAccessorAndMemberForms) {
+  EXPECT_EQ(ForRule(LintSource("src/smc/p.cc",
+                               "void f(Channel* ch) { ch->net()->Receive(0); }\n"),
+                    "no-channel-bypass")
+                .size(),
+            1u);
+  EXPECT_EQ(ForRule(LintSource("src/smc/p.cc",
+                               "void g() { net_.Send(0, 1, \"t\", {}); }\n"),
+                    "no-channel-bypass")
+                .size(),
+            1u);
+  // Channel sends are the sanctioned path.
+  EXPECT_TRUE(ForRule(LintSource("src/smc/p.cc",
+                                 "void h(Channel* ch) { ch->Send(0,1,\"t\",{}); }\n"),
+                      "no-channel-bypass")
+                  .empty());
+}
+
+TEST(LintRuleTest, NoChannelBypassExemptsTheFabricItself) {
+  const std::string src = "Status S() { return net_->Send(0, 1, \"t\", {}); }\n";
+  EXPECT_TRUE(ForRule(LintSource("src/smc/reliable_channel.cc", src),
+                      "no-channel-bypass")
+                  .empty());
+  EXPECT_TRUE(
+      ForRule(LintSource("src/smc/party.cc", src), "no-channel-bypass")
+          .empty());
+  // ... and only the fabric: tests under tests/smc are out of scope too.
+  EXPECT_TRUE(
+      ForRule(LintSource("tests/smc/x.cc", src), "no-channel-bypass").empty());
+}
+
+TEST(LintCleanFixtureTest, IdiomaticProjectCodeIsClean) {
+  // A miniature protocol file in house style: seeded Rng, Channel traffic,
+  // Status returns, no I/O, banned names appearing only in comments and
+  // string literals (which the lexer strips).
+  const std::string src =
+      "// Uses Rng, never mt19937; \"std::rand\" in prose is fine.\n"
+      "#include \"smc/reliable_channel.h\"\n"
+      "#include \"util/random.h\"\n"
+      "namespace tripriv {\n"
+      "Status Ping(Channel* ch, Rng* rng) {\n"
+      "  const char* kTag = \"uses system_clock in a string\";\n"
+      "  return ch->Send(0, 1, kTag, {BigInt::FromU64(rng->NextU64())});\n"
+      "}\n"
+      "}  // namespace tripriv\n";
+  EXPECT_TRUE(LintSource("src/smc/ping.cc", src).empty());
+}
+
+TEST(LintSuppressionTest, NolintSilencesOnlyTheNamedRule) {
+  const std::string src =
+      "#include <random>\n"
+      "std::mt19937 a;  // NOLINT(no-raw-rng)\n"
+      "std::mt19937 b;  // NOLINT(no-wall-clock) wrong rule, still fires\n";
+  const auto diags = LintSource("src/stats/x.cc", src);
+  const auto hits = ForRule(diags, "no-raw-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+}
+
+TEST(LintSuppressionTest, BareNolintAndNextlineForms) {
+  const std::string src =
+      "#include <random>\n"
+      "std::mt19937 a;  // NOLINT\n"
+      "// NOLINTNEXTLINE(no-raw-rng)\n"
+      "std::mt19937 b;\n"
+      "std::mt19937 c;\n";
+  const auto hits = ForRule(LintSource("src/stats/x.cc", src), "no-raw-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5);
+}
+
+TEST(LintFormatTest, DiagnosticFormatIsFileLineRuleMessage) {
+  const Diagnostic d{"src/a.cc", 7, "no-raw-rng", "boom"};
+  EXPECT_EQ(FormatDiagnostic(d), "src/a.cc:7: [no-raw-rng] boom");
+}
+
+TEST(LintRunnerTest, FindingsAreOrderedByLine) {
+  const std::string src =
+      "#include <iostream>\n"
+      "#include <random>\n"
+      "std::mt19937 g;\n"
+      "void f() { std::cout << 1; }\n";
+  const auto diags = LintSource("src/sdc/multi.cc", src);
+  ASSERT_GE(diags.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      diags.begin(), diags.end(),
+      [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; }));
+}
+
+TEST(LintRunnerTest, RuleNamesAreStable) {
+  const std::vector<std::string> expected = {
+      "no-raw-rng", "no-wall-clock", "no-sensitive-logging", "header-hygiene",
+      "no-channel-bypass"};
+  EXPECT_EQ(RuleNames(), expected);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace tripriv

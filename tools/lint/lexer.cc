@@ -1,0 +1,173 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace tripriv {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Merges a NOLINT marker found in comment text into `file`'s suppressions.
+/// `comment` is the comment body, `line` the line the marker sits on.
+void HarvestNolint(const std::string& comment, int line, LexedFile* file) {
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;  // strlen("NOLINT")
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    Suppression& sup = file->suppressions[target];
+    if (after < comment.size() && comment[after] == '(') {
+      // NOLINT(rule-a, rule-b): suppress only the named rules.
+      size_t close = comment.find(')', after);
+      if (close == std::string::npos) close = comment.size();
+      std::string name;
+      for (size_t i = after + 1; i <= close; ++i) {
+        char c = i < close ? comment[i] : ',';
+        if (c == ',' || c == ')') {
+          if (!name.empty()) sup.rules.insert(name);
+          name.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          name.push_back(c);
+        }
+      }
+      pos = close;
+    } else {
+      sup.all = true;
+      pos = after;
+    }
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // Line comment: strip to end of line, harvesting NOLINT markers.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      HarvestNolint(source.substr(i, end - i), line, &out);
+      advance(end - i);
+      continue;
+    }
+    // Block comment. A NOLINT marker suppresses on the line it appears on.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      size_t end = source.find("*/", i + 2);
+      if (end == std::string::npos) end = n; else end += 2;
+      // Harvest per comment line so multi-line NOLINTs land correctly.
+      int comment_line = line;
+      size_t line_start = i;
+      for (size_t k = i; k <= end; ++k) {
+        if (k == end || source[k] == '\n') {
+          HarvestNolint(source.substr(line_start, k - line_start),
+                        comment_line, &out);
+          ++comment_line;
+          line_start = k + 1;
+        }
+      }
+      advance(end - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"' &&
+        (out.tokens.empty() || out.tokens.back().text != "#")) {
+      size_t paren = source.find('(', i + 2);
+      if (paren != std::string::npos && paren - i - 2 <= 16) {
+        std::string delim = source.substr(i + 2, paren - i - 2);
+        std::string closer = ")" + delim + "\"";
+        size_t end = source.find(closer, paren + 1);
+        if (end == std::string::npos) end = n; else end += closer.size();
+        advance(end - i);
+        continue;
+      }
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      size_t k = i + 1;
+      while (k < n && source[k] != c) {
+        if (source[k] == '\\' && k + 1 < n) ++k;
+        if (source[k] == '\n') break;  // unterminated: stop at end of line
+        ++k;
+      }
+      advance(k < n ? k - i + 1 : n - i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t k = i;
+      while (k < n && IsIdentChar(source[k])) ++k;
+      out.tokens.push_back(
+          {TokenKind::kIdentifier, source.substr(i, k - i), line});
+      advance(k - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // pp-number: digits, idents, dots, exponent signs.
+      size_t k = i;
+      while (k < n) {
+        char d = source[k];
+        if (IsIdentChar(d) || d == '.') {
+          ++k;
+        } else if ((d == '+' || d == '-') && k > i &&
+                   (source[k - 1] == 'e' || source[k - 1] == 'E' ||
+                    source[k - 1] == 'p' || source[k - 1] == 'P')) {
+          ++k;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokenKind::kNumber, source.substr(i, k - i), line});
+      advance(k - i);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Punctuation; fuse the two digraphs rule patterns care about.
+    if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      out.tokens.push_back({TokenKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      out.tokens.push_back({TokenKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  out.num_lines = line;
+  return out;
+}
+
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule) {
+  auto it = file.suppressions.find(line);
+  if (it == file.suppressions.end()) return false;
+  return it->second.all || it->second.rules.count(rule) > 0;
+}
+
+}  // namespace lint
+}  // namespace tripriv

@@ -1,0 +1,63 @@
+// Minimal C++ lexer for tripriv_lint.
+//
+// The linter does not need a parser: every project invariant it enforces is
+// visible at the token level (a banned identifier, a member-call shape, a
+// missing preprocessor directive). The lexer therefore produces a flat token
+// stream with comments and literals stripped — a banned name inside a string
+// or comment is never a finding — while harvesting `NOLINT` markers from the
+// comments it discards so rules can honor suppressions.
+//
+// Handled: line/block comments, string and character literals (with escape
+// sequences), raw string literals (R"delim(...)delim"), identifiers,
+// pp-numbers, and punctuation. `->` and `::` are fused into single tokens
+// because rule patterns match on them; all other punctuation is emitted one
+// character at a time.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tripriv {
+namespace lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< pp-number (digits, dots, exponent signs)
+  kPunct,       ///< single punctuation char, or the fused "->" / "::"
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based source line
+};
+
+/// Suppression state harvested from one line's comments.
+struct Suppression {
+  bool all = false;             ///< bare NOLINT: every rule silenced
+  std::set<std::string> rules;  ///< NOLINT(rule-a, rule-b)
+};
+
+/// One lexed translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Line -> suppression. NOLINT applies to its own line, NOLINTNEXTLINE to
+  /// the following line; both forms merge if they land on the same line.
+  std::map<int, Suppression> suppressions;
+  /// Number of lines in the source (for diagnostics on empty files).
+  int num_lines = 0;
+};
+
+/// Lexes `source`. Never fails: unrecognized bytes are skipped, unterminated
+/// literals consume to end of input.
+LexedFile Lex(const std::string& source);
+
+/// True when `rule` is suppressed on `line` of `file`.
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule);
+
+}  // namespace lint
+}  // namespace tripriv

@@ -1,0 +1,299 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tripriv {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Appends a finding unless a NOLINT marker on that line silences the rule.
+void Report(const LexedFile& lexed, const std::string& rel_path, int line,
+            const std::string& rule, std::string message,
+            std::vector<Diagnostic>* out) {
+  if (IsSuppressed(lexed, line, rule)) return;
+  out->push_back({rel_path, line, rule, std::move(message)});
+}
+
+/// True when token `i` is the header name of an `#include <...>` directive,
+/// i.e. preceded by `#` `include` `<`.
+bool IsIncludedHeader(const std::vector<Token>& toks, size_t i) {
+  return i >= 3 && toks[i - 1].text == "<" && toks[i - 2].text == "include" &&
+         toks[i - 3].text == "#";
+}
+
+// ---------------------------------------------------------------------------
+// no-raw-rng
+
+const std::set<std::string>& RawRngIdentifiers() {
+  static const std::set<std::string> kBanned = {
+      // <cstdlib> / POSIX
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "srand48",
+      "random_shuffle",
+      // <random> engines and seeding
+      "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+      "default_random_engine", "knuth_b", "ranlux24", "ranlux24_base",
+      "ranlux48", "ranlux48_base", "seed_seq", "mersenne_twister_engine",
+      "linear_congruential_engine", "subtract_with_carry_engine",
+      "discard_block_engine", "independent_bits_engine", "shuffle_order_engine",
+      // <random> distributions (output is implementation-defined)
+      "uniform_int_distribution", "uniform_real_distribution",
+      "normal_distribution", "bernoulli_distribution", "poisson_distribution",
+      "exponential_distribution", "geometric_distribution",
+      "binomial_distribution", "discrete_distribution",
+      "cauchy_distribution", "gamma_distribution", "lognormal_distribution",
+  };
+  return kBanned;
+}
+
+void CheckRawRng(const LexedFile& lexed, const std::string& rel_path,
+                 std::vector<Diagnostic>* out) {
+  if (rel_path == "src/util/random.h" || rel_path == "src/util/random.cc") {
+    return;
+  }
+  const auto& banned = RawRngIdentifiers();
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    if (banned.count(tok.text) == 0) continue;
+    Report(lexed, rel_path, tok.line, "no-raw-rng",
+           "raw RNG '" + tok.text +
+               "' is non-portable or non-deterministic; draw from the seeded "
+               "Rng in util/random.h so runs replay bit-identically",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// no-wall-clock
+
+void CheckWallClock(const LexedFile& lexed, const std::string& rel_path,
+                    std::vector<Diagnostic>* out) {
+  if (StartsWith(rel_path, "bench/")) return;
+  static const std::set<std::string> kBannedIdents = {
+      "system_clock",  "steady_clock", "high_resolution_clock", "utc_clock",
+      "tai_clock",     "gps_clock",    "file_clock",            "gettimeofday",
+      "clock_gettime", "timespec_get", "localtime",             "gmtime",
+      "mktime",        "strftime",     "asctime",               "ctime",
+      "difftime",      "ftime",
+  };
+  static const std::set<std::string> kBannedHeaders = {"ctime", "time.h"};
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    const bool banned_header =
+        kBannedHeaders.count(tok.text) > 0 && IsIncludedHeader(toks, i);
+    // `time(...)` / `clock(...)` as free-function calls (member calls like
+    // net.time() are someone else's simulated clock and are fine).
+    const bool bare_call =
+        (tok.text == "time" || tok.text == "clock") && i + 1 < toks.size() &&
+        toks[i + 1].text == "(" &&
+        (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->"));
+    const bool banned_ident =
+        kBannedIdents.count(tok.text) > 0 && !IsIncludedHeader(toks, i);
+    if (!banned_header && !bare_call && !banned_ident) continue;
+    Report(lexed, rel_path, tok.line, "no-wall-clock",
+           "wall-clock access '" + tok.text +
+               "' outside bench/; protocol and library time must come from "
+               "the simulated tick clock (PartyNetwork::now) so runs are "
+               "reproducible",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// no-sensitive-logging
+
+void CheckSensitiveLogging(const LexedFile& lexed, const std::string& rel_path,
+                           std::vector<Diagnostic>* out) {
+  const bool library_code =
+      StartsWith(rel_path, "src/sdc/") || StartsWith(rel_path, "src/smc/") ||
+      StartsWith(rel_path, "src/pir/") || StartsWith(rel_path, "src/querydb/");
+  if (!library_code) return;
+  static const std::set<std::string> kBannedIdents = {
+      "cout", "cerr", "clog", "wcout", "wcerr",  "printf", "fprintf",
+      "puts", "fputs", "putchar", "fputc", "vprintf", "vfprintf", "perror",
+      "syslog",
+  };
+  static const std::set<std::string> kBannedHeaders = {
+      "iostream", "cstdio", "ostream", "fstream", "print", "syslog.h",
+  };
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokenKind::kIdentifier) continue;
+    const bool banned_header =
+        kBannedHeaders.count(tok.text) > 0 && IsIncludedHeader(toks, i);
+    const bool banned_ident =
+        kBannedIdents.count(tok.text) > 0 && !IsIncludedHeader(toks, i);
+    if (!banned_header && !banned_ident) continue;
+    Report(lexed, rel_path, tok.line, "no-sensitive-logging",
+           "'" + tok.text +
+               "' in privacy-library code can emit record-level values; "
+               "return data via Status/Result and let the caller decide what "
+               "to print",
+           out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene
+
+void CheckHeaderHygiene(const LexedFile& lexed, const std::string& rel_path,
+                        std::vector<Diagnostic>* out) {
+  if (!EndsWith(rel_path, ".h")) return;
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text == "#" && toks[i + 1].text == "pragma" &&
+        toks[i + 2].text == "once") {
+      return;
+    }
+  }
+  Report(lexed, rel_path, 1, "header-hygiene",
+         "header is missing '#pragma once'", out);
+}
+
+// ---------------------------------------------------------------------------
+// no-channel-bypass
+
+void CheckChannelBypass(const LexedFile& lexed, const std::string& rel_path,
+                        std::vector<Diagnostic>* out) {
+  if (!StartsWith(rel_path, "src/smc/")) return;
+  // The fabric and the reliability layer are the two sanctioned users of the
+  // raw network; everything else must go through MakeChannel().
+  static const std::set<std::string> kFabricFiles = {
+      "src/smc/party.h", "src/smc/party.cc", "src/smc/reliable_channel.h",
+      "src/smc/reliable_channel.cc",
+  };
+  if (kFabricFiles.count(rel_path) > 0) return;
+  static const std::set<std::string> kNetNames = {"net", "net_", "network",
+                                                  "network_"};
+  const auto& toks = lexed.tokens;
+  for (size_t i = 2; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokenKind::kIdentifier ||
+        (tok.text != "Send" && tok.text != "Receive")) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Qualified call: PartyNetwork::Send(...).
+    if (toks[i - 1].text == "::" && toks[i - 2].text == "PartyNetwork") {
+      Report(lexed, rel_path, tok.line, "no-channel-bypass",
+             "qualified PartyNetwork::" + tok.text +
+                 " bypasses the reliability layer; go through MakeChannel()",
+             out);
+      continue;
+    }
+    // Member call on a network-shaped receiver: net->Send, net_.Send, or the
+    // accessor form ch->net()->Send.
+    if (toks[i - 1].text != "->" && toks[i - 1].text != ".") continue;
+    size_t recv = i - 2;  // token before the member-access operator
+    if (toks[recv].text == ")" && recv >= 2 && toks[recv - 1].text == "(") {
+      recv -= 2;  // receiver is a nullary call: net()
+    }
+    if (toks[recv].kind == TokenKind::kIdentifier &&
+        kNetNames.count(toks[recv].text) > 0) {
+      Report(lexed, rel_path, tok.line, "no-channel-bypass",
+             "raw PartyNetwork " + tok.text +
+                 " on '" + toks[recv].text +
+                 "' bypasses the reliability layer; protocol traffic must go "
+                 "through MakeChannel()/Channel",
+             out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  std::ostringstream os;
+  os << diag.file << ":" << diag.line << ": [" << diag.rule << "] "
+     << diag.message;
+  return os.str();
+}
+
+std::vector<std::string> RuleNames() {
+  return {"no-raw-rng", "no-wall-clock", "no-sensitive-logging",
+          "header-hygiene", "no-channel-bypass"};
+}
+
+std::vector<Diagnostic> LintSource(const std::string& rel_path,
+                                   const std::string& contents) {
+  const LexedFile lexed = Lex(contents);
+  std::vector<Diagnostic> out;
+  CheckRawRng(lexed, rel_path, &out);
+  CheckWallClock(lexed, rel_path, &out);
+  CheckSensitiveLogging(lexed, rel_path, &out);
+  CheckHeaderHygiene(lexed, rel_path, &out);
+  CheckChannelBypass(lexed, rel_path, &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+bool LintFile(const std::string& path, const std::string& rel_path,
+              std::vector<Diagnostic>* findings, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::vector<Diagnostic> found = LintSource(rel_path, buf.str());
+  findings->insert(findings->end(), found.begin(), found.end());
+  return true;
+}
+
+bool LintTree(const std::string& root, std::vector<Diagnostic>* findings,
+              std::string* error) {
+  static const char* kTopDirs[] = {"src", "tools", "bench", "tests"};
+  std::vector<fs::path> files;
+  for (const char* top : kTopDirs) {
+    const fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+    }
+  }
+  if (files.empty()) {
+    if (error != nullptr) {
+      *error = "no .h/.cc files under " + root +
+               "/{src,tools,bench,tests} - wrong --root?";
+    }
+    return false;
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    const std::string rel =
+        fs::relative(path, root).generic_string();
+    if (!LintFile(path.string(), rel, findings, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace lint
+}  // namespace tripriv

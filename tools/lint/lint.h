@@ -1,0 +1,73 @@
+// tripriv_lint: machine-checked project invariants.
+//
+// The three privacy dimensions only compose safely if the implementation
+// never breaks determinism, leaks record-level values, or silently bypasses
+// the reliability layer. Those invariants are enforced here as token-level
+// rules over the whole tree (src/, tools/, bench/, tests/):
+//
+//   no-raw-rng            <random>/<cstdlib> generators outside
+//                         src/util/random.* — all randomness must flow
+//                         through the seeded, portable Rng so FaultPlan runs
+//                         and experiments replay bit-identically.
+//   no-wall-clock         system_clock / time() / <ctime> outside bench/ —
+//                         protocol time is PartyNetwork's simulated tick
+//                         clock, never wall time.
+//   no-sensitive-logging  stream/printf emission (and <iostream>/<cstdio>/
+//                         <fstream> includes) inside the privacy-library
+//                         directories src/sdc, src/smc, src/pir,
+//                         src/querydb — library code returns data via
+//                         Status/Result; only callers may print.
+//   header-hygiene        every header must open with `#pragma once`
+//                         (standalone compilability is enforced separately
+//                         by the generated header-check build target).
+//   no-channel-bypass     protocol code under src/smc/ must move messages
+//                         through MakeChannel()/Channel, never raw
+//                         PartyNetwork Send/Receive (only party.* and
+//                         reliable_channel.* implement the fabric itself).
+//
+// Any finding is suppressible in place with `// NOLINT(rule-name)` (or a
+// bare `// NOLINT`, or `// NOLINTNEXTLINE(rule-name)`), so escapes are
+// explicit, reviewable, and greppable.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace tripriv {
+namespace lint {
+
+/// One finding. Formats as "file:line: [rule] message".
+struct Diagnostic {
+  std::string file;  ///< path as given to the linter (root-relative in walks)
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::string FormatDiagnostic(const Diagnostic& diag);
+
+/// Names of every rule, in reporting order.
+std::vector<std::string> RuleNames();
+
+/// Lints one translation unit. `rel_path` must be '/'-separated and relative
+/// to the tree root — rule applicability (e.g. bench/ exemptions) is decided
+/// from it. Findings are ordered by line.
+std::vector<Diagnostic> LintSource(const std::string& rel_path,
+                                   const std::string& contents);
+
+/// Walks `root`/{src,tools,bench,tests} (every *.h and *.cc file, sorted)
+/// and lints each file. `error` receives a message and the walk returns
+/// false only when `root` is unusable; findings are not errors.
+bool LintTree(const std::string& root, std::vector<Diagnostic>* findings,
+              std::string* error);
+
+/// Lints one on-disk file. `path` is opened as given; `rel_path` decides
+/// rule applicability. Returns false (with `error` set) if unreadable.
+bool LintFile(const std::string& path, const std::string& rel_path,
+              std::vector<Diagnostic>* findings, std::string* error);
+
+}  // namespace lint
+}  // namespace tripriv

@@ -1,0 +1,84 @@
+// tripriv_lint CLI.
+//
+// Usage:
+//   tripriv_lint --root DIR            lint DIR/{src,tools,bench,tests}
+//   tripriv_lint --root DIR FILE...    lint specific files; each FILE's rule
+//                                      scope is its path relative to DIR
+//   tripriv_lint --list-rules          print the rule names and exit
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Diagnostics are
+// one per line on stdout: "file:line: [rule] message".
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tripriv_lint: missing value after --root\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : tripriv::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: tripriv_lint --root DIR [FILE...] | --list-rules\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr,
+                 "usage: tripriv_lint --root DIR [FILE...] | --list-rules\n");
+    return 2;
+  }
+
+  std::vector<tripriv::lint::Diagnostic> findings;
+  std::string error;
+  bool ok = true;
+  if (files.empty()) {
+    ok = tripriv::lint::LintTree(root, &findings, &error);
+  } else {
+    for (const std::string& file : files) {
+      std::error_code ec;
+      std::string rel =
+          std::filesystem::relative(file, root, ec).generic_string();
+      if (ec || rel.empty() || rel.rfind("..", 0) == 0) rel = file;
+      if (!tripriv::lint::LintFile(file, rel, &findings, &error)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "tripriv_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const auto& diag : findings) {
+    std::printf("%s\n", tripriv::lint::FormatDiagnostic(diag).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "tripriv_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,8 +1,8 @@
 // tripriv_anonymize: command-line anonymization of CSV microdata.
 //
 // Usage:
-//   tripriv_anonymize --input data.csv --output masked.csv \
-//       --qi age,zip --confidential diagnosis \
+//   tripriv_anonymize --input data.csv --output masked.csv
+//       --qi age,zip --confidential diagnosis
 //       --method mdav --k 5 [--seed 7] [--quiet]
 //
 // Methods: mdav (microaggregation), mondrian, condense (synthetic groups),
