@@ -1,0 +1,140 @@
+// Serving tax and graceful degradation of the fault-tolerant query service.
+//
+// Two questions, one per benchmark family:
+//   * overhead — what the serving ladder (policy + WAL ack-after-commit +
+//     admission + breaker) costs over a bare StatDatabase when nothing
+//     fails;
+//   * degradation — how availability decays as the primary backend's fault
+//     rate rises: the protected share should fall, the epsilon-DP share
+//     should rise to absorb it, and whatever remains must be typed
+//     refusals. The service never buys availability with protection — the
+//     chaos suite asserts it, this bench quantifies it.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "service/query_service.h"
+#include "table/datasets.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+constexpr size_t kRows = 256;
+constexpr size_t kQueries = 64;
+
+// Same shape as the chaos suite's workload: COUNT/SUM threshold queries,
+// deterministic in the seed.
+std::vector<StatQuery> MakeWorkload(uint64_t seed) {
+  Rng rng(seed);
+  const struct {
+    const char* attr;
+    int64_t lo;
+    int64_t hi;
+  } dims[] = {{"height", 150, 195},
+              {"weight", 45, 115},
+              {"blood_pressure", 135, 185}};
+  std::vector<StatQuery> queries;
+  for (size_t i = 0; i < kQueries; ++i) {
+    StatQuery query;
+    query.table = "trial";
+    if (rng.Bernoulli(0.5)) {
+      query.fn = AggregateFn::kSum;
+      query.attribute = "blood_pressure";
+    }
+    const auto& dim = dims[rng.UniformU64(3)];
+    const int64_t threshold =
+        dim.lo + static_cast<int64_t>(
+                     rng.UniformU64(static_cast<uint64_t>(dim.hi - dim.lo)));
+    query.where = Predicate::Compare(
+        dim.attr, rng.Bernoulli(0.5) ? CompareOp::kLt : CompareOp::kGe,
+        Value(threshold));
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+QueryServiceConfig ServiceConfig(double backend_fault_rate) {
+  QueryServiceConfig config;
+  config.protection.mode = ProtectionMode::kAudit;
+  config.protection.min_query_set_size = 5;
+  config.epsilon_budget = 64.0;
+  config.admission.capacity = 1024;
+  config.admission.service_ticks = 1;
+  config.faults.backend_fault_rate = backend_fault_rate;
+  return config;
+}
+
+void BM_RawStatDatabase(benchmark::State& state) {
+  const DataTable table = MakeClinicalTrial(kRows, 7);
+  const auto workload = MakeWorkload(31);
+  ProtectionConfig config;
+  config.mode = ProtectionMode::kAudit;
+  config.min_query_set_size = 5;
+  for (auto _ : state) {
+    StatDatabase db(table, config);
+    for (const auto& query : workload) {
+      auto answer = db.Query(query);
+      benchmark::DoNotOptimize(answer);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kQueries));
+}
+BENCHMARK(BM_RawStatDatabase);
+
+void BM_QueryServiceHealthy(benchmark::State& state) {
+  const DataTable table = MakeClinicalTrial(kRows, 7);
+  const auto workload = MakeWorkload(31);
+  ServiceStats last;
+  for (auto _ : state) {
+    MemWalIo io;
+    auto service = QueryService::Create(table, ServiceConfig(0.0), &io);
+    for (const auto& query : workload) {
+      auto outcome = service->Submit(query);
+      benchmark::DoNotOptimize(outcome);
+    }
+    last = service->stats();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kQueries));
+  state.counters["protected"] = static_cast<double>(last.protected_answers);
+  state.counters["refused"] = static_cast<double>(last.refusals);
+}
+BENCHMARK(BM_QueryServiceHealthy);
+
+// Arg = primary-backend fault rate in percent.
+void BM_QueryServiceDegradation(benchmark::State& state) {
+  const double fault_rate = static_cast<double>(state.range(0)) / 100.0;
+  const DataTable table = MakeClinicalTrial(kRows, 7);
+  const auto workload = MakeWorkload(31);
+  ServiceStats last;
+  double epsilon_spent = 0.0;
+  for (auto _ : state) {
+    MemWalIo io;
+    auto service = QueryService::Create(table, ServiceConfig(fault_rate), &io);
+    for (const auto& query : workload) {
+      auto outcome = service->Submit(query);
+      benchmark::DoNotOptimize(outcome);
+    }
+    last = service->stats();
+    epsilon_spent = service->epsilon_spent();
+  }
+  const double n = static_cast<double>(last.received);
+  state.counters["protected%"] =
+      100.0 * static_cast<double>(last.protected_answers) / n;
+  state.counters["dp%"] = 100.0 * static_cast<double>(last.dp_answers) / n;
+  state.counters["refused%"] =
+      100.0 * static_cast<double>(last.refusals) / n;
+  state.counters["epsilon"] = epsilon_spent;
+}
+BENCHMARK(BM_QueryServiceDegradation)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->Arg(100);
+
+}  // namespace
+}  // namespace tripriv
+
+BENCHMARK_MAIN();

@@ -62,4 +62,19 @@ Result<QueryAnswer> ExecuteQuery(const DataTable& table,
   return Status::Internal("unhandled aggregate");
 }
 
+Result<QueryAnswer> ExecuteQuery(const DataTable& table, const StatQuery& query,
+                                 SimClock* clock, const Deadline& deadline) {
+  TRIPRIV_CHECK(clock != nullptr);
+  if (deadline.expired(*clock)) {
+    return DeadlineExceededError("query evaluation (not started)");
+  }
+  const size_t rows = table.num_rows();
+  clock->Advance(rows / kEvalRowsPerTick + 1);
+  if (deadline.expired(*clock)) {
+    return DeadlineExceededError("query evaluation over " +
+                                 std::to_string(rows) + " rows");
+  }
+  return ExecuteQuery(table, query);
+}
+
 }  // namespace tripriv

@@ -4,6 +4,7 @@
 
 #include "querydb/query.h"
 #include "table/data_table.h"
+#include "util/clock.h"
 
 namespace tripriv {
 
@@ -18,6 +19,18 @@ struct QueryAnswer {
 /// need a numeric attribute. AVG/MIN/MAX over an empty selection fail with
 /// FailedPrecondition; SUM and COUNT return 0.
 Result<QueryAnswer> ExecuteQuery(const DataTable& table, const StatQuery& query);
+
+/// Rows scanned per simulated tick in the deadline-aware overload's cost
+/// model. A request-level Deadline therefore bounds how much table the
+/// evaluator may touch before failing typed.
+inline constexpr size_t kEvalRowsPerTick = 256;
+
+/// Deadline-aware evaluation: charges the scan cost (one tick per started
+/// kEvalRowsPerTick rows) to `clock`, then fails with kDeadlineExceeded —
+/// without producing an answer — when `deadline` has passed. This is how a
+/// QueryService request deadline propagates into query evaluation.
+Result<QueryAnswer> ExecuteQuery(const DataTable& table, const StatQuery& query,
+                                 SimClock* clock, const Deadline& deadline);
 
 }  // namespace tripriv
 

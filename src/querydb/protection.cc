@@ -25,21 +25,26 @@ const char* ProtectionModeToString(ProtectionMode mode) {
   return "?";
 }
 
-StatDatabase::StatDatabase(DataTable data, ProtectionConfig config)
-    : data_(std::move(data)), config_(config), rng_(config.seed) {}
+AuditPolicy::AuditPolicy(ProtectionMode mode, size_t min_query_set_size,
+                         size_t num_records)
+    : mode_(mode),
+      min_query_set_size_(min_query_set_size),
+      num_records_(num_records) {}
 
-std::optional<std::string> StatDatabase::ShouldRefuse(
-    const StatQuery& query, const std::vector<size_t>& rows) {
-  (void)query;
-  const size_t t = config_.min_query_set_size;
-  const size_t n = data_.num_rows();
+std::optional<std::string> AuditPolicy::Check(
+    const std::vector<size_t>& rows) const {
+  if (mode_ != ProtectionMode::kQuerySetSize &&
+      mode_ != ProtectionMode::kAudit) {
+    return std::nullopt;
+  }
+  const size_t t = min_query_set_size_;
   if (rows.size() < t) {
     return "query set smaller than " + std::to_string(t);
   }
-  if (rows.size() + t > n) {
+  if (rows.size() + t > num_records_) {
     return "query set larger than n - " + std::to_string(t);
   }
-  if (config_.mode == ProtectionMode::kAudit) {
+  if (mode_ == ProtectionMode::kAudit) {
     // Overlap control (Chin-Ozsoyoglu flavour): refuse when the symmetric
     // difference with a previously answered query set would isolate fewer
     // than t records — the pair would function as a difference attack.
@@ -56,18 +61,26 @@ std::optional<std::string> StatDatabase::ShouldRefuse(
   return std::nullopt;
 }
 
+void AuditPolicy::RecordAnswered(std::vector<size_t> rows) {
+  if (mode_ != ProtectionMode::kAudit) return;
+  answered_sets_.push_back(std::move(rows));
+}
+
+StatDatabase::StatDatabase(DataTable data, ProtectionConfig config)
+    : data_(std::move(data)),
+      config_(config),
+      rng_(config.seed),
+      policy_(config.mode, config.min_query_set_size, data_.num_rows()) {}
+
 Result<ProtectedAnswer> StatDatabase::Query(const StatQuery& query) {
   log_.push_back(query);
   TRIPRIV_ASSIGN_OR_RETURN(auto rows, query.where.MatchingRows(data_));
 
   ProtectedAnswer answer;
-  if (config_.mode == ProtectionMode::kQuerySetSize ||
-      config_.mode == ProtectionMode::kAudit) {
-    if (auto reason = ShouldRefuse(query, rows)) {
-      answer.refused = true;
-      answer.refusal_reason = *reason;
-      return answer;
-    }
+  if (auto reason = policy_.Check(rows)) {
+    answer.refused = true;
+    answer.refusal_reason = *reason;
+    return answer;
   }
   TRIPRIV_ASSIGN_OR_RETURN(QueryAnswer exact, ExecuteQuery(data_, query));
 
@@ -78,7 +91,7 @@ Result<ProtectedAnswer> StatDatabase::Query(const StatQuery& query) {
       break;
     case ProtectionMode::kAudit:
       answer.value = exact.value;
-      answered_sets_.push_back(std::move(rows));
+      policy_.RecordAnswered(std::move(rows));
       break;
     case ProtectionMode::kOutputNoise: {
       // Noise scale anchored to the aggregated attribute's dispersion (for

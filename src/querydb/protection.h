@@ -52,6 +52,40 @@ struct ProtectionConfig {
   uint64_t seed = 1;
 };
 
+/// The Chin-Ozsoyoglu-style admission policy over query sets: the
+/// query-set-size bound and, in kAudit mode, pairwise overlap control
+/// against previously answered sets. Factored out of StatDatabase so the
+/// fault-tolerant QueryService front-end (src/service/) can run the same
+/// policy against audit state it persists in a crash-recoverable WAL —
+/// degraded serving must refuse exactly what the healthy policy refuses.
+class AuditPolicy {
+ public:
+  /// `num_records` is the table size n of the "|QS| > n - t" upper bound.
+  /// Modes other than kQuerySetSize / kAudit admit everything.
+  AuditPolicy(ProtectionMode mode, size_t min_query_set_size,
+              size_t num_records);
+
+  /// Refusal reason for the sorted query set `rows`, or nullopt when the
+  /// policy admits it. Pure: does not record anything.
+  std::optional<std::string> Check(const std::vector<size_t>& rows) const;
+
+  /// Commits `rows` (sorted) for future overlap checks. Only kAudit keeps
+  /// state; other modes drop the set.
+  void RecordAnswered(std::vector<size_t> rows);
+
+  const std::vector<std::vector<size_t>>& answered_sets() const {
+    return answered_sets_;
+  }
+  ProtectionMode mode() const { return mode_; }
+  size_t min_query_set_size() const { return min_query_set_size_; }
+
+ private:
+  ProtectionMode mode_;
+  size_t min_query_set_size_;
+  size_t num_records_;
+  std::vector<std::vector<size_t>> answered_sets_;
+};
+
 /// Answer from a protected database.
 struct ProtectedAnswer {
   bool refused = false;
@@ -83,16 +117,12 @@ class StatDatabase {
   const ProtectionConfig& config() const { return config_; }
 
  private:
-  /// Refusal logic shared by kQuerySetSize and kAudit.
-  std::optional<std::string> ShouldRefuse(const StatQuery& query,
-                                          const std::vector<size_t>& rows);
-
   DataTable data_;
   ProtectionConfig config_;
   Rng rng_;
   std::vector<StatQuery> log_;
-  /// Query sets of previously *answered* queries (audit mode).
-  std::vector<std::vector<size_t>> answered_sets_;
+  /// Size/overlap policy; records the sets of *answered* queries (kAudit).
+  AuditPolicy policy_;
 };
 
 }  // namespace tripriv

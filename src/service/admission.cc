@@ -1,0 +1,48 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace tripriv {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config,
+                                         SimClock* clock)
+    : config_(config), clock_(clock) {
+  TRIPRIV_CHECK(clock_ != nullptr);
+  TRIPRIV_CHECK(config_.capacity > 0);
+  TRIPRIV_CHECK(config_.parallelism > 0);
+}
+
+void AdmissionController::Drain() {
+  const uint64_t now = clock_->now();
+  while (!finish_ticks_.empty() && finish_ticks_.front() <= now) {
+    finish_ticks_.pop_front();
+  }
+}
+
+Status AdmissionController::Admit() {
+  Drain();
+  if (finish_ticks_.size() >= config_.capacity) {
+    ++shed_;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(config_.capacity) +
+        " in system)");
+  }
+  // A worker frees up when the request `parallelism` places ahead of this
+  // one finishes; with fewer in the system a worker is free right now.
+  uint64_t start = clock_->now();
+  if (finish_ticks_.size() >= config_.parallelism) {
+    start = std::max(
+        start, finish_ticks_[finish_ticks_.size() - config_.parallelism]);
+  }
+  const uint64_t service = config_.service_ticks < 1 ? 1 : config_.service_ticks;
+  finish_ticks_.push_back(start + service);
+  ++admitted_;
+  return Status::OK();
+}
+
+size_t AdmissionController::in_system() {
+  Drain();
+  return finish_ticks_.size();
+}
+
+}  // namespace tripriv

@@ -1,0 +1,61 @@
+// Admission control for the query service: a bounded virtual queue with
+// load shedding.
+//
+// The service models itself as `parallelism` workers each taking
+// `service_ticks` of simulated time per request. Admit() first retires the
+// requests whose finish tick has passed, then either enqueues the new
+// request (recording when it will finish) or — when `capacity` requests are
+// already in the system — sheds it with kResourceExhausted. Shedding at the
+// front door is itself a privacy control: an overloaded service that
+// answers slowly but eventually is indistinguishable from one silently
+// dropping protection steps; a typed early refusal keeps the fail-closed
+// ladder observable.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Shape of the virtual queue.
+struct AdmissionConfig {
+  /// Maximum requests in the system (queued + in service).
+  size_t capacity = 8;
+  /// Simulated ticks one request occupies a worker.
+  uint64_t service_ticks = 4;
+  /// Concurrent workers draining the queue.
+  size_t parallelism = 1;
+};
+
+/// Bounded-queue admission controller on simulated time.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config, SimClock* clock);
+
+  /// Admits one request (OK) or sheds it (kResourceExhausted). An admitted
+  /// request is scheduled onto the least-loaded virtual worker.
+  Status Admit();
+
+  /// Requests currently queued or in service (after draining finished ones).
+  size_t in_system();
+
+  size_t admitted() const { return admitted_; }
+  size_t shed() const { return shed_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void Drain();
+
+  AdmissionConfig config_;
+  SimClock* clock_;
+  /// Finish tick of every request in the system, non-decreasing.
+  std::deque<uint64_t> finish_ticks_;
+  size_t admitted_ = 0;
+  size_t shed_ = 0;
+};
+
+}  // namespace tripriv

@@ -1,0 +1,246 @@
+#include "service/audit_wal.h"
+
+#include <cstring>
+
+#include "util/checksum.h"
+
+namespace tripriv {
+namespace {
+
+// Record framing: [u32 payload_len | u64 fnv1a64(payload) | payload], all
+// little-endian. The checksum covers only the payload, so a torn header, a
+// torn payload, and bit rot are all detected the same way: the frame at the
+// scan cursor fails to validate and the scan stops there.
+constexpr size_t kHeaderBytes = sizeof(uint32_t) + sizeof(uint64_t);
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutDouble(std::vector<uint8_t>* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double GetDouble(const uint8_t* p) {
+  const uint64_t bits = GetU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<uint8_t> SerializeRecord(const WalRecord& record) {
+  std::vector<uint8_t> payload;
+  payload.push_back(static_cast<uint8_t>(record.type));
+  payload.push_back(static_cast<uint8_t>(record.decision));
+  PutU64(&payload, record.query_id);
+  PutU64(&payload, record.query_fingerprint);
+  PutDouble(&payload, record.epsilon);
+  PutU64(&payload, record.rows.size());
+  for (uint64_t row : record.rows) PutU64(&payload, row);
+
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64(&frame, Fnv1a64(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+// Parses one payload. Returns false on a structurally invalid payload (which
+// counts as a corrupt record even when the checksum collided).
+bool ParsePayload(const uint8_t* p, size_t len, WalRecord* out) {
+  constexpr size_t kFixed = 1 + 1 + 8 + 8 + 8 + 8;
+  if (len < kFixed) return false;
+  const uint8_t type = p[0];
+  if (type != static_cast<uint8_t>(WalRecordType::kDecision) &&
+      type != static_cast<uint8_t>(WalRecordType::kEpsilonSpend)) {
+    return false;
+  }
+  const uint8_t decision = p[1];
+  if (decision > static_cast<uint8_t>(WalDecision::kAdmitted)) return false;
+  out->type = static_cast<WalRecordType>(type);
+  out->decision = static_cast<WalDecision>(decision);
+  out->query_id = GetU64(p + 2);
+  out->query_fingerprint = GetU64(p + 10);
+  out->epsilon = GetDouble(p + 18);
+  const uint64_t num_rows = GetU64(p + 26);
+  if (len != kFixed + num_rows * 8) return false;
+  out->rows.clear();
+  out->rows.reserve(num_rows);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    out->rows.push_back(GetU64(p + kFixed + i * 8));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WalRecord::operator==(const WalRecord& other) const {
+  return type == other.type && query_id == other.query_id &&
+         query_fingerprint == other.query_fingerprint &&
+         decision == other.decision && epsilon == other.epsilon &&
+         rows == other.rows;
+}
+
+Result<size_t> MemWalIo::Append(const std::vector<uint8_t>& bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  return bytes.size();
+}
+
+Status MemWalIo::Sync() {
+  synced_size_ = bytes_.size();
+  return Status::OK();
+}
+
+Status MemWalIo::Truncate(size_t new_size) {
+  if (new_size > bytes_.size()) {
+    return Status::OutOfRange("truncate past end of WAL");
+  }
+  bytes_.resize(new_size);
+  if (synced_size_ > new_size) synced_size_ = new_size;
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> MemWalIo::ReadAll() const { return bytes_; }
+
+void MemWalIo::SimulateCrash() { bytes_.resize(synced_size_); }
+
+void MemWalIo::CorruptByte(size_t offset) {
+  TRIPRIV_CHECK(offset < bytes_.size());
+  bytes_[offset] ^= 0xFF;
+}
+
+FaultyWalIo::FaultyWalIo(WalIo* base, const WalFaultPlan& plan)
+    : base_(base), plan_(plan), rng_(plan.seed) {
+  TRIPRIV_CHECK(base_ != nullptr);
+}
+
+Result<size_t> FaultyWalIo::Append(const std::vector<uint8_t>& bytes) {
+  if (appends_ >= plan_.die_after_appends) died_ = true;
+  if (died_) {
+    return Status::Unavailable("WAL device failed");
+  }
+  ++appends_;
+  if (!bytes.empty() && rng_.Bernoulli(plan_.short_write_rate)) {
+    ++short_writes_;
+    // Persist a strict prefix: the classic torn write.
+    const size_t persisted = static_cast<size_t>(rng_.UniformU64(bytes.size()));
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<long>(persisted));
+    TRIPRIV_ASSIGN_OR_RETURN(size_t wrote, base_->Append(prefix));
+    return wrote;  // < bytes.size(): caller sees the short write
+  }
+  return base_->Append(bytes);
+}
+
+Status FaultyWalIo::Sync() {
+  if (died_) {
+    return Status::Unavailable("WAL device failed");
+  }
+  if (rng_.Bernoulli(plan_.sync_fail_rate)) {
+    ++sync_failures_;
+    return Status::Unavailable("WAL sync failed");
+  }
+  return base_->Sync();
+}
+
+Status FaultyWalIo::Truncate(size_t new_size) {
+  if (died_) {
+    return Status::Unavailable("WAL device failed");
+  }
+  return base_->Truncate(new_size);
+}
+
+Result<std::vector<uint8_t>> FaultyWalIo::ReadAll() const {
+  return base_->ReadAll();
+}
+
+AuditWal::AuditWal(WalIo* io) : io_(io) {
+  TRIPRIV_CHECK(io_ != nullptr);
+  durable_size_ = io_->size();
+}
+
+Status AuditWal::Append(const WalRecord& record) {
+  if (broken_) {
+    return Status::Unavailable("audit WAL is broken (earlier torn write "
+                               "could not be repaired)");
+  }
+  const std::vector<uint8_t> frame = SerializeRecord(record);
+
+  auto fail = [this](Status cause) -> Status {
+    // The record is (possibly partially) on the device but not durable.
+    // Repair by truncating back to the last durable offset; if the device
+    // refuses even that, latch fail-stop so no later append can land after
+    // a torn frame and masquerade as a valid log.
+    Status repair = io_->Truncate(durable_size_);
+    if (!repair.ok()) {
+      broken_ = true;
+      return Status::Unavailable("audit WAL append failed and tail repair "
+                                 "failed; WAL is now fail-stop: " +
+                                 cause.message());
+    }
+    return cause;
+  };
+
+  auto appended = io_->Append(frame);
+  if (!appended.ok()) return fail(appended.status());
+  if (*appended != frame.size()) {
+    return fail(Status::Unavailable(
+        "short WAL write: " + std::to_string(*appended) + " of " +
+        std::to_string(frame.size()) + " bytes persisted"));
+  }
+  Status synced = io_->Sync();
+  if (!synced.ok()) return fail(synced);
+
+  durable_size_ += frame.size();
+  ++records_appended_;
+  return Status::OK();
+}
+
+Result<WalRecoveryResult> AuditWal::Recover(WalIo* io) {
+  TRIPRIV_CHECK(io != nullptr);
+  TRIPRIV_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, io->ReadAll());
+
+  WalRecoveryResult result;
+  size_t cursor = 0;
+  while (cursor < bytes.size()) {
+    const size_t remaining = bytes.size() - cursor;
+    if (remaining < kHeaderBytes) break;  // torn header
+    const uint32_t len = GetU32(bytes.data() + cursor);
+    const uint64_t checksum = GetU64(bytes.data() + cursor + 4);
+    if (remaining < kHeaderBytes + len) break;  // torn payload
+    const uint8_t* payload = bytes.data() + cursor + kHeaderBytes;
+    if (Fnv1a64(payload, len) != checksum) break;  // corrupt payload
+    WalRecord record;
+    if (!ParsePayload(payload, len, &record)) break;  // structurally invalid
+    result.records.push_back(std::move(record));
+    cursor += kHeaderBytes + len;
+  }
+
+  result.bytes_truncated = bytes.size() - cursor;
+  if (result.bytes_truncated > 0) {
+    TRIPRIV_RETURN_IF_ERROR(io->Truncate(cursor));
+  }
+  return result;
+}
+
+}  // namespace tripriv

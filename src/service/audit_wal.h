@@ -1,0 +1,186 @@
+// Crash-recoverable write-ahead log for the query service's audit state.
+//
+// The Chin-Ozsoyoglu overlap audit and the DP epsilon budget are exactly
+// the state that blocks the Schlörer tracker and difference attacks; if a
+// restart resets them, the attacker just waits for a crash. AuditWal makes
+// them durable with classic WAL discipline:
+//
+//   * records are framed [u32 length | u64 FNV-1a checksum | payload] and
+//     appended through an injectable WalIo, so an I/O fault plan (short
+//     writes, sync failures, device death, crash between records) can be
+//     driven deterministically;
+//   * Append persists AND syncs before returning OK — the service only
+//     acknowledges an answer after its audit record is durable;
+//   * Append repairs a torn tail it created (short write, failed sync) by
+//     truncating back to the last durable offset, so every record that was
+//     ever acknowledged is recoverable; if even the repair fails the WAL
+//     declares itself broken and every later Append fails typed (fail-stop,
+//     never a silently unlogged answer);
+//   * Recover scans the log, drops the torn/corrupt tail (truncating the
+//     device), and replays the intact prefix.
+//
+// Records never contain query text or record-level data — only query
+// fingerprints (FNV of the canonical form), row-index sets (the audit
+// state itself), decisions, and epsilon amounts. The no-sensitive-logging
+// lint rule additionally bans stream I/O in this directory, so the WAL
+// cannot grow a debug-print side channel.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Byte-level storage a WAL appends to. Implementations are simulated
+/// devices; fault injection wraps one WalIo around another.
+class WalIo {
+ public:
+  virtual ~WalIo() = default;
+
+  /// Appends `bytes`; returns how many were persisted (short writes are a
+  /// legal fault). A full write returns bytes.size().
+  virtual Result<size_t> Append(const std::vector<uint8_t>& bytes) = 0;
+
+  /// Makes all appended bytes durable across a crash.
+  virtual Status Sync() = 0;
+
+  /// Drops everything past `new_size` bytes (tail repair / recovery).
+  virtual Status Truncate(size_t new_size) = 0;
+
+  /// Entire current contents (what a reboot would read back).
+  virtual Result<std::vector<uint8_t>> ReadAll() const = 0;
+
+  /// Current length in bytes.
+  virtual size_t size() const = 0;
+};
+
+/// In-memory simulated log device. Bytes appended after the last successful
+/// Sync are lost by SimulateCrash — the window torn-tail recovery exists
+/// for. Test helpers can also corrupt bytes in place (bit rot in flight).
+class MemWalIo final : public WalIo {
+ public:
+  Result<size_t> Append(const std::vector<uint8_t>& bytes) override;
+  Status Sync() override;
+  Status Truncate(size_t new_size) override;
+  Result<std::vector<uint8_t>> ReadAll() const override;
+  size_t size() const override { return bytes_.size(); }
+
+  /// Discards all bytes written after the last successful Sync.
+  void SimulateCrash();
+  /// Flips every bit of byte `offset` (must be < size()).
+  void CorruptByte(size_t offset);
+  size_t synced_size() const { return synced_size_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t synced_size_ = 0;
+};
+
+/// Deterministic, seed-driven I/O adversity for a wrapped WalIo.
+struct WalFaultPlan {
+  static constexpr uint64_t kNever = UINT64_MAX;
+
+  /// P(an append persists only a strict prefix of the record).
+  double short_write_rate = 0.0;
+  /// P(a sync fails; unsynced bytes then die with the next crash).
+  double sync_fail_rate = 0.0;
+  /// Device death: append number `die_after_appends` (0-based) and every
+  /// mutation after it fail with kUnavailable. ReadAll still works — a
+  /// reboot reads the disk back.
+  uint64_t die_after_appends = kNever;
+  /// Seed of the fault RNG.
+  uint64_t seed = 0x3A17;
+};
+
+/// Wraps a WalIo with the WalFaultPlan adversities.
+class FaultyWalIo final : public WalIo {
+ public:
+  FaultyWalIo(WalIo* base, const WalFaultPlan& plan);
+
+  Result<size_t> Append(const std::vector<uint8_t>& bytes) override;
+  Status Sync() override;
+  Status Truncate(size_t new_size) override;
+  Result<std::vector<uint8_t>> ReadAll() const override;
+  size_t size() const override { return base_->size(); }
+
+  size_t short_writes() const { return short_writes_; }
+  size_t sync_failures() const { return sync_failures_; }
+
+ private:
+  WalIo* base_;
+  WalFaultPlan plan_;
+  Rng rng_;
+  /// Latched when append number die_after_appends is attempted; all
+  /// mutations fail from then on.
+  bool died_ = false;
+  uint64_t appends_ = 0;
+  size_t short_writes_ = 0;
+  size_t sync_failures_ = 0;
+};
+
+/// What a WAL record describes.
+enum class WalRecordType : uint8_t {
+  kDecision = 1,      ///< one query's audit decision (trail + overlap state)
+  kEpsilonSpend = 2,  ///< DP budget charged before a degraded answer
+};
+
+/// Audit outcome of one query.
+enum class WalDecision : uint8_t {
+  kPolicyRefused = 0,  ///< the protection policy refused the query
+  kAdmitted = 1,       ///< policy admitted it; `rows` joins the audit state
+};
+
+/// One durable audit fact.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kDecision;
+  /// Position of the query in the service's lifetime (monotone).
+  uint64_t query_id = 0;
+  /// FNV-1a of the query's canonical text — never the text itself.
+  uint64_t query_fingerprint = 0;
+  WalDecision decision = WalDecision::kPolicyRefused;
+  /// Epsilon charged (kEpsilonSpend).
+  double epsilon = 0.0;
+  /// Admitted query set, sorted row indices (kDecision/kAdmitted).
+  std::vector<uint64_t> rows;
+
+  bool operator==(const WalRecord& other) const;
+};
+
+/// Result of scanning a (possibly torn) log.
+struct WalRecoveryResult {
+  std::vector<WalRecord> records;
+  /// Bytes dropped from the tail (0 on a clean log).
+  size_t bytes_truncated = 0;
+};
+
+/// Append-side WAL discipline (see file comment).
+class AuditWal {
+ public:
+  explicit AuditWal(WalIo* io);
+
+  /// Serializes, appends, and syncs `record`; OK only once it is durable.
+  /// A failure means the record is NOT durable (tail repaired or WAL
+  /// broken) and the caller must not acknowledge the guarded answer.
+  Status Append(const WalRecord& record);
+
+  /// True once an unrepairable fault has latched; all Appends fail.
+  bool broken() const { return broken_; }
+  size_t records_appended() const { return records_appended_; }
+
+  /// Scans `io`, truncates the torn/corrupt tail on the device, and returns
+  /// the intact record prefix.
+  static Result<WalRecoveryResult> Recover(WalIo* io);
+
+ private:
+  WalIo* io_;
+  /// Bytes known durable and well-formed; appends resume here.
+  size_t durable_size_;
+  bool broken_ = false;
+  size_t records_appended_ = 0;
+};
+
+}  // namespace tripriv

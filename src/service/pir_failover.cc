@@ -1,0 +1,146 @@
+#include "service/pir_failover.h"
+
+#include "util/checksum.h"
+
+namespace tripriv {
+namespace {
+
+// Bit helpers over packed LSB-first selection bitmaps. These mirror the
+// file-local helpers in pir/it_pir.cc (which does not export them): the
+// failover client builds its own selection pairs so it can inject faults
+// between the two Answer calls and verify the reconstruction before
+// stripping the checksum suffix.
+
+std::vector<uint8_t> RandomSelection(size_t n, Rng* rng) {
+  std::vector<uint8_t> bits((n + 7) / 8);
+  for (auto& b : bits) b = static_cast<uint8_t>(rng->NextU64());
+  if (n % 8 != 0) bits.back() &= static_cast<uint8_t>((1u << (n % 8)) - 1u);
+  return bits;
+}
+
+void FlipSelectionBit(std::vector<uint8_t>* bits, size_t i) {
+  (*bits)[i / 8] ^= static_cast<uint8_t>(1u << (i % 8));
+}
+
+}  // namespace
+
+Result<FailoverPirClient> FailoverPirClient::Build(
+    const std::vector<std::vector<uint8_t>>& records, size_t num_pairs,
+    const RetryPolicy& retry, SimClock* clock, uint64_t seed) {
+  TRIPRIV_CHECK(clock != nullptr);
+  if (num_pairs < 1) {
+    return Status::InvalidArgument("need at least one server pair");
+  }
+  if (records.empty()) return Status::InvalidArgument("empty database");
+  const size_t payload_size = records[0].size();
+
+  // Append the integrity suffix before replication so every server stores
+  // checksummed records and any reconstruction is verifiable.
+  std::vector<std::vector<uint8_t>> stored;
+  stored.reserve(records.size());
+  for (const auto& r : records) {
+    if (r.size() != payload_size) {
+      return Status::InvalidArgument("records must have equal length");
+    }
+    std::vector<uint8_t> with_sum = r;
+    const uint64_t sum = Fnv1a64(r.data(), r.size());
+    for (int i = 0; i < 8; ++i) {
+      with_sum.push_back(static_cast<uint8_t>(sum >> (8 * i)));
+    }
+    stored.push_back(std::move(with_sum));
+  }
+
+  FailoverPirClient client(retry, clock, seed);
+  client.num_records_ = records.size();
+  client.payload_size_ = payload_size;
+  client.servers_.reserve(2 * num_pairs);
+  for (size_t s = 0; s < 2 * num_pairs; ++s) {
+    TRIPRIV_ASSIGN_OR_RETURN(XorPirServer server, XorPirServer::Create(stored));
+    client.servers_.push_back(std::move(server));
+  }
+  client.faults_.resize(2 * num_pairs);
+  return client;
+}
+
+void FailoverPirClient::InjectFault(size_t server, const PirServerFault& fault) {
+  TRIPRIV_CHECK_LT(server, faults_.size());
+  faults_[server] = fault;
+}
+
+Result<std::vector<uint8_t>> FailoverPirClient::ReadFromPair(size_t pair,
+                                                             size_t index) {
+  const size_t a = 2 * pair;
+  const size_t b = 2 * pair + 1;
+  for (size_t s : {a, b}) {
+    if (faults_[s].crashed) {
+      return Status::Unavailable("PIR server " + std::to_string(s) +
+                                 " is down");
+    }
+  }
+
+  const size_t n = num_records_;
+  std::vector<uint8_t> sel_a = RandomSelection(n, &rng_);
+  std::vector<uint8_t> sel_b = sel_a;
+  FlipSelectionBit(&sel_b, index);
+
+  TRIPRIV_ASSIGN_OR_RETURN(auto ans_a, servers_[a].Answer(sel_a));
+  TRIPRIV_ASSIGN_OR_RETURN(auto ans_b, servers_[b].Answer(sel_b));
+  for (size_t s : {a, b}) {
+    auto& ans = (s == a) ? ans_a : ans_b;
+    if (!ans.empty() && rng_.Bernoulli(faults_[s].corrupt_rate)) {
+      const size_t byte = static_cast<size_t>(rng_.UniformU64(ans.size()));
+      ans[byte] ^= 0x5A;
+    }
+  }
+
+  TRIPRIV_CHECK_EQ(ans_a.size(), ans_b.size());
+  for (size_t i = 0; i < ans_a.size(); ++i) ans_a[i] ^= ans_b[i];
+
+  // ans_a is now (payload | checksum); verify before trusting it.
+  TRIPRIV_CHECK_EQ(ans_a.size(), payload_size_ + 8);
+  uint64_t stored_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored_sum |= static_cast<uint64_t>(ans_a[payload_size_ + i]) << (8 * i);
+  }
+  if (Fnv1a64(ans_a.data(), payload_size_) != stored_sum) {
+    ++corrupt_detected_;
+    return Status::Unavailable("PIR pair " + std::to_string(pair) +
+                               " returned a corrupt reconstruction");
+  }
+  ans_a.resize(payload_size_);
+  return ans_a;
+}
+
+Result<std::vector<uint8_t>> FailoverPirClient::Read(size_t index,
+                                                     const Deadline& deadline) {
+  if (index >= num_records_) {
+    return Status::OutOfRange("record index out of range");
+  }
+  const size_t pairs = num_pairs();
+  const size_t first_pair = next_pair_;
+  next_pair_ = (next_pair_ + 1) % pairs;
+
+  Status last = Status::Unavailable("no PIR attempt was made");
+  const size_t max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (deadline.expired(*clock_)) {
+      return DeadlineExceededError("PIR read after " +
+                                   std::to_string(attempt) + " attempt(s)");
+    }
+    const size_t pair = (first_pair + attempt) % pairs;
+    if (attempt > 0) ++failovers_;
+    auto read = ReadFromPair(pair, index);
+    if (read.ok()) return read;
+    if (!read.status().transient()) return read.status();
+    last = read.status();
+    // Charge backoff to the simulated clock; the deadline check at the top
+    // of the loop turns an expired budget into a typed failure.
+    clock_->Advance(retry_.BackoffTicks(attempt));
+  }
+  return Status::Unavailable("PIR read failed after " +
+                             std::to_string(max_attempts) +
+                             " attempts across " + std::to_string(pairs) +
+                             " pair(s); last: " + last.message());
+}
+
+}  // namespace tripriv

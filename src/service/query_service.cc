@@ -1,0 +1,402 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "util/checksum.h"
+
+namespace tripriv {
+namespace {
+
+/// FNV of the query's canonical rendering — what the WAL stores in place of
+/// the query text.
+uint64_t QueryFingerprint(const StatQuery& query) {
+  const std::string canonical = query.ToString();
+  return Fnv1a64(canonical.data(), canonical.size());
+}
+
+/// The primary backend runs the configured mode minus the policy checks the
+/// service lifts into its own (WAL-recovered) AuditPolicy.
+ProtectionConfig PrimaryConfig(const ProtectionConfig& protection) {
+  ProtectionConfig out = protection;
+  if (out.mode == ProtectionMode::kQuerySetSize ||
+      out.mode == ProtectionMode::kAudit) {
+    out.mode = ProtectionMode::kNone;
+  }
+  return out;
+}
+
+/// The degraded backend: epsilon-DP Laplace at degrade_epsilon per answer —
+/// the one protection here that needs no query inspection, so it stays
+/// sound even when the audit path is the thing that is failing.
+ProtectionConfig DegradedConfig(const QueryServiceConfig& config) {
+  ProtectionConfig out;
+  out.mode = ProtectionMode::kDifferentialPrivacy;
+  out.epsilon = config.degrade_epsilon;
+  out.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+  return out;
+}
+
+CircuitBreakerConfig WithSeed(CircuitBreakerConfig config, uint64_t seed) {
+  config.seed = seed;
+  return config;
+}
+
+constexpr double kEpsilonSlack = 1e-12;
+
+}  // namespace
+
+const char* AnswerTierToString(AnswerTier tier) {
+  switch (tier) {
+    case AnswerTier::kProtected:
+      return "protected";
+    case AnswerTier::kDpDegraded:
+      return "dp-degraded";
+    case AnswerTier::kRefused:
+      return "refused";
+  }
+  return "?";
+}
+
+QueryService::QueryService(DataTable data, QueryServiceConfig config,
+                           WalIo* wal_io)
+    : config_(std::move(config)),
+      clock_(std::make_unique<SimClock>()),
+      wal_(wal_io),
+      policy_(config_.protection.mode, config_.protection.min_query_set_size,
+              data.num_rows()),
+      backend_(data, PrimaryConfig(config_.protection)),
+      dp_db_(std::move(data), DegradedConfig(config_)),
+      admission_(
+          std::make_unique<AdmissionController>(config_.admission, clock_.get())),
+      primary_breaker_(std::make_unique<CircuitBreaker>(
+          WithSeed(config_.breaker, config_.breaker.seed), clock_.get())),
+      dp_breaker_(std::make_unique<CircuitBreaker>(
+          WithSeed(config_.breaker, config_.breaker.seed ^ 0xD15EA5Eull),
+          clock_.get())),
+      fault_rng_(config_.faults.seed) {}
+
+Result<QueryService> QueryService::Create(DataTable data,
+                                          QueryServiceConfig config,
+                                          WalIo* wal_io) {
+  TRIPRIV_CHECK(wal_io != nullptr);
+  if (config.degrade_epsilon <= 0.0) {
+    return Status::InvalidArgument("degrade_epsilon must be > 0");
+  }
+  if (config.epsilon_budget < 0.0) {
+    return Status::InvalidArgument("epsilon_budget must be >= 0");
+  }
+  // Recover BEFORE constructing the appender: Recover truncates the torn
+  // tail, and AuditWal resumes appending at the repaired device size.
+  TRIPRIV_ASSIGN_OR_RETURN(WalRecoveryResult recovered,
+                           AuditWal::Recover(wal_io));
+  QueryService service(std::move(data), std::move(config), wal_io);
+  for (const WalRecord& record : recovered.records) {
+    if (record.query_id >= service.next_query_id_) {
+      service.next_query_id_ = record.query_id + 1;
+    }
+    switch (record.type) {
+      case WalRecordType::kDecision:
+        if (record.decision == WalDecision::kAdmitted) {
+          std::vector<size_t> rows(record.rows.begin(), record.rows.end());
+          service.policy_.RecordAnswered(std::move(rows));
+        }
+        break;
+      case WalRecordType::kEpsilonSpend:
+        service.epsilon_spent_ += record.epsilon;
+        break;
+    }
+  }
+  return service;
+}
+
+ServiceAnswer QueryService::Refuse(uint64_t query_id, Status why) {
+  TRIPRIV_CHECK(!why.ok());
+  ++stats_.refusals;
+  ServiceAnswer out;
+  out.tier = AnswerTier::kRefused;
+  out.refusal = std::move(why);
+  out.query_id = query_id;
+  return out;
+}
+
+ServiceAnswer QueryService::Submit(const StatQuery& query) {
+  return Submit(query,
+                Deadline::After(*clock_, config_.default_deadline_ticks));
+}
+
+ServiceAnswer QueryService::Submit(const StatQuery& query,
+                                   const Deadline& deadline) {
+  ++stats_.received;
+  const uint64_t query_id = next_query_id_++;
+  if (crashed_) {
+    return Refuse(query_id, Status::Unavailable(
+                                "service crashed; recover via Create()"));
+  }
+
+  // --- Policy stage: runs for EVERY query, before admission control and
+  // deadline checks, so the audit state evolves as a deterministic function
+  // of the query sequence alone. A fault further down can only withhold
+  // this query's answer; it can never un-record the decision and let a
+  // later overlapping query through.
+  auto rows_or = query.where.MatchingRows(backend_.data());
+  if (!rows_or.ok()) {
+    // Malformed query: no query set exists, so no audit decision to log.
+    return Refuse(query_id, rows_or.status());
+  }
+  std::vector<size_t> rows = std::move(rows_or).value();
+  const uint64_t fingerprint = QueryFingerprint(query);
+  const std::optional<std::string> refusal_reason = policy_.Check(rows);
+
+  WalRecord decision;
+  decision.type = WalRecordType::kDecision;
+  decision.query_id = query_id;
+  decision.query_fingerprint = fingerprint;
+  decision.decision = refusal_reason ? WalDecision::kPolicyRefused
+                                     : WalDecision::kAdmitted;
+  if (!refusal_reason) decision.rows.assign(rows.begin(), rows.end());
+  Status logged = wal_.Append(decision);
+  if (!logged.ok()) ++stats_.wal_append_failures;
+  if (!refusal_reason) {
+    // In-memory audit state records the admission even when the WAL write
+    // failed: the overlap check must see this set for the rest of this
+    // process lifetime regardless, and the un-logged answer is simply never
+    // released (below). Fail closed, both in memory and on disk.
+    policy_.RecordAnswered(std::move(rows));
+  }
+  if (refusal_reason) {
+    ++stats_.policy_refusals;
+    return Refuse(query_id, Status::PermissionDenied(*refusal_reason));
+  }
+  if (!logged.ok()) {
+    return Refuse(query_id,
+                  Status::Unavailable("audit trail not durable: " +
+                                      logged.message()));
+  }
+
+  // --- Admission control: shed before any backend work.
+  Status admitted = admission_->Admit();
+  if (!admitted.ok()) {
+    ++stats_.shed;
+    return Refuse(query_id, std::move(admitted));
+  }
+
+  if (deadline.expired(*clock_)) {
+    return Refuse(query_id,
+                  DeadlineExceededError("request deadline at admission"));
+  }
+
+  // --- Primary path: exact answer under the configured protection.
+  auto primary = TryPrimary(query, deadline);
+  if (primary.ok()) {
+    if (primary->refused) {
+      // A semantic refusal from the primary mode (e.g. MIN/MAX when the
+      // configured mode is differential privacy).
+      ++stats_.policy_refusals;
+      return Refuse(query_id,
+                    Status::PermissionDenied(primary->refusal_reason));
+    }
+    if (fault_rng_.Bernoulli(config_.faults.crash_mid_answer_rate)) {
+      // The decision record is durable but the client never hears back —
+      // exactly the window monotone recovery is about.
+      crashed_ = true;
+      return Refuse(query_id, Status::Unavailable(
+                                  "service crashed before releasing the answer"));
+    }
+    ++stats_.protected_answers;
+    ServiceAnswer out;
+    out.tier = AnswerTier::kProtected;
+    out.answer = std::move(primary).value();
+    out.query_id = query_id;
+    return out;
+  }
+
+  // --- Degradation ladder. Only an unavailable primary degrades; an
+  // exceeded deadline refuses (the time budget is the client's, and more
+  // work cannot un-spend it), and permanent failures refuse typed.
+  if (primary.status().code() == StatusCode::kUnavailable) {
+    ++stats_.degraded_attempts;
+    return TryDegraded(query, query_id);
+  }
+  return Refuse(query_id, primary.status());
+}
+
+Result<ProtectedAnswer> QueryService::TryPrimary(const StatQuery& query,
+                                                 const Deadline& deadline) {
+  if (!primary_breaker_->AllowRequest()) {
+    return Status::Unavailable("primary circuit breaker is open");
+  }
+  const RetryPolicy retry =
+      config_.retry.Truncated(deadline.remaining_ticks(*clock_));
+  const size_t max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  Status last = Status::Unavailable("no primary attempt was made");
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (deadline.expired(*clock_)) {
+      return DeadlineExceededError("primary path after " +
+                                   std::to_string(attempt) + " attempt(s)");
+    }
+    if (fault_rng_.Bernoulli(config_.faults.backend_fault_rate)) {
+      primary_breaker_->RecordFailure();
+      last = Status::Unavailable("injected primary backend fault");
+      clock_->Advance(retry.BackoffTicks(attempt));
+      continue;
+    }
+    // Deadline-aware evaluation charges the scan cost to the clock and
+    // fails typed when the budget runs out mid-scan.
+    auto evaluated = ExecuteQuery(backend_.data(), query, clock_.get(), deadline);
+    if (!evaluated.ok()) {
+      if (evaluated.status().code() == StatusCode::kDeadlineExceeded) {
+        // The request's budget, not the backend's health: no breaker
+        // penalty, and retrying cannot help.
+        return evaluated.status();
+      }
+      // The backend responded; the query itself is bad (permanent).
+      primary_breaker_->RecordSuccess();
+      return evaluated.status();
+    }
+    auto answer = backend_.Query(query);
+    primary_breaker_->RecordSuccess();
+    if (!answer.ok()) return answer.status();
+    return answer;
+  }
+  return Status::Unavailable("primary path failed after " +
+                             std::to_string(max_attempts) +
+                             " attempt(s); last: " + last.message());
+}
+
+Status QueryService::ChargeEpsilon(uint64_t query_id, uint64_t fingerprint) {
+  // Charge memory FIRST: if the durable record then fails, the budget is
+  // conservatively spent and the answer withheld — never the reverse.
+  epsilon_spent_ += config_.degrade_epsilon;
+  WalRecord spend;
+  spend.type = WalRecordType::kEpsilonSpend;
+  spend.query_id = query_id;
+  spend.query_fingerprint = fingerprint;
+  spend.decision = WalDecision::kAdmitted;
+  spend.epsilon = config_.degrade_epsilon;
+  Status logged = wal_.Append(spend);
+  if (!logged.ok()) {
+    ++stats_.wal_append_failures;
+    return Status::Unavailable("epsilon spend not durable: " +
+                               logged.message());
+  }
+  return Status::OK();
+}
+
+ServiceAnswer QueryService::TryDegraded(const StatQuery& query,
+                                        uint64_t query_id) {
+  if (!dp_breaker_->AllowRequest()) {
+    return Refuse(query_id,
+                  Status::Unavailable("degraded-path circuit breaker is open"));
+  }
+  if (fault_rng_.Bernoulli(config_.faults.dp_fault_rate)) {
+    dp_breaker_->RecordFailure();
+    return Refuse(query_id,
+                  Status::Unavailable("injected degraded-path fault"));
+  }
+  if (epsilon_spent_ + config_.degrade_epsilon >
+      config_.epsilon_budget + kEpsilonSlack) {
+    dp_breaker_->RecordSuccess();
+    return Refuse(query_id, Status::PermissionDenied(
+                                "degraded-path privacy budget exhausted"));
+  }
+  auto answer = dp_db_.Query(query);
+  dp_breaker_->RecordSuccess();
+  if (!answer.ok()) return Refuse(query_id, answer.status());
+  if (answer->refused) {
+    return Refuse(query_id, Status::PermissionDenied(answer->refusal_reason));
+  }
+  Status charged = ChargeEpsilon(query_id, QueryFingerprint(query));
+  if (!charged.ok()) return Refuse(query_id, std::move(charged));
+  if (fault_rng_.Bernoulli(config_.faults.crash_mid_answer_rate)) {
+    crashed_ = true;
+    return Refuse(query_id, Status::Unavailable(
+                                "service crashed before releasing the answer"));
+  }
+  ++stats_.dp_answers;
+  ServiceAnswer out;
+  out.tier = AnswerTier::kDpDegraded;
+  out.answer = std::move(answer).value();
+  out.query_id = query_id;
+  return out;
+}
+
+void QueryService::AttachAggregateBackends(
+    std::vector<const PrivateAggregateServer*> replicas,
+    PrivateAggregateClient* client, Rng* server_noise_rng) {
+  for (const auto* replica : replicas) TRIPRIV_CHECK(replica != nullptr);
+  TRIPRIV_CHECK(client != nullptr);
+  TRIPRIV_CHECK(server_noise_rng != nullptr);
+  aggregate_replicas_ = std::move(replicas);
+  aggregate_client_ = client;
+  aggregate_server_rng_ = server_noise_rng;
+}
+
+Result<int64_t> QueryService::PrivateDpCount(const Predicate& predicate,
+                                             const Deadline& deadline) {
+  if (crashed_) {
+    return Status::Unavailable("service crashed; recover via Create()");
+  }
+  if (aggregate_replicas_.empty() || aggregate_client_ == nullptr) {
+    return Status::FailedPrecondition("no aggregate backends attached");
+  }
+  const uint64_t query_id = next_query_id_++;
+  if (epsilon_spent_ + config_.degrade_epsilon >
+      config_.epsilon_budget + kEpsilonSlack) {
+    return Status::PermissionDenied("privacy budget exhausted");
+  }
+  const RetryPolicy retry =
+      config_.retry.Truncated(deadline.remaining_ticks(*clock_));
+  const size_t max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  Status last = Status::Unavailable("no aggregate attempt was made");
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (deadline.expired(*clock_)) {
+      return DeadlineExceededError("private aggregate count after " +
+                                   std::to_string(attempt) + " attempt(s)");
+    }
+    // Replica failover: each attempt goes to the next replica.
+    const auto* replica = aggregate_replicas_[attempt % aggregate_replicas_.size()];
+    if (fault_rng_.Bernoulli(config_.faults.aggregate_fault_rate)) {
+      last = Status::Unavailable("injected aggregate replica fault");
+      clock_->Advance(retry.BackoffTicks(attempt));
+      continue;
+    }
+    clock_->Advance(1);  // one round trip of ciphertexts
+    auto count = aggregate_client_->DpCount(*replica, predicate,
+                                            config_.degrade_epsilon,
+                                            aggregate_server_rng_);
+    if (!count.ok()) {
+      if (!count.status().transient()) return count.status();
+      last = count.status();
+      clock_->Advance(retry.BackoffTicks(attempt));
+      continue;
+    }
+    const std::string canonical = predicate.ToString();
+    TRIPRIV_RETURN_IF_ERROR(ChargeEpsilon(
+        query_id, Fnv1a64(canonical.data(), canonical.size())));
+    ++stats_.dp_answers;
+    return *count;
+  }
+  return Status::Unavailable("aggregate path failed after " +
+                             std::to_string(max_attempts) +
+                             " attempt(s); last: " + last.message());
+}
+
+void QueryService::AttachPirBackend(FailoverPirClient* pir) {
+  TRIPRIV_CHECK(pir != nullptr);
+  pir_ = pir;
+}
+
+Result<std::vector<uint8_t>> QueryService::PirRead(size_t index,
+                                                   const Deadline& deadline) {
+  if (crashed_) {
+    return Status::Unavailable("service crashed; recover via Create()");
+  }
+  if (pir_ == nullptr) {
+    return Status::FailedPrecondition("no PIR backend attached");
+  }
+  return pir_->Read(index, deadline);
+}
+
+}  // namespace tripriv

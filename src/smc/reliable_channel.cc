@@ -178,6 +178,16 @@ Result<PartyMessage> ReliableChannel::Receive(size_t to) {
   if (to >= net_->num_parties()) {
     return Status::OutOfRange("invalid party index");
   }
+  if (policy_.deadline_ticks == 0) {
+    // A zero-tick budget buys no network polls (each poll advances the
+    // clock): deliver only what is already buffered locally, then fail
+    // typed immediately instead of attempting one blocking receive.
+    PartyMessage buffered;
+    if (TakeBuffered(to, &buffered)) return buffered;
+    return Status::DeadlineExceeded("no message for party " +
+                                    std::to_string(to) +
+                                    " within 0 ticks");
+  }
   const uint64_t deadline = net_->now() + policy_.deadline_ticks;
   size_t poll = 0;
   for (;;) {

@@ -1,0 +1,39 @@
+// FNV-1a 64-bit checksums over byte ranges.
+//
+// Used wherever the tree needs cheap, portable integrity detection:
+// AuditWal record framing (src/service/audit_wal.h) and the per-record
+// checksums that let a PIR client detect a corrupt-answer server
+// (src/service/pir_failover.h). Not cryptographic — it detects fault
+// injection and bit rot, not adversarial tampering.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tripriv {
+
+inline constexpr uint64_t kFnv1aOffset = 1469598103934665603ull;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Incrementally mixes one byte into an FNV-1a state.
+inline void Fnv1aMix(uint64_t* h, uint8_t b) {
+  *h ^= b;
+  *h *= kFnv1aPrime;
+}
+
+/// FNV-1a over `len` bytes starting at `data`.
+inline uint64_t Fnv1a64(const uint8_t* data, size_t len) {
+  uint64_t h = kFnv1aOffset;
+  for (size_t i = 0; i < len; ++i) Fnv1aMix(&h, data[i]);
+  return h;
+}
+
+/// FNV-1a over a NUL-agnostic character range (e.g. a std::string's data).
+inline uint64_t Fnv1a64(const char* data, size_t len) {
+  uint64_t h = kFnv1aOffset;
+  for (size_t i = 0; i < len; ++i) Fnv1aMix(&h, static_cast<uint8_t>(data[i]));
+  return h;
+}
+
+}  // namespace tripriv

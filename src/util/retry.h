@@ -34,6 +34,11 @@ struct RetryPolicy {
   /// Backoff before retransmission number `attempt` (0-based):
   /// min(initial * multiplier^attempt, max), and at least 1 tick.
   uint64_t BackoffTicks(size_t attempt) const;
+
+  /// Copy of this policy whose deadline budget is capped at
+  /// `remaining_ticks` — how an enclosing Deadline (util/clock.h) propagates
+  /// into a nested retry loop without widening the caller's time budget.
+  RetryPolicy Truncated(uint64_t remaining_ticks) const;
 };
 
 /// True when `status` is worth retrying under a RetryPolicy.

@@ -26,13 +26,16 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
 
 bool IsTransientCode(StatusCode code) {
   return code == StatusCode::kUnavailable ||
-         code == StatusCode::kDeadlineExceeded;
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kResourceExhausted;
 }
 
 std::string Status::ToString() const {

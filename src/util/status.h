@@ -28,10 +28,12 @@ enum class StatusCode {
   kPermissionDenied,  ///< a privacy policy or protection mechanism refused
   kUnavailable,       ///< transient: resource not ready, retry may succeed
   kDeadlineExceeded,  ///< transient: operation ran out of time budget
+  kResourceExhausted, ///< transient: load shed by admission control, back off
 };
 
-/// True for the transient codes (kUnavailable, kDeadlineExceeded): the
-/// operation may succeed if retried; all other codes are permanent.
+/// True for the transient codes (kUnavailable, kDeadlineExceeded,
+/// kResourceExhausted): the operation may succeed if retried; all other
+/// codes are permanent.
 bool IsTransientCode(StatusCode code);
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -87,6 +89,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,95 @@
+// Tests for the tracker attack's FAILURE paths: when protection succeeds,
+// TrackerAttackResult must degrade into a typed, explained failure — never
+// garbage inferences — and FindTracker must admit defeat with nullopt.
+
+#include <gtest/gtest.h>
+
+#include "querydb/tracker.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+Predicate Section3Target() {
+  return Predicate::And(
+      Predicate::Compare("height", CompareOp::kLt, Value(165)),
+      Predicate::Compare("weight", CompareOp::kGt, Value(105)));
+}
+
+TEST(TrackerFailureTest, NoTrackerExistsUnderCrushingThreshold) {
+  // t = 6 on a 10-record table makes the answerable window [6, n - 6]
+  // empty: every probe is refused, so no tracker candidate survives and
+  // the finder must admit defeat instead of returning a stale candidate.
+  ProtectionConfig config;
+  config.mode = ProtectionMode::kQuerySetSize;
+  config.min_query_set_size = 6;
+  StatDatabase db(PaperDataset2(), config);
+  auto tracker = FindTracker(&db, "height", 140.0, 205.0, 16);
+  EXPECT_FALSE(tracker.has_value());
+}
+
+TEST(TrackerFailureTest, AllPiecesRefusedYieldsTypedFailureNotGarbage) {
+  // Under an impossibly large threshold every padding query is refused;
+  // the attack must report failure with a reason, not fabricate values.
+  ProtectionConfig config;
+  config.mode = ProtectionMode::kQuerySetSize;
+  config.min_query_set_size = 6;  // > n/2: nothing is answerable
+  StatDatabase db(PaperDataset2(), config);
+
+  const Predicate tracker =
+      Predicate::Compare("height", CompareOp::kLt, Value(170));
+  auto attack =
+      TrackerAttack(&db, Section3Target(), "blood_pressure", tracker);
+  ASSERT_TRUE(attack.ok());  // the attack ran; it just did not succeed
+  EXPECT_FALSE(attack->succeeded);
+  EXPECT_FALSE(attack->failure_reason.empty());
+  EXPECT_NE(attack->failure_reason.find("refused"), std::string::npos);
+  // Inference fields stay at their zero-initialized values: a failed attack
+  // must not leave plausible-looking numbers behind.
+  EXPECT_DOUBLE_EQ(attack->inferred_count, 0.0);
+  EXPECT_DOUBLE_EQ(attack->inferred_sum, 0.0);
+  // The refused probes still hit the query log (a real attacker's trace).
+  EXPECT_GT(attack->queries_used, 0u);
+}
+
+TEST(TrackerFailureTest, AuditModeBlocksTheAttackMidway) {
+  // Overlap auditing lets early pieces through, then refuses a later piece
+  // whose symmetric difference with an answered set is too small. The
+  // attack must surface that refusal reason.
+  ProtectionConfig config;
+  config.mode = ProtectionMode::kAudit;
+  config.min_query_set_size = 2;
+  StatDatabase db(PaperDataset2(), config);
+
+  const Predicate tracker =
+      Predicate::Compare("height", CompareOp::kLt, Value(170));
+  auto attack =
+      TrackerAttack(&db, Section3Target(), "blood_pressure", tracker);
+  ASSERT_TRUE(attack.ok());
+  EXPECT_FALSE(attack->succeeded);
+  EXPECT_FALSE(attack->failure_reason.empty());
+  EXPECT_DOUBLE_EQ(attack->inferred_count, 0.0);
+  EXPECT_DOUBLE_EQ(attack->inferred_sum, 0.0);
+}
+
+TEST(TrackerFailureTest, SucceedsAgainWhenProtectionIsWeak) {
+  // Sanity inverse: with the paper's weak t = 2 threshold the same attack
+  // succeeds — the failure paths above are the protection working, not the
+  // attack being broken.
+  ProtectionConfig config;
+  config.mode = ProtectionMode::kQuerySetSize;
+  config.min_query_set_size = 2;
+  StatDatabase db(PaperDataset2(), config);
+  auto tracker = FindTracker(&db, "height", 140.0, 205.0, 16);
+  ASSERT_TRUE(tracker.has_value());
+  auto attack =
+      TrackerAttack(&db, Section3Target(), "blood_pressure", *tracker);
+  ASSERT_TRUE(attack.ok());
+  EXPECT_TRUE(attack->succeeded);
+  EXPECT_TRUE(attack->failure_reason.empty());
+  EXPECT_DOUBLE_EQ(attack->inferred_count, 1.0);
+  EXPECT_DOUBLE_EQ(attack->inferred_sum, 146.0);
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,209 @@
+// Tests for the crash-recoverable audit WAL: framing round-trips, torn-tail
+// truncation, checksum rejection, append-side tail repair, and the
+// fail-stop latch.
+
+#include "service/audit_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tripriv {
+namespace {
+
+WalRecord Decision(uint64_t id, std::vector<uint64_t> rows) {
+  WalRecord r;
+  r.type = WalRecordType::kDecision;
+  r.query_id = id;
+  r.query_fingerprint = 0xFEEDull * (id + 1);
+  r.decision = WalDecision::kAdmitted;
+  r.rows = std::move(rows);
+  return r;
+}
+
+WalRecord Refusal(uint64_t id) {
+  WalRecord r;
+  r.type = WalRecordType::kDecision;
+  r.query_id = id;
+  r.query_fingerprint = 0xFEEDull * (id + 1);
+  r.decision = WalDecision::kPolicyRefused;
+  return r;
+}
+
+WalRecord Spend(uint64_t id, double epsilon) {
+  WalRecord r;
+  r.type = WalRecordType::kEpsilonSpend;
+  r.query_id = id;
+  r.decision = WalDecision::kAdmitted;
+  r.epsilon = epsilon;
+  return r;
+}
+
+TEST(AuditWalTest, RecordsRoundTripThroughRecovery) {
+  MemWalIo io;
+  AuditWal wal(&io);
+  const std::vector<WalRecord> written = {
+      Decision(0, {1, 4, 9}), Refusal(1), Spend(2, 0.5), Decision(3, {})};
+  for (const auto& r : written) ASSERT_TRUE(wal.Append(r).ok());
+  EXPECT_EQ(wal.records_appended(), written.size());
+
+  auto recovered = AuditWal::Recover(&io);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->bytes_truncated, 0u);
+  ASSERT_EQ(recovered->records.size(), written.size());
+  for (size_t i = 0; i < written.size(); ++i) {
+    EXPECT_TRUE(recovered->records[i] == written[i]) << "record " << i;
+  }
+}
+
+TEST(AuditWalTest, EmptyLogRecoversToNothing) {
+  MemWalIo io;
+  auto recovered = AuditWal::Recover(&io);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->records.empty());
+  EXPECT_EQ(recovered->bytes_truncated, 0u);
+}
+
+TEST(AuditWalTest, CrashDropsOnlyUnsyncedBytes) {
+  MemWalIo io;
+  AuditWal wal(&io);
+  ASSERT_TRUE(wal.Append(Decision(0, {1, 2, 3})).ok());
+  // Simulate a torn write the appender never got to repair: raw bytes land
+  // after the last sync, then the process dies.
+  ASSERT_TRUE(io.Append({0xDE, 0xAD, 0xBE}).ok());
+  io.SimulateCrash();
+
+  auto recovered = AuditWal::Recover(&io);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->records.size(), 1u);
+  EXPECT_TRUE(recovered->records[0] == Decision(0, {1, 2, 3}));
+  EXPECT_EQ(recovered->bytes_truncated, 0u);  // crash already dropped them
+}
+
+TEST(AuditWalTest, TornTailIsTruncatedAtRecovery) {
+  MemWalIo io;
+  AuditWal wal(&io);
+  ASSERT_TRUE(wal.Append(Decision(0, {5})).ok());
+  const size_t durable = io.size();
+  // A torn frame that DID get synced (e.g. the crash hit between the data
+  // sync and the appender's bookkeeping): recovery must cut it off.
+  ASSERT_TRUE(io.Append({0x09, 0x00, 0x00, 0x00, 0x11, 0x22}).ok());
+  ASSERT_TRUE(io.Sync().ok());
+
+  auto recovered = AuditWal::Recover(&io);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->records.size(), 1u);
+  EXPECT_EQ(recovered->bytes_truncated, 6u);
+  EXPECT_EQ(io.size(), durable);  // the device itself was repaired
+}
+
+TEST(AuditWalTest, CorruptTailRecordIsRejectedByChecksum) {
+  MemWalIo io;
+  AuditWal wal(&io);
+  ASSERT_TRUE(wal.Append(Decision(0, {1})).ok());
+  const size_t first_end = io.size();
+  ASSERT_TRUE(wal.Append(Decision(1, {2})).ok());
+  io.CorruptByte(io.size() - 1);  // flip one payload byte of record 1
+
+  auto recovered = AuditWal::Recover(&io);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->records.size(), 1u);
+  EXPECT_TRUE(recovered->records[0] == Decision(0, {1}));
+  EXPECT_EQ(io.size(), first_end);
+}
+
+TEST(AuditWalTest, AppendAfterRecoveryContinuesTheLog) {
+  MemWalIo io;
+  {
+    AuditWal wal(&io);
+    ASSERT_TRUE(wal.Append(Decision(0, {1})).ok());
+    ASSERT_TRUE(io.Append({0x77}).ok());  // torn garbage, synced
+    ASSERT_TRUE(io.Sync().ok());
+  }
+  auto recovered = AuditWal::Recover(&io);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->bytes_truncated, 1u);
+
+  AuditWal wal(&io);  // constructed over the repaired device
+  ASSERT_TRUE(wal.Append(Decision(1, {2})).ok());
+  auto again = AuditWal::Recover(&io);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->records.size(), 2u);
+  EXPECT_EQ(again->records[1].query_id, 1u);
+}
+
+TEST(AuditWalTest, ShortWriteIsRepairedAndReported) {
+  MemWalIo base;
+  WalFaultPlan plan;
+  plan.short_write_rate = 1.0;  // every append tears
+  FaultyWalIo io(&base, plan);
+  AuditWal wal(&io);
+
+  Status appended = wal.Append(Decision(0, {1, 2}));
+  ASSERT_FALSE(appended.ok());
+  EXPECT_EQ(appended.code(), StatusCode::kUnavailable);
+  EXPECT_GE(io.short_writes(), 1u);
+  // Tail repair ran: the device holds no partial frame.
+  EXPECT_EQ(base.size(), 0u);
+  auto recovered = AuditWal::Recover(&base);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->records.empty());
+}
+
+TEST(AuditWalTest, SyncFailureMeansRecordNotDurable) {
+  MemWalIo base;
+  WalFaultPlan plan;
+  plan.sync_fail_rate = 1.0;
+  FaultyWalIo io(&base, plan);
+  AuditWal wal(&io);
+
+  Status appended = wal.Append(Decision(0, {3}));
+  ASSERT_FALSE(appended.ok());
+  EXPECT_GE(io.sync_failures(), 1u);
+  // The appender truncated the unsynced frame; nothing to recover.
+  auto recovered = AuditWal::Recover(&base);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->records.empty());
+}
+
+TEST(AuditWalTest, DeadDeviceLatchesFailStop) {
+  MemWalIo base;
+  WalFaultPlan plan;
+  plan.die_after_appends = 1;  // first append works, then the device dies
+  FaultyWalIo io(&base, plan);
+  AuditWal wal(&io);
+
+  ASSERT_TRUE(wal.Append(Decision(0, {1})).ok());
+  // Device dead: append fails AND the repair truncate fails -> fail-stop.
+  Status second = wal.Append(Decision(1, {2}));
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(wal.broken());
+  Status third = wal.Append(Decision(2, {3}));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  // The durable prefix survives untouched.
+  auto recovered = AuditWal::Recover(&base);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->records.size(), 1u);
+}
+
+TEST(AuditWalTest, FaultFreeFaultyIoIsTransparent) {
+  MemWalIo base;
+  FaultyWalIo io(&base, WalFaultPlan{});
+  AuditWal wal(&io);
+  ASSERT_TRUE(wal.Append(Decision(0, {1, 2, 3})).ok());
+  ASSERT_TRUE(wal.Append(Spend(0, 0.25)).ok());
+  auto recovered = AuditWal::Recover(&base);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records.size(), 2u);
+  EXPECT_EQ(io.short_writes(), 0u);
+  EXPECT_EQ(io.sync_failures(), 0u);
+}
+
+TEST(AuditWalTest, TruncatePastEndIsRejected) {
+  MemWalIo io;
+  EXPECT_EQ(io.Truncate(4).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace tripriv

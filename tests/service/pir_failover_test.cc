@@ -1,0 +1,129 @@
+// Tests for the multi-server IT-PIR failover client: correct retrieval,
+// crashed-server failover, corrupt-answer detection via record checksums,
+// deadline enforcement, and single-server blindness across retries.
+
+#include "service/pir_failover.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tripriv {
+namespace {
+
+std::vector<std::vector<uint8_t>> TestRecords(size_t n, size_t record_size) {
+  std::vector<std::vector<uint8_t>> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    records[i].resize(record_size);
+    for (size_t j = 0; j < record_size; ++j) {
+      records[i][j] = static_cast<uint8_t>(i * 31 + j);
+    }
+  }
+  return records;
+}
+
+TEST(PirFailoverTest, HealthyPairsRetrieveEveryRecord) {
+  SimClock clock;
+  auto records = TestRecords(13, 5);
+  auto client = FailoverPirClient::Build(records, 2, RetryPolicy{}, &clock, 7);
+  ASSERT_TRUE(client.ok());
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto read = client->Read(i, Deadline());
+    ASSERT_TRUE(read.ok()) << "record " << i;
+    EXPECT_EQ(*read, records[i]);
+  }
+  EXPECT_EQ(client->failovers(), 0u);
+  EXPECT_EQ(client->corrupt_answers_detected(), 0u);
+}
+
+TEST(PirFailoverTest, CrashedPairFailsOverToHealthyPair) {
+  SimClock clock;
+  auto records = TestRecords(8, 4);
+  auto client = FailoverPirClient::Build(records, 2, RetryPolicy{}, &clock, 7);
+  ASSERT_TRUE(client.ok());
+  client->InjectFault(0, PirServerFault{.crashed = true});  // pair 0 side A
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto read = client->Read(i, Deadline());
+    ASSERT_TRUE(read.ok()) << "record " << i;
+    EXPECT_EQ(*read, records[i]);
+  }
+  EXPECT_GT(client->failovers(), 0u);
+}
+
+TEST(PirFailoverTest, AllPairsDownIsTypedUnavailable) {
+  SimClock clock;
+  auto records = TestRecords(4, 3);
+  auto client = FailoverPirClient::Build(records, 2, RetryPolicy{}, &clock, 7);
+  ASSERT_TRUE(client.ok());
+  for (size_t s = 0; s < 4; ++s) {
+    client->InjectFault(s, PirServerFault{.crashed = true});
+  }
+  auto read = client->Read(0, Deadline());
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(PirFailoverTest, CorruptAnswerIsDetectedNeverReturned) {
+  SimClock clock;
+  auto records = TestRecords(16, 6);
+  auto client = FailoverPirClient::Build(records, 3, RetryPolicy{}, &clock, 11);
+  ASSERT_TRUE(client.ok());
+  // Pair 0's side B flips a byte in every answer. The checksum must catch
+  // it and fail over; the caller sees only correct data or typed errors.
+  client->InjectFault(1, PirServerFault{.corrupt_rate = 1.0});
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto read = client->Read(i, Deadline());
+    ASSERT_TRUE(read.ok()) << "record " << i;
+    EXPECT_EQ(*read, records[i]);  // never silently corrupt
+  }
+  EXPECT_GT(client->corrupt_answers_detected(), 0u);
+}
+
+TEST(PirFailoverTest, DeadlineBoundsFailoverAttempts) {
+  SimClock clock;
+  auto records = TestRecords(4, 3);
+  RetryPolicy retry;
+  retry.initial_backoff_ticks = 4;
+  auto client = FailoverPirClient::Build(records, 2, retry, &clock, 7);
+  ASSERT_TRUE(client.ok());
+  for (size_t s = 0; s < 4; ++s) {
+    client->InjectFault(s, PirServerFault{.crashed = true});
+  }
+  // Enough budget for one backoff, not the full attempt ladder.
+  auto read = client->Read(0, Deadline::After(clock, 5));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(PirFailoverTest, OutOfRangeIndexIsPermanent) {
+  SimClock clock;
+  auto records = TestRecords(4, 3);
+  auto client = FailoverPirClient::Build(records, 1, RetryPolicy{}, &clock, 7);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client->Read(99, Deadline()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PirFailoverTest, RetriesUseFreshRandomnessPerPair) {
+  // Failover re-issues the query with fresh selection vectors: the two
+  // selections a single server observes across a retried read must differ
+  // (with overwhelming probability), so its view stays blind.
+  SimClock clock;
+  auto records = TestRecords(64, 4);
+  auto client = FailoverPirClient::Build(records, 1, RetryPolicy{}, &clock, 7);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Read(3, Deadline()).ok());
+  ASSERT_TRUE(client->Read(3, Deadline()).ok());
+  // Both reads went to pair 0 (only one pair). Each side saw two selection
+  // vectors; identical ones would let the server diff queries over time.
+  for (size_t side = 0; side < 2; ++side) {
+    const auto& observed = client->server(side).observed_queries();
+    ASSERT_EQ(observed.size(), 2u);
+    EXPECT_NE(observed[0], observed[1]) << "server " << side;
+  }
+}
+
+}  // namespace
+}  // namespace tripriv

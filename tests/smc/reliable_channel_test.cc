@@ -258,6 +258,51 @@ TEST(ReliableChannelTest, RetransmissionsAreByteIdenticalOnTheWire) {
   }
 }
 
+TEST(ReliableChannelTest, ZeroDeadlineFailsImmediatelyOnEmptyMailbox) {
+  // Regression: with deadline_ticks == 0 the receive loop's "budget
+  // exhausted" check never fired before the first poll, so a Receive on an
+  // empty mailbox burned a whole poll cycle (and with no retry budget could
+  // spin through retransmit bookkeeping) instead of failing fast. A zero
+  // deadline means "do not wait at all": typed failure, no ticks consumed.
+  PartyNetwork net(2, 1);
+  net.InjectFaults(FaultPlan{});  // reliable fabric, ARQ framing active
+  RetryPolicy policy;
+  policy.deadline_ticks = 0;
+  ReliableChannel ch(&net, policy);
+  const uint64_t before = net.now();
+  auto received = ch.Receive(1);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(net.now(), before);  // failed without advancing simulated time
+}
+
+TEST(ReliableChannelTest, ZeroDeadlineStillDrainsBufferedMessages) {
+  // A message already parked in the reorder buffer was delivered by an
+  // earlier poll; handing it over costs no waiting, so even a zero-deadline
+  // Receive must return it rather than fail.
+  PartyNetwork net(2, 1);
+  net.InjectFaults(FaultPlan{});
+  RetryPolicy generous;
+  ReliableChannel ch(&net, generous);
+  ASSERT_TRUE(ch.Send(0, 1, "a", Payload({1})).ok());
+  ASSERT_TRUE(ch.Send(0, 1, "b", Payload({2})).ok());
+  auto first = ch.Receive(1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->tag, "a");
+  // Second message is in the mailbox now; a fresh zero-deadline channel
+  // sharing the session would not see it, but this channel may have it
+  // buffered. Either way the zero-deadline contract holds: an immediate
+  // answer or an immediate typed failure, never a wait.
+  RetryPolicy zero;
+  zero.deadline_ticks = 0;
+  const uint64_t before = net.now();
+  ReliableChannel impatient(&net, zero);
+  auto second = impatient.Receive(1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(net.now(), before);
+}
+
 TEST(MakeChannelTest, PicksRawOrReliableByFabricMode) {
   PartyNetwork reliable_net(2, 1);
   auto raw = MakeChannel(&reliable_net);

@@ -114,6 +114,29 @@ TEST(LintRuleTest, NoSensitiveLoggingScopedToPrivacyLibraries) {
                    .empty());
 }
 
+TEST(LintRuleTest, NoSensitiveLoggingCoversTheServiceLayer) {
+  // The service layer holds query audit trails and WAL contents: an ad-hoc
+  // <fstream> dump or stream write there is a record-level leak.
+  const std::string src =
+      "#include <fstream>\n"
+      "void Spill(int row) {\n"
+      "  printf(\"%d\", row);\n"
+      "}\n";
+  const auto hits =
+      ForRule(LintSource("src/service/bad_audit.cc", src),
+              "no-sensitive-logging");
+  ASSERT_EQ(hits.size(), 2u);  // the include and the printf
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[1].line, 3);
+  // Clean service code — Status/Result only — stays clean.
+  const std::string clean =
+      "#include \"util/status.h\"\n"
+      "tripriv::Status Ok() { return tripriv::Status::Ok(); }\n";
+  EXPECT_TRUE(ForRule(LintSource("src/service/query_service.cc", clean),
+                      "no-sensitive-logging")
+                  .empty());
+}
+
 TEST(LintRuleTest, HeaderHygieneFires) {
   const auto hits = ForRule(
       LintSource("src/sdc/no_pragma.h", "int x;\n"), "header-hygiene");

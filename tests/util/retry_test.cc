@@ -39,9 +39,46 @@ TEST(RetryPolicyTest, ConstantBackoffWhenMultiplierIsOne) {
   }
 }
 
+TEST(RetryPolicyTest, HugeCeilingDoesNotOverflowTheCast) {
+  // Regression: with max_backoff_ticks near 2^64 the unclamped value
+  // initial * multiplier^attempt overflows double-to-uint64 conversion
+  // (undefined behaviour) before the old min() could run. The ceiling must
+  // win without ever casting an out-of-range double.
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 3;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_ticks = UINT64_MAX;
+  EXPECT_EQ(policy.BackoffTicks(0), 3u);
+  EXPECT_EQ(policy.BackoffTicks(30), UINT64_MAX);       // 3e31 > 2^64
+  EXPECT_EQ(policy.BackoffTicks(100000), UINT64_MAX);   // pow -> inf
+}
+
+TEST(RetryPolicyTest, LargeFiniteCeilingIsExact) {
+  RetryPolicy policy;
+  policy.initial_backoff_ticks = 1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ticks = (1ull << 62);
+  EXPECT_EQ(policy.BackoffTicks(61), 1ull << 61);
+  EXPECT_EQ(policy.BackoffTicks(62), 1ull << 62);
+  EXPECT_EQ(policy.BackoffTicks(63), 1ull << 62);  // clamped
+  EXPECT_EQ(policy.BackoffTicks(4096), 1ull << 62);
+}
+
+TEST(RetryPolicyTest, TruncatedCapsOnlyTheDeadline) {
+  RetryPolicy policy;
+  policy.deadline_ticks = 512;
+  RetryPolicy tighter = policy.Truncated(100);
+  EXPECT_EQ(tighter.deadline_ticks, 100u);
+  EXPECT_EQ(tighter.max_attempts, policy.max_attempts);
+  EXPECT_EQ(tighter.max_backoff_ticks, policy.max_backoff_ticks);
+  RetryPolicy unchanged = policy.Truncated(10'000);
+  EXPECT_EQ(unchanged.deadline_ticks, 512u);  // never widens
+}
+
 TEST(RetryPolicyTest, TransientClassification) {
   EXPECT_TRUE(IsTransient(Status::Unavailable("mailbox empty")));
   EXPECT_TRUE(IsTransient(Status::DeadlineExceeded("budget spent")));
+  EXPECT_TRUE(IsTransient(Status::ResourceExhausted("load shed")));
   EXPECT_FALSE(IsTransient(Status::OK()));
   EXPECT_FALSE(IsTransient(Status::InvalidArgument("bad")));
   EXPECT_FALSE(IsTransient(Status::Internal("bug")));

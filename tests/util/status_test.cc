@@ -38,6 +38,7 @@ TEST(StatusTest, EveryCodeRoundTripsToUniqueNonNullString) {
       StatusCode::kPermissionDenied,
       StatusCode::kUnavailable,
       StatusCode::kDeadlineExceeded,
+      StatusCode::kResourceExhausted,
   };
   std::set<std::string> names;
   for (StatusCode code : all) {
@@ -54,11 +55,13 @@ TEST(StatusTest, EveryCodeRoundTripsToUniqueNonNullString) {
 TEST(StatusTest, TransientCodes) {
   EXPECT_TRUE(IsTransientCode(StatusCode::kUnavailable));
   EXPECT_TRUE(IsTransientCode(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsTransientCode(StatusCode::kResourceExhausted));
   EXPECT_FALSE(IsTransientCode(StatusCode::kOk));
   EXPECT_FALSE(IsTransientCode(StatusCode::kFailedPrecondition));
   EXPECT_FALSE(IsTransientCode(StatusCode::kInternal));
   EXPECT_TRUE(Status::Unavailable("mailbox empty").transient());
   EXPECT_TRUE(Status::DeadlineExceeded("out of ticks").transient());
+  EXPECT_TRUE(Status::ResourceExhausted("queue full").transient());
   EXPECT_FALSE(Status::NotFound("x").transient());
   EXPECT_FALSE(Status().transient());
 }
@@ -74,6 +77,8 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kPermissionDenied),
                "PermissionDenied");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
 }
 
 TEST(StatusTest, Equality) {

@@ -124,7 +124,8 @@ void CheckSensitiveLogging(const LexedFile& lexed, const std::string& rel_path,
                            std::vector<Diagnostic>* out) {
   const bool library_code =
       StartsWith(rel_path, "src/sdc/") || StartsWith(rel_path, "src/smc/") ||
-      StartsWith(rel_path, "src/pir/") || StartsWith(rel_path, "src/querydb/");
+      StartsWith(rel_path, "src/pir/") || StartsWith(rel_path, "src/querydb/") ||
+      StartsWith(rel_path, "src/service/");
   if (!library_code) return;
   static const std::set<std::string> kBannedIdents = {
       "cout", "cerr", "clog", "wcout", "wcerr",  "printf", "fprintf",

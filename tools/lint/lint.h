@@ -15,8 +15,11 @@
 //   no-sensitive-logging  stream/printf emission (and <iostream>/<cstdio>/
 //                         <fstream> includes) inside the privacy-library
 //                         directories src/sdc, src/smc, src/pir,
-//                         src/querydb — library code returns data via
-//                         Status/Result; only callers may print.
+//                         src/querydb, src/service — library code returns
+//                         data via Status/Result; only callers may print.
+//                         src/service handles live query audit trails, so
+//                         an ad-hoc print there is a privacy incident, not
+//                         a style nit.
 //   header-hygiene        every header must open with `#pragma once`
 //                         (standalone compilability is enforced separately
 //                         by the generated header-check build target).
