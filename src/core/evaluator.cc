@@ -259,6 +259,9 @@ Result<double> PrivacyEvaluator::UserScoreWithPir(const DataTable& release,
   }
   TRIPRIV_ASSIGN_OR_RETURN(auto server_a, XorPirServer::Create(records));
   TRIPRIV_ASSIGN_OR_RETURN(auto server_b, XorPirServer::Create(std::move(records)));
+  // Attack-analysis mode: the owner's guessing strategy below inspects the
+  // last selection bitmap server A saw.
+  server_a.EnableObservationLog(1);
 
   Rng user_rng(seed);
   Rng owner_rng(seed ^ 0xABCDEF);
@@ -269,7 +272,7 @@ Result<double> PrivacyEvaluator::UserScoreWithPir(const DataTable& release,
         TwoServerPirRead(&server_a, &server_b, secret, &user_rng).status());
     // Owner strategy: pick a uniformly random set bit of the bitmap it saw
     // (the bitmap is uniform, so no strategy does better than chance).
-    const auto& view = server_a.observed_queries().back();
+    const auto& view = server_a.last_observed_query();
     std::vector<size_t> set_bits;
     for (size_t i = 0; i < n; ++i) {
       if ((view[i / 8] >> (i % 8)) & 1u) set_bits.push_back(i);

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "pir/xor_kernel.h"
+#include "util/thread_pool.h"
+
 namespace tripriv {
 namespace {
 
@@ -9,24 +12,40 @@ bool GetBit(const std::vector<uint8_t>& bits, size_t i) {
   return (bits[i / 8] >> (i % 8)) & 1u;
 }
 
-void FlipBit(std::vector<uint8_t>* bits, size_t i) {
-  (*bits)[i / 8] ^= static_cast<uint8_t>(1u << (i % 8));
+/// Flips grid cell (row, col) in a flat per-record bitmap, ignoring cells
+/// past the end of the database (the grid may overhang n).
+void FlipGridCell(std::vector<uint8_t>* flat, size_t row, size_t col,
+                  size_t cols, size_t n) {
+  const size_t i = row * cols + col;
+  if (i < n) FlipSelectionBit(flat, i);
 }
 
-std::vector<uint8_t> RandomBits(size_t n, Rng* rng) {
+/// Answers below this many XORed bytes stay serial: the fork/join handoff
+/// costs more than the kernel saves.
+constexpr size_t kMinParallelAnswerBytes = 1 << 15;
+
+}  // namespace
+
+std::vector<uint8_t> RandomSelectionBits(size_t n, Rng* rng) {
+  TRIPRIV_CHECK(rng != nullptr);
   std::vector<uint8_t> bits((n + 7) / 8);
-  for (auto& b : bits) b = static_cast<uint8_t>(rng->NextU64());
+  // One NextU64 fills 8 bitmap bytes; bytes are taken from the low end up
+  // so the layout is identical on every platform.
+  for (size_t i = 0; i < bits.size(); i += 8) {
+    const uint64_t word = rng->NextU64();
+    const size_t take = bits.size() - i < 8 ? bits.size() - i : 8;
+    for (size_t k = 0; k < take; ++k) {
+      bits[i + k] = static_cast<uint8_t>(word >> (8 * k));
+    }
+  }
   // Zero the padding bits so observed queries are canonical.
   if (n % 8 != 0) bits.back() &= static_cast<uint8_t>((1u << (n % 8)) - 1u);
   return bits;
 }
 
-void XorInto(std::vector<uint8_t>* acc, const std::vector<uint8_t>& v) {
-  TRIPRIV_CHECK_EQ(acc->size(), v.size());
-  for (size_t i = 0; i < v.size(); ++i) (*acc)[i] ^= v[i];
+void FlipSelectionBit(std::vector<uint8_t>* bits, size_t i) {
+  (*bits)[i / 8] ^= static_cast<uint8_t>(1u << (i % 8));
 }
-
-}  // namespace
 
 Result<XorPirServer> XorPirServer::Create(
     std::vector<std::vector<uint8_t>> records) {
@@ -43,17 +62,85 @@ Result<XorPirServer> XorPirServer::Create(
   return server;
 }
 
-Result<std::vector<uint8_t>> XorPirServer::Answer(
-    const std::vector<uint8_t>& selection) {
+void XorPirServer::EnableObservationLog(size_t capacity) {
+  TRIPRIV_CHECK(capacity >= 1);
+  observe_capacity_ = capacity;
+  observe_head_ = 0;
+  observed_.clear();
+}
+
+void XorPirServer::ObserveQuery(const std::vector<uint8_t>& selection) {
+  ++queries_answered_;
+  if (observe_capacity_ == 0) return;
+  if (observed_.size() < observe_capacity_) {
+    observed_.push_back(selection);
+    return;
+  }
+  observed_[observe_head_] = selection;
+  observe_head_ = (observe_head_ + 1) % observe_capacity_;
+}
+
+const std::vector<uint8_t>& XorPirServer::observed_query(size_t i) const {
+  TRIPRIV_CHECK_LT(i, observed_.size());
+  if (observed_.size() < observe_capacity_) return observed_[i];
+  return observed_[(observe_head_ + i) % observe_capacity_];
+}
+
+const std::vector<uint8_t>& XorPirServer::last_observed_query() const {
+  TRIPRIV_CHECK(!observed_.empty());
+  return observed_query(observed_.size() - 1);
+}
+
+void XorPirServer::AccumulateRange(const std::vector<uint8_t>& selection,
+                                   size_t begin, size_t end,
+                                   uint8_t* acc) const {
+  const size_t size = record_size();
+  size_t i = begin;
+  while (i < end) {
+    if (i % 8 == 0 && i + 8 <= end && selection[i / 8] == 0) {
+      i += 8;  // skip a whole clear selection byte
+      continue;
+    }
+    if (GetBit(selection, i)) XorBytesInto(acc, records_[i].data(), size);
+    ++i;
+  }
+}
+
+Result<std::vector<uint8_t>> XorPirServer::ComputeAnswer(
+    const std::vector<uint8_t>& selection, ThreadPool* pool) const {
   if (selection.size() != (records_.size() + 7) / 8) {
     return Status::InvalidArgument("selection bitmap has wrong length");
   }
-  observed_.push_back(selection);
-  std::vector<uint8_t> acc(record_size(), 0);
-  for (size_t i = 0; i < records_.size(); ++i) {
-    if (GetBit(selection, i)) XorInto(&acc, records_[i]);
+  const size_t size = record_size();
+  std::vector<uint8_t> acc(size, 0);
+  const size_t shards = pool == nullptr ? 1 : pool->NumShards(records_.size());
+  if (shards <= 1 || records_.size() * size < kMinParallelAnswerBytes) {
+    AccumulateRange(selection, 0, records_.size(), acc.data());
+    return acc;
+  }
+  // Per-shard partial accumulators, XOR-merged in shard order below. XOR is
+  // commutative, so the bytes cannot depend on the merge order anyway — the
+  // fixed order keeps the parallel path structurally identical to the
+  // serial one.
+  std::vector<std::vector<uint8_t>> partial(shards,
+                                            std::vector<uint8_t>(size, 0));
+  pool->ParallelFor(records_.size(),
+                    [this, &selection, &partial](size_t shard, size_t begin,
+                                                 size_t end) {
+                      AccumulateRange(selection, begin, end,
+                                      partial[shard].data());
+                    });
+  for (size_t s = 0; s < shards; ++s) {
+    XorBytesInto(acc.data(), partial[s].data(), size);
   }
   return acc;
+}
+
+Result<std::vector<uint8_t>> XorPirServer::Answer(
+    const std::vector<uint8_t>& selection, ThreadPool* pool) {
+  TRIPRIV_ASSIGN_OR_RETURN(auto answer, ComputeAnswer(selection, pool));
+  ObserveQuery(selection);
+  return answer;
 }
 
 Result<std::vector<uint8_t>> TwoServerPirRead(XorPirServer* server_a,
@@ -68,18 +155,71 @@ Result<std::vector<uint8_t>> TwoServerPirRead(XorPirServer* server_a,
   }
   if (index >= n) return Status::OutOfRange("record index out of range");
 
-  std::vector<uint8_t> query_a = RandomBits(n, rng);
+  std::vector<uint8_t> query_a = RandomSelectionBits(n, rng);
   std::vector<uint8_t> query_b = query_a;
-  FlipBit(&query_b, index);
+  FlipSelectionBit(&query_b, index);
 
   TRIPRIV_ASSIGN_OR_RETURN(auto answer_a, server_a->Answer(query_a));
   TRIPRIV_ASSIGN_OR_RETURN(auto answer_b, server_b->Answer(query_b));
-  XorInto(&answer_a, answer_b);
+  XorBytesInto(answer_a.data(), answer_b.data(), answer_a.size());
   if (stats != nullptr) {
     stats->upload_bits = 2 * n;
     stats->download_bits = 2 * 8 * server_a->record_size();
   }
   return answer_a;
+}
+
+Result<std::vector<std::vector<uint8_t>>> TwoServerPirBatchRead(
+    XorPirServer* server_a, XorPirServer* server_b,
+    const std::vector<size_t>& indices, Rng* rng, ThreadPool* pool,
+    PirStats* stats) {
+  TRIPRIV_CHECK(server_a != nullptr && server_b != nullptr && rng != nullptr);
+  const size_t n = server_a->num_records();
+  if (server_b->num_records() != n ||
+      server_a->record_size() != server_b->record_size()) {
+    return Status::InvalidArgument("servers must hold identical replicas");
+  }
+  for (size_t index : indices) {
+    if (index >= n) return Status::OutOfRange("record index out of range");
+  }
+
+  // Serial stage, in index order: draw the selection pairs and log the
+  // observations — the exact rng draws and transcript a TwoServerPirRead
+  // loop would produce, independent of the worker count.
+  std::vector<std::vector<uint8_t>> queries_a(indices.size());
+  std::vector<std::vector<uint8_t>> queries_b(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    queries_a[i] = RandomSelectionBits(n, rng);
+    queries_b[i] = queries_a[i];
+    FlipSelectionBit(&queries_b[i], indices[i]);
+    server_a->ObserveQuery(queries_a[i]);
+    server_b->ObserveQuery(queries_b[i]);
+  }
+
+  // Parallel stage: pure answer computation into positional slots.
+  std::vector<std::vector<uint8_t>> answers(indices.size());
+  const XorPirServer* a = server_a;
+  const XorPirServer* b = server_b;
+  auto answer_one = [a, b, &queries_a, &queries_b, &answers](size_t i) {
+    auto answer_a = a->ComputeAnswer(queries_a[i]);
+    auto answer_b = b->ComputeAnswer(queries_b[i]);
+    TRIPRIV_CHECK(answer_a.ok() && answer_b.ok());
+    XorBytesInto(answer_a->data(), answer_b->data(), answer_a->size());
+    answers[i] = std::move(answer_a).value();
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || indices.size() <= 1) {
+    for (size_t i = 0; i < indices.size(); ++i) answer_one(i);
+  } else {
+    pool->ParallelFor(indices.size(),
+                      [&answer_one](size_t, size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i) answer_one(i);
+                      });
+  }
+  if (stats != nullptr) {
+    stats->upload_bits += indices.size() * 2 * n;
+    stats->download_bits += indices.size() * 2 * 8 * server_a->record_size();
+  }
+  return answers;
 }
 
 Result<std::vector<uint8_t>> FourServerCubePirRead(
@@ -101,32 +241,47 @@ Result<std::vector<uint8_t>> FourServerCubePirRead(
   const size_t target_row = index / cols;
   const size_t target_col = index % cols;
 
-  std::vector<uint8_t> row_sel = RandomBits(rows, rng);
-  std::vector<uint8_t> col_sel = RandomBits(cols, rng);
+  std::vector<uint8_t> row_sel = RandomSelectionBits(rows, rng);
+  std::vector<uint8_t> col_sel = RandomSelectionBits(cols, rng);
   std::vector<uint8_t> row_sel_flipped = row_sel;
-  FlipBit(&row_sel_flipped, target_row);
-  std::vector<uint8_t> col_sel_flipped = col_sel;
-  FlipBit(&col_sel_flipped, target_col);
+  FlipSelectionBit(&row_sel_flipped, target_row);
 
   // Server s in {0..3} gets (row_sel [xor {i1} if s&1], col_sel [xor {i2}
   // if s&2]) and answers the XOR of all records in the selected submatrix.
   // Expanding the product selection into a flat per-record bitmap keeps the
   // XorPirServer interface uniform; upload accounting uses the compact
-  // per-axis size the real protocol would ship.
-  std::array<const std::vector<uint8_t>*, 2> row_choices{&row_sel,
-                                                         &row_sel_flipped};
-  std::array<const std::vector<uint8_t>*, 2> col_choices{&col_sel,
-                                                         &col_sel_flipped};
+  // per-axis size the real protocol would ship. The four flat bitmaps
+  // differ only along the target row/column stripe, so server 0's O(n)
+  // expansion is built once and the other three are derived by O(sqrt n)
+  // stripe flips:
+  //   flat1 = flat0 ^ {row target_row restricted to col_sel}
+  //   flat2 = flat0 ^ {col target_col restricted to row_sel}
+  //   flat3 = flat1 ^ {col target_col restricted to row_sel_flipped}
+  std::vector<uint8_t> flat0((n + 7) / 8, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (GetBit(row_sel, i / cols) && GetBit(col_sel, i % cols)) {
+      FlipSelectionBit(&flat0, i);
+    }
+  }
+  std::vector<uint8_t> flat1 = flat0;
+  for (size_t c = 0; c < cols; ++c) {
+    if (GetBit(col_sel, c)) FlipGridCell(&flat1, target_row, c, cols, n);
+  }
+  std::vector<uint8_t> flat2 = flat0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (GetBit(row_sel, r)) FlipGridCell(&flat2, r, target_col, cols, n);
+  }
+  std::vector<uint8_t> flat3 = flat1;
+  for (size_t r = 0; r < rows; ++r) {
+    if (GetBit(row_sel_flipped, r)) FlipGridCell(&flat3, r, target_col, cols, n);
+  }
+
+  const std::array<const std::vector<uint8_t>*, 4> flats{&flat0, &flat1,
+                                                         &flat2, &flat3};
   std::vector<uint8_t> acc(servers[0]->record_size(), 0);
   for (size_t s = 0; s < 4; ++s) {
-    const auto& rsel = *row_choices[s & 1];
-    const auto& csel = *col_choices[(s >> 1) & 1];
-    std::vector<uint8_t> flat((n + 7) / 8, 0);
-    for (size_t i = 0; i < n; ++i) {
-      if (GetBit(rsel, i / cols) && GetBit(csel, i % cols)) FlipBit(&flat, i);
-    }
-    TRIPRIV_ASSIGN_OR_RETURN(auto answer, servers[s]->Answer(flat));
-    XorInto(&acc, answer);
+    TRIPRIV_ASSIGN_OR_RETURN(auto answer, servers[s]->Answer(*flats[s]));
+    XorBytesInto(acc.data(), answer.data(), acc.size());
   }
   if (stats != nullptr) {
     stats->upload_bits = 4 * (rows + cols);

@@ -10,8 +10,19 @@
 //   * 4-server cube scheme: the index is split over a sqrt(n) x sqrt(n)
 //     grid and the subset trick applied per axis, cutting upload to
 //     O(sqrt(n)) bits per server.
-// Every query also reports what the servers observed, which the evaluation
-// harness uses to verify the "no single server learns i" claim empirically.
+// The answer path is the system's steady-state hot loop: a blocked,
+// word-wide XOR kernel (pir/xor_kernel.h), optionally sharded across a
+// ThreadPool with per-shard partial accumulators merged in fixed shard
+// order, so the answer is bit-identical at any thread count. Batched reads
+// (TwoServerPirBatchRead) draw all query randomness serially in index
+// order, then fan the answer computation out across the pool — the whole
+// transcript is a pure function of the seed and the batch.
+//
+// Recording what a server observed (its view of the protocol, used by the
+// evaluation harness and the attack demos) is opt-in and bounded: under
+// sustained traffic an always-on, unbounded log of O(n)-bit selection
+// vectors is a memory leak, so servers only count queries unless
+// EnableObservationLog turns the ring buffer on.
 
 #pragma once
 
@@ -24,9 +35,18 @@
 
 namespace tripriv {
 
+class ThreadPool;
+
+/// Uniformly random `n`-bit selection bitmap, packed LSB-first into bytes,
+/// with the padding bits of the last byte zeroed so observed queries are
+/// canonical. Fills 8 bitmap bytes per NextU64 draw (ceil(n/64) draws).
+std::vector<uint8_t> RandomSelectionBits(size_t n, Rng* rng);
+
+/// Flips bit `i` of a packed LSB-first selection bitmap.
+void FlipSelectionBit(std::vector<uint8_t>* bits, size_t i);
+
 /// One PIR server: a replica of the database of equal-length records,
-/// answering XOR-subset queries. The server keeps a log of the selection
-/// vectors it has seen (its entire view of the protocol).
+/// answering XOR-subset queries.
 class XorPirServer {
  public:
   /// Requires >= 1 record; all records must have equal, non-zero length.
@@ -36,14 +56,40 @@ class XorPirServer {
   size_t record_size() const { return records_.empty() ? 0 : records_[0].size(); }
 
   /// XOR of the records selected by `selection` (one bit per record, packed
-  /// LSB-first into bytes). Also logs the query.
-  Result<std::vector<uint8_t>> Answer(const std::vector<uint8_t>& selection);
+  /// LSB-first into bytes). Counts the query and, when the observation log
+  /// is enabled, records the selection. `pool` (optional) shards the
+  /// accumulation across workers; per-shard partial accumulators are
+  /// XOR-merged in shard order, so the answer is bit-identical to the
+  /// serial path at any thread count.
+  Result<std::vector<uint8_t>> Answer(const std::vector<uint8_t>& selection,
+                                      ThreadPool* pool = nullptr);
 
-  /// Everything this server has observed: the selection bitmaps of all
-  /// queries answered so far.
-  const std::vector<std::vector<uint8_t>>& observed_queries() const {
-    return observed_;
-  }
+  /// The pure compute half of Answer: thread-safe const, no counting or
+  /// logging. Batch executors call ObserveQuery serially in submission
+  /// order, then fan ComputeAnswer out across workers.
+  Result<std::vector<uint8_t>> ComputeAnswer(
+      const std::vector<uint8_t>& selection, ThreadPool* pool = nullptr) const;
+
+  /// The bookkeeping half of Answer: increments the query counter and, when
+  /// the log is enabled, appends `selection` to the bounded ring. Not
+  /// thread-safe — batch executors call it from their serial stage.
+  void ObserveQuery(const std::vector<uint8_t>& selection);
+
+  /// Opt-in attack-analysis mode: retain the most recent `capacity` (>= 1)
+  /// selection bitmaps for observed_query() inspection. Off by default.
+  void EnableObservationLog(size_t capacity);
+  bool observation_enabled() const { return observe_capacity_ > 0; }
+
+  /// Total queries answered (counted whether or not the log is enabled).
+  uint64_t queries_answered() const { return queries_answered_; }
+
+  /// Observations currently retained: at most the enabled capacity, zero
+  /// unless EnableObservationLog was called.
+  size_t num_observed() const { return observed_.size(); }
+  /// The `i`-th retained observation, oldest first. Requires i < num_observed().
+  const std::vector<uint8_t>& observed_query(size_t i) const;
+  /// The most recent observation. Requires num_observed() > 0.
+  const std::vector<uint8_t>& last_observed_query() const;
 
   /// Direct (non-private) record access, for testing and for the baseline
   /// "no PIR" comparison.
@@ -53,11 +99,23 @@ class XorPirServer {
   }
 
  private:
+  /// XORs the records selected in [begin, end) into `acc` (record_size()
+  /// bytes), skipping 8 records at a time across clear selection bytes.
+  void AccumulateRange(const std::vector<uint8_t>& selection, size_t begin,
+                       size_t end, uint8_t* acc) const;
+
   std::vector<std::vector<uint8_t>> records_;
+  uint64_t queries_answered_ = 0;
+  /// Bounded observation ring (attack-analysis mode). `observed_` holds at
+  /// most `observe_capacity_` entries; once full, `observe_head_` is the
+  /// slot holding the oldest entry (and the one the next query overwrites).
+  size_t observe_capacity_ = 0;
+  size_t observe_head_ = 0;
   std::vector<std::vector<uint8_t>> observed_;
 };
 
-/// Communication accounting for one query.
+/// Communication accounting. For single reads the per-query cost; for batch
+/// reads the totals across the batch.
 struct PirStats {
   size_t upload_bits = 0;
   size_t download_bits = 0;
@@ -70,6 +128,17 @@ Result<std::vector<uint8_t>> TwoServerPirRead(XorPirServer* server_a,
                                               size_t index, Rng* rng,
                                               PirStats* stats = nullptr);
 
+/// Batched 2-server reads. Selection randomness and observation logging
+/// happen serially in index order — exactly the draws a TwoServerPirRead
+/// loop would make — then the XOR answer kernels fan out across `pool`
+/// (null or 0-worker pool = inline). Answers are positional and
+/// bit-identical to the serial loop at any thread count; `stats`
+/// accumulates the batch totals.
+Result<std::vector<std::vector<uint8_t>>> TwoServerPirBatchRead(
+    XorPirServer* server_a, XorPirServer* server_b,
+    const std::vector<size_t>& indices, Rng* rng, ThreadPool* pool = nullptr,
+    PirStats* stats = nullptr);
+
 /// Retrieves record `index` via the 4-server cube scheme (upload
 /// O(sqrt(n)) bits per server). All four servers must hold identical
 /// replicas.
@@ -78,4 +147,3 @@ Result<std::vector<uint8_t>> FourServerCubePirRead(
     PirStats* stats = nullptr);
 
 }  // namespace tripriv
-

@@ -77,8 +77,8 @@ Result<std::optional<uint64_t>> KeywordPirStore::Lookup(uint64_t key, Rng* rng,
 }
 
 size_t KeywordPirStore::queries_observed() const {
-  return server_a_.observed_queries().size() +
-         server_b_.observed_queries().size();
+  return static_cast<size_t>(server_a_.queries_answered() +
+                             server_b_.queries_answered());
 }
 
 }  // namespace tripriv

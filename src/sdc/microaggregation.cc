@@ -6,9 +6,20 @@
 #include <numeric>
 
 #include "stats/descriptive.h"
+#include "util/thread_pool.h"
 
 namespace tripriv {
 namespace {
+
+/// Distance scans over pools smaller than this stay serial: the fork/join
+/// handoff costs more than the scan.
+constexpr size_t kMinParallelPoolSize = 4096;
+
+/// True when `workers` should shard a scan over `n` pool elements.
+bool UsePool(const ThreadPool* workers, size_t n) {
+  return workers != nullptr && workers->num_threads() > 1 &&
+         n >= kMinParallelPoolSize;
+}
 
 /// Column-standardizes a row-major matrix in place (constant columns are
 /// left centered at 0).
@@ -39,16 +50,45 @@ std::vector<double> CentroidOf(const std::vector<std::vector<double>>& m,
 }
 
 /// Index (into `pool`) of the element of `pool` farthest from `point`.
+/// The strict `>` keeps the FIRST pool index among equal distances — the
+/// tie-break the parallel path reproduces by merging per-shard winners in
+/// shard order (shards are contiguous and ascending, so the earliest shard
+/// holding the maximum wins, i.e. the lowest index).
 size_t FarthestFrom(const std::vector<std::vector<double>>& m,
                     const std::vector<size_t>& pool,
-                    const std::vector<double>& point) {
-  size_t best = 0;
-  double best_d = -1.0;
-  for (size_t i = 0; i < pool.size(); ++i) {
-    const double d = SquaredDistance(m[pool[i]], point);
-    if (d > best_d) {
-      best_d = d;
-      best = i;
+                    const std::vector<double>& point,
+                    ThreadPool* workers = nullptr) {
+  auto scan = [&m, &pool, &point](size_t begin, size_t end, size_t* best,
+                                  double* best_d) {
+    for (size_t i = begin; i < end; ++i) {
+      const double d = SquaredDistance(m[pool[i]], point);
+      if (d > *best_d) {
+        *best_d = d;
+        *best = i;
+      }
+    }
+  };
+  if (!UsePool(workers, pool.size())) {
+    size_t best = 0;
+    double best_d = -1.0;
+    scan(0, pool.size(), &best, &best_d);
+    return best;
+  }
+  const size_t shards = workers->NumShards(pool.size());
+  std::vector<size_t> shard_best(shards, 0);
+  std::vector<double> shard_best_d(shards, -1.0);
+  workers->ParallelFor(pool.size(), [&scan, &shard_best, &shard_best_d](
+                                        size_t shard, size_t begin,
+                                        size_t end) {
+    shard_best[shard] = begin;
+    scan(begin, end, &shard_best[shard], &shard_best_d[shard]);
+  });
+  size_t best = shard_best[0];
+  double best_d = shard_best_d[0];
+  for (size_t s = 1; s < shards; ++s) {
+    if (shard_best_d[s] > best_d) {
+      best_d = shard_best_d[s];
+      best = shard_best[s];
     }
   }
   return best;
@@ -58,13 +98,24 @@ size_t FarthestFrom(const std::vector<std::vector<double>>& m,
 /// nearest pool neighbours; returns their row ids.
 std::vector<size_t> TakeGroupAround(const std::vector<std::vector<double>>& m,
                                     std::vector<size_t>* pool, size_t seed_pos,
-                                    size_t k) {
+                                    size_t k, ThreadPool* workers = nullptr) {
   const size_t seed_row = (*pool)[seed_pos];
-  // Order pool by distance to the seed record.
-  std::vector<std::pair<double, size_t>> by_dist;  // (distance, pool index)
-  by_dist.reserve(pool->size());
-  for (size_t i = 0; i < pool->size(); ++i) {
-    by_dist.emplace_back(SquaredDistance(m[(*pool)[i]], m[seed_row]), i);
+  // Order pool by distance to the seed record. The distance fill writes
+  // positional slots (parallel-safe); the sort stays serial and ties break
+  // on the pool index, so the ordering is thread-count independent.
+  std::vector<std::pair<double, size_t>> by_dist(pool->size());
+  auto fill = [&m, &pool, seed_row, &by_dist](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      by_dist[i] = {SquaredDistance(m[(*pool)[i]], m[seed_row]), i};
+    }
+  };
+  if (!UsePool(workers, pool->size())) {
+    fill(0, pool->size());
+  } else {
+    workers->ParallelFor(pool->size(),
+                         [&fill](size_t, size_t begin, size_t end) {
+                           fill(begin, end);
+                         });
   }
   std::sort(by_dist.begin(), by_dist.end());
   const size_t take = std::min(k, pool->size());
@@ -86,7 +137,8 @@ std::vector<size_t> TakeGroupAround(const std::vector<std::vector<double>>& m,
 }  // namespace
 
 Result<MicroaggregationResult> MdavMicroaggregate(
-    const DataTable& table, size_t k, const std::vector<size_t>& cols) {
+    const DataTable& table, size_t k, const std::vector<size_t>& cols,
+    ThreadPool* workers) {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   if (table.num_rows() == 0) {
     return Status::InvalidArgument("cannot microaggregate an empty table");
@@ -106,17 +158,18 @@ Result<MicroaggregationResult> MdavMicroaggregate(
   // MDAV-generic main loop.
   while (pool.size() >= 3 * k) {
     const auto centroid = CentroidOf(std_data, pool);
-    const size_t far1 = FarthestFrom(std_data, pool, centroid);
+    const size_t far1 = FarthestFrom(std_data, pool, centroid, workers);
     const size_t far1_row = pool[far1];
-    groups.push_back(TakeGroupAround(std_data, &pool, far1, k));
+    groups.push_back(TakeGroupAround(std_data, &pool, far1, k, workers));
     // Record farthest from the first extreme.
-    const size_t far2 = FarthestFrom(std_data, pool, std_data[far1_row]);
-    groups.push_back(TakeGroupAround(std_data, &pool, far2, k));
+    const size_t far2 =
+        FarthestFrom(std_data, pool, std_data[far1_row], workers);
+    groups.push_back(TakeGroupAround(std_data, &pool, far2, k, workers));
   }
   if (pool.size() >= 2 * k) {
     const auto centroid = CentroidOf(std_data, pool);
-    const size_t far1 = FarthestFrom(std_data, pool, centroid);
-    groups.push_back(TakeGroupAround(std_data, &pool, far1, k));
+    const size_t far1 = FarthestFrom(std_data, pool, centroid, workers);
+    groups.push_back(TakeGroupAround(std_data, &pool, far1, k, workers));
   }
   if (!pool.empty()) {
     groups.push_back(pool);  // remaining < 2k records form the last group

@@ -19,6 +19,8 @@
 
 namespace tripriv {
 
+class ThreadPool;
+
 /// A masked table plus the group structure that produced it.
 struct MicroaggregationResult {
   DataTable table;
@@ -36,11 +38,22 @@ struct MicroaggregationResult {
 /// original scale). Requires k >= 1, all `cols` numeric, and at least one
 /// row. Guarantees every group has size in [k, 2k-1] when n >= k; if
 /// n < k the single group holds all rows.
+///
+/// `workers` (optional) shards the per-iteration distance scans — the
+/// farthest-record argmax and the k-nearest ordering — across the pool.
+/// Both are reductions over per-element distances with fixed-order merges
+/// (per-shard argmax merged in shard order, the same strict-> tie-break as
+/// the serial loop; distances written to positional slots then sorted
+/// serially), so the grouping is bit-identical at any thread count.
 Result<MicroaggregationResult> MdavMicroaggregate(
-    const DataTable& table, size_t k, const std::vector<size_t>& cols);
+    const DataTable& table, size_t k, const std::vector<size_t>& cols,
+    ThreadPool* workers = nullptr);
 
 /// MDAV over the schema's quasi-identifiers (all must be numeric). By [12],
-/// the result is k-anonymous on those attributes.
+/// the result is k-anonymous on those attributes. (No ThreadPool parameter:
+/// a defaulted pointer here would make a braced `{}` column list ambiguous
+/// against the overload above — parallel callers pass the QI indices
+/// explicitly.)
 Result<MicroaggregationResult> MdavMicroaggregate(const DataTable& table,
                                                   size_t k);
 

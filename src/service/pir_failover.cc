@@ -1,28 +1,10 @@
 #include "service/pir_failover.h"
 
+#include "pir/xor_kernel.h"
 #include "util/checksum.h"
+#include "util/thread_pool.h"
 
 namespace tripriv {
-namespace {
-
-// Bit helpers over packed LSB-first selection bitmaps. These mirror the
-// file-local helpers in pir/it_pir.cc (which does not export them): the
-// failover client builds its own selection pairs so it can inject faults
-// between the two Answer calls and verify the reconstruction before
-// stripping the checksum suffix.
-
-std::vector<uint8_t> RandomSelection(size_t n, Rng* rng) {
-  std::vector<uint8_t> bits((n + 7) / 8);
-  for (auto& b : bits) b = static_cast<uint8_t>(rng->NextU64());
-  if (n % 8 != 0) bits.back() &= static_cast<uint8_t>((1u << (n % 8)) - 1u);
-  return bits;
-}
-
-void FlipSelectionBit(std::vector<uint8_t>* bits, size_t i) {
-  (*bits)[i / 8] ^= static_cast<uint8_t>(1u << (i % 8));
-}
-
-}  // namespace
 
 Result<FailoverPirClient> FailoverPirClient::Build(
     const std::vector<std::vector<uint8_t>>& records, size_t num_pairs,
@@ -67,6 +49,10 @@ void FailoverPirClient::InjectFault(size_t server, const PirServerFault& fault) 
   faults_[server] = fault;
 }
 
+void FailoverPirClient::EnableObservationLogs(size_t capacity) {
+  for (auto& server : servers_) server.EnableObservationLog(capacity);
+}
+
 Result<std::vector<uint8_t>> FailoverPirClient::ReadFromPair(size_t pair,
                                                              size_t index) {
   const size_t a = 2 * pair;
@@ -79,7 +65,7 @@ Result<std::vector<uint8_t>> FailoverPirClient::ReadFromPair(size_t pair,
   }
 
   const size_t n = num_records_;
-  std::vector<uint8_t> sel_a = RandomSelection(n, &rng_);
+  std::vector<uint8_t> sel_a = RandomSelectionBits(n, &rng_);
   std::vector<uint8_t> sel_b = sel_a;
   FlipSelectionBit(&sel_b, index);
 
@@ -141,6 +127,125 @@ Result<std::vector<uint8_t>> FailoverPirClient::Read(size_t index,
                              std::to_string(max_attempts) +
                              " attempts across " + std::to_string(pairs) +
                              " pair(s); last: " + last.message());
+}
+
+std::vector<Result<std::vector<uint8_t>>> FailoverPirClient::ReadBatch(
+    const std::vector<size_t>& indices, const Deadline& deadline,
+    ThreadPool* pool) {
+  // One fast-path attempt per item against its round-robin pair, with all
+  // randomness pre-drawn so the compute stage is pure.
+  struct BatchAttempt {
+    size_t pair = 0;
+    bool fast_path = false;  ///< pair healthy; attempt runs in stage 2
+    std::vector<uint8_t> sel_a;
+    std::vector<uint8_t> sel_b;
+    bool corrupt[2] = {false, false};
+    size_t corrupt_byte[2] = {0, 0};
+    bool verified = false;  ///< stage-2 verdict: checksum held
+    std::vector<uint8_t> payload;
+  };
+
+  const size_t count = indices.size();
+  const size_t pairs = num_pairs();
+  const size_t stored_size = payload_size_ + 8;
+  std::vector<Result<std::vector<uint8_t>>> results(
+      count, Result<std::vector<uint8_t>>(
+                 Status::Unavailable("PIR batch item not attempted")));
+  std::vector<BatchAttempt> attempts(count);
+
+  // Stage 1 (serial, index order): validate, assign pairs round-robin, draw
+  // selection pairs and fault outcomes, log observations — the same rng
+  // transcript a serial Read loop produces when no fault fires.
+  const bool expired = deadline.expired(*clock_);
+  for (size_t i = 0; i < count; ++i) {
+    if (indices[i] >= num_records_) {
+      results[i] = Status::OutOfRange("record index out of range");
+      continue;
+    }
+    if (expired) {
+      results[i] = DeadlineExceededError("PIR batch read");
+      continue;
+    }
+    BatchAttempt& at = attempts[i];
+    at.pair = next_pair_;
+    next_pair_ = (next_pair_ + 1) % pairs;
+    const size_t a = 2 * at.pair;
+    const size_t b = a + 1;
+    if (faults_[a].crashed || faults_[b].crashed) {
+      continue;  // stage 3 sends this item down the retry ladder
+    }
+    at.sel_a = RandomSelectionBits(num_records_, &rng_);
+    at.sel_b = at.sel_a;
+    FlipSelectionBit(&at.sel_b, indices[i]);
+    servers_[a].ObserveQuery(at.sel_a);
+    servers_[b].ObserveQuery(at.sel_b);
+    for (size_t side = 0; side < 2; ++side) {
+      at.corrupt[side] = rng_.Bernoulli(faults_[a + side].corrupt_rate);
+      if (at.corrupt[side]) {
+        at.corrupt_byte[side] =
+            static_cast<size_t>(rng_.UniformU64(stored_size));
+      }
+    }
+    at.fast_path = true;
+  }
+
+  // Stage 2 (parallel): pure reconstruction + checksum verification into
+  // per-item slots. No rng, no counters, no shared mutation.
+  auto run_attempt = [this, stored_size, &attempts](size_t i) {
+    BatchAttempt& at = attempts[i];
+    if (!at.fast_path) return;
+    const size_t a = 2 * at.pair;
+    const size_t b = a + 1;
+    auto ans_a = servers_[a].ComputeAnswer(at.sel_a);
+    auto ans_b = servers_[b].ComputeAnswer(at.sel_b);
+    TRIPRIV_CHECK(ans_a.ok() && ans_b.ok());
+    for (size_t side = 0; side < 2; ++side) {
+      if (!at.corrupt[side]) continue;
+      auto& ans = (side == 0) ? *ans_a : *ans_b;
+      ans[at.corrupt_byte[side]] ^= 0x5A;
+    }
+    std::vector<uint8_t> rec = std::move(ans_a).value();
+    XorBytesInto(rec.data(), ans_b->data(), rec.size());
+    TRIPRIV_CHECK_EQ(rec.size(), stored_size);
+    uint64_t stored_sum = 0;
+    for (int k = 0; k < 8; ++k) {
+      stored_sum |= static_cast<uint64_t>(rec[payload_size_ + k]) << (8 * k);
+    }
+    if (Fnv1a64(rec.data(), payload_size_) != stored_sum) return;
+    rec.resize(payload_size_);
+    at.payload = std::move(rec);
+    at.verified = true;
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) run_attempt(i);
+  } else {
+    pool->ParallelFor(count, [&run_attempt](size_t, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) run_attempt(i);
+    });
+  }
+
+  // Stage 3 (serial, index order): publish verdicts, update counters, and
+  // run the failure ladder for items whose fast-path attempt did not
+  // verify.
+  for (size_t i = 0; i < count; ++i) {
+    BatchAttempt& at = attempts[i];
+    if (at.fast_path && at.verified) {
+      results[i] = std::move(at.payload);
+      continue;
+    }
+    if (indices[i] >= num_records_ || expired) continue;  // already typed
+    if (at.fast_path) {
+      // The reconstruction was rejected by the checksum — same accounting
+      // as the serial ReadFromPair path.
+      ++corrupt_detected_;
+    }
+    // The attempt moved past its first-choice pair: charge a failover and
+    // backoff, then re-enter the serial retry ladder with fresh randomness.
+    ++failovers_;
+    clock_->Advance(retry_.BackoffTicks(0));
+    results[i] = Read(indices[i], deadline);
+  }
+  return results;
 }
 
 }  // namespace tripriv

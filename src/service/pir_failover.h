@@ -61,18 +61,37 @@ class FailoverPirClient {
   /// or a corrupt reconstruction, kDeadlineExceeded when time ran out.
   Result<std::vector<uint8_t>> Read(size_t index, const Deadline& deadline);
 
+  /// Batched private reads with positional results. Pair assignment,
+  /// selection randomness, observation logging, and fault draws all happen
+  /// serially in index order; only the pure XOR answer kernels and checksum
+  /// verification fan out across `pool` (null = inline). When no fault
+  /// fires, the rng transcript is identical to a serial Read loop. Items
+  /// whose fast-path attempt fails (crashed pair, corrupt reconstruction)
+  /// fall back to the serial Read retry ladder, again in index order, so
+  /// answers, counters, and server views are independent of the thread
+  /// count.
+  std::vector<Result<std::vector<uint8_t>>> ReadBatch(
+      const std::vector<size_t>& indices, const Deadline& deadline,
+      ThreadPool* pool = nullptr);
+
   size_t num_pairs() const { return servers_.size() / 2; }
   size_t num_records() const { return num_records_; }
   /// Attempts that moved past the first-choice pair.
   size_t failovers() const { return failovers_; }
   /// Reconstructions rejected by the checksum.
   size_t corrupt_answers_detected() const { return corrupt_detected_; }
-  /// Physical server `i` (pair i/2, side i%2) — its observed_queries() are
-  /// the single-server view the blindness tests inspect.
+  /// Physical server `i` (pair i/2, side i%2) — its observation ring holds
+  /// the single-server view the blindness tests inspect (enable it with
+  /// EnableObservationLogs first).
   const XorPirServer& server(size_t i) const {
     TRIPRIV_CHECK_LT(i, servers_.size());
     return servers_[i];
   }
+
+  /// Attack-analysis mode: turns on a bounded observation ring of
+  /// `capacity` entries on every physical server (see
+  /// XorPirServer::EnableObservationLog). Off by default.
+  void EnableObservationLogs(size_t capacity);
 
  private:
   FailoverPirClient(const RetryPolicy& retry, SimClock* clock, uint64_t seed)

@@ -128,6 +128,25 @@ ServiceAnswer QueryService::Submit(const StatQuery& query) {
 
 ServiceAnswer QueryService::Submit(const StatQuery& query,
                                    const Deadline& deadline) {
+  return SubmitPrepared(query, Prepare(query), deadline);
+}
+
+PreparedQuery QueryService::Prepare(const StatQuery& query) const {
+  PreparedQuery prepared;
+  prepared.rows = query.where.MatchingRows(backend_.data());
+  prepared.fingerprint = QueryFingerprint(query);
+  return prepared;
+}
+
+ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
+                                           PreparedQuery prepared) {
+  return SubmitPrepared(query, std::move(prepared),
+                        Deadline::After(*clock_, config_.default_deadline_ticks));
+}
+
+ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
+                                           PreparedQuery prepared,
+                                           const Deadline& deadline) {
   ++stats_.received;
   const uint64_t query_id = next_query_id_++;
   if (crashed_) {
@@ -140,13 +159,12 @@ ServiceAnswer QueryService::Submit(const StatQuery& query,
   // of the query sequence alone. A fault further down can only withhold
   // this query's answer; it can never un-record the decision and let a
   // later overlapping query through.
-  auto rows_or = query.where.MatchingRows(backend_.data());
-  if (!rows_or.ok()) {
+  if (!prepared.rows.ok()) {
     // Malformed query: no query set exists, so no audit decision to log.
-    return Refuse(query_id, rows_or.status());
+    return Refuse(query_id, prepared.rows.status());
   }
-  std::vector<size_t> rows = std::move(rows_or).value();
-  const uint64_t fingerprint = QueryFingerprint(query);
+  std::vector<size_t> rows = std::move(prepared.rows).value();
+  const uint64_t fingerprint = prepared.fingerprint;
   const std::optional<std::string> refusal_reason = policy_.Check(rows);
 
   WalRecord decision;
@@ -397,6 +415,22 @@ Result<std::vector<uint8_t>> QueryService::PirRead(size_t index,
     return Status::FailedPrecondition("no PIR backend attached");
   }
   return pir_->Read(index, deadline);
+}
+
+std::vector<Result<std::vector<uint8_t>>> QueryService::PirReadBatch(
+    const std::vector<size_t>& indices, const Deadline& deadline,
+    ThreadPool* pool) {
+  if (crashed_) {
+    return std::vector<Result<std::vector<uint8_t>>>(
+        indices.size(), Result<std::vector<uint8_t>>(Status::Unavailable(
+                            "service crashed; recover via Create()")));
+  }
+  if (pir_ == nullptr) {
+    return std::vector<Result<std::vector<uint8_t>>>(
+        indices.size(), Result<std::vector<uint8_t>>(Status::FailedPrecondition(
+                            "no PIR backend attached")));
+  }
+  return pir_->ReadBatch(indices, deadline, pool);
 }
 
 }  // namespace tripriv

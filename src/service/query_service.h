@@ -89,6 +89,18 @@ struct ServiceAnswer {
   uint64_t query_id = 0;
 };
 
+/// The side-effect-free prefix of the serving ladder, computed by Prepare().
+/// Batch executors run Prepare for many queries in parallel (it touches no
+/// mutable service state), then feed the results through SubmitPrepared
+/// serially in submission order so the audit/WAL evolution is identical to
+/// a serial Submit loop.
+struct PreparedQuery {
+  /// The query set, or the malformed-query error Submit would refuse with.
+  Result<std::vector<size_t>> rows = Status::Internal("query not prepared");
+  /// FNV of the query's canonical rendering (what the WAL stores).
+  uint64_t fingerprint = 0;
+};
+
 /// Service configuration.
 struct QueryServiceConfig {
   /// Protection mode of the primary path; kQuerySetSize / kAudit policy
@@ -142,6 +154,22 @@ class QueryService {
   /// Same with an explicit deadline.
   ServiceAnswer Submit(const StatQuery& query, const Deadline& deadline);
 
+  /// The pure, thread-safe prefix of Submit: evaluates the query predicate
+  /// against the backend table and fingerprints the query. Touches no
+  /// mutable service state, so a BatchExecutor may run it concurrently for
+  /// many queries.
+  PreparedQuery Prepare(const StatQuery& query) const;
+
+  /// The stateful remainder of Submit, consuming a Prepare() result. NOT
+  /// thread-safe; callers serialize invocations in submission order, which
+  /// keeps the audit-state and WAL evolution identical to a serial Submit
+  /// loop. Submit(query, deadline) == SubmitPrepared(query, Prepare(query),
+  /// deadline).
+  ServiceAnswer SubmitPrepared(const StatQuery& query, PreparedQuery prepared,
+                               const Deadline& deadline);
+  /// Same with the default deadline.
+  ServiceAnswer SubmitPrepared(const StatQuery& query, PreparedQuery prepared);
+
   /// Attaches the private-aggregation path: replicated grid servers, the
   /// Paillier client, and the server-side noise RNG. All pointers must
   /// outlive the service; replicas must be built over the same grid.
@@ -161,6 +189,13 @@ class QueryService {
 
   /// Privately reads record `index` through the attached failover client.
   Result<std::vector<uint8_t>> PirRead(size_t index, const Deadline& deadline);
+
+  /// Batched private reads through the attached failover client, fanning
+  /// the XOR answer kernels across `pool` (see FailoverPirClient::ReadBatch
+  /// for the determinism contract). Results are positional.
+  std::vector<Result<std::vector<uint8_t>>> PirReadBatch(
+      const std::vector<size_t>& indices, const Deadline& deadline,
+      ThreadPool* pool = nullptr);
 
   const ServiceStats& stats() const { return stats_; }
   const AuditPolicy& audit_policy() const { return policy_; }

@@ -50,12 +50,13 @@ TEST(TwoServerPirTest, SingleServerViewIsTargetIndependent) {
   auto a = XorPirServer::Create(records);
   auto b = XorPirServer::Create(records);
   ASSERT_TRUE(a.ok() && b.ok());
+  a->EnableObservationLog(1);
   Rng rng(3);
   const size_t trials = 600;
   std::vector<size_t> bit_counts(16, 0);
   for (size_t t = 0; t < trials; ++t) {
     ASSERT_TRUE(TwoServerPirRead(&*a, &*b, /*index=*/7, &rng).ok());
-    const auto& view = a->observed_queries().back();
+    const auto& view = a->last_observed_query();
     for (size_t i = 0; i < 16; ++i) {
       bit_counts[i] += (view[i / 8] >> (i % 8)) & 1u;
     }
@@ -64,6 +65,71 @@ TEST(TwoServerPirTest, SingleServerViewIsTargetIndependent) {
     const double freq = static_cast<double>(bit_counts[i]) / trials;
     EXPECT_NEAR(freq, 0.5, 0.08) << "bit " << i;
   }
+}
+
+TEST(RandomSelectionBitsTest, PaddingBitsAreZeroAtAwkwardSizes) {
+  // Regression: the word-filled generator must still zero the padding bits
+  // of the last byte, or observed queries stop being canonical and the
+  // out-of-range record positions get selected.
+  for (size_t n : {1u, 7u, 13u, 37u, 63u, 65u, 127u, 1000u}) {
+    Rng rng(21 + n);
+    for (int trial = 0; trial < 50; ++trial) {
+      const auto bits = RandomSelectionBits(n, &rng);
+      ASSERT_EQ(bits.size(), (n + 7) / 8);
+      if (n % 8 != 0) {
+        EXPECT_EQ(bits.back() & ~((1u << (n % 8)) - 1u), 0u) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(RandomSelectionBitsTest, FillsEightBytesPerDraw) {
+  // Regression for the draw-per-byte bug: 64 selection bits must cost
+  // exactly one NextU64, 65 bits exactly two. Two generators from the same
+  // seed stay in lockstep iff the draw counts match.
+  Rng rng_a(31);
+  Rng rng_b(31);
+  (void)RandomSelectionBits(64, &rng_a);
+  (void)rng_b.NextU64();
+  EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());
+
+  Rng rng_c(33);
+  Rng rng_d(33);
+  (void)RandomSelectionBits(65, &rng_c);
+  (void)rng_d.NextU64();
+  (void)rng_d.NextU64();
+  EXPECT_EQ(rng_c.NextU64(), rng_d.NextU64());
+}
+
+TEST(XorPirServerTest, ObservationLogIsOptInAndBounded) {
+  auto records = MakeRecords(24, 4);
+  auto server = XorPirServer::Create(records);
+  ASSERT_TRUE(server.ok());
+  Rng rng(41);
+
+  // Off by default: queries are counted but nothing is retained.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server->Answer(RandomSelectionBits(24, &rng)).ok());
+  }
+  EXPECT_FALSE(server->observation_enabled());
+  EXPECT_EQ(server->queries_answered(), 5u);
+  EXPECT_EQ(server->num_observed(), 0u);
+
+  // Enabled with capacity 3: the ring keeps the 3 most recent selections,
+  // oldest first, while the counter keeps the full total.
+  server->EnableObservationLog(3);
+  std::vector<std::vector<uint8_t>> sent;
+  for (int i = 0; i < 7; ++i) {
+    sent.push_back(RandomSelectionBits(24, &rng));
+    ASSERT_TRUE(server->Answer(sent.back()).ok());
+  }
+  EXPECT_TRUE(server->observation_enabled());
+  EXPECT_EQ(server->queries_answered(), 12u);
+  ASSERT_EQ(server->num_observed(), 3u);
+  EXPECT_EQ(server->observed_query(0), sent[4]);
+  EXPECT_EQ(server->observed_query(1), sent[5]);
+  EXPECT_EQ(server->observed_query(2), sent[6]);
+  EXPECT_EQ(server->last_observed_query(), sent[6]);
 }
 
 TEST(TwoServerPirTest, RejectsBadInput) {

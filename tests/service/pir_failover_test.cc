@@ -114,14 +114,16 @@ TEST(PirFailoverTest, RetriesUseFreshRandomnessPerPair) {
   auto records = TestRecords(64, 4);
   auto client = FailoverPirClient::Build(records, 1, RetryPolicy{}, &clock, 7);
   ASSERT_TRUE(client.ok());
+  client->EnableObservationLogs(2);
   ASSERT_TRUE(client->Read(3, Deadline()).ok());
   ASSERT_TRUE(client->Read(3, Deadline()).ok());
   // Both reads went to pair 0 (only one pair). Each side saw two selection
   // vectors; identical ones would let the server diff queries over time.
   for (size_t side = 0; side < 2; ++side) {
-    const auto& observed = client->server(side).observed_queries();
-    ASSERT_EQ(observed.size(), 2u);
-    EXPECT_NE(observed[0], observed[1]) << "server " << side;
+    const auto& server = client->server(side);
+    ASSERT_EQ(server.num_observed(), 2u);
+    EXPECT_NE(server.observed_query(0), server.observed_query(1))
+        << "server " << side;
   }
 }
 

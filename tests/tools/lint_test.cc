@@ -193,6 +193,67 @@ TEST(LintRuleTest, NoChannelBypassExemptsTheFabricItself) {
       ForRule(LintSource("tests/smc/x.cc", src), "no-channel-bypass").empty());
 }
 
+TEST(LintRuleTest, NoUnguardedSharedMutationFires) {
+  const std::string src =
+      "void Fan(ThreadPool* pool) {\n"
+      "  pool->ParallelFor(n_, [&](size_t, size_t begin, size_t end) {\n"
+      "    for (size_t i = begin; i < end; ++i) total_ += Cost(i);\n"
+      "  });\n"
+      "}\n";
+  const auto hits = ForRule(LintSource("src/service/bad_batch.cc", src),
+                            "no-unguarded-shared-mutation");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("total_"), std::string::npos);
+}
+
+TEST(LintRuleTest, NoUnguardedSharedMutationCoversAllMutationShapes) {
+  // Plain assignment, compound assignment, and increment all count.
+  EXPECT_EQ(ForRule(LintSource("src/service/b.cc",
+                               "auto f = [&] { state_ = 1; };\n"),
+                    "no-unguarded-shared-mutation")
+                .size(),
+            1u);
+  EXPECT_EQ(ForRule(LintSource("src/service/b.cc",
+                               "auto f = [&] { ++count_; };\n"),
+                    "no-unguarded-shared-mutation")
+                .size(),
+            1u);
+  // Reads and comparisons of members do not count.
+  EXPECT_TRUE(ForRule(LintSource("src/service/b.cc",
+                                 "auto f = [&] { return count_ == limit_; };\n"),
+                      "no-unguarded-shared-mutation")
+                  .empty());
+}
+
+TEST(LintRuleTest, NoUnguardedSharedMutationSparesGuardedAndExplicit) {
+  // A visible lock makes the blanket capture acceptable.
+  EXPECT_TRUE(
+      ForRule(LintSource("src/util/thread_pool.cc",
+                         "auto f = [&] {\n"
+                         "  std::lock_guard<std::mutex> lock(mu_);\n"
+                         "  ++remaining_;\n"
+                         "};\n"),
+              "no-unguarded-shared-mutation")
+          .empty());
+  // Explicit captures are deliberate and stay unflagged.
+  EXPECT_TRUE(ForRule(LintSource("src/service/b.cc",
+                                 "auto f = [&acc] { acc.total_ += 1; };\n"),
+                      "no-unguarded-shared-mutation")
+                  .empty());
+  // Out of scope: the heuristic only polices the parallel-execution layer.
+  EXPECT_TRUE(ForRule(LintSource("src/sdc/x.cc",
+                                 "auto f = [&] { total_ += 1; };\n"),
+                      "no-unguarded-shared-mutation")
+                  .empty());
+  // NOLINT suppression works like every other rule.
+  EXPECT_TRUE(ForRule(LintSource("src/service/b.cc",
+                                 "auto f = [&] { total_ += 1; };  "
+                                 "// NOLINT(no-unguarded-shared-mutation)\n"),
+                      "no-unguarded-shared-mutation")
+                  .empty());
+}
+
 TEST(LintCleanFixtureTest, IdiomaticProjectCodeIsClean) {
   // A miniature protocol file in house style: seeded Rng, Channel traffic,
   // Status returns, no I/O, banned names appearing only in comments and
@@ -254,7 +315,7 @@ TEST(LintRunnerTest, FindingsAreOrderedByLine) {
 TEST(LintRunnerTest, RuleNamesAreStable) {
   const std::vector<std::string> expected = {
       "no-raw-rng", "no-wall-clock", "no-sensitive-logging", "header-hygiene",
-      "no-channel-bypass"};
+      "no-channel-bypass", "no-unguarded-shared-mutation"};
   EXPECT_EQ(RuleNames(), expected);
 }
 

@@ -220,6 +220,98 @@ void CheckChannelBypass(const LexedFile& lexed, const std::string& rel_path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// no-unguarded-shared-mutation
+
+/// True when the body tokens [begin, end) contain an identifier suggesting
+/// the mutation is synchronized (a lock guard, an atomic, or call_once).
+bool BodyLooksGuarded(const std::vector<Token>& toks, size_t begin,
+                      size_t end) {
+  static const std::set<std::string> kGuards = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+      "atomic",     "atomic_ref",  "call_once",   "mutex",
+  };
+  for (size_t i = begin; i < end; ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier && kGuards.count(toks[i].text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Heuristic race detector for the parallel-execution scope (src/service and
+/// the thread pool itself): a blanket by-ref lambda (`[&]` / `[&, ...]`)
+/// whose body writes a trailing-underscore member without any visible
+/// synchronization is exactly the shape of bug the determinism contract
+/// forbids — work handed to ThreadPool::ParallelFor must only write state it
+/// owns. Explicit captures are deliberate and stay unflagged; genuine
+/// exceptions carry a NOLINT(no-unguarded-shared-mutation).
+void CheckUnguardedSharedMutation(const LexedFile& lexed,
+                                  const std::string& rel_path,
+                                  std::vector<Diagnostic>* out) {
+  const bool in_scope = StartsWith(rel_path, "src/service/") ||
+                        StartsWith(rel_path, "src/util/thread_pool.");
+  if (!in_scope) return;
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    // Blanket by-ref capture: `[` `&` followed by `]` or `,`. (A subscript
+    // `a[&x]` has an identifier after the `&` and never matches.)
+    if (toks[i].text != "[" || toks[i + 1].text != "&" ||
+        (toks[i + 2].text != "]" && toks[i + 2].text != ",")) {
+      continue;
+    }
+    // Find the body: first `{` after the capture list, then its match.
+    size_t body_begin = i + 3;
+    while (body_begin < toks.size() && toks[body_begin].text != "{") {
+      ++body_begin;
+    }
+    if (body_begin == toks.size()) continue;
+    size_t depth = 0;
+    size_t body_end = body_begin;
+    for (; body_end < toks.size(); ++body_end) {
+      if (toks[body_end].text == "{") ++depth;
+      if (toks[body_end].text == "}" && --depth == 0) break;
+    }
+    if (BodyLooksGuarded(toks, body_begin, body_end)) continue;
+    for (size_t j = body_begin + 1; j < body_end; ++j) {
+      const Token& tok = toks[j];
+      if (tok.kind != TokenKind::kIdentifier || tok.text.size() < 2 ||
+          tok.text.back() != '_') {
+        continue;
+      }
+      // Plain assignment `x_ =` (not `==`, `<=`, `>=`, `!=`).
+      const bool assigned =
+          j + 1 < body_end && toks[j + 1].text == "=" &&
+          (j + 2 >= toks.size() || toks[j + 2].text != "=") &&
+          (j == 0 || (toks[j - 1].text != "=" && toks[j - 1].text != "<" &&
+                      toks[j - 1].text != ">" && toks[j - 1].text != "!"));
+      // Compound assignment `x_ +=` etc. (operator chars lex one at a time).
+      static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                      "%", "&", "|", "^"};
+      const bool compound =
+          j + 2 < body_end && kCompound.count(toks[j + 1].text) > 0 &&
+          toks[j + 2].text == "=" &&
+          (j + 3 >= toks.size() || toks[j + 3].text != "=");
+      // Increment/decrement on either side: `++x_` / `x_--`.
+      auto twin = [&](size_t a, size_t b, const std::string& op) {
+        return toks[a].text == op && toks[b].text == op;
+      };
+      const bool bumped =
+          (j + 2 < body_end &&
+           (twin(j + 1, j + 2, "+") || twin(j + 1, j + 2, "-"))) ||
+          (j >= 2 && j - 1 > body_begin &&
+           (twin(j - 2, j - 1, "+") || twin(j - 2, j - 1, "-")));
+      if (!assigned && !compound && !bumped) continue;
+      Report(lexed, rel_path, tok.line, "no-unguarded-shared-mutation",
+             "'" + tok.text +
+                 "' is mutated inside a blanket by-ref lambda with no visible "
+                 "lock or atomic; parallel work must only write state it owns "
+                 "(per-shard or per-index slots) or take a guard",
+             out);
+    }
+  }
+}
+
 }  // namespace
 
 std::string FormatDiagnostic(const Diagnostic& diag) {
@@ -230,8 +322,9 @@ std::string FormatDiagnostic(const Diagnostic& diag) {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"no-raw-rng", "no-wall-clock", "no-sensitive-logging",
-          "header-hygiene", "no-channel-bypass"};
+  return {"no-raw-rng",     "no-wall-clock",
+          "no-sensitive-logging", "header-hygiene",
+          "no-channel-bypass",    "no-unguarded-shared-mutation"};
 }
 
 std::vector<Diagnostic> LintSource(const std::string& rel_path,
@@ -243,6 +336,7 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
   CheckSensitiveLogging(lexed, rel_path, &out);
   CheckHeaderHygiene(lexed, rel_path, &out);
   CheckChannelBypass(lexed, rel_path, &out);
+  CheckUnguardedSharedMutation(lexed, rel_path, &out);
   std::stable_sort(out.begin(), out.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      return a.line < b.line;

@@ -27,6 +27,14 @@
 //                         through MakeChannel()/Channel, never raw
 //                         PartyNetwork Send/Receive (only party.* and
 //                         reliable_channel.* implement the fabric itself).
+//   no-unguarded-shared-mutation
+//                         in the parallel-execution scope (src/service and
+//                         src/util/thread_pool.*), a blanket `[&]` lambda
+//                         that writes a trailing-underscore member without a
+//                         visible lock/atomic — work fanned across the
+//                         ThreadPool must only write state it owns, or the
+//                         determinism contract (thread count changes nothing
+//                         but wall-clock) breaks.
 //
 // Any finding is suppressible in place with `// NOLINT(rule-name)` (or a
 // bare `// NOLINT`, or `// NOLINTNEXTLINE(rule-name)`), so escapes are
