@@ -1,0 +1,145 @@
+// Observability tax: what always-on instruments cost the serving ladder.
+//
+// The obs subsystem promises to be cheap enough to leave attached: every
+// push is a preallocated-slot increment and every span is a ring-buffer
+// write, with no allocation, locking, or clock charge on the hot path. This
+// bench measures that promise — the same fault-injected statistical batch
+// served (a) with no instruments attached and (b) with a full bundle
+// (registry + trace + budget accountant) attached and published — and
+// prints the relative overhead. The acceptance bar is < 5%.
+//
+// The third arm is the compiled-out reference: rebuild with
+// -DTRIPRIV_OBS=OFF (TRIPRIV_OBS_DISABLED) and rerun this bench; the
+// "instrumented" arm then runs the same attach calls against empty inline
+// bodies, so (instrumented ON) vs (instrumented OFF) isolates the true
+// instruction cost. The dump at the end is the CI artifact: the metrics and
+// trace JSON of one instrumented run.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/budget.h"
+#include "obs/export.h"
+#include "obs/instruments.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "querydb/query.h"
+#include "service/batch_executor.h"
+#include "service/query_service.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+constexpr int kRounds = 4;
+constexpr int kTrials = 5;
+constexpr int kQueriesPerRound = 120;
+
+StatQuery Parse(const std::string& sql) {
+  auto query = ParseQuery(sql);
+  TRIPRIV_CHECK(query.ok()) << sql;
+  return std::move(query).value();
+}
+
+/// 120 distinct queries cycling aggregates, columns, and thresholds.
+/// Distinct predicates keep the audit ladder doing real query-set work
+/// instead of short-circuiting repeats into cheap refusals.
+std::vector<StatQuery> WorkloadBatch() {
+  static const char* const kAggs[] = {"SUM(blood_pressure)", "COUNT(*)",
+                                      "AVG(weight)", "SUM(weight)"};
+  static const char* const kCols[] = {"height", "weight", "blood_pressure"};
+  std::vector<StatQuery> batch;
+  batch.reserve(kQueriesPerRound);
+  for (int i = 0; i < kQueriesPerRound; ++i) {
+    const std::string sql = std::string("SELECT ") + kAggs[i % 4] +
+                            " FROM t WHERE " + kCols[i % 3] +
+                            (i % 2 != 0 ? " < " : " >= ") +
+                            std::to_string(60 + (i * 7) % 120);
+    batch.push_back(Parse(sql));
+  }
+  return batch;
+}
+
+QueryServiceConfig BenchConfig() {
+  QueryServiceConfig config;
+  config.protection.mode = ProtectionMode::kAudit;
+  config.protection.min_query_set_size = 2;
+  config.faults.backend_fault_rate = 0.3;
+  return config;
+}
+
+/// One timed trial: kRounds fresh services each serving the full batch.
+/// `bundle` != null attaches the instruments and publishes once per round.
+double TrialSeconds(const std::vector<StatQuery>& batch, const DataTable& data,
+                    obs::ServiceMetrics* bundle) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    MemWalIo wal;
+    auto service = QueryService::Create(data, BenchConfig(), &wal);
+    TRIPRIV_CHECK(service.ok());
+    if (bundle != nullptr) service->AttachInstruments(bundle);
+    BatchExecutor executor(&*service, nullptr);
+    auto answers = executor.ExecuteQueryBatch(batch);
+    TRIPRIV_CHECK(answers.size() == batch.size());
+    if (bundle != nullptr) service->PublishMetrics();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+}  // namespace tripriv
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv bench: observability overhead ===\n");
+#ifdef TRIPRIV_OBS_DISABLED
+  std::printf("build: TRIPRIV_OBS=OFF (instruments compiled out; this run "
+              "is the reference arm)\n");
+#else
+  std::printf("build: TRIPRIV_OBS=ON (instruments compiled in)\n");
+#endif
+  // A serving-sized table: per-query cost must reflect a real scan, not the
+  // paper's 11-row illustration, or fixed per-span nanoseconds dominate.
+  const DataTable data = MakeClinicalTrial(2000, 7);
+  const std::vector<StatQuery> batch = WorkloadBatch();
+
+  // The instrumented arm reuses one bundle across rounds (the production
+  // shape: one registry for the process lifetime). SimClock placement
+  // mirrors the service's: spans only need a monotone tick source here.
+  SimClock clock;
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder trace(&clock, 512);
+  obs::PrivacyBudgetAccountant accountant(&registry);
+  auto bundle = obs::ServiceMetrics::Create(&registry, &trace, &accountant, {});
+  TRIPRIV_CHECK(bundle.ok());
+
+  // Interleave the arms and keep each arm's best trial: min-of-N is robust
+  // against one-off scheduler noise in a shared CI box.
+  double baseline = 1e100;
+  double instrumented = 1e100;
+  TrialSeconds(batch, data, nullptr);  // warm-up, untimed
+  for (int trial = 0; trial < kTrials; ++trial) {
+    baseline = std::min(baseline, TrialSeconds(batch, data, nullptr));
+    instrumented = std::min(instrumented, TrialSeconds(batch, data, &*bundle));
+  }
+  const double overhead = 100.0 * (instrumented - baseline) / baseline;
+  std::printf("workload: %d rounds x %zu queries, audit policy, fault rate "
+              "0.3\n\n", kRounds, batch.size());
+  std::printf("baseline      (no instruments):   %8.3f ms\n",
+              1e3 * baseline);
+  std::printf("instrumented  (bundle attached):  %8.3f ms\n",
+              1e3 * instrumented);
+  std::printf("overhead:                         %+8.2f %%  (budget: < 5%%)\n",
+              overhead);
+
+  // CI artifact: the instrumented run's exports, proving the dump contains
+  // only allowlisted labels and numeric payloads.
+  std::printf("\n--- metrics snapshot (JSON) ---\n%s\n",
+              obs::ToJson(registry.Snapshot()).c_str());
+  std::printf("--- trace (JSON) ---\n%s\n", obs::TraceToJson(trace).c_str());
+  return overhead < 5.0 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+#include "obs/budget.h"
+
+#include <utility>
+
+namespace tripriv {
+namespace obs {
+
+const char* PrivacyDimensionName(PrivacyDimension dimension) {
+  switch (dimension) {
+    case PrivacyDimension::kRespondent:
+      return "respondent";
+    case PrivacyDimension::kOwner:
+      return "owner";
+    case PrivacyDimension::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+PrivacyBudgetAccountant::PrivacyBudgetAccountant(MetricsRegistry* registry)
+    : registry_(registry) {
+  TRIPRIV_CHECK(registry_ != nullptr);
+}
+
+Status PrivacyBudgetAccountant::RegisterPrincipal(const std::string& name,
+                                                  PrivacyDimension dimension,
+                                                  double budget) {
+  if (budget < 0.0) {
+    return Status::InvalidArgument("budget must be >= 0");
+  }
+  if (principals_.count(name) > 0) {
+    return Status::AlreadyExists("principal already registered");
+  }
+  // Admitting the name is the fail-closed gate: a data-shaped name never
+  // reaches the registry.
+  TRIPRIV_RETURN_IF_ERROR(registry_->AllowLabelValue("principal", name));
+  const LabelSet labels = {
+      {"dimension", PrivacyDimensionName(dimension)},
+      {"principal", name},
+  };
+  Principal principal;
+  principal.dimension = dimension;
+  principal.budget = budget;
+  TRIPRIV_ASSIGN_OR_RETURN(
+      principal.spent_gauge,
+      registry_->RegisterGauge("tripriv_privacy_epsilon_spent",
+                               "Epsilon spent by this principal", labels));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      principal.budget_gauge,
+      registry_->RegisterGauge("tripriv_privacy_epsilon_budget",
+                               "Total epsilon budget of this principal",
+                               labels));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      principal.remaining_gauge,
+      registry_->RegisterGauge("tripriv_privacy_epsilon_remaining",
+                               "Epsilon budget left for this principal",
+                               labels));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      principal.spend_events_counter,
+      registry_->RegisterCounter("tripriv_privacy_spend_events_total",
+                                 "Number of recorded epsilon spends", labels));
+  principal.budget_gauge->Set(budget);
+  principal.remaining_gauge->Set(budget);
+  principals_.emplace(name, principal);
+  return Status::OK();
+}
+
+Status PrivacyBudgetAccountant::RecordSpend(const std::string& name,
+                                            double epsilon) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon spend must be >= 0");
+  }
+  auto it = principals_.find(name);
+  if (it == principals_.end()) {
+    return Status::NotFound("unknown budget principal");
+  }
+  Principal& principal = it->second;
+  principal.spent += epsilon;
+  ++principal.spend_events;
+  principal.spent_gauge->Set(principal.spent);
+  const double left = principal.budget - principal.spent;
+  principal.remaining_gauge->Set(left > 0.0 ? left : 0.0);
+  principal.spend_events_counter->Increment();
+  return Status::OK();
+}
+
+double PrivacyBudgetAccountant::spent(const std::string& name) const {
+  auto it = principals_.find(name);
+  return it == principals_.end() ? 0.0 : it->second.spent;
+}
+
+double PrivacyBudgetAccountant::remaining(const std::string& name) const {
+  auto it = principals_.find(name);
+  if (it == principals_.end()) return 0.0;
+  const double left = it->second.budget - it->second.spent;
+  return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace obs
+}  // namespace tripriv

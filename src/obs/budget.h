@@ -1,0 +1,83 @@
+// Per-principal privacy-budget accounting over the three paper dimensions.
+//
+// The source paper organizes database privacy along three orthogonal
+// dimensions — whose privacy is at stake:
+//
+//   respondent  the individuals whose records populate the table (SDC,
+//               differential privacy protect them);
+//   owner       the holder of the database as an asset (audit policies,
+//               rule hiding protect them);
+//   user        the querier whose interests must stay hidden (PIR
+//               protects them).
+//
+// Epsilon spends are already durable facts: QueryService writes a WAL
+// record before any degraded or aggregate answer is released. The
+// accountant mirrors those spends into queryable gauges — spent, budget,
+// and remaining per principal, each tagged with the principal's paper
+// dimension — so dashboards see budget pressure without a WAL scan.
+// The WAL stays the source of truth; the accountant is a read model.
+//
+// Principal names pass the same fail-closed label validation as every
+// other label value (registering a principal admits its name into the
+// allowlist), so a principal can never smuggle a data-shaped string into
+// the export path.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tripriv {
+namespace obs {
+
+/// Whose privacy a spend draws down (the paper's three dimensions).
+enum class PrivacyDimension : uint8_t { kRespondent, kOwner, kUser };
+
+const char* PrivacyDimensionName(PrivacyDimension dimension);
+
+/// Budget read-model over a MetricsRegistry; see file comment.
+class PrivacyBudgetAccountant {
+ public:
+  /// `registry` must outlive the accountant.
+  explicit PrivacyBudgetAccountant(MetricsRegistry* registry);
+
+  /// Declares a principal with its paper dimension and total budget,
+  /// admits its name as a `principal` label value, and registers its
+  /// spent/budget/remaining gauges. Name validation is fail-closed
+  /// (kInvalidArgument on data-shaped names, kAlreadyExists on re-use).
+  Status RegisterPrincipal(const std::string& name,
+                           PrivacyDimension dimension, double budget);
+
+  /// Records `epsilon` spent by `name` (kNotFound for an unregistered
+  /// principal — spends against unknown principals are refused, not
+  /// auto-created). Gauges update immediately.
+  Status RecordSpend(const std::string& name, double epsilon);
+
+  /// Total recorded spend of `name` (0.0 when unknown).
+  double spent(const std::string& name) const;
+  /// Budget minus spend, clamped at 0 (0.0 when unknown).
+  double remaining(const std::string& name) const;
+  size_t num_principals() const { return principals_.size(); }
+
+ private:
+  struct Principal {
+    PrivacyDimension dimension;
+    double budget = 0.0;
+    double spent = 0.0;
+    uint64_t spend_events = 0;
+    Gauge* spent_gauge = nullptr;
+    Gauge* remaining_gauge = nullptr;
+    Gauge* budget_gauge = nullptr;
+    Counter* spend_events_counter = nullptr;
+  };
+
+  MetricsRegistry* registry_;
+  std::map<std::string, Principal> principals_;
+};
+
+}  // namespace obs
+}  // namespace tripriv

@@ -1,0 +1,224 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace tripriv {
+namespace obs {
+namespace {
+
+std::string LabelsToPrometheus(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapePrometheusLabelValue(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Labels rendered inside an existing `{...}` list, joined with the extra
+/// `le` label histograms need.
+std::string BucketLabels(const LabelSet& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [key, value] : labels) {
+    out += key;
+    out += "=\"";
+    out += EscapePrometheusLabelValue(value);
+    out += "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+std::string LabelsToJson(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJsonString(key);
+    out += "\":\"";
+    out += EscapeJsonString(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string EscapePrometheusLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJsonString(const std::string& value) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name != last_name) {
+      last_name = sample.name;
+      out += "# HELP " + sample.name + " " + sample.help + "\n";
+      out += "# TYPE " + sample.name + " ";
+      out += MetricKindName(sample.kind);
+      out += '\n';
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += sample.name + LabelsToPrometheus(sample.labels) + " " +
+               std::to_string(sample.counter_value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += sample.name + LabelsToPrometheus(sample.labels) + " " +
+               FormatDouble(sample.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < sample.histogram.counts.size(); ++b) {
+          cumulative += sample.histogram.counts[b];
+          const std::string le =
+              b < sample.histogram.bounds.size()
+                  ? std::to_string(sample.histogram.bounds[b])
+                  : std::string("+Inf");
+          out += sample.name + "_bucket" + BucketLabels(sample.labels, le) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += sample.name + "_sum" + LabelsToPrometheus(sample.labels) + " " +
+               std::to_string(sample.histogram.sum) + "\n";
+        out += sample.name + "_count" + LabelsToPrometheus(sample.labels) +
+               " " + std::to_string(sample.histogram.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + EscapeJsonString(sample.name) + "\",\"kind\":\"";
+    out += MetricKindName(sample.kind);
+    out += "\",\"labels\":" + LabelsToJson(sample.labels);
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(sample.counter_value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + FormatDouble(sample.gauge_value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"buckets\":[";
+        for (size_t b = 0; b < sample.histogram.counts.size(); ++b) {
+          if (b > 0) out += ',';
+          out += "{\"le\":";
+          if (b < sample.histogram.bounds.size()) {
+            out += std::to_string(sample.histogram.bounds[b]);
+          } else {
+            out += "\"+inf\"";
+          }
+          out += ",\"count\":" + std::to_string(sample.histogram.counts[b]) +
+                 "}";
+        }
+        out += "],\"count\":" + std::to_string(sample.histogram.count) +
+               ",\"sum\":" + std::to_string(sample.histogram.sum);
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceToJson(const TraceRecorder& trace) {
+  std::string out = "{\"spans\":[";
+  for (size_t i = 0; i < trace.num_spans(); ++i) {
+    const TraceSpan& span = trace.span(i);
+    if (i > 0) out += ',';
+    out += "{\"id\":" + std::to_string(span.id) +
+           ",\"parent\":" + std::to_string(span.parent_id) + ",\"name\":\"" +
+           EscapeJsonString(span.name) +
+           "\",\"query_id\":" + std::to_string(span.query_id) +
+           ",\"start\":" + std::to_string(span.start_tick) +
+           ",\"end\":" + std::to_string(span.end_tick) + ",\"status\":\"" +
+           EscapeJsonString(span.status) + "\"}";
+  }
+  out += "],\"dropped\":" + std::to_string(trace.dropped()) +
+         ",\"rejected_names\":" + std::to_string(trace.rejected_names()) + "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tripriv

@@ -1,0 +1,50 @@
+// Metrics and trace exporters: Prometheus text format and JSON.
+//
+// Exporters are pure string producers — library code in src/obs returns
+// data and never prints (the no-sensitive-logging lint rule covers this
+// directory), so only a caller outside the privacy libraries can decide to
+// emit an export. Output is deterministic: samples arrive sorted from
+// MetricsSnapshot, label order is fixed, doubles render via shortest
+// round-trip (std::to_chars), and no timestamps or environment data are
+// ever embedded — two identical workloads export byte-identical text at
+// any thread count.
+//
+// Label values were validated against the fail-closed allowlist at
+// registration, so nothing here needs sanitizing; the escaping functions
+// exist for format correctness (and are exercised directly by tests), not
+// as a privacy barrier.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tripriv {
+namespace obs {
+
+/// `\\`, `"`, and newline escaping for Prometheus label values.
+std::string EscapePrometheusLabelValue(const std::string& value);
+
+/// JSON string-body escaping (quotes, backslashes, control characters).
+std::string EscapeJsonString(const std::string& value);
+
+/// Shortest round-trip decimal rendering of `value` ("nan"/"inf" spelled
+/// out, never locale-dependent).
+std::string FormatDouble(double value);
+
+/// Prometheus text exposition of a snapshot: # HELP / # TYPE headers once
+/// per metric name, histograms as cumulative _bucket/_sum/_count series.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON document {"metrics":[...]} with one entry per series; histograms
+/// carry non-cumulative buckets plus count and sum.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// JSON document {"spans":[...],"dropped":n,"rejected_names":n}, spans
+/// oldest first with parent/child links by id.
+std::string TraceToJson(const TraceRecorder& trace);
+
+}  // namespace obs
+}  // namespace tripriv

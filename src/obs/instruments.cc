@@ -1,0 +1,202 @@
+#include "obs/instruments.h"
+
+#include <utility>
+#include <vector>
+
+namespace tripriv {
+namespace obs {
+
+#ifdef TRIPRIV_OBS_DISABLED
+
+// Compiled-out build: hand back an inert bundle; every push/publish method
+// already has an empty body, so no registration cost either.
+Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* /*registry*/,
+                                              TraceRecorder* trace,
+                                              PrivacyBudgetAccountant*,
+                                              ServiceMetricsOptions options) {
+  ServiceMetrics metrics;
+  metrics.options_ = std::move(options);
+  metrics.trace_ = trace;
+  return metrics;
+}
+
+#else
+
+Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* registry,
+                                              TraceRecorder* trace,
+                                              PrivacyBudgetAccountant* accountant,
+                                              ServiceMetricsOptions options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("ServiceMetrics requires a registry");
+  }
+  ServiceMetrics metrics;
+  metrics.options_ = std::move(options);
+  metrics.trace_ = trace;
+  metrics.accountant_ = accountant;
+
+  if (accountant != nullptr) {
+    // Both epsilon principals spend respondent privacy (epsilon is a DP
+    // quantity); kAlreadyExists means the caller pre-registered them with
+    // its own budgets, which is fine.
+    Status degraded = accountant->RegisterPrincipal(
+        metrics.options_.degraded_principal, PrivacyDimension::kRespondent,
+        metrics.options_.degraded_budget);
+    if (!degraded.ok() && degraded.code() != StatusCode::kAlreadyExists) {
+      return degraded;
+    }
+    Status aggregate = accountant->RegisterPrincipal(
+        metrics.options_.aggregate_principal, PrivacyDimension::kRespondent,
+        metrics.options_.aggregate_budget);
+    if (!aggregate.ok() && aggregate.code() != StatusCode::kAlreadyExists) {
+      return aggregate;
+    }
+  }
+
+  static const char* kTierValues[3] = {"protected", "dp_degraded", "refused"};
+  for (int t = 0; t < 3; ++t) {
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.tier_counters_[t],
+        registry->RegisterCounter("tripriv_service_answers_total",
+                                  "Answers released, by degradation tier",
+                                  {{"tier", kTierValues[t]}}));
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.shed_,
+      registry->RegisterCounter("tripriv_service_shed_total",
+                                "Queries shed by admission control"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.policy_refusals_,
+      registry->RegisterCounter("tripriv_service_policy_refusals_total",
+                                "Queries refused by the owner policy gate",
+                                {{"dimension", "owner"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.crashes_,
+      registry->RegisterCounter("tripriv_service_crashes_total",
+                                "Simulated crash/recovery cycles"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.wal_appends_,
+      registry->RegisterCounter("tripriv_wal_appends_total",
+                                "Audit WAL records made durable"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.wal_append_failures_,
+      registry->RegisterCounter("tripriv_wal_append_failures_total",
+                                "Audit WAL appends that failed"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.wal_bytes_,
+      registry->RegisterCounter("tripriv_wal_bytes_total",
+                                "Framed bytes appended to the audit WAL"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.wal_fsync_ticks_,
+      registry->RegisterHistogram(
+          "tripriv_wal_fsync_ticks",
+          "Modeled fsync latency per WAL append, in sim ticks",
+          {1, 2, 4, 8, 16, 32, 64, 128, 256}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.stat_batch_size_,
+      registry->RegisterHistogram("tripriv_stat_batch_size",
+                                  "Queries per statistical batch",
+                                  {1, 2, 4, 8, 16, 32, 64, 128}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pir_batch_size_,
+      registry->RegisterHistogram("tripriv_pir_batch_size",
+                                  "Record fetches per PIR batch",
+                                  {1, 2, 4, 8, 16, 32, 64, 128},
+                                  {{"dimension", "user"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pir_reads_,
+      registry->RegisterCounter("tripriv_pir_reads_total",
+                                "Private record fetches served",
+                                {{"dimension", "user"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.queue_depth_,
+      registry->RegisterGauge("tripriv_service_queue_depth",
+                              "Admission-control queue depth at publish"));
+  // The service's two breakers: the exact primary path and the epsilon-DP
+  // degraded path.
+  static const char* kBackends[2] = {"primary", "dp"};
+  for (int b = 0; b < 2; ++b) {
+    const LabelSet labels = {{"backend", kBackends[b]}};
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.breaker_state_[b],
+        registry->RegisterGauge("tripriv_breaker_state",
+                                "Breaker state: 0 closed, 1 open, 2 half-open",
+                                labels));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.breaker_opens_[b],
+        registry->RegisterGauge("tripriv_breaker_opens",
+                                "Times this breaker has tripped open",
+                                labels));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.breaker_rejections_[b],
+        registry->RegisterGauge("tripriv_breaker_rejections",
+                                "Calls rejected while the breaker was open",
+                                labels));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.breaker_probes_[b],
+        registry->RegisterGauge("tripriv_breaker_half_open_probes",
+                                "Probe calls admitted while half-open",
+                                labels));
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pir_bytes_xored_,
+      registry->RegisterGauge("tripriv_pir_bytes_xored",
+                              "Bytes XORed by PIR servers answering queries",
+                              {{"dimension", "user"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pir_failovers_,
+      registry->RegisterGauge("tripriv_pir_failover_replays",
+                              "PIR queries replayed on a fallback server pair",
+                              {{"dimension", "user"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pir_corrupt_,
+      registry->RegisterGauge("tripriv_pir_corrupt_answers",
+                              "PIR answers rejected as corrupt",
+                              {{"dimension", "user"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pir_queries_,
+      registry->RegisterGauge("tripriv_pir_queries_answered",
+                              "PIR queries answered across server pairs",
+                              {{"dimension", "user"}}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.channel_retransmissions_,
+      registry->RegisterGauge("tripriv_channel_retransmissions",
+                              "SMC channel frames retransmitted"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.channel_timeouts_,
+      registry->RegisterGauge("tripriv_channel_receive_timeouts",
+                              "SMC channel receives that hit their deadline"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.channel_duplicates_,
+      registry->RegisterGauge("tripriv_channel_duplicates",
+                              "Duplicate frames discarded by the channel"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.channel_checksum_failures_,
+      registry->RegisterGauge("tripriv_channel_checksum_failures",
+                              "Frames dropped for checksum mismatch"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pool_barrier_waits_,
+      registry->RegisterGauge("tripriv_pool_barrier_waits",
+                              "ParallelFor barrier waits (one per call)"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pool_items_,
+      registry->RegisterGauge("tripriv_pool_items",
+                              "Items dispatched across all ParallelFor calls"));
+  if (metrics.options_.include_thread_variant) {
+    // These depend on the worker count by construction; registering them is
+    // an explicit opt out of the thread-count-invariant snapshot.
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.pool_shards_,
+        registry->RegisterGauge("tripriv_pool_shards",
+                                "Shards executed (varies with thread count)"));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.pool_threads_,
+        registry->RegisterGauge("tripriv_pool_threads",
+                                "Worker threads (varies with configuration)"));
+  }
+  return metrics;
+}
+
+#endif  // TRIPRIV_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace tripriv

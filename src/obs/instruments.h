@@ -1,0 +1,217 @@
+// Pre-registered instrument handles for the serving stack.
+//
+// ServiceMetrics bundles a MetricsRegistry, an optional TraceRecorder, and
+// an optional PrivacyBudgetAccountant behind an API of primitives — tier
+// indices, byte counts, tick values — so the layers it observes
+// (src/service, src/pir, src/smc, util/thread_pool) never depend on obs
+// types beyond this one header, and obs never depends back on them (no
+// cycle). Two flow directions:
+//
+//   push     event-driven, from the serial serving path: OnAnswer, OnShed,
+//            OnWalAppend (fsync-latency histogram), batch-size histograms,
+//            epsilon spends;
+//   publish  sampled, from an explicit publish step: component self-
+//            counters (breaker state, queue depth, PIR failovers, channel
+//            retransmits, pool barrier waits) copied into gauges.
+//
+// Determinism: every always-on series is a pure function of the workload.
+// Metrics whose value necessarily depends on the worker count (shards
+// dispatched, thread count) are registered ONLY when
+// ServiceMetricsOptions::include_thread_variant is set — the byte-identical
+// snapshot contract across 0/1/2/8 threads holds for the default set.
+//
+// Building with -DTRIPRIV_OBS=OFF defines TRIPRIV_OBS_DISABLED, which
+// compiles every push/publish method to an empty inline body — the
+// reference build bench_obs_overhead compares the always-on cost against.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/budget.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace tripriv {
+namespace obs {
+
+#ifdef TRIPRIV_OBS_DISABLED
+#define TRIPRIV_OBS_BODY(...) {}
+#else
+#define TRIPRIV_OBS_BODY(...) { __VA_ARGS__ }
+#endif
+
+/// Answer tiers as stable indices (mirrors service AnswerTier).
+inline constexpr uint8_t kTierProtected = 0;
+inline constexpr uint8_t kTierDpDegraded = 1;
+inline constexpr uint8_t kTierRefused = 2;
+
+/// Breaker states as stable indices (mirrors service BreakerState).
+inline constexpr uint8_t kBreakerClosed = 0;
+inline constexpr uint8_t kBreakerOpen = 1;
+inline constexpr uint8_t kBreakerHalfOpen = 2;
+
+struct ServiceMetricsOptions {
+  /// Principal charged by the degraded (epsilon-DP Laplace) path.
+  std::string degraded_principal = "degraded_path";
+  /// Principal charged by the aggregate-PIR DP-count path.
+  std::string aggregate_principal = "aggregate_path";
+  /// Budgets for the two principals (mirrors QueryServiceConfig's
+  /// epsilon_budget; the WAL remains the enforcement point).
+  double degraded_budget = 8.0;
+  double aggregate_budget = 8.0;
+  /// Registers thread-variant series (pool shards, worker count) too —
+  /// leave off where the snapshot must be thread-count-invariant.
+  bool include_thread_variant = false;
+};
+
+/// Handle bundle; see file comment. Create registers every series up
+/// front, so the hot path only touches preallocated slots.
+class ServiceMetrics {
+ public:
+  /// `registry` must outlive the bundle; `trace` and `accountant` may be
+  /// null (spans / budget mirroring are then skipped).
+  static Result<ServiceMetrics> Create(MetricsRegistry* registry,
+                                       TraceRecorder* trace,
+                                       PrivacyBudgetAccountant* accountant,
+                                       ServiceMetricsOptions options = {});
+
+  // --- push API (serial serving path) ---------------------------------
+
+  void OnAnswer(uint8_t tier) TRIPRIV_OBS_BODY(
+      if (tier <= kTierRefused) tier_counters_[tier]->Increment();)
+  void OnShed() TRIPRIV_OBS_BODY(shed_->Increment();)
+  void OnPolicyRefusal() TRIPRIV_OBS_BODY(policy_refusals_->Increment();)
+  void OnCrash() TRIPRIV_OBS_BODY(crashes_->Increment();)
+  /// One WAL append attempt: `bytes` framed, `ok` durable. The fsync-tick
+  /// histogram uses the deterministic device model in WalFsyncTicks.
+  void OnWalAppend(uint64_t bytes, bool ok) TRIPRIV_OBS_BODY(
+      if (ok) {
+        wal_appends_->Increment();
+        wal_bytes_->Add(bytes);
+        wal_fsync_ticks_->Observe(WalFsyncTicks(bytes));
+      } else {
+        wal_append_failures_->Increment();
+      })
+  void OnStatBatch(uint64_t size)
+      TRIPRIV_OBS_BODY(stat_batch_size_->Observe(size);)
+  void OnPirBatch(uint64_t size)
+      TRIPRIV_OBS_BODY(pir_batch_size_->Observe(size);)
+  void OnPirRead() TRIPRIV_OBS_BODY(pir_reads_->Increment();)
+  /// Mirrors one durable epsilon spend into the accountant's gauges.
+  void OnEpsilonSpend(bool aggregate_path, double epsilon) TRIPRIV_OBS_BODY(
+      if (accountant_ != nullptr) {
+        IgnoreError(accountant_->RecordSpend(
+            aggregate_path ? options_.aggregate_principal
+                           : options_.degraded_principal,
+            epsilon));
+      })
+  /// Seeds the degraded principal's gauges from WAL-recovered spend.
+  void OnEpsilonRecovered(double epsilon) TRIPRIV_OBS_BODY(
+      if (accountant_ != nullptr && epsilon > 0.0) {
+        IgnoreError(accountant_->RecordSpend(options_.degraded_principal,
+                                             epsilon));
+      })
+
+  // --- publish API (sampled component counters -> gauges) -------------
+
+  void PublishQueueDepth(uint64_t depth)
+      TRIPRIV_OBS_BODY(queue_depth_->Set(static_cast<double>(depth));)
+  void PublishBreaker(bool primary, uint8_t state, uint64_t opens,
+                      uint64_t rejections, uint64_t half_open_probes)
+      TRIPRIV_OBS_BODY(const size_t i = primary ? 0 : 1;
+                       breaker_state_[i]->Set(static_cast<double>(state));
+                       breaker_opens_[i]->Set(static_cast<double>(opens));
+                       breaker_rejections_[i]->Set(
+                           static_cast<double>(rejections));
+                       breaker_probes_[i]->Set(
+                           static_cast<double>(half_open_probes));)
+  void PublishPir(uint64_t bytes_xored, uint64_t failovers,
+                  uint64_t corrupt_answers, uint64_t queries_answered)
+      TRIPRIV_OBS_BODY(
+          pir_bytes_xored_->Set(static_cast<double>(bytes_xored));
+          pir_failovers_->Set(static_cast<double>(failovers));
+          pir_corrupt_->Set(static_cast<double>(corrupt_answers));
+          pir_queries_->Set(static_cast<double>(queries_answered));)
+  void PublishChannel(uint64_t retransmissions, uint64_t timeouts,
+                      uint64_t duplicates, uint64_t checksum_failures)
+      TRIPRIV_OBS_BODY(
+          channel_retransmissions_->Set(static_cast<double>(retransmissions));
+          channel_timeouts_->Set(static_cast<double>(timeouts));
+          channel_duplicates_->Set(static_cast<double>(duplicates));
+          channel_checksum_failures_->Set(
+              static_cast<double>(checksum_failures));)
+  /// Thread-count-invariant pool counters (one barrier wait per
+  /// ParallelFor; items = sum of n across calls).
+  void PublishPool(uint64_t barrier_waits, uint64_t items)
+      TRIPRIV_OBS_BODY(
+          pool_barrier_waits_->Set(static_cast<double>(barrier_waits));
+          pool_items_->Set(static_cast<double>(items));)
+  /// Thread-VARIANT pool counters; no-op unless include_thread_variant.
+  void PublishPoolThreadVariant(uint64_t shards, uint64_t threads)
+      TRIPRIV_OBS_BODY(if (pool_shards_ != nullptr) {
+        pool_shards_->Set(static_cast<double>(shards));
+        pool_threads_->Set(static_cast<double>(threads));
+      })
+
+  /// Deterministic fsync-latency model of the simulated WAL device: one
+  /// base tick plus one tick per 64 framed bytes. Accounted, not charged —
+  /// the request clock is untouched, so attaching instruments never
+  /// changes serving behaviour.
+  static uint64_t WalFsyncTicks(uint64_t bytes) { return 1 + bytes / 64; }
+
+  /// The attached recorder, or null when instruments are compiled out —
+  /// span recording disappears behind the same switch as metric pushes.
+  TraceRecorder* trace() const {
+#ifdef TRIPRIV_OBS_DISABLED
+    return nullptr;
+#else
+    return trace_;
+#endif
+  }
+  PrivacyBudgetAccountant* accountant() const { return accountant_; }
+  const ServiceMetricsOptions& options() const { return options_; }
+
+ private:
+  ServiceMetrics() = default;
+
+  ServiceMetricsOptions options_;
+  TraceRecorder* trace_ = nullptr;
+  PrivacyBudgetAccountant* accountant_ = nullptr;
+
+  Counter* tier_counters_[3] = {nullptr, nullptr, nullptr};
+  Counter* shed_ = nullptr;
+  Counter* policy_refusals_ = nullptr;
+  Counter* crashes_ = nullptr;
+  Counter* wal_appends_ = nullptr;
+  Counter* wal_append_failures_ = nullptr;
+  Counter* wal_bytes_ = nullptr;
+  Histogram* wal_fsync_ticks_ = nullptr;
+  Histogram* stat_batch_size_ = nullptr;
+  Histogram* pir_batch_size_ = nullptr;
+  Counter* pir_reads_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+  Gauge* breaker_state_[2] = {nullptr, nullptr};
+  Gauge* breaker_opens_[2] = {nullptr, nullptr};
+  Gauge* breaker_rejections_[2] = {nullptr, nullptr};
+  Gauge* breaker_probes_[2] = {nullptr, nullptr};
+  Gauge* pir_bytes_xored_ = nullptr;
+  Gauge* pir_failovers_ = nullptr;
+  Gauge* pir_corrupt_ = nullptr;
+  Gauge* pir_queries_ = nullptr;
+  Gauge* channel_retransmissions_ = nullptr;
+  Gauge* channel_timeouts_ = nullptr;
+  Gauge* channel_duplicates_ = nullptr;
+  Gauge* channel_checksum_failures_ = nullptr;
+  Gauge* pool_barrier_waits_ = nullptr;
+  Gauge* pool_items_ = nullptr;
+  Gauge* pool_shards_ = nullptr;   // thread-variant, may stay null
+  Gauge* pool_threads_ = nullptr;  // thread-variant, may stay null
+};
+
+#undef TRIPRIV_OBS_BODY
+
+}  // namespace obs
+}  // namespace tripriv

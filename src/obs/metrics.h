@@ -1,0 +1,223 @@
+// Privacy-safe metrics for the TriPriv serving stack.
+//
+// Observability must not become the side channel the rest of the tree is
+// built to close: a metric label that carries a predicate string, a record
+// value, or a query fingerprint republishes exactly what the WAL discipline
+// keeps out of the log. The registry therefore fails closed — every label
+// key AND value must be registered in a LabelAllowlist before a metric can
+// use it, registration itself rejects strings that look like data (wrong
+// charset, too long, all digits), and an unknown label is kInvalidArgument,
+// never a best-effort sanitize.
+//
+// Determinism contract (the PR 4 discipline): instruments are cheap enough
+// to stay always-on, and snapshots are a pure function of the workload, not
+// the thread count. Counters and histograms carry one slot per ThreadPool
+// shard; parallel code writes only its own shard's slot and Snapshot()
+// merges slots in shard order, so the merged value is bit-identical at
+// 0/1/2/8 threads. Values are integers (ticks, bytes, counts) precisely so
+// the merge is associativity-proof; gauges are serial-only (set from the
+// serial publish step, never from inside a ParallelFor).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+namespace obs {
+
+/// Sorted (key, value) pairs identifying one time series of a metric.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Fail-closed registry of the label keys and values metrics may carry.
+/// Nothing dynamic — predicate strings, record values, query fingerprints —
+/// can pass: values must be pre-registered, and registration rejects
+/// data-shaped strings (see AllowValue).
+class LabelAllowlist {
+ public:
+  /// The keys/values the built-in instruments use (tier, dimension,
+  /// backend, principal, method, state, result).
+  static LabelAllowlist Default();
+
+  /// Admits a label key: [a-z_][a-z0-9_]*, at most 32 chars.
+  Status AllowKey(const std::string& key);
+
+  /// Admits one value for an already-allowed key. Values must be short
+  /// (<= 48 chars), lowercase [a-z0-9_.:-], and not all digits — a rendered
+  /// query fingerprint or record id never qualifies.
+  Status AllowValue(const std::string& key, const std::string& value);
+
+  /// OK iff every (key, value) pair has been registered.
+  Status Validate(const LabelSet& labels) const;
+
+ private:
+  std::map<std::string, std::set<std::string>> allowed_;
+};
+
+/// Monotone event count with per-shard slots (see file comment).
+class Counter {
+ public:
+  /// Adds `delta` to shard `shard`'s slot. Parallel callers must pass their
+  /// own ParallelFor shard index; serial code uses the default slot 0.
+  void Add(uint64_t delta, size_t shard = 0);
+  void Increment(size_t shard = 0) { Add(1, shard); }
+
+  /// Sum of the shard slots, merged in shard order.
+  uint64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(size_t shards) : slots_(shards, 0) {}
+  std::vector<uint64_t> slots_;
+};
+
+/// Last-write-wins sampled value. Serial-only: set from the publish step,
+/// never from inside a ParallelFor.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram of integer values with per-shard slots.
+///
+/// Bucket semantics are Prometheus `le`: a value lands in the first bucket
+/// whose upper bound is >= the value (a value equal to a bound belongs to
+/// that bound's bucket), and values above the last bound land in the
+/// implicit +inf bucket.
+class Histogram {
+ public:
+  /// Records `value` into shard `shard`'s slot.
+  void Observe(uint64_t value, size_t shard = 0);
+
+  /// Upper bounds, strictly increasing; the +inf bucket is implicit.
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts merged in shard order; the last
+  /// entry is the +inf bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  /// Total observations, merged in shard order.
+  uint64_t count() const;
+  /// Sum of observed values, merged in shard order.
+  uint64_t sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::vector<uint64_t> bounds, size_t shards);
+  struct Slot {
+    std::vector<uint64_t> buckets;  // bounds_.size() + 1 (+inf)
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  std::vector<uint64_t> bounds_;
+  std::vector<Slot> slots_;
+};
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+/// Merged view of one Histogram at snapshot time.
+struct HistogramData {
+  std::vector<uint64_t> bounds;
+  /// Non-cumulative per-bucket counts; last entry is the +inf bucket.
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+/// One time series at snapshot time.
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  LabelSet labels;
+  uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  HistogramData histogram;
+};
+
+/// Deterministic snapshot: samples sorted by (name, labels).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+};
+
+/// Registry tuning.
+struct MetricsConfig {
+  /// Slots per counter/histogram; pass the ThreadPool's NumShards ceiling
+  /// (num_threads, or 1 for serial-only instrumentation).
+  size_t shards = 1;
+  LabelAllowlist allowlist = LabelAllowlist::Default();
+};
+
+/// Owns every metric; hands out stable handles. Registration validates the
+/// metric name ([a-z_][a-z0-9_]*) and every label against the allowlist and
+/// fails closed with kInvalidArgument on anything unknown. Handles remain
+/// valid for the registry's lifetime (the registry is not movable once
+/// handles are out).
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(MetricsConfig config = MetricsConfig());
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Result<Counter*> RegisterCounter(const std::string& name,
+                                   const std::string& help,
+                                   LabelSet labels = {});
+  Result<Gauge*> RegisterGauge(const std::string& name,
+                               const std::string& help, LabelSet labels = {});
+  /// `bounds` are strictly increasing upper bounds; must be non-empty.
+  Result<Histogram*> RegisterHistogram(const std::string& name,
+                                       const std::string& help,
+                                       std::vector<uint64_t> bounds,
+                                       LabelSet labels = {});
+
+  /// Admits one more label value (e.g. a newly registered budget
+  /// principal); same fail-closed validation as LabelAllowlist::AllowValue.
+  Status AllowLabelValue(const std::string& key, const std::string& value);
+
+  size_t shards() const { return shards_; }
+  size_t num_metrics() const { return entries_.size(); }
+
+  /// Deterministic merged view of every metric (see MetricsSnapshot).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::string name;
+    std::string help;
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Validates name + labels and checks series uniqueness; registers the
+  /// series key on success.
+  Status AdmitSeries(const std::string& name, MetricKind kind,
+                     LabelSet* labels);
+
+  size_t shards_;
+  LabelAllowlist allowlist_;
+  std::vector<Entry> entries_;
+  /// "name\x1f<k>=<v>\x1f..." of every registered series (dup detection).
+  std::set<std::string> series_keys_;
+  /// kind of each registered name (a name may not change kind).
+  std::map<std::string, MetricKind> name_kinds_;
+};
+
+}  // namespace obs
+}  // namespace tripriv

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+namespace tripriv {
+namespace obs {
+namespace {
+
+/// Span names the built-in instruments use; AllowSpanName extends this.
+const char* const kDefaultSpanNames[] = {
+    "submit",    "policy",        "wal_append", "admission",
+    "primary",   "degraded",      "epsilon_charge",
+    "pir_read",  "pir_batch",     "aggregate_count",
+    "stat_batch", "anonymize",
+};
+
+bool ValidSpanName(const std::string& name) {
+  if (name.empty() || name.size() > 32) return false;
+  for (char c : name) {
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(SimClock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity < 1 ? 1 : capacity) {
+  TRIPRIV_CHECK(clock_ != nullptr);
+  names_.emplace_back();  // id 0 = invalid sentinel
+  for (const char* name : kDefaultSpanNames) {
+    name_ids_.emplace(name, static_cast<uint32_t>(names_.size()));
+    names_.emplace_back(name);
+  }
+}
+
+Status TraceRecorder::AllowSpanName(const std::string& name) {
+  if (!ValidSpanName(name)) {
+    return Status::InvalidArgument(
+        "span name is not a short [a-z0-9_] identifier");
+  }
+  if (name_ids_.count(name) == 0) {
+    name_ids_.emplace(name, static_cast<uint32_t>(names_.size()));
+    names_.push_back(name);
+  }
+  return Status::OK();
+}
+
+uint32_t TraceRecorder::SpanNameId(const std::string& name) const {
+  auto it = name_ids_.find(name);
+  return it == name_ids_.end() ? 0 : it->second;
+}
+
+uint64_t TraceRecorder::StartSpan(const std::string& name, uint64_t parent_id,
+                                  uint64_t query_id) {
+  return StartSpanById(SpanNameId(name), parent_id, query_id);
+}
+
+uint64_t TraceRecorder::StartSpanById(uint32_t name_id, uint64_t parent_id,
+                                      uint64_t query_id) {
+  if (name_id == 0 || name_id >= names_.size()) {
+    ++rejected_names_;
+    return 0;
+  }
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent_id = parent_id;
+  span.name = names_[name_id];
+  span.query_id = query_id;
+  span.start_tick = clock_->now();
+  span.end_tick = span.start_tick;
+  if (spans_.size() < capacity_) {
+    spans_.push_back(std::move(span));
+  } else {
+    spans_[head_] = std::move(span);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+  return next_id_ - 1;
+}
+
+void TraceRecorder::EndSpan(uint64_t id, StatusCode code) {
+  if (id == 0) return;
+  // Spans close shortly after they open; scan newest-first.
+  for (size_t i = spans_.size(); i > 0; --i) {
+    TraceSpan& span = spans_[(head_ + i - 1) % spans_.size()];
+    if (span.id != id) continue;
+    span.end_tick = clock_->now();
+    span.status = StatusCodeToString(code);
+    span.closed = true;
+    return;
+  }
+  // Evicted by the ring bound: nothing to close (the drop is counted).
+}
+
+const TraceSpan& TraceRecorder::span(size_t i) const {
+  TRIPRIV_CHECK_LT(i, spans_.size());
+  if (spans_.size() < capacity_) return spans_[i];
+  return spans_[(head_ + i) % capacity_];
+}
+
+}  // namespace obs
+}  // namespace tripriv

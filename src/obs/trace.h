@@ -1,0 +1,104 @@
+// Deterministic tracing for the serving ladder.
+//
+// A TraceRecorder produces spans stamped from the service's SimClock, so a
+// trace is a pure function of the seed and the workload — two runs of the
+// same batch produce byte-identical trace exports at any thread count
+// (spans are only ever recorded from the serial stages of the execution
+// discipline). Spans carry parent/child links, so one Submit renders as
+//
+//   submit ── policy ── wal_append
+//          ├─ admission
+//          ├─ primary
+//          └─ degraded ── wal_append
+//
+// Privacy: span names come from a fail-closed allowlist (unknown name →
+// the span is rejected and counted, never recorded), the only free-form
+// payload is the numeric query_id (which the WAL already stores), and span
+// status is a StatusCode name — no message strings, which could quote
+// predicates, ever enter a span.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace tripriv {
+namespace obs {
+
+/// One recorded operation. `end_tick` is meaningful once the span is
+/// closed; an unclosed span exports with end_tick == start_tick and
+/// status "unfinished".
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root
+  std::string name;
+  uint64_t query_id = 0;
+  uint64_t start_tick = 0;
+  uint64_t end_tick = 0;
+  /// StatusCode name ("OK", "Unavailable", ...) or "unfinished".
+  std::string status = "unfinished";
+  bool closed = false;
+};
+
+/// Bounded deterministic span recorder; see file comment.
+class TraceRecorder {
+ public:
+  /// Records at most `capacity` (>= 1) spans; older spans are evicted
+  /// oldest-first and counted in dropped(). `clock` must outlive the
+  /// recorder.
+  TraceRecorder(SimClock* clock, size_t capacity = 4096);
+
+  /// Admits one more span name (same shape rules as metric names).
+  Status AllowSpanName(const std::string& name);
+
+  /// Resolves an allowlisted name to its interned id (> 0), or 0 when the
+  /// name is unknown. Instruments resolve once at attach time and start
+  /// spans by id, keeping string comparisons off the per-query path.
+  uint32_t SpanNameId(const std::string& name) const;
+
+  /// Opens a span. Returns its id, or 0 when `name` is not allowlisted
+  /// (fail closed: the rejection is counted, nothing is recorded, and the
+  /// 0 id makes every child/End call a no-op).
+  uint64_t StartSpan(const std::string& name, uint64_t parent_id = 0,
+                     uint64_t query_id = 0);
+
+  /// O(1) StartSpan for a pre-resolved SpanNameId. An id of 0 (or out of
+  /// range) is the same fail-closed rejection as an unknown name.
+  uint64_t StartSpanById(uint32_t name_id, uint64_t parent_id = 0,
+                         uint64_t query_id = 0);
+
+  /// Closes a span with the outcome's StatusCode (never its message).
+  /// No-op for id 0 or an already-evicted span.
+  void EndSpan(uint64_t id, StatusCode code = StatusCode::kOk);
+
+  /// Recorded spans, oldest first.
+  size_t num_spans() const { return spans_.size(); }
+  const TraceSpan& span(size_t i) const;
+
+  /// Spans evicted by the capacity bound.
+  uint64_t dropped() const { return dropped_; }
+  /// StartSpan calls rejected by the name allowlist.
+  uint64_t rejected_names() const { return rejected_names_; }
+
+ private:
+  SimClock* clock_;
+  size_t capacity_;
+  /// Interned allowlist: names_[id] for id >= 1; index 0 is the invalid
+  /// sentinel. name_ids_ is the reverse map used at resolve time only.
+  std::vector<std::string> names_;
+  std::map<std::string, uint32_t> name_ids_;
+  /// Ring: spans_[(head_ + i) % capacity] is the i-th oldest once full.
+  std::vector<TraceSpan> spans_;
+  size_t head_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t dropped_ = 0;
+  uint64_t rejected_names_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tripriv

@@ -1,5 +1,6 @@
 #include "pir/it_pir.h"
 
+#include <bit>
 #include <cmath>
 
 #include "pir/xor_kernel.h"
@@ -71,6 +72,11 @@ void XorPirServer::EnableObservationLog(size_t capacity) {
 
 void XorPirServer::ObserveQuery(const std::vector<uint8_t>& selection) {
   ++queries_answered_;
+  uint64_t selected = 0;
+  for (uint8_t byte : selection) {
+    selected += static_cast<uint64_t>(std::popcount(byte));
+  }
+  bytes_xored_ += selected * record_size();
   if (observe_capacity_ == 0) return;
   if (observed_.size() < observe_capacity_) {
     observed_.push_back(selection);

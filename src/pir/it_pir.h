@@ -83,6 +83,11 @@ class XorPirServer {
   /// Total queries answered (counted whether or not the log is enabled).
   uint64_t queries_answered() const { return queries_answered_; }
 
+  /// Bytes this replica XORed into answer accumulators: popcount of each
+  /// observed selection times the record size, accumulated per query. The
+  /// aggregate work metric of the PIR hot loop — never per-query data.
+  uint64_t bytes_xored() const { return bytes_xored_; }
+
   /// Observations currently retained: at most the enabled capacity, zero
   /// unless EnableObservationLog was called.
   size_t num_observed() const { return observed_.size(); }
@@ -106,6 +111,7 @@ class XorPirServer {
 
   std::vector<std::vector<uint8_t>> records_;
   uint64_t queries_answered_ = 0;
+  uint64_t bytes_xored_ = 0;
   /// Bounded observation ring (attack-analysis mode). `observed_` holds at
   /// most `observe_capacity_` entries; once full, `observe_head_` is the
   /// slot holding the oldest entry (and the one the next query overwrites).

@@ -187,6 +187,7 @@ Status AuditWal::Append(const WalRecord& record) {
   const std::vector<uint8_t> frame = SerializeRecord(record);
 
   auto fail = [this](Status cause) -> Status {
+    ++append_failures_;
     // The record is (possibly partially) on the device but not durable.
     // Repair by truncating back to the last durable offset; if the device
     // refuses even that, latch fail-stop so no later append can land after
@@ -213,6 +214,8 @@ Status AuditWal::Append(const WalRecord& record) {
 
   durable_size_ += frame.size();
   ++records_appended_;
+  bytes_appended_ += frame.size();
+  last_append_bytes_ = frame.size();
   return Status::OK();
 }
 

@@ -170,6 +170,13 @@ class AuditWal {
   /// True once an unrepairable fault has latched; all Appends fail.
   bool broken() const { return broken_; }
   size_t records_appended() const { return records_appended_; }
+  /// Framed bytes made durable across all successful Appends.
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  /// Frame size of the most recent successful Append (0 before the first) —
+  /// what instrumentation feeds the fsync-latency model.
+  uint64_t last_append_bytes() const { return last_append_bytes_; }
+  /// Appends that failed (short write, sync failure, device death).
+  uint64_t append_failures() const { return append_failures_; }
 
   /// Scans `io`, truncates the torn/corrupt tail on the device, and returns
   /// the intact record prefix.
@@ -181,6 +188,9 @@ class AuditWal {
   size_t durable_size_;
   bool broken_ = false;
   size_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+  uint64_t last_append_bytes_ = 0;
+  uint64_t append_failures_ = 0;
 };
 
 }  // namespace tripriv

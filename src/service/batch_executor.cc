@@ -15,6 +15,9 @@ std::vector<ServiceAnswer> BatchExecutor::ExecuteQueryBatch(
     const std::vector<StatQuery>& queries) {
   ++stats_.stat_batches;
   stats_.stat_queries += queries.size();
+  if (service_->instruments() != nullptr && !queries.empty()) {
+    service_->instruments()->OnStatBatch(queries.size());
+  }
 
   // Parallel stage: Prepare is const and touches no mutable service state;
   // each item writes only its own slot.

@@ -46,6 +46,7 @@ bool CircuitBreaker::AllowRequest() {
       }
       state_ = BreakerState::kHalfOpen;
       probe_in_flight_ = true;
+      ++half_open_probes_;
       return true;
     case BreakerState::kHalfOpen:
       if (probe_in_flight_) {
@@ -53,6 +54,7 @@ bool CircuitBreaker::AllowRequest() {
         return false;
       }
       probe_in_flight_ = true;
+      ++half_open_probes_;
       return true;
   }
   return false;

@@ -62,6 +62,14 @@ class CircuitBreaker {
   size_t times_opened() const { return times_opened_; }
   /// Requests rejected by an open breaker (or a busy half-open probe slot).
   size_t rejected() const { return rejected_; }
+  /// Failures counted toward the trip threshold since the last success.
+  size_t consecutive_failures() const { return consecutive_failures_; }
+  /// Consecutive probe successes recorded in the current half-open episode.
+  size_t half_open_successes() const { return half_open_successes_; }
+  /// Total probe requests admitted while half-open, across all episodes.
+  size_t half_open_probes() const { return half_open_probes_; }
+  /// True while an admitted half-open probe has not yet reported.
+  bool probe_in_flight() const { return probe_in_flight_; }
 
  private:
   void TripOpen();
@@ -76,6 +84,7 @@ class CircuitBreaker {
   uint64_t reopen_at_ = 0;
   size_t times_opened_ = 0;
   size_t rejected_ = 0;
+  size_t half_open_probes_ = 0;
 };
 
 }  // namespace tripriv

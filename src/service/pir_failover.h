@@ -80,6 +80,21 @@ class FailoverPirClient {
   size_t failovers() const { return failovers_; }
   /// Reconstructions rejected by the checksum.
   size_t corrupt_answers_detected() const { return corrupt_detected_; }
+  /// Sum of bytes_xored() across all physical servers — the aggregate work
+  /// metric of the PIR hot loop.
+  uint64_t total_bytes_xored() const {
+    uint64_t total = 0;
+    for (const XorPirServer& server : servers_) total += server.bytes_xored();
+    return total;
+  }
+  /// Sum of queries_answered() across all physical servers.
+  uint64_t total_queries_answered() const {
+    uint64_t total = 0;
+    for (const XorPirServer& server : servers_) {
+      total += server.queries_answered();
+    }
+    return total;
+  }
   /// Physical server `i` (pair i/2, side i%2) — its observation ring holds
   /// the single-server view the blindness tests inspect (enable it with
   /// EnableObservationLogs first).

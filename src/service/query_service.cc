@@ -114,6 +114,7 @@ Result<QueryService> QueryService::Create(DataTable data,
 ServiceAnswer QueryService::Refuse(uint64_t query_id, Status why) {
   TRIPRIV_CHECK(!why.ok());
   ++stats_.refusals;
+  if (metrics_ != nullptr) metrics_->OnAnswer(obs::kTierRefused);
   ServiceAnswer out;
   out.tier = AnswerTier::kRefused;
   out.refusal = std::move(why);
@@ -147,6 +148,19 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
 ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
                                            PreparedQuery prepared,
                                            const Deadline& deadline) {
+  const uint64_t submit_span = BeginSpan(span_ids_.submit, 0, next_query_id_);
+  ServiceAnswer out =
+      SubmitPreparedImpl(query, std::move(prepared), deadline, submit_span);
+  FinishSpan(submit_span, out.tier == AnswerTier::kRefused
+                              ? out.refusal.code()
+                              : StatusCode::kOk);
+  return out;
+}
+
+ServiceAnswer QueryService::SubmitPreparedImpl(const StatQuery& query,
+                                               PreparedQuery prepared,
+                                               const Deadline& deadline,
+                                               uint64_t submit_span) {
   ++stats_.received;
   const uint64_t query_id = next_query_id_++;
   if (crashed_) {
@@ -165,7 +179,10 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   }
   std::vector<size_t> rows = std::move(prepared.rows).value();
   const uint64_t fingerprint = prepared.fingerprint;
+  const uint64_t policy_span = BeginSpan(span_ids_.policy, submit_span, query_id);
   const std::optional<std::string> refusal_reason = policy_.Check(rows);
+  FinishSpan(policy_span, refusal_reason ? StatusCode::kPermissionDenied
+                                         : StatusCode::kOk);
 
   WalRecord decision;
   decision.type = WalRecordType::kDecision;
@@ -174,8 +191,14 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   decision.decision = refusal_reason ? WalDecision::kPolicyRefused
                                      : WalDecision::kAdmitted;
   if (!refusal_reason) decision.rows.assign(rows.begin(), rows.end());
+  const uint64_t wal_span = BeginSpan(span_ids_.wal_append, submit_span, query_id);
   Status logged = wal_.Append(decision);
+  FinishSpan(wal_span, logged.code());
   if (!logged.ok()) ++stats_.wal_append_failures;
+  if (metrics_ != nullptr) {
+    metrics_->OnWalAppend(logged.ok() ? wal_.last_append_bytes() : 0,
+                          logged.ok());
+  }
   if (!refusal_reason) {
     // In-memory audit state records the admission even when the WAL write
     // failed: the overlap check must see this set for the rest of this
@@ -185,6 +208,7 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   }
   if (refusal_reason) {
     ++stats_.policy_refusals;
+    if (metrics_ != nullptr) metrics_->OnPolicyRefusal();
     return Refuse(query_id, Status::PermissionDenied(*refusal_reason));
   }
   if (!logged.ok()) {
@@ -194,9 +218,13 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   }
 
   // --- Admission control: shed before any backend work.
+  const uint64_t admission_span =
+      BeginSpan(span_ids_.admission, submit_span, query_id);
   Status admitted = admission_->Admit();
+  FinishSpan(admission_span, admitted.code());
   if (!admitted.ok()) {
     ++stats_.shed;
+    if (metrics_ != nullptr) metrics_->OnShed();
     return Refuse(query_id, std::move(admitted));
   }
 
@@ -206,12 +234,15 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   }
 
   // --- Primary path: exact answer under the configured protection.
+  const uint64_t primary_span = BeginSpan(span_ids_.primary, submit_span, query_id);
   auto primary = TryPrimary(query, deadline);
+  FinishSpan(primary_span, primary.status().code());
   if (primary.ok()) {
     if (primary->refused) {
       // A semantic refusal from the primary mode (e.g. MIN/MAX when the
       // configured mode is differential privacy).
       ++stats_.policy_refusals;
+      if (metrics_ != nullptr) metrics_->OnPolicyRefusal();
       return Refuse(query_id,
                     Status::PermissionDenied(primary->refusal_reason));
     }
@@ -219,10 +250,12 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
       // The decision record is durable but the client never hears back —
       // exactly the window monotone recovery is about.
       crashed_ = true;
+      if (metrics_ != nullptr) metrics_->OnCrash();
       return Refuse(query_id, Status::Unavailable(
                                   "service crashed before releasing the answer"));
     }
     ++stats_.protected_answers;
+    if (metrics_ != nullptr) metrics_->OnAnswer(obs::kTierProtected);
     ServiceAnswer out;
     out.tier = AnswerTier::kProtected;
     out.answer = std::move(primary).value();
@@ -235,7 +268,13 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   // work cannot un-spend it), and permanent failures refuse typed.
   if (primary.status().code() == StatusCode::kUnavailable) {
     ++stats_.degraded_attempts;
-    return TryDegraded(query, query_id);
+    const uint64_t degraded_span =
+        BeginSpan(span_ids_.degraded, submit_span, query_id);
+    ServiceAnswer degraded = TryDegraded(query, query_id);
+    FinishSpan(degraded_span, degraded.tier == AnswerTier::kRefused
+                                  ? degraded.refusal.code()
+                                  : StatusCode::kOk);
+    return degraded;
   }
   return Refuse(query_id, primary.status());
 }
@@ -283,7 +322,8 @@ Result<ProtectedAnswer> QueryService::TryPrimary(const StatQuery& query,
                              " attempt(s); last: " + last.message());
 }
 
-Status QueryService::ChargeEpsilon(uint64_t query_id, uint64_t fingerprint) {
+Status QueryService::ChargeEpsilon(uint64_t query_id, uint64_t fingerprint,
+                                   bool aggregate_path) {
   // Charge memory FIRST: if the durable record then fails, the budget is
   // conservatively spent and the answer withheld — never the reverse.
   epsilon_spent_ += config_.degrade_epsilon;
@@ -293,11 +333,21 @@ Status QueryService::ChargeEpsilon(uint64_t query_id, uint64_t fingerprint) {
   spend.query_fingerprint = fingerprint;
   spend.decision = WalDecision::kAdmitted;
   spend.epsilon = config_.degrade_epsilon;
+  const uint64_t span = BeginSpan(span_ids_.epsilon_charge, 0, query_id);
   Status logged = wal_.Append(spend);
+  FinishSpan(span, logged.code());
+  if (metrics_ != nullptr) {
+    metrics_->OnWalAppend(logged.ok() ? wal_.last_append_bytes() : 0,
+                          logged.ok());
+  }
   if (!logged.ok()) {
     ++stats_.wal_append_failures;
     return Status::Unavailable("epsilon spend not durable: " +
                                logged.message());
+  }
+  // Mirror only DURABLE spends: the accountant is a read model of the WAL.
+  if (metrics_ != nullptr) {
+    metrics_->OnEpsilonSpend(aggregate_path, config_.degrade_epsilon);
   }
   return Status::OK();
 }
@@ -329,10 +379,12 @@ ServiceAnswer QueryService::TryDegraded(const StatQuery& query,
   if (!charged.ok()) return Refuse(query_id, std::move(charged));
   if (fault_rng_.Bernoulli(config_.faults.crash_mid_answer_rate)) {
     crashed_ = true;
+    if (metrics_ != nullptr) metrics_->OnCrash();
     return Refuse(query_id, Status::Unavailable(
                                 "service crashed before releasing the answer"));
   }
   ++stats_.dp_answers;
+  if (metrics_ != nullptr) metrics_->OnAnswer(obs::kTierDpDegraded);
   ServiceAnswer out;
   out.tier = AnswerTier::kDpDegraded;
   out.answer = std::move(answer).value();
@@ -364,12 +416,14 @@ Result<int64_t> QueryService::PrivateDpCount(const Predicate& predicate,
       config_.epsilon_budget + kEpsilonSlack) {
     return Status::PermissionDenied("privacy budget exhausted");
   }
+  const uint64_t span = BeginSpan(span_ids_.aggregate_count, 0, query_id);
   const RetryPolicy retry =
       config_.retry.Truncated(deadline.remaining_ticks(*clock_));
   const size_t max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
   Status last = Status::Unavailable("no aggregate attempt was made");
   for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (deadline.expired(*clock_)) {
+      FinishSpan(span, StatusCode::kDeadlineExceeded);
       return DeadlineExceededError("private aggregate count after " +
                                    std::to_string(attempt) + " attempt(s)");
     }
@@ -385,17 +439,28 @@ Result<int64_t> QueryService::PrivateDpCount(const Predicate& predicate,
                                             config_.degrade_epsilon,
                                             aggregate_server_rng_);
     if (!count.ok()) {
-      if (!count.status().transient()) return count.status();
+      if (!count.status().transient()) {
+        FinishSpan(span, count.status().code());
+        return count.status();
+      }
       last = count.status();
       clock_->Advance(retry.BackoffTicks(attempt));
       continue;
     }
     const std::string canonical = predicate.ToString();
-    TRIPRIV_RETURN_IF_ERROR(ChargeEpsilon(
-        query_id, Fnv1a64(canonical.data(), canonical.size())));
+    Status charged =
+        ChargeEpsilon(query_id, Fnv1a64(canonical.data(), canonical.size()),
+                      /*aggregate_path=*/true);
+    if (!charged.ok()) {
+      FinishSpan(span, charged.code());
+      return charged;
+    }
     ++stats_.dp_answers;
+    if (metrics_ != nullptr) metrics_->OnAnswer(obs::kTierDpDegraded);
+    FinishSpan(span, StatusCode::kOk);
     return *count;
   }
+  FinishSpan(span, StatusCode::kUnavailable);
   return Status::Unavailable("aggregate path failed after " +
                              std::to_string(max_attempts) +
                              " attempt(s); last: " + last.message());
@@ -406,6 +471,59 @@ void QueryService::AttachPirBackend(FailoverPirClient* pir) {
   pir_ = pir;
 }
 
+void QueryService::AttachInstruments(obs::ServiceMetrics* metrics) {
+  metrics_ = metrics;
+  span_ids_ = SpanIds{};
+  if (metrics_ != nullptr && metrics_->trace() != nullptr) {
+    const obs::TraceRecorder& trace = *metrics_->trace();
+    span_ids_.submit = trace.SpanNameId("submit");
+    span_ids_.policy = trace.SpanNameId("policy");
+    span_ids_.wal_append = trace.SpanNameId("wal_append");
+    span_ids_.admission = trace.SpanNameId("admission");
+    span_ids_.primary = trace.SpanNameId("primary");
+    span_ids_.degraded = trace.SpanNameId("degraded");
+    span_ids_.epsilon_charge = trace.SpanNameId("epsilon_charge");
+    span_ids_.aggregate_count = trace.SpanNameId("aggregate_count");
+    span_ids_.pir_read = trace.SpanNameId("pir_read");
+    span_ids_.pir_batch = trace.SpanNameId("pir_batch");
+  }
+  if (metrics_ != nullptr && epsilon_spent_ > 0.0) {
+    // Seed the budget read model with the WAL-recovered spend, so gauges
+    // agree with the durable log from the first snapshot on.
+    metrics_->OnEpsilonRecovered(epsilon_spent_);
+  }
+}
+
+void QueryService::PublishMetrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->PublishQueueDepth(admission_->in_system());
+  metrics_->PublishBreaker(/*primary=*/true,
+                           static_cast<uint8_t>(primary_breaker_->state()),
+                           primary_breaker_->times_opened(),
+                           primary_breaker_->rejected(),
+                           primary_breaker_->half_open_probes());
+  metrics_->PublishBreaker(/*primary=*/false,
+                           static_cast<uint8_t>(dp_breaker_->state()),
+                           dp_breaker_->times_opened(), dp_breaker_->rejected(),
+                           dp_breaker_->half_open_probes());
+  if (pir_ != nullptr) {
+    metrics_->PublishPir(pir_->total_bytes_xored(), pir_->failovers(),
+                         pir_->corrupt_answers_detected(),
+                         pir_->total_queries_answered());
+  }
+}
+
+uint64_t QueryService::BeginSpan(uint32_t name_id, uint64_t parent,
+                                 uint64_t query_id) {
+  if (metrics_ == nullptr || metrics_->trace() == nullptr) return 0;
+  return metrics_->trace()->StartSpanById(name_id, parent, query_id);
+}
+
+void QueryService::FinishSpan(uint64_t span, StatusCode code) {
+  if (span == 0) return;
+  metrics_->trace()->EndSpan(span, code);
+}
+
 Result<std::vector<uint8_t>> QueryService::PirRead(size_t index,
                                                    const Deadline& deadline) {
   if (crashed_) {
@@ -414,7 +532,11 @@ Result<std::vector<uint8_t>> QueryService::PirRead(size_t index,
   if (pir_ == nullptr) {
     return Status::FailedPrecondition("no PIR backend attached");
   }
-  return pir_->Read(index, deadline);
+  const uint64_t span = BeginSpan(span_ids_.pir_read, 0, next_query_id_);
+  auto record = pir_->Read(index, deadline);
+  if (metrics_ != nullptr && record.ok()) metrics_->OnPirRead();
+  FinishSpan(span, record.status().code());
+  return record;
 }
 
 std::vector<Result<std::vector<uint8_t>>> QueryService::PirReadBatch(
@@ -430,7 +552,16 @@ std::vector<Result<std::vector<uint8_t>>> QueryService::PirReadBatch(
         indices.size(), Result<std::vector<uint8_t>>(Status::FailedPrecondition(
                             "no PIR backend attached")));
   }
-  return pir_->ReadBatch(indices, deadline, pool);
+  const uint64_t span = BeginSpan(span_ids_.pir_batch, 0, next_query_id_);
+  auto records = pir_->ReadBatch(indices, deadline, pool);
+  if (metrics_ != nullptr) {
+    metrics_->OnPirBatch(indices.size());
+    for (const auto& record : records) {
+      if (record.ok()) metrics_->OnPirRead();
+    }
+  }
+  FinishSpan(span, StatusCode::kOk);
+  return records;
 }
 
 }  // namespace tripriv

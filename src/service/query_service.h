@@ -42,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/instruments.h"
 #include "pir/aggregate.h"
 #include "querydb/protection.h"
 #include "service/admission.h"
@@ -187,6 +188,23 @@ class QueryService {
   /// Attaches a record-retrieval PIR backend (must outlive the service).
   void AttachPirBackend(FailoverPirClient* pir);
 
+  /// Attaches an observability bundle (must outlive the service; null
+  /// detaches). From then on the serving ladder pushes counters, batch
+  /// histograms, and — when the bundle carries a TraceRecorder — spans for
+  /// each ladder stage, and WAL-recovered epsilon spend is mirrored into
+  /// the bundle's budget accountant. Purely additive: instruments never
+  /// touch the request clock or change any serving decision.
+  void AttachInstruments(obs::ServiceMetrics* metrics);
+
+  /// Copies the sampled component counters (queue depth, breaker states,
+  /// PIR failover totals) into the attached bundle's gauges. No-op when no
+  /// bundle is attached. Call from the serial driver, never mid-batch.
+  void PublishMetrics();
+
+  /// The attached bundle (null when none) — lets batch executors push
+  /// batch-shape histograms alongside the service's own counters.
+  obs::ServiceMetrics* instruments() const { return metrics_; }
+
   /// Privately reads record `index` through the attached failover client.
   Result<std::vector<uint8_t>> PirRead(size_t index, const Deadline& deadline);
 
@@ -214,14 +232,40 @@ class QueryService {
   QueryService(DataTable data, QueryServiceConfig config, WalIo* wal_io);
 
   ServiceAnswer Refuse(uint64_t query_id, Status why);
+  /// Span names the ladder emits, resolved to interned TraceRecorder ids
+  /// once at AttachInstruments so the per-query path never compares
+  /// strings. All zero (= rejected) until instruments are attached.
+  struct SpanIds {
+    uint32_t submit = 0;
+    uint32_t policy = 0;
+    uint32_t wal_append = 0;
+    uint32_t admission = 0;
+    uint32_t primary = 0;
+    uint32_t degraded = 0;
+    uint32_t epsilon_charge = 0;
+    uint32_t aggregate_count = 0;
+    uint32_t pir_read = 0;
+    uint32_t pir_batch = 0;
+  };
+  /// Starts a trace span when a TraceRecorder is attached (0 otherwise).
+  uint64_t BeginSpan(uint32_t name_id, uint64_t parent, uint64_t query_id);
+  /// Ends `span` (no-op for span 0 / no recorder).
+  void FinishSpan(uint64_t span, StatusCode code);
+  /// The ladder body; `submit_span` parents the per-stage spans.
+  ServiceAnswer SubmitPreparedImpl(const StatQuery& query,
+                                   PreparedQuery prepared,
+                                   const Deadline& deadline,
+                                   uint64_t submit_span);
   /// The primary (exact, protected) path: breaker + retries + deadline.
   Result<ProtectedAnswer> TryPrimary(const StatQuery& query,
                                      const Deadline& deadline);
   /// The degraded (epsilon-DP) path: breaker + budget + WAL spend record.
   ServiceAnswer TryDegraded(const StatQuery& query, uint64_t query_id);
   /// Charges epsilon to the durable budget; OK only once the spend record
-  /// is durable.
-  Status ChargeEpsilon(uint64_t query_id, uint64_t fingerprint);
+  /// is durable. `aggregate_path` only routes the spend to the right
+  /// budget principal in the attached instruments.
+  Status ChargeEpsilon(uint64_t query_id, uint64_t fingerprint,
+                       bool aggregate_path = false);
 
   QueryServiceConfig config_;
   std::unique_ptr<SimClock> clock_;
@@ -247,6 +291,8 @@ class QueryService {
   PrivateAggregateClient* aggregate_client_ = nullptr;
   Rng* aggregate_server_rng_ = nullptr;
   FailoverPirClient* pir_ = nullptr;
+  obs::ServiceMetrics* metrics_ = nullptr;
+  SpanIds span_ids_;
 };
 
 }  // namespace tripriv

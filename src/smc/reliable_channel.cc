@@ -184,6 +184,7 @@ Result<PartyMessage> ReliableChannel::Receive(size_t to) {
     // typed immediately instead of attempting one blocking receive.
     PartyMessage buffered;
     if (TakeBuffered(to, &buffered)) return buffered;
+    ++receive_timeouts_;
     return Status::DeadlineExceeded("no message for party " +
                                     std::to_string(to) +
                                     " within 0 ticks");
@@ -212,6 +213,7 @@ Result<PartyMessage> ReliableChannel::Receive(size_t to) {
             "peer crashed: no message for party " + std::to_string(to) +
             " within " + std::to_string(policy_.deadline_ticks) + " ticks");
       }
+      ++receive_timeouts_;
       return Status::DeadlineExceeded(
           "no message for party " + std::to_string(to) + " within " +
           std::to_string(policy_.deadline_ticks) + " ticks");

@@ -101,6 +101,8 @@ class ReliableChannel final : public Channel {
   size_t checksum_failures() const { return checksum_failures_; }
   size_t acks_sent() const { return acks_sent_; }
   size_t stale_dropped() const { return stale_dropped_; }
+  /// Receives that exhausted their deadline budget (kDeadlineExceeded).
+  size_t receive_timeouts() const { return receive_timeouts_; }
 
  private:
   using Route = std::pair<size_t, size_t>;  // (from, to)
@@ -144,6 +146,7 @@ class ReliableChannel final : public Channel {
   size_t checksum_failures_ = 0;
   size_t acks_sent_ = 0;
   size_t stale_dropped_ = 0;
+  size_t receive_timeouts_ = 0;
 };
 
 /// Channel appropriate for `net`: RawChannel while the fabric is reliable,

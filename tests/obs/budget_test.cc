@@ -1,0 +1,128 @@
+// PrivacyBudgetAccountant tests: principal registration over the paper's
+// three dimensions, gauge mirroring, and fail-closed name validation.
+
+#include "obs/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tripriv {
+namespace obs {
+namespace {
+
+double GaugeValue(const MetricsSnapshot& snapshot, const std::string& name,
+                  const std::string& principal) {
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name != name) continue;
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "principal" && value == principal) {
+        return sample.gauge_value;
+      }
+    }
+  }
+  ADD_FAILURE() << "no sample " << name << "{principal=" << principal << "}";
+  return -1.0;
+}
+
+TEST(PrivacyBudgetAccountantTest, RegistersPrincipalsPerDimension) {
+  MetricsRegistry registry;
+  PrivacyBudgetAccountant accountant(&registry);
+  ASSERT_TRUE(accountant
+                  .RegisterPrincipal("degraded_path",
+                                     PrivacyDimension::kRespondent, 8.0)
+                  .ok());
+  ASSERT_TRUE(registry.AllowLabelValue("principal", "audit_desk").ok());
+  ASSERT_TRUE(
+      accountant.RegisterPrincipal("audit_desk", PrivacyDimension::kOwner, 2.0)
+          .ok());
+  EXPECT_EQ(accountant.num_principals(), 2u);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_privacy_epsilon_budget", "degraded_path"),
+      8.0);
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_privacy_epsilon_spent", "degraded_path"),
+      0.0);
+  EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_privacy_epsilon_remaining",
+                              "audit_desk"),
+                   2.0);
+  // Each principal series is tagged with its paper dimension.
+  bool saw_dimension = false;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name != "tripriv_privacy_epsilon_budget") continue;
+    for (const auto& [key, value] : sample.labels) {
+      if (key != "dimension") continue;
+      saw_dimension = true;
+      EXPECT_TRUE(value == "respondent" || value == "owner");
+    }
+  }
+  EXPECT_TRUE(saw_dimension);
+}
+
+TEST(PrivacyBudgetAccountantTest, RecordSpendMirrorsIntoGauges) {
+  MetricsRegistry registry;
+  PrivacyBudgetAccountant accountant(&registry);
+  ASSERT_TRUE(accountant
+                  .RegisterPrincipal("aggregate_path",
+                                     PrivacyDimension::kRespondent, 4.0)
+                  .ok());
+  ASSERT_TRUE(accountant.RecordSpend("aggregate_path", 1.0).ok());
+  ASSERT_TRUE(accountant.RecordSpend("aggregate_path", 0.5).ok());
+  EXPECT_DOUBLE_EQ(accountant.spent("aggregate_path"), 1.5);
+  EXPECT_DOUBLE_EQ(accountant.remaining("aggregate_path"), 2.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_privacy_epsilon_spent", "aggregate_path"),
+      1.5);
+  EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_privacy_epsilon_remaining",
+                              "aggregate_path"),
+                   2.5);
+}
+
+TEST(PrivacyBudgetAccountantTest, RemainingClampsAtZeroOnOverspend) {
+  MetricsRegistry registry;
+  PrivacyBudgetAccountant accountant(&registry);
+  ASSERT_TRUE(accountant
+                  .RegisterPrincipal("degraded_path",
+                                     PrivacyDimension::kRespondent, 1.0)
+                  .ok());
+  ASSERT_TRUE(accountant.RecordSpend("degraded_path", 3.0).ok());
+  EXPECT_DOUBLE_EQ(accountant.spent("degraded_path"), 3.0);
+  EXPECT_DOUBLE_EQ(accountant.remaining("degraded_path"), 0.0);
+}
+
+TEST(PrivacyBudgetAccountantTest, FailsClosedOnBadNames) {
+  MetricsRegistry registry;
+  PrivacyBudgetAccountant accountant(&registry);
+  // Data-shaped principal names never reach the label allowlist.
+  EXPECT_EQ(accountant
+                .RegisterPrincipal("Bob's research desk",
+                                   PrivacyDimension::kUser, 1.0)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      accountant.RegisterPrincipal("8675309", PrivacyDimension::kUser, 1.0)
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.num_principals(), 0u);
+  // Spends against unknown principals are refused, not auto-created.
+  EXPECT_EQ(accountant.RecordSpend("degraded_path", 1.0).code(),
+            StatusCode::kNotFound);
+  EXPECT_DOUBLE_EQ(accountant.spent("degraded_path"), 0.0);
+  // Duplicate registration is an error, not a silent reset.
+  ASSERT_TRUE(accountant
+                  .RegisterPrincipal("degraded_path",
+                                     PrivacyDimension::kRespondent, 8.0)
+                  .ok());
+  EXPECT_EQ(accountant
+                .RegisterPrincipal("degraded_path",
+                                   PrivacyDimension::kRespondent, 2.0)
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tripriv

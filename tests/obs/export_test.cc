@@ -1,0 +1,137 @@
+// Exporter tests: Prometheus text shape, label-value escaping, JSON
+// escaping, double rendering, and cumulative histogram buckets.
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace tripriv {
+namespace obs {
+namespace {
+
+TEST(ExportEscapingTest, PrometheusLabelValues) {
+  EXPECT_EQ(EscapePrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapePrometheusLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ExportEscapingTest, JsonStrings) {
+  EXPECT_EQ(EscapeJsonString("plain"), "plain");
+  EXPECT_EQ(EscapeJsonString("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeJsonString("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeJsonString("a\nb\rc\td"), "a\\nb\\rc\\td");
+  EXPECT_EQ(EscapeJsonString(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(EscapeJsonString(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(ExportEscapingTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(-2.25), "-2.25");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+void Populate(MetricsRegistry* registry) {
+  auto counter = registry->RegisterCounter("tripriv_answers_total",
+                                           "Answers by tier",
+                                           {{"tier", "protected"}});
+  auto gauge = registry->RegisterGauge("tripriv_depth", "Queue depth");
+  auto histogram =
+      registry->RegisterHistogram("tripriv_ticks", "Latency", {1, 4});
+  TRIPRIV_CHECK(counter.ok() && gauge.ok() && histogram.ok());
+  (*counter)->Add(7);
+  (*gauge)->Set(2.5);
+  (*histogram)->Observe(1);
+  (*histogram)->Observe(3);
+  (*histogram)->Observe(99);
+}
+
+TEST(PrometheusExportTest, RendersAllKindsWithCumulativeBuckets) {
+  MetricsRegistry registry;
+  Populate(&registry);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP tripriv_answers_total Answers by tier\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tripriv_answers_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripriv_answers_total{tier=\"protected\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripriv_depth 2.5\n"), std::string::npos);
+  // Cumulative le buckets with the +Inf terminator, then _sum and _count.
+  EXPECT_NE(text.find("tripriv_ticks_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripriv_ticks_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripriv_ticks_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tripriv_ticks_sum 103\n"), std::string::npos);
+  EXPECT_NE(text.find("tripriv_ticks_count 3\n"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, HelpAndTypeRenderOncePerName) {
+  MetricsRegistry registry;
+  for (const char* tier : {"protected", "refused"}) {
+    TRIPRIV_CHECK(registry
+                      .RegisterCounter("tripriv_answers_total", "h",
+                                       {{"tier", tier}})
+                      .ok());
+  }
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  size_t first = text.find("# TYPE tripriv_answers_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE tripriv_answers_total", first + 1),
+            std::string::npos);
+}
+
+TEST(JsonExportTest, RendersAllKinds) {
+  MetricsRegistry registry;
+  Populate(&registry);
+  const std::string json = ToJson(registry.Snapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"name\":\"tripriv_answers_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"tier\":\"protected\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\",\"labels\":{\"tier\":"
+                      "\"protected\"},\"value\":7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"value\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"+inf\",\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3,\"sum\":103"), std::string::npos);
+}
+
+TEST(TraceExportTest, RendersSpansWithLinksAndCounts) {
+  SimClock clock;
+  TraceRecorder trace(&clock, 8);
+  const uint64_t root = trace.StartSpan("submit", 0, 41);
+  clock.Advance(3);
+  const uint64_t child = trace.StartSpan("policy", root, 41);
+  clock.Advance(2);
+  trace.EndSpan(child, StatusCode::kPermissionDenied);
+  trace.EndSpan(root, StatusCode::kOk);
+  trace.StartSpan("not_a_span_name");  // rejected, counted
+
+  const std::string json = TraceToJson(trace);
+  EXPECT_NE(json.find("\"name\":\"submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":" + std::to_string(root)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"query_id\":41"), std::string::npos);
+  EXPECT_NE(json.find("\"start\":3,\"end\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"PermissionDenied\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_names\":1"), std::string::npos);
+  EXPECT_EQ(json.find("not_a_span_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tripriv

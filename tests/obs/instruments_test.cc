@@ -1,0 +1,269 @@
+// ServiceMetrics integration: the instrumented serving ladder's counters
+// mirror ServiceStats, spans follow the ladder stages, durable epsilon
+// spends (including WAL-recovered ones) mirror into the budget accountant,
+// and PublishMetrics copies component counters into gauges.
+
+#include "obs/instruments.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/budget.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "querydb/query.h"
+#include "service/batch_executor.h"
+#include "service/pir_failover.h"
+#include "service/query_service.h"
+#include "table/datasets.h"
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+using obs::MetricSample;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::PrivacyBudgetAccountant;
+using obs::ServiceMetrics;
+using obs::ServiceMetricsOptions;
+using obs::TraceRecorder;
+
+StatQuery Parse(const std::string& sql) {
+  auto query = ParseQuery(sql);
+  TRIPRIV_CHECK(query.ok()) << sql;
+  return std::move(query).value();
+}
+
+std::vector<StatQuery> WorkloadBatch() {
+  return {
+      Parse("SELECT SUM(blood_pressure) FROM t WHERE height < 172"),
+      Parse("SELECT COUNT(*) FROM t WHERE weight > 80"),
+      Parse("SELECT SUM(blood_pressure) FROM t WHERE height < 171"),
+      Parse("SELECT AVG(weight) FROM t WHERE height >= 160"),
+      Parse("SELECT COUNT(*) FROM t WHERE height < 165 AND weight > 105"),
+      Parse("SELECT SUM(weight) FROM t WHERE blood_pressure > 100"),
+  };
+}
+
+QueryServiceConfig AuditConfig(double fault_rate) {
+  QueryServiceConfig config;
+  config.protection.mode = ProtectionMode::kAudit;
+  config.protection.min_query_set_size = 2;
+  config.faults.backend_fault_rate = fault_rate;
+  return config;
+}
+
+const MetricSample* Find(const MetricsSnapshot& snapshot,
+                         const std::string& name, const obs::LabelSet& labels) {
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snapshot, const std::string& name,
+                      const obs::LabelSet& labels = {}) {
+  const MetricSample* sample = Find(snapshot, name, labels);
+  if (sample == nullptr) {
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  }
+  return sample->counter_value;
+}
+
+double GaugeValue(const MetricsSnapshot& snapshot, const std::string& name,
+                  const obs::LabelSet& labels = {}) {
+  const MetricSample* sample = Find(snapshot, name, labels);
+  if (sample == nullptr) {
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1.0;
+  }
+  return sample->gauge_value;
+}
+
+struct Harness {
+  MetricsRegistry registry;
+  std::unique_ptr<TraceRecorder> trace;
+  std::unique_ptr<PrivacyBudgetAccountant> accountant;
+  std::unique_ptr<ServiceMetrics> metrics;
+
+  void Attach(QueryService* service, double epsilon_budget) {
+    trace = std::make_unique<TraceRecorder>(service->sim_clock());
+    accountant = std::make_unique<PrivacyBudgetAccountant>(&registry);
+    ServiceMetricsOptions options;
+    options.degraded_budget = epsilon_budget;
+    auto bundle = ServiceMetrics::Create(&registry, trace.get(),
+                                         accountant.get(), options);
+    TRIPRIV_CHECK(bundle.ok());
+    metrics = std::make_unique<ServiceMetrics>(std::move(*bundle));
+    service->AttachInstruments(metrics.get());
+  }
+};
+
+TEST(InstrumentsTest, CountersMirrorServiceStats) {
+  MemWalIo wal;
+  auto service = QueryService::Create(PaperDataset2(), AuditConfig(0.3), &wal);
+  ASSERT_TRUE(service.ok());
+  Harness harness;
+  harness.Attach(&*service, 8.0);
+
+  BatchExecutor executor(&*service, nullptr);
+  executor.ExecuteQueryBatch(WorkloadBatch());
+
+  const ServiceStats& stats = service->stats();
+  ASSERT_EQ(stats.received, 6u);
+  const MetricsSnapshot snapshot = harness.registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_answers_total",
+                         {{"tier", "protected"}}),
+            stats.protected_answers);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_answers_total",
+                         {{"tier", "dp_degraded"}}),
+            stats.dp_answers);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_answers_total",
+                         {{"tier", "refused"}}),
+            stats.refusals);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_policy_refusals_total",
+                         {{"dimension", "owner"}}),
+            stats.policy_refusals);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_shed_total"), stats.shed);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_wal_append_failures_total"),
+            stats.wal_append_failures);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_wal_bytes_total"),
+            service->wal().bytes_appended());
+  // One fsync-latency observation per durable append.
+  const MetricSample* fsync = Find(snapshot, "tripriv_wal_fsync_ticks", {});
+  ASSERT_NE(fsync, nullptr);
+  EXPECT_EQ(fsync->histogram.count,
+            CounterValue(snapshot, "tripriv_wal_appends_total"));
+  EXPECT_GT(fsync->histogram.count, 0u);
+  // The batch-shape histogram saw exactly one batch of six.
+  const MetricSample* batch = Find(snapshot, "tripriv_stat_batch_size", {});
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->histogram.count, 1u);
+  EXPECT_EQ(batch->histogram.sum, 6u);
+}
+
+TEST(InstrumentsTest, SpansFollowTheServingLadder) {
+  MemWalIo wal;
+  auto service = QueryService::Create(PaperDataset2(), AuditConfig(0.0), &wal);
+  ASSERT_TRUE(service.ok());
+  Harness harness;
+  harness.Attach(&*service, 8.0);
+
+  const ServiceAnswer answer =
+      service->Submit(Parse("SELECT COUNT(*) FROM t WHERE weight > 80"));
+  EXPECT_EQ(answer.tier, AnswerTier::kProtected);
+
+  TraceRecorder& trace = *harness.trace;
+  ASSERT_GE(trace.num_spans(), 3u);
+  const obs::TraceSpan& root = trace.span(0);
+  EXPECT_EQ(root.name, "submit");
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_TRUE(root.closed);
+  EXPECT_EQ(root.status, "OK");
+  bool saw_policy = false;
+  bool saw_wal = false;
+  for (size_t i = 1; i < trace.num_spans(); ++i) {
+    const obs::TraceSpan& span = trace.span(i);
+    EXPECT_EQ(span.parent_id, root.id) << span.name;
+    EXPECT_TRUE(span.closed) << span.name;
+    if (span.name == "policy") saw_policy = true;
+    if (span.name == "wal_append") saw_wal = true;
+  }
+  EXPECT_TRUE(saw_policy);
+  EXPECT_TRUE(saw_wal);
+}
+
+TEST(InstrumentsTest, EpsilonSpendsMirrorIntoBudget) {
+  // Every primary attempt fails, so every non-refused answer is a degraded
+  // DP answer and charges the durable budget.
+  MemWalIo wal;
+  auto service = QueryService::Create(PaperDataset2(), AuditConfig(1.0), &wal);
+  ASSERT_TRUE(service.ok());
+  Harness harness;
+  harness.Attach(&*service, 8.0);
+  for (const StatQuery& query : WorkloadBatch()) service->Submit(query);
+  ASSERT_GT(service->stats().dp_answers, 0u);
+  EXPECT_GT(service->epsilon_spent(), 0.0);
+  EXPECT_DOUBLE_EQ(harness.accountant->spent("degraded_path"),
+                   service->epsilon_spent());
+  EXPECT_DOUBLE_EQ(harness.accountant->remaining("degraded_path"),
+                   8.0 - service->epsilon_spent());
+
+  // Restart on the same WAL: AttachInstruments seeds a fresh accountant
+  // with the recovered spend, so gauges agree with the durable log.
+  auto restarted =
+      QueryService::Create(PaperDataset2(), AuditConfig(1.0), &wal);
+  ASSERT_TRUE(restarted.ok());
+  EXPECT_DOUBLE_EQ(restarted->epsilon_spent(), service->epsilon_spent());
+  Harness fresh;
+  fresh.Attach(&*restarted, 8.0);
+  EXPECT_DOUBLE_EQ(fresh.accountant->spent("degraded_path"),
+                   restarted->epsilon_spent());
+}
+
+TEST(InstrumentsTest, PublishCopiesComponentCountersIntoGauges) {
+  MemWalIo wal;
+  auto service = QueryService::Create(PaperDataset2(), AuditConfig(1.0), &wal);
+  ASSERT_TRUE(service.ok());
+  Harness harness;
+  harness.Attach(&*service, 8.0);
+  for (const StatQuery& query : WorkloadBatch()) service->Submit(query);
+
+  // A PIR backend with one always-corrupting server forces failovers.
+  std::vector<std::vector<uint8_t>> records(64, std::vector<uint8_t>(8));
+  Rng fill(51);
+  for (auto& record : records) {
+    for (auto& byte : record) byte = static_cast<uint8_t>(fill.NextU64());
+  }
+  SimClock pir_clock;
+  auto pir = FailoverPirClient::Build(records, /*num_pairs=*/2, RetryPolicy{},
+                                      &pir_clock, /*seed=*/52);
+  ASSERT_TRUE(pir.ok());
+  PirServerFault corrupt;
+  corrupt.corrupt_rate = 1.0;
+  pir->InjectFault(1, corrupt);
+  service->AttachPirBackend(&*pir);
+  auto one = service->PirRead(5, Deadline());
+  ASSERT_TRUE(one.ok());
+  auto batch = service->PirReadBatch({1, 2, 3}, Deadline());
+  for (const auto& record : batch) ASSERT_TRUE(record.ok());
+
+  service->PublishMetrics();
+  const MetricsSnapshot snapshot = harness.registry.Snapshot();
+  const obs::LabelSet primary = {{"backend", "primary"}};
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_breaker_state", primary),
+      static_cast<double>(
+          static_cast<uint8_t>(service->primary_breaker().state())));
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_breaker_opens", primary),
+      static_cast<double>(service->primary_breaker().times_opened()));
+  EXPECT_GT(GaugeValue(snapshot, "tripriv_breaker_opens", primary), 0.0);
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_breaker_rejections", primary),
+      static_cast<double>(service->primary_breaker().rejected()));
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_breaker_half_open_probes", primary),
+      static_cast<double>(service->primary_breaker().half_open_probes()));
+  // Serial submits drain the admission queue before Publish runs.
+  EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_service_queue_depth"), 0.0);
+  const obs::LabelSet user = {{"dimension", "user"}};
+  EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_pir_bytes_xored", user),
+                   static_cast<double>(pir->total_bytes_xored()));
+  EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_pir_failover_replays", user),
+                   static_cast<double>(pir->failovers()));
+  EXPECT_GT(GaugeValue(snapshot, "tripriv_pir_corrupt_answers", user), 0.0);
+  EXPECT_DOUBLE_EQ(
+      GaugeValue(snapshot, "tripriv_pir_queries_answered", user),
+      static_cast<double>(pir->total_queries_answered()));
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_pir_reads_total", user), 4u);
+  const MetricSample* batch_size =
+      Find(snapshot, "tripriv_pir_batch_size", user);
+  ASSERT_NE(batch_size, nullptr);
+  EXPECT_EQ(batch_size->histogram.count, 1u);
+  EXPECT_EQ(batch_size->histogram.sum, 3u);
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,232 @@
+// MetricsRegistry tests: fail-closed label admission, per-shard merge
+// order, histogram bucket-boundary semantics, and snapshot shape.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace obs {
+namespace {
+
+TEST(LabelAllowlistTest, RejectsDataShapedKeysAndValues) {
+  LabelAllowlist allowlist;
+  EXPECT_TRUE(allowlist.AllowKey("tier").ok());
+  // Keys: lowercase identifier shape only.
+  EXPECT_EQ(allowlist.AllowKey("Tier").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowKey("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowKey("1tier").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowKey("t-ier").code(), StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(allowlist.AllowValue("tier", "dp_degraded").ok());
+  // Values for an unknown key fail closed.
+  EXPECT_EQ(allowlist.AllowValue("nope", "x").code(),
+            StatusCode::kInvalidArgument);
+  // Data-shaped values: uppercase (record values), all digits (ids and
+  // rendered fingerprints), too long (predicate strings), wrong charset.
+  EXPECT_EQ(allowlist.AllowValue("tier", "WHERE age > 40").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowValue("tier", "1234567890123456").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowValue("tier", std::string(49, 'a')).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowValue("tier", "has space").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(allowlist.AllowValue("tier", "").code(),
+            StatusCode::kInvalidArgument);
+  // Mixed alnum with a letter is fine (version-ish tokens).
+  EXPECT_TRUE(allowlist.AllowValue("tier", "v2").ok());
+}
+
+TEST(LabelAllowlistTest, RejectionNeverEchoesTheValue) {
+  // A rejected label value is exactly the string that must not leak; the
+  // error message may describe the rule but not quote the candidate.
+  LabelAllowlist allowlist;
+  ASSERT_TRUE(allowlist.AllowKey("tier").ok());
+  const std::string secret = "salary.of.bob";  // allowlist-legal charset
+  Status status = allowlist.Validate({{"tier", secret}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message().find(secret), std::string::npos);
+  Status rejected = allowlist.AllowValue("tier", "WHERE age > 40");
+  EXPECT_EQ(rejected.message().find("WHERE"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, UnknownLabelFailsClosed) {
+  MetricsRegistry registry;
+  // Unknown key.
+  EXPECT_EQ(registry.RegisterCounter("tripriv_x_total", "h", {{"nope", "a"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Known key, unregistered value.
+  EXPECT_EQ(registry.RegisterCounter("tripriv_x_total", "h",
+                                     {{"tier", "not_registered"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Registered key/value passes.
+  EXPECT_TRUE(
+      registry.RegisterCounter("tripriv_x_total", "h", {{"tier", "refused"}})
+          .ok());
+}
+
+TEST(MetricsRegistryTest, RejectsBadNamesDupSeriesAndKindChanges) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.RegisterCounter("Bad-Name", "h").status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry.RegisterCounter("tripriv_a_total", "h").ok());
+  // Same (name, labels) series twice.
+  EXPECT_EQ(registry.RegisterCounter("tripriv_a_total", "h").status().code(),
+            StatusCode::kAlreadyExists);
+  // Same name as a different kind.
+  EXPECT_EQ(registry.RegisterGauge("tripriv_a_total", "h").status().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate label key within one series.
+  EXPECT_EQ(registry
+                .RegisterCounter("tripriv_b_total", "h",
+                                 {{"tier", "refused"}, {"tier", "protected"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsRegistryTest, CounterMergesShardSlotsInOrder) {
+  MetricsConfig config;
+  config.shards = 4;
+  MetricsRegistry registry(config);
+  auto counter = registry.RegisterCounter("tripriv_work_total", "h");
+  ASSERT_TRUE(counter.ok());
+  (*counter)->Add(1, 0);
+  (*counter)->Add(10, 1);
+  (*counter)->Add(100, 2);
+  (*counter)->Add(1000, 3);
+  EXPECT_EQ((*counter)->value(), 1111u);
+}
+
+TEST(MetricsRegistryTest, ParallelShardWritesMatchSerial) {
+  // The determinism contract in miniature: each shard writes only its own
+  // slot; the merged value equals the serial sum at any thread count.
+  const size_t kItems = 1000;
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    MetricsConfig config;
+    config.shards = threads == 0 ? 1 : threads;
+    MetricsRegistry registry(config);
+    auto counter = registry.RegisterCounter("tripriv_items_total", "h");
+    auto histogram = registry.RegisterHistogram("tripriv_item_value", "h",
+                                                {10, 100, 500});
+    TRIPRIV_CHECK(counter.ok() && histogram.ok());
+    Counter* c = *counter;
+    Histogram* h = *histogram;
+    pool.ParallelFor(kItems, [c, h](size_t shard, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        c->Add(i, shard);
+        h->Observe(i % 600, shard);
+      }
+    });
+    struct Out {
+      uint64_t count;
+      uint64_t sum;
+      std::vector<uint64_t> buckets;
+      uint64_t counter;
+    };
+    return Out{h->count(), h->sum(), h->bucket_counts(), c->value()};
+  };
+  const auto ref = run(0);
+  EXPECT_EQ(ref.counter, kItems * (kItems - 1) / 2);
+  EXPECT_EQ(ref.count, kItems);
+  for (size_t threads : {1u, 2u, 8u}) {
+    const auto got = run(threads);
+    EXPECT_EQ(got.counter, ref.counter) << threads;
+    EXPECT_EQ(got.count, ref.count) << threads;
+    EXPECT_EQ(got.sum, ref.sum) << threads;
+    EXPECT_EQ(got.buckets, ref.buckets) << threads;
+  }
+}
+
+TEST(HistogramTest, ValueEqualToUpperBoundLandsInThatBucket) {
+  MetricsRegistry registry;
+  auto histogram =
+      registry.RegisterHistogram("tripriv_ticks", "h", {1, 4, 16});
+  ASSERT_TRUE(histogram.ok());
+  Histogram* h = *histogram;
+  h->Observe(0);   // <= 1
+  h->Observe(1);   // == bound 1 -> bucket le=1, not le=4
+  h->Observe(2);   // <= 4
+  h->Observe(4);   // == bound 4 -> bucket le=4
+  h->Observe(16);  // == last bound -> le=16, not +inf
+  h->Observe(17);  // +inf bucket
+  const auto counts = h->bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + implicit +inf
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_EQ(h->sum(), 0u + 1 + 2 + 4 + 16 + 17);
+}
+
+TEST(HistogramTest, RegistrationValidatesBounds) {
+  MetricsRegistry registry;
+  EXPECT_EQ(
+      registry.RegisterHistogram("tripriv_h1", "h", {}).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.RegisterHistogram("tripriv_h2", "h", {4, 4})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.RegisterHistogram("tripriv_h3", "h", {4, 1})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  MetricsRegistry registry;
+  ASSERT_TRUE(
+      registry.RegisterCounter("tripriv_z_total", "last by name").ok());
+  ASSERT_TRUE(registry
+                  .RegisterCounter("tripriv_answers_total", "by tier",
+                                   {{"tier", "refused"}})
+                  .ok());
+  ASSERT_TRUE(registry
+                  .RegisterCounter("tripriv_answers_total", "by tier",
+                                   {{"tier", "protected"}})
+                  .ok());
+  auto gauge = registry.RegisterGauge("tripriv_depth", "gauge");
+  ASSERT_TRUE(gauge.ok());
+  (*gauge)->Set(3.5);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 4u);
+  EXPECT_EQ(snapshot.samples[0].name, "tripriv_answers_total");
+  EXPECT_EQ(snapshot.samples[0].labels[0].second, "protected");
+  EXPECT_EQ(snapshot.samples[1].labels[0].second, "refused");
+  EXPECT_EQ(snapshot.samples[2].name, "tripriv_depth");
+  EXPECT_DOUBLE_EQ(snapshot.samples[2].gauge_value, 3.5);
+  EXPECT_EQ(snapshot.samples[3].name, "tripriv_z_total");
+}
+
+TEST(MetricsRegistryTest, AllowLabelValueExtendsTheAllowlist) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry
+                .RegisterGauge("tripriv_budget", "g",
+                               {{"principal", "research_group"}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(registry.AllowLabelValue("principal", "research_group").ok());
+  EXPECT_TRUE(registry
+                  .RegisterGauge("tripriv_budget", "g",
+                                 {{"principal", "research_group"}})
+                  .ok());
+  // Still fail-closed for data-shaped additions.
+  EXPECT_EQ(registry.AllowLabelValue("principal", "8675309").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tripriv

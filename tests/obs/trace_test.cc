@@ -1,0 +1,97 @@
+// TraceRecorder tests: SimClock stamping, parent/child links, the span
+// name allowlist, status rendering, and ring-buffer eviction.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+
+namespace tripriv {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, StampsSpansFromTheSimClock) {
+  SimClock clock;
+  TraceRecorder trace(&clock);
+  clock.Advance(10);
+  const uint64_t span = trace.StartSpan("submit", 0, 7);
+  ASSERT_NE(span, 0u);
+  clock.Advance(5);
+  trace.EndSpan(span);
+  ASSERT_EQ(trace.num_spans(), 1u);
+  EXPECT_EQ(trace.span(0).name, "submit");
+  EXPECT_EQ(trace.span(0).query_id, 7u);
+  EXPECT_EQ(trace.span(0).start_tick, 10u);
+  EXPECT_EQ(trace.span(0).end_tick, 15u);
+  EXPECT_EQ(trace.span(0).status, "OK");
+  EXPECT_TRUE(trace.span(0).closed);
+}
+
+TEST(TraceRecorderTest, LinksChildrenToParents) {
+  SimClock clock;
+  TraceRecorder trace(&clock);
+  const uint64_t root = trace.StartSpan("submit");
+  const uint64_t policy = trace.StartSpan("policy", root);
+  const uint64_t wal = trace.StartSpan("wal_append", policy);
+  trace.EndSpan(wal);
+  trace.EndSpan(policy);
+  trace.EndSpan(root, StatusCode::kUnavailable);
+  ASSERT_EQ(trace.num_spans(), 3u);
+  EXPECT_EQ(trace.span(0).parent_id, 0u);
+  EXPECT_EQ(trace.span(1).parent_id, root);
+  EXPECT_EQ(trace.span(2).parent_id, policy);
+  EXPECT_EQ(trace.span(0).status, "Unavailable");
+}
+
+TEST(TraceRecorderTest, RejectsUnknownNamesFailClosed) {
+  SimClock clock;
+  TraceRecorder trace(&clock);
+  // A predicate-shaped name never becomes a span.
+  const uint64_t bad = trace.StartSpan("SELECT salary WHERE name=bob");
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(trace.num_spans(), 0u);
+  EXPECT_EQ(trace.rejected_names(), 1u);
+  // The 0 id makes children and EndSpan no-ops, so an instrumented call
+  // path degrades silently instead of crashing.
+  trace.EndSpan(bad, StatusCode::kInternal);
+  EXPECT_EQ(trace.num_spans(), 0u);
+  // AllowSpanName admits new names but keeps the shape rules.
+  EXPECT_EQ(trace.AllowSpanName("Not A Name").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(trace.AllowSpanName("custom_stage").ok());
+  EXPECT_NE(trace.StartSpan("custom_stage"), 0u);
+}
+
+TEST(TraceRecorderTest, UnfinishedSpansExportAsUnfinished) {
+  SimClock clock;
+  TraceRecorder trace(&clock);
+  trace.StartSpan("primary");
+  ASSERT_EQ(trace.num_spans(), 1u);
+  EXPECT_FALSE(trace.span(0).closed);
+  EXPECT_EQ(trace.span(0).status, "unfinished");
+}
+
+TEST(TraceRecorderTest, RingEvictsOldestAndCountsDrops) {
+  SimClock clock;
+  TraceRecorder trace(&clock, 3);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    clock.Advance(1);
+    ids.push_back(trace.StartSpan("pir_read", 0, static_cast<uint64_t>(i)));
+  }
+  ASSERT_EQ(trace.num_spans(), 3u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // Oldest-first view holds query ids 2, 3, 4.
+  EXPECT_EQ(trace.span(0).query_id, 2u);
+  EXPECT_EQ(trace.span(1).query_id, 3u);
+  EXPECT_EQ(trace.span(2).query_id, 4u);
+  // Closing an evicted span is a no-op; closing a live one still works.
+  trace.EndSpan(ids[0]);
+  trace.EndSpan(ids[4], StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(trace.span(2).status, "DeadlineExceeded");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tripriv

@@ -34,11 +34,13 @@ TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndRejects) {
   SimClock clock;
   CircuitBreaker breaker(TestConfig(), &clock);
   for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(breaker.consecutive_failures(), static_cast<size_t>(i));
     ASSERT_TRUE(breaker.AllowRequest());
     breaker.RecordFailure();
   }
   EXPECT_EQ(breaker.state(), BreakerState::kOpen);
   EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);  // reset by the trip
   EXPECT_FALSE(breaker.AllowRequest());
   EXPECT_FALSE(breaker.AllowRequest());
   EXPECT_EQ(breaker.rejected(), 2u);
@@ -51,14 +53,20 @@ TEST(CircuitBreakerTest, HalfOpenProbeClosesAfterEnoughSuccesses) {
     ASSERT_TRUE(breaker.AllowRequest());
     breaker.RecordFailure();
   }
+  EXPECT_EQ(breaker.half_open_probes(), 0u);
   clock.Advance(10);  // reopen tick reached
   ASSERT_TRUE(breaker.AllowRequest());  // probe 1
   EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.probe_in_flight());
   EXPECT_FALSE(breaker.AllowRequest());  // probe slot busy
   breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.probe_in_flight());
+  EXPECT_EQ(breaker.half_open_successes(), 1u);
   ASSERT_TRUE(breaker.AllowRequest());  // probe 2
   breaker.RecordSuccess();
   EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.half_open_probes(), 2u);
+  EXPECT_EQ(breaker.half_open_successes(), 0u);  // reset on close
 }
 
 TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
@@ -73,9 +81,11 @@ TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens) {
   breaker.RecordFailure();  // backend still sick
   EXPECT_EQ(breaker.state(), BreakerState::kOpen);
   EXPECT_EQ(breaker.times_opened(), 2u);
-  EXPECT_FALSE(breaker.AllowRequest());  // a fresh open period started
+  EXPECT_FALSE(breaker.probe_in_flight());  // cleared by the re-trip
+  EXPECT_FALSE(breaker.AllowRequest());     // a fresh open period started
   clock.Advance(10);
   EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.half_open_probes(), 2u);  // one probe per episode
 }
 
 TEST(CircuitBreakerTest, JitterIsSeedDeterministicAndBounded) {

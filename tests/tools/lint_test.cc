@@ -137,6 +137,81 @@ TEST(LintRuleTest, NoSensitiveLoggingCoversTheServiceLayer) {
                   .empty());
 }
 
+TEST(LintRuleTest, NoSensitiveLabelsFires) {
+  // Rendering a predicate into a metric label is the canonical violation:
+  // the runtime allowlist would likely reject the string, but the lint
+  // refuses the rendering itself, at build time.
+  const std::string src =
+      "void Track(MetricsRegistry* r, const Predicate& p) {\n"
+      "  r->RegisterCounter(\"tripriv_q_total\", \"h\",\n"
+      "                     {{\"query\", p.ToString()}});\n"
+      "}\n";
+  const auto hits =
+      ForRule(LintSource("src/obs/bad_labels.cc", src), "no-sensitive-labels");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("ToString"), std::string::npos);
+}
+
+TEST(LintRuleTest, NoSensitiveLabelsCoversSpansAndPrincipals) {
+  // Span names and budget principals reach the same export channel.
+  EXPECT_EQ(ForRule(LintSource("src/service/s.cc",
+                               "void f(TraceRecorder* t, const Value& v) {\n"
+                               "  t->StartSpan(v.ToString());\n"
+                               "}\n"),
+                    "no-sensitive-labels")
+                .size(),
+            1u);
+  EXPECT_EQ(ForRule(LintSource("src/obs/b.cc",
+                               "void g(PrivacyBudgetAccountant* a, int id) {\n"
+                               "  a->RecordSpend(std::to_string(id), 0.5);\n"
+                               "}\n"),
+                    "no-sensitive-labels")
+                .size(),
+            1u);
+}
+
+TEST(LintRuleTest, NoSensitiveLabelsSparesConstantsAndSuppressions) {
+  // Constant labels — string literals, named constants, config fields — are
+  // the sanctioned shape and stay unflagged.
+  const std::string clean =
+      "void Ok(MetricsRegistry* r, const Options& opts) {\n"
+      "  r->RegisterCounter(\"tripriv_a_total\", \"h\", {{\"tier\", "
+      "\"refused\"}});\n"
+      "  r->AllowLabelValue(\"principal\", opts.principal);\n"
+      "}\n";
+  EXPECT_TRUE(ForRule(LintSource("src/obs/ok_labels.cc", clean),
+                      "no-sensitive-labels")
+                  .empty());
+  // A renderer NEAR but not INSIDE a label call is out of scope.
+  EXPECT_TRUE(ForRule(LintSource("src/obs/near.cc",
+                                 "std::string s = v.ToString();\n"),
+                      "no-sensitive-labels")
+                  .empty());
+  // Tests may build data-shaped fixtures freely.
+  EXPECT_TRUE(ForRule(LintSource("tests/obs/fixture.cc",
+                                 "r->AllowValue(\"k\", v.ToString());\n"),
+                      "no-sensitive-labels")
+                  .empty());
+  // NOLINT suppression works like every other rule.
+  EXPECT_TRUE(ForRule(LintSource("src/obs/b.cc",
+                                 "t->StartSpan(v.ToString());  "
+                                 "// NOLINT(no-sensitive-labels)\n"),
+                      "no-sensitive-labels")
+                  .empty());
+}
+
+TEST(LintRuleTest, NoSensitiveLoggingCoversObs) {
+  // src/obs is an export path: ad-hoc stream output there bypasses the
+  // escaped, allowlisted exporters.
+  const std::string src =
+      "#include <iostream>\n"
+      "void Dump(double v) { std::cout << v; }\n";
+  const auto hits =
+      ForRule(LintSource("src/obs/bad_dump.cc", src), "no-sensitive-logging");
+  ASSERT_EQ(hits.size(), 2u);  // the include and the stream write
+}
+
 TEST(LintRuleTest, HeaderHygieneFires) {
   const auto hits = ForRule(
       LintSource("src/sdc/no_pragma.h", "int x;\n"), "header-hygiene");
@@ -314,8 +389,10 @@ TEST(LintRunnerTest, FindingsAreOrderedByLine) {
 
 TEST(LintRunnerTest, RuleNamesAreStable) {
   const std::vector<std::string> expected = {
-      "no-raw-rng", "no-wall-clock", "no-sensitive-logging", "header-hygiene",
-      "no-channel-bypass", "no-unguarded-shared-mutation"};
+      "no-raw-rng",          "no-wall-clock",
+      "no-sensitive-logging", "no-sensitive-labels",
+      "header-hygiene",       "no-channel-bypass",
+      "no-unguarded-shared-mutation"};
   EXPECT_EQ(RuleNames(), expected);
 }
 

@@ -125,7 +125,7 @@ void CheckSensitiveLogging(const LexedFile& lexed, const std::string& rel_path,
   const bool library_code =
       StartsWith(rel_path, "src/sdc/") || StartsWith(rel_path, "src/smc/") ||
       StartsWith(rel_path, "src/pir/") || StartsWith(rel_path, "src/querydb/") ||
-      StartsWith(rel_path, "src/service/");
+      StartsWith(rel_path, "src/service/") || StartsWith(rel_path, "src/obs/");
   if (!library_code) return;
   static const std::set<std::string> kBannedIdents = {
       "cout", "cerr", "clog", "wcout", "wcerr",  "printf", "fprintf",
@@ -150,6 +150,58 @@ void CheckSensitiveLogging(const LexedFile& lexed, const std::string& rel_path,
                "return data via Status/Result and let the caller decide what "
                "to print",
            out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// no-sensitive-labels
+
+/// Metric labels, span names, and budget principals are export channels:
+/// anything passed to these obs APIs ends up in a Prometheus/JSON dump. The
+/// runtime allowlist fails closed on data-shaped strings, but a rendered
+/// value that happens to look like an identifier would sail through it —
+/// so the lint bans the rendering itself: no ToString/Format-style call may
+/// appear inside the argument list of a label-carrying obs API. Labels must
+/// be pre-registered constants, never values rendered from live data.
+void CheckSensitiveLabels(const LexedFile& lexed, const std::string& rel_path,
+                          std::vector<Diagnostic>* out) {
+  if (!StartsWith(rel_path, "src/") && !StartsWith(rel_path, "tools/") &&
+      !StartsWith(rel_path, "bench/")) {
+    return;
+  }
+  // APIs whose string arguments reach an export channel.
+  static const std::set<std::string> kLabelApis = {
+      "RegisterCounter",   "RegisterGauge", "RegisterHistogram",
+      "AllowLabelValue",   "AllowValue",    "AllowKey",
+      "AllowSpanName",     "StartSpan",     "RegisterPrincipal",
+      "RecordSpend",
+  };
+  // Calls that render live data (table values, predicates, query text) into
+  // strings — exactly what must never become a label.
+  static const std::set<std::string> kRenderers = {
+      "to_string", "ToString", "ToDebugString", "Render",
+      "Format",    "ToSql",    "ToCsv",         "Fingerprint",
+  };
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        kLabelApis.count(toks[i].text) == 0 || toks[i + 1].text != "(") {
+      continue;
+    }
+    size_t depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          kRenderers.count(toks[j].text) > 0) {
+        Report(lexed, rel_path, toks[j].line, "no-sensitive-labels",
+               "'" + toks[j].text + "' inside a " + toks[i].text +
+                   "(...) call renders live data into a metric label or span "
+                   "name; labels must be pre-registered constants, never "
+                   "rendered values",
+               out);
+      }
+    }
   }
 }
 
@@ -323,8 +375,9 @@ std::string FormatDiagnostic(const Diagnostic& diag) {
 
 std::vector<std::string> RuleNames() {
   return {"no-raw-rng",     "no-wall-clock",
-          "no-sensitive-logging", "header-hygiene",
-          "no-channel-bypass",    "no-unguarded-shared-mutation"};
+          "no-sensitive-logging", "no-sensitive-labels",
+          "header-hygiene",       "no-channel-bypass",
+          "no-unguarded-shared-mutation"};
 }
 
 std::vector<Diagnostic> LintSource(const std::string& rel_path,
@@ -334,6 +387,7 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
   CheckRawRng(lexed, rel_path, &out);
   CheckWallClock(lexed, rel_path, &out);
   CheckSensitiveLogging(lexed, rel_path, &out);
+  CheckSensitiveLabels(lexed, rel_path, &out);
   CheckHeaderHygiene(lexed, rel_path, &out);
   CheckChannelBypass(lexed, rel_path, &out);
   CheckUnguardedSharedMutation(lexed, rel_path, &out);
