@@ -1,0 +1,143 @@
+// Epoch flip costs: what a live mutable protected database pays per write.
+//
+// Three questions, one file. (1) Flip throughput by mutation batch size —
+// the WAL + copy-on-write + incremental-MDAV + gate pipeline, end to end.
+// (2) What incremental maintenance buys over a full recluster: the same
+// maintenance call at dirty-set sizes from one row to the whole table
+// (the last row IS the full-recluster baseline). (3) The read side under
+// versioning: pinned two-server PIR batch reads through the epoch cache at
+// several thread counts.
+//
+// Flips draw no randomness and the WAL device is in-memory, so the numbers
+// isolate the protection pipeline itself, not disk or entropy.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pir/epoch_pir.h"
+#include "sdc/incremental_mdav.h"
+#include "service/epoch_service.h"
+#include "table/datasets.h"
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace {
+
+constexpr size_t kRows = 2000;
+
+EpochConfig BenchConfig() {
+  EpochConfig config;
+  config.k = 25;
+  config.qi_cols = {0, 1};
+  config.max_pending_mutations = 4096;
+  return config;
+}
+
+/// End-to-end flip throughput by mutation batch size: every iteration
+/// journals, rebuilds, re-clusters the dirty groups, re-verifies the
+/// privacy gate, syncs the image, and publishes.
+void BM_EpochFlip(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  MemWalIo wal;
+  EpochStore store;
+  auto db = EpochedDatabase::Create(MakeClinicalTrial(kRows, 3), BenchConfig(),
+                                    &wal, &store);
+  TRIPRIV_CHECK(db.ok()) << db.status().ToString();
+  uint64_t next = 0;
+  for (auto _ : state) {
+    for (size_t m = 0; m < batch; ++m) {
+      const uint64_t uid = next++ % kRows;
+      TRIPRIV_CHECK(
+          db->SubmitMutation(
+                RowMutation::Update(uid, {160 + static_cast<int>(uid % 30),
+                                          60 + static_cast<int>(uid % 40),
+                                          140, "N"}))
+              .ok());
+    }
+    auto flipped = db->Flip();
+    TRIPRIV_CHECK(flipped.ok()) << flipped.status().ToString();
+    benchmark::DoNotOptimize(flipped);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  state.counters["rows"] = static_cast<double>(kRows);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_EpochFlip)->Arg(1)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+/// The incremental-maintenance ablation: identical table, identical
+/// previous grouping, dirty sets from a single row up to every row. The
+/// full-table row is exactly what a non-incremental flip would pay.
+void BM_IncrementalMdavMaintenance(benchmark::State& state) {
+  const size_t dirty = static_cast<size_t>(state.range(0));
+  const DataTable base = MakeClinicalTrial(4000, 7);
+  const std::vector<size_t> cols = {0, 1};
+  std::vector<uint64_t> uids(base.num_rows());
+  for (size_t i = 0; i < uids.size(); ++i) uids[i] = i;
+
+  // One bootstrap pass builds the previous epoch's grouping.
+  auto bootstrap = IncrementalMdav(base, uids, cols, 25, {}, {});
+  TRIPRIV_CHECK(bootstrap.ok());
+  std::unordered_map<uint64_t, size_t> prev;
+  for (size_t r = 0; r < uids.size(); ++r) {
+    prev[uids[r]] = bootstrap->group_of_row[r];
+  }
+  std::vector<uint64_t> dirty_uids(dirty);
+  for (size_t i = 0; i < dirty; ++i) dirty_uids[i] = i;
+
+  size_t reclustered = 0;
+  for (auto _ : state) {
+    auto result = IncrementalMdav(base, uids, cols, 25, prev, dirty_uids);
+    TRIPRIV_CHECK(result.ok());
+    reclustered = result->rows_reclustered;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["dirty"] = static_cast<double>(dirty);
+  state.counters["reclustered"] = static_cast<double>(reclustered);
+}
+BENCHMARK(BM_IncrementalMdavMaintenance)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Pinned PIR batch reads through the epoch replica cache — the steady-
+/// state read path a reader pays while writers build the next version.
+void BM_PinnedEpochBatchRead(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  MemWalIo wal;
+  EpochStore store;
+  auto db = EpochedDatabase::Create(MakeClinicalTrial(kRows, 5), BenchConfig(),
+                                    &wal, &store);
+  TRIPRIV_CHECK(db.ok()) << db.status().ToString();
+  EpochPirReader reader(db->manager());
+  ThreadPool pool(threads);
+  Rng rng(13);
+  std::vector<size_t> indices(64);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<size_t>(rng.UniformU64(kRows));
+  }
+  for (auto _ : state) {
+    auto answers = reader.ReadBatch(indices, &rng, &pool);
+    TRIPRIV_CHECK(answers.ok());
+    benchmark::DoNotOptimize(answers);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(indices.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_PinnedEpochBatchRead)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tripriv
+
+BENCHMARK_MAIN();

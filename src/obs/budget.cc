@@ -84,6 +84,24 @@ Status PrivacyBudgetAccountant::RecordSpend(const std::string& name,
   return Status::OK();
 }
 
+Status PrivacyBudgetAccountant::SyncRecoveredSpend(const std::string& name,
+                                                   double total) {
+  if (total < 0.0) {
+    return Status::InvalidArgument("recovered spend must be >= 0");
+  }
+  auto it = principals_.find(name);
+  if (it == principals_.end()) {
+    return Status::NotFound("unknown budget principal");
+  }
+  Principal& principal = it->second;
+  if (total <= principal.spent) return Status::OK();  // replay: already there
+  principal.spent = total;
+  principal.spent_gauge->Set(principal.spent);
+  const double left = principal.budget - principal.spent;
+  principal.remaining_gauge->Set(left > 0.0 ? left : 0.0);
+  return Status::OK();
+}
+
 double PrivacyBudgetAccountant::spent(const std::string& name) const {
   auto it = principals_.find(name);
   return it == principals_.end() ? 0.0 : it->second.spent;

@@ -57,6 +57,14 @@ class PrivacyBudgetAccountant {
   /// auto-created). Gauges update immediately.
   Status RecordSpend(const std::string& name, double epsilon);
 
+  /// Idempotent recovery entry point: raises `name`'s recorded spend to the
+  /// ABSOLUTE WAL-recovered `total` — it never adds. A crashed service that
+  /// recovers the same log twice (or re-attaches instruments after a
+  /// restart) must leave the gauges exactly where one recovery put them;
+  /// RecordSpend would double-charge on every replay. Spend-event counters
+  /// are untouched: recovery re-reads facts, it does not create spends.
+  Status SyncRecoveredSpend(const std::string& name, double total);
+
   /// Total recorded spend of `name` (0.0 when unknown).
   double spent(const std::string& name) const;
   /// Budget minus spend, clamped at 0 (0.0 when unknown).

@@ -20,6 +20,10 @@ Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* /*registry*/,
   return metrics;
 }
 
+Result<EpochMetrics> EpochMetrics::Create(MetricsRegistry* /*registry*/) {
+  return EpochMetrics();
+}
+
 #else
 
 Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* registry,
@@ -193,6 +197,81 @@ Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* registry,
         registry->RegisterGauge("tripriv_pool_threads",
                                 "Worker threads (varies with configuration)"));
   }
+  return metrics;
+}
+
+Result<EpochMetrics> EpochMetrics::Create(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("EpochMetrics requires a registry");
+  }
+  EpochMetrics metrics;
+
+  // Mutation kinds ride the existing `method` label key; flip outcomes ride
+  // `result`. Both value sets are constants admitted here, never rendered
+  // from data.
+  static const char* kMutationValues[3] = {"insert", "delete", "update"};
+  for (int m = 0; m < 3; ++m) {
+    Status allowed = registry->AllowLabelValue("method", kMutationValues[m]);
+    if (!allowed.ok() && allowed.code() != StatusCode::kAlreadyExists) {
+      return allowed;
+    }
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.mutation_counters_[m],
+        registry->RegisterCounter("tripriv_epoch_mutations_total",
+                                  "Mutations admitted to the pending buffer",
+                                  {{"method", kMutationValues[m]}}));
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.mutations_shed_,
+      registry->RegisterCounter("tripriv_epoch_mutations_shed_total",
+                                "Mutations shed by write admission control"));
+  static const char* kFlipResults[3] = {"committed", "refused_privacy",
+                                        "refused_io"};
+  Counter** flip_counters[3] = {&metrics.flips_committed_,
+                                &metrics.flips_refused_privacy_,
+                                &metrics.flips_refused_io_};
+  for (int r = 0; r < 3; ++r) {
+    Status allowed = registry->AllowLabelValue("result", kFlipResults[r]);
+    if (!allowed.ok() && allowed.code() != StatusCode::kAlreadyExists) {
+      return allowed;
+    }
+    TRIPRIV_ASSIGN_OR_RETURN(
+        *flip_counters[r],
+        registry->RegisterCounter("tripriv_epoch_flips_total",
+                                  "Epoch flips by outcome",
+                                  {{"result", kFlipResults[r]}}));
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.rows_reclustered_,
+      registry->RegisterCounter(
+          "tripriv_epoch_rows_reclustered_total",
+          "Rows that went through the dirty-group recluster pool"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.flip_latency_ticks_,
+      registry->RegisterHistogram(
+          "tripriv_epoch_flip_latency_ticks",
+          "Modeled flip latency (sim ticks: base + per reclustered row)",
+          {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384}));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.current_epoch_,
+      registry->RegisterGauge("tripriv_epoch_current",
+                              "Epoch currently serving reads"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.live_epochs_,
+      registry->RegisterGauge("tripriv_epoch_live",
+                              "Live epochs (current + pinned retirees)"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.peak_live_epochs_,
+      registry->RegisterGauge("tripriv_epoch_live_peak",
+                              "High-water mark of live epochs"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.pending_mutations_,
+      registry->RegisterGauge("tripriv_epoch_pending_mutations",
+                              "Mutations waiting for the next flip"));
+  TRIPRIV_ASSIGN_OR_RETURN(
+      metrics.store_images_,
+      registry->RegisterGauge("tripriv_epoch_store_images",
+                              "Epoch images held by the durable store"));
   return metrics;
 }
 

@@ -39,6 +39,11 @@ namespace obs {
 
 #ifdef TRIPRIV_OBS_DISABLED
 #define TRIPRIV_OBS_BODY(...) {}
+// Compiled-out bodies leave every push/publish parameter unused by design;
+// the suppression is scoped to this header (popped at the bottom) so the
+// warning stays live everywhere else.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wunused-parameter"
 #else
 #define TRIPRIV_OBS_BODY(...) { __VA_ARGS__ }
 #endif
@@ -109,10 +114,14 @@ class ServiceMetrics {
             epsilon));
       })
   /// Seeds the degraded principal's gauges from WAL-recovered spend.
+  /// `epsilon` is the ABSOLUTE recovered total, and the sync is idempotent:
+  /// recovering the same WAL twice (crash, re-Create, re-attach to the same
+  /// accountant) leaves the gauges where one recovery put them instead of
+  /// double-charging the spend.
   void OnEpsilonRecovered(double epsilon) TRIPRIV_OBS_BODY(
       if (accountant_ != nullptr && epsilon > 0.0) {
-        IgnoreError(accountant_->RecordSpend(options_.degraded_principal,
-                                             epsilon));
+        IgnoreError(accountant_->SyncRecoveredSpend(
+            options_.degraded_principal, epsilon));
       })
 
   // --- publish API (sampled component counters -> gauges) -------------
@@ -211,7 +220,72 @@ class ServiceMetrics {
   Gauge* pool_threads_ = nullptr;  // thread-variant, may stay null
 };
 
+/// Stable indices for mutation kinds (mirrors table MutationKind).
+inline constexpr uint8_t kMutationInsert = 0;
+inline constexpr uint8_t kMutationDelete = 1;
+inline constexpr uint8_t kMutationUpdate = 2;
+
+/// Handle bundle for the epoch-versioned mutable database
+/// (service/epoch_service.h): epoch gauges, flip-latency histograms, and
+/// refused-flip counters. Same discipline as ServiceMetrics — push calls
+/// come from the serial flip path, publish calls from an explicit publish
+/// step, every series is a pure function of the workload (flip latency is
+/// SimClock ticks from the deterministic cost model, so snapshots stay
+/// byte-identical at any thread count), and -DTRIPRIV_OBS=OFF compiles
+/// every body out.
+class EpochMetrics {
+ public:
+  /// `registry` must outlive the bundle.
+  static Result<EpochMetrics> Create(MetricsRegistry* registry);
+
+  // --- push API (serial flip / write-admission path) -------------------
+
+  void OnMutationAdmitted(uint8_t kind) TRIPRIV_OBS_BODY(
+      if (kind <= kMutationUpdate) mutation_counters_[kind]->Increment();)
+  void OnMutationShed() TRIPRIV_OBS_BODY(mutations_shed_->Increment();)
+  void OnFlipCommitted(uint64_t latency_ticks, uint64_t rows_reclustered)
+      TRIPRIV_OBS_BODY(flips_committed_->Increment();
+                       flip_latency_ticks_->Observe(latency_ticks);
+                       rows_reclustered_->Add(rows_reclustered);)
+  /// A refused flip: `privacy_gate` distinguishes the fail-closed k-gate
+  /// from store/WAL faults and invalid batches.
+  void OnFlipRefused(bool privacy_gate) TRIPRIV_OBS_BODY(
+      (privacy_gate ? flips_refused_privacy_ : flips_refused_io_)
+          ->Increment();)
+
+  // --- publish API (sampled epoch state -> gauges) ---------------------
+
+  void PublishEpochState(uint64_t epoch, uint64_t live_epochs,
+                         uint64_t peak_live_epochs,
+                         uint64_t pending_mutations, uint64_t store_images)
+      TRIPRIV_OBS_BODY(
+          current_epoch_->Set(static_cast<double>(epoch));
+          live_epochs_->Set(static_cast<double>(live_epochs));
+          peak_live_epochs_->Set(static_cast<double>(peak_live_epochs));
+          pending_mutations_->Set(static_cast<double>(pending_mutations));
+          store_images_->Set(static_cast<double>(store_images));)
+
+ private:
+  EpochMetrics() = default;
+
+  Counter* mutation_counters_[3] = {nullptr, nullptr, nullptr};
+  Counter* mutations_shed_ = nullptr;
+  Counter* flips_committed_ = nullptr;
+  Counter* flips_refused_privacy_ = nullptr;
+  Counter* flips_refused_io_ = nullptr;
+  Counter* rows_reclustered_ = nullptr;
+  Histogram* flip_latency_ticks_ = nullptr;
+  Gauge* current_epoch_ = nullptr;
+  Gauge* live_epochs_ = nullptr;
+  Gauge* peak_live_epochs_ = nullptr;
+  Gauge* pending_mutations_ = nullptr;
+  Gauge* store_images_ = nullptr;
+};
+
 #undef TRIPRIV_OBS_BODY
+#ifdef TRIPRIV_OBS_DISABLED
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace obs
 }  // namespace tripriv

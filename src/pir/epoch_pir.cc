@@ -1,0 +1,71 @@
+#include "pir/epoch_pir.h"
+
+#include <string>
+#include <utility>
+
+namespace tripriv {
+
+std::vector<std::vector<uint8_t>> SnapshotRecords(const DataTable& table) {
+  std::vector<std::vector<uint8_t>> records;
+  records.reserve(table.num_rows());
+  size_t widest = 1;  // XOR PIR needs non-zero record length
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::string text;
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) text.push_back('|');
+      text += table.at(r, c).ToDisplayString();
+    }
+    records.emplace_back(text.begin(), text.end());
+    if (records.back().size() > widest) widest = records.back().size();
+  }
+  for (auto& record : records) record.resize(widest, 0);
+  return records;
+}
+
+std::string RecordToString(const std::vector<uint8_t>& record) {
+  size_t len = record.size();
+  while (len > 0 && record[len - 1] == 0) --len;
+  return std::string(record.begin(), record.begin() + len);
+}
+
+Result<EpochPirReader::Replicas*> EpochPirReader::ReplicasFor(
+    const PinnedEpoch& pinned) {
+  const uint64_t epoch = pinned->epoch;
+  for (Replicas& entry : cache_) {
+    if (entry.epoch == epoch) return &entry;
+  }
+  auto records = SnapshotRecords(pinned->protected_table);
+  TRIPRIV_ASSIGN_OR_RETURN(XorPirServer a, XorPirServer::Create(records));
+  TRIPRIV_ASSIGN_OR_RETURN(XorPirServer b,
+                           XorPirServer::Create(std::move(records)));
+  Replicas built;
+  built.epoch = epoch;
+  built.a = std::make_unique<XorPirServer>(std::move(a));
+  built.b = std::make_unique<XorPirServer>(std::move(b));
+  // At most two cached pairs — the manager's live-epoch bound. Oldest out.
+  if (cache_.size() >= 2) cache_.erase(cache_.begin());
+  cache_.push_back(std::move(built));
+  ++replica_builds_;
+  return &cache_.back();
+}
+
+Result<std::vector<uint8_t>> EpochPirReader::Read(size_t index, Rng* rng) {
+  PinnedEpoch pinned = manager_->Pin();
+  TRIPRIV_ASSIGN_OR_RETURN(Replicas * replicas, ReplicasFor(pinned));
+  last_served_epoch_ = pinned->epoch;
+  return TwoServerPirRead(replicas->a.get(), replicas->b.get(), index, rng,
+                          &stats_);
+}
+
+Result<std::vector<std::vector<uint8_t>>> EpochPirReader::ReadBatch(
+    const std::vector<size_t>& indices, Rng* rng, ThreadPool* pool) {
+  // One pin for the whole batch: every answer comes from the same frozen
+  // epoch no matter how many flips land while the batch computes.
+  PinnedEpoch pinned = manager_->Pin();
+  TRIPRIV_ASSIGN_OR_RETURN(Replicas * replicas, ReplicasFor(pinned));
+  last_served_epoch_ = pinned->epoch;
+  return TwoServerPirBatchRead(replicas->a.get(), replicas->b.get(), indices,
+                               rng, pool, &stats_);
+}
+
+}  // namespace tripriv

@@ -1,0 +1,92 @@
+// Epoch-pinned private reads over the mutable protected database.
+//
+// The PIR servers of pir/it_pir.h answer over a fixed record array; the
+// mutable database (table/versioned_table.h) replaces that array on every
+// epoch flip. EpochPirReader bridges the two: each read batch pins ONE
+// epoch, renders (or reuses) the two replica servers for exactly that
+// epoch's protected table, and runs the whole batch against the frozen
+// replicas. Flips landing mid-batch are invisible — the pin freezes the
+// snapshot — so a batch is bit-identical at any thread count and under any
+// interleaving with the writer, and two servers built from the same pinned
+// epoch are byte-for-byte identical replicas.
+//
+// User privacy composes with respondent privacy here exactly as the paper's
+// framework prescribes: the records served are the *protected* (centroid-
+// masked, k-anonymous) rows — a PIR user retrieves without revealing their
+// interest (user dimension), and what they retrieve is already safe for
+// respondents (respondent dimension).
+//
+// The reader caches the replica pair per epoch, at most two entries —
+// matching the manager's live-epoch bound — so a flip costs one rebuild,
+// not one rebuild per read.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pir/it_pir.h"
+#include "table/versioned_table.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+class ThreadPool;
+
+/// Fixed-width byte records of a protected table, one per row: every cell
+/// rendered with Value::ToDisplayString, joined with '|', then zero-padded
+/// to the longest row (XOR PIR needs equal-length records; the padding
+/// byte cannot collide with text).
+std::vector<std::vector<uint8_t>> SnapshotRecords(const DataTable& table);
+
+/// Decodes a SnapshotRecords record back to its text (padding stripped).
+std::string RecordToString(const std::vector<uint8_t>& record);
+
+/// Per-epoch replica pair + batch read driver; see file comment. Not
+/// thread-safe itself (one reader per thread; the pinned epochs they share
+/// are immutable).
+class EpochPirReader {
+ public:
+  /// `manager` must outlive the reader.
+  explicit EpochPirReader(EpochManager* manager) : manager_(manager) {}
+
+  /// Privately retrieves row `index` of the CURRENT epoch's protected
+  /// table (pins it for the duration of the read). Single reads are
+  /// inline; parallelism lives in ReadBatch.
+  Result<std::vector<uint8_t>> Read(size_t index, Rng* rng);
+
+  /// Batched private reads, all against ONE pinned epoch: the batch is a
+  /// consistent snapshot even if flips land while it runs. Answers are
+  /// positional; bit-identical at any thread count.
+  Result<std::vector<std::vector<uint8_t>>> ReadBatch(
+      const std::vector<size_t>& indices, Rng* rng, ThreadPool* pool = nullptr);
+
+  /// Epoch the most recent (batch) read was served from (0 before any).
+  uint64_t last_served_epoch() const { return last_served_epoch_; }
+  /// Replica-pair builds so far (cache misses; flips cost one each).
+  uint64_t replica_builds() const { return replica_builds_; }
+  /// Accumulated upload/download bits across all reads.
+  const PirStats& stats() const { return stats_; }
+
+ private:
+  /// One epoch's frozen replica pair.
+  struct Replicas {
+    uint64_t epoch = 0;
+    std::unique_ptr<XorPirServer> a;
+    std::unique_ptr<XorPirServer> b;
+  };
+
+  /// The replica pair for `pinned`'s epoch, building and caching it on
+  /// miss (at most 2 cached pairs, oldest evicted — the live-epoch bound).
+  Result<Replicas*> ReplicasFor(const PinnedEpoch& pinned);
+
+  EpochManager* manager_;
+  std::vector<Replicas> cache_;
+  uint64_t last_served_epoch_ = 0;
+  uint64_t replica_builds_ = 0;
+  PirStats stats_;
+};
+
+}  // namespace tripriv

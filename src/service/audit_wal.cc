@@ -71,8 +71,8 @@ bool ParsePayload(const uint8_t* p, size_t len, WalRecord* out) {
   constexpr size_t kFixed = 1 + 1 + 8 + 8 + 8 + 8;
   if (len < kFixed) return false;
   const uint8_t type = p[0];
-  if (type != static_cast<uint8_t>(WalRecordType::kDecision) &&
-      type != static_cast<uint8_t>(WalRecordType::kEpsilonSpend)) {
+  if (type < static_cast<uint8_t>(WalRecordType::kDecision) ||
+      type > static_cast<uint8_t>(WalRecordType::kEpochFlipAbort)) {
     return false;
   }
   const uint8_t decision = p[1];

@@ -123,9 +123,34 @@ class FaultyWalIo final : public WalIo {
 };
 
 /// What a WAL record describes.
+///
+/// The flip records journal the epoch lifecycle of the mutable protected
+/// database (service/epoch_service.h). They reuse the existing frame
+/// fields — no wire-format change — with this aliasing:
+///
+///   kEpochFlipBegin   query_id = target epoch, query_fingerprint =
+///                     MutationBatchFingerprint, rows = {batch size};
+///   kEpochFlipCommit  query_id = committed epoch, query_fingerprint =
+///                     TableChecksum(protected table), rows = {row count,
+///                     group count};
+///   kEpochFlipAbort   query_id = refused target epoch, decision carries a
+///                     WalFlipAbortReason.
+///
+/// Like every record here, flip records hold only epoch numbers, digests,
+/// and aggregate counts — never mutation payloads or cell values.
 enum class WalRecordType : uint8_t {
-  kDecision = 1,      ///< one query's audit decision (trail + overlap state)
-  kEpsilonSpend = 2,  ///< DP budget charged before a degraded answer
+  kDecision = 1,        ///< one query's audit decision (trail + overlap state)
+  kEpsilonSpend = 2,    ///< DP budget charged before a degraded answer
+  kEpochFlipBegin = 3,  ///< flip intent journaled before any epoch work
+  kEpochFlipCommit = 4, ///< flip durable; recovery adopts the last of these
+  kEpochFlipAbort = 5,  ///< flip refused (privacy gate or I/O); no new epoch
+};
+
+/// Why a journaled flip did not commit (stored in the decision byte of a
+/// kEpochFlipAbort record).
+enum class WalFlipAbortReason : uint8_t {
+  kPrivacyGate = 0,  ///< a group would drop below k — fail-closed refusal
+  kIo = 1,           ///< store/WAL fault or an invalid mutation batch
 };
 
 /// Audit outcome of one query.

@@ -1,0 +1,342 @@
+#include "service/epoch_service.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "sdc/anonymity.h"
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace {
+
+/// Finds the last durable kEpochFlipCommit in a recovered record stream.
+/// Returns false when no flip ever committed (fresh start).
+bool LastCommittedFlip(const std::vector<WalRecord>& records,
+                       WalRecord* commit) {
+  bool found = false;
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecordType::kEpochFlipCommit) {
+      *commit = record;
+      found = true;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+EpochedDatabase::EpochedDatabase(EpochConfig config, WalIo* wal_io,
+                                 EpochStore* store)
+    : config_(std::move(config)),
+      clock_(new SimClock()),
+      wal_(wal_io),
+      store_(store),
+      manager_(new EpochManager(config_.max_live_epochs)) {}
+
+Result<EpochedDatabase> EpochedDatabase::Create(const DataTable& initial_base,
+                                                EpochConfig config,
+                                                WalIo* wal_io,
+                                                EpochStore* store) {
+  if (config.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (config.qi_cols.empty()) {
+    return Status::InvalidArgument("qi_cols must name the gated columns");
+  }
+  if (config.max_live_epochs < 2) {
+    return Status::InvalidArgument("max_live_epochs must be >= 2");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(WalRecoveryResult recovered,
+                           AuditWal::Recover(wal_io));
+
+  EpochedDatabase db(std::move(config), wal_io, store);
+
+  WalRecord commit;
+  if (!LastCommittedFlip(recovered.records, &commit)) {
+    // Fresh start (or every journaled flip aborted / tore before its commit
+    // record): epoch 1 is born from `initial_base`, never from the store.
+    TRIPRIV_RETURN_IF_ERROR(db.BootstrapFirstEpoch(initial_base, nullptr));
+    return db;
+  }
+
+  // Adopt the last committed epoch. The commit record is the source of
+  // truth; the store image must exist and match its journaled digest
+  // byte-for-byte before it may serve.
+  std::shared_ptr<const EpochData> image = store->Get(commit.query_id);
+  if (image == nullptr) {
+    return Status::Internal(
+        "committed epoch image missing from store (write-ahead ordering "
+        "violated or store lost durable data)");
+  }
+  if (image->epoch != commit.query_id ||
+      TableChecksum(image->protected_table) != commit.query_fingerprint) {
+    return Status::Internal(
+        "committed epoch image fails its journaled checksum");
+  }
+  // GC every other image: staged leftovers of a torn flip and stale
+  // predecessors. Exactly one epoch survives a reboot.
+  for (uint64_t epoch : store->Epochs()) {
+    if (epoch != commit.query_id) store->Erase(epoch);
+  }
+  db.stats_.recovered_epoch = commit.query_id;
+  db.manager_->Bootstrap(std::move(image));
+  return db;
+}
+
+Status EpochedDatabase::BootstrapFirstEpoch(const DataTable& initial_base,
+                                            ThreadPool* workers) {
+  auto first = std::make_shared<EpochData>();
+  first->epoch = 1;
+  first->base = initial_base;
+  first->uids.resize(initial_base.num_rows());
+  for (size_t i = 0; i < first->uids.size(); ++i) {
+    first->uids[i] = static_cast<uint64_t>(i);
+  }
+  first->next_uid = static_cast<uint64_t>(initial_base.num_rows());
+
+  // An empty previous grouping pools every row: this is a full MDAV run.
+  TRIPRIV_ASSIGN_OR_RETURN(
+      IncrementalMdavResult maintenance,
+      IncrementalMdav(first->base, first->uids, config_.qi_cols, config_.k,
+                      /*prev_group_of_uid=*/{}, /*dirty_uids=*/{}, workers));
+  first->group_of_row = std::move(maintenance.group_of_row);
+  first->num_groups = maintenance.num_groups;
+  first->protected_table = std::move(maintenance.protected_table);
+  first->protected_checksum = TableChecksum(first->protected_table);
+
+  // The database never starts unprotected: the same fail-closed gate that
+  // guards every flip guards epoch 1.
+  TRIPRIV_RETURN_IF_ERROR(
+      GateRespondentPrivacy(*first, maintenance.min_group_size));
+
+  WalRecord begin;
+  begin.type = WalRecordType::kEpochFlipBegin;
+  begin.query_id = first->epoch;
+  begin.query_fingerprint = MutationBatchFingerprint({});
+  begin.rows = {0};
+  TRIPRIV_RETURN_IF_ERROR(wal_.Append(begin));
+
+  // Data before commit: the image must be durable before the WAL says the
+  // epoch exists, so a recovered commit record always finds its image.
+  store_->Put(first);
+  TRIPRIV_RETURN_IF_ERROR(store_->Sync());
+
+  WalRecord commit;
+  commit.type = WalRecordType::kEpochFlipCommit;
+  commit.query_id = first->epoch;
+  commit.query_fingerprint = first->protected_checksum;
+  commit.rows = {static_cast<uint64_t>(first->base.num_rows()),
+                 static_cast<uint64_t>(first->num_groups)};
+  TRIPRIV_RETURN_IF_ERROR(wal_.Append(commit));
+
+  clock_->Advance(config_.flip_base_ticks +
+                  config_.flip_ticks_per_row * maintenance.rows_reclustered);
+  manager_->Bootstrap(std::move(first));
+  return Status::OK();
+}
+
+Status EpochedDatabase::SubmitMutation(RowMutation mutation) {
+  if (pending_.size() >= config_.max_pending_mutations) {
+    ++stats_.mutations_shed;
+    if (metrics_ != nullptr) metrics_->OnMutationShed();
+    return Status::ResourceExhausted("mutation buffer full; flip first");
+  }
+  const uint8_t kind = static_cast<uint8_t>(mutation.kind);
+  pending_.push_back(std::move(mutation));
+  ++stats_.mutations_admitted;
+  if (metrics_ != nullptr) metrics_->OnMutationAdmitted(kind);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<EpochData>> EpochedDatabase::BuildCandidate(
+    const std::vector<RowMutation>& batch, uint64_t target_epoch,
+    ThreadPool* workers, IncrementalMdavResult* maintenance,
+    MutationApplyResult* applied) {
+  PinnedEpoch current = manager_->Pin();
+
+  // Copy-on-write: mutate scratch copies; the pinned epoch stays frozen.
+  auto candidate = std::make_shared<EpochData>();
+  candidate->epoch = target_epoch;
+  candidate->base = current->base;
+  candidate->uids = current->uids;
+  candidate->next_uid = current->next_uid;
+  TRIPRIV_ASSIGN_OR_RETURN(
+      *applied, ApplyMutations(batch, &candidate->base, &candidate->uids,
+                               &candidate->next_uid));
+  if (candidate->base.num_rows() == 0) {
+    // A valid batch that deletes every record: unprotectable, so it is a
+    // fail-closed gate refusal (batch kept pending), not a poisoned batch.
+    return Status::FailedPrecondition(
+        "mutations would empty the table; flip refused");
+  }
+
+  std::unordered_map<uint64_t, size_t> prev_group_of_uid;
+  prev_group_of_uid.reserve(current->uids.size());
+  for (size_t i = 0; i < current->uids.size(); ++i) {
+    prev_group_of_uid.emplace(current->uids[i], current->group_of_row[i]);
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(
+      *maintenance,
+      IncrementalMdav(candidate->base, candidate->uids, config_.qi_cols,
+                      config_.k, prev_group_of_uid, applied->dirty_uids,
+                      workers));
+  candidate->group_of_row = maintenance->group_of_row;
+  candidate->num_groups = maintenance->num_groups;
+  candidate->protected_table = std::move(maintenance->protected_table);
+  candidate->protected_checksum = TableChecksum(candidate->protected_table);
+  return candidate;
+}
+
+Status EpochedDatabase::GateRespondentPrivacy(const EpochData& candidate,
+                                              size_t min_group_size) const {
+  if (candidate.base.num_rows() < config_.k) {
+    return Status::FailedPrecondition(
+        "table would hold fewer than k records; flip refused");
+  }
+  if (min_group_size < config_.k) {
+    return Status::FailedPrecondition(
+        "a group would drop below k; flip refused");
+  }
+  if (!IsKAnonymous(candidate.protected_table, config_.k, config_.qi_cols)) {
+    return Status::FailedPrecondition(
+        "candidate table is not k-anonymous on the QI columns; flip refused");
+  }
+  return Status::OK();
+}
+
+void EpochedDatabase::JournalAbort(uint64_t target_epoch,
+                                   WalFlipAbortReason reason) {
+  WalRecord abort;
+  abort.type = WalRecordType::kEpochFlipAbort;
+  abort.query_id = target_epoch;
+  abort.decision = static_cast<WalDecision>(reason);
+  // The refusal stands whether or not it could be journaled: an abort
+  // record is forensic, not load-bearing (recovery ignores aborted flips).
+  IgnoreError(wal_.Append(abort));
+}
+
+Result<uint64_t> EpochedDatabase::Flip(ThreadPool* workers) {
+  ++stats_.flips_attempted;
+  std::vector<RowMutation> batch(
+      std::make_move_iterator(pending_.begin()),
+      std::make_move_iterator(pending_.end()));
+  pending_.clear();
+  const uint64_t target = manager_->current_epoch() + 1;
+
+  // Restores the (still unapplied) batch so a refused flip loses no writes.
+  auto restore_pending = [&]() {
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+      pending_.push_front(std::move(*it));
+    }
+  };
+
+  WalRecord begin;
+  begin.type = WalRecordType::kEpochFlipBegin;
+  begin.query_id = target;
+  begin.query_fingerprint = MutationBatchFingerprint(batch);
+  begin.rows = {static_cast<uint64_t>(batch.size())};
+  if (!wal_.Append(begin).ok()) {
+    restore_pending();
+    ++stats_.flips_refused_io;
+    if (metrics_ != nullptr) metrics_->OnFlipRefused(false);
+    return Status::Unavailable("WAL refused the flip-begin record");
+  }
+
+  IncrementalMdavResult maintenance;
+  MutationApplyResult applied;
+  Result<std::shared_ptr<EpochData>> built =
+      BuildCandidate(batch, target, workers, &maintenance, &applied);
+  if (!built.ok()) {
+    if (built.status().code() == StatusCode::kFailedPrecondition) {
+      // BuildCandidate pre-gated the batch (it would empty the table):
+      // same fail-closed semantics as the k-gate below.
+      JournalAbort(target, WalFlipAbortReason::kPrivacyGate);
+      restore_pending();
+      ++stats_.flips_refused_privacy;
+      if (metrics_ != nullptr) metrics_->OnFlipRefused(true);
+      return built.status();
+    }
+    // The batch itself is invalid (unknown uid, type mismatch, ...): it is
+    // dropped, not restored — retrying a poisoned batch can never succeed.
+    JournalAbort(target, WalFlipAbortReason::kIo);
+    ++stats_.flips_refused_io;
+    if (metrics_ != nullptr) metrics_->OnFlipRefused(false);
+    return built.status();
+  }
+  std::shared_ptr<EpochData> candidate = std::move(built).value();
+
+  // Deterministic flip cost, charged before the outcome is known — refused
+  // flips cost what they measured too.
+  clock_->Advance(config_.flip_base_ticks +
+                  config_.flip_ticks_per_row * maintenance.rows_reclustered);
+
+  Status gate = GateRespondentPrivacy(*candidate, maintenance.min_group_size);
+  if (!gate.ok()) {
+    // Fail closed: journal the refusal, keep the writes pending (covering
+    // inserts can rescue them), keep serving the old epoch.
+    JournalAbort(target, WalFlipAbortReason::kPrivacyGate);
+    restore_pending();
+    ++stats_.flips_refused_privacy;
+    if (metrics_ != nullptr) metrics_->OnFlipRefused(true);
+    return gate;
+  }
+
+  // Data before commit (see header): image durable, then the WAL record.
+  store_->Put(candidate);
+  if (!store_->Sync().ok()) {
+    store_->Erase(target);
+    JournalAbort(target, WalFlipAbortReason::kIo);
+    restore_pending();
+    ++stats_.flips_refused_io;
+    if (metrics_ != nullptr) metrics_->OnFlipRefused(false);
+    return Status::Unavailable("epoch store refused to sync the new image");
+  }
+
+  WalRecord commit;
+  commit.type = WalRecordType::kEpochFlipCommit;
+  commit.query_id = target;
+  commit.query_fingerprint = candidate->protected_checksum;
+  commit.rows = {static_cast<uint64_t>(candidate->base.num_rows()),
+                 static_cast<uint64_t>(candidate->num_groups)};
+  if (!wal_.Append(commit).ok()) {
+    // The image is durable but unnamed — recovery GCs it as an orphan; we
+    // GC it here too when still alive to keep the footprint bounded.
+    store_->Erase(target);
+    restore_pending();
+    ++stats_.flips_refused_io;
+    if (metrics_ != nullptr) metrics_->OnFlipRefused(false);
+    return Status::Unavailable("WAL refused the flip-commit record");
+  }
+
+  // Committed: readers switch atomically; old epoch drains under its pins.
+  manager_->Publish(candidate);
+  for (uint64_t epoch : store_->Epochs()) {
+    if (epoch + 1 < target) store_->Erase(epoch);
+  }
+
+  ++stats_.flips_committed;
+  stats_.mutations_applied += batch.size();
+  stats_.rows_reclustered_total += maintenance.rows_reclustered;
+  if (metrics_ != nullptr) {
+    metrics_->OnFlipCommitted(
+        config_.flip_base_ticks +
+            config_.flip_ticks_per_row * maintenance.rows_reclustered,
+        maintenance.rows_reclustered);
+  }
+  return target;
+}
+
+void EpochedDatabase::AttachInstruments(obs::EpochMetrics* metrics) {
+  metrics_ = metrics;
+  PublishMetrics();
+}
+
+void EpochedDatabase::PublishMetrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->PublishEpochState(manager_->current_epoch(),
+                              manager_->live_epochs(),
+                              manager_->peak_live_epochs(), pending_.size(),
+                              store_->num_images());
+}
+
+}  // namespace tripriv

@@ -106,6 +106,12 @@ Result<QueryService> QueryService::Create(DataTable data,
       case WalRecordType::kEpsilonSpend:
         service.epsilon_spent_ += record.epsilon;
         break;
+      case WalRecordType::kEpochFlipBegin:
+      case WalRecordType::kEpochFlipCommit:
+      case WalRecordType::kEpochFlipAbort:
+        // Epoch flips belong to the mutation subsystem; a shared device
+        // replays them through EpochedDatabase::Create, not here.
+        break;
     }
   }
   return service;
@@ -520,7 +526,10 @@ uint64_t QueryService::BeginSpan(uint32_t name_id, uint64_t parent,
 }
 
 void QueryService::FinishSpan(uint64_t span, StatusCode code) {
-  if (span == 0) return;
+  // The trace() null-check mirrors BeginSpan: span can only be nonzero
+  // when a recorder was attached, but with instruments compiled out
+  // trace() is a constant nullptr and the guard keeps the call unreachable.
+  if (span == 0 || metrics_ == nullptr || metrics_->trace() == nullptr) return;
   metrics_->trace()->EndSpan(span, code);
 }
 

@@ -1,0 +1,188 @@
+#include "table/mutation.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "util/checksum.h"
+
+namespace tripriv {
+namespace {
+
+void MixU64(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) Fnv1aMix(h, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+/// Type-tagged cell digest: the tag separates Value(1) from Value(1.0) and
+/// "" from null, so two tables hash equal iff they compare equal.
+void MixValue(uint64_t* h, const Value& v) {
+  if (v.is_null()) {
+    Fnv1aMix(h, 0);
+  } else if (v.is_int()) {
+    Fnv1aMix(h, 1);
+    MixU64(h, static_cast<uint64_t>(v.AsInt()));
+  } else if (v.is_real()) {
+    Fnv1aMix(h, 2);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(double));
+    const double d = v.AsReal();
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    MixU64(h, bits);
+  } else {
+    Fnv1aMix(h, 3);
+    const std::string& s = v.AsString();
+    MixU64(h, s.size());
+    for (char c : s) Fnv1aMix(h, static_cast<uint8_t>(c));
+  }
+}
+
+}  // namespace
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kInsert:
+      return "insert";
+    case MutationKind::kDelete:
+      return "delete";
+    case MutationKind::kUpdate:
+      return "update";
+  }
+  return "unknown";
+}
+
+RowMutation RowMutation::Insert(std::vector<Value> row) {
+  RowMutation m;
+  m.kind = MutationKind::kInsert;
+  m.row = std::move(row);
+  return m;
+}
+
+RowMutation RowMutation::Delete(uint64_t uid) {
+  RowMutation m;
+  m.kind = MutationKind::kDelete;
+  m.uid = uid;
+  return m;
+}
+
+RowMutation RowMutation::Update(uint64_t uid, std::vector<Value> row) {
+  RowMutation m;
+  m.kind = MutationKind::kUpdate;
+  m.uid = uid;
+  m.row = std::move(row);
+  return m;
+}
+
+Result<MutationApplyResult> ApplyMutations(const std::vector<RowMutation>& batch,
+                                           DataTable* base,
+                                           std::vector<uint64_t>* uids,
+                                           uint64_t* next_uid) {
+  TRIPRIV_CHECK(base != nullptr);
+  TRIPRIV_CHECK(uids != nullptr);
+  TRIPRIV_CHECK(next_uid != nullptr);
+  if (uids->size() != base->num_rows()) {
+    return Status::InvalidArgument("uid vector does not match table rows");
+  }
+
+  // Work on a positional copy with tombstones; the table is rebuilt once at
+  // the end (deletes would otherwise shift row indices under the map).
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(base->num_rows());
+  for (size_t r = 0; r < base->num_rows(); ++r) rows.push_back(base->row(r));
+  std::vector<uint64_t> out_uids = *uids;
+  std::vector<bool> dead(rows.size(), false);
+  std::unordered_map<uint64_t, size_t> index_of_uid;
+  index_of_uid.reserve(out_uids.size());
+  for (size_t r = 0; r < out_uids.size(); ++r) index_of_uid[out_uids[r]] = r;
+
+  auto validate_row = [base](const std::vector<Value>& row) -> Status {
+    if (row.size() != base->num_columns()) {
+      return Status::InvalidArgument("mutation row arity does not match schema");
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      TRIPRIV_RETURN_IF_ERROR(base->ValidateCell(c, row[c]));
+    }
+    return Status::OK();
+  };
+
+  MutationApplyResult result;
+  for (const RowMutation& m : batch) {
+    switch (m.kind) {
+      case MutationKind::kInsert: {
+        TRIPRIV_RETURN_IF_ERROR(validate_row(m.row));
+        const uint64_t uid = (*next_uid)++;
+        index_of_uid[uid] = rows.size();
+        rows.push_back(m.row);
+        out_uids.push_back(uid);
+        dead.push_back(false);
+        result.dirty_uids.push_back(uid);
+        ++result.inserts;
+        break;
+      }
+      case MutationKind::kDelete: {
+        auto it = index_of_uid.find(m.uid);
+        if (it == index_of_uid.end() || dead[it->second]) {
+          return Status::NotFound("delete of unknown uid");
+        }
+        dead[it->second] = true;
+        result.dirty_uids.push_back(m.uid);
+        ++result.deletes;
+        break;
+      }
+      case MutationKind::kUpdate: {
+        auto it = index_of_uid.find(m.uid);
+        if (it == index_of_uid.end() || dead[it->second]) {
+          return Status::NotFound("update of unknown uid");
+        }
+        TRIPRIV_RETURN_IF_ERROR(validate_row(m.row));
+        rows[it->second] = m.row;
+        result.dirty_uids.push_back(m.uid);
+        ++result.updates;
+        break;
+      }
+    }
+  }
+
+  std::vector<std::vector<Value>> kept_rows;
+  std::vector<uint64_t> kept_uids;
+  kept_rows.reserve(rows.size());
+  kept_uids.reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (dead[r]) continue;
+    kept_rows.push_back(std::move(rows[r]));
+    kept_uids.push_back(out_uids[r]);
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(
+      *base, DataTable::FromRows(base->schema(), std::move(kept_rows)));
+  *uids = std::move(kept_uids);
+  return result;
+}
+
+uint64_t MutationBatchFingerprint(const std::vector<RowMutation>& batch) {
+  uint64_t h = kFnv1aOffset;
+  MixU64(&h, batch.size());
+  for (const RowMutation& m : batch) {
+    Fnv1aMix(&h, static_cast<uint8_t>(m.kind));
+    MixU64(&h, m.uid);
+    MixU64(&h, m.row.size());
+    for (const Value& v : m.row) MixValue(&h, v);
+  }
+  return h;
+}
+
+uint64_t TableChecksum(const DataTable& table) {
+  uint64_t h = kFnv1aOffset;
+  MixU64(&h, table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const std::string& name = table.schema().attribute(c).name;
+    MixU64(&h, name.size());
+    for (char ch : name) Fnv1aMix(&h, static_cast<uint8_t>(ch));
+  }
+  MixU64(&h, table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      MixValue(&h, table.at(r, c));
+    }
+  }
+  return h;
+}
+
+}  // namespace tripriv

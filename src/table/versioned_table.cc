@@ -1,0 +1,165 @@
+#include "table/versioned_table.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tripriv {
+
+PinnedEpoch::PinnedEpoch(PinnedEpoch&& other) noexcept
+    : manager_(other.manager_), data_(std::move(other.data_)) {
+  other.manager_ = nullptr;
+  other.data_.reset();
+}
+
+PinnedEpoch& PinnedEpoch::operator=(PinnedEpoch&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    data_ = std::move(other.data_);
+    other.manager_ = nullptr;
+    other.data_.reset();
+  }
+  return *this;
+}
+
+void PinnedEpoch::Release() {
+  if (manager_ != nullptr && data_ != nullptr) {
+    manager_->Unpin(data_->epoch);
+  }
+  manager_ = nullptr;
+  data_.reset();
+}
+
+EpochManager::EpochManager(size_t max_live_epochs)
+    : max_live_(std::max<size_t>(2, max_live_epochs)) {}
+
+void EpochManager::Bootstrap(std::shared_ptr<const EpochData> first) {
+  TRIPRIV_CHECK(first != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  TRIPRIV_CHECK(current_ == nullptr) << "Bootstrap on a running manager";
+  current_ = std::move(first);
+  peak_live_ = std::max(peak_live_, LiveLocked());
+}
+
+void EpochManager::Publish(std::shared_ptr<const EpochData> next) {
+  TRIPRIV_CHECK(next != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  TRIPRIV_CHECK(current_ != nullptr) << "Publish before Bootstrap";
+  TRIPRIV_CHECK(next->epoch > current_->epoch);
+  retired_.push_back(std::move(current_));
+  current_ = std::move(next);
+  ++published_;
+  SweepLocked();
+  // The hard memory bound: wait for pinned retirees to drain rather than
+  // letting garbage accumulate. Readers unpin promptly by contract.
+  drained_.wait(lock, [this] { return LiveLocked() <= max_live_; });
+  // Peak is sampled once the publish settles: it counts snapshots that
+  // stay resident past the bound check, not the transient hand-off.
+  peak_live_ = std::max(peak_live_, LiveLocked());
+}
+
+PinnedEpoch EpochManager::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TRIPRIV_CHECK(current_ != nullptr) << "Pin before Bootstrap";
+  ++pins_[current_->epoch];
+  return PinnedEpoch(this, current_);
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(epoch);
+  TRIPRIV_CHECK(it != pins_.end()) << "Unpin of an unpinned epoch";
+  if (--it->second == 0) {
+    pins_.erase(it);
+    SweepLocked();
+    drained_.notify_all();
+  }
+}
+
+void EpochManager::SweepLocked() {
+  while (!retired_.empty()) {
+    // Free in retirement order; stop at the first still-pinned epoch so the
+    // list stays a contiguous suffix of history.
+    const uint64_t oldest = retired_.front()->epoch;
+    auto it = pins_.find(oldest);
+    if (it != pins_.end() && it->second > 0) break;
+    retired_.pop_front();
+    ++freed_;
+  }
+}
+
+uint64_t EpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->epoch;
+}
+
+size_t EpochManager::live_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LiveLocked();
+}
+
+size_t EpochManager::peak_live_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_live_;
+}
+
+uint64_t EpochManager::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+uint64_t EpochManager::epochs_freed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return freed_;
+}
+
+void EpochStore::Put(std::shared_ptr<const EpochData> image) {
+  TRIPRIV_CHECK(image != nullptr);
+  const uint64_t epoch = image->epoch;
+  staged_[epoch] = std::move(image);
+}
+
+Status EpochStore::Sync() {
+  ++syncs_;
+  if (fail_syncs_) {
+    return Status::Unavailable("epoch store sync failed");
+  }
+  for (auto& [epoch, image] : staged_) durable_[epoch] = std::move(image);
+  staged_.clear();
+  return Status::OK();
+}
+
+void EpochStore::SimulateCrash() { staged_.clear(); }
+
+std::shared_ptr<const EpochData> EpochStore::Get(uint64_t epoch) const {
+  auto it = staged_.find(epoch);
+  if (it != staged_.end()) return it->second;
+  it = durable_.find(epoch);
+  if (it != durable_.end()) return it->second;
+  return nullptr;
+}
+
+void EpochStore::Erase(uint64_t epoch) {
+  staged_.erase(epoch);
+  durable_.erase(epoch);
+}
+
+size_t EpochStore::num_images() const {
+  size_t n = durable_.size();
+  for (const auto& [epoch, image] : staged_) {
+    if (durable_.find(epoch) == durable_.end()) ++n;
+  }
+  return n;
+}
+
+std::vector<uint64_t> EpochStore::Epochs() const {
+  std::vector<uint64_t> epochs;
+  for (const auto& [epoch, image] : durable_) epochs.push_back(epoch);
+  for (const auto& [epoch, image] : staged_) {
+    if (durable_.find(epoch) == durable_.end()) epochs.push_back(epoch);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+}  // namespace tripriv

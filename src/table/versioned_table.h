@@ -1,0 +1,179 @@
+// Epoch-versioned copy-on-write snapshots of the protected database.
+//
+// Every published version of the database is an immutable EpochData: the
+// raw base microdata (with stable per-row uids), its MDAV group structure,
+// and the centroid-masked protected table derived from it. Readers pin an
+// epoch and compute against frozen data — an in-flight PIR batch, query
+// batch, or MDAV scan stays bit-identical at any thread count no matter
+// how many flips land while it runs — while the writer builds the next
+// epoch off to the side and publishes it atomically.
+//
+// Lifecycle and memory bound: Publish retires the previous epoch onto a
+// garbage list; a retired epoch is freed the moment its last pinned reader
+// drains. The list is bounded, not best-effort — Publish BLOCKS until at
+// most `max_live_epochs` epochs (current + pinned retirees) are live, so
+// ten thousand flips under concurrent readers hold peak memory to the
+// configured bound instead of accumulating dead snapshots. A reader that
+// pins and never unpins therefore stalls the writer by design (the
+// alternative is unbounded garbage); pins are meant to be held for one
+// read batch, not stored.
+//
+// EpochStore is the simulated durable home of epoch images — the analog of
+// the checkpoint files a real system would write next to its WAL. It is
+// object-granular where the WAL device is byte-granular, but shares the
+// same crash window: a Put is staged until Sync, and SimulateCrash drops
+// everything staged. The flip protocol stores and syncs the new image
+// BEFORE appending the WAL commit record, so a recovered commit record
+// always finds its image (write-ahead ordering for data, not just intent).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "table/data_table.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+/// One immutable published version of the protected database.
+struct EpochData {
+  /// Epoch number; committed epochs are consecutive starting at 1.
+  uint64_t epoch = 0;
+  /// Raw base microdata (current membership, post-mutation).
+  DataTable base;
+  /// uids[i] is the stable id of base row i (see table/mutation.h).
+  std::vector<uint64_t> uids;
+  /// MDAV group of each base row; groups have size >= k (gate-enforced).
+  std::vector<size_t> group_of_row;
+  size_t num_groups = 0;
+  /// The published artifact: base with QI columns centroid-masked.
+  DataTable protected_table;
+  /// Uid allocation resumes here after recovery.
+  uint64_t next_uid = 0;
+  /// TableChecksum(protected_table); cross-checked against the WAL commit
+  /// record when an epoch is adopted at recovery.
+  uint64_t protected_checksum = 0;
+};
+
+class EpochManager;
+
+/// RAII pin on one epoch. Everything reachable through the pin is frozen;
+/// the epoch cannot be freed while any pin on it lives. Movable, not
+/// copyable; default-constructed pins are invalid.
+class PinnedEpoch {
+ public:
+  PinnedEpoch() = default;
+  PinnedEpoch(PinnedEpoch&& other) noexcept;
+  PinnedEpoch& operator=(PinnedEpoch&& other) noexcept;
+  PinnedEpoch(const PinnedEpoch&) = delete;
+  PinnedEpoch& operator=(const PinnedEpoch&) = delete;
+  ~PinnedEpoch() { Release(); }
+
+  bool valid() const { return data_ != nullptr; }
+  const EpochData* operator->() const {
+    TRIPRIV_CHECK(data_ != nullptr);
+    return data_.get();
+  }
+  const EpochData& operator*() const {
+    TRIPRIV_CHECK(data_ != nullptr);
+    return *data_;
+  }
+  /// Unpins early (idempotent; the destructor is then a no-op).
+  void Release();
+
+ private:
+  friend class EpochManager;
+  PinnedEpoch(EpochManager* manager, std::shared_ptr<const EpochData> data)
+      : manager_(manager), data_(std::move(data)) {}
+
+  EpochManager* manager_ = nullptr;
+  std::shared_ptr<const EpochData> data_;
+};
+
+/// Publishes, pins, and retires epochs; see file comment. All methods are
+/// thread-safe: readers Pin/unpin from any thread while one writer
+/// publishes (the flip path itself is single-writer by construction).
+class EpochManager {
+ public:
+  /// `max_live_epochs` >= 2: the current epoch plus at most
+  /// max_live_epochs - 1 retired-but-pinned predecessors.
+  explicit EpochManager(size_t max_live_epochs = 2);
+
+  /// Installs the first epoch. Exactly once, before any Pin.
+  void Bootstrap(std::shared_ptr<const EpochData> first);
+
+  /// Atomically publishes `next` and retires the current epoch. Blocks
+  /// until the live-epoch bound holds again (i.e. until enough retired
+  /// epochs drain their pins and are freed).
+  void Publish(std::shared_ptr<const EpochData> next);
+
+  /// Pins the current epoch (readers start here).
+  PinnedEpoch Pin();
+
+  uint64_t current_epoch() const;
+  /// Current + retired-not-yet-freed epochs.
+  size_t live_epochs() const;
+  /// High-water mark of live_epochs() — what the memory-bound test gates.
+  size_t peak_live_epochs() const;
+  uint64_t epochs_published() const;
+  uint64_t epochs_freed() const;
+  size_t max_live_epochs() const { return max_live_; }
+
+ private:
+  friend class PinnedEpoch;
+
+  void Unpin(uint64_t epoch);
+  /// Frees retired epochs with no pins. Caller holds mu_.
+  void SweepLocked();
+  size_t LiveLocked() const { return (current_ ? 1 : 0) + retired_.size(); }
+
+  const size_t max_live_;
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  std::shared_ptr<const EpochData> current_;
+  /// Retired epochs not yet freed, oldest first.
+  std::deque<std::shared_ptr<const EpochData>> retired_;
+  /// Active pin count per live epoch.
+  std::map<uint64_t, size_t> pins_;
+  size_t peak_live_ = 0;
+  uint64_t published_ = 0;
+  uint64_t freed_ = 0;
+};
+
+/// Simulated durable store of epoch images (see file comment). Single-
+/// writer like the WAL device; the flip path is the only caller.
+class EpochStore {
+ public:
+  /// Stages `image` under its epoch number (durable only after Sync).
+  void Put(std::shared_ptr<const EpochData> image);
+  /// Makes all staged images durable. Fails typed when fail-sync injection
+  /// is armed; staged images then die with the next crash.
+  Status Sync();
+  /// Drops every staged (unsynced) image — the reboot a torn flip sees.
+  void SimulateCrash();
+  /// The image for `epoch` (staged or durable), or null.
+  std::shared_ptr<const EpochData> Get(uint64_t epoch) const;
+  /// Removes `epoch` from both staged and durable sets (GC; idempotent).
+  void Erase(uint64_t epoch);
+  /// Durable + staged image count (the on-disk footprint the GC bounds).
+  size_t num_images() const;
+  /// All stored epoch numbers, ascending.
+  std::vector<uint64_t> Epochs() const;
+  /// Injected adversity: every Sync fails until disarmed.
+  void set_fail_syncs(bool fail) { fail_syncs_ = fail; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  std::map<uint64_t, std::shared_ptr<const EpochData>> durable_;
+  std::map<uint64_t, std::shared_ptr<const EpochData>> staged_;
+  bool fail_syncs_ = false;
+  uint64_t syncs_ = 0;
+};
+
+}  // namespace tripriv

@@ -1,0 +1,185 @@
+// Chaos suite for epoch flips: kill the WAL device at EVERY append
+// boundary of a multi-flip run (plus short-write storms and store-sync
+// faults), crash, recover — and prove recovery lands on exactly the old or
+// the new epoch, never a torn hybrid, with the recovered table matching
+// the byte checksum the writer recorded for that epoch.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/epoch_service.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+EpochConfig ChaosConfig() {
+  EpochConfig config;
+  config.k = 3;
+  config.qi_cols = {0, 1};
+  return config;
+}
+
+/// One deterministic mutation script step for flip `i` against a database
+/// whose uids started at 0..rows-1. Every step updates two rows (always
+/// present: uids 0 and 1 are never deleted) so each flip has real work.
+std::vector<RowMutation> ScriptStep(int i) {
+  return {
+      RowMutation::Update(0, {170 + (i % 7), 70 + (i % 5), 150, "N"}),
+      RowMutation::Update(1, {160 + (i % 9), 62 + (i % 3), 141, "Y"}),
+  };
+}
+
+/// Drives up to `flips` flips, recording (epoch, checksum) per commit.
+/// Stops early once the device dies. Returns the committed trajectory.
+std::map<uint64_t, uint64_t> Drive(EpochedDatabase* db, int flips) {
+  std::map<uint64_t, uint64_t> committed;
+  {
+    PinnedEpoch pinned = db->Pin();
+    committed[pinned->epoch] = pinned->protected_checksum;
+  }
+  for (int i = 0; i < flips; ++i) {
+    for (RowMutation& m : ScriptStep(i)) {
+      if (!db->SubmitMutation(std::move(m)).ok()) return committed;
+    }
+    auto flipped = db->Flip();
+    if (!flipped.ok()) continue;  // refused: old epoch still serving
+    PinnedEpoch pinned = db->Pin();
+    committed[pinned->epoch] = pinned->protected_checksum;
+  }
+  return committed;
+}
+
+/// Crash + reboot: recovery must adopt exactly the last committed epoch of
+/// the trajectory, and its image must match that epoch's checksum.
+void ExpectExactRecovery(MemWalIo* device, EpochStore* store,
+                         const std::map<uint64_t, uint64_t>& committed,
+                         const char* context) {
+  device->SimulateCrash();
+  store->SimulateCrash();
+  auto recovered = EpochedDatabase::Create(MakeClinicalTrial(12, 3),
+                                           ChaosConfig(), device, store);
+  ASSERT_TRUE(recovered.ok()) << context << ": " << recovered.status().ToString();
+  if (committed.empty()) {
+    // The bootstrap itself never committed: reboot starts fresh at 1.
+    EXPECT_EQ(recovered->epoch(), 1u) << context;
+    return;
+  }
+  const uint64_t last_epoch = committed.rbegin()->first;
+  const uint64_t last_checksum = committed.rbegin()->second;
+  EXPECT_EQ(recovered->epoch(), last_epoch) << context;
+  PinnedEpoch pinned = recovered->Pin();
+  EXPECT_EQ(pinned->protected_checksum, last_checksum) << context;
+  EXPECT_EQ(TableChecksum(pinned->protected_table), last_checksum) << context;
+  // The recovered database keeps flipping: it is a working writer, not a
+  // read-only husk.
+  for (RowMutation& m : ScriptStep(41)) {
+    ASSERT_TRUE(recovered->SubmitMutation(std::move(m)).ok()) << context;
+  }
+  EXPECT_TRUE(recovered->Flip().ok()) << context;
+}
+
+TEST(EpochChaosTest, DeviceDeathAtEveryAppendBoundaryRecoversExactly) {
+  // A 4-flip run appends at most 2 (bootstrap) + 4 * 2 (begin/commit)
+  // records, plus abort records on refusals; sweep past the end so the
+  // fault-free tail is covered too.
+  constexpr uint64_t kMaxBoundary = 14;
+  for (uint64_t die_at = 0; die_at <= kMaxBoundary; ++die_at) {
+    MemWalIo device;
+    EpochStore store;
+    WalFaultPlan plan;
+    plan.die_after_appends = die_at;
+    FaultyWalIo faulty(&device, plan);
+
+    std::map<uint64_t, uint64_t> committed;
+    auto db = EpochedDatabase::Create(MakeClinicalTrial(12, 3), ChaosConfig(),
+                                      &faulty, &store);
+    if (db.ok()) {
+      committed = Drive(&*db, 4);
+    }
+    // else: the device died inside bootstrap; nothing ever committed.
+    ExpectExactRecovery(&device, &store, committed,
+                        ("die_at=" + std::to_string(die_at)).c_str());
+  }
+}
+
+TEST(EpochChaosTest, ShortWriteStormsNeverTearACommit) {
+  for (uint64_t seed : {1u, 7u, 23u, 99u}) {
+    MemWalIo device;
+    EpochStore store;
+    WalFaultPlan plan;
+    plan.short_write_rate = 0.35;
+    plan.seed = seed;
+    FaultyWalIo faulty(&device, plan);
+
+    std::map<uint64_t, uint64_t> committed;
+    auto db = EpochedDatabase::Create(MakeClinicalTrial(12, 3), ChaosConfig(),
+                                      &faulty, &store);
+    if (db.ok()) {
+      committed = Drive(&*db, 6);
+    }
+    ExpectExactRecovery(&device, &store, committed,
+                        ("seed=" + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(EpochChaosTest, StoreSyncFaultMidRunRefusesThenResumes) {
+  MemWalIo device;
+  EpochStore store;
+  auto db = EpochedDatabase::Create(MakeClinicalTrial(12, 3), ChaosConfig(),
+                                    &device, &store);
+  ASSERT_TRUE(db.ok());
+
+  // Two clean flips, then the store starts refusing syncs.
+  std::map<uint64_t, uint64_t> committed = Drive(&*db, 2);
+  EXPECT_EQ(db->epoch(), 3u);
+  store.set_fail_syncs(true);
+  for (RowMutation& m : ScriptStep(10)) {
+    ASSERT_TRUE(db->SubmitMutation(std::move(m)).ok());
+  }
+  EXPECT_EQ(db->Flip().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(db->epoch(), 3u);  // old epoch kept serving
+
+  // The reboot comes with a healthy store device; the refused flip must
+  // have left nothing behind for recovery to trip over.
+  store.set_fail_syncs(false);
+  ExpectExactRecovery(&device, &store, committed, "store-sync-fault");
+}
+
+TEST(EpochChaosTest, OrphanedDurableImageIsNotAdoptedByRecovery) {
+  // The exact torn window the write-ahead ordering exists for: the process
+  // dies AFTER the new image became durable but BEFORE its commit record
+  // did. Recovery must adopt the last committed epoch (1), never the
+  // orphaned image, and must garbage-collect the orphan.
+  MemWalIo device;
+  EpochStore store;
+  uint64_t epoch1_checksum = 0;
+  {
+    auto db = EpochedDatabase::Create(MakeClinicalTrial(12, 3), ChaosConfig(),
+                                      &device, &store);
+    ASSERT_TRUE(db.ok());
+    epoch1_checksum = db->Pin()->protected_checksum;
+    // The writer dies here, mid-flip: image 2 durable, commit unwritten.
+    auto orphan = std::make_shared<EpochData>();
+    orphan->epoch = 2;
+    orphan->protected_table = MakeClinicalTrial(6, 8);
+    store.Put(orphan);
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  device.SimulateCrash();
+  store.SimulateCrash();
+
+  auto recovered = EpochedDatabase::Create(MakeClinicalTrial(12, 3),
+                                           ChaosConfig(), &device, &store);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->epoch(), 1u);
+  EXPECT_EQ(recovered->Pin()->protected_checksum, epoch1_checksum);
+  EXPECT_EQ(store.Epochs(), (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,0 +1,99 @@
+// The bounded-garbage guarantee: ten thousand flips under concurrent
+// pinning readers hold peak live epochs to the configured bound (2), free
+// every retiree once its pins drain, and keep the durable store's image
+// footprint constant — retired snapshots never accumulate.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "service/epoch_service.h"
+#include "table/datasets.h"
+
+namespace tripriv {
+namespace {
+
+TEST(EpochGcTest, TenThousandFlipsUnderReadersHoldTwoLiveEpochs) {
+  MemWalIo wal;
+  EpochStore store;
+  EpochConfig config;
+  config.k = 3;
+  config.qi_cols = {0, 1};
+  config.max_live_epochs = 2;
+  auto db = EpochedDatabase::Create(MakeClinicalTrial(9, 5), config, &wal,
+                                    &store);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  constexpr int kFlips = 10000;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> reads{0};
+
+  // Two readers pin, touch the frozen snapshot, and unpin, as fast as they
+  // can — the adversarial workload for the garbage list.
+  std::vector<std::thread> readers;
+  EpochManager* manager = db->manager();
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([manager, &done, &reads] {
+      while (!done.load(std::memory_order_relaxed)) {
+        PinnedEpoch pinned = manager->Pin();
+        // Touch the snapshot so the pin is real work, not dead code.
+        volatile double sink = pinned->protected_table.at(0, 0).ToDouble();
+        (void)sink;
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int i = 0; i < kFlips; ++i) {
+    ASSERT_TRUE(
+        db->SubmitMutation(
+              RowMutation::Update(i % 9, {160 + (i % 30), 60 + (i % 40),
+                                          140 + (i % 20), "N"}))
+            .ok());
+    auto flipped = db->Flip();
+    ASSERT_TRUE(flipped.ok()) << "flip " << i << ": "
+                              << flipped.status().ToString();
+  }
+  done.store(true);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(db->epoch(), 1u + kFlips);
+  // THE bound: never more than two epochs in memory; with every pin
+  // drained, every one of the 10000 retirees has been freed.
+  EXPECT_LE(db->manager()->peak_live_epochs(), 2u);
+  EXPECT_EQ(db->manager()->epochs_published(), static_cast<uint64_t>(kFlips));
+  EXPECT_EQ(db->manager()->live_epochs(), 1u);
+  EXPECT_EQ(db->manager()->epochs_freed(), static_cast<uint64_t>(kFlips));
+  // The durable store footprint is bounded too (current + predecessor).
+  EXPECT_LE(store.num_images(), 2u);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(EpochGcTest, AForgottenPinOnlyDefersFreeingNotForever) {
+  MemWalIo wal;
+  EpochStore store;
+  EpochConfig config;
+  config.k = 3;
+  config.qi_cols = {0, 1};
+  auto db = EpochedDatabase::Create(MakeClinicalTrial(9, 7), config, &wal,
+                                    &store);
+  ASSERT_TRUE(db.ok());
+
+  PinnedEpoch held = db->Pin();  // epoch 1, held across the flip
+  ASSERT_TRUE(db->SubmitMutation(RowMutation::Delete(0)).ok());
+  ASSERT_TRUE(db->Flip().ok());
+  EXPECT_EQ(db->manager()->live_epochs(), 2u);
+
+  // The writer would now block on a third epoch; dropping the pin lets the
+  // retiree free and the next flip proceed unblocked.
+  held.Release();
+  EXPECT_EQ(db->manager()->live_epochs(), 1u);
+  ASSERT_TRUE(db->SubmitMutation(RowMutation::Delete(1)).ok());
+  ASSERT_TRUE(db->Flip().ok());
+  EXPECT_LE(db->manager()->peak_live_epochs(), 2u);
+}
+
+}  // namespace
+}  // namespace tripriv

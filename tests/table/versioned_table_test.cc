@@ -1,0 +1,230 @@
+// Tests for the mutation primitives and the epoch machinery: uid-stable
+// batch application, transactional failure, fingerprint/checksum
+// determinism, pin/publish/sweep lifecycle, the blocking live-epoch bound,
+// and the epoch store's staged/durable crash semantics.
+
+#include "table/versioned_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "table/mutation.h"
+
+namespace tripriv {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({
+      {"x", AttributeType::kReal, AttributeRole::kQuasiIdentifier},
+      {"y", AttributeType::kReal, AttributeRole::kQuasiIdentifier},
+  });
+}
+
+DataTable SmallTable() {
+  auto t = DataTable::FromRows(TwoColumnSchema(), {
+                                                      {1.0, 10.0},
+                                                      {2.0, 20.0},
+                                                      {3.0, 30.0},
+                                                      {4.0, 40.0},
+                                                  });
+  TRIPRIV_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+struct Image {
+  DataTable base = SmallTable();
+  std::vector<uint64_t> uids = {0, 1, 2, 3};
+  uint64_t next_uid = 4;
+};
+
+TEST(MutationTest, InsertAssignsFreshUids) {
+  Image img;
+  auto applied = ApplyMutations({RowMutation::Insert({5.0, 50.0}),
+                                 RowMutation::Insert({6.0, 60.0})},
+                                &img.base, &img.uids, &img.next_uid);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->inserts, 2u);
+  ASSERT_EQ(img.base.num_rows(), 6u);
+  EXPECT_EQ(img.uids, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(img.next_uid, 6u);
+  EXPECT_EQ(applied->dirty_uids, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST(MutationTest, DeleteCompactsRowsButUidsSurvive) {
+  Image img;
+  auto applied = ApplyMutations({RowMutation::Delete(1)}, &img.base,
+                                &img.uids, &img.next_uid);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->deletes, 1u);
+  ASSERT_EQ(img.base.num_rows(), 3u);
+  // Positions compact; the surviving rows keep their stable uids.
+  EXPECT_EQ(img.uids, (std::vector<uint64_t>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(img.base.at(1, 0).ToDouble(), 3.0);
+  // The deleted uid is dirty: its old group lost a member.
+  EXPECT_EQ(applied->dirty_uids, (std::vector<uint64_t>{1}));
+}
+
+TEST(MutationTest, UpdateRewritesInPlace) {
+  Image img;
+  auto applied = ApplyMutations({RowMutation::Update(2, {99.0, 990.0})},
+                                &img.base, &img.uids, &img.next_uid);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->updates, 1u);
+  EXPECT_DOUBLE_EQ(img.base.at(2, 0).ToDouble(), 99.0);
+  EXPECT_EQ(img.uids, (std::vector<uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(MutationTest, UnknownUidFailsTheWholeBatch) {
+  Image img;
+  auto applied = ApplyMutations(
+      {RowMutation::Insert({5.0, 50.0}), RowMutation::Delete(77)}, &img.base,
+      &img.uids, &img.next_uid);
+  EXPECT_EQ(applied.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MutationTest, InvalidPayloadFailsTheWholeBatch) {
+  Image wrong_arity;
+  EXPECT_FALSE(ApplyMutations({RowMutation::Insert({5.0})}, &wrong_arity.base,
+                              &wrong_arity.uids, &wrong_arity.next_uid)
+                   .ok());
+  Image wrong_type;
+  EXPECT_FALSE(ApplyMutations({RowMutation::Update(0, {Value("text"), 1.0})},
+                              &wrong_type.base, &wrong_type.uids,
+                              &wrong_type.next_uid)
+                   .ok());
+}
+
+TEST(MutationTest, BatchFingerprintIsOrderSensitive) {
+  const std::vector<RowMutation> ab = {RowMutation::Delete(1),
+                                       RowMutation::Delete(2)};
+  const std::vector<RowMutation> ba = {RowMutation::Delete(2),
+                                       RowMutation::Delete(1)};
+  EXPECT_EQ(MutationBatchFingerprint(ab), MutationBatchFingerprint(ab));
+  EXPECT_NE(MutationBatchFingerprint(ab), MutationBatchFingerprint(ba));
+  EXPECT_NE(MutationBatchFingerprint(ab), MutationBatchFingerprint({}));
+}
+
+TEST(MutationTest, TableChecksumSeesEveryCell) {
+  const DataTable a = SmallTable();
+  DataTable b = SmallTable();
+  EXPECT_EQ(TableChecksum(a), TableChecksum(b));
+  ASSERT_TRUE(b.Set(3, 1, Value(40.0000001)).ok());
+  EXPECT_NE(TableChecksum(a), TableChecksum(b));
+}
+
+std::shared_ptr<const EpochData> MakeEpoch(uint64_t number) {
+  auto e = std::make_shared<EpochData>();
+  e->epoch = number;
+  return e;
+}
+
+TEST(EpochManagerTest, PinFreezesTheEpochAcrossAPublish) {
+  EpochManager manager(2);
+  manager.Bootstrap(MakeEpoch(1));
+  EXPECT_EQ(manager.current_epoch(), 1u);
+
+  PinnedEpoch pin = manager.Pin();
+  manager.Publish(MakeEpoch(2));
+  EXPECT_EQ(manager.current_epoch(), 2u);
+  // The reader still sees its pinned snapshot; both epochs are live.
+  EXPECT_EQ(pin->epoch, 1u);
+  EXPECT_EQ(manager.live_epochs(), 2u);
+
+  pin.Release();
+  EXPECT_EQ(manager.live_epochs(), 1u);
+  EXPECT_EQ(manager.epochs_freed(), 1u);
+}
+
+TEST(EpochManagerTest, UnpinnedRetireeIsFreedImmediately) {
+  EpochManager manager(2);
+  manager.Bootstrap(MakeEpoch(1));
+  manager.Publish(MakeEpoch(2));
+  EXPECT_EQ(manager.live_epochs(), 1u);
+  EXPECT_EQ(manager.epochs_freed(), 1u);
+  // The retiree was freed inside the publish itself: the settled peak
+  // never even saw two resident epochs.
+  EXPECT_EQ(manager.peak_live_epochs(), 1u);
+}
+
+TEST(EpochManagerTest, PublishBlocksUntilTheLiveBoundHolds) {
+  EpochManager manager(2);
+  manager.Bootstrap(MakeEpoch(1));
+  PinnedEpoch pin = manager.Pin();
+  manager.Publish(MakeEpoch(2));  // live = 2: at the bound, does not block
+
+  // A third epoch would exceed the bound while epoch 1 is pinned; Publish
+  // must block until the pin drains.
+  std::thread releaser([&pin] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pin.Release();
+  });
+  manager.Publish(MakeEpoch(3));
+  releaser.join();
+  EXPECT_EQ(manager.current_epoch(), 3u);
+  EXPECT_LE(manager.live_epochs(), 2u);
+  EXPECT_LE(manager.peak_live_epochs(), 2u);
+}
+
+TEST(EpochManagerTest, RetireesFreeInOrderAsPinsDrain) {
+  EpochManager manager(3);
+  manager.Bootstrap(MakeEpoch(1));
+  PinnedEpoch pin1 = manager.Pin();
+  manager.Publish(MakeEpoch(2));
+  PinnedEpoch pin2 = manager.Pin();
+  manager.Publish(MakeEpoch(3));
+  EXPECT_EQ(manager.live_epochs(), 3u);
+
+  // Epoch 2's pin drains first, but epoch 1 is older and still pinned: the
+  // sweep stops at the first pinned retiree (frees strictly in order).
+  pin2.Release();
+  EXPECT_EQ(manager.live_epochs(), 3u);
+  pin1.Release();
+  EXPECT_EQ(manager.live_epochs(), 1u);
+  EXPECT_EQ(manager.epochs_freed(), 2u);
+}
+
+TEST(EpochStoreTest, StagedImagesDieWithACrashDurableOnesSurvive) {
+  EpochStore store;
+  store.Put(MakeEpoch(1));
+  ASSERT_TRUE(store.Sync().ok());
+  store.Put(MakeEpoch(2));  // staged only
+
+  EXPECT_EQ(store.num_images(), 2u);
+  store.SimulateCrash();
+  EXPECT_EQ(store.num_images(), 1u);
+  EXPECT_NE(store.Get(1), nullptr);
+  EXPECT_EQ(store.Get(2), nullptr);
+}
+
+TEST(EpochStoreTest, FailedSyncLeavesTheImageVolatile) {
+  EpochStore store;
+  store.set_fail_syncs(true);
+  store.Put(MakeEpoch(1));
+  EXPECT_FALSE(store.Sync().ok());
+  EXPECT_NE(store.Get(1), nullptr);  // still visible while the process lives
+  store.SimulateCrash();
+  EXPECT_EQ(store.Get(1), nullptr);  // ...but it was never durable
+
+  store.set_fail_syncs(false);
+  store.Put(MakeEpoch(1));
+  ASSERT_TRUE(store.Sync().ok());
+  store.SimulateCrash();
+  EXPECT_NE(store.Get(1), nullptr);
+}
+
+TEST(EpochStoreTest, EraseIsIdempotentAndEpochsAreSorted) {
+  EpochStore store;
+  store.Put(MakeEpoch(3));
+  store.Put(MakeEpoch(1));
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_EQ(store.Epochs(), (std::vector<uint64_t>{1, 3}));
+  store.Erase(3);
+  store.Erase(3);
+  EXPECT_EQ(store.Epochs(), (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace tripriv

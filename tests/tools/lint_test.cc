@@ -301,6 +301,25 @@ TEST(LintRuleTest, NoUnguardedSharedMutationCoversAllMutationShapes) {
                   .empty());
 }
 
+TEST(LintRuleTest, NoUnguardedSharedMutationCoversTheEpochTableLayer) {
+  // src/table hosts the epoch-versioned snapshots that readers pin across
+  // flips; an unguarded by-ref mutation there is the same race shape.
+  const std::string bad =
+      "auto f = [&] { current_ = next; };\n";
+  ASSERT_EQ(ForRule(LintSource("src/table/versioned_table.cc", bad),
+                    "no-unguarded-shared-mutation")
+                .size(),
+            1u);
+  // The idiomatic manager code takes a guard and stays clean.
+  EXPECT_TRUE(ForRule(LintSource("src/table/versioned_table.cc",
+                                 "auto f = [&] {\n"
+                                 "  std::lock_guard<std::mutex> lock(mu_);\n"
+                                 "  current_ = next;\n"
+                                 "};\n"),
+                      "no-unguarded-shared-mutation")
+                  .empty());
+}
+
 TEST(LintRuleTest, NoUnguardedSharedMutationSparesGuardedAndExplicit) {
   // A visible lock makes the blanket capture acceptable.
   EXPECT_TRUE(

@@ -291,8 +291,9 @@ bool BodyLooksGuarded(const std::vector<Token>& toks, size_t begin,
   return false;
 }
 
-/// Heuristic race detector for the parallel-execution scope (src/service and
-/// the thread pool itself): a blanket by-ref lambda (`[&]` / `[&, ...]`)
+/// Heuristic race detector for the parallel-execution scope (src/service,
+/// the epoch-versioned table layer in src/table, and the thread pool
+/// itself): a blanket by-ref lambda (`[&]` / `[&, ...]`)
 /// whose body writes a trailing-underscore member without any visible
 /// synchronization is exactly the shape of bug the determinism contract
 /// forbids — work handed to ThreadPool::ParallelFor must only write state it
@@ -302,6 +303,7 @@ void CheckUnguardedSharedMutation(const LexedFile& lexed,
                                   const std::string& rel_path,
                                   std::vector<Diagnostic>* out) {
   const bool in_scope = StartsWith(rel_path, "src/service/") ||
+                        StartsWith(rel_path, "src/table/") ||
                         StartsWith(rel_path, "src/util/thread_pool.");
   if (!in_scope) return;
   const auto& toks = lexed.tokens;

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Builds one perf-trajectory snapshot (BENCH_prN.json) out of the three
+# serving-path benches: google-benchmark JSON from bench_parallel_throughput
+# and bench_epoch_flip, merged with the parsed bench_obs_overhead report.
+#
+# Usage: tools/make_bench_trajectory.sh [build-dir] [out.json] [min-time]
+#
+# The snapshot is the CI artifact that tracks the write path (epoch flips,
+# incremental vs full recluster), the read path (batch PIR at several
+# thread counts), and the observability tax across PRs. Context noise that
+# changes per run (dates, load averages) is stripped so diffs between
+# trajectory files show perf movement, not wall-clock trivia.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_pr6.json}"
+MIN_TIME="${3:-0.05}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+"${BUILD_DIR}/bench/bench_parallel_throughput" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/parallel.json"
+"${BUILD_DIR}/bench/bench_epoch_flip" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/epoch.json"
+# The obs bench exits nonzero above its 5% budget; the trajectory records
+# the number either way (CI gates on the bench's own exit code separately).
+"${BUILD_DIR}/bench/bench_obs_overhead" > "${TMP}/obs.txt" || true
+
+python3 - "${TMP}" "${OUT}" <<'PY'
+import json
+import re
+import sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+
+def load_suite(path):
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = doc.get("context", {})
+    rows = []
+    for b in doc.get("benchmarks", []):
+        row = {
+            "name": b["name"],
+            "real_time": round(b["real_time"], 4),
+            "cpu_time": round(b["cpu_time"], 4),
+            "time_unit": b["time_unit"],
+        }
+        if "items_per_second" in b:
+            row["items_per_second"] = round(b["items_per_second"], 2)
+        for key in ("threads", "batch", "rows", "dirty", "reclustered"):
+            if key in b:
+                row[key] = b[key]
+        rows.append(row)
+    return {
+        "context": {
+            "num_cpus": ctx.get("num_cpus"),
+            "library_build_type": ctx.get("library_build_type"),
+        },
+        "benchmarks": rows,
+    }
+
+def parse_obs(path):
+    with open(path) as f:
+        text = f.read()
+    def grab(pattern):
+        m = re.search(pattern, text)
+        return float(m.group(1)) if m else None
+    return {
+        "baseline_ms": grab(r"baseline\s+\(no instruments\):\s+([0-9.]+) ms"),
+        "instrumented_ms": grab(
+            r"instrumented\s+\(bundle attached\):\s+([0-9.]+) ms"),
+        "overhead_percent": grab(r"overhead:\s+([+-][0-9.]+) %"),
+        "budget_percent": 5.0,
+    }
+
+trajectory = {
+    "schema": "tripriv-bench-trajectory/1",
+    "suites": {
+        "bench_parallel_throughput": load_suite(f"{tmp}/parallel.json"),
+        "bench_epoch_flip": load_suite(f"{tmp}/epoch.json"),
+        "bench_obs_overhead": parse_obs(f"{tmp}/obs.txt"),
+    },
+}
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+PY
