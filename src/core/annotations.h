@@ -1,0 +1,56 @@
+// Sensitivity annotations for the interprocedural taint analyzer.
+//
+// tripriv_taint (tools/taint/) propagates a three-point sensitivity lattice
+//
+//     clean  <  aggregate  <  record
+//
+// through the call graph of src/. The lattice points mean:
+//
+//   clean      carries no information about any respondent, owner secret,
+//              or user query (counts of public things, config, status codes).
+//   aggregate  derived from protected data but safe to emit: DP-noised
+//              statistics, digests/checksums, count/sum aggregates, shares.
+//   record     identifies or reconstructs a cell, a key, an RNG stream, a
+//              selection vector, or an epsilon amount — must never reach an
+//              emission channel unsanitized.
+//
+// The macros below declare the endpoints of that lattice on real API seams.
+// They expand to nothing — the compiler never sees them — but the analyzer's
+// declaration parser attaches them to the function, method, or member they
+// precede:
+//
+//   TRIPRIV_SENSITIVE(level)
+//       The annotated function's return value (and out-params), or the
+//       annotated member's value, carries sensitivity `level` (`record` or
+//       `aggregate`). Example sources: table cell accessors, Rng draws,
+//       PIR selection-bit vectors, epsilon amounts.
+//
+//   TRIPRIV_SANITIZES(level)
+//   TRIPRIV_SANITIZES(level, digest)
+//       The annotated function lowers the sensitivity of everything flowing
+//       through it to at most `level`, no matter how tainted its inputs are.
+//       Example sanitizers: DP noise application, count/sum aggregation,
+//       secret sharing, checksum/fingerprint digests. The optional `digest`
+//       tag marks the sanitizer as order-sensitive: feeding it elements in
+//       unordered-container iteration order breaks byte-identical
+//       determinism, which the analyzer reports as taint-unordered-digest.
+//
+//   TRIPRIV_SINK(channel)
+//       Every argument of the annotated function reaches an external channel
+//       (`status_message`, `label`, `span`, `wire`, `wal`, `export`, ...).
+//       The analyzer reports any argument whose sensitivity is `record` as
+//       taint-flow-to-sink, and treats callers that forward a parameter into
+//       a sink as derived sinks for that parameter (so a two-hop wrapper
+//       around a log call is itself a sink).
+//
+// Genuine exceptions — e.g. the audit WAL is the durable epsilon ledger, so
+// epsilon amounts legitimately flow into its append — carry a named
+// suppression `// NOLINT(taint-flow-to-sink)` at the call site, which also
+// stops derived-sink propagation through that edge. Suppressions are
+// enumerated by `tripriv_lint --list-suppressions` so escapes stay counted.
+
+#pragma once
+
+#define TRIPRIV_SENSITIVE(level)
+#define TRIPRIV_SANITIZES(...)
+#define TRIPRIV_SINK(channel)

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "core/annotations.h"
 #include "util/status.h"
 
 namespace tripriv {
@@ -49,6 +50,7 @@ class PrivacyBudgetAccountant {
   /// admits its name as a `principal` label value, and registers its
   /// spent/budget/remaining gauges. Name validation is fail-closed
   /// (kInvalidArgument on data-shaped names, kAlreadyExists on re-use).
+  TRIPRIV_SINK(label)
   Status RegisterPrincipal(const std::string& name,
                            PrivacyDimension dimension, double budget);
 

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/annotations.h"
 #include "util/status.h"
 
 namespace tripriv {
@@ -47,11 +48,13 @@ class LabelAllowlist {
   static LabelAllowlist Default();
 
   /// Admits a label key: [a-z_][a-z0-9_]*, at most 32 chars.
+  TRIPRIV_SINK(label)
   Status AllowKey(const std::string& key);
 
   /// Admits one value for an already-allowed key. Values must be short
   /// (<= 48 chars), lowercase [a-z0-9_.:-], and not all digits — a rendered
   /// query fingerprint or record id never qualifies.
+  TRIPRIV_SINK(label)
   Status AllowValue(const std::string& key, const std::string& value);
 
   /// OK iff every (key, value) pair has been registered.
@@ -173,12 +176,15 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  TRIPRIV_SINK(label)
   Result<Counter*> RegisterCounter(const std::string& name,
                                    const std::string& help,
                                    LabelSet labels = {});
+  TRIPRIV_SINK(label)
   Result<Gauge*> RegisterGauge(const std::string& name,
                                const std::string& help, LabelSet labels = {});
   /// `bounds` are strictly increasing upper bounds; must be non-empty.
+  TRIPRIV_SINK(label)
   Result<Histogram*> RegisterHistogram(const std::string& name,
                                        const std::string& help,
                                        std::vector<uint64_t> bounds,
@@ -186,6 +192,7 @@ class MetricsRegistry {
 
   /// Admits one more label value (e.g. a newly registered budget
   /// principal); same fail-closed validation as LabelAllowlist::AllowValue.
+  TRIPRIV_SINK(label)
   Status AllowLabelValue(const std::string& key, const std::string& value);
 
   size_t shards() const { return shards_; }

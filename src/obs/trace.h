@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "util/clock.h"
+#include "core/annotations.h"
 #include "util/status.h"
 
 namespace tripriv {
@@ -54,6 +55,7 @@ class TraceRecorder {
   TraceRecorder(SimClock* clock, size_t capacity = 4096);
 
   /// Admits one more span name (same shape rules as metric names).
+  TRIPRIV_SINK(span)
   Status AllowSpanName(const std::string& name);
 
   /// Resolves an allowlisted name to its interned id (> 0), or 0 when the
@@ -64,6 +66,7 @@ class TraceRecorder {
   /// Opens a span. Returns its id, or 0 when `name` is not allowlisted
   /// (fail closed: the rejection is counted, nothing is recorded, and the
   /// 0 id makes every child/End call a no-op).
+  TRIPRIV_SINK(span)
   uint64_t StartSpan(const std::string& name, uint64_t parent_id = 0,
                      uint64_t query_id = 0);
 

@@ -56,8 +56,9 @@ Result<PrivateAggregateServer> PrivateAggregateServer::Build(
       }
       const int64_t x = v.AsInt();
       if (x < axis.lo || x > axis.hi) {
-        return Status::OutOfRange("value " + std::to_string(x) + " of '" +
-                                  axis.attribute + "' outside the public domain");
+        // `x` is a cell value (record-level); name the public axis only.
+        return Status::OutOfRange("value of '" + axis.attribute +
+                                  "' outside the public domain");
       }
       cell = cell * AxisCells(axis) +
              static_cast<size_t>((x - axis.lo) / axis.step);

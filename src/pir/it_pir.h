@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -40,6 +41,7 @@ class ThreadPool;
 /// Uniformly random `n`-bit selection bitmap, packed LSB-first into bytes,
 /// with the padding bits of the last byte zeroed so observed queries are
 /// canonical. Fills 8 bitmap bytes per NextU64 draw (ceil(n/64) draws).
+TRIPRIV_SENSITIVE(record)
 std::vector<uint8_t> RandomSelectionBits(size_t n, Rng* rng);
 
 /// Flips bit `i` of a packed LSB-first selection bitmap.
@@ -61,6 +63,7 @@ class XorPirServer {
   /// accumulation across workers; per-shard partial accumulators are
   /// XOR-merged in shard order, so the answer is bit-identical to the
   /// serial path at any thread count.
+  TRIPRIV_SENSITIVE(record)
   Result<std::vector<uint8_t>> Answer(const std::vector<uint8_t>& selection,
                                       ThreadPool* pool = nullptr);
 
@@ -92,8 +95,10 @@ class XorPirServer {
   /// unless EnableObservationLog was called.
   size_t num_observed() const { return observed_.size(); }
   /// The `i`-th retained observation, oldest first. Requires i < num_observed().
+  TRIPRIV_SENSITIVE(record)
   const std::vector<uint8_t>& observed_query(size_t i) const;
   /// The most recent observation. Requires num_observed() > 0.
+  TRIPRIV_SENSITIVE(record)
   const std::vector<uint8_t>& last_observed_query() const;
 
   /// Direct (non-private) record access, for testing and for the baseline

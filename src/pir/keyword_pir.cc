@@ -30,8 +30,8 @@ Result<KeywordPirStore> KeywordPirStore::Create(
   std::sort(entries.begin(), entries.end());
   for (size_t i = 1; i < entries.size(); ++i) {
     if (entries[i].first == entries[i - 1].first) {
-      return Status::InvalidArgument("duplicate key " +
-                                     std::to_string(entries[i].first));
+      // Keys identify records; report the collision, not the key.
+      return Status::InvalidArgument("duplicate key in store");
     }
   }
   std::vector<std::vector<uint8_t>> records;

@@ -63,6 +63,9 @@ Result<TrackerAttackResult> TrackerAttack(StatDatabase* db,
   auto ask = [&](const StatQuery& q) -> Result<double> {
     TRIPRIV_ASSIGN_OR_RETURN(ProtectedAnswer a, db->Query(q));
     if (a.refused) {
+      // The refusal transcript is the attacker's view — exposing it is
+      // the point of the demo.
+      // NOLINTNEXTLINE(taint-flow-to-sink)
       return Status::PermissionDenied("refused: " + a.refusal_reason +
                                       " for " + q.ToString());
     }

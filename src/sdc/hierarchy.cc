@@ -22,8 +22,9 @@ Result<Value> NumericIntervalHierarchy::Generalize(const Value& v,
   level = std::clamp(level, 0, max_level());
   if (level == 0) return v;
   if (!v.is_numeric()) {
+    // The offending value is record-level; the type error suffices.
     return Status::InvalidArgument(
-        "numeric hierarchy applied to non-numeric value " + v.ToDisplayString());
+        "numeric hierarchy applied to non-numeric value");
   }
   if (level == max_level()) return Value("*");
   double width = base_width_;
@@ -60,12 +61,12 @@ Result<Value> CategoricalTreeHierarchy::Generalize(const Value& v,
   if (level == 0) return v;
   if (!v.is_string()) {
     return Status::InvalidArgument(
-        "categorical hierarchy applied to non-string value " +
-        v.ToDisplayString());
+        "categorical hierarchy applied to non-string value");
   }
   auto it = chains_.find(v.AsString());
   if (it == chains_.end()) {
-    return Status::NotFound("value '" + v.AsString() + "' not in hierarchy");
+    // The unmapped value is a cell value; keep it out of the message.
+    return Status::NotFound("categorical value not in hierarchy");
   }
   return Value(it->second[static_cast<size_t>(level - 1)]);
 }

@@ -55,7 +55,8 @@ Result<size_t> DomainIndex(const PramSpec& spec, const std::string& v) {
   for (size_t i = 0; i < spec.domain.size(); ++i) {
     if (spec.domain[i] == v) return i;
   }
-  return Status::NotFound("value '" + v + "' outside the PRAM domain");
+  // `v` is a cell value: report the miss, never the record.
+  return Status::NotFound("categorical value outside the PRAM domain");
 }
 
 }  // namespace

@@ -202,9 +202,14 @@ Status AuditWal::Append(const WalRecord& record) {
     return cause;
   };
 
+  // The WAL is the epsilon ledger — spend amounts are exactly what this
+  // channel exists to persist.
+  // NOLINTNEXTLINE(taint-flow-to-sink)
   auto appended = io_->Append(frame);
   if (!appended.ok()) return fail(appended.status());
   if (*appended != frame.size()) {
+    // Byte counts of the framed record, not its contents.
+    // NOLINTNEXTLINE(taint-flow-to-sink)
     return fail(Status::Unavailable(
         "short WAL write: " + std::to_string(*appended) + " of " +
         std::to_string(frame.size()) + " bytes persisted"));

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -167,7 +168,10 @@ struct WalRecord {
   /// FNV-1a of the query's canonical text — never the text itself.
   uint64_t query_fingerprint = 0;
   WalDecision decision = WalDecision::kPolicyRefused;
-  /// Epsilon charged (kEpsilonSpend).
+  /// Epsilon charged (kEpsilonSpend). Spend amounts are record-level at the
+  /// taint layer: the WAL is their one sanctioned carrier (the durable
+  /// ledger), marked by a named NOLINT at the append seam.
+  TRIPRIV_SENSITIVE(record)
   double epsilon = 0.0;
   /// Admitted query set, sorted row indices (kDecision/kAdmitted).
   std::vector<uint64_t> rows;
@@ -190,6 +194,7 @@ class AuditWal {
   /// Serializes, appends, and syncs `record`; OK only once it is durable.
   /// A failure means the record is NOT durable (tail repaired or WAL
   /// broken) and the caller must not acknowledge the guarded answer.
+  TRIPRIV_SINK(wal)
   Status Append(const WalRecord& record);
 
   /// True once an unrepairable fault has latched; all Appends fail.

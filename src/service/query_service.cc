@@ -249,7 +249,9 @@ ServiceAnswer QueryService::SubmitPreparedImpl(const StatQuery& query,
       // configured mode is differential privacy).
       ++stats_.policy_refusals;
       if (metrics_ != nullptr) metrics_->OnPolicyRefusal();
+      // Refusal reasons are policy-generated text, not record data.
       return Refuse(query_id,
+                    // NOLINTNEXTLINE(taint-flow-to-sink)
                     Status::PermissionDenied(primary->refusal_reason));
     }
     if (fault_rng_.Bernoulli(config_.faults.crash_mid_answer_rate)) {
@@ -379,6 +381,7 @@ ServiceAnswer QueryService::TryDegraded(const StatQuery& query,
   dp_breaker_->RecordSuccess();
   if (!answer.ok()) return Refuse(query_id, answer.status());
   if (answer->refused) {
+    // NOLINTNEXTLINE(taint-flow-to-sink): policy-generated text
     return Refuse(query_id, Status::PermissionDenied(answer->refusal_reason));
   }
   Status charged = ChargeEpsilon(query_id, QueryFingerprint(query));

@@ -179,6 +179,7 @@ Result<size_t> DistributedId3Tree::ValueId(const AttrMeta& meta,
                                            const Value& v) const {
   if (meta.numeric) {
     if (!v.is_numeric()) {
+      // NOLINTNEXTLINE(taint-flow-to-sink): attribute names are public
       return Status::InvalidArgument("expected numeric value for attribute " +
                                      meta.name);
     }
@@ -188,13 +189,17 @@ Result<size_t> DistributedId3Tree::ValueId(const AttrMeta& meta,
     return bin;
   }
   if (!v.is_string()) {
+    // NOLINTNEXTLINE(taint-flow-to-sink): attribute names are public
     return Status::InvalidArgument("expected categorical value for attribute " +
                                    meta.name);
   }
   for (size_t i = 0; i < meta.categories.size(); ++i) {
     if (meta.categories[i] == v.AsString()) return i;
   }
-  return Status::NotFound("value '" + v.AsString() + "' outside the domain of " +
+  // `v` is a cell value (record-level); the public attribute name is
+  // enough to locate the bad column.
+  // NOLINTNEXTLINE(taint-flow-to-sink): attribute names are public schema
+  return Status::NotFound("categorical value outside the domain of " +
                           meta.name);
 }
 

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include "core/annotations.h"
 #include "util/bigint.h"
 
 namespace tripriv {
@@ -43,6 +44,7 @@ Result<PaillierKeyPair> PaillierGenerateKeys(size_t modulus_bits, Rng* rng);
 
 /// Encrypts m in [0, n). Randomized: two encryptions of the same plaintext
 /// differ.
+TRIPRIV_SANITIZES(clean)
 Result<BigInt> PaillierEncrypt(const PaillierPublicKey& pub, const BigInt& m,
                                Rng* rng);
 
@@ -63,6 +65,7 @@ BigInt PaillierMulPlain(const PaillierPublicKey& pub, const BigInt& c,
                         const BigInt& k);
 
 /// A fresh encryption of zero, used for re-randomization.
+TRIPRIV_SANITIZES(clean)
 Result<BigInt> PaillierEncryptZero(const PaillierPublicKey& pub, Rng* rng);
 
 }  // namespace tripriv

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.h"
 #include "util/bigint.h"
 #include "util/random.h"
 #include "util/retry.h"
@@ -118,6 +119,7 @@ class PartyNetwork {
   /// records the attempt in the transcript; under fault injection the
   /// delivery may be dropped, duplicated, reordered, corrupted, or delayed.
   /// Sending to/from a crashed party succeeds locally but delivers nothing.
+  TRIPRIV_SINK(wire)
   Status Send(size_t from, size_t to, std::string tag,
               std::vector<BigInt> payload);
 

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/annotations.h"
 #include "smc/party.h"
 #include "util/bigint.h"
 
@@ -23,6 +24,7 @@ struct ShamirShare {
 
 /// Splits `secret` into n shares with threshold t over GF(prime).
 /// Requires 1 <= t <= n < prime, prime prime, and secret in [0, prime).
+TRIPRIV_SANITIZES(clean)
 Result<std::vector<ShamirShare>> ShamirShareSecret(const BigInt& secret,
                                                    size_t n, size_t t,
                                                    const BigInt& prime,

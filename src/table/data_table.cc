@@ -21,23 +21,22 @@ Status DataTable::ValidateCell(size_t col, const Value& v) const {
   switch (attr.type) {
     case AttributeType::kInteger:
       if (!v.is_int()) {
+        // The offered value is record-level and must not enter the
+        // message (taint-flow-to-sink); the type mismatch is the news.
         return Status::InvalidArgument("attribute '" + attr.name +
-                                       "' expects integer, got " +
-                                       v.ToDisplayString());
+                                       "' expects integer");
       }
       break;
     case AttributeType::kReal:
       if (!v.is_numeric()) {
         return Status::InvalidArgument("attribute '" + attr.name +
-                                       "' expects real, got " +
-                                       v.ToDisplayString());
+                                       "' expects real");
       }
       break;
     case AttributeType::kCategorical:
       if (!v.is_string()) {
         return Status::InvalidArgument("attribute '" + attr.name +
-                                       "' expects categorical, got " +
-                                       v.ToDisplayString());
+                                       "' expects categorical");
       }
       break;
   }

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/annotations.h"
 #include "table/schema.h"
 #include "table/value.h"
 #include "util/status.h"
@@ -31,7 +32,9 @@ class DataTable {
   size_t num_rows() const { return rows_.size(); }
   size_t num_columns() const { return schema_.size(); }
 
-  /// Cell accessors (bounds are programmer errors).
+  /// Cell accessors (bounds are programmer errors). Cells are the unit of
+  /// re-identification: record-level sensitivity at the taint layer.
+  TRIPRIV_SENSITIVE(record)
   const Value& at(size_t row, size_t col) const {
     TRIPRIV_CHECK_LT(row, rows_.size());
     TRIPRIV_CHECK_LT(col, schema_.size());
@@ -40,6 +43,7 @@ class DataTable {
   /// Sets a cell after validating the value against the column type.
   Status Set(size_t row, size_t col, Value v);
 
+  TRIPRIV_SENSITIVE(record)
   const std::vector<Value>& row(size_t i) const {
     TRIPRIV_CHECK_LT(i, rows_.size());
     return rows_[i];
@@ -52,6 +56,7 @@ class DataTable {
   Status ValidateCell(size_t col, const Value& v) const;
 
   /// All values of one column, in row order.
+  TRIPRIV_SENSITIVE(record)
   std::vector<Value> ColumnValues(size_t col) const;
   /// Numeric column as doubles (ints coerced). Fails on strings; null cells
   /// fail too (callers mask or drop nulls first).

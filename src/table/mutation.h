@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.h"
 #include "table/data_table.h"
 #include "table/value.h"
 #include "util/status.h"
@@ -66,12 +67,14 @@ Result<MutationApplyResult> ApplyMutations(const std::vector<RowMutation>& batch
 /// Order-sensitive FNV-1a digest of a batch (kinds, uids, and cell bytes).
 /// This is what the flip-begin WAL record carries instead of the mutation
 /// payloads themselves: the WAL must never hold record-level data.
+TRIPRIV_SANITIZES(aggregate, digest)
 uint64_t MutationBatchFingerprint(const std::vector<RowMutation>& batch);
 
 /// Deterministic FNV-1a digest of a whole table (schema column names plus
 /// every cell, type-tagged). The flip-commit WAL record stores the digest
 /// of the *protected* (published) table so recovery can verify the adopted
 /// epoch image byte-for-byte.
+TRIPRIV_SANITIZES(aggregate, digest)
 uint64_t TableChecksum(const DataTable& table);
 
 }  // namespace tripriv

@@ -97,9 +97,9 @@ Result<bool> EvalCompare(const Value& cell, CompareOp op, const Value& literal) 
         return cmp >= 0;
     }
   }
-  return Status::InvalidArgument("type mismatch in comparison: " +
-                                 cell.ToDisplayString() + " vs " +
-                                 literal.ToDisplayString());
+  // Neither operand may enter the message: the cell is record-level
+  // (and echoing the literal would confirm what it was compared against).
+  return Status::InvalidArgument("type mismatch in comparison");
 }
 
 }  // namespace

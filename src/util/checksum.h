@@ -11,18 +11,22 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/annotations.h"
+
 namespace tripriv {
 
 inline constexpr uint64_t kFnv1aOffset = 1469598103934665603ull;
 inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
 
 /// Incrementally mixes one byte into an FNV-1a state.
+TRIPRIV_SANITIZES(aggregate, digest)
 inline void Fnv1aMix(uint64_t* h, uint8_t b) {
   *h ^= b;
   *h *= kFnv1aPrime;
 }
 
 /// FNV-1a over `len` bytes starting at `data`.
+TRIPRIV_SANITIZES(aggregate, digest)
 inline uint64_t Fnv1a64(const uint8_t* data, size_t len) {
   uint64_t h = kFnv1aOffset;
   for (size_t i = 0; i < len; ++i) Fnv1aMix(&h, data[i]);
@@ -30,6 +34,7 @@ inline uint64_t Fnv1a64(const uint8_t* data, size_t len) {
 }
 
 /// FNV-1a over a NUL-agnostic character range (e.g. a std::string's data).
+TRIPRIV_SANITIZES(aggregate, digest)
 inline uint64_t Fnv1a64(const char* data, size_t len) {
   uint64_t h = kFnv1aOffset;
   for (size_t i = 0; i < len; ++i) Fnv1aMix(&h, static_cast<uint8_t>(data[i]));

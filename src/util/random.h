@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/annotations.h"
 #include "util/logging.h"
 
 namespace tripriv {
@@ -23,30 +24,39 @@ class Rng {
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
   /// Next raw 64-bit value.
+  TRIPRIV_SENSITIVE(record)
   uint64_t NextU64();
 
   /// Uniform in [0, bound). Requires bound > 0. Unbiased (rejection method).
+  TRIPRIV_SENSITIVE(record)
   uint64_t UniformU64(uint64_t bound);
 
   /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  TRIPRIV_SENSITIVE(record)
   int64_t UniformInt(int64_t lo, int64_t hi);
 
   /// Uniform double in [0, 1) with 53 random bits.
+  TRIPRIV_SENSITIVE(record)
   double UniformDouble();
 
   /// Uniform double in [lo, hi). Requires lo < hi.
+  TRIPRIV_SENSITIVE(record)
   double UniformDouble(double lo, double hi);
 
   /// Standard normal via Box-Muller (deterministic given the seed).
+  TRIPRIV_SENSITIVE(record)
   double Normal(double mean = 0.0, double stddev = 1.0);
 
   /// Laplace(mu, b) via inverse CDF.
+  TRIPRIV_SENSITIVE(record)
   double Laplace(double mu, double b);
 
   /// Bernoulli with success probability p in [0, 1].
+  TRIPRIV_SENSITIVE(record)
   bool Bernoulli(double p);
 
   /// Fisher-Yates shuffle of `v` in place.
+  TRIPRIV_SENSITIVE(record)
   template <typename T>
   void Shuffle(std::vector<T>* v) {
     TRIPRIV_CHECK(v != nullptr);
@@ -57,10 +67,12 @@ class Rng {
   }
 
   /// `k` distinct indices sampled uniformly from [0, n), in random order.
+  TRIPRIV_SENSITIVE(record)
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
   /// Forks an independent generator (seeded from this stream); useful for
   /// giving each simulated party its own randomness.
+  TRIPRIV_SENSITIVE(record)
   Rng Fork();
 
  private:

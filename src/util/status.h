@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "core/annotations.h"
 #include "util/logging.h"
 
 namespace tripriv {
@@ -54,7 +55,12 @@ class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
-  /// Constructs a status with the given code and message.
+  /// Constructs a status with the given code and message. Status messages
+  /// surface in logs, test output, and RPC responses: a sink at the taint
+  /// layer, so record-level values (cells, keys, epsilon amounts) must be
+  /// scrubbed or digested before interpolation. The named constructors
+  /// below forward here and are derived sinks automatically.
+  TRIPRIV_SINK(status_message)
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
@@ -122,7 +128,7 @@ class [[nodiscard]] Result {
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from a non-OK status: failure.
-  Result(Status status) : status_(std::move(status)) {  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
     TRIPRIV_CHECK(!status_.ok()) << "Result constructed from OK status";
   }
 

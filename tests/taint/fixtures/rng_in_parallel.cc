@@ -1,0 +1,29 @@
+// Golden fixture: determinism rule 2. Drawing from the seeded Rng inside a
+// ParallelFor shard ties the noise stream to the thread schedule; the draw
+// must happen serially, before the parallel section, with results passed in.
+#include "core/annotations.h"
+
+#include <cstddef>
+
+namespace fixture {
+
+class Rng {
+ public:
+  TRIPRIV_SENSITIVE(record)
+  double Laplace(double mu, double b);
+};
+
+class ThreadPool {
+ public:
+  void ParallelFor(std::size_t n, void (*fn)(std::size_t, std::size_t));
+};
+
+void Perturb(ThreadPool* pool, Rng* rng, double* out, std::size_t n) {
+  pool->ParallelFor(n, [rng, out](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = rng->Laplace(0.0, 1.0);  // schedule-dependent draw: finding
+    }
+  });
+}
+
+}  // namespace fixture

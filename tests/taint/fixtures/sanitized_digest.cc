@@ -1,0 +1,29 @@
+// Golden fixture: the same source-to-sink shape as two_hop_leak.cc, but
+// Digest64 caps the record-level cell at aggregate (TRIPRIV_SANITIZES)
+// before emission — the whole file must analyze clean.
+#include "core/annotations.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+class Table {
+ public:
+  TRIPRIV_SENSITIVE(record)
+  std::string ReadCell(std::size_t r, std::size_t c) const;
+};
+
+TRIPRIV_SANITIZES(aggregate, digest)
+std::uint64_t Digest64(const std::string& bytes);
+
+TRIPRIV_SINK(wire)
+void EmitLine(const std::string& line);
+
+void Publish(const Table& t) {
+  const std::uint64_t d = Digest64(t.ReadCell(0, 0));
+  EmitLine("cell digest: " + std::to_string(d));
+}
+
+}  // namespace fixture

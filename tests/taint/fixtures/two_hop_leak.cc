@@ -1,0 +1,33 @@
+// Golden fixture: a record-level cell crosses two clean-looking hops —
+// RenderRow propagates the source's sensitivity through its return value,
+// LogLine forwards its parameter into the annotated sink (derived sink) —
+// so the one finding is the call in Handle where the two chains meet.
+#include "core/annotations.h"
+
+#include <cstddef>
+#include <string>
+
+namespace fixture {
+
+class Table {
+ public:
+  TRIPRIV_SENSITIVE(record)
+  std::string ReadCell(std::size_t r, std::size_t c) const;
+};
+
+TRIPRIV_SINK(wire)
+void EmitLine(const std::string& line);
+
+std::string RenderRow(const Table& t, std::size_t r) {
+  return t.ReadCell(r, 0) + "|" + t.ReadCell(r, 1);
+}
+
+void LogLine(const std::string& line) {
+  EmitLine("row: " + line);
+}
+
+void Handle(const Table& t) {
+  LogLine(RenderRow(t, 0));  // the two-hop leak: the only finding
+}
+
+}  // namespace fixture

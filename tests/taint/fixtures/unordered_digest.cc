@@ -1,0 +1,26 @@
+// Golden fixture: determinism rule 1. CountFingerprint folds an unordered
+// map's elements into an order-sensitive digest, so its value depends on
+// hash order; the finding is the Mix64 call inside the loop.
+#include "core/annotations.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+TRIPRIV_SANITIZES(aggregate, digest)
+std::uint64_t Mix64(std::uint64_t h, std::uint64_t v);
+
+std::unordered_map<std::string, std::uint64_t> CollectCounts();
+
+std::uint64_t CountFingerprint() {
+  std::unordered_map<std::string, std::uint64_t> counts = CollectCounts();
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& kv : counts) {
+    h = Mix64(h, kv.second);  // hash-order-dependent digest: the finding
+  }
+  return h;
+}
+
+}  // namespace fixture

@@ -388,6 +388,61 @@ TEST(LintSuppressionTest, BareNolintAndNextlineForms) {
   EXPECT_EQ(hits[0].line, 5);
 }
 
+TEST(LintSuppressionTest, BareNolintIsItselfAFinding) {
+  // The bare marker on line 2 still silences no-raw-rng (previous test),
+  // but the marker itself is reported: suppressions must name their rule.
+  const std::string src =
+      "#include <random>\n"
+      "std::mt19937 a;  // NOLINT\n"
+      "// NOLINTNEXTLINE\n"
+      "std::mt19937 b;\n";
+  const auto hits =
+      ForRule(LintSource("src/stats/x.cc", src), "nolint-requires-rule");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_EQ(hits[1].line, 3);
+  EXPECT_NE(hits[1].message.find("NOLINTNEXTLINE"), std::string::npos);
+}
+
+TEST(LintSuppressionTest, NolintRequiresRuleIsNotSelfSuppressible) {
+  // A bare NOLINT silences every *other* rule on its line; it cannot excuse
+  // the rule that bans bare NOLINTs — nor can a named marker on the line.
+  const std::string bare = "int x;  // NOLINT\n";
+  EXPECT_EQ(ForRule(LintSource("src/util/x.cc", bare), "nolint-requires-rule")
+                .size(),
+            1u);
+  const std::string named =
+      "int x;  // NOLINT(nolint-requires-rule) NOLINT\n";
+  EXPECT_EQ(
+      ForRule(LintSource("src/util/x.cc", named), "nolint-requires-rule")
+          .size(),
+      1u);
+}
+
+TEST(LintSuppressionTest, ProseMentionOfNolintIsNotAMarker) {
+  // A doc comment that merely talks about NOLINT markers neither suppresses
+  // nor fires; a trailing explanation after ':' keeps the marker a marker.
+  const std::string src =
+      "// The NOLINT inventory is greppable.\n"
+      "#include <random>\n"
+      "std::mt19937 a;\n"
+      "std::mt19937 b;  // NOLINT: justified escape\n";
+  const auto diags = LintSource("src/stats/x.cc", src);
+  EXPECT_EQ(ForRule(diags, "no-raw-rng").size(), 1u);      // line 3 only
+  const auto bare = ForRule(diags, "nolint-requires-rule");
+  ASSERT_EQ(bare.size(), 1u);                              // line 4 only
+  EXPECT_EQ(bare[0].line, 4);
+}
+
+TEST(LintSuppressionTest, ListSuppressionsFormat) {
+  const SuppressionEntry entry{
+      "src/a.cc", 7, 8, true, {"no-raw-rng", "no-wall-clock"}};
+  EXPECT_EQ(FormatSuppression(entry),
+            "src/a.cc:7: NOLINTNEXTLINE(no-raw-rng, no-wall-clock)");
+  const SuppressionEntry bare{"src/b.cc", 3, 3, false, {}};
+  EXPECT_EQ(FormatSuppression(bare), "src/b.cc:3: NOLINT()");
+}
+
 TEST(LintFormatTest, DiagnosticFormatIsFileLineRuleMessage) {
   const Diagnostic d{"src/a.cc", 7, "no-raw-rng", "boom"};
   EXPECT_EQ(FormatDiagnostic(d), "src/a.cc:7: [no-raw-rng] boom");
@@ -411,7 +466,7 @@ TEST(LintRunnerTest, RuleNamesAreStable) {
       "no-raw-rng",          "no-wall-clock",
       "no-sensitive-logging", "no-sensitive-labels",
       "header-hygiene",       "no-channel-bypass",
-      "no-unguarded-shared-mutation"};
+      "no-unguarded-shared-mutation", "nolint-requires-rule"};
   EXPECT_EQ(RuleNames(), expected);
 }
 

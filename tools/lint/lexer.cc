@@ -20,12 +20,15 @@ void HarvestNolint(const std::string& comment, int line, LexedFile* file) {
   size_t pos = 0;
   while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
     size_t after = pos + 6;  // strlen("NOLINT")
-    int target = line;
+    NolintMarker marker;
+    marker.line = line;
+    marker.target = line;
     if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
       after = pos + 14;
-      target = line + 1;
+      marker.target = line + 1;
+      marker.nextline = true;
     }
-    Suppression& sup = file->suppressions[target];
+    Suppression& sup = file->suppressions[marker.target];
     if (after < comment.size() && comment[after] == '(') {
       // NOLINT(rule-a, rule-b): suppress only the named rules.
       size_t close = comment.find(')', after);
@@ -34,17 +37,29 @@ void HarvestNolint(const std::string& comment, int line, LexedFile* file) {
       for (size_t i = after + 1; i <= close; ++i) {
         char c = i < close ? comment[i] : ',';
         if (c == ',' || c == ')') {
-          if (!name.empty()) sup.rules.insert(name);
+          if (!name.empty()) marker.rules.insert(name);
           name.clear();
         } else if (!std::isspace(static_cast<unsigned char>(c))) {
           name.push_back(c);
         }
       }
+      sup.rules.insert(marker.rules.begin(), marker.rules.end());
       pos = close;
     } else {
-      sup.all = true;
+      // Bare form: only a comment that ends with the marker (optionally
+      // followed by a `:`-separated explanation or the block-comment close)
+      // counts. A prose mention of NOLINT in a doc comment is neither a
+      // suppression nor a nolint-requires-rule finding.
+      const size_t rest = comment.find_first_not_of(" \t", after);
+      const bool ends_comment =
+          rest == std::string::npos || comment[rest] == ':' ||
+          comment.compare(rest, 2, "*/") == 0;
       pos = after;
+      if (!ends_comment) continue;
+      marker.bare = true;
+      sup.all = true;
     }
+    file->markers.push_back(std::move(marker));
   }
 }
 

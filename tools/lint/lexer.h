@@ -38,8 +38,19 @@ struct Token {
 
 /// Suppression state harvested from one line's comments.
 struct Suppression {
-  bool all = false;             ///< bare NOLINT: every rule silenced
+  bool all = false;             ///< a bare marker silenced every rule
   std::set<std::string> rules;  ///< NOLINT(rule-a, rule-b)
+};
+
+/// One NOLINT / NOLINTNEXTLINE occurrence, kept verbatim so rules and the
+/// `--list-suppressions` report can audit the markers themselves (a bare
+/// marker is a finding; `suppressions` only records the merged effect).
+struct NolintMarker {
+  int line = 0;                 ///< line the comment sits on
+  int target = 0;               ///< line the marker silences
+  bool bare = false;            ///< no rule list: every rule silenced
+  bool nextline = false;        ///< NOLINTNEXTLINE form
+  std::set<std::string> rules;  ///< named rules (empty when bare)
 };
 
 /// One lexed translation unit.
@@ -48,6 +59,8 @@ struct LexedFile {
   /// Line -> suppression. NOLINT applies to its own line, NOLINTNEXTLINE to
   /// the following line; both forms merge if they land on the same line.
   std::map<int, Suppression> suppressions;
+  /// Every marker in source order, one entry per NOLINT occurrence.
+  std::vector<NolintMarker> markers;
   /// Number of lines in the source (for diagnostics on empty files).
   int num_lines = 0;
 };

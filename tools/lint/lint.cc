@@ -273,6 +273,25 @@ void CheckChannelBypass(const LexedFile& lexed, const std::string& rel_path,
 }
 
 // ---------------------------------------------------------------------------
+// nolint-requires-rule
+
+/// Bare markers deliberately bypass Report(): a suppression that silences
+/// "every rule" must not be able to silence the rule that forbids it, so
+/// this check never consults IsSuppressed.
+void CheckBareNolint(const LexedFile& lexed, const std::string& rel_path,
+                     std::vector<Diagnostic>* out) {
+  for (const NolintMarker& marker : lexed.markers) {
+    if (!marker.bare && !marker.rules.empty()) continue;
+    const char* form = marker.nextline ? "NOLINTNEXTLINE" : "NOLINT";
+    out->push_back(
+        {rel_path, marker.line, "nolint-requires-rule",
+         std::string("bare ") + form +
+             " silences every rule, including ones added later; name what "
+             "is being suppressed, e.g. " + form + "(rule-name)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // no-unguarded-shared-mutation
 
 /// True when the body tokens [begin, end) contain an identifier suggesting
@@ -379,7 +398,7 @@ std::vector<std::string> RuleNames() {
   return {"no-raw-rng",     "no-wall-clock",
           "no-sensitive-logging", "no-sensitive-labels",
           "header-hygiene",       "no-channel-bypass",
-          "no-unguarded-shared-mutation"};
+          "no-unguarded-shared-mutation", "nolint-requires-rule"};
 }
 
 std::vector<Diagnostic> LintSource(const std::string& rel_path,
@@ -393,6 +412,7 @@ std::vector<Diagnostic> LintSource(const std::string& rel_path,
   CheckHeaderHygiene(lexed, rel_path, &out);
   CheckChannelBypass(lexed, rel_path, &out);
   CheckUnguardedSharedMutation(lexed, rel_path, &out);
+  CheckBareNolint(lexed, rel_path, &out);
   std::stable_sort(out.begin(), out.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      return a.line < b.line;
@@ -414,10 +434,13 @@ bool LintFile(const std::string& path, const std::string& rel_path,
   return true;
 }
 
-bool LintTree(const std::string& root, std::vector<Diagnostic>* findings,
-              std::string* error) {
+namespace {
+
+/// Collects every *.h / *.cc under `root`/{src,tools,bench,tests}, sorted.
+/// Returns false (with `error` set) when nothing lintable is found.
+bool CollectTreeFiles(const std::string& root, std::vector<fs::path>* files,
+                      std::string* error) {
   static const char* kTopDirs[] = {"src", "tools", "bench", "tests"};
-  std::vector<fs::path> files;
   for (const char* top : kTopDirs) {
     const fs::path dir = fs::path(root) / top;
     std::error_code ec;
@@ -427,21 +450,67 @@ bool LintTree(const std::string& root, std::vector<Diagnostic>* findings,
       if (ec) break;
       if (!it->is_regular_file()) continue;
       const std::string ext = it->path().extension().string();
-      if (ext == ".h" || ext == ".cc") files.push_back(it->path());
+      if (ext == ".h" || ext == ".cc") files->push_back(it->path());
     }
   }
-  if (files.empty()) {
+  if (files->empty()) {
     if (error != nullptr) {
       *error = "no .h/.cc files under " + root +
                "/{src,tools,bench,tests} - wrong --root?";
     }
     return false;
   }
-  std::sort(files.begin(), files.end());
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+}  // namespace
+
+bool LintTree(const std::string& root, std::vector<Diagnostic>* findings,
+              std::string* error) {
+  std::vector<fs::path> files;
+  if (!CollectTreeFiles(root, &files, error)) return false;
   for (const fs::path& path : files) {
     const std::string rel =
         fs::relative(path, root).generic_string();
     if (!LintFile(path.string(), rel, findings, error)) return false;
+  }
+  return true;
+}
+
+std::string FormatSuppression(const SuppressionEntry& entry) {
+  std::ostringstream os;
+  os << entry.file << ":" << entry.line << ": "
+     << (entry.nextline ? "NOLINTNEXTLINE" : "NOLINT") << "(";
+  bool first = true;
+  for (const std::string& rule : entry.rules) {
+    if (!first) os << ", ";
+    os << rule;
+    first = false;
+  }
+  os << ")";
+  return os.str();
+}
+
+bool ListSuppressions(const std::string& root,
+                      std::vector<SuppressionEntry>* entries,
+                      std::string* error) {
+  std::vector<fs::path> files;
+  if (!CollectTreeFiles(root, &files, error)) return false;
+  for (const fs::path& path : files) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + path.string();
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const LexedFile lexed = Lex(buf.str());
+    for (const NolintMarker& marker : lexed.markers) {
+      entries->push_back(
+          {rel, marker.line, marker.target, marker.nextline, marker.rules});
+    }
   }
   return true;
 }

@@ -35,10 +35,16 @@
 //                         ThreadPool must only write state it owns, or the
 //                         determinism contract (thread count changes nothing
 //                         but wall-clock) breaks.
+//   nolint-requires-rule  a bare `// NOLINT` (no rule list) silences every
+//                         rule on its line — including rules added after the
+//                         marker was written. Suppressions must name what
+//                         they suppress. This rule is not itself
+//                         suppressible: a bare NOLINT cannot excuse the rule
+//                         that bans bare NOLINTs.
 //
-// Any finding is suppressible in place with `// NOLINT(rule-name)` (or a
-// bare `// NOLINT`, or `// NOLINTNEXTLINE(rule-name)`), so escapes are
-// explicit, reviewable, and greppable.
+// Any finding is suppressible in place with `// NOLINT(rule-name)` or
+// `// NOLINTNEXTLINE(rule-name)`, so escapes are explicit, reviewable, and
+// greppable — `tripriv_lint --list-suppressions` prints the full inventory.
 
 #pragma once
 
@@ -79,6 +85,24 @@ bool LintTree(const std::string& root, std::vector<Diagnostic>* findings,
 /// rule applicability. Returns false (with `error` set) if unreadable.
 bool LintFile(const std::string& path, const std::string& rel_path,
               std::vector<Diagnostic>* findings, std::string* error);
+
+/// One NOLINT marker in the tree, for the `--list-suppressions` inventory.
+struct SuppressionEntry {
+  std::string file;             ///< root-relative path
+  int line = 0;                 ///< line the marker's comment sits on
+  int target = 0;               ///< line the marker silences
+  bool nextline = false;        ///< NOLINTNEXTLINE form
+  std::set<std::string> rules;  ///< named rules (empty for a bare marker)
+};
+
+/// Formats as "file:line: NOLINT(rule-a, rule-b)" (or NOLINTNEXTLINE).
+std::string FormatSuppression(const SuppressionEntry& entry);
+
+/// Walks the tree like LintTree but collects every NOLINT marker instead of
+/// findings, in (file, line) order. Same failure contract as LintTree.
+bool ListSuppressions(const std::string& root,
+                      std::vector<SuppressionEntry>* entries,
+                      std::string* error);
 
 }  // namespace lint
 }  // namespace tripriv

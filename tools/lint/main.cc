@@ -4,10 +4,13 @@
 //   tripriv_lint --root DIR            lint DIR/{src,tools,bench,tests}
 //   tripriv_lint --root DIR FILE...    lint specific files; each FILE's rule
 //                                      scope is its path relative to DIR
+//   tripriv_lint --root DIR --list-suppressions
+//                                      print every NOLINT marker in the tree
 //   tripriv_lint --list-rules          print the rule names and exit
 //
 // Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Diagnostics are
-// one per line on stdout: "file:line: [rule] message".
+// one per line on stdout: "file:line: [rule] message"; suppressions are
+// "file:line: NOLINT(rule-a, rule-b)".
 
 #include <cstdio>
 #include <filesystem>
@@ -21,6 +24,7 @@ namespace {
 int Run(int argc, char** argv) {
   std::string root;
   std::vector<std::string> files;
+  bool list_suppressions = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
@@ -34,9 +38,12 @@ int Run(int argc, char** argv) {
         std::printf("%s\n", rule.c_str());
       }
       return 0;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: tripriv_lint --root DIR [FILE...] | --list-rules\n");
+          "usage: tripriv_lint --root DIR [FILE...] "
+          "[--list-suppressions] | --list-rules\n");
       return 0;
     } else {
       files.push_back(arg);
@@ -44,8 +51,22 @@ int Run(int argc, char** argv) {
   }
   if (root.empty()) {
     std::fprintf(stderr,
-                 "usage: tripriv_lint --root DIR [FILE...] | --list-rules\n");
+                 "usage: tripriv_lint --root DIR [FILE...] "
+                 "[--list-suppressions] | --list-rules\n");
     return 2;
+  }
+  if (list_suppressions) {
+    std::vector<tripriv::lint::SuppressionEntry> entries;
+    std::string error;
+    if (!tripriv::lint::ListSuppressions(root, &entries, &error)) {
+      std::fprintf(stderr, "tripriv_lint: %s\n", error.c_str());
+      return 2;
+    }
+    for (const auto& entry : entries) {
+      std::printf("%s\n", tripriv::lint::FormatSuppression(entry).c_str());
+    }
+    std::fprintf(stderr, "tripriv_lint: %zu suppression(s)\n", entries.size());
+    return 0;
   }
 
   std::vector<tripriv::lint::Diagnostic> findings;

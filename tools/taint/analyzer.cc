@@ -1,0 +1,832 @@
+#include "taint/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tripriv {
+namespace taint {
+namespace {
+
+namespace fs = std::filesystem;
+using lint::Token;
+using lint::TokenKind;
+
+constexpr const char* kRuleSink = "taint-flow-to-sink";
+constexpr const char* kRuleUnordered = "taint-unordered-digest";
+constexpr const char* kRuleRngParallel = "taint-rng-in-parallel";
+constexpr int kMaxFixpointIters = 24;
+
+Sensitivity Join(Sensitivity a, Sensitivity b) { return a > b ? a : b; }
+Sensitivity Meet(Sensitivity a, Sensitivity b) { return a < b ? a : b; }
+
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",     "for",     "while",   "switch",        "return",
+      "sizeof", "alignof", "alignas", "decltype",      "noexcept",
+      "catch",  "throw",   "new",     "static_assert", "defined",
+      "assert",
+  };
+  return kSet;
+}
+
+/// Accessors whose result is structural metadata, not record content:
+/// `rows.size()` or `status.message()` never carries what `rows` carries
+/// (Status messages are themselves policed by taint-flow-to-sink at every
+/// construction site, so reading one back is safe). A tainted receiver is
+/// laundered through these — both for value propagation and for
+/// derived-sink marking.
+const std::set<std::string>& CleanAccessors() {
+  static const std::set<std::string> kSet = {
+      "size",       "empty",       "length",      "capacity",
+      "num_rows",   "num_columns", "num_records", "record_size",
+      "ok",         "code",        "transient",   "message",
+      "status",     "has_value",   "is_null",     "is_int",
+      "is_double",  "is_string",   "is_numeric",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& StreamTypes() {
+  static const std::set<std::string> kSet = {
+      "ostringstream", "stringstream", "ofstream", "ostream",
+  };
+  return kSet;
+}
+
+/// One merged symbol: all declarations and definitions sharing a
+/// (class, name) key, plus every same-named symbol's conservative join at
+/// call-resolution time.
+struct Entity {
+  std::string name;
+  std::string class_name;
+  Annotation ann;
+  // Computed summaries (all monotone under the fixpoint).
+  Sensitivity ret = Sensitivity::kClean;
+  bool draws_rng = false;
+  bool iterates_unordered = false;
+  bool explicit_sink = false;
+  std::set<size_t> sink_params;  ///< derived: params that reach a sink
+  std::vector<std::pair<size_t, size_t>> bodies;  ///< (file idx, fn idx)
+};
+
+/// Conservative view of a call target: the join over every entity the
+/// simple name (optionally class-qualified) resolves to.
+struct Callee {
+  bool known = false;
+  bool sink = false;
+  std::string channel;
+  bool sanitizer = false;
+  Sensitivity cap = Sensitivity::kRecord;
+  bool digest = false;
+  Sensitivity floor = Sensitivity::kClean;
+  Sensitivity ret = Sensitivity::kClean;
+  bool draws_rng = false;
+  bool iterates_unordered = false;
+  std::set<size_t> sink_params;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const std::vector<ParsedFile>& files) : files_(files) {}
+
+  AnalysisResult Run() {
+    BuildSymbolTable();
+    size_t iter = 0;
+    for (; iter < kMaxFixpointIters; ++iter) {
+      changed_ = false;
+      for (size_t e = 0; e < entities_.size(); ++e) AnalyzeEntity(e, false);
+      if (!changed_) break;
+    }
+    for (size_t e = 0; e < entities_.size(); ++e) AnalyzeEntity(e, true);
+    AnalysisResult out;
+    out.diagnostics.assign(diags_.begin(), diags_.end());
+    std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+              [](const lint::Diagnostic& a, const lint::Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    out.stats = stats_;
+    out.stats.files = files_.size();
+    out.stats.functions = entities_.size();
+    out.stats.iterations = iter + 1;
+    for (const Entity& e : entities_) {
+      if (!e.explicit_sink && !e.sink_params.empty()) ++out.stats.derived_sinks;
+    }
+    return out;
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // Symbol table
+
+  static std::string Key(const std::string& cls, const std::string& name) {
+    return cls + "::" + name;
+  }
+
+  void BuildSymbolTable() {
+    for (size_t f = 0; f < files_.size(); ++f) {
+      const ParsedFile& file = files_[f];
+      for (size_t i = 0; i < file.functions.size(); ++i) {
+        const FunctionDecl& fn = file.functions[i];
+        if (fn.name == "operator") continue;
+        const std::string key = Key(fn.class_name, fn.name);
+        auto it = by_key_.find(key);
+        size_t idx;
+        if (it == by_key_.end()) {
+          idx = entities_.size();
+          by_key_[key] = idx;
+          Entity e;
+          e.name = fn.name;
+          e.class_name = fn.class_name;
+          entities_.push_back(std::move(e));
+          by_name_[fn.name].push_back(idx);
+        } else {
+          idx = it->second;
+        }
+        Entity& e = entities_[idx];
+        if (fn.ann.kind != Annotation::Kind::kNone) {
+          e.ann = fn.ann;
+          switch (fn.ann.kind) {
+            case Annotation::Kind::kSensitive: ++stats_.sources; break;
+            case Annotation::Kind::kSanitizes: ++stats_.sanitizers; break;
+            case Annotation::Kind::kSink:
+              ++stats_.sinks;
+              e.explicit_sink = true;
+              break;
+            default: break;
+          }
+        }
+        if (fn.body_end > fn.body_begin) e.bodies.push_back({f, i});
+      }
+      for (const MemberAnnotation& m : file.members) {
+        if (m.ann.kind == Annotation::Kind::kSensitive) {
+          ++stats_.sources;
+          member_taint_[m.member] =
+              Join(member_taint_[m.member], m.ann.level);
+        }
+      }
+      for (const std::string& m : file.unordered_members) {
+        unordered_members_.insert(m);
+      }
+    }
+    // Seed annotation-driven summaries.
+    for (Entity& e : entities_) {
+      if (e.ann.kind == Annotation::Kind::kSensitive) e.ret = e.ann.level;
+      // Rng draw methods are the base of draws_rng reachability.
+      if (e.class_name == "Rng" &&
+          e.ann.kind == Annotation::Kind::kSensitive) {
+        e.draws_rng = true;
+      }
+    }
+  }
+
+  Callee Resolve(const std::string& name, const std::string& class_hint) {
+    Callee out;
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return out;
+    std::vector<size_t> matches = it->second;
+    if (!class_hint.empty()) {
+      std::vector<size_t> scoped;
+      for (size_t idx : matches) {
+        if (entities_[idx].class_name == class_hint) scoped.push_back(idx);
+      }
+      if (!scoped.empty()) matches = std::move(scoped);
+    }
+    for (size_t idx : matches) {
+      const Entity& e = entities_[idx];
+      out.known = true;
+      if (e.explicit_sink) {
+        out.sink = true;
+        if (out.channel.empty()) out.channel = e.ann.channel;
+      }
+      if (e.ann.kind == Annotation::Kind::kSanitizes) {
+        out.sanitizer = true;
+        out.cap = Meet(out.cap, e.ann.level);
+        out.digest = out.digest || e.ann.digest;
+      }
+      if (e.ann.kind == Annotation::Kind::kSensitive) {
+        out.floor = Join(out.floor, e.ann.level);
+      }
+      out.ret = Join(out.ret, e.ret);
+      out.draws_rng = out.draws_rng || e.draws_rng;
+      out.iterates_unordered = out.iterates_unordered || e.iterates_unordered;
+      out.sink_params.insert(e.sink_params.begin(), e.sink_params.end());
+    }
+    return out;
+  }
+
+  // -------------------------------------------------------------------
+  // Per-function analysis
+
+  void AnalyzeEntity(size_t eidx, bool emit) {
+    Entity& ent = entities_[eidx];
+    for (const auto& [f, i] : ent.bodies) {
+      AnalyzeBody(files_[f], files_[f].functions[i], eidx, emit);
+    }
+  }
+
+  struct BodyCtx {
+    const ParsedFile* file = nullptr;
+    const FunctionDecl* fn = nullptr;
+    size_t entity = 0;
+    bool emit = false;
+    std::map<std::string, Sensitivity> locals;
+    std::set<std::string> unordered_locals;
+    std::set<std::string> stream_locals;
+    bool saw_local_unordered_iter = false;
+    std::string local_iter_var;
+  };
+
+  void AnalyzeBody(const ParsedFile& file, const FunctionDecl& fn,
+                   size_t eidx, bool emit) {
+    BodyCtx ctx;
+    ctx.file = &file;
+    ctx.fn = &fn;
+    ctx.entity = eidx;
+    ctx.emit = emit;
+    // Two statement passes so taint assigned late in a loop body reaches
+    // uses earlier in it on the second pass.
+    for (int pass = 0; pass < 2; ++pass) {
+      ctx.emit = emit && pass == 1;
+      WalkStatements(&ctx);
+    }
+  }
+
+  void WalkStatements(BodyCtx* ctx) {
+    const auto& toks = ctx->file->lexed.tokens;
+    const size_t begin = ctx->fn->body_begin + 1;
+    const size_t end = ctx->fn->body_end > 0 ? ctx->fn->body_end - 1 : begin;
+    int depth = 0;
+    size_t stmt_start = begin;
+    for (size_t j = begin; j < end; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++depth;
+      if (t == ")" && depth > 0) --depth;
+      if (depth == 0 && (t == ";" || t == "{" || t == "}")) {
+        if (j > stmt_start) ProcessStatement(ctx, stmt_start, j);
+        stmt_start = j + 1;
+      }
+    }
+    if (end > stmt_start) ProcessStatement(ctx, stmt_start, end);
+  }
+
+  void ProcessStatement(BodyCtx* ctx, size_t s, size_t e) {
+    const auto& toks = ctx->file->lexed.tokens;
+    TrackLocalDecls(ctx, s, e);
+    CheckRangeFor(ctx, s, e);
+    CheckStreamEmission(ctx, s, e);
+    // TRIPRIV_ASSIGN_OR_RETURN(lhs, rexpr) assigns rexpr's taint to lhs.
+    for (size_t j = s; j + 1 < e; ++j) {
+      if (toks[j].text == "TRIPRIV_ASSIGN_OR_RETURN" &&
+          toks[j + 1].text == "(") {
+        size_t close = MatchParen(toks, j + 1, e);
+        std::vector<std::pair<size_t, size_t>> args =
+            SplitArgs(toks, j + 2, close > 0 ? close - 1 : e);
+        if (args.size() >= 2) {
+          std::string target;
+          for (size_t k = args[0].first; k < args[0].second; ++k) {
+            if (toks[k].kind == TokenKind::kIdentifier) target = toks[k].text;
+          }
+          Sensitivity rhs =
+              EvalRange(ctx, args[1].first, args[1].second);
+          if (!target.empty()) AssignLocal(ctx, target, rhs);
+        }
+        break;
+      }
+    }
+    // Assignment: taint the (receiver-chased) target with the RHS join.
+    size_t rhs_start = 0;
+    std::string target = FindAssignment(toks, s, e, &rhs_start);
+    // Evaluate the whole statement once: this performs every sink check and
+    // ParallelFor scan. Assignment/return taint reuses sub-evaluations
+    // (diagnostics are deduplicated, so overlap is harmless).
+    IgnoreTaint(EvalRange(ctx, s, e));
+    if (!target.empty()) {
+      AssignLocal(ctx, target, EvalRange(ctx, rhs_start, e));
+    }
+    for (size_t j = s; j < e; ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier && toks[j].text == "return") {
+        Sensitivity r = EvalRange(ctx, j + 1, e);
+        Entity& ent = entities_[ctx->entity];
+        Sensitivity next = ent.ret;
+        if (ent.ann.kind == Annotation::Kind::kSanitizes) {
+          next = Join(next, Meet(r, ent.ann.level));
+        } else {
+          next = Join(next, r);
+        }
+        if (ent.ann.kind == Annotation::Kind::kSensitive) {
+          next = Join(next, ent.ann.level);
+        }
+        if (next != ent.ret) {
+          ent.ret = next;
+          changed_ = true;
+        }
+        break;
+      }
+    }
+  }
+
+  static void IgnoreTaint(Sensitivity) {}
+
+  /// Registers locals declared with unordered-container or stream types.
+  void TrackLocalDecls(BodyCtx* ctx, size_t s, size_t e) {
+    const auto& toks = ctx->file->lexed.tokens;
+    bool unordered = false, stream = false;
+    std::string declared;
+    for (size_t j = s; j < e; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "=") break;
+      if (toks[j].kind != TokenKind::kIdentifier) continue;
+      if (t.rfind("unordered_", 0) == 0) {
+        unordered = true;
+      } else if (StreamTypes().count(t) > 0) {
+        stream = true;
+      } else {
+        declared = t;
+      }
+      // A call or member access means this is an expression statement, not
+      // a declaration — unless it is the declared type's template argument.
+      if (j + 1 < e && toks[j + 1].text == "(" && !unordered && !stream) {
+        return;
+      }
+    }
+    if (declared.empty()) return;
+    if (unordered) ctx->unordered_locals.insert(declared);
+    if (stream) ctx->stream_locals.insert(declared);
+  }
+
+  /// Detects range-for (and .begin() for-loops) over unordered containers.
+  void CheckRangeFor(BodyCtx* ctx, size_t s, size_t e) {
+    const auto& toks = ctx->file->lexed.tokens;
+    for (size_t j = s; j + 1 < e; ++j) {
+      if (toks[j].text != "for" || toks[j + 1].text != "(") continue;
+      size_t close = MatchParen(toks, j + 1, e);
+      if (close == 0) close = e;
+      // Range-for: a single ':' at paren depth 1.
+      size_t colon = 0;
+      int depth = 0;
+      for (size_t k = j + 1; k < close; ++k) {
+        if (toks[k].text == "(") ++depth;
+        if (toks[k].text == ")") --depth;
+        if (toks[k].text == ":" && depth == 1) {
+          colon = k;
+          break;
+        }
+      }
+      size_t range_begin = colon != 0 ? colon + 1 : j + 2;
+      for (size_t k = range_begin; k < close; ++k) {
+        if (toks[k].kind != TokenKind::kIdentifier) continue;
+        const std::string& v = toks[k].text;
+        const bool is_unordered = ctx->unordered_locals.count(v) > 0 ||
+                                  unordered_members_.count(v) > 0;
+        if (!is_unordered) continue;
+        // In a classic for-header only `.begin()` (iteration) counts;
+        // lookups like find() keep their order-independence.
+        if (colon == 0) {
+          const bool begins = k + 3 < close &&
+                              (toks[k + 1].text == "." ||
+                               toks[k + 1].text == "->") &&
+                              (toks[k + 2].text == "begin" ||
+                               toks[k + 2].text == "cbegin");
+          if (!begins) continue;
+        }
+        if (!ctx->saw_local_unordered_iter) {
+          ctx->saw_local_unordered_iter = true;
+          ctx->local_iter_var = v;
+        }
+        MarkIterates(ctx);
+      }
+    }
+  }
+
+  void MarkIterates(BodyCtx* ctx) {
+    Entity& ent = entities_[ctx->entity];
+    if (!ent.iterates_unordered) {
+      ent.iterates_unordered = true;
+      changed_ = true;
+    }
+  }
+
+  /// `os << expr` where `os` is a local stream: report record-level taint.
+  void CheckStreamEmission(BodyCtx* ctx, size_t s, size_t e) {
+    const auto& toks = ctx->file->lexed.tokens;
+    if (s + 2 >= e) return;
+    if (toks[s].kind != TokenKind::kIdentifier ||
+        ctx->stream_locals.count(toks[s].text) == 0) {
+      return;
+    }
+    if (toks[s + 1].text != "<" || toks[s + 2].text != "<") return;
+    Sensitivity taint = EvalRange(ctx, s + 3, e);
+    if (taint == Sensitivity::kRecord) {
+      Report(ctx, toks[s].line, kRuleSink,
+             "record-level value is emitted into stream '" + toks[s].text +
+                 "'; sanitize (digest, aggregate, DP) before emission");
+    }
+  }
+
+  /// Finds the first top-level assignment and returns the base identifier
+  /// of its target (chasing `recv.member =` back to `recv`), with
+  /// `*rhs_start` set past the `=`.
+  std::string FindAssignment(const std::vector<Token>& toks, size_t s,
+                             size_t e, size_t* rhs_start) {
+    int paren = 0, bracket = 0;
+    for (size_t j = s; j + 1 < e; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "[") ++bracket;
+      if (t == "]") --bracket;
+      if (paren != 0 || bracket != 0) continue;
+      if (t != "=") continue;
+      if (j + 1 < e && toks[j + 1].text == "=") return "";  // ==
+      if (j == s) return "";
+      std::string prev = toks[j - 1].text;
+      if (prev == "<" || prev == ">" || prev == "!" || prev == "=") return "";
+      size_t m = j - 1;
+      // Compound assignment: x_ += ... (operator chars lex one at a time).
+      static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                      "%", "&", "|", "^"};
+      if (kCompound.count(toks[m].text) > 0 && m > s) --m;
+      // Subscript target: arr[i] = ... chases back to arr.
+      if (toks[m].text == "]") {
+        int bd = 0;
+        while (m > s) {
+          if (toks[m].text == "]") ++bd;
+          if (toks[m].text == "[" && --bd == 0) break;
+          --m;
+        }
+        if (m == s || toks[m].text != "[") return "";
+        --m;
+      }
+      if (toks[m].kind != TokenKind::kIdentifier) return "";
+      // Receiver chase: rec.member = / rec->member = taints rec.
+      while (m >= s + 2 &&
+             (toks[m - 1].text == "." || toks[m - 1].text == "->") &&
+             toks[m - 2].kind == TokenKind::kIdentifier) {
+        m -= 2;
+      }
+      *rhs_start = j + 1;
+      return toks[m].text;
+    }
+    return "";
+  }
+
+  void AssignLocal(BodyCtx* ctx, const std::string& name, Sensitivity s) {
+    Sensitivity& slot = ctx->locals[name];
+    slot = Join(slot, s);
+  }
+
+  // -------------------------------------------------------------------
+  // Expression evaluation
+
+  static size_t MatchParen(const std::vector<Token>& toks, size_t open,
+                           size_t limit) {
+    int depth = 0;
+    for (size_t j = open; j < limit; ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) return j + 1;
+    }
+    return 0;
+  }
+
+  /// Splits [begin, end) on top-level commas into argument token ranges.
+  static std::vector<std::pair<size_t, size_t>> SplitArgs(
+      const std::vector<Token>& toks, size_t begin, size_t end) {
+    std::vector<std::pair<size_t, size_t>> args;
+    if (begin >= end) return args;
+    int paren = 0, bracket = 0, brace = 0, angle = 0;
+    size_t start = begin;
+    for (size_t j = begin; j < end; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "[") ++bracket;
+      if (t == "]") --bracket;
+      if (t == "{") ++brace;
+      if (t == "}") --brace;
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (t == "," && paren == 0 && bracket == 0 && brace == 0 &&
+          angle == 0) {
+        args.push_back({start, j});
+        start = j + 1;
+      }
+    }
+    args.push_back({start, end});
+    return args;
+  }
+
+  /// Joins the sensitivity of every identifier use and call result in
+  /// [b, e), performing sink checks and ParallelFor scans along the way.
+  Sensitivity EvalRange(BodyCtx* ctx, size_t b, size_t e) {
+    const auto& toks = ctx->file->lexed.tokens;
+    Sensitivity res = Sensitivity::kClean;
+    size_t j = b;
+    while (j < e) {
+      const Token& tok = toks[j];
+      if (tok.kind != TokenKind::kIdentifier) {
+        ++j;
+        continue;
+      }
+      const bool is_call = j + 1 < e && toks[j + 1].text == "(" &&
+                           CallKeywords().count(tok.text) == 0;
+      if (!is_call) {
+        if (!LaunderedUse(toks, j, e)) {
+          res = Join(res, IdentTaint(ctx, tok.text));
+        }
+        ++j;
+        continue;
+      }
+      size_t close = MatchParen(toks, j + 1, e);
+      if (close == 0) {  // unbalanced within range; treat as plain ident
+        res = Join(res, IdentTaint(ctx, tok.text));
+        ++j;
+        continue;
+      }
+      res = Join(res, EvalCall(ctx, j, close));
+      j = close;
+    }
+    return res;
+  }
+
+  Sensitivity IdentTaint(BodyCtx* ctx, const std::string& name) {
+    auto it = ctx->locals.find(name);
+    Sensitivity s = it != ctx->locals.end() ? it->second : Sensitivity::kClean;
+    auto mt = member_taint_.find(name);
+    if (mt != member_taint_.end()) s = Join(s, mt->second);
+    return s;
+  }
+
+  /// Evaluates the call whose name token is at `j` and whose `)` is just
+  /// before `close`. Performs sink checks, derived-sink marking, out-param
+  /// propagation, ParallelFor scanning, and digest-feed detection.
+  Sensitivity EvalCall(BodyCtx* ctx, size_t j, size_t close) {
+    const auto& toks = ctx->file->lexed.tokens;
+    const std::string& name = toks[j].text;
+    std::string hint;
+    if (j >= 2 && toks[j - 1].text == "::" &&
+        toks[j - 2].kind == TokenKind::kIdentifier) {
+      hint = toks[j - 2].text;
+    }
+    Callee callee = Resolve(name, hint);
+    std::vector<std::pair<size_t, size_t>> args =
+        SplitArgs(toks, j + 2, close - 1);
+    std::vector<Sensitivity> arg_taint(args.size(), Sensitivity::kClean);
+    Sensitivity amax = Sensitivity::kClean;
+    for (size_t k = 0; k < args.size(); ++k) {
+      arg_taint[k] = EvalRange(ctx, args[k].first, args[k].second);
+      amax = Join(amax, arg_taint[k]);
+    }
+    // Result sensitivity.
+    Sensitivity result;
+    if (callee.sanitizer) {
+      result = Meet(Join(amax, Join(callee.ret, callee.floor)), callee.cap);
+    } else if (callee.known) {
+      result = Join(amax, Join(callee.ret, callee.floor));
+    } else {
+      result = amax;  // unknown helpers pass taint through
+    }
+    // Receiver mutation: recv.push_back(x) / recv.insert(..., x, ...) may
+    // store its arguments into the receiver object. Restricted to unknown
+    // callees (std:: container mutators and the like) — calls into parsed
+    // code are modeled by their summaries, and tainting every receiver of
+    // a const accessor like table.at() would swamp the analysis.
+    if (!callee.known && j >= 2 &&
+        (toks[j - 1].text == "." || toks[j - 1].text == "->") &&
+        toks[j - 2].kind == TokenKind::kIdentifier &&
+        result != Sensitivity::kClean) {
+      AssignLocal(ctx, toks[j - 2].text, result);
+    }
+    // Out-param propagation: F(&x) taints x with the call result.
+    for (const auto& [ab, ae] : args) {
+      if (ae - ab >= 2 && toks[ab].text == "&" &&
+          toks[ab + 1].kind == TokenKind::kIdentifier &&
+          result != Sensitivity::kClean) {
+        AssignLocal(ctx, toks[ab + 1].text, result);
+      }
+    }
+    // Sink checks + derived-sink marking (a suppressed line stops both).
+    const bool line_suppressed =
+        lint::IsSuppressed(ctx->file->lexed, tok_line(toks, j), kRuleSink);
+    if ((callee.sink || !callee.sink_params.empty()) && !line_suppressed) {
+      for (size_t k = 0; k < args.size(); ++k) {
+        const bool checked =
+            callee.sink || callee.sink_params.count(k) > 0;
+        if (!checked) continue;
+        if (arg_taint[k] == Sensitivity::kRecord && ctx->emit) {
+          Report(ctx, tok_line(toks, j), kRuleSink,
+                 "record-level value reaches sink '" + name + "'" +
+                     (callee.channel.empty()
+                          ? std::string()
+                          : " (channel " + callee.channel + ")") +
+                     " via argument " + std::to_string(k + 1) +
+                     "; sanitize (digest, aggregate, DP noise) before "
+                     "emission, or suppress with NOLINT(taint-flow-to-sink) "
+                     "if this channel is a sanctioned carrier");
+        }
+        // If a parameter of the enclosing function flows into this sink
+        // argument, the enclosing function is itself a sink for it.
+        MarkDerivedSink(ctx, args[k].first, args[k].second);
+      }
+    }
+    // Determinism rule 2: Rng draws inside a ParallelFor shard.
+    if (name == "ParallelFor") ScanParallelFor(ctx, j + 2, close - 1);
+    // Determinism rule 1: unordered iteration feeding a digest/export.
+    if (callee.digest ||
+        (callee.sink && callee.channel == "export")) {
+      CheckDigestFeed(ctx, j, args);
+    }
+    return result;
+  }
+
+  static int tok_line(const std::vector<Token>& toks, size_t j) {
+    return toks[j].line;
+  }
+
+  /// True when the identifier at `j` is only used through a clean accessor
+  /// (`x.size()`, `st->message()`): its taint does not flow here.
+  static bool LaunderedUse(const std::vector<Token>& toks, size_t j,
+                           size_t e) {
+    return j + 3 < e &&
+           (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+           CleanAccessors().count(toks[j + 2].text) > 0 &&
+           toks[j + 3].text == "(";
+  }
+
+  void MarkDerivedSink(BodyCtx* ctx, size_t ab, size_t ae) {
+    const auto& toks = ctx->file->lexed.tokens;
+    const auto& params = ctx->fn->params;
+    for (size_t k = ab; k < ae; ++k) {
+      if (toks[k].kind != TokenKind::kIdentifier) continue;
+      if (LaunderedUse(toks, k, ae)) continue;
+      for (size_t p = 0; p < params.size(); ++p) {
+        if (params[p].empty() || params[p] != toks[k].text) continue;
+        Entity& ent = entities_[ctx->entity];
+        if (ent.sink_params.insert(p).second) changed_ = true;
+      }
+    }
+  }
+
+  /// Reports Rng draws (direct or via any transitively-drawing callee)
+  /// inside a ParallelFor argument list (the shard lambda).
+  void ScanParallelFor(BodyCtx* ctx, size_t b, size_t e) {
+    if (!ctx->emit) return;
+    const auto& toks = ctx->file->lexed.tokens;
+    for (size_t j = b; j + 1 < e; ++j) {
+      if (toks[j].kind != TokenKind::kIdentifier ||
+          toks[j + 1].text != "(" || CallKeywords().count(toks[j].text) > 0) {
+        continue;
+      }
+      std::string hint;
+      if (j >= 2 && toks[j - 1].text == "::" &&
+          toks[j - 2].kind == TokenKind::kIdentifier) {
+        hint = toks[j - 2].text;
+      }
+      Callee callee = Resolve(toks[j].text, hint);
+      if (!callee.draws_rng) continue;
+      Report(ctx, toks[j].line, kRuleRngParallel,
+             "Rng draw '" + toks[j].text +
+                 "' is reachable inside a ParallelFor shard; the execution "
+                 "model requires serial-draw -> parallel-pure -> "
+                 "serial-merge (draw before the parallel section, pass "
+                 "results in)");
+    }
+  }
+
+  /// The digest call at token `j`: fires when fed by unordered iteration,
+  /// either an iteration in this very body or an argument whose value is
+  /// produced by a transitively-iterating callee.
+  void CheckDigestFeed(BodyCtx* ctx, size_t j,
+                       const std::vector<std::pair<size_t, size_t>>& args) {
+    if (!ctx->emit) return;
+    const auto& toks = ctx->file->lexed.tokens;
+    const std::string& name = toks[j].text;
+    if (ctx->saw_local_unordered_iter) {
+      Report(ctx, toks[j].line, kRuleUnordered,
+             "order-sensitive digest/export '" + name +
+                 "' is computed in a function that iterates unordered "
+                 "container '" + ctx->local_iter_var +
+                 "'; iterate a sorted view so the result is byte-identical "
+                 "across platforms and hash seeds");
+      return;
+    }
+    for (const auto& [ab, ae] : args) {
+      for (size_t k = ab; k + 1 < ae; ++k) {
+        if (toks[k].kind != TokenKind::kIdentifier ||
+            toks[k + 1].text != "(") {
+          continue;
+        }
+        Callee inner = Resolve(toks[k].text, "");
+        if (inner.iterates_unordered) {
+          Report(ctx, toks[k].line, kRuleUnordered,
+                 "order-sensitive digest/export '" + name +
+                     "' is fed by '" + toks[k].text +
+                     "', which iterates an unordered container; sort "
+                     "before digesting so the result is deterministic");
+        }
+      }
+    }
+  }
+
+  void Report(BodyCtx* ctx, int line, const std::string& rule,
+              std::string message) {
+    if (!ctx->emit) return;
+    if (lint::IsSuppressed(ctx->file->lexed, line, rule)) return;
+    diags_.insert({ctx->file->path, line, rule, std::move(message)});
+  }
+
+  struct DiagLess {
+    bool operator()(const lint::Diagnostic& a,
+                    const lint::Diagnostic& b) const {
+      return std::tie(a.file, a.line, a.rule, a.message) <
+             std::tie(b.file, b.line, b.rule, b.message);
+    }
+  };
+
+  const std::vector<ParsedFile>& files_;
+  std::vector<Entity> entities_;
+  std::map<std::string, size_t> by_key_;
+  std::map<std::string, std::vector<size_t>> by_name_;
+  std::map<std::string, Sensitivity> member_taint_;
+  std::set<std::string> unordered_members_;
+  std::set<lint::Diagnostic, DiagLess> diags_;
+  AnalysisStats stats_;
+  bool changed_ = false;
+};
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> TaintRuleNames() {
+  return {kRuleSink, kRuleUnordered, kRuleRngParallel};
+}
+
+AnalysisResult Analyze(const std::vector<ParsedFile>& files) {
+  return Analyzer(files).Run();
+}
+
+bool AnalyzeTree(const std::string& root, AnalysisResult* result,
+                 std::string* error) {
+  fs::path scan = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(scan, ec)) scan = fs::path(root);
+  std::vector<fs::path> paths;
+  for (fs::recursive_directory_iterator it(scan, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") paths.push_back(it->path());
+  }
+  if (paths.empty()) {
+    if (error != nullptr) {
+      *error = "no .h/.cc files under " + scan.string() + " - wrong --root?";
+    }
+    return false;
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<ParsedFile> files;
+  for (const fs::path& p : paths) {
+    std::string contents;
+    if (!ReadFile(p.string(), &contents, error)) return false;
+    files.push_back(
+        ParseFile(fs::relative(p, root).generic_string(), contents));
+  }
+  *result = Analyze(files);
+  return true;
+}
+
+bool AnalyzePaths(const std::string& root,
+                  const std::vector<std::string>& paths,
+                  AnalysisResult* result, std::string* error) {
+  std::vector<ParsedFile> files;
+  for (const std::string& p : paths) {
+    std::string contents;
+    if (!ReadFile(p, &contents, error)) return false;
+    std::error_code ec;
+    std::string rel = fs::relative(p, root, ec).generic_string();
+    if (ec || rel.empty() || rel.rfind("..", 0) == 0) rel = p;
+    files.push_back(ParseFile(rel, contents));
+  }
+  *result = Analyze(files);
+  return true;
+}
+
+}  // namespace taint
+}  // namespace tripriv

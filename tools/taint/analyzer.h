@@ -1,0 +1,86 @@
+// tripriv_taint: interprocedural sensitive-dataflow analysis.
+//
+// Where tripriv_lint's rules are purely lexical (a banned identifier is a
+// finding wherever it appears), this pass understands flows: a table cell
+// read in one function, rendered by a second, and logged by a third is a
+// leak even though no single line looks wrong. The engine builds a
+// cross-translation-unit symbol table and call graph over the parsed files,
+// then propagates the three-point sensitivity lattice
+// (clean < aggregate < record) to a fixpoint:
+//
+//   * A function's return sensitivity is the join of its return
+//     expressions' sensitivities, floored by TRIPRIV_SENSITIVE and capped
+//     by TRIPRIV_SANITIZES annotations (src/core/annotations.h).
+//   * Locals pick up sensitivity from assignments; `&out` arguments pick up
+//     the callee's result sensitivity (out-param propagation).
+//   * A call to an un-annotated, unknown function conservatively passes its
+//     arguments' join through (std::to_string launders nothing).
+//   * A function that forwards one of its parameters into a sink becomes a
+//     derived sink for that parameter, so wrappers around emission APIs are
+//     themselves emission APIs, to any call depth.
+//
+// Three rules report over the result:
+//
+//   taint-flow-to-sink        a record-level value reaches a TRIPRIV_SINK
+//                             argument (or a stream/printf emission).
+//   taint-unordered-digest    iteration over an unordered container feeds
+//                             an order-sensitive digest/fingerprint/export
+//                             (TRIPRIV_SANITIZES(..., digest) or
+//                             TRIPRIV_SINK(export)) — byte-identical
+//                             determinism would depend on hash order.
+//   taint-rng-in-parallel     an Rng draw is reachable inside a
+//                             ThreadPool::ParallelFor shard, violating the
+//                             serial-draw -> parallel-pure -> serial-merge
+//                             discipline.
+//
+// Findings are suppressible with `// NOLINT(rule-name)` on the reported
+// line; a suppressed sink call also stops derived-sink propagation through
+// that edge (the escape hatch for sanctioned carriers like the audit WAL's
+// epsilon ledger).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "taint/decl_parser.h"
+
+namespace tripriv {
+namespace taint {
+
+struct AnalysisStats {
+  size_t files = 0;
+  size_t functions = 0;    ///< distinct (class, name) entities
+  size_t sources = 0;      ///< TRIPRIV_SENSITIVE annotations seen
+  size_t sanitizers = 0;   ///< TRIPRIV_SANITIZES annotations seen
+  size_t sinks = 0;        ///< TRIPRIV_SINK annotations seen
+  size_t derived_sinks = 0;///< functions that forward a parameter to a sink
+  size_t iterations = 0;   ///< fixpoint rounds until convergence
+};
+
+struct AnalysisResult {
+  std::vector<lint::Diagnostic> diagnostics;  ///< sorted by file, then line
+  AnalysisStats stats;
+};
+
+/// Names of the taint rules, in reporting order.
+std::vector<std::string> TaintRuleNames();
+
+/// Analyzes a set of parsed files as one program.
+AnalysisResult Analyze(const std::vector<ParsedFile>& files);
+
+/// Parses and analyzes `root`/src (or `root` itself when it has no src/
+/// subdirectory — fixture corpora are their own trees). Returns false with
+/// `error` set only when no sources are found.
+bool AnalyzeTree(const std::string& root, AnalysisResult* result,
+                 std::string* error);
+
+/// Parses and analyzes the given files (paths opened as given, rule scope
+/// from the path relative to `root`).
+bool AnalyzePaths(const std::string& root,
+                  const std::vector<std::string>& paths,
+                  AnalysisResult* result, std::string* error);
+
+}  // namespace taint
+}  // namespace tripriv

@@ -1,0 +1,522 @@
+#include "taint/decl_parser.h"
+
+#include <cstddef>
+
+namespace tripriv {
+namespace taint {
+namespace {
+
+using lint::Token;
+using lint::TokenKind;
+
+/// Keywords that look like `name(...)` but are never function declarations.
+const std::set<std::string>& CallKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",      "for",     "while",        "switch",      "return",
+      "sizeof",  "alignof", "alignas",      "decltype",    "noexcept",
+      "catch",   "throw",   "new",          "delete",      "static_assert",
+      "defined", "assert",  "co_return",    "co_await",    "requires",
+  };
+  return kSet;
+}
+
+/// Type-ish tokens that must not be mistaken for a parameter name when the
+/// parameter is unnamed in a declaration.
+const std::set<std::string>& TypeishTokens() {
+  static const std::set<std::string> kSet = {
+      "int",    "char",   "bool",     "double",   "float",   "long",
+      "short",  "signed", "unsigned", "void",     "auto",    "const",
+      "size_t", "int8_t", "int16_t",  "int32_t",  "int64_t", "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t", "string", "vector", "T",
+  };
+  return kSet;
+}
+
+/// A token that, immediately before an identifier, marks the identifier as
+/// part of an expression rather than a declaration.
+const std::set<std::string>& ExprContextTokens() {
+  static const std::set<std::string> kSet = {
+      "=", "(", ",", "+", "-", "/", "%", "!", "?", "|", "^", ".", "->",
+  };
+  return kSet;
+}
+
+Sensitivity LevelFromName(const std::string& name) {
+  if (name == "record") return Sensitivity::kRecord;
+  if (name == "aggregate") return Sensitivity::kAggregate;
+  return Sensitivity::kClean;
+}
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kOther };
+  Kind kind = Kind::kOther;
+  std::string name;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& rel_path, const std::string& contents) {
+    out_.path = rel_path;
+    out_.lexed = lint::Lex(contents);
+  }
+
+  ParsedFile Run() {
+    const auto& toks = out_.lexed.tokens;
+    const size_t n = toks.size();
+    size_t i = 0;
+    size_t stmt_start = 0;
+    while (i < n) {
+      const Token& tok = toks[i];
+      if (tok.text == "#") {
+        i = SkipDirective(i);
+        stmt_start = i;
+        continue;
+      }
+      if (tok.kind == TokenKind::kIdentifier) {
+        if (IsAnnotationMacro(tok.text) && i + 1 < n &&
+            toks[i + 1].text == "(") {
+          i = ParseAnnotation(i);
+          stmt_start = i;
+          continue;
+        }
+        if (tok.text == "namespace") {
+          i = ParseNamespace(i);
+          stmt_start = i;
+          continue;
+        }
+        if ((tok.text == "class" || tok.text == "struct") &&
+            (i == 0 || toks[i - 1].text != "enum")) {
+          i = ParseClassHead(i);
+          stmt_start = i;
+          continue;
+        }
+        if (tok.text == "enum") {
+          i = SkipEnum(i);
+          stmt_start = i;
+          continue;
+        }
+        if (tok.text == "using" || tok.text == "typedef" ||
+            tok.text == "friend") {
+          i = SkipToSemicolon(i);
+          stmt_start = i;
+          continue;
+        }
+        if (tok.text == "template") {
+          i = SkipTemplateHead(i);
+          continue;  // the declaration itself follows
+        }
+        if (tok.text == "operator") {
+          i = ParseOperator(i);
+          stmt_start = i;
+          continue;
+        }
+        if (DeclScope() && i + 1 < n && toks[i + 1].text == "(" &&
+            CallKeywords().count(tok.text) == 0 &&
+            (i == 0 || ExprContextTokens().count(toks[i - 1].text) == 0)) {
+          size_t next = ParseFunction(i);
+          if (next != i) {
+            i = next;
+            stmt_start = i;
+            continue;
+          }
+        }
+      }
+      if (tok.text == "{") {
+        scopes_.push_back({Scope::Kind::kOther, ""});
+        ++i;
+        stmt_start = i;
+        continue;
+      }
+      if (tok.text == "}") {
+        if (!scopes_.empty()) scopes_.pop_back();
+        ++i;
+        stmt_start = i;
+        continue;
+      }
+      if (tok.text == ";") {
+        HandleStatement(stmt_start, i);
+        ++i;
+        stmt_start = i;
+        continue;
+      }
+      ++i;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  const std::vector<Token>& Toks() const { return out_.lexed.tokens; }
+
+  static bool IsAnnotationMacro(const std::string& s) {
+    return s == "TRIPRIV_SENSITIVE" || s == "TRIPRIV_SANITIZES" ||
+           s == "TRIPRIV_SINK";
+  }
+
+  /// True when declarations may appear in the current scope.
+  bool DeclScope() const {
+    return scopes_.empty() || scopes_.back().kind != Scope::Kind::kOther;
+  }
+
+  bool InClass() const {
+    return !scopes_.empty() && scopes_.back().kind == Scope::Kind::kClass;
+  }
+
+  std::string CurrentClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::Kind::kClass) return it->name;
+    }
+    return "";
+  }
+
+  /// Skips a preprocessor directive starting at the `#` token, honoring
+  /// backslash line continuations (so function-like macro definitions never
+  /// reach the declaration matcher).
+  size_t SkipDirective(size_t i) {
+    const auto& toks = Toks();
+    int line = toks[i].line;
+    size_t j = i;
+    while (j < toks.size()) {
+      if (toks[j].line > line) {
+        // Continued only if the previous line ended with a backslash.
+        if (j > 0 && toks[j - 1].text == "\\") {
+          line = toks[j].line;
+        } else {
+          break;
+        }
+      }
+      ++j;
+    }
+    return j;
+  }
+
+  /// Returns the index just past the `)` matching the `(` at `open`.
+  size_t MatchParen(size_t open) const {
+    const auto& toks = Toks();
+    size_t depth = 0;
+    for (size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) return j + 1;
+    }
+    return toks.size();
+  }
+
+  /// Returns the index just past the `}` matching the `{` at `open`.
+  size_t MatchBrace(size_t open) const {
+    const auto& toks = Toks();
+    size_t depth = 0;
+    for (size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) return j + 1;
+    }
+    return toks.size();
+  }
+
+  /// Parses `TRIPRIV_X(arg, ...)` into pending_, returning the index past
+  /// the closing paren.
+  size_t ParseAnnotation(size_t i) {
+    const auto& toks = Toks();
+    const std::string& macro = toks[i].text;
+    size_t close = MatchParen(i + 1);
+    std::vector<std::string> args;
+    for (size_t j = i + 2; j + 1 < close; ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier) args.push_back(toks[j].text);
+    }
+    Annotation ann;
+    if (macro == "TRIPRIV_SENSITIVE") {
+      ann.kind = Annotation::Kind::kSensitive;
+      ann.level = args.empty() ? Sensitivity::kRecord : LevelFromName(args[0]);
+    } else if (macro == "TRIPRIV_SANITIZES") {
+      ann.kind = Annotation::Kind::kSanitizes;
+      ann.level =
+          args.empty() ? Sensitivity::kAggregate : LevelFromName(args[0]);
+      for (size_t k = 1; k < args.size(); ++k) {
+        if (args[k] == "digest") ann.digest = true;
+      }
+    } else {
+      ann.kind = Annotation::Kind::kSink;
+      ann.channel = args.empty() ? "unknown" : args[0];
+    }
+    pending_ = ann;
+    return close;
+  }
+
+  size_t ParseNamespace(size_t i) {
+    const auto& toks = Toks();
+    size_t j = i + 1;
+    std::string name;
+    while (j < toks.size() && (toks[j].kind == TokenKind::kIdentifier ||
+                               toks[j].text == "::")) {
+      name += toks[j].text;
+      ++j;
+    }
+    if (j < toks.size() && toks[j].text == "{") {
+      scopes_.push_back({Scope::Kind::kNamespace, name});
+      return j + 1;
+    }
+    return j;  // namespace alias or malformed; let the main loop continue
+  }
+
+  /// Parses `class/struct [attrs] Name [: bases] {` or a forward
+  /// declaration, pushing a class scope when a body opens.
+  size_t ParseClassHead(size_t i) {
+    const auto& toks = Toks();
+    std::string name;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "{" || t == ";") break;
+      // A single ':' (the lexer fuses '::') starts the base clause.
+      if (t == ":") {
+        while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") {
+          ++j;
+        }
+        break;
+      }
+      if (toks[j].kind == TokenKind::kIdentifier) name = t;
+    }
+    if (j < toks.size() && toks[j].text == "{") {
+      scopes_.push_back({Scope::Kind::kClass, name});
+      return j + 1;
+    }
+    return j < toks.size() ? j + 1 : j;
+  }
+
+  size_t SkipEnum(size_t i) {
+    const auto& toks = Toks();
+    size_t j = i;
+    while (j < toks.size() && toks[j].text != "{" && toks[j].text != ";") ++j;
+    if (j < toks.size() && toks[j].text == "{") j = MatchBrace(j);
+    // Trailing `;` is consumed by the main loop.
+    return j;
+  }
+
+  size_t SkipToSemicolon(size_t i) {
+    const auto& toks = Toks();
+    size_t j = i;
+    while (j < toks.size() && toks[j].text != ";") {
+      if (toks[j].text == "{") {
+        j = MatchBrace(j);
+        continue;
+      }
+      ++j;
+    }
+    return j < toks.size() ? j + 1 : j;
+  }
+
+  /// Skips `template < ... >`, tolerating nested angle brackets.
+  size_t SkipTemplateHead(size_t i) {
+    const auto& toks = Toks();
+    size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") return j;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">" && --depth == 0) return j + 1;
+    }
+    return j;
+  }
+
+  /// Parses an operator overload far enough to skip its body; the entity is
+  /// recorded under the name "operator" so calls never resolve to it.
+  size_t ParseOperator(size_t i) {
+    const auto& toks = Toks();
+    size_t j = i + 1;
+    while (j < toks.size() && toks[j].text != "(") {
+      if (toks[j].text == ";" || toks[j].text == "{") return j;
+      ++j;
+    }
+    if (j >= toks.size()) return j;
+    // operator()(...) declares with two parens back to back.
+    size_t after = MatchParen(j);
+    if (after < toks.size() && toks[after].text == "(") after = MatchParen(after);
+    return FinishFunction(i, "operator", "", {}, after);
+  }
+
+  /// Attempts to parse a function declaration/definition whose name token is
+  /// at `i` (with `(` at i+1). Returns `i` unchanged on failure.
+  size_t ParseFunction(size_t i) {
+    const auto& toks = Toks();
+    std::string name = toks[i].text;
+    std::string class_name = CurrentClass();
+    if (i >= 2 && toks[i - 1].text == "::" &&
+        toks[i - 2].kind == TokenKind::kIdentifier) {
+      class_name = toks[i - 2].text;  // out-of-line definition
+    }
+    if (i >= 1 && toks[i - 1].text == "~") name = "~" + name;
+    size_t after_params = MatchParen(i + 1);
+    std::vector<std::string> params = ParseParams(i + 2, after_params - 1);
+    return FinishFunction(i, name, class_name, params, after_params);
+  }
+
+  /// Splits the parameter list [begin, end) on top-level commas and takes
+  /// the last identifier of each chunk (cut at its default value) as the
+  /// parameter name.
+  std::vector<std::string> ParseParams(size_t begin, size_t end) {
+    const auto& toks = Toks();
+    std::vector<std::string> params;
+    if (begin >= end) return params;
+    int paren = 0, angle = 0, brace = 0;
+    size_t chunk_start = begin;
+    auto flush = [&](size_t chunk_end) {
+      std::string name;
+      bool saw_default = false;
+      for (size_t j = chunk_start; j < chunk_end && !saw_default; ++j) {
+        if (toks[j].text == "=") {
+          saw_default = true;
+        } else if (toks[j].kind == TokenKind::kIdentifier &&
+                   TypeishTokens().count(toks[j].text) == 0) {
+          name = toks[j].text;
+        }
+      }
+      if (chunk_end > chunk_start) params.push_back(name);
+    };
+    for (size_t j = begin; j < end; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "<") ++angle;
+      if (t == ">" && angle > 0) --angle;
+      if (t == "{") ++brace;
+      if (t == "}") --brace;
+      if (t == "," && paren == 0 && angle == 0 && brace == 0) {
+        flush(j);
+        chunk_start = j + 1;
+      }
+    }
+    flush(end);
+    return params;
+  }
+
+  /// From just past the parameter list, consumes trailers (const, noexcept,
+  /// trailing return, ctor-initializers) and records the function. Returns
+  /// the index past the declaration/definition, or the name index on
+  /// failure (e.g. this was a variable initialized with parens).
+  size_t FinishFunction(size_t name_idx, const std::string& name,
+                        const std::string& class_name,
+                        const std::vector<std::string>& params, size_t j) {
+    const auto& toks = Toks();
+    const size_t n = toks.size();
+    bool in_init_list = false;
+    while (j < n) {
+      const std::string& t = toks[j].text;
+      if (t == "{") {
+        if (in_init_list) {
+          // A `{` directly after an identifier or `>` is a member
+          // brace-initializer; anything else opens the body.
+          const std::string& prev = toks[j - 1].text;
+          if (toks[j - 1].kind == TokenKind::kIdentifier || prev == ">") {
+            j = MatchBrace(j);
+            continue;
+          }
+        }
+        size_t body_end = MatchBrace(j);
+        Record(name_idx, name, class_name, params, j, body_end);
+        return body_end;
+      }
+      if (t == ";") {
+        Record(name_idx, name, class_name, params, j, j);
+        return j + 1;
+      }
+      if (t == ":") {
+        in_init_list = true;
+        ++j;
+        continue;
+      }
+      if (t == "," && in_init_list) {
+        ++j;  // between member initializers
+        continue;
+      }
+      if (t == "(") {
+        j = MatchParen(j);
+        continue;
+      }
+      if (t == "=") {
+        // = default / = delete / = 0 (pure virtual), then `;`.
+        ++j;
+        continue;
+      }
+      if (toks[j].kind == TokenKind::kIdentifier || t == "::" || t == "->" ||
+          t == "<" || t == ">" || t == "*" || t == "&" || t == "[" ||
+          t == "]" || toks[j].kind == TokenKind::kNumber) {
+        ++j;
+        continue;
+      }
+      return name_idx;  // unexpected token: not a function declaration
+    }
+    return name_idx;
+  }
+
+  void Record(size_t name_idx, const std::string& name,
+              const std::string& class_name,
+              const std::vector<std::string>& params, size_t body_begin,
+              size_t body_end) {
+    FunctionDecl fn;
+    fn.name = name;
+    fn.class_name = class_name;
+    fn.line = Toks()[name_idx].line;
+    fn.params = params;
+    fn.body_begin = body_begin;
+    fn.body_end = body_end;
+    if (pending_.kind != Annotation::Kind::kNone) {
+      fn.ann = pending_;
+      pending_ = Annotation();
+    }
+    out_.functions.push_back(std::move(fn));
+  }
+
+  /// Non-function statement ending at `semi`: attaches a pending annotation
+  /// to the declared member and records unordered-container members.
+  void HandleStatement(size_t stmt_start, size_t semi) {
+    const auto& toks = Toks();
+    if (semi <= stmt_start) {
+      pending_ = Annotation();
+      return;
+    }
+    // The declared name: last identifier before the initializer (`=` or a
+    // brace-init) or the semicolon.
+    std::string declared;
+    bool unordered = false;
+    for (size_t j = stmt_start; j < semi; ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "=" || t == "{") break;
+      if (toks[j].kind == TokenKind::kIdentifier) {
+        if (t.rfind("unordered_", 0) == 0) {
+          unordered = true;
+        } else {
+          declared = t;
+        }
+      }
+    }
+    if (declared.empty()) {
+      pending_ = Annotation();
+      return;
+    }
+    if (pending_.kind != Annotation::Kind::kNone) {
+      out_.members.push_back({CurrentClass(), declared, pending_});
+      pending_ = Annotation();
+    }
+    if (unordered && DeclScope()) out_.unordered_members.insert(declared);
+  }
+
+  ParsedFile out_;
+  std::vector<Scope> scopes_;
+  Annotation pending_;
+};
+
+}  // namespace
+
+const char* SensitivityName(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kClean: return "clean";
+    case Sensitivity::kAggregate: return "aggregate";
+    case Sensitivity::kRecord: return "record";
+  }
+  return "clean";
+}
+
+ParsedFile ParseFile(const std::string& rel_path, const std::string& contents) {
+  return Parser(rel_path, contents).Run();
+}
+
+}  // namespace taint
+}  // namespace tripriv

@@ -1,0 +1,77 @@
+// Lightweight C++ declaration parser for tripriv_taint.
+//
+// Layered on the tripriv_lint lexer (comments and literals already
+// stripped, NOLINT markers harvested), this pass recovers just enough
+// structure for interprocedural dataflow: namespaces, classes, function
+// declarations/definitions with parameter names and body token ranges, the
+// TRIPRIV_SENSITIVE / TRIPRIV_SANITIZES / TRIPRIV_SINK annotations attached
+// to them (see src/core/annotations.h), annotated data members, and members
+// declared with unordered container types (needed by the
+// taint-unordered-digest determinism rule).
+//
+// It is deliberately not a real parser: resolution is name-based, templates
+// and overloads collapse into one symbol, and preprocessor conditionals are
+// parsed in both branches. That is the right trade for a lint-grade
+// analyzer — conservative merging plus NOLINT escapes beats a fragile
+// full-fidelity frontend.
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace tripriv {
+namespace taint {
+
+/// The three-point sensitivity lattice: clean < aggregate < record.
+enum class Sensitivity { kClean = 0, kAggregate = 1, kRecord = 2 };
+
+const char* SensitivityName(Sensitivity s);
+
+/// One parsed TRIPRIV_* annotation.
+struct Annotation {
+  enum class Kind { kNone, kSensitive, kSanitizes, kSink };
+  Kind kind = Kind::kNone;
+  Sensitivity level = Sensitivity::kClean;  ///< kSensitive floor / kSanitizes cap
+  bool digest = false;    ///< TRIPRIV_SANITIZES(level, digest): order-sensitive
+  std::string channel;    ///< TRIPRIV_SINK channel name
+};
+
+/// One function declaration or definition.
+struct FunctionDecl {
+  std::string name;        ///< simple name (constructors use the class name)
+  std::string class_name;  ///< enclosing class, or "" for free functions
+  int line = 0;            ///< 1-based line of the declaring identifier
+  std::vector<std::string> params;  ///< parameter names ("" when unnamed)
+  /// Token range of the body including the braces, or begin == end for a
+  /// body-less declaration.
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  Annotation ann;
+};
+
+/// A TRIPRIV_* annotation attached to a data member.
+struct MemberAnnotation {
+  std::string class_name;
+  std::string member;
+  Annotation ann;
+};
+
+/// One parsed translation unit.
+struct ParsedFile {
+  std::string path;  ///< '/'-separated path relative to the tree root
+  lint::LexedFile lexed;
+  std::vector<FunctionDecl> functions;
+  std::vector<MemberAnnotation> members;
+  /// Data members declared with std::unordered_* types, by simple name.
+  std::set<std::string> unordered_members;
+};
+
+/// Parses one file. Never fails: unparseable constructs are skipped.
+ParsedFile ParseFile(const std::string& rel_path, const std::string& contents);
+
+}  // namespace taint
+}  // namespace tripriv

@@ -1,0 +1,118 @@
+// tripriv_taint CLI.
+//
+// Usage:
+//   tripriv_taint --root DIR            analyze DIR/src (or DIR itself when
+//                                       it has no src/ — fixture corpora)
+//   tripriv_taint --root DIR FILE...    analyze specific files as one program
+//   tripriv_taint --json                emit the JSON report on stdout
+//   tripriv_taint --sarif PATH          also write a SARIF 2.1.0 log to PATH
+//   tripriv_taint --stats               print symbol-table/fixpoint stats
+//   tripriv_taint --list-rules          print the rule names and exit
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Default output is
+// one diagnostic per line on stdout: "file:line: [rule] message".
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "taint/analyzer.h"
+#include "taint/output.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string root;
+  std::string sarif_path;
+  bool json = false;
+  bool stats = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tripriv_taint: missing value after --root\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tripriv_taint: missing value after --sarif\n");
+        return 2;
+      }
+      sarif_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : tripriv::taint::TaintRuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: tripriv_taint --root DIR [FILE...] [--json] [--sarif PATH] "
+          "[--stats] | --list-rules\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr,
+                 "usage: tripriv_taint --root DIR [FILE...] [--json] "
+                 "[--sarif PATH] [--stats] | --list-rules\n");
+    return 2;
+  }
+
+  tripriv::taint::AnalysisResult result;
+  std::string error;
+  const bool ok =
+      files.empty()
+          ? tripriv::taint::AnalyzeTree(root, &result, &error)
+          : tripriv::taint::AnalyzePaths(root, files, &result, &error);
+  if (!ok) {
+    std::fprintf(stderr, "tripriv_taint: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "tripriv_taint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << tripriv::taint::ToSarif(result) << "\n";
+  }
+
+  if (json) {
+    std::printf("%s\n", tripriv::taint::ToJson(result).c_str());
+  } else {
+    for (const auto& diag : result.diagnostics) {
+      std::printf("%s\n", tripriv::lint::FormatDiagnostic(diag).c_str());
+    }
+  }
+  if (stats) {
+    std::fprintf(stderr,
+                 "tripriv_taint: %zu files, %zu functions, %zu sources, "
+                 "%zu sanitizers, %zu sinks (+%zu derived), "
+                 "fixpoint in %zu iteration(s)\n",
+                 result.stats.files, result.stats.functions,
+                 result.stats.sources, result.stats.sanitizers,
+                 result.stats.sinks, result.stats.derived_sinks,
+                 result.stats.iterations);
+  }
+  if (!result.diagnostics.empty()) {
+    std::fprintf(stderr, "tripriv_taint: %zu finding(s)\n",
+                 result.diagnostics.size());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,101 @@
+#include "taint/output.h"
+
+#include <sstream>
+
+namespace tripriv {
+namespace taint {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* RuleDescription(const std::string& rule) {
+  if (rule == "taint-flow-to-sink") {
+    return "A record-level sensitive value reaches an emission channel "
+           "without passing a sanitizer.";
+  }
+  if (rule == "taint-unordered-digest") {
+    return "Iteration over an unordered container feeds an order-sensitive "
+           "digest, fingerprint, or export.";
+  }
+  if (rule == "taint-rng-in-parallel") {
+    return "An Rng draw is reachable inside a ParallelFor shard, breaking "
+           "deterministic replay.";
+  }
+  return "tripriv_taint finding.";
+}
+
+}  // namespace
+
+std::string ToJson(const AnalysisResult& result) {
+  std::ostringstream os;
+  os << "{\"tool\":\"tripriv_taint\",\"stats\":{"
+     << "\"files\":" << result.stats.files
+     << ",\"functions\":" << result.stats.functions
+     << ",\"sources\":" << result.stats.sources
+     << ",\"sanitizers\":" << result.stats.sanitizers
+     << ",\"sinks\":" << result.stats.sinks
+     << ",\"derived_sinks\":" << result.stats.derived_sinks
+     << ",\"iterations\":" << result.stats.iterations
+     << "},\"findings\":[";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const lint::Diagnostic& d = result.diagnostics[i];
+    if (i > 0) os << ",";
+    os << "{\"file\":\"" << JsonEscape(d.file) << "\",\"line\":" << d.line
+       << ",\"rule\":\"" << JsonEscape(d.rule) << "\",\"message\":\""
+       << JsonEscape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ToSarif(const AnalysisResult& result) {
+  std::ostringstream os;
+  os << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+     << "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+     << "\"name\":\"tripriv_taint\",\"informationUri\":"
+     << "\"https://example.invalid/tripriv\",\"rules\":[";
+  const std::vector<std::string> rules = TaintRuleNames();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"id\":\"" << JsonEscape(rules[i])
+       << "\",\"shortDescription\":{\"text\":\""
+       << JsonEscape(RuleDescription(rules[i])) << "\"}}";
+  }
+  os << "]}},\"results\":[";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const lint::Diagnostic& d = result.diagnostics[i];
+    if (i > 0) os << ",";
+    os << "{\"ruleId\":\"" << JsonEscape(d.rule)
+       << "\",\"level\":\"error\",\"message\":{\"text\":\""
+       << JsonEscape(d.message)
+       << "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+       << "{\"uri\":\"" << JsonEscape(d.file)
+       << "\"},\"region\":{\"startLine\":" << d.line << "}}}]}";
+  }
+  os << "]}]}";
+  return os.str();
+}
+
+}  // namespace taint
+}  // namespace tripriv

@@ -1,0 +1,22 @@
+// Machine-readable output for tripriv_taint: a compact JSON report and a
+// minimal SARIF 2.1.0 document (the format CI code-scanning UIs ingest).
+
+#pragma once
+
+#include <string>
+
+#include "taint/analyzer.h"
+
+namespace tripriv {
+namespace taint {
+
+/// Renders the result as a JSON object:
+/// {"tool":"tripriv_taint","stats":{...},"findings":[{file,line,rule,message}]}
+std::string ToJson(const AnalysisResult& result);
+
+/// Renders the result as a SARIF 2.1.0 log with one run and one rule entry
+/// per taint rule.
+std::string ToSarif(const AnalysisResult& result);
+
+}  // namespace taint
+}  // namespace tripriv
