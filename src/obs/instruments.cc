@@ -6,6 +6,14 @@
 namespace tripriv {
 namespace obs {
 
+const char* TenantClassLabel(uint8_t cls) {
+  // Stable allowlisted label values; see the kClass* indices. These are
+  // service-tier constants, never rendered from request data.
+  static const char* const kNames[kNumTenantClasses] = {
+      "interactive", "batch", "analytics", "abusive", "unattributed"};
+  return cls < kNumTenantClasses ? kNames[cls] : "unattributed";
+}
+
 #ifdef TRIPRIV_OBS_DISABLED
 
 // Compiled-out build: hand back an inert bundle; every push/publish method
@@ -24,7 +32,16 @@ Result<EpochMetrics> EpochMetrics::Create(MetricsRegistry* /*registry*/) {
   return EpochMetrics();
 }
 
+Result<TrafficMetrics> TrafficMetrics::Create(MetricsRegistry* /*registry*/) {
+  return TrafficMetrics();
+}
+
 #else
+
+namespace {
+const char* const kShedReasonNames[kNumShedReasons] = {"queue_full",
+                                                       "overload", "deadline"};
+}  // namespace
 
 Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* registry,
                                               TraceRecorder* trace,
@@ -68,6 +85,17 @@ Result<ServiceMetrics> ServiceMetrics::Create(MetricsRegistry* registry,
       metrics.shed_,
       registry->RegisterCounter("tripriv_service_shed_total",
                                 "Queries shed by admission control"));
+  // The shed counter alone says the front door closed; the class label says
+  // on whom — which is what makes shed rates attributable without ever
+  // labeling a principal.
+  for (uint8_t c = 0; c < kNumTenantClasses; ++c) {
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.shed_by_class_[c],
+        registry->RegisterCounter("tripriv_service_shed_by_class_total",
+                                  "Queries shed by admission control, "
+                                  "by tenant class",
+                                  {{"class", TenantClassLabel(c)}}));
+  }
   TRIPRIV_ASSIGN_OR_RETURN(
       metrics.policy_refusals_,
       registry->RegisterCounter("tripriv_service_policy_refusals_total",
@@ -272,6 +300,56 @@ Result<EpochMetrics> EpochMetrics::Create(MetricsRegistry* registry) {
       metrics.store_images_,
       registry->RegisterGauge("tripriv_epoch_store_images",
                               "Epoch images held by the durable store"));
+  return metrics;
+}
+
+Result<TrafficMetrics> TrafficMetrics::Create(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("TrafficMetrics requires a registry");
+  }
+  TrafficMetrics metrics;
+  static const char* kTierValues[3] = {"protected", "dp_degraded", "refused"};
+  // Latency bounds in sim ticks: powers of two out to 2^16, so the SLO
+  // reader resolves p50/p99 to within a factor of two across four decades.
+  const std::vector<uint64_t> kLatencyBounds = {
+      1,   2,    4,    8,    16,   32,    64,    128,  256,
+      512, 1024, 2048, 4096, 8192, 16384, 32768, 65536};
+  for (uint8_t c = 0; c < kNumTenantClasses; ++c) {
+    const LabelSet cls_label = {{"class", TenantClassLabel(c)}};
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.arrivals_[c],
+        registry->RegisterCounter("tripriv_traffic_arrivals_total",
+                                  "Requests generated by the traffic profile,"
+                                  " by tenant class",
+                                  cls_label));
+    for (uint8_t r = 0; r < kNumShedReasons; ++r) {
+      TRIPRIV_ASSIGN_OR_RETURN(
+          metrics.shed_[c][r],
+          registry->RegisterCounter(
+              "tripriv_traffic_shed_total",
+              "Requests refused by the fair-queueing scheduler",
+              {{"class", TenantClassLabel(c)}, {"reason", kShedReasonNames[r]}}));
+    }
+    for (uint8_t t = 0; t < 3; ++t) {
+      TRIPRIV_ASSIGN_OR_RETURN(
+          metrics.answers_[c][t],
+          registry->RegisterCounter(
+              "tripriv_traffic_answers_total",
+              "Scheduler-dispatched answers by class and degradation tier",
+              {{"class", TenantClassLabel(c)}, {"tier", kTierValues[t]}}));
+    }
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.latency_[c],
+        registry->RegisterHistogram(
+            "tripriv_traffic_latency_ticks",
+            "Queue-to-completion latency in sim ticks, by tenant class",
+            kLatencyBounds, cls_label));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.backlog_[c],
+        registry->RegisterGauge("tripriv_traffic_backlog",
+                                "Queued requests at publish, by tenant class",
+                                cls_label));
+  }
   return metrics;
 }
 

@@ -58,6 +58,27 @@ inline constexpr uint8_t kBreakerClosed = 0;
 inline constexpr uint8_t kBreakerOpen = 1;
 inline constexpr uint8_t kBreakerHalfOpen = 2;
 
+/// Tenant classes as stable indices. A class is a coarse, allowlisted
+/// service tier — NEVER a principal id: attributing sheds and latency by
+/// class keeps overload observable without the metrics surface learning who
+/// asked (the user-privacy dimension). kClassUnattributed covers callers
+/// that predate the traffic scheduler (plain Submit with no class set).
+inline constexpr uint8_t kClassInteractive = 0;
+inline constexpr uint8_t kClassBatch = 1;
+inline constexpr uint8_t kClassAnalytics = 2;
+inline constexpr uint8_t kClassAbusive = 3;
+inline constexpr uint8_t kClassUnattributed = 4;
+inline constexpr uint8_t kNumTenantClasses = 5;
+
+/// Allowlisted label value of one tenant class ("interactive", ...).
+const char* TenantClassLabel(uint8_t cls);
+
+/// Shed reasons as stable indices (why the traffic scheduler refused).
+inline constexpr uint8_t kShedQueueFull = 0;
+inline constexpr uint8_t kShedOverload = 1;
+inline constexpr uint8_t kShedDeadline = 2;
+inline constexpr uint8_t kNumShedReasons = 3;
+
 struct ServiceMetricsOptions {
   /// Principal charged by the degraded (epsilon-DP Laplace) path.
   std::string degraded_principal = "degraded_path";
@@ -87,7 +108,15 @@ class ServiceMetrics {
 
   void OnAnswer(uint8_t tier) TRIPRIV_OBS_BODY(
       if (tier <= kTierRefused) tier_counters_[tier]->Increment();)
-  void OnShed() TRIPRIV_OBS_BODY(shed_->Increment();)
+  /// One admission-control shed, attributed to a tenant class so per-class
+  /// shed *rates* are observable. `cls` is a kClass* index (an allowlisted
+  /// label, never a principal id); out-of-range falls back to unattributed.
+  void OnShed(uint8_t cls) TRIPRIV_OBS_BODY(
+      shed_->Increment();
+      shed_by_class_[cls < kNumTenantClasses ? cls : kClassUnattributed]
+          ->Increment();)
+  /// Class-less legacy path: counts against kClassUnattributed.
+  void OnShed() { OnShed(kClassUnattributed); }
   void OnPolicyRefusal() TRIPRIV_OBS_BODY(policy_refusals_->Increment();)
   void OnCrash() TRIPRIV_OBS_BODY(crashes_->Increment();)
   /// One WAL append attempt: `bytes` framed, `ok` durable. The fsync-tick
@@ -192,6 +221,8 @@ class ServiceMetrics {
 
   Counter* tier_counters_[3] = {nullptr, nullptr, nullptr};
   Counter* shed_ = nullptr;
+  Counter* shed_by_class_[kNumTenantClasses] = {nullptr, nullptr, nullptr,
+                                                nullptr, nullptr};
   Counter* policy_refusals_ = nullptr;
   Counter* crashes_ = nullptr;
   Counter* wal_appends_ = nullptr;
@@ -280,6 +311,51 @@ class EpochMetrics {
   Gauge* peak_live_epochs_ = nullptr;
   Gauge* pending_mutations_ = nullptr;
   Gauge* store_images_ = nullptr;
+};
+
+/// Handle bundle for the traffic scheduler (service/traffic/): per-class
+/// arrival/answer/shed counters, the per-class latency le-histograms the
+/// SloGate reads p50/p99 from, and backlog gauges. Same discipline as the
+/// other bundles — push calls come from the serial scheduler loop, publish
+/// calls from an explicit publish step, every label is a class or reason
+/// constant (never a principal id), and -DTRIPRIV_OBS=OFF compiles every
+/// body out. Latency values are SimClock ticks, so snapshots stay
+/// byte-identical at any thread count.
+class TrafficMetrics {
+ public:
+  /// `registry` must outlive the bundle.
+  static Result<TrafficMetrics> Create(MetricsRegistry* registry);
+
+  // --- push API (serial scheduler loop) --------------------------------
+
+  void OnArrival(uint8_t cls) TRIPRIV_OBS_BODY(
+      if (cls < kNumTenantClasses) arrivals_[cls]->Increment();)
+  /// One scheduler-side shed: `reason` is a kShed* index.
+  void OnShed(uint8_t cls, uint8_t reason) TRIPRIV_OBS_BODY(
+      if (cls < kNumTenantClasses && reason < kNumShedReasons)
+          shed_[cls][reason]->Increment();)
+  /// One released answer by degradation tier (kTier* index).
+  void OnAnswer(uint8_t cls, uint8_t tier) TRIPRIV_OBS_BODY(
+      if (cls < kNumTenantClasses && tier <= kTierRefused)
+          answers_[cls][tier]->Increment();)
+  /// Queue-to-completion latency of one served request, in sim ticks.
+  void OnLatency(uint8_t cls, uint64_t ticks) TRIPRIV_OBS_BODY(
+      if (cls < kNumTenantClasses) latency_[cls]->Observe(ticks);)
+
+  // --- publish API (sampled scheduler state -> gauges) -----------------
+
+  void PublishBacklog(uint8_t cls, uint64_t depth) TRIPRIV_OBS_BODY(
+      if (cls < kNumTenantClasses)
+          backlog_[cls]->Set(static_cast<double>(depth));)
+
+ private:
+  TrafficMetrics() = default;
+
+  Counter* arrivals_[kNumTenantClasses] = {};
+  Counter* shed_[kNumTenantClasses][kNumShedReasons] = {};
+  Counter* answers_[kNumTenantClasses][3] = {};
+  Histogram* latency_[kNumTenantClasses] = {};
+  Gauge* backlog_[kNumTenantClasses] = {};
 };
 
 #undef TRIPRIV_OBS_BODY

@@ -66,6 +66,11 @@ LabelAllowlist LabelAllowlist::Default() {
         "samarati"}},
       {"state", {"closed", "open", "half_open"}},
       {"result", {"ok", "error"}},
+      // Tenant classes are coarse service tiers; the allowlist is exactly
+      // why a principal id can never ride this key.
+      {"class",
+       {"interactive", "batch", "analytics", "abusive", "unattributed"}},
+      {"reason", {"queue_full", "overload", "deadline"}},
   };
   for (const KeyValues& kv : kDefaults) {
     IgnoreError(list.AllowKey(kv.key));

@@ -1,0 +1,98 @@
+#include "obs/slo.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tripriv {
+namespace obs {
+
+SloGate::SloGate(std::string metric_name, std::string label_key)
+    : metric_name_(std::move(metric_name)), label_key_(std::move(label_key)) {}
+
+uint64_t SloGate::QuantileUpperBound(const HistogramData& histogram,
+                                     double q) {
+  TRIPRIV_CHECK(q > 0.0 && q <= 1.0);
+  if (histogram.count == 0) return 0;
+  // ceil(q * count) without floating-point accumulation: the smallest rank
+  // whose cumulative coverage reaches the quantile.
+  const double scaled = q * static_cast<double>(histogram.count);
+  uint64_t rank = static_cast<uint64_t>(scaled);
+  if (static_cast<double>(rank) < scaled) ++rank;
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.counts.size(); ++i) {
+    cumulative += histogram.counts[i];
+    if (cumulative >= rank) {
+      return i < histogram.bounds.size() ? histogram.bounds[i] : UINT64_MAX;
+    }
+  }
+  return UINT64_MAX;
+}
+
+Result<SloReport> SloGate::Evaluate(
+    const MetricsSnapshot& snapshot,
+    const std::vector<SloTarget>& targets) const {
+  SloReport report;
+  for (const SloTarget& target : targets) {
+    const MetricSample* found = nullptr;
+    for (const MetricSample& sample : snapshot.samples) {
+      if (sample.name != metric_name_ ||
+          sample.kind != MetricKind::kHistogram) {
+        continue;
+      }
+      for (const auto& label : sample.labels) {
+        if (label.first == label_key_ && label.second == target.class_name) {
+          found = &sample;
+          break;
+        }
+      }
+      if (found != nullptr) break;
+    }
+    if (found == nullptr) {
+      // Fail closed: a missing series means the latency instrument was not
+      // wired, and a gate that passes then gates nothing.
+      return Status::FailedPrecondition(
+          "no histogram series " + metric_name_ + "{" + label_key_ + "=" +
+          target.class_name + "} in the snapshot");
+    }
+    SloClassResult result;
+    result.class_name = target.class_name;
+    result.count = found->histogram.count;
+    result.p50_ticks = QuantileUpperBound(found->histogram, 0.50);
+    result.p99_ticks = QuantileUpperBound(found->histogram, 0.99);
+    result.pass = result.count == 0 ||
+                  (result.p50_ticks <= target.p50_max_ticks &&
+                   result.p99_ticks <= target.p99_max_ticks);
+    report.ok = report.ok && result.pass;
+    report.classes.push_back(std::move(result));
+  }
+  return report;
+}
+
+std::string RenderSloReport(const SloReport& report) {
+  std::ostringstream os;
+  os << "class            count      p50      p99  verdict\n";
+  for (const SloClassResult& result : report.classes) {
+    os << result.class_name;
+    for (size_t pad = result.class_name.size(); pad < 16; ++pad) os << ' ';
+    auto col = [&os](uint64_t v, int width) {
+      const std::string text =
+          v == UINT64_MAX ? std::string("+inf") : std::to_string(v);
+      for (int pad = width - static_cast<int>(text.size()); pad > 0; --pad) {
+        os << ' ';
+      }
+      os << text;
+    };
+    col(result.count, 6);
+    col(result.p50_ticks, 9);
+    col(result.p99_ticks, 9);
+    os << "  " << (result.pass ? "ok" : "VIOLATED") << "\n";
+  }
+  os << "slo gate: " << (report.ok ? "PASS" : "FAIL") << "\n";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace tripriv

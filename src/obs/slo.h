@@ -1,0 +1,86 @@
+// SLO gate over le-bucket latency histograms.
+//
+// The traffic simulator pushes queue-to-completion latency into per-class
+// le-histograms (obs::TrafficMetrics); this reader turns a MetricsSnapshot
+// back into per-class p50/p99 estimates and verdicts against declared
+// targets. Quantiles resolve to the *upper bound* of the first bucket whose
+// cumulative count covers the quantile — a conservative estimate (never
+// under-reports latency) that is an exact integer function of the bucket
+// counts, so gate verdicts are deterministic at any thread count.
+//
+// The gate is how SLOs become enforceable: bench_traffic_slo exits nonzero
+// when a run regresses past its targets, and the fairness-isolation test
+// asserts the well-behaved classes' verdicts survive an adversarial flood.
+// Reports render class labels and tick numbers only — a principal id never
+// reaches this surface (the label allowlist already made that structural).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/annotations.h"
+#include "obs/metrics.h"
+
+namespace tripriv {
+namespace obs {
+
+/// Latency targets for one tenant class, in sim ticks.
+struct SloTarget {
+  /// Allowlisted class label ("interactive", "batch", ...).
+  std::string class_name;
+  uint64_t p50_max_ticks = 0;
+  uint64_t p99_max_ticks = 0;
+};
+
+/// Measured quantiles and verdict for one class.
+struct SloClassResult {
+  std::string class_name;
+  /// Observations behind the estimate (0 = no traffic; passes vacuously).
+  uint64_t count = 0;
+  /// Conservative (bucket-upper-bound) estimates; UINT64_MAX means the
+  /// quantile fell in the +inf bucket.
+  uint64_t p50_ticks = 0;
+  uint64_t p99_ticks = 0;
+  bool pass = true;
+};
+
+/// Whole-gate outcome: per-class results plus the conjunction.
+struct SloReport {
+  std::vector<SloClassResult> classes;
+  bool ok = true;
+};
+
+/// Reads per-class quantiles out of snapshots; see file comment.
+class SloGate {
+ public:
+  /// Reads histograms named `metric_name` keyed by label `label_key`
+  /// (defaults match obs::TrafficMetrics).
+  explicit SloGate(std::string metric_name = "tripriv_traffic_latency_ticks",
+                   std::string label_key = "class");
+
+  /// Evaluates every target against `snapshot`. A target whose class has no
+  /// histogram series in the snapshot is an error (the gate must never pass
+  /// because the instrument it gates on was not wired); a series with zero
+  /// observations passes vacuously.
+  Result<SloReport> Evaluate(const MetricsSnapshot& snapshot,
+                             const std::vector<SloTarget>& targets) const;
+
+  /// Conservative quantile: the upper bound of the first bucket whose
+  /// cumulative count reaches ceil(q * count); UINT64_MAX for the +inf
+  /// bucket, 0 when the histogram is empty. q in (0, 1].
+  static uint64_t QuantileUpperBound(const HistogramData& histogram, double q);
+
+ private:
+  std::string metric_name_;
+  std::string label_key_;
+};
+
+/// Deterministic text rendering of a report (class labels and tick numbers
+/// only) — what bench_traffic_slo prints and CI archives.
+TRIPRIV_SINK(export)
+std::string RenderSloReport(const SloReport& report);
+
+}  // namespace obs
+}  // namespace tripriv

@@ -13,6 +13,13 @@ BatchExecutor::BatchExecutor(QueryService* service, ThreadPool* pool)
 
 std::vector<ServiceAnswer> BatchExecutor::ExecuteQueryBatch(
     const std::vector<StatQuery>& queries) {
+  return ExecuteQueryBatch(queries, {});
+}
+
+std::vector<ServiceAnswer> BatchExecutor::ExecuteQueryBatch(
+    const std::vector<StatQuery>& queries,
+    const std::vector<uint8_t>& classes) {
+  TRIPRIV_CHECK(classes.empty() || classes.size() == queries.size());
   ++stats_.stat_batches;
   stats_.stat_queries += queries.size();
   if (service_->instruments() != nullptr && !queries.empty()) {
@@ -41,6 +48,9 @@ std::vector<ServiceAnswer> BatchExecutor::ExecuteQueryBatch(
   std::vector<ServiceAnswer> answers;
   answers.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
+    // Class tags ride the serial stage only (metrics attribution is
+    // stateful); SubmitPrepared resets the tag after each request.
+    if (!classes.empty()) service_->set_request_class(classes[i]);
     answers.push_back(
         service_->SubmitPrepared(queries[i], std::move(prepared[i])));
   }

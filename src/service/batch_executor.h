@@ -52,6 +52,15 @@ class BatchExecutor {
   std::vector<ServiceAnswer> ExecuteQueryBatch(
       const std::vector<StatQuery>& queries);
 
+  /// Same, tagging query i with tenant class `classes[i]` (obs::kClass*
+  /// indices; positional, same length as `queries`) so shed and answer
+  /// metrics attribute to the right class. Classes only label metrics —
+  /// they never change a serving decision, so the determinism contract is
+  /// untouched.
+  std::vector<ServiceAnswer> ExecuteQueryBatch(
+      const std::vector<StatQuery>& queries,
+      const std::vector<uint8_t>& classes);
+
   /// Batched private record reads via the service's PIR backend; results
   /// are positional. Requires AttachPirBackend on the service.
   std::vector<Result<std::vector<uint8_t>>> ExecutePirBatch(

@@ -157,6 +157,9 @@ ServiceAnswer QueryService::SubmitPrepared(const StatQuery& query,
   const uint64_t submit_span = BeginSpan(span_ids_.submit, 0, next_query_id_);
   ServiceAnswer out =
       SubmitPreparedImpl(query, std::move(prepared), deadline, submit_span);
+  // A class tag covers exactly one request; reset so an untagged caller
+  // never inherits the previous tenant's class.
+  request_class_ = obs::kClassUnattributed;
   FinishSpan(submit_span, out.tier == AnswerTier::kRefused
                               ? out.refusal.code()
                               : StatusCode::kOk);
@@ -230,7 +233,9 @@ ServiceAnswer QueryService::SubmitPreparedImpl(const StatQuery& query,
   FinishSpan(admission_span, admitted.code());
   if (!admitted.ok()) {
     ++stats_.shed;
-    if (metrics_ != nullptr) metrics_->OnShed();
+    // Attributed to the caller-declared tenant class — an allowlisted
+    // label, never a principal id (unattributed when no class was set).
+    if (metrics_ != nullptr) metrics_->OnShed(request_class_);
     return Refuse(query_id, std::move(admitted));
   }
 
@@ -289,9 +294,6 @@ ServiceAnswer QueryService::SubmitPreparedImpl(const StatQuery& query,
 
 Result<ProtectedAnswer> QueryService::TryPrimary(const StatQuery& query,
                                                  const Deadline& deadline) {
-  if (!primary_breaker_->AllowRequest()) {
-    return Status::Unavailable("primary circuit breaker is open");
-  }
   const RetryPolicy retry =
       config_.retry.Truncated(deadline.remaining_ticks(*clock_));
   const size_t max_attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
@@ -300,6 +302,16 @@ Result<ProtectedAnswer> QueryService::TryPrimary(const StatQuery& query,
     if (deadline.expired(*clock_)) {
       return DeadlineExceededError("primary path after " +
                                    std::to_string(attempt) + " attempt(s)");
+    }
+    // The breaker gates EVERY attempt, not just the first. Checking once
+    // before the loop let retries keep hammering a backend whose first
+    // attempt had just tripped the breaker — and, worse, let a burst
+    // arriving in the half-open window ride a single probe permission for
+    // its whole retry budget, multiplying trial load on a barely-recovered
+    // backend. Once the breaker refuses there is no point burning backoff:
+    // return immediately and let the ladder degrade.
+    if (!primary_breaker_->AllowRequest()) {
+      return Status::Unavailable("primary circuit breaker is open");
     }
     if (fault_rng_.Bernoulli(config_.faults.backend_fault_rate)) {
       primary_breaker_->RecordFailure();

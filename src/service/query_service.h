@@ -205,6 +205,16 @@ class QueryService {
   /// batch-shape histograms alongside the service's own counters.
   obs::ServiceMetrics* instruments() const { return metrics_; }
 
+  /// Tags the NEXT SubmitPrepared call with a tenant class
+  /// (obs::kClassInteractive ...), so shed events carry an allowlisted,
+  /// non-sensitive class label instead of landing in "unattributed". The
+  /// tag covers exactly one request: SubmitPrepared resets it so an
+  /// untagged caller can never inherit the previous tenant's class.
+  /// Principal ids never enter this seam — callers map principal→class
+  /// before the service sees the request.
+  void set_request_class(uint8_t cls) { request_class_ = cls; }
+  uint8_t request_class() const { return request_class_; }
+
   /// Privately reads record `index` through the attached failover client.
   Result<std::vector<uint8_t>> PirRead(size_t index, const Deadline& deadline);
 
@@ -285,6 +295,8 @@ class QueryService {
   double epsilon_spent_ = 0.0;
   uint64_t next_query_id_ = 0;
   bool crashed_ = false;
+  /// Tenant class of the in-flight request (see set_request_class).
+  uint8_t request_class_ = obs::kClassUnattributed;
 
   // Optional attached paths.
   std::vector<const PrivateAggregateServer*> aggregate_replicas_;

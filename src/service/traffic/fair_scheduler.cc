@@ -1,0 +1,157 @@
+#include "service/traffic/fair_scheduler.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace tripriv {
+namespace traffic {
+namespace {
+
+/// Digest op codes (stable across builds; part of the replay contract).
+constexpr uint8_t kOpEnqueue = 1;
+constexpr uint8_t kOpDispatch = 2;
+constexpr uint8_t kOpShedFull = 3;
+constexpr uint8_t kOpShedOverload = 4;
+constexpr uint8_t kOpShedDeadline = 5;
+
+std::vector<DrrTenantConfig> BuildTenantConfigs(
+    const TrafficProfile& profile, const FairSchedulerConfig& config) {
+  std::vector<DrrTenantConfig> tenants(profile.num_tenants);
+  for (uint32_t t = 0; t < profile.num_tenants; ++t) {
+    const ClassPolicy& policy = config.by_class[TenantClass(profile, t)];
+    tenants[t].weight = policy.weight < 1 ? 1 : policy.weight;
+    tenants[t].capacity = policy.queue_capacity < 1 ? 1 : policy.queue_capacity;
+  }
+  return tenants;
+}
+
+}  // namespace
+
+FairScheduler::FairScheduler(const TrafficProfile& profile,
+                             FairSchedulerConfig config)
+    : config_(config),
+      num_tenants_(profile.num_tenants),
+      queue_(BuildTenantConfigs(profile, config),
+             config.quantum < 1 ? 1 : config.quantum) {
+  TRIPRIV_CHECK_GE(config_.cost_per_item, 1u);
+  TRIPRIV_CHECK_GE(config_.batch_size, 1u);
+  for (uint32_t t = 0; t < num_tenants_; ++t) {
+    total_weight_ += queue_.tenant_config(t).weight;
+  }
+}
+
+void FairScheduler::Fold(uint8_t op, uint32_t tenant, uint64_t detail) {
+  // FNV-1a over the 13 decision bytes, in a fixed little-endian layout.
+  uint8_t bytes[13];
+  bytes[0] = op;
+  for (int i = 0; i < 4; ++i) {
+    bytes[1 + i] = static_cast<uint8_t>(tenant >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    bytes[5 + i] = static_cast<uint8_t>(detail >> (8 * i));
+  }
+  for (uint8_t b : bytes) {
+    digest_ ^= b;
+    digest_ *= 1099511628211ULL;
+  }
+}
+
+EnqueueOutcome FairScheduler::Enqueue(const TrafficEvent& event) {
+  TRIPRIV_CHECK_LT(event.tenant, num_tenants_);
+  EnqueueOutcome outcome;
+  const uint64_t handle = arena_.size();
+  Status pushed = queue_.Push(event.tenant, handle);
+  if (!pushed.ok()) {
+    ++stats_.shed_queue_full[event.cls];
+    Fold(kOpShedFull, event.tenant, event.arrival_tick);
+    outcome.queued = false;
+    outcome.shed_reason = obs::kShedQueueFull;
+    return outcome;
+  }
+  arena_.push_back(event);
+  ++stats_.enqueued[event.cls];
+  Fold(kOpEnqueue, event.tenant, handle);
+  outcome.queued = true;
+  return outcome;
+}
+
+size_t FairScheduler::FairShare(uint32_t tenant) const {
+  TRIPRIV_CHECK_LT(tenant, num_tenants_);
+  TRIPRIV_CHECK_GT(total_weight_, 0u);
+  const size_t share = static_cast<size_t>(
+      static_cast<uint64_t>(config_.high_watermark) *
+      queue_.tenant_config(tenant).weight / total_weight_);
+  return share < 1 ? 1 : share;
+}
+
+void FairScheduler::EnforceWatermark(std::vector<TrafficEvent>* shed) {
+  TRIPRIV_CHECK(shed != nullptr);
+  while (queue_.backlog() > config_.high_watermark) {
+    // Pick the tenant furthest over its fair share; lowest id breaks ties
+    // (a fixed rule — determinism again). A backlog above the watermark
+    // with every tenant at or under fair share is impossible: the shares
+    // sum to at most the watermark.
+    uint32_t victim = UINT32_MAX;
+    size_t worst_excess = 0;
+    for (uint32_t t = 0; t < num_tenants_; ++t) {
+      const size_t backlog = queue_.tenant_backlog(t);
+      const size_t share = FairShare(t);
+      if (backlog > share && backlog - share > worst_excess) {
+        worst_excess = backlog - share;
+        victim = t;
+      }
+    }
+    // Bounded harm: overload shedding only ever lands on a tenant above
+    // its own fair share. If every tenant is at or under share (possible
+    // when the floor-clamped shares sum past the watermark), stop — a
+    // compliant tenant is never shed, even over the watermark; DRR will
+    // drain the residue.
+    if (victim == UINT32_MAX) break;
+    shed_scratch_.clear();
+    const size_t drop = queue_.ShedNewest(victim, worst_excess, &shed_scratch_);
+    TRIPRIV_CHECK_GT(drop, 0u);
+    for (uint64_t handle : shed_scratch_) {
+      const TrafficEvent& event = arena_[handle];
+      ++stats_.shed_overload[event.cls];
+      Fold(kOpShedOverload, victim, handle);
+      shed->push_back(event);
+    }
+  }
+}
+
+size_t FairScheduler::PollRound(uint64_t now,
+                                std::vector<TrafficEvent>* runnable,
+                                std::vector<TrafficEvent>* expired) {
+  TRIPRIV_CHECK(runnable != nullptr);
+  TRIPRIV_CHECK(expired != nullptr);
+  size_t dispatched = 0;
+  // Expired events cost a dequeue but no service; keep polling until the
+  // batch holds `batch_size` runnable events or the queue stops yielding.
+  while (dispatched < config_.batch_size) {
+    scratch_.clear();
+    const size_t popped = queue_.PollRound(config_.batch_size - dispatched,
+                                           config_.cost_per_item, &scratch_);
+    if (popped == 0) break;
+    for (const auto& [tenant, handle] : scratch_) {
+      const TrafficEvent& event = arena_[handle];
+      const uint64_t expiry = event.arrival_tick + event.deadline_ticks;
+      if (expiry <= now) {
+        // The request's own budget died in queue (the slow-loris shape):
+        // drop before any backend work, as a typed refusal.
+        ++stats_.shed_deadline[event.cls];
+        Fold(kOpShedDeadline, tenant, handle);
+        expired->push_back(event);
+        continue;
+      }
+      ++stats_.dispatched[event.cls];
+      Fold(kOpDispatch, tenant, handle);
+      runnable->push_back(event);
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace traffic
+}  // namespace tripriv

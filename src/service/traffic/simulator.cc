@@ -1,0 +1,256 @@
+#include "service/traffic/simulator.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "service/audit_wal.h"
+#include "table/datasets.h"
+#include "util/logging.h"
+
+namespace tripriv {
+namespace traffic {
+namespace {
+
+/// Maps an event key to a query shape. Three families over the census
+/// table, literals folded down to a handful of values — query text is
+/// shaped by the key stream, never by raw principal ids.
+StatQuery QueryForKey(uint64_t key) {
+  StatQuery query;
+  query.table = "census";
+  const uint64_t variant = key / 3;
+  switch (key % 3) {
+    case 0: {
+      const int64_t lo = 18 + static_cast<int64_t>(variant % 55);
+      query.where = Predicate::And(
+          Predicate::Compare("age", CompareOp::kGe, Value(lo)),
+          Predicate::Compare("age", CompareOp::kLe, Value(lo + 12)));
+      break;
+    }
+    case 1: {
+      const int64_t floor = 1 + static_cast<int64_t>(variant % 12);
+      query.where =
+          Predicate::Compare("education", CompareOp::kGe, Value(floor));
+      break;
+    }
+    default: {
+      query.where = Predicate::Compare(
+          "region", CompareOp::kEq,
+          Value("R" + std::to_string(variant % 12)));
+      break;
+    }
+  }
+  return query;
+}
+
+uint8_t TierIndex(AnswerTier tier) {
+  switch (tier) {
+    case AnswerTier::kProtected:
+      return obs::kTierProtected;
+    case AnswerTier::kDpDegraded:
+      return obs::kTierDpDegraded;
+    case AnswerTier::kRefused:
+      return obs::kTierRefused;
+  }
+  return obs::kTierRefused;
+}
+
+}  // namespace
+
+uint64_t SimulationReport::total_arrivals() const {
+  uint64_t total = 0;
+  for (const ClassTotals& totals : by_class) total += totals.arrivals;
+  return total;
+}
+
+uint64_t SimulationReport::total_scheduler_sheds() const {
+  uint64_t total = 0;
+  for (const ClassTotals& totals : by_class) {
+    total += totals.shed_queue_full + totals.shed_overload +
+             totals.shed_deadline;
+  }
+  return total;
+}
+
+Result<SimulationReport> RunTrafficSimulation(const SimulatorConfig& config,
+                                              ThreadPool* pool,
+                                              obs::MetricsRegistry* registry) {
+  if (config.window_ticks < 1) {
+    return Status::InvalidArgument("window_ticks must be >= 1");
+  }
+  if (config.batches_per_window < 1) {
+    return Status::InvalidArgument("batches_per_window must be >= 1");
+  }
+
+  // Widen service admission past one window's dispatch volume: the fair
+  // scheduler is the designed shedding point; the admission queue stays a
+  // backstop instead of a second, class-blind shedder.
+  QueryServiceConfig service_config = config.service;
+  const size_t window_dispatch =
+      config.scheduler.batch_size * config.batches_per_window;
+  if (service_config.admission.capacity < window_dispatch + 4) {
+    service_config.admission.capacity = window_dispatch + 4;
+  }
+
+  MemWalIo wal_io;
+  TRIPRIV_ASSIGN_OR_RETURN(
+      QueryService service,
+      QueryService::Create(MakeCensus(config.table_rows, config.table_seed),
+                           service_config, &wal_io));
+
+  // Optional instruments. The service bundle carries the shed-by-class
+  // counter (satellite of the same per-class surface); the traffic bundle
+  // carries the latency histograms the SloGate reads.
+  std::optional<obs::ServiceMetrics> service_metrics;
+  std::optional<obs::TrafficMetrics> traffic_metrics;
+  if (registry != nullptr) {
+    TRIPRIV_ASSIGN_OR_RETURN(
+        obs::ServiceMetrics sm,
+        obs::ServiceMetrics::Create(registry, nullptr, nullptr));
+    service_metrics.emplace(std::move(sm));
+    service.AttachInstruments(&*service_metrics);
+    TRIPRIV_ASSIGN_OR_RETURN(obs::TrafficMetrics tm,
+                             obs::TrafficMetrics::Create(registry));
+    traffic_metrics.emplace(std::move(tm));
+  }
+
+  BatchExecutor executor(&service, pool);
+  TrafficGenerator generator(config.profile);
+  FairScheduler scheduler(config.profile, config.scheduler);
+  SimClock* clock = service.sim_clock();
+
+  // tenant -> class, precomputed once (the publish loop runs per window).
+  std::vector<uint8_t> tenant_class(config.profile.num_tenants);
+  for (uint32_t t = 0; t < config.profile.num_tenants; ++t) {
+    tenant_class[t] = TenantClass(config.profile, t);
+  }
+
+  SimulationReport report;
+  std::vector<TrafficEvent> window_events;
+  std::vector<TrafficEvent> shed_events;
+  std::vector<TrafficEvent> runnable;
+  std::vector<TrafficEvent> expired;
+  std::vector<StatQuery> queries;
+  std::vector<uint8_t> classes;
+
+  const uint64_t total_windows = config.num_windows + config.drain_windows;
+  for (uint64_t w = 0; w < total_windows; ++w) {
+    const uint64_t window_end = (w + 1) * config.window_ticks;
+
+    // --- Arrivals (none during drain windows). The generator stream is a
+    // pure function of the profile; enqueue order is arrival order.
+    window_events.clear();
+    if (w < config.num_windows) {
+      generator.GenerateWindow(w * config.window_ticks, window_end,
+                               &window_events);
+    }
+    // The window's wall advances regardless of how little work happened —
+    // open-loop load never waits for the service.
+    if (clock->now() < window_end) clock->Advance(window_end - clock->now());
+
+    for (const TrafficEvent& event : window_events) {
+      ++report.by_class[event.cls].arrivals;
+      if (traffic_metrics) traffic_metrics->OnArrival(event.cls);
+      const EnqueueOutcome outcome = scheduler.Enqueue(event);
+      if (!outcome.queued) {
+        ++report.by_class[event.cls].shed_queue_full;
+        if (traffic_metrics) {
+          traffic_metrics->OnShed(event.cls, obs::kShedQueueFull);
+        }
+      }
+    }
+
+    // --- Overload control: shed newest-first from over-share tenants
+    // only, each victim leaving as a typed refusal.
+    shed_events.clear();
+    scheduler.EnforceWatermark(&shed_events);
+    for (const TrafficEvent& event : shed_events) {
+      ++report.by_class[event.cls].shed_overload;
+      if (traffic_metrics) {
+        traffic_metrics->OnShed(event.cls, obs::kShedOverload);
+      }
+    }
+
+    // --- Service: a bounded number of DRR batches per window. Deadline
+    // corpses drop at dispatch; live events run the real serving ladder.
+    for (size_t batch = 0; batch < config.batches_per_window; ++batch) {
+      runnable.clear();
+      expired.clear();
+      scheduler.PollRound(clock->now(), &runnable, &expired);
+      for (const TrafficEvent& event : expired) {
+        ++report.by_class[event.cls].shed_deadline;
+        if (traffic_metrics) {
+          traffic_metrics->OnShed(event.cls, obs::kShedDeadline);
+        }
+      }
+      if (runnable.empty()) continue;
+      queries.clear();
+      classes.clear();
+      for (const TrafficEvent& event : runnable) {
+        queries.push_back(QueryForKey(event.key));
+        classes.push_back(event.cls);
+      }
+      // The serving ladder is the sanctioned carrier for query-shaped
+      // data: every answer it releases is policy-checked and protected
+      // (exact > epsilon-DP > refusal), which is the point of the
+      // simulation. Keys reach it as MixKey digests folded to a handful
+      // of literal values, never raw principal ids.
+      const std::vector<ServiceAnswer> answers =
+          // NOLINTNEXTLINE(taint-flow-to-sink)
+          executor.ExecuteQueryBatch(queries, classes);
+      const uint64_t completed_at = clock->now();
+      for (size_t i = 0; i < answers.size(); ++i) {
+        const TrafficEvent& event = runnable[i];
+        ClassTotals& totals = report.by_class[event.cls];
+        switch (answers[i].tier) {
+          case AnswerTier::kProtected:
+            ++totals.protected_answers;
+            break;
+          case AnswerTier::kDpDegraded:
+            ++totals.dp_answers;
+            break;
+          case AnswerTier::kRefused:
+            ++totals.refusals;
+            break;
+        }
+        const uint64_t latency = completed_at > event.arrival_tick
+                                     ? completed_at - event.arrival_tick
+                                     : 0;
+        totals.latency_ticks_sum += latency;
+        ++totals.served;
+        if (traffic_metrics) {
+          traffic_metrics->OnAnswer(event.cls, TierIndex(answers[i].tier));
+          traffic_metrics->OnLatency(event.cls, latency);
+        }
+      }
+    }
+
+    // --- Publish sampled state from the serial loop, per the obs
+    // discipline (gauges never move mid-batch).
+    if (traffic_metrics) {
+      uint64_t backlog_by_class[obs::kNumTenantClasses] = {};
+      for (uint32_t t = 0; t < scheduler.num_tenants(); ++t) {
+        backlog_by_class[tenant_class[t]] += scheduler.tenant_backlog(t);
+      }
+      for (uint8_t c = 0; c < obs::kNumTenantClasses; ++c) {
+        traffic_metrics->PublishBacklog(c, backlog_by_class[c]);
+      }
+      service.PublishMetrics();
+    }
+  }
+
+  report.scheduler_digest = scheduler.decision_digest();
+  report.total_events = generator.events_generated();
+  report.final_tick = clock->now();
+  TRIPRIV_ASSIGN_OR_RETURN(std::vector<uint8_t> wal_bytes, wal_io.ReadAll());
+  report.wal_bytes = wal_bytes.size();
+  if (registry != nullptr) {
+    report.metrics_json = obs::ToJson(registry->Snapshot());
+  }
+  return report;
+}
+
+}  // namespace traffic
+}  // namespace tripriv

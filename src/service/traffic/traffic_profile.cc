@@ -1,0 +1,169 @@
+#include "service/traffic/traffic_profile.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tripriv {
+namespace traffic {
+namespace {
+
+/// SplitMix64 finalizer — decouples the query-shape key from the raw
+/// principal id so the key stream has no exploitable structure while
+/// staying a pure function of (principal, tick).
+uint64_t MixKey(uint64_t principal, uint64_t tick) {
+  uint64_t z = principal * 0x9E3779B97F4A7C15ULL + tick;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint32_t PrincipalTenant(const TrafficProfile& profile, uint64_t principal) {
+  TRIPRIV_CHECK_GE(profile.num_tenants, 1u);
+  return static_cast<uint32_t>(principal % profile.num_tenants);
+}
+
+uint8_t TenantClass(const TrafficProfile& profile, uint32_t tenant) {
+  if (tenant == profile.flood_tenant || tenant == profile.loris_tenant) {
+    return obs::kClassAbusive;
+  }
+  switch (tenant % 3) {
+    case 0:
+      return obs::kClassInteractive;
+    case 1:
+      return obs::kClassBatch;
+    default:
+      return obs::kClassAnalytics;
+  }
+}
+
+TrafficProfile TrafficProfile::Steady(uint64_t seed) {
+  TrafficProfile p;
+  p.seed = seed;
+  return p;
+}
+
+TrafficProfile TrafficProfile::Diurnal(uint64_t seed) {
+  TrafficProfile p = Steady(seed);
+  p.diurnal_amplitude = 0.8;
+  p.diurnal_period = 256;
+  return p;
+}
+
+TrafficProfile TrafficProfile::Bursty(uint64_t seed) {
+  TrafficProfile p = Steady(seed);
+  p.burst_on_prob = 0.02;
+  p.burst_off_prob = 0.15;
+  p.burst_multiplier = 4.0;
+  return p;
+}
+
+TrafficProfile TrafficProfile::Flood(uint64_t seed) {
+  TrafficProfile p = Steady(seed);
+  p.flood_tenant = 7;
+  p.flood_multiplier = 100.0;
+  return p;
+}
+
+TrafficProfile TrafficProfile::SlowLoris(uint64_t seed) {
+  TrafficProfile p = Steady(seed);
+  p.loris_tenant = 11;
+  p.loris_fraction = 0.8;
+  p.loris_deadline_ticks = 1;
+  return p;
+}
+
+TrafficProfile TrafficProfile::Mixed(uint64_t seed) {
+  TrafficProfile p = Steady(seed);
+  p.diurnal_amplitude = 0.5;
+  p.burst_on_prob = 0.02;
+  p.burst_off_prob = 0.15;
+  p.burst_multiplier = 3.0;
+  p.flood_tenant = 7;
+  p.flood_multiplier = 100.0;
+  p.loris_tenant = 11;
+  return p;
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficProfile& profile)
+    : profile_(profile),
+      zipf_(profile.num_principals, profile.zipf_s),
+      diurnal_(profile.diurnal_amplitude, profile.diurnal_period),
+      burst_(profile.burst_on_prob, profile.burst_off_prob,
+             profile.burst_multiplier, profile.seed ^ 0xB02571ULL),
+      rng_(profile.seed) {
+  TRIPRIV_CHECK_GE(profile.num_principals, 1u);
+  TRIPRIV_CHECK_GE(profile.num_tenants, 1u);
+  TRIPRIV_CHECK(profile.base_rate >= 0.0);
+}
+
+TrafficEvent TrafficGenerator::MakeOrganicEvent(uint64_t t) {
+  TrafficEvent event;
+  event.principal = zipf_.Sample(&rng_);
+  event.tenant = PrincipalTenant(profile_, event.principal);
+  event.cls = TenantClass(profile_, event.tenant);
+  event.arrival_tick = t;
+  event.key = MixKey(event.principal, t);
+  event.deadline_ticks = profile_.default_deadline_ticks;
+  if (event.tenant == profile_.loris_tenant &&
+      rng_.Bernoulli(profile_.loris_fraction)) {
+    event.deadline_ticks = profile_.loris_deadline_ticks;
+  }
+  return event;
+}
+
+TrafficEvent TrafficGenerator::MakeFloodEvent(uint64_t t) {
+  // The flood draws uniformly over the principals the flooding tenant
+  // owns (tenant + k * num_tenants): one abusive org hammering through
+  // its whole user base, not one hot key.
+  const uint64_t owned =
+      (profile_.num_principals + profile_.num_tenants - 1 -
+       profile_.flood_tenant) /
+      profile_.num_tenants;
+  TrafficEvent event;
+  event.principal = profile_.flood_tenant +
+                    static_cast<uint64_t>(profile_.num_tenants) *
+                        rng_.UniformU64(owned < 1 ? 1 : owned);
+  event.tenant = profile_.flood_tenant;
+  event.cls = TenantClass(profile_, event.tenant);
+  event.arrival_tick = t;
+  event.key = MixKey(event.principal, t);
+  event.deadline_ticks = profile_.default_deadline_ticks;
+  return event;
+}
+
+void TrafficGenerator::GenerateWindow(uint64_t t0, uint64_t t1,
+                                      std::vector<TrafficEvent>* out) {
+  TRIPRIV_CHECK(out != nullptr);
+  TRIPRIV_CHECK_EQ(t0, next_tick_);  // contiguous windows own the carry state
+  TRIPRIV_CHECK_LE(t0, t1);
+  for (uint64_t t = t0; t < t1; ++t) {
+    // One burst step per tick regardless of rate: the burst pattern is a
+    // function of time, not of how many events happen to arrive.
+    const double burst_multiplier =
+        profile_.burst_on_prob > 0.0 ? burst_.Step() : 1.0;
+    const double organic_rate =
+        profile_.base_rate * diurnal_.MultiplierAt(t) * burst_multiplier;
+    organic_carry_ += organic_rate;
+    while (organic_carry_ >= 1.0) {
+      organic_carry_ -= 1.0;
+      out->push_back(MakeOrganicEvent(t));
+      ++events_generated_;
+    }
+    if (profile_.flood_tenant != UINT32_MAX) {
+      flood_carry_ += profile_.flood_multiplier * profile_.base_rate /
+                      static_cast<double>(profile_.num_tenants);
+      while (flood_carry_ >= 1.0) {
+        flood_carry_ -= 1.0;
+        out->push_back(MakeFloodEvent(t));
+        ++events_generated_;
+      }
+    }
+  }
+  next_tick_ = t1;
+}
+
+}  // namespace traffic
+}  // namespace tripriv

@@ -1,0 +1,149 @@
+// Seeded, replayable traffic profiles for the million-principal simulator.
+//
+// A TrafficProfile is a complete description of an open-loop arrival
+// process: how many principals exist, how popularity skews across them
+// (Zipf), how the aggregate rate swings over simulated time (diurnal wave),
+// how load spikes correlate (two-state burst process), and which tenants —
+// if any — misbehave (a flooding tenant pushing ~100x its fair share, a
+// slow-loris tenant submitting requests whose deadlines are designed to
+// expire in queue). TrafficGenerator turns a profile into a stream of
+// TrafficEvents, deterministically: the same profile produces the same
+// byte-exact event stream on every run, which is what lets the fairness
+// and SLO suites replay adversarial scenarios as regression tests.
+//
+// Privacy posture: the principal id on an event is respondent-scoped data
+// (TRIPRIV_SENSITIVE(record)); the only attributes that may reach metrics
+// or SLO exports are the tenant *class* (five allowlisted values) — the
+// sanitizing maps live here so the flow principal -> tenant -> class is a
+// declared, lint-checked narrowing, not an accident of the scheduler.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annotations.h"
+#include "obs/instruments.h"
+#include "util/random.h"
+#include "util/workload.h"
+
+namespace tripriv {
+namespace traffic {
+
+/// One simulated request arrival.
+struct TrafficEvent {
+  /// Simulated end user issuing the request — respondent-scoped; must
+  /// never reach a metric label, SLO export, or log line.
+  TRIPRIV_SENSITIVE(record)
+  uint64_t principal = 0;
+  /// Owning tenant (fair-queueing unit), in [0, num_tenants).
+  uint32_t tenant = 0;
+  /// obs::kClass* index of the tenant — the allowlisted label surface.
+  uint8_t cls = obs::kClassUnattributed;
+  /// Simulated tick the request arrived at the scheduler.
+  uint64_t arrival_tick = 0;
+  /// Relative deadline budget (slow-loris events carry tiny ones).
+  uint64_t deadline_ticks = 0;
+  /// Drives the query shape; derived from the principal's popularity
+  /// rank, so hot keys concentrate exactly as the Zipf skew dictates.
+  uint64_t key = 0;
+};
+
+/// Complete, seeded description of an arrival process; see file comment.
+struct TrafficProfile {
+  uint64_t seed = 1;
+  /// Simulated end-user universe. The Zipf sampler is O(1) in this, so a
+  /// million principals cost no memory.
+  uint64_t num_principals = 1000000;
+  /// Fair-queueing units; principals map onto tenants round-robin.
+  uint32_t num_tenants = 32;
+  /// Mean fleet-wide arrivals per simulated tick (before modulation).
+  double base_rate = 2.0;
+  /// Zipf exponent of principal popularity (rank 0 hottest).
+  double zipf_s = 1.1;
+
+  /// Diurnal rate swing: multiplier 1 +/- amplitude over one period.
+  double diurnal_amplitude = 0.0;
+  uint64_t diurnal_period = 256;
+
+  /// Correlated bursts: quiet <-> burst Markov chain; multiplier applies
+  /// to the base rate while bursting. on_prob == 0 disables.
+  double burst_on_prob = 0.0;
+  double burst_off_prob = 0.25;
+  double burst_multiplier = 4.0;
+
+  /// Adversarial flood: this tenant (UINT32_MAX = none) receives extra
+  /// arrivals at flood_multiplier x its fair share (base_rate /
+  /// num_tenants) on top of organic traffic.
+  uint32_t flood_tenant = UINT32_MAX;
+  double flood_multiplier = 100.0;
+
+  /// Slow loris: this tenant (UINT32_MAX = none) submits a fraction of
+  /// its requests with a deadline so short it expires in queue, holding
+  /// scheduler slots for work that can never be served.
+  uint32_t loris_tenant = UINT32_MAX;
+  double loris_fraction = 0.8;
+  uint64_t loris_deadline_ticks = 1;
+
+  /// Deadline budget of well-behaved requests.
+  uint64_t default_deadline_ticks = 512;
+
+  // Named mixes, the replayable scenario library of the SLO bench and the
+  // fairness suites. Each is the steady profile plus one twist.
+  static TrafficProfile Steady(uint64_t seed);
+  static TrafficProfile Diurnal(uint64_t seed);
+  static TrafficProfile Bursty(uint64_t seed);
+  static TrafficProfile Flood(uint64_t seed);
+  static TrafficProfile SlowLoris(uint64_t seed);
+  /// Everything at once: diurnal + bursts + flood + loris.
+  static TrafficProfile Mixed(uint64_t seed);
+};
+
+/// principal -> tenant: round-robin over the tenant ring. A tenant id
+/// aggregates ~num_principals / num_tenants respondents.
+TRIPRIV_SANITIZES(aggregate)
+uint32_t PrincipalTenant(const TrafficProfile& profile, uint64_t principal);
+
+/// tenant -> class: the five-value allowlisted label surface. Abusive
+/// tenants (flood / loris) map to kClassAbusive; organic tenants cycle
+/// interactive / batch / analytics.
+TRIPRIV_SANITIZES(clean)
+uint8_t TenantClass(const TrafficProfile& profile, uint32_t tenant);
+
+/// Turns a profile into its deterministic event stream, window by window.
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficProfile& profile);
+
+  /// Appends every event with arrival tick in [t0, t1) to `out`, in
+  /// arrival order. Windows must be requested in increasing, contiguous
+  /// order (the generator owns carry state between ticks); the stream is
+  /// a pure function of the profile, so equal profiles produce
+  /// byte-identical streams.
+  void GenerateWindow(uint64_t t0, uint64_t t1,
+                      std::vector<TrafficEvent>* out);
+
+  uint64_t events_generated() const { return events_generated_; }
+  const TrafficProfile& profile() const { return profile_; }
+
+ private:
+  /// Builds one organic event for tick `t` (draws principal + loris coin).
+  TrafficEvent MakeOrganicEvent(uint64_t t);
+  /// Builds one flood event for tick `t` (principal owned by the flooder).
+  TrafficEvent MakeFloodEvent(uint64_t t);
+
+  TrafficProfile profile_;
+  ZipfSampler zipf_;
+  DiurnalWave diurnal_;
+  BurstProcess burst_;
+  Rng rng_;
+  /// Fractional-arrival accumulators: rate r per tick realizes as
+  /// floor(carry += r) arrivals — exact, smooth, and draw-free.
+  double organic_carry_ = 0.0;
+  double flood_carry_ = 0.0;
+  uint64_t next_tick_ = 0;
+  uint64_t events_generated_ = 0;
+};
+
+}  // namespace traffic
+}  // namespace tripriv

@@ -1,0 +1,125 @@
+#include "util/drr_queue.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+
+namespace tripriv {
+
+DrrQueue::DrrQueue(std::vector<DrrTenantConfig> tenants, uint64_t quantum)
+    : quantum_(quantum) {
+  TRIPRIV_CHECK(!tenants.empty());
+  TRIPRIV_CHECK(quantum_ >= 1);
+  tenants_.reserve(tenants.size());
+  for (const DrrTenantConfig& config : tenants) {
+    TRIPRIV_CHECK(config.weight >= 1);
+    TRIPRIV_CHECK(config.capacity >= 1);
+    Tenant t;
+    t.config = config;
+    tenants_.push_back(std::move(t));
+  }
+}
+
+void DrrQueue::Activate(size_t tenant) {
+  Tenant& t = tenants_[tenant];
+  if (t.on_round_list || t.fifo.empty()) return;
+  t.on_round_list = true;
+  round_list_.push_back(static_cast<uint32_t>(tenant));
+}
+
+Status DrrQueue::Push(size_t tenant, uint64_t item) {
+  TRIPRIV_CHECK(tenant < tenants_.size());
+  Tenant& t = tenants_[tenant];
+  if (t.fifo.size() >= t.config.capacity) {
+    ++stats_.shed_full;
+    return Status::ResourceExhausted(
+        "tenant queue full (" + std::to_string(t.config.capacity) +
+        " queued)");
+  }
+  t.fifo.push_back(item);
+  ++backlog_;
+  ++stats_.pushed;
+  Activate(tenant);
+  return Status::OK();
+}
+
+size_t DrrQueue::PollRound(size_t max_items, uint64_t cost_per_item,
+                          std::vector<std::pair<uint32_t, uint64_t>>* out) {
+  TRIPRIV_CHECK(out != nullptr);
+  TRIPRIV_CHECK(cost_per_item >= 1);
+  size_t dispatched = 0;
+  // One pass over the tenants currently listed: later activations join the
+  // tail and wait for the next round, so a fresh burst cannot jump ahead of
+  // tenants already waiting.
+  size_t visits = round_list_.size();
+  while (visits-- > 0 && dispatched < max_items) {
+    const uint32_t id = round_list_.front();
+    round_list_.pop_front();
+    Tenant& t = tenants_[id];
+    t.deficit += static_cast<uint64_t>(t.config.weight) * quantum_;
+    while (!t.fifo.empty() && t.deficit >= cost_per_item &&
+           dispatched < max_items) {
+      out->emplace_back(id, t.fifo.front());
+      t.fifo.pop_front();
+      t.deficit -= cost_per_item;
+      --backlog_;
+      ++dispatched;
+      ++stats_.popped;
+    }
+    if (t.fifo.empty()) {
+      // Forfeit the unused deficit: an idle tenant must not bank credit to
+      // burst with later (the DRR anti-hoarding rule).
+      t.deficit = 0;
+      t.on_round_list = false;
+    } else {
+      round_list_.push_back(id);
+    }
+  }
+  if (dispatched > 0) ++stats_.rounds;
+  return dispatched;
+}
+
+size_t DrrQueue::ShedNewest(size_t tenant, size_t n,
+                            std::vector<uint64_t>* out) {
+  TRIPRIV_CHECK(tenant < tenants_.size());
+  TRIPRIV_CHECK(out != nullptr);
+  Tenant& t = tenants_[tenant];
+  size_t shed = 0;
+  while (shed < n && !t.fifo.empty()) {
+    out->push_back(t.fifo.back());
+    t.fifo.pop_back();
+    --backlog_;
+    ++shed;
+  }
+  if (t.fifo.empty() && t.on_round_list) {
+    // Lazy removal would also work, but keeping the invariant "listed iff
+    // backlog" makes PollRound's visit accounting exact.
+    for (auto it = round_list_.begin(); it != round_list_.end(); ++it) {
+      if (*it == tenant) {
+        round_list_.erase(it);
+        break;
+      }
+    }
+    t.on_round_list = false;
+    t.deficit = 0;
+  }
+  return shed;
+}
+
+size_t DrrQueue::tenant_backlog(size_t tenant) const {
+  TRIPRIV_CHECK(tenant < tenants_.size());
+  return tenants_[tenant].fifo.size();
+}
+
+uint64_t DrrQueue::tenant_deficit(size_t tenant) const {
+  TRIPRIV_CHECK(tenant < tenants_.size());
+  return tenants_[tenant].deficit;
+}
+
+const DrrTenantConfig& DrrQueue::tenant_config(size_t tenant) const {
+  TRIPRIV_CHECK(tenant < tenants_.size());
+  return tenants_[tenant].config;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,102 @@
+// Deficit round-robin over bounded per-tenant queues.
+//
+// The fair-queueing core of the traffic scheduler (service/traffic/): each
+// tenant owns one bounded FIFO; a Push to a full queue is refused with
+// kResourceExhausted (the caller turns that into a typed refusal — the
+// shed is itself part of the fail-closed ladder, never a dropped
+// protection). PollRound drains items in classic DRR order: tenants with
+// backlog sit on an activation-ordered round list, each visit tops the
+// tenant's deficit up by weight x quantum, and the tenant dequeues items
+// while its deficit covers their cost. Weights therefore buy proportional
+// *throughput*, and a tenant flooding its own queue can only fill its own
+// bounded FIFO — it cannot displace other tenants' items or rounds. That
+// bounded-harm shape is what the fairness-isolation property test asserts.
+//
+// Everything here is serial and allocation-light; determinism needs no
+// locks, only the fixed visit order (activation order, ties broken by
+// arrival) that this class maintains.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tripriv {
+
+/// Per-tenant shape: scheduling weight and queue bound.
+struct DrrTenantConfig {
+  /// Relative share of service capacity (>= 1).
+  uint32_t weight = 1;
+  /// Maximum queued items; pushes beyond this are refused.
+  size_t capacity = 64;
+};
+
+/// Aggregate queue counters.
+struct DrrQueueStats {
+  uint64_t pushed = 0;
+  /// Pushes refused because the tenant's queue was full.
+  uint64_t shed_full = 0;
+  uint64_t popped = 0;
+  /// PollRound calls that dispatched at least one item.
+  uint64_t rounds = 0;
+};
+
+/// Deficit round-robin scheduler; see file comment. Items are opaque
+/// uint64_t handles (the traffic layer indexes an event arena with them).
+class DrrQueue {
+ public:
+  /// One entry per tenant; tenant ids are indices into this vector.
+  /// `quantum` is the deficit refill per unit weight per visit (>= 1).
+  DrrQueue(std::vector<DrrTenantConfig> tenants, uint64_t quantum);
+
+  size_t num_tenants() const { return tenants_.size(); }
+
+  /// Enqueues `item` for `tenant`; kResourceExhausted when its FIFO is at
+  /// capacity (the item is NOT queued — the caller owns the refusal).
+  Status Push(size_t tenant, uint64_t item);
+
+  /// One DRR scan over the active tenants: pops up to `max_items` items of
+  /// uniform `cost_per_item` (>= 1), appending (tenant, item) to `out` in
+  /// dispatch order. Returns the number dispatched. Tenants visited in
+  /// activation order; a tenant drained empty leaves the round list and
+  /// forfeits its remaining deficit (classic DRR anti-hoarding rule).
+  size_t PollRound(size_t max_items, uint64_t cost_per_item,
+                   std::vector<std::pair<uint32_t, uint64_t>>* out);
+
+  /// Pops up to `n` items from the NEWEST end of `tenant`'s queue (the
+  /// overload-shedding path: latest arrivals go first so long-waiting items
+  /// keep their place). Appends to `out`, returns the count shed.
+  size_t ShedNewest(size_t tenant, size_t n, std::vector<uint64_t>* out);
+
+  /// Items queued across all tenants.
+  size_t backlog() const { return backlog_; }
+  size_t tenant_backlog(size_t tenant) const;
+  uint64_t tenant_deficit(size_t tenant) const;
+  const DrrTenantConfig& tenant_config(size_t tenant) const;
+  const DrrQueueStats& stats() const { return stats_; }
+
+ private:
+  struct Tenant {
+    DrrTenantConfig config;
+    std::deque<uint64_t> fifo;
+    uint64_t deficit = 0;
+    bool on_round_list = false;
+  };
+
+  /// Puts `tenant` at the tail of the round list if it has backlog and is
+  /// not already listed.
+  void Activate(size_t tenant);
+
+  std::vector<Tenant> tenants_;
+  uint64_t quantum_;
+  /// Activation-ordered ids of tenants with backlog.
+  std::deque<uint32_t> round_list_;
+  size_t backlog_ = 0;
+  DrrQueueStats stats_;
+};
+
+}  // namespace tripriv

@@ -1,0 +1,94 @@
+#include "util/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tripriv {
+
+// --- ZipfSampler -----------------------------------------------------------
+//
+// Rejection inversion after Hörmann & Derflinger ("Rejection-inversion to
+// generate variates from monotone discrete distributions"). The continuous
+// envelope x^-s is inverted exactly; each candidate k = floor(x + 0.5) is
+// accepted when u falls under the discrete mass, which happens with high
+// probability, so expected draws per sample stay ~1 even at s close to 1.
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  TRIPRIV_CHECK(n_ >= 1);
+  TRIPRIV_CHECK(s_ > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double u) const {
+  if (s_ == 1.0) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  TRIPRIV_CHECK(rng != nullptr);
+  if (n_ == 1) return 0;
+  for (;;) {
+    const double u = h_n_ + rng->UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    // Candidate rank in [1, n] (1-based like the classic derivation).
+    const double clamped =
+        std::min(std::max(x + 0.5, 1.0), static_cast<double>(n_));
+    const uint64_t k = static_cast<uint64_t>(clamped);
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // back to 0-based ranks
+    }
+  }
+}
+
+// --- DiurnalWave -----------------------------------------------------------
+
+DiurnalWave::DiurnalWave(double amplitude, uint64_t period)
+    : amplitude_(amplitude), period_(period) {
+  TRIPRIV_CHECK(amplitude_ >= 0.0);
+  TRIPRIV_CHECK(period_ >= 1);
+}
+
+double DiurnalWave::MultiplierAt(uint64_t t) const {
+  if (amplitude_ == 0.0) return 1.0;
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double phase =
+      static_cast<double>(t % period_) / static_cast<double>(period_);
+  const double m = 1.0 + amplitude_ * std::sin(kTwoPi * phase);
+  return m < 0.0 ? 0.0 : m;
+}
+
+// --- BurstProcess ----------------------------------------------------------
+
+BurstProcess::BurstProcess(double on_prob, double off_prob, double multiplier,
+                           uint64_t seed)
+    : on_prob_(on_prob),
+      off_prob_(off_prob),
+      multiplier_(multiplier),
+      rng_(seed) {
+  TRIPRIV_CHECK(on_prob_ >= 0.0 && on_prob_ <= 1.0);
+  TRIPRIV_CHECK(off_prob_ >= 0.0 && off_prob_ <= 1.0);
+  TRIPRIV_CHECK(multiplier_ >= 1.0);
+}
+
+double BurstProcess::Step() {
+  if (bursting_) {
+    if (rng_.Bernoulli(off_prob_)) bursting_ = false;
+  } else if (rng_.Bernoulli(on_prob_)) {
+    bursting_ = true;
+    ++bursts_entered_;
+  }
+  return bursting_ ? multiplier_ : 1.0;
+}
+
+}  // namespace tripriv

@@ -1,0 +1,97 @@
+// Deterministic workload-shape generators for the traffic simulator.
+//
+// Three building blocks, all pure functions of a seed and simulated time so
+// a million-principal arrival stream replays bit-identically:
+//
+//   ZipfSampler   rank-skewed key popularity via Hörmann's
+//                 rejection-inversion — O(1) memory at any universe size, so
+//                 drawing from 10^6 principals costs no table;
+//   DiurnalWave   a smooth rate multiplier over simulated ticks (the
+//                 day/night swing of a real serving fleet);
+//   BurstProcess  a two-state Markov chain (quiet <-> burst) whose draws
+//                 come from an explicit Rng stream, giving *correlated*
+//                 load spikes rather than independent per-tick noise.
+//
+// None of these read a wall clock (the no-wall-clock lint rule covers this
+// file) and none own hidden randomness: every draw goes through the Rng the
+// caller passes or seeds.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/annotations.h"
+#include "util/random.h"
+
+namespace tripriv {
+
+/// Zipf(s) sampler over ranks [0, n) using rejection inversion (Hörmann &
+/// Derflinger). Memory is O(1) regardless of n; draws are deterministic
+/// given the caller's Rng stream. Exponent s must be > 0 and != 1 is NOT
+/// required (the harmonic helper handles s == 1 via the log branch).
+class ZipfSampler {
+ public:
+  /// Universe size `n` >= 1, exponent `s` > 0. Rank 0 is the most popular.
+  ZipfSampler(uint64_t n, double s);
+
+  /// One rank in [0, n), skewed toward small ranks.
+  TRIPRIV_SENSITIVE(record)
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t universe() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  /// Generalized harmonic integral H(x) = ∫ x^-s dx (log branch at s == 1).
+  double H(double x) const;
+  double HInverse(double u) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;        // H(1.5) - 1
+  double h_n_;         // H(n + 0.5)
+  double threshold_;   // acceptance shortcut for rank 0
+};
+
+/// Smooth diurnal rate multiplier: 1 + amplitude * sin(2π t / period),
+/// clamped at >= 0. amplitude in [0, 1] keeps the multiplier in [0, 2].
+class DiurnalWave {
+ public:
+  /// `period` ticks per full cycle (>= 1); amplitude 0 disables the wave.
+  DiurnalWave(double amplitude, uint64_t period);
+
+  /// Multiplier at simulated tick `t`, in [0, 1 + amplitude].
+  double MultiplierAt(uint64_t t) const;
+
+ private:
+  double amplitude_;
+  uint64_t period_;
+};
+
+/// Two-state Markov burst process: in the quiet state each step enters a
+/// burst with probability `on_prob`; in the burst state each step leaves it
+/// with probability `off_prob`. While bursting, the load multiplier is
+/// `multiplier`; otherwise 1. Steps draw from the Rng seeded at
+/// construction, so the burst *pattern* is a pure function of the seed and
+/// the number of steps taken — correlated in time, replayable forever.
+class BurstProcess {
+ public:
+  BurstProcess(double on_prob, double off_prob, double multiplier,
+               uint64_t seed);
+
+  /// Advances one step and returns the multiplier for the new state.
+  double Step();
+
+  bool bursting() const { return bursting_; }
+  uint64_t bursts_entered() const { return bursts_entered_; }
+
+ private:
+  double on_prob_;
+  double off_prob_;
+  double multiplier_;
+  Rng rng_;
+  bool bursting_ = false;
+  uint64_t bursts_entered_ = 0;
+};
+
+}  // namespace tripriv

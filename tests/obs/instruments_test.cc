@@ -143,6 +143,43 @@ TEST(InstrumentsTest, CountersMirrorServiceStats) {
   EXPECT_EQ(batch->histogram.sum, 6u);
 }
 
+TEST(InstrumentsTest, ShedsCarryTenantClassLabels) {
+  MemWalIo wal;
+  QueryServiceConfig config = AuditConfig(0.0);
+  // Stateless protection so every Submit clears the policy stage and the
+  // admission queue is the only thing refusing.
+  config.protection.mode = ProtectionMode::kQuerySetSize;
+  config.admission.capacity = 1;
+  config.admission.service_ticks = 1000;  // nothing drains during the burst
+  auto service = QueryService::Create(PaperDataset2(), config, &wal);
+  ASSERT_TRUE(service.ok());
+  Harness harness;
+  harness.Attach(&*service, 8.0);
+
+  // Fill the one admission slot, then shed twice: once tagged interactive,
+  // once untagged (the tag resets after every request, so the third Submit
+  // must land in "unattributed", not inherit "interactive").
+  const StatQuery query = Parse("SELECT COUNT(*) FROM t WHERE height < 175");
+  EXPECT_EQ(service->Submit(query).tier, AnswerTier::kProtected);
+  service->set_request_class(obs::kClassInteractive);
+  auto shed_tagged = service->Submit(query);
+  EXPECT_EQ(shed_tagged.refusal.code(), StatusCode::kResourceExhausted);
+  auto shed_untagged = service->Submit(query);
+  EXPECT_EQ(shed_untagged.refusal.code(), StatusCode::kResourceExhausted);
+
+  const MetricsSnapshot snapshot = harness.registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_shed_total"), 2u);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_shed_by_class_total",
+                         {{"class", "interactive"}}),
+            1u);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_shed_by_class_total",
+                         {{"class", "unattributed"}}),
+            1u);
+  EXPECT_EQ(CounterValue(snapshot, "tripriv_service_shed_by_class_total",
+                         {{"class", "abusive"}}),
+            0u);
+}
+
 TEST(InstrumentsTest, SpansFollowTheServingLadder) {
   MemWalIo wal;
   auto service = QueryService::Create(PaperDataset2(), AuditConfig(0.0), &wal);
@@ -229,6 +266,10 @@ TEST(InstrumentsTest, PublishCopiesComponentCountersIntoGauges) {
   auto batch = service->PirReadBatch({1, 2, 3}, Deadline());
   for (const auto& record : batch) ASSERT_TRUE(record.ok());
 
+  // Breaker-open submissions refuse without burning backoff ticks, so
+  // advance simulated time until every admitted request's virtual service
+  // window has passed before sampling gauges.
+  service->sim_clock()->Advance(64);
   service->PublishMetrics();
   const MetricsSnapshot snapshot = harness.registry.Snapshot();
   const obs::LabelSet primary = {{"backend", "primary"}};
@@ -246,7 +287,8 @@ TEST(InstrumentsTest, PublishCopiesComponentCountersIntoGauges) {
   EXPECT_DOUBLE_EQ(
       GaugeValue(snapshot, "tripriv_breaker_half_open_probes", primary),
       static_cast<double>(service->primary_breaker().half_open_probes()));
-  // Serial submits drain the admission queue before Publish runs.
+  // Serial submits (plus the explicit advance above) drain the admission
+  // queue before Publish runs.
   EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_service_queue_depth"), 0.0);
   const obs::LabelSet user = {{"dimension", "user"}};
   EXPECT_DOUBLE_EQ(GaugeValue(snapshot, "tripriv_pir_bytes_xored", user),

@@ -1,0 +1,125 @@
+// SloGate semantics: conservative bucket-upper-bound quantiles, fail-closed
+// evaluation on missing series, vacuous passes on idle classes, and the
+// deterministic report rendering CI archives.
+
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tripriv {
+namespace {
+
+using obs::HistogramData;
+using obs::MetricKind;
+using obs::MetricSample;
+using obs::MetricsSnapshot;
+using obs::SloGate;
+using obs::SloReport;
+using obs::SloTarget;
+
+HistogramData MakeHistogram(std::vector<uint64_t> bounds,
+                            std::vector<uint64_t> counts) {
+  HistogramData histogram;
+  histogram.bounds = std::move(bounds);
+  histogram.counts = std::move(counts);
+  for (uint64_t c : histogram.counts) histogram.count += c;
+  return histogram;
+}
+
+MetricSample LatencySample(const std::string& cls, HistogramData histogram) {
+  MetricSample sample;
+  sample.name = "tripriv_traffic_latency_ticks";
+  sample.kind = MetricKind::kHistogram;
+  sample.labels = {{"class", cls}};
+  sample.histogram = std::move(histogram);
+  return sample;
+}
+
+TEST(SloGateTest, QuantileResolvesToTheCoveringBucketUpperBound) {
+  // bounds {1,2,4,8}: 10 obs <=1, 70 in (1,2], 15 in (2,4], 5 in (4,8].
+  const HistogramData h = MakeHistogram({1, 2, 4, 8}, {10, 70, 15, 5, 0});
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.10), 1u);
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.11), 2u);
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.50), 2u);
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.80), 2u);
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.95), 4u);
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.99), 8u);
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 1.0), 8u);
+}
+
+TEST(SloGateTest, QuantileInTheInfBucketIsMax) {
+  const HistogramData h = MakeHistogram({1, 2}, {1, 0, 3});
+  EXPECT_EQ(SloGate::QuantileUpperBound(h, 0.99), UINT64_MAX);
+  // And an empty histogram reports zero.
+  const HistogramData empty = MakeHistogram({1, 2}, {0, 0, 0});
+  EXPECT_EQ(SloGate::QuantileUpperBound(empty, 0.5), 0u);
+}
+
+TEST(SloGateTest, EvaluateFailsClosedWhenTheSeriesIsMissing) {
+  MetricsSnapshot snapshot;
+  snapshot.samples.push_back(
+      LatencySample("interactive", MakeHistogram({1}, {1, 0})));
+  SloGate gate;
+  // "batch" was never wired: the gate must error, not pass silently.
+  auto report = gate.Evaluate(snapshot, {{"batch", 100, 1000}});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SloGateTest, ZeroObservationsPassVacuously) {
+  MetricsSnapshot snapshot;
+  snapshot.samples.push_back(
+      LatencySample("analytics", MakeHistogram({1, 2}, {0, 0, 0})));
+  SloGate gate;
+  auto report = gate.Evaluate(snapshot, {{"analytics", 1, 1}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok);
+  EXPECT_TRUE(report->classes[0].pass);
+  EXPECT_EQ(report->classes[0].count, 0u);
+}
+
+TEST(SloGateTest, VerdictsGateOnBothQuantiles) {
+  MetricsSnapshot snapshot;
+  // p50 = 2, p99 = 8.
+  snapshot.samples.push_back(
+      LatencySample("interactive", MakeHistogram({1, 2, 4, 8}, {0, 60, 30, 10, 0})));
+  SloGate gate;
+  auto pass = gate.Evaluate(snapshot, {{"interactive", 2, 8}});
+  ASSERT_TRUE(pass.ok());
+  EXPECT_TRUE(pass->ok);
+  auto p50_fail = gate.Evaluate(snapshot, {{"interactive", 1, 8}});
+  ASSERT_TRUE(p50_fail.ok());
+  EXPECT_FALSE(p50_fail->ok);
+  auto p99_fail = gate.Evaluate(snapshot, {{"interactive", 2, 4}});
+  ASSERT_TRUE(p99_fail.ok());
+  EXPECT_FALSE(p99_fail->ok);
+}
+
+TEST(SloGateTest, RenderReportsClassesAndVerdict) {
+  MetricsSnapshot snapshot;
+  snapshot.samples.push_back(
+      LatencySample("interactive", MakeHistogram({1, 2}, {5, 5, 0})));
+  snapshot.samples.push_back(
+      LatencySample("abusive", MakeHistogram({1, 2}, {0, 0, 10})));
+  SloGate gate;
+  auto report =
+      gate.Evaluate(snapshot, {{"interactive", 2, 2}, {"abusive", 1, 1}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok);  // abusive p99 is +inf
+  const std::string rendered = RenderSloReport(*report);
+  EXPECT_NE(rendered.find("interactive"), std::string::npos);
+  EXPECT_NE(rendered.find("abusive"), std::string::npos);
+  EXPECT_NE(rendered.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(rendered.find("slo gate: FAIL"), std::string::npos);
+  // Rendering is deterministic byte-for-byte.
+  EXPECT_EQ(rendered, RenderSloReport(*report));
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -325,5 +325,67 @@ TEST(QueryServiceTest, PirReadRoutesThroughAttachedFailoverClient) {
   EXPECT_EQ(*read, records[1]);
 }
 
+TEST(QueryServiceTest, BreakerGatesEveryRetryAttempt) {
+  // Regression: AllowRequest used to run once before the retry loop, so a
+  // first attempt that tripped the breaker left the remaining retries
+  // hammering the backend without breaker permission.
+  MemWalIo wal;
+  QueryServiceConfig config = AuditConfig();
+  // Query-set-size mode: stateless, so the breaker (not audit overlap)
+  // decides every outcome here.
+  config.protection.mode = ProtectionMode::kQuerySetSize;
+  config.faults.backend_fault_rate = 1.0;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_ticks = 1000;
+  config.breaker.open_jitter_ticks = 0;
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff_ticks = 1;
+  config.default_deadline_ticks = 500;
+  auto service = QueryService::Create(PaperDataset2(), config, &wal);
+  ASSERT_TRUE(service.ok());
+
+  auto answer =
+      service->Submit(Parse("SELECT COUNT(*) FROM t WHERE height < 175"));
+  // Attempt 1 fails and trips the breaker; attempt 2 is breaker-rejected
+  // and the primary path bails out to the degraded ladder at once.
+  EXPECT_EQ(service->primary_breaker().state(), BreakerState::kOpen);
+  EXPECT_GE(service->primary_breaker().rejected(), 1u);
+  EXPECT_EQ(answer.tier, AnswerTier::kDpDegraded);
+}
+
+TEST(QueryServiceTest, HalfOpenWindowAdmitsExactlyOneProbeUnderBurst) {
+  // A request with a multi-attempt retry budget arriving in the half-open
+  // window must spend exactly ONE trial request: the probe fails, the
+  // breaker reopens, and the remaining attempts are rejected — never a
+  // burst of trials against a barely-recovered backend.
+  MemWalIo wal;
+  QueryServiceConfig config = AuditConfig();
+  // Stateless protection: the same query can run twice without the audit
+  // overlap policy refusing the second before it reaches the breaker.
+  config.protection.mode = ProtectionMode::kQuerySetSize;
+  config.faults.backend_fault_rate = 1.0;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_ticks = 8;
+  config.breaker.open_jitter_ticks = 0;
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff_ticks = 1;
+  config.default_deadline_ticks = 500;
+  auto service = QueryService::Create(PaperDataset2(), config, &wal);
+  ASSERT_TRUE(service.ok());
+
+  const StatQuery query = Parse("SELECT COUNT(*) FROM t WHERE height < 175");
+  EXPECT_EQ(service->Submit(query).tier, AnswerTier::kDpDegraded);
+  EXPECT_EQ(service->primary_breaker().state(), BreakerState::kOpen);
+  EXPECT_EQ(service->primary_breaker().half_open_probes(), 0u);
+
+  // Past the open window: the next request is the half-open burst.
+  service->sim_clock()->Advance(16);
+  const uint64_t rejected_before = service->primary_breaker().rejected();
+  EXPECT_EQ(service->Submit(query).tier, AnswerTier::kDpDegraded);
+  EXPECT_EQ(service->primary_breaker().half_open_probes(), 1u);
+  EXPECT_EQ(service->primary_breaker().state(), BreakerState::kOpen);
+  EXPECT_GT(service->primary_breaker().rejected(), rejected_before);
+}
+
 }  // namespace
 }  // namespace tripriv

@@ -1,0 +1,125 @@
+// DrrQueue semantics: bounded pushes, weight-proportional service,
+// activation-order visits with deficit forfeit on empty, and newest-first
+// shedding — the fairness core the traffic scheduler builds on.
+
+#include "util/drr_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace tripriv {
+namespace {
+
+TEST(DrrQueueTest, PushRefusesBeyondCapacityAndCountsTheShed) {
+  DrrQueue queue({{1, 2}, {1, 2}}, /*quantum=*/1);
+  EXPECT_TRUE(queue.Push(0, 10).ok());
+  EXPECT_TRUE(queue.Push(0, 11).ok());
+  const Status full = queue.Push(0, 12);
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  // The other tenant's bound is untouched by tenant 0's overflow.
+  EXPECT_TRUE(queue.Push(1, 20).ok());
+  EXPECT_EQ(queue.backlog(), 3u);
+  EXPECT_EQ(queue.tenant_backlog(0), 2u);
+  EXPECT_EQ(queue.stats().pushed, 3u);
+  EXPECT_EQ(queue.stats().shed_full, 1u);
+}
+
+TEST(DrrQueueTest, WeightsBuyProportionalThroughput) {
+  // Two saturated tenants at weights 2:1 must drain ~2:1.
+  DrrQueue queue({{2, 256}, {1, 256}}, /*quantum=*/1);
+  for (uint64_t i = 0; i < 240; ++i) {
+    ASSERT_TRUE(queue.Push(0, i).ok());
+    ASSERT_TRUE(queue.Push(1, 1000 + i).ok());
+  }
+  size_t popped[2] = {0, 0};
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  while (popped[0] + popped[1] < 180) {
+    out.clear();
+    ASSERT_GT(queue.PollRound(16, /*cost_per_item=*/1, &out), 0u);
+    for (const auto& [tenant, item] : out) ++popped[tenant];
+  }
+  const double ratio =
+      static_cast<double>(popped[0]) / static_cast<double>(popped[1]);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(DrrQueueTest, PerTenantOrderIsFifoAndDispatchIsDeterministic) {
+  DrrQueue a({{1, 8}, {1, 8}}, /*quantum=*/1);
+  DrrQueue b({{1, 8}, {1, 8}}, /*quantum=*/1);
+  for (DrrQueue* queue : {&a, &b}) {
+    ASSERT_TRUE(queue->Push(1, 100).ok());  // tenant 1 activates first
+    ASSERT_TRUE(queue->Push(0, 1).ok());
+    ASSERT_TRUE(queue->Push(0, 2).ok());
+    ASSERT_TRUE(queue->Push(1, 101).ok());
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> out_a, out_b;
+  while (a.backlog() > 0) a.PollRound(1, 1, &out_a);
+  while (b.backlog() > 0) b.PollRound(1, 1, &out_b);
+  EXPECT_EQ(out_a, out_b);
+  // Activation order: tenant 1 (first backlog) is visited first; each
+  // tenant's own items come out FIFO.
+  std::vector<uint64_t> tenant0, tenant1;
+  for (const auto& [tenant, item] : out_a) {
+    (tenant == 0 ? tenant0 : tenant1).push_back(item);
+  }
+  EXPECT_EQ(tenant0, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(tenant1, (std::vector<uint64_t>{100, 101}));
+  EXPECT_EQ(out_a.front().first, 1u);
+}
+
+TEST(DrrQueueTest, DrainedTenantForfeitsDeficit) {
+  DrrQueue queue({{1, 8}}, /*quantum=*/4);
+  ASSERT_TRUE(queue.Push(0, 1).ok());
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  // One visit: deficit tops up to 4, one item of cost 1 pops, the queue
+  // empties, and the remaining 3 ticks of deficit are forfeited.
+  EXPECT_EQ(queue.PollRound(8, 1, &out), 1u);
+  EXPECT_EQ(queue.tenant_deficit(0), 0u);
+  // An empty queue yields nothing and builds no credit while idle.
+  out.clear();
+  EXPECT_EQ(queue.PollRound(8, 1, &out), 0u);
+  EXPECT_EQ(queue.tenant_deficit(0), 0u);
+}
+
+TEST(DrrQueueTest, CostGatesDispatchUntilDeficitAccumulates) {
+  // cost 8 vs weight*quantum 3: a tenant needs three visits of top-up
+  // before its first dispatch.
+  DrrQueue queue({{1, 8}, {1, 8}}, /*quantum=*/3);
+  ASSERT_TRUE(queue.Push(0, 1).ok());
+  ASSERT_TRUE(queue.Push(1, 2).ok());
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  EXPECT_EQ(queue.PollRound(8, /*cost_per_item=*/8, &out), 0u);
+  EXPECT_EQ(queue.PollRound(8, /*cost_per_item=*/8, &out), 0u);
+  EXPECT_EQ(queue.PollRound(8, /*cost_per_item=*/8, &out), 2u);
+}
+
+TEST(DrrQueueTest, ShedNewestPopsFromTheBack) {
+  DrrQueue queue({{1, 8}}, /*quantum=*/1);
+  for (uint64_t i = 1; i <= 5; ++i) ASSERT_TRUE(queue.Push(0, i).ok());
+  std::vector<uint64_t> shed;
+  EXPECT_EQ(queue.ShedNewest(0, 2, &shed), 2u);
+  // Latest arrivals go first; the long-waiting head keeps its place.
+  EXPECT_EQ(shed, (std::vector<uint64_t>{5, 4}));
+  EXPECT_EQ(queue.tenant_backlog(0), 3u);
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  while (queue.backlog() > 0) queue.PollRound(8, 1, &out);
+  EXPECT_EQ(out.front().second, 1u);
+}
+
+TEST(DrrQueueTest, ShedToEmptyDeactivatesTheTenant) {
+  DrrQueue queue({{1, 8}, {1, 8}}, /*quantum=*/1);
+  ASSERT_TRUE(queue.Push(0, 1).ok());
+  ASSERT_TRUE(queue.Push(1, 2).ok());
+  std::vector<uint64_t> shed;
+  EXPECT_EQ(queue.ShedNewest(0, 4, &shed), 1u);
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  EXPECT_EQ(queue.PollRound(8, 1, &out), 1u);
+  EXPECT_EQ(out.front().first, 1u);
+  EXPECT_EQ(queue.backlog(), 0u);
+}
+
+}  // namespace
+}  // namespace tripriv

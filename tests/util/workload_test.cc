@@ -1,0 +1,117 @@
+// Workload generators: Zipf skew and determinism at million-rank
+// universes, diurnal wave bounds, and correlated-burst replayability.
+
+#include "util/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace tripriv {
+namespace {
+
+TEST(ZipfSamplerTest, DrawsAreDeterministicGivenTheRngStream) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng a(7), b(7);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
+TEST(ZipfSamplerTest, RanksStayInTheUniverse) {
+  ZipfSampler zipf(37, 0.9);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 37u);
+  }
+}
+
+TEST(ZipfSamplerTest, PopularitySkewsTowardRankZero) {
+  ZipfSampler zipf(1000, 1.2);
+  Rng rng(3);
+  size_t rank0 = 0, top10 = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t rank = zipf.Sample(&rng);
+    if (rank == 0) ++rank0;
+    if (rank < 10) ++top10;
+  }
+  // s=1.2, n=1000: rank 0 carries ~18% of mass, the top 10 well over 40%.
+  EXPECT_GT(rank0, kDraws / 10);
+  EXPECT_GT(top10, kDraws * 2 / 5);
+}
+
+TEST(ZipfSamplerTest, MillionRankUniverseIsCheapAndInRange) {
+  // O(1) memory: constructing at n = 10^6 allocates nothing per rank.
+  ZipfSampler zipf(1000000, 1.1);
+  Rng rng(5);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t rank = zipf.Sample(&rng);
+    ASSERT_LT(rank, 1000000u);
+    if (rank > max_seen) max_seen = rank;
+  }
+  // The tail is actually reachable (not all draws collapse to the head).
+  EXPECT_GT(max_seen, 10000u);
+}
+
+TEST(ZipfSamplerTest, HandlesTheLogBranchAtExponentOne) {
+  ZipfSampler zipf(512, 1.0);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 512u);
+  }
+}
+
+TEST(DiurnalWaveTest, MultiplierStaysInBandAndRepeatsEachPeriod) {
+  DiurnalWave wave(0.8, 128);
+  for (uint64_t t = 0; t < 256; ++t) {
+    const double m = wave.MultiplierAt(t);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.8 + 1e-9);
+    EXPECT_DOUBLE_EQ(m, wave.MultiplierAt(t + 128));
+  }
+  // Phase 0 is the neutral point; the quarter period is the peak.
+  EXPECT_DOUBLE_EQ(wave.MultiplierAt(0), 1.0);
+  EXPECT_NEAR(wave.MultiplierAt(32), 1.8, 1e-9);
+}
+
+TEST(DiurnalWaveTest, ZeroAmplitudeIsFlat) {
+  DiurnalWave wave(0.0, 64);
+  for (uint64_t t = 0; t < 64; ++t) {
+    EXPECT_DOUBLE_EQ(wave.MultiplierAt(t), 1.0);
+  }
+}
+
+TEST(BurstProcessTest, PatternReplaysFromTheSeed) {
+  BurstProcess a(0.1, 0.3, 4.0, 77);
+  BurstProcess b(0.1, 0.3, 4.0, 77);
+  for (int i = 0; i < 512; ++i) {
+    EXPECT_DOUBLE_EQ(a.Step(), b.Step());
+  }
+  EXPECT_EQ(a.bursts_entered(), b.bursts_entered());
+}
+
+TEST(BurstProcessTest, BurstsAreCorrelatedRuns) {
+  // on 0.05 / off 0.2: bursts are rare but sticky — entered counts must
+  // be far below the number of bursting steps.
+  BurstProcess burst(0.05, 0.2, 3.0, 21);
+  int bursting_steps = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (burst.Step() > 1.0) ++bursting_steps;
+  }
+  EXPECT_GT(bursting_steps, 200);
+  EXPECT_LT(burst.bursts_entered(), static_cast<uint64_t>(bursting_steps / 2));
+}
+
+TEST(BurstProcessTest, MultiplierIsOneWhenQuiet) {
+  BurstProcess never(0.0, 1.0, 5.0, 4);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(never.Step(), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -310,9 +310,11 @@ bool BodyLooksGuarded(const std::vector<Token>& toks, size_t begin,
   return false;
 }
 
-/// Heuristic race detector for the parallel-execution scope (src/service,
-/// the epoch-versioned table layer in src/table, and the thread pool
-/// itself): a blanket by-ref lambda (`[&]` / `[&, ...]`)
+/// Heuristic race detector for the parallel-execution scope (src/service
+/// including the traffic simulator, the epoch-versioned table layer in
+/// src/table, the thread pool itself, and the serial-by-design traffic
+/// scheduling primitives drr_queue/workload): a blanket by-ref lambda
+/// (`[&]` / `[&, ...]`)
 /// whose body writes a trailing-underscore member without any visible
 /// synchronization is exactly the shape of bug the determinism contract
 /// forbids — work handed to ThreadPool::ParallelFor must only write state it
@@ -323,7 +325,9 @@ void CheckUnguardedSharedMutation(const LexedFile& lexed,
                                   std::vector<Diagnostic>* out) {
   const bool in_scope = StartsWith(rel_path, "src/service/") ||
                         StartsWith(rel_path, "src/table/") ||
-                        StartsWith(rel_path, "src/util/thread_pool.");
+                        StartsWith(rel_path, "src/util/thread_pool.") ||
+                        StartsWith(rel_path, "src/util/drr_queue.") ||
+                        StartsWith(rel_path, "src/util/workload.");
   if (!in_scope) return;
   const auto& toks = lexed.tokens;
   for (size_t i = 0; i + 2 < toks.size(); ++i) {

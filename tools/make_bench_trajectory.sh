@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds one perf-trajectory snapshot (BENCH_prN.json) out of the three
+# Builds one perf-trajectory snapshot (BENCH_prN.json) out of the
 # serving-path benches: google-benchmark JSON from bench_parallel_throughput
-# and bench_epoch_flip, merged with the parsed bench_obs_overhead report.
+# and bench_epoch_flip, merged with the parsed bench_obs_overhead report and
+# the per-mix verdicts of the bench_traffic_slo gate.
 #
 # Usage: tools/make_bench_trajectory.sh [build-dir] [out.json] [min-time]
 #
@@ -28,6 +29,9 @@ trap 'rm -rf "${TMP}"' EXIT
 # The obs bench exits nonzero above its 5% budget; the trajectory records
 # the number either way (CI gates on the bench's own exit code separately).
 "${BUILD_DIR}/bench/bench_obs_overhead" > "${TMP}/obs.txt" || true
+# Same contract for the traffic SLO gate: record per-mix quantiles and
+# verdicts regardless of the exit code CI gates on.
+"${BUILD_DIR}/bench/bench_traffic_slo" > "${TMP}/traffic.txt" || true
 
 python3 - "${TMP}" "${OUT}" <<'PY'
 import json
@@ -76,12 +80,55 @@ def parse_obs(path):
         "budget_percent": 5.0,
     }
 
+def parse_traffic(path):
+    # The simulator is deterministic, so everything here (arrival counts,
+    # digests, quantiles, verdicts) is a stable fingerprint, not a timing.
+    with open(path) as f:
+        text = f.read()
+    mixes = {}
+    current = None
+    for line in text.splitlines():
+        m = re.match(r"\[(\w+)\] .*?([0-9]+) arrivals, digest ([0-9a-f]+)", line)
+        if m:
+            current = {
+                "arrivals": int(m.group(2)),
+                "digest": m.group(3),
+                "classes": {},
+            }
+            mixes[m.group(1)] = current
+            continue
+        if current is None:
+            continue
+        m = re.match(r"\s*bounded harm: (\w+)", line)
+        if m:
+            current["bounded_harm"] = m.group(1) == "PASS"
+            continue
+        m = re.match(r"\s*slo gate: (\w+)", line)
+        if m:
+            current["slo_pass"] = m.group(1) == "PASS"
+            continue
+        m = re.match(r"(\w+)\s+([0-9]+)\s+([0-9]+)\s+([0-9]+)\s+(ok|VIOLATED)",
+                     line)
+        if m:
+            current["classes"][m.group(1)] = {
+                "count": int(m.group(2)),
+                "p50_ticks": int(m.group(3)),
+                "p99_ticks": int(m.group(4)),
+                "pass": m.group(5) == "ok",
+            }
+    overall = re.search(r"overall: (\w+)", text)
+    return {
+        "overall_pass": bool(overall) and overall.group(1) == "PASS",
+        "mixes": mixes,
+    }
+
 trajectory = {
     "schema": "tripriv-bench-trajectory/1",
     "suites": {
         "bench_parallel_throughput": load_suite(f"{tmp}/parallel.json"),
         "bench_epoch_flip": load_suite(f"{tmp}/epoch.json"),
         "bench_obs_overhead": parse_obs(f"{tmp}/obs.txt"),
+        "bench_traffic_slo": parse_traffic(f"{tmp}/traffic.txt"),
     },
 }
 with open(out, "w") as f:
