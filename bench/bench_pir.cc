@@ -49,6 +49,7 @@ void BM_TwoServerPir(benchmark::State& state) {
   PirStats stats;
   for (auto _ : state) {
     const size_t idx = static_cast<size_t>(rng.UniformU64(n));
+    stats.Reset();  // PirStats accumulates; keep the counter per-query
     auto got = TwoServerPirRead(&*a, &*b, idx, &rng, &stats);
     benchmark::DoNotOptimize(got);
   }
@@ -67,6 +68,7 @@ void BM_FourServerCubePir(benchmark::State& state) {
   PirStats stats;
   for (auto _ : state) {
     const size_t idx = static_cast<size_t>(rng.UniformU64(n));
+    stats.Reset();  // PirStats accumulates; keep the counter per-query
     auto got = FourServerCubePirRead(ptrs, idx, &rng, &stats);
     benchmark::DoNotOptimize(got);
   }

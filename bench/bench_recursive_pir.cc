@@ -1,0 +1,209 @@
+// Recursive-PIR transport gate: upload must collapse, compute must not.
+//
+// The flat 2-server scheme ships 2n selection bits per read — 2 Mbit at
+// 2^20 records, the "impractical communication cost" the paper grades PIR
+// down for. The recursive d-dimensional scheme (pir/recursive_pir.h) ships
+// one 64-bit seed plus (2^d - 1) explicit axis bitmaps, O(d * n^(1/d)).
+// This bench measures both halves of that trade at 2^16 / 2^18 / 2^20
+// records of 64 bytes and enforces the acceptance bar with its exit code:
+//
+//   * upload gate: at 2^20 records the recursive upload per read (d = 2
+//     and d = 3) must be < 5% of the flat path's 2n bits;
+//   * compute gate: at 2^20 records the d = 2 server compute per read
+//     (seed/bitmap expansion + the preprocessed XOR sweep, summed over all
+//     2^d replicas) must be within 1.2x of the flat kernel's two sweeps.
+//     d = 3 is reported alongside: its per-replica selections are sparser,
+//     so the skip-8 fast path matters more and the ratio is informative,
+//     not gated.
+//
+// Server compute is timed in isolation: queries are built untimed (client
+// work), then the answer calls — Answer for the flat pair,
+// AnswerHypercubeQuery per replica for the recursive fleet — are timed
+// min-of-trials, robust against one-off scheduler noise in a shared CI
+// box. One preprocessed server stands in for all replicas of a scheme
+// (replicas are byte-identical; answers depend only on the queries), so
+// the bench holds one database copy per scheme, not 2^d.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "pir/it_pir.h"
+#include "pir/recursive_pir.h"
+
+namespace tripriv {
+namespace {
+
+constexpr size_t kRecordSize = 64;
+constexpr size_t kReadsPerTrial = 8;
+constexpr int kTrials = 5;
+constexpr double kUploadBudgetPercent = 5.0;
+constexpr double kComputeBudgetRatio = 1.2;
+
+std::vector<std::vector<uint8_t>> MakeRecords(size_t n) {
+  std::vector<std::vector<uint8_t>> records(n,
+                                            std::vector<uint8_t>(kRecordSize));
+  Rng rng(23);
+  for (auto& r : records) {
+    for (auto& b : r) b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return records;
+}
+
+/// Read targets spread across the table (deterministic, distinct strides).
+std::vector<size_t> ReadIndices(size_t n) {
+  std::vector<size_t> indices;
+  indices.reserve(kReadsPerTrial);
+  for (size_t i = 0; i < kReadsPerTrial; ++i) {
+    indices.push_back((i * (n / kReadsPerTrial)) + i * 37 % (n / 2));
+  }
+  for (auto& idx : indices) idx %= n;
+  return indices;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct SchemeResult {
+  size_t upload_bits_per_read = 0;
+  double server_ms_per_read = 0.0;
+};
+
+/// Flat 2-server baseline: queries pre-drawn, the timed region is the two
+/// n-bit XOR sweeps per read against the preprocessed layout.
+SchemeResult RunFlat(const std::vector<std::vector<uint8_t>>& records) {
+  const size_t n = records.size();
+  auto server = XorPirServer::Create(records);
+  TRIPRIV_CHECK(server.ok());
+  server->Preprocess();
+
+  Rng rng(41);
+  const auto indices = ReadIndices(n);
+  std::vector<std::vector<uint8_t>> queries_a, queries_b;
+  for (size_t idx : indices) {
+    queries_a.push_back(RandomSelectionBits(n, &rng));
+    queries_b.push_back(queries_a.back());
+    FlipSelectionBit(&queries_b.back(), idx);
+  }
+
+  double best_ms = 1e100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      auto a = server->Answer(queries_a[i]);
+      auto b = server->Answer(queries_b[i]);
+      TRIPRIV_CHECK(a.ok() && b.ok());
+    }
+    best_ms = std::min(best_ms, MsSince(start));
+  }
+  return {2 * n, best_ms / static_cast<double>(kReadsPerTrial)};
+}
+
+/// Recursive scheme at dimension `d`: queries pre-built, the timed region
+/// is AnswerHypercubeQuery over all 2^d replicas per read (expansion + the
+/// preprocessed sweep — the full server-side cost of the compressed query).
+SchemeResult RunRecursive(const std::vector<std::vector<uint8_t>>& records,
+                          size_t d, HypercubeGeometry* geometry_out) {
+  const size_t n = records.size();
+  auto g = HypercubeGeometry::Balanced(n, d);
+  TRIPRIV_CHECK(g.ok());
+  *geometry_out = *g;
+  auto server = XorPirServer::Create(records);
+  TRIPRIV_CHECK(server.ok());
+  server->Preprocess();
+
+  Rng rng(43);
+  const auto indices = ReadIndices(n);
+  std::vector<std::vector<HypercubeQuery>> queries;
+  size_t upload_bits = 0;
+  for (size_t idx : indices) {
+    auto q = BuildHypercubeQueries(*g, idx, &rng);
+    TRIPRIV_CHECK(q.ok());
+    for (const auto& query : *q) upload_bits += query.upload_bits(*g);
+    queries.push_back(*std::move(q));
+  }
+
+  PirSessionRegistry sessions;
+  auto* session = sessions.Establish(/*tenant_class=*/0, *g, /*epoch=*/0);
+  double best_ms = 1e100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& read : queries) {
+      for (const auto& query : read) {
+        auto answer = AnswerHypercubeQuery(&*server, query, *g,
+                                           /*pool=*/nullptr, session);
+        TRIPRIV_CHECK(answer.ok());
+      }
+    }
+    best_ms = std::min(best_ms, MsSince(start));
+  }
+  return {upload_bits / kReadsPerTrial,
+          best_ms / static_cast<double>(kReadsPerTrial)};
+}
+
+}  // namespace
+}  // namespace tripriv
+
+int main() {
+  using namespace tripriv;
+  std::printf("=== TriPriv bench: recursive d-dimensional PIR ===\n");
+  std::printf("records: %zu bytes each; %zu reads/trial, %d trials "
+              "(min kept); servers preprocessed\n\n",
+              kRecordSize, kReadsPerTrial, kTrials);
+
+  const size_t kSizes[] = {size_t{1} << 16, size_t{1} << 18, size_t{1} << 20};
+  const size_t kGateN = size_t{1} << 20;
+  bool all_pass = true;
+  double gate_upload_d2 = 0, gate_upload_d3 = 0, gate_compute_d2 = 0;
+
+  for (size_t n : kSizes) {
+    const auto records = MakeRecords(n);
+    const auto flat = RunFlat(records);
+    std::printf("[n=%zu]\n", n);
+    std::printf("  flat d=1 side=%zu servers=2 upload_bits=%zu "
+                "server_ms=%.3f\n",
+                n, flat.upload_bits_per_read, flat.server_ms_per_read);
+    for (size_t d : {size_t{2}, size_t{3}}) {
+      HypercubeGeometry g;
+      const auto rec = RunRecursive(records, d, &g);
+      const double upload_pct = 100.0 *
+                                static_cast<double>(rec.upload_bits_per_read) /
+                                static_cast<double>(flat.upload_bits_per_read);
+      const double compute_ratio =
+          rec.server_ms_per_read / flat.server_ms_per_read;
+      std::printf("  recursive d=%zu side=%zu servers=%zu upload_bits=%zu "
+                  "upload_vs_flat=%.3f%% server_ms=%.3f "
+                  "compute_vs_flat=%.3fx\n",
+                  d, g.side, g.num_servers(), rec.upload_bits_per_read,
+                  upload_pct, rec.server_ms_per_read, compute_ratio);
+      if (n == kGateN && d == 2) {
+        gate_upload_d2 = upload_pct;
+        gate_compute_d2 = compute_ratio;
+      }
+      if (n == kGateN && d == 3) gate_upload_d3 = upload_pct;
+    }
+    std::printf("\n");
+  }
+
+  const bool upload_d2_ok = gate_upload_d2 < kUploadBudgetPercent;
+  const bool upload_d3_ok = gate_upload_d3 < kUploadBudgetPercent;
+  const bool compute_d2_ok = gate_compute_d2 <= kComputeBudgetRatio;
+  all_pass = upload_d2_ok && upload_d3_ok && compute_d2_ok;
+  std::printf("gate: upload  d=2 @ n=%zu: %.3f%% of flat (budget < %.0f%%): "
+              "%s\n",
+              kGateN, gate_upload_d2, kUploadBudgetPercent,
+              upload_d2_ok ? "PASS" : "FAIL");
+  std::printf("gate: upload  d=3 @ n=%zu: %.3f%% of flat (budget < %.0f%%): "
+              "%s\n",
+              kGateN, gate_upload_d3, kUploadBudgetPercent,
+              upload_d3_ok ? "PASS" : "FAIL");
+  std::printf("gate: compute d=2 @ n=%zu: %.3fx flat (budget <= %.1fx): %s\n",
+              kGateN, gate_compute_d2, kComputeBudgetRatio,
+              compute_d2_ok ? "PASS" : "FAIL");
+  std::printf("overall: %s\n", all_pass ? "PASS" : "FAIL");
+  return all_pass ? 0 : 1;
+}

@@ -28,6 +28,15 @@ std::string RecordToString(const std::vector<uint8_t>& record) {
   return std::string(record.begin(), record.begin() + len);
 }
 
+uint64_t EpochPirReader::preprocess_bytes() const {
+  uint64_t total = 0;
+  for (const Replicas& entry : cache_) {
+    if (entry.a != nullptr) total += entry.a->preprocess_bytes();
+    if (entry.b != nullptr) total += entry.b->preprocess_bytes();
+  }
+  return total;
+}
+
 Result<EpochPirReader::Replicas*> EpochPirReader::ReplicasFor(
     const PinnedEpoch& pinned) {
   const uint64_t epoch = pinned->epoch;
@@ -35,13 +44,33 @@ Result<EpochPirReader::Replicas*> EpochPirReader::ReplicasFor(
     if (entry.epoch == epoch) return &entry;
   }
   auto records = SnapshotRecords(pinned->protected_table);
-  TRIPRIV_ASSIGN_OR_RETURN(XorPirServer a, XorPirServer::Create(records));
-  TRIPRIV_ASSIGN_OR_RETURN(XorPirServer b,
-                           XorPirServer::Create(std::move(records)));
   Replicas built;
   built.epoch = epoch;
-  built.a = std::make_unique<XorPirServer>(std::move(a));
-  built.b = std::make_unique<XorPirServer>(std::move(b));
+  if (options_.dimensions <= 1) {
+    TRIPRIV_ASSIGN_OR_RETURN(XorPirServer a, XorPirServer::Create(records));
+    TRIPRIV_ASSIGN_OR_RETURN(XorPirServer b,
+                             XorPirServer::Create(std::move(records)));
+    built.a = std::make_unique<XorPirServer>(std::move(a));
+    built.b = std::make_unique<XorPirServer>(std::move(b));
+  } else {
+    // Recursive mode: one replica, aliased 2^d times at read time, plus
+    // the epoch's hypercube geometry (the row count may change per epoch).
+    TRIPRIV_ASSIGN_OR_RETURN(
+        built.geometry,
+        HypercubeGeometry::Balanced(records.size(), options_.dimensions));
+    TRIPRIV_ASSIGN_OR_RETURN(XorPirServer a,
+                             XorPirServer::Create(std::move(records)));
+    built.a = std::make_unique<XorPirServer>(std::move(a));
+  }
+  if (options_.preprocess) {
+    // Per-epoch preprocessing: the parity layout is rendered alongside the
+    // replicas and evicted with them — the flip IS the invalidation.
+    built.a->Preprocess();
+    if (built.b != nullptr) built.b->Preprocess();
+  }
+  // A newly rendered epoch means any session scratch sized for an older
+  // epoch's table is stale: drop it before the first read of this epoch.
+  sessions_.InvalidateBefore(epoch);
   // At most two cached pairs — the manager's live-epoch bound. Oldest out.
   if (cache_.size() >= 2) cache_.erase(cache_.begin());
   cache_.push_back(std::move(built));
@@ -53,8 +82,16 @@ Result<std::vector<uint8_t>> EpochPirReader::Read(size_t index, Rng* rng) {
   PinnedEpoch pinned = manager_->Pin();
   TRIPRIV_ASSIGN_OR_RETURN(Replicas * replicas, ReplicasFor(pinned));
   last_served_epoch_ = pinned->epoch;
-  return TwoServerPirRead(replicas->a.get(), replicas->b.get(), index, rng,
-                          &stats_);
+  if (options_.dimensions <= 1) {
+    return TwoServerPirRead(replicas->a.get(), replicas->b.get(), index, rng,
+                            &stats_);
+  }
+  PirSessionRegistry::Session* session = sessions_.Establish(
+      options_.tenant_class, replicas->geometry, replicas->epoch);
+  const std::vector<XorPirServer*> servers(replicas->geometry.num_servers(),
+                                           replicas->a.get());
+  return RecursivePirRead(servers, replicas->geometry, index, rng,
+                          /*pool=*/nullptr, &stats_, session);
 }
 
 Result<std::vector<std::vector<uint8_t>>> EpochPirReader::ReadBatch(
@@ -64,8 +101,16 @@ Result<std::vector<std::vector<uint8_t>>> EpochPirReader::ReadBatch(
   PinnedEpoch pinned = manager_->Pin();
   TRIPRIV_ASSIGN_OR_RETURN(Replicas * replicas, ReplicasFor(pinned));
   last_served_epoch_ = pinned->epoch;
-  return TwoServerPirBatchRead(replicas->a.get(), replicas->b.get(), indices,
-                               rng, pool, &stats_);
+  if (options_.dimensions <= 1) {
+    return TwoServerPirBatchRead(replicas->a.get(), replicas->b.get(), indices,
+                                 rng, pool, &stats_);
+  }
+  PirSessionRegistry::Session* session = sessions_.Establish(
+      options_.tenant_class, replicas->geometry, replicas->epoch);
+  const std::vector<XorPirServer*> servers(replicas->geometry.num_servers(),
+                                           replicas->a.get());
+  return RecursivePirBatchRead(servers, replicas->geometry, indices, rng, pool,
+                               &stats_, session);
 }
 
 }  // namespace tripriv

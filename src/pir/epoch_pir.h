@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pir/it_pir.h"
+#include "pir/recursive_pir.h"
 #include "table/versioned_table.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -44,13 +45,32 @@ std::vector<std::vector<uint8_t>> SnapshotRecords(const DataTable& table);
 /// Decodes a SnapshotRecords record back to its text (padding stripped).
 std::string RecordToString(const std::vector<uint8_t>& record);
 
+/// How an EpochPirReader serves its reads.
+struct EpochPirOptions {
+  /// 1 = the flat 2-server scheme; >= 2 = the recursive 2^d-server
+  /// hypercube scheme of pir/recursive_pir.h, served from ONE in-process
+  /// replica aliased 2^d times (replicas are byte-identical by
+  /// construction, and answers depend only on the queries, so aliasing
+  /// trades nothing but the per-replica trust split — which an in-process
+  /// reader never had).
+  size_t dimensions = 1;
+  /// Build the 64-byte-aligned parity layout (XorPirServer::Preprocess)
+  /// when an epoch's replicas are rendered. The layout lives and dies with
+  /// the cached epoch entry: the flip-driven eviction IS the invalidation.
+  bool preprocess = false;
+  /// Session key for recursive expansion scratch — an allowlisted tenant
+  /// class (obs::kClass* index), never a principal id.
+  uint8_t tenant_class = 0;
+};
+
 /// Per-epoch replica pair + batch read driver; see file comment. Not
 /// thread-safe itself (one reader per thread; the pinned epochs they share
 /// are immutable).
 class EpochPirReader {
  public:
   /// `manager` must outlive the reader.
-  explicit EpochPirReader(EpochManager* manager) : manager_(manager) {}
+  explicit EpochPirReader(EpochManager* manager, EpochPirOptions options = {})
+      : manager_(manager), options_(options) {}
 
   /// Privately retrieves row `index` of the CURRENT epoch's protected
   /// table (pins it for the duration of the read). Single reads are
@@ -69,13 +89,22 @@ class EpochPirReader {
   uint64_t replica_builds() const { return replica_builds_; }
   /// Accumulated upload/download bits across all reads.
   const PirStats& stats() const { return stats_; }
+  /// Recursive-mode expansion sessions (empty in flat mode). Sessions for
+  /// epochs older than the newest rendered one are invalidated at render
+  /// time — the EpochManager flip hook.
+  const PirSessionRegistry& sessions() const { return sessions_; }
+  /// Bytes currently held by preprocessed parity layouts across the cache.
+  uint64_t preprocess_bytes() const;
 
  private:
-  /// One epoch's frozen replica pair.
+  /// One epoch's frozen replicas: the flat pair (a, b), or in recursive
+  /// mode a single replica in `a` (aliased 2^d times at read time) plus
+  /// its hypercube geometry.
   struct Replicas {
     uint64_t epoch = 0;
     std::unique_ptr<XorPirServer> a;
     std::unique_ptr<XorPirServer> b;
+    HypercubeGeometry geometry;
   };
 
   /// The replica pair for `pinned`'s epoch, building and caching it on
@@ -83,7 +112,9 @@ class EpochPirReader {
   Result<Replicas*> ReplicasFor(const PinnedEpoch& pinned);
 
   EpochManager* manager_;
+  EpochPirOptions options_;
   std::vector<Replicas> cache_;
+  PirSessionRegistry sessions_;
   uint64_t last_served_epoch_ = 0;
   uint64_t replica_builds_ = 0;
   PirStats stats_;

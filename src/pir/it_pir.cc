@@ -97,9 +97,34 @@ const std::vector<uint8_t>& XorPirServer::last_observed_query() const {
   return observed_query(observed_.size() - 1);
 }
 
-void XorPirServer::AccumulateRange(const std::vector<uint8_t>& selection,
-                                   size_t begin, size_t end,
-                                   uint8_t* acc) const {
+void XorPirServer::Preprocess() {
+  if (preprocessed()) return;
+  const size_t size = record_size();
+  const size_t pairs = (records_.size() + 1) / 2;
+  // Slots padded to whole cache lines so every slot starts 64-byte aligned.
+  parity_stride_ = (size + 63) / 64 * 64;
+  parity_ = AlignedWordBuffer(pairs * 3 * parity_stride_ / 8);
+  uint8_t* out = parity_.bytes();
+  for (size_t p = 0; p < pairs; ++p) {
+    const std::vector<uint8_t>& even = records_[2 * p];
+    uint8_t* even_slot = out + (3 * p) * parity_stride_;
+    uint8_t* odd_slot = even_slot + parity_stride_;
+    uint8_t* parity_slot = odd_slot + parity_stride_;
+    std::memcpy(even_slot, even.data(), size);
+    std::memcpy(parity_slot, even.data(), size);
+    if (2 * p + 1 < records_.size()) {
+      // A lone trailing record leaves its odd slot zero, so its parity slot
+      // degenerates to the record itself and the sweep stays uniform.
+      const std::vector<uint8_t>& odd = records_[2 * p + 1];
+      std::memcpy(odd_slot, odd.data(), size);
+      XorBytesInto(parity_slot, odd.data(), size);
+    }
+  }
+}
+
+void XorPirServer::AccumulateRecords(const std::vector<uint8_t>& selection,
+                                     size_t begin, size_t end,
+                                     uint8_t* acc) const {
   const size_t size = record_size();
   size_t i = begin;
   while (i < end) {
@@ -112,8 +137,48 @@ void XorPirServer::AccumulateRange(const std::vector<uint8_t>& selection,
   }
 }
 
+void XorPirServer::AccumulateRange(const std::vector<uint8_t>& selection,
+                                   size_t begin, size_t end,
+                                   uint8_t* acc) const {
+  if (!preprocessed()) {
+    AccumulateRecords(selection, begin, end, acc);
+    return;
+  }
+  // Parity sweep: two selection bits cost at most one aligned XOR. Shard
+  // boundaries may split a pair; the stray records on either side take the
+  // single-slot path, and XOR commutativity makes the merged bytes
+  // identical to the serial sweep regardless of the split.
+  const size_t size = record_size();
+  size_t i = begin;
+  if (i < end && i % 2 == 1) {
+    if (GetBit(selection, i)) {
+      XorBytesInto(acc, ParitySlot(3 * (i / 2) + 1), size);
+    }
+    ++i;
+  }
+  for (; i + 2 <= end; i += 2) {
+    if (i % 8 == 0 && i + 8 <= end && selection[i / 8] == 0) {
+      i += 6;  // skip a whole clear selection byte (loop adds the other 2)
+      continue;
+    }
+    const bool even = GetBit(selection, i);
+    const bool odd = GetBit(selection, i + 1);
+    if (even && odd) {
+      XorBytesInto(acc, ParitySlot(3 * (i / 2) + 2), size);
+    } else if (even) {
+      XorBytesInto(acc, ParitySlot(3 * (i / 2)), size);
+    } else if (odd) {
+      XorBytesInto(acc, ParitySlot(3 * (i / 2) + 1), size);
+    }
+  }
+  if (i < end && GetBit(selection, i)) {
+    XorBytesInto(acc, ParitySlot(3 * (i / 2)), size);
+  }
+}
+
 Result<std::vector<uint8_t>> XorPirServer::ComputeAnswer(
     const std::vector<uint8_t>& selection, ThreadPool* pool) const {
+  if (!compute_fault_.ok()) return compute_fault_;
   if (selection.size() != (records_.size() + 7) / 8) {
     return Status::InvalidArgument("selection bitmap has wrong length");
   }
@@ -169,8 +234,9 @@ Result<std::vector<uint8_t>> TwoServerPirRead(XorPirServer* server_a,
   TRIPRIV_ASSIGN_OR_RETURN(auto answer_b, server_b->Answer(query_b));
   XorBytesInto(answer_a.data(), answer_b.data(), answer_a.size());
   if (stats != nullptr) {
-    stats->upload_bits = 2 * n;
-    stats->download_bits = 2 * 8 * server_a->record_size();
+    // Accumulate, never overwrite — see the PirStats contract in it_pir.h.
+    stats->upload_bits += 2 * n;
+    stats->download_bits += 2 * 8 * server_a->record_size();
   }
   return answer_a;
 }
@@ -202,14 +268,31 @@ Result<std::vector<std::vector<uint8_t>>> TwoServerPirBatchRead(
     server_b->ObserveQuery(queries_b[i]);
   }
 
-  // Parallel stage: pure answer computation into positional slots.
+  // Parallel stage: pure answer computation into positional slots. A slot
+  // failure (a replica refusing or diverging mid-batch) lands in its own
+  // Status slot — never a process abort inside the ParallelFor region —
+  // and the first failure in index order becomes the batch's typed error
+  // after the join.
   std::vector<std::vector<uint8_t>> answers(indices.size());
+  std::vector<Status> slot_status(indices.size());
   const XorPirServer* a = server_a;
   const XorPirServer* b = server_b;
-  auto answer_one = [a, b, &queries_a, &queries_b, &answers](size_t i) {
+  auto answer_one = [a, b, &queries_a, &queries_b, &answers,
+                     &slot_status](size_t i) {
     auto answer_a = a->ComputeAnswer(queries_a[i]);
+    if (!answer_a.ok()) {
+      slot_status[i] = answer_a.status();
+      return;
+    }
     auto answer_b = b->ComputeAnswer(queries_b[i]);
-    TRIPRIV_CHECK(answer_a.ok() && answer_b.ok());
+    if (!answer_b.ok()) {
+      slot_status[i] = answer_b.status();
+      return;
+    }
+    if (answer_a->size() != answer_b->size()) {
+      slot_status[i] = Status::Internal("replica answers diverged in length");
+      return;
+    }
     XorBytesInto(answer_a->data(), answer_b->data(), answer_a->size());
     answers[i] = std::move(answer_a).value();
   };
@@ -220,6 +303,13 @@ Result<std::vector<std::vector<uint8_t>>> TwoServerPirBatchRead(
                       [&answer_one](size_t, size_t begin, size_t end) {
                         for (size_t i = begin; i < end; ++i) answer_one(i);
                       });
+  }
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (!slot_status[i].ok()) {
+      return Status(slot_status[i].code(),
+                    "PIR batch slot " + std::to_string(i) +
+                        " failed: " + slot_status[i].message());
+    }
   }
   if (stats != nullptr) {
     stats->upload_bits += indices.size() * 2 * n;
@@ -290,8 +380,9 @@ Result<std::vector<uint8_t>> FourServerCubePirRead(
     XorBytesInto(acc.data(), answer.data(), acc.size());
   }
   if (stats != nullptr) {
-    stats->upload_bits = 4 * (rows + cols);
-    stats->download_bits = 4 * 8 * servers[0]->record_size();
+    // Accumulate, never overwrite — see the PirStats contract in it_pir.h.
+    stats->upload_bits += 4 * (rows + cols);
+    stats->download_bits += 4 * 8 * servers[0]->record_size();
   }
   return acc;
 }

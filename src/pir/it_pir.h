@@ -13,7 +13,11 @@
 // The answer path is the system's steady-state hot loop: a blocked,
 // word-wide XOR kernel (pir/xor_kernel.h), optionally sharded across a
 // ThreadPool with per-shard partial accumulators merged in fixed shard
-// order, so the answer is bit-identical at any thread count. Batched reads
+// order, so the answer is bit-identical at any thread count. Preprocess()
+// builds a 64-byte-aligned pair-parity layout (the XOR analog of SealPIR's
+// preprocess_ntt) that the sweep streams instead of per-record vectors;
+// pir/recursive_pir.h generalizes the 4-server cube below to d dimensions
+// with seed-compressed queries. Batched reads
 // (TwoServerPirBatchRead) draw all query randomness serially in index
 // order, then fan the answer computation out across the pool — the whole
 // transcript is a pure function of the seed and the batch.
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "core/annotations.h"
+#include "table/aligned_buffer.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -73,6 +78,28 @@ class XorPirServer {
   Result<std::vector<uint8_t>> ComputeAnswer(
       const std::vector<uint8_t>& selection, ThreadPool* pool = nullptr) const;
 
+  /// One-time per-epoch preprocessing — the XOR analog of SealPIR's
+  /// preprocess_ntt. Copies the records into a 64-byte-aligned, word-padded
+  /// parity layout: each pair of adjacent records occupies three aligned
+  /// slots [even, odd, even^odd], so the hot sweep answers two selection
+  /// bits with at most ONE aligned XOR (instead of an expected one and a
+  /// worst-case two) and streams contiguous memory instead of chasing
+  /// per-record heap pointers. Answers are byte-identical with or without
+  /// the layout (XOR algebra — only the sweep changes), and bytes_xored()
+  /// accounting is untouched because it is derived from the observed
+  /// selection, not from the sweep. Idempotent; costs 1.5x the database.
+  void Preprocess();
+  bool preprocessed() const { return !parity_.empty(); }
+  /// Bytes held by the preprocessed layout (0 before Preprocess).
+  uint64_t preprocess_bytes() const { return parity_.size_bytes(); }
+
+  /// Injected adversity for error-path tests: once armed with a non-OK
+  /// status, every ComputeAnswer (and therefore Answer) call fails with it
+  /// — the replica behaves as if it diverged from its pair. Arm with OK to
+  /// disarm. Set only while no batch is in flight; reads are const and
+  /// thread-safe.
+  void InjectComputeFault(Status fault) { compute_fault_ = std::move(fault); }
+
   /// The bookkeeping half of Answer: increments the query counter and, when
   /// the log is enabled, appends `selection` to the bounded ring. Not
   /// thread-safe — batch executors call it from their serial stage.
@@ -111,10 +138,23 @@ class XorPirServer {
  private:
   /// XORs the records selected in [begin, end) into `acc` (record_size()
   /// bytes), skipping 8 records at a time across clear selection bytes.
+  /// Sweeps the parity layout when Preprocess has built it.
   void AccumulateRange(const std::vector<uint8_t>& selection, size_t begin,
                        size_t end, uint8_t* acc) const;
+  /// The plain per-record sweep (no layout).
+  void AccumulateRecords(const std::vector<uint8_t>& selection, size_t begin,
+                         size_t end, uint8_t* acc) const;
+  /// Slot `slot` of the parity layout (3 slots per record pair).
+  const uint8_t* ParitySlot(size_t slot) const {
+    return parity_.bytes() + slot * parity_stride_;
+  }
 
   std::vector<std::vector<uint8_t>> records_;
+  /// Preprocessed parity layout (see Preprocess): ceil(n/2) pair groups of
+  /// three 64-byte-aligned slots each, parity_stride_ bytes per slot.
+  AlignedWordBuffer parity_;
+  size_t parity_stride_ = 0;
+  Status compute_fault_;  ///< injected ComputeAnswer failure (OK = disarmed)
   uint64_t queries_answered_ = 0;
   uint64_t bytes_xored_ = 0;
   /// Bounded observation ring (attack-analysis mode). `observed_` holds at
@@ -125,11 +165,16 @@ class XorPirServer {
   std::vector<std::vector<uint8_t>> observed_;
 };
 
-/// Communication accounting. For single reads the per-query cost; for batch
-/// reads the totals across the batch.
+/// Communication accounting. Contract: EVERY read path — single, batch,
+/// cube, recursive, keyword — ACCUMULATES into the caller's struct with
+/// `+=`, never overwrites, so one PirStats can meter an arbitrary
+/// interleaving of read paths as a running total. Callers wanting per-query
+/// numbers pass a freshly zeroed struct (or call Reset between reads).
 struct PirStats {
   size_t upload_bits = 0;
   size_t download_bits = 0;
+
+  void Reset() { upload_bits = download_bits = 0; }
 };
 
 /// Retrieves record `index` via the 2-server scheme. The two servers must
@@ -144,7 +189,9 @@ Result<std::vector<uint8_t>> TwoServerPirRead(XorPirServer* server_a,
 /// loop would make — then the XOR answer kernels fan out across `pool`
 /// (null or 0-worker pool = inline). Answers are positional and
 /// bit-identical to the serial loop at any thread count; `stats`
-/// accumulates the batch totals.
+/// accumulates the batch totals. A per-slot compute failure never aborts
+/// the process: slot statuses are collected across the join and the first
+/// failure (in index order) is returned as the batch's typed error.
 Result<std::vector<std::vector<uint8_t>>> TwoServerPirBatchRead(
     XorPirServer* server_a, XorPirServer* server_b,
     const std::vector<size_t>& indices, Rng* rng, ThreadPool* pool = nullptr,

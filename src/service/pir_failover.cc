@@ -5,19 +5,14 @@
 #include "util/thread_pool.h"
 
 namespace tripriv {
+namespace {
 
-Result<FailoverPirClient> FailoverPirClient::Build(
-    const std::vector<std::vector<uint8_t>>& records, size_t num_pairs,
-    const RetryPolicy& retry, SimClock* clock, uint64_t seed) {
-  TRIPRIV_CHECK(clock != nullptr);
-  if (num_pairs < 1) {
-    return Status::InvalidArgument("need at least one server pair");
-  }
+/// Appends the 8-byte FNV-1a integrity suffix to every record so each
+/// server stores checksummed records and any reconstruction is verifiable.
+Result<std::vector<std::vector<uint8_t>>> ChecksumRecords(
+    const std::vector<std::vector<uint8_t>>& records) {
   if (records.empty()) return Status::InvalidArgument("empty database");
   const size_t payload_size = records[0].size();
-
-  // Append the integrity suffix before replication so every server stores
-  // checksummed records and any reconstruction is verifiable.
   std::vector<std::vector<uint8_t>> stored;
   stored.reserve(records.size());
   for (const auto& r : records) {
@@ -31,16 +26,46 @@ Result<FailoverPirClient> FailoverPirClient::Build(
     }
     stored.push_back(std::move(with_sum));
   }
+  return stored;
+}
+
+}  // namespace
+
+Result<FailoverPirClient> FailoverPirClient::Build(
+    const std::vector<std::vector<uint8_t>>& records, size_t num_pairs,
+    const RetryPolicy& retry, SimClock* clock, uint64_t seed) {
+  return BuildRecursive(records, num_pairs, /*dimensions=*/1, retry, clock,
+                        seed);
+}
+
+Result<FailoverPirClient> FailoverPirClient::BuildRecursive(
+    const std::vector<std::vector<uint8_t>>& records, size_t num_groups,
+    size_t dimensions, const RetryPolicy& retry, SimClock* clock,
+    uint64_t seed, bool preprocess) {
+  TRIPRIV_CHECK(clock != nullptr);
+  if (num_groups < 1) {
+    return Status::InvalidArgument("need at least one server group");
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto stored, ChecksumRecords(records));
 
   FailoverPirClient client(retry, clock, seed);
   client.num_records_ = records.size();
-  client.payload_size_ = payload_size;
-  client.servers_.reserve(2 * num_pairs);
-  for (size_t s = 0; s < 2 * num_pairs; ++s) {
+  client.payload_size_ = records[0].size();
+  client.dimensions_ = dimensions;
+  if (dimensions > 1) {
+    TRIPRIV_ASSIGN_OR_RETURN(
+        client.geometry_, HypercubeGeometry::Balanced(stored.size(), dimensions));
+  } else if (dimensions < 1) {
+    return Status::InvalidArgument("hypercube dimension must be in [1, 8]");
+  }
+  const size_t total = client.group_size() * num_groups;
+  client.servers_.reserve(total);
+  for (size_t s = 0; s < total; ++s) {
     TRIPRIV_ASSIGN_OR_RETURN(XorPirServer server, XorPirServer::Create(stored));
+    if (preprocess) server.Preprocess();
     client.servers_.push_back(std::move(server));
   }
-  client.faults_.resize(2 * num_pairs);
+  client.faults_.resize(total);
   return client;
 }
 
@@ -53,58 +78,96 @@ void FailoverPirClient::EnableObservationLogs(size_t capacity) {
   for (auto& server : servers_) server.EnableObservationLog(capacity);
 }
 
-Result<std::vector<uint8_t>> FailoverPirClient::ReadFromPair(size_t pair,
-                                                             size_t index) {
-  const size_t a = 2 * pair;
-  const size_t b = 2 * pair + 1;
-  for (size_t s : {a, b}) {
+Result<std::vector<uint8_t>> FailoverPirClient::VerifyReconstruction(
+    std::vector<uint8_t> rec, size_t group) {
+  // rec is (payload | checksum); verify before trusting it.
+  TRIPRIV_CHECK_EQ(rec.size(), payload_size_ + 8);
+  uint64_t stored_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored_sum |= static_cast<uint64_t>(rec[payload_size_ + i]) << (8 * i);
+  }
+  if (Fnv1a64(rec.data(), payload_size_) != stored_sum) {
+    ++corrupt_detected_;
+    return Status::Unavailable("PIR group " + std::to_string(group) +
+                               " returned a corrupt reconstruction");
+  }
+  rec.resize(payload_size_);
+  return rec;
+}
+
+Result<std::vector<uint8_t>> FailoverPirClient::ReadFromGroup(
+    size_t group, size_t index, uint8_t tenant_class, ThreadPool* pool) {
+  const size_t gs = group_size();
+  const size_t base = gs * group;
+  for (size_t s = base; s < base + gs; ++s) {
     if (faults_[s].crashed) {
       return Status::Unavailable("PIR server " + std::to_string(s) +
                                  " is down");
     }
   }
 
-  const size_t n = num_records_;
-  std::vector<uint8_t> sel_a = RandomSelectionBits(n, &rng_);
-  std::vector<uint8_t> sel_b = sel_a;
-  FlipSelectionBit(&sel_b, index);
+  if (dimensions_ <= 1) {
+    const size_t a = base;
+    const size_t b = base + 1;
+    const size_t n = num_records_;
+    std::vector<uint8_t> sel_a = RandomSelectionBits(n, &rng_);
+    std::vector<uint8_t> sel_b = sel_a;
+    FlipSelectionBit(&sel_b, index);
 
-  TRIPRIV_ASSIGN_OR_RETURN(auto ans_a, servers_[a].Answer(sel_a));
-  TRIPRIV_ASSIGN_OR_RETURN(auto ans_b, servers_[b].Answer(sel_b));
-  for (size_t s : {a, b}) {
-    auto& ans = (s == a) ? ans_a : ans_b;
-    if (!ans.empty() && rng_.Bernoulli(faults_[s].corrupt_rate)) {
+    TRIPRIV_ASSIGN_OR_RETURN(auto ans_a, servers_[a].Answer(sel_a));
+    TRIPRIV_ASSIGN_OR_RETURN(auto ans_b, servers_[b].Answer(sel_b));
+    for (size_t s : {a, b}) {
+      auto& ans = (s == a) ? ans_a : ans_b;
+      if (!ans.empty() && rng_.Bernoulli(faults_[s].corrupt_rate)) {
+        const size_t byte = static_cast<size_t>(rng_.UniformU64(ans.size()));
+        ans[byte] ^= 0x5A;
+      }
+    }
+    TRIPRIV_CHECK_EQ(ans_a.size(), ans_b.size());
+    for (size_t i = 0; i < ans_a.size(); ++i) ans_a[i] ^= ans_b[i];
+    return VerifyReconstruction(std::move(ans_a), group);
+  }
+
+  // Recursive group: seed-compressed queries, one answer per replica,
+  // fault draws in member order (the flat path's per-side discipline).
+  PirSessionRegistry::Session* session =
+      sessions_.Establish(tenant_class, geometry_, /*epoch=*/0);
+  TRIPRIV_ASSIGN_OR_RETURN(auto queries,
+                           BuildHypercubeQueries(geometry_, index, &rng_));
+  std::vector<uint8_t> rec(payload_size_ + 8, 0);
+  size_t upload = 0;
+  for (size_t m = 0; m < gs; ++m) {
+    upload += queries[m].upload_bits(geometry_);
+    TRIPRIV_ASSIGN_OR_RETURN(
+        auto ans, AnswerHypercubeQuery(&servers_[base + m], queries[m],
+                                       geometry_, pool, session));
+    if (!ans.empty() && rng_.Bernoulli(faults_[base + m].corrupt_rate)) {
       const size_t byte = static_cast<size_t>(rng_.UniformU64(ans.size()));
       ans[byte] ^= 0x5A;
     }
+    TRIPRIV_CHECK_EQ(ans.size(), rec.size());
+    XorBytesInto(rec.data(), ans.data(), rec.size());
   }
-
-  TRIPRIV_CHECK_EQ(ans_a.size(), ans_b.size());
-  for (size_t i = 0; i < ans_a.size(); ++i) ans_a[i] ^= ans_b[i];
-
-  // ans_a is now (payload | checksum); verify before trusting it.
-  TRIPRIV_CHECK_EQ(ans_a.size(), payload_size_ + 8);
-  uint64_t stored_sum = 0;
-  for (int i = 0; i < 8; ++i) {
-    stored_sum |= static_cast<uint64_t>(ans_a[payload_size_ + i]) << (8 * i);
-  }
-  if (Fnv1a64(ans_a.data(), payload_size_) != stored_sum) {
-    ++corrupt_detected_;
-    return Status::Unavailable("PIR pair " + std::to_string(pair) +
-                               " returned a corrupt reconstruction");
-  }
-  ans_a.resize(payload_size_);
-  return ans_a;
+  session->reads += 1;
+  session->upload_bits += upload;
+  return VerifyReconstruction(std::move(rec), group);
 }
 
 Result<std::vector<uint8_t>> FailoverPirClient::Read(size_t index,
-                                                     const Deadline& deadline) {
+                                                     const Deadline& deadline,
+                                                     uint8_t tenant_class) {
+  return ReadImpl(index, deadline, tenant_class, /*pool=*/nullptr);
+}
+
+Result<std::vector<uint8_t>> FailoverPirClient::ReadImpl(
+    size_t index, const Deadline& deadline, uint8_t tenant_class,
+    ThreadPool* pool) {
   if (index >= num_records_) {
     return Status::OutOfRange("record index out of range");
   }
-  const size_t pairs = num_pairs();
-  const size_t first_pair = next_pair_;
-  next_pair_ = (next_pair_ + 1) % pairs;
+  const size_t groups = num_groups();
+  const size_t first_group = next_pair_;
+  next_pair_ = (next_pair_ + 1) % groups;
 
   Status last = Status::Unavailable("no PIR attempt was made");
   const size_t max_attempts = retry_.max_attempts < 1 ? 1 : retry_.max_attempts;
@@ -113,9 +176,9 @@ Result<std::vector<uint8_t>> FailoverPirClient::Read(size_t index,
       return DeadlineExceededError("PIR read after " +
                                    std::to_string(attempt) + " attempt(s)");
     }
-    const size_t pair = (first_pair + attempt) % pairs;
+    const size_t group = (first_group + attempt) % groups;
     if (attempt > 0) ++failovers_;
-    auto read = ReadFromPair(pair, index);
+    auto read = ReadFromGroup(group, index, tenant_class, pool);
     if (read.ok()) return read;
     if (!read.status().transient()) return read.status();
     last = read.status();
@@ -125,13 +188,27 @@ Result<std::vector<uint8_t>> FailoverPirClient::Read(size_t index,
   }
   return Status::Unavailable("PIR read failed after " +
                              std::to_string(max_attempts) +
-                             " attempts across " + std::to_string(pairs) +
-                             " pair(s); last: " + last.message());
+                             " attempts across " + std::to_string(groups) +
+                             " group(s); last: " + last.message());
 }
 
 std::vector<Result<std::vector<uint8_t>>> FailoverPirClient::ReadBatch(
     const std::vector<size_t>& indices, const Deadline& deadline,
-    ThreadPool* pool) {
+    ThreadPool* pool, uint8_t tenant_class) {
+  if (dimensions_ > 1) {
+    // Recursive groups: items run serially in index order (the exact rng
+    // transcript of a Read loop) and the pool instead shards each
+    // replica's XOR sweep inside the answer — expansion state and the
+    // session scratch never cross threads, and one session serves the
+    // whole batch.
+    std::vector<Result<std::vector<uint8_t>>> results;
+    results.reserve(indices.size());
+    for (size_t index : indices) {
+      results.push_back(ReadImpl(index, deadline, tenant_class, pool));
+    }
+    return results;
+  }
+
   // One fast-path attempt per item against its round-robin pair, with all
   // randomness pre-drawn so the compute stage is pure.
   struct BatchAttempt {

@@ -531,6 +531,10 @@ void QueryService::PublishMetrics() {
     metrics_->PublishPir(pir_->total_bytes_xored(), pir_->failovers(),
                          pir_->corrupt_answers_detected(),
                          pir_->total_queries_answered());
+    metrics_->PublishPirTransport(pir_->sessions().total_upload_bits(),
+                                  pir_->sessions().total_expanded_cells(),
+                                  pir_->preprocess_bytes(),
+                                  pir_->sessions().num_sessions());
   }
 }
 
@@ -557,7 +561,10 @@ Result<std::vector<uint8_t>> QueryService::PirRead(size_t index,
     return Status::FailedPrecondition("no PIR backend attached");
   }
   const uint64_t span = BeginSpan(span_ids_.pir_read, 0, next_query_id_);
-  auto record = pir_->Read(index, deadline);
+  // The recursive backend keys its expansion session on the request class
+  // — the same allowlisted class the admission ladder uses, never a
+  // principal id.
+  auto record = pir_->Read(index, deadline, request_class_);
   if (metrics_ != nullptr && record.ok()) metrics_->OnPirRead();
   FinishSpan(span, record.status().code());
   return record;
@@ -577,7 +584,7 @@ std::vector<Result<std::vector<uint8_t>>> QueryService::PirReadBatch(
                             "no PIR backend attached")));
   }
   const uint64_t span = BeginSpan(span_ids_.pir_batch, 0, next_query_id_);
-  auto records = pir_->ReadBatch(indices, deadline, pool);
+  auto records = pir_->ReadBatch(indices, deadline, pool, request_class_);
   if (metrics_ != nullptr) {
     metrics_->OnPirBatch(indices.size());
     for (const auto& record : records) {

@@ -1,0 +1,370 @@
+// Recursive d-dimensional PIR: geometry, seed expansion, retrieval,
+// sublinear upload, canonical flat transcripts (padding and overhang),
+// preprocessing equivalence, session reuse, epoch invalidation, and the
+// thread-count invariance contract (this file carries the parallel label —
+// the TSan leg's payload for `ctest -L pir`).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pir/epoch_pir.h"
+#include "pir/recursive_pir.h"
+#include "service/epoch_service.h"
+#include "table/datasets.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace {
+
+std::vector<std::vector<uint8_t>> MakeRecords(size_t n, size_t size) {
+  std::vector<std::vector<uint8_t>> records(n, std::vector<uint8_t>(size));
+  Rng rng(99);
+  for (auto& r : records) {
+    for (auto& b : r) b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return records;
+}
+
+/// 2^d independent replicas of `records` plus the pointer vector the read
+/// API takes.
+struct Fleet {
+  std::vector<XorPirServer> servers;
+  std::vector<XorPirServer*> ptrs;
+};
+
+Fleet MakeFleet(const std::vector<std::vector<uint8_t>>& records, size_t d,
+                bool preprocess = false) {
+  Fleet fleet;
+  const size_t count = size_t{1} << d;
+  fleet.servers.reserve(count);
+  for (size_t s = 0; s < count; ++s) {
+    auto server = XorPirServer::Create(records);
+    TRIPRIV_CHECK(server.ok());
+    if (preprocess) server->Preprocess();
+    fleet.servers.push_back(std::move(*server));
+  }
+  for (auto& server : fleet.servers) fleet.ptrs.push_back(&server);
+  return fleet;
+}
+
+bool GetBit(const std::vector<uint8_t>& bits, size_t i) {
+  return (bits[i / 8] >> (i % 8)) & 1u;
+}
+
+TEST(HypercubeGeometryTest, BalancedPicksSmallestSide) {
+  struct Case {
+    size_t n, d, side;
+  };
+  for (const Case& c : std::initializer_list<Case>{{1, 1, 1},
+                                                   {1024, 2, 32},
+                                                   {1025, 2, 33},
+                                                   {27, 3, 3},
+                                                   {28, 3, 4},
+                                                   {30, 2, 6},
+                                                   {1048576, 2, 1024},
+                                                   {1048576, 3, 102}}) {
+    auto g = HypercubeGeometry::Balanced(c.n, c.d);
+    ASSERT_TRUE(g.ok()) << c.n << " " << c.d;
+    EXPECT_EQ(g->side, c.side) << c.n << " " << c.d;
+    EXPECT_EQ(g->num_servers(), size_t{1} << c.d);
+  }
+  EXPECT_FALSE(HypercubeGeometry::Balanced(0, 2).ok());
+  EXPECT_FALSE(HypercubeGeometry::Balanced(10, 0).ok());
+  EXPECT_FALSE(HypercubeGeometry::Balanced(10, 9).ok());
+}
+
+TEST(HypercubeGeometryTest, CoordinatesRoundTrip) {
+  auto g = HypercubeGeometry::Balanced(30, 3);  // side 4, 64 cells
+  ASSERT_TRUE(g.ok());
+  for (size_t i = 0; i < g->n; ++i) {
+    const auto coords = g->Coordinates(i);
+    ASSERT_EQ(coords.size(), 3u);
+    size_t back = 0;
+    for (size_t k = 0; k < 3; ++k) back = back * g->side + coords[k];
+    EXPECT_EQ(back, i);
+  }
+}
+
+TEST(RecursivePirTest, RetrievesEveryIndexAtD2AndD3) {
+  // 30 records: side 6 at d=2 (6 overhang cells) and side 4 at d=3 (34
+  // overhang cells) — awkward on purpose.
+  auto records = MakeRecords(30, 16);
+  for (size_t d : {2u, 3u}) {
+    auto g = HypercubeGeometry::Balanced(records.size(), d);
+    ASSERT_TRUE(g.ok());
+    Fleet fleet = MakeFleet(records, d);
+    Rng rng(5 + d);
+    for (size_t i = 0; i < records.size(); ++i) {
+      auto got = RecursivePirRead(fleet.ptrs, *g, i, &rng);
+      ASSERT_TRUE(got.ok()) << "d=" << d << " i=" << i;
+      EXPECT_EQ(*got, records[i]) << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(RecursivePirTest, UploadIsSeedPlusAxisBits) {
+  auto records = MakeRecords(4096, 8);
+  auto g = HypercubeGeometry::Balanced(records.size(), 2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->side, 64u);
+  Fleet fleet = MakeFleet(records, 2);
+  Rng rng(7);
+  PirStats stats;
+  ASSERT_TRUE(RecursivePirRead(fleet.ptrs, *g, 123, &rng, nullptr, &stats).ok());
+  // Server 0 gets the 64-bit seed; the other three get d*side explicit bits.
+  EXPECT_EQ(stats.upload_bits, 64u + 3 * 2 * 64u);
+  EXPECT_EQ(stats.download_bits, 4 * 8 * 8u);
+  // Sublinear in n: a flat 2-server read ships 2n bits.
+  EXPECT_LT(stats.upload_bits, 2 * records.size() / 10);
+}
+
+TEST(RecursivePirTest, SeedExpansionIsPureAndDrawsOneWord) {
+  auto g = HypercubeGeometry::Balanced(100, 2);
+  ASSERT_TRUE(g.ok());
+  const auto once = ExpandAxisSelections(42, *g);
+  const auto twice = ExpandAxisSelections(42, *g);
+  EXPECT_EQ(once, twice);
+  ASSERT_EQ(once.size(), 2u);
+
+  // BuildHypercubeQueries draws exactly ONE word from the caller's rng:
+  // two generators from one seed stay in lockstep iff the counts match.
+  Rng rng_a(31);
+  Rng rng_b(31);
+  ASSERT_TRUE(BuildHypercubeQueries(*g, 55, &rng_a).ok());
+  (void)rng_b.NextU64();
+  EXPECT_EQ(rng_a.NextU64(), rng_b.NextU64());
+}
+
+TEST(RecursivePirTest, OnlyTheUnflippedServerHoldsTheSeed) {
+  // Privacy invariant: a seed plus a flipped axis bitmap would let one
+  // replica difference out the target coordinate, so the seed form must go
+  // only to server 0, whose explicit expansion matches the base bitmaps
+  // every other server's bitmaps are one flip away from.
+  auto g = HypercubeGeometry::Balanced(100, 2);
+  ASSERT_TRUE(g.ok());
+  const size_t index = 57;
+  Rng rng(13);
+  Rng shadow(13);
+  auto queries = BuildHypercubeQueries(*g, index, &rng);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 4u);
+  EXPECT_TRUE((*queries)[0].seed_only);
+  const auto base = ExpandAxisSelections(shadow.NextU64(), *g);
+  const auto coords = g->Coordinates(index);
+  for (size_t s = 1; s < 4; ++s) {
+    const auto& q = (*queries)[s];
+    EXPECT_FALSE(q.seed_only);
+    ASSERT_EQ(q.axis_bits.size(), 2u);
+    for (size_t k = 0; k < 2; ++k) {
+      auto expected = base[k];
+      if ((s >> k) & 1u) FlipSelectionBit(&expected, coords[k]);
+      EXPECT_EQ(q.axis_bits[k], expected) << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(RecursivePirTest, FlatExpansionIsCanonicalAcrossPaddingAndOverhang) {
+  // side = 6: axis bitmaps carry 2 padding bits per byte, and the 36-cell
+  // square overhangs a 30-record database by 6 cells. Observed flat
+  // queries must keep padding bits zero and never select overhang cells,
+  // or bytes_xored() popcount accounting counts phantom work.
+  auto records = MakeRecords(30, 8);
+  auto g = HypercubeGeometry::Balanced(records.size(), 2);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->side, 6u);
+  Fleet fleet = MakeFleet(records, 2);
+  for (auto* s : fleet.ptrs) s->EnableObservationLog(8);
+  Rng rng(17);
+  uint64_t selected_bits = 0;
+  for (size_t i : {0u, 7u, 29u}) {
+    auto got = RecursivePirRead(fleet.ptrs, *g, i, &rng);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, records[i]);
+  }
+  for (auto* server : fleet.ptrs) {
+    ASSERT_EQ(server->num_observed(), 3u);
+    for (size_t q = 0; q < server->num_observed(); ++q) {
+      const auto& flat = server->observed_query(q);
+      ASSERT_EQ(flat.size(), (records.size() + 7) / 8);
+      // Padding bits of the last byte are zero (30 % 8 == 6).
+      EXPECT_EQ(flat.back() & ~((1u << (30 % 8)) - 1u), 0u);
+      for (size_t bit = 0; bit < records.size(); ++bit) {
+        selected_bits += GetBit(flat, bit);
+      }
+    }
+  }
+  // bytes_xored is derived from exactly those canonical selections.
+  uint64_t total_xored = 0;
+  for (auto* server : fleet.ptrs) total_xored += server->bytes_xored();
+  EXPECT_EQ(total_xored, selected_bits * 8u);
+}
+
+TEST(RecursivePirTest, RejectsNonCanonicalAxisPadding) {
+  auto records = MakeRecords(30, 8);
+  auto g = HypercubeGeometry::Balanced(records.size(), 2);
+  ASSERT_TRUE(g.ok());
+  auto server = XorPirServer::Create(records);
+  ASSERT_TRUE(server.ok());
+  HypercubeQuery query;
+  query.axis_bits = ExpandAxisSelections(3, *g);
+  auto ok = AnswerHypercubeQuery(&*server, query, *g);
+  EXPECT_TRUE(ok.ok());
+  query.axis_bits[1].back() |= 0x80;  // bit 7 of a 6-bit axis byte
+  auto bad = AnswerHypercubeQuery(&*server, query, *g);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecursivePirTest, PreprocessedAnswersAreByteIdentical) {
+  // The parity layout changes the sweep, never the bytes: every index, odd
+  // and even record counts, plain vs preprocessed, with and without a pool.
+  for (size_t n : {29u, 30u, 31u}) {
+    auto records = MakeRecords(n, 24);
+    auto g = HypercubeGeometry::Balanced(n, 2);
+    ASSERT_TRUE(g.ok());
+    Fleet plain = MakeFleet(records, 2, /*preprocess=*/false);
+    Fleet pre = MakeFleet(records, 2, /*preprocess=*/true);
+    EXPECT_GT(pre.ptrs[0]->preprocess_bytes(), 0u);
+    ThreadPool pool(2);
+    Rng rng_plain(23);
+    Rng rng_pre(23);
+    for (size_t i = 0; i < n; ++i) {
+      auto a = RecursivePirRead(plain.ptrs, *g, i, &rng_plain);
+      auto b = RecursivePirRead(pre.ptrs, *g, i, &rng_pre, &pool);
+      ASSERT_TRUE(a.ok() && b.ok()) << "n=" << n << " i=" << i;
+      EXPECT_EQ(*a, *b) << "n=" << n << " i=" << i;
+      EXPECT_EQ(*a, records[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(RecursivePirTest, TranscriptsAreByteIdenticalAtAnyThreadCount) {
+  auto records = MakeRecords(61, 32);
+  auto g = HypercubeGeometry::Balanced(records.size(), 2);
+  ASSERT_TRUE(g.ok());
+  const std::vector<size_t> indices = {0, 17, 5, 60, 17, 33};
+
+  std::vector<std::vector<uint8_t>> serial_answers;
+  std::vector<std::vector<std::vector<uint8_t>>> serial_views;
+  for (size_t threads : {0u, 1u, 2u, 8u}) {
+    Fleet fleet = MakeFleet(records, 2, /*preprocess=*/true);
+    for (auto* s : fleet.ptrs) s->EnableObservationLog(indices.size());
+    Rng rng(29);
+    PirSessionRegistry sessions;
+    auto* session = sessions.Establish(/*tenant_class=*/1, *g, /*epoch=*/1);
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    auto answers = RecursivePirBatchRead(fleet.ptrs, *g, indices, &rng,
+                                         pool.get(), nullptr, session);
+    ASSERT_TRUE(answers.ok()) << "threads=" << threads;
+    std::vector<std::vector<std::vector<uint8_t>>> views;
+    for (auto* server : fleet.ptrs) {
+      std::vector<std::vector<uint8_t>> view;
+      for (size_t q = 0; q < server->num_observed(); ++q) {
+        view.push_back(server->observed_query(q));
+      }
+      views.push_back(std::move(view));
+    }
+    if (threads == 0) {
+      serial_answers = *answers;
+      serial_views = views;
+      for (size_t i = 0; i < indices.size(); ++i) {
+        EXPECT_EQ(serial_answers[i], records[indices[i]]) << "read " << i;
+      }
+      continue;
+    }
+    EXPECT_EQ(*answers, serial_answers) << "threads=" << threads;
+    EXPECT_EQ(views, serial_views) << "threads=" << threads;
+  }
+}
+
+TEST(PirSessionRegistryTest, SessionsReuseScratchAndSurviveCounters) {
+  auto records = MakeRecords(50, 8);
+  auto g = HypercubeGeometry::Balanced(records.size(), 2);
+  ASSERT_TRUE(g.ok());
+  Fleet fleet = MakeFleet(records, 2);
+  PirSessionRegistry sessions;
+  auto* session = sessions.Establish(/*tenant_class=*/2, *g, /*epoch=*/1);
+  Rng rng(37);
+  PirStats stats;
+  auto answers = RecursivePirBatchRead(fleet.ptrs, *g, {1, 2, 3}, &rng,
+                                       nullptr, &stats, session);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(session->reads, 3u);
+  EXPECT_EQ(session->upload_bits, stats.upload_bits);
+  EXPECT_GT(session->expanded_cells, 0u);
+  EXPECT_EQ(session->flat_scratch.size(), (records.size() + 7) / 8);
+  EXPECT_EQ(sessions.num_sessions(), 1u);
+  EXPECT_EQ(sessions.total_reads(), 3u);
+
+  // Epoch moves on: scratch and geometry invalidate, counters survive.
+  sessions.InvalidateBefore(2);
+  EXPECT_EQ(session->flat_scratch.size(), 0u);
+  EXPECT_EQ(session->geometry.n, 0u);
+  EXPECT_EQ(session->reads, 3u);
+  auto* refreshed = sessions.Establish(2, *g, /*epoch=*/2);
+  EXPECT_EQ(refreshed, session);
+  ASSERT_TRUE(
+      RecursivePirRead(fleet.ptrs, *g, 4, &rng, nullptr, nullptr, refreshed)
+          .ok());
+  EXPECT_EQ(refreshed->reads, 4u);
+  EXPECT_EQ(sessions.Find(3), nullptr);
+}
+
+TEST(EpochRecursivePirTest, RecursiveReaderServesFlipsAndInvalidates) {
+  MemWalIo wal;
+  EpochStore store;
+  EpochConfig config;
+  config.k = 3;
+  config.qi_cols = {0, 1};
+  // Large enough that the seed's fixed 64-bit overhead amortizes: flat
+  // ships 2n = 400 bits per read, recursive 64 + 3*d*side.
+  auto db = EpochedDatabase::Create(MakeClinicalTrial(200, 9), config, &wal,
+                                    &store);
+  ASSERT_TRUE(db.ok());
+
+  EpochPirOptions options;
+  options.dimensions = 2;
+  options.preprocess = true;
+  options.tenant_class = 1;
+  EpochPirReader reader(db->manager(), options);
+  EpochPirReader flat_reader(db->manager());
+  Rng rng(41);
+  Rng flat_rng(43);
+
+  // Both schemes decode the same protected rows of the pinned epoch.
+  const auto expected = SnapshotRecords(db->Pin()->protected_table);
+  for (size_t i : {0u, 5u, 23u}) {
+    auto rec = reader.Read(i, &rng);
+    ASSERT_TRUE(rec.ok()) << i;
+    EXPECT_EQ(*rec, expected[i]) << i;
+    auto flat = flat_reader.Read(i, &flat_rng);
+    ASSERT_TRUE(flat.ok()) << i;
+    EXPECT_EQ(*flat, expected[i]) << i;
+  }
+  EXPECT_GT(reader.preprocess_bytes(), 0u);
+  EXPECT_EQ(reader.sessions().num_sessions(), 1u);
+  EXPECT_EQ(reader.sessions().total_reads(), 3u);
+  // Recursive upload is well under the flat path's O(n) bits.
+  EXPECT_LT(reader.stats().upload_bits, flat_reader.stats().upload_bits);
+
+  // Flip the epoch: the reader rebuilds replicas, re-preprocesses, and
+  // invalidates stale session scratch, and reads stay correct.
+  ASSERT_TRUE(
+      db->SubmitMutation(RowMutation::Update(0, {170, 70, 150, "N"})).ok());
+  ASSERT_TRUE(db->Flip().ok());
+  const uint64_t builds_before = reader.replica_builds();
+  auto batch = reader.ReadBatch({1, 4, 1, 9}, &rng);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(reader.replica_builds(), builds_before + 1);
+  EXPECT_EQ(reader.last_served_epoch(), db->Pin()->epoch);
+  const auto flipped = SnapshotRecords(db->Pin()->protected_table);
+  EXPECT_EQ((*batch)[0], flipped[1]);
+  EXPECT_EQ((*batch)[3], flipped[9]);
+  EXPECT_EQ(reader.sessions().total_reads(), 7u);
+}
+
+}  // namespace
+}  // namespace tripriv

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds one perf-trajectory snapshot (BENCH_prN.json) out of the
 # serving-path benches: google-benchmark JSON from bench_parallel_throughput
-# and bench_epoch_flip, merged with the parsed bench_obs_overhead report and
-# the per-mix verdicts of the bench_traffic_slo gate.
+# and bench_epoch_flip, merged with the parsed bench_obs_overhead report,
+# the per-mix verdicts of the bench_traffic_slo gate, and the upload /
+# compute rows of the bench_recursive_pir gate.
 #
 # Usage: tools/make_bench_trajectory.sh [build-dir] [out.json] [min-time]
 #
@@ -14,7 +15,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr6.json}"
+OUT="${2:-BENCH_pr9.json}"
 MIN_TIME="${3:-0.05}"
 
 TMP="$(mktemp -d)"
@@ -32,6 +33,9 @@ trap 'rm -rf "${TMP}"' EXIT
 # Same contract for the traffic SLO gate: record per-mix quantiles and
 # verdicts regardless of the exit code CI gates on.
 "${BUILD_DIR}/bench/bench_traffic_slo" > "${TMP}/traffic.txt" || true
+# And for the recursive-PIR gate: upload ratios are deterministic; the
+# compute ratio is min-of-trials timing, recorded for cross-PR comparison.
+"${BUILD_DIR}/bench/bench_recursive_pir" > "${TMP}/recursive_pir.txt" || true
 
 python3 - "${TMP}" "${OUT}" <<'PY'
 import json
@@ -122,6 +126,56 @@ def parse_traffic(path):
         "mixes": mixes,
     }
 
+def parse_recursive_pir(path):
+    # Upload bits and ratios are exact (geometry arithmetic); server_ms and
+    # compute_vs_flat are min-of-trials timings that move with hardware.
+    with open(path) as f:
+        text = f.read()
+    tables = {}
+    current = None
+    for line in text.splitlines():
+        m = re.match(r"\[n=([0-9]+)\]", line)
+        if m:
+            current = {"schemes": []}
+            tables[m.group(1)] = current
+            continue
+        if current is None:
+            continue
+        m = re.match(
+            r"\s*(flat|recursive) d=([0-9]+) side=([0-9]+) servers=([0-9]+) "
+            r"upload_bits=([0-9]+)(?: upload_vs_flat=([0-9.]+)%)? "
+            r"server_ms=([0-9.]+)(?: compute_vs_flat=([0-9.]+)x)?",
+            line)
+        if m:
+            row = {
+                "scheme": m.group(1),
+                "d": int(m.group(2)),
+                "side": int(m.group(3)),
+                "servers": int(m.group(4)),
+                "upload_bits": int(m.group(5)),
+                "server_ms": float(m.group(7)),
+            }
+            if m.group(6) is not None:
+                row["upload_vs_flat_percent"] = float(m.group(6))
+            if m.group(8) is not None:
+                row["compute_vs_flat"] = float(m.group(8))
+            current["schemes"].append(row)
+    gates = {}
+    for m in re.finditer(
+            r"gate: (upload|compute)\s+d=([0-9]+) @ n=([0-9]+): "
+            r"([0-9.]+)[%x].*?: (\w+)", text):
+        gates[f"{m.group(1)}_d{m.group(2)}"] = {
+            "n": int(m.group(3)),
+            "value": float(m.group(4)),
+            "pass": m.group(5) == "PASS",
+        }
+    overall = re.search(r"overall: (\w+)", text)
+    return {
+        "overall_pass": bool(overall) and overall.group(1) == "PASS",
+        "tables": tables,
+        "gates": gates,
+    }
+
 trajectory = {
     "schema": "tripriv-bench-trajectory/1",
     "suites": {
@@ -129,6 +183,7 @@ trajectory = {
         "bench_epoch_flip": load_suite(f"{tmp}/epoch.json"),
         "bench_obs_overhead": parse_obs(f"{tmp}/obs.txt"),
         "bench_traffic_slo": parse_traffic(f"{tmp}/traffic.txt"),
+        "bench_recursive_pir": parse_recursive_pir(f"{tmp}/recursive_pir.txt"),
     },
 }
 with open(out, "w") as f:
