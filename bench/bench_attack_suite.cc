@@ -1,0 +1,146 @@
+// Fail-closed acceptance gate over the adversary harness (PR 10, S6).
+//
+// Two promises the attack subsystem makes at census scale, checked on the
+// same 10^6-row synthetic census the empirical Table 2 runs on:
+//
+//   1. Fingerprint robustness: Boneh-Shaw detection must survive the Ji et
+//      al. robustness suite — a 5-party majority coalition followed by LSB
+//      flips up to 10% — accusing a real colluder in EVERY trial. The
+//      attacker's success rate (no accusation, or an innocent accused)
+//      must be exactly 0. The margin is analytic (expected per-mark score
+//      0.375 * (1 - 2f) against a 4-sigma threshold), so a single failed
+//      trial is a decoder regression, not noise.
+//   2. Linkage bound: partitioned MDAV at k = 5 must hold the k-anonymity
+//      promise against the blocked record-linkage attack — expected
+//      re-identification below 1/k. The attack credits 1/|ties| per
+//      record, exactly like sdc/risk.h, so the bound is the paper's
+//      re-identification semantics, not a best-match heuristic.
+//
+// Every attack is deterministic in (config, seed) and thread-invariant, so
+// a verdict flip is a real behavior change, never run-to-run noise. A
+// nonzero exit is a regression signal CI treats like a failing test.
+//
+// Usage: bench_attack_suite [rows]   (default 1000000)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/attack.h"
+#include "attack/fingerprint.h"
+#include "attack/linkage.h"
+#include "sdc/partitioned_mdav.h"
+#include "table/datasets.h"
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace {
+
+using attack::AttackContext;
+using attack::AttackOutcome;
+using attack::CollusionAttackConfig;
+using attack::CollusionStrategy;
+using attack::LinkageConfig;
+
+constexpr uint64_t kSeed = 7;
+constexpr size_t kMdavK = 5;
+constexpr size_t kColluders = 5;
+constexpr double kFlipFractions[] = {0.0, 0.05, 0.10};
+
+bool FingerprintGate(const DataTable& base, const AttackContext& ctx) {
+  std::printf("[fingerprint] majority-of-%zu collusion, %u recipients, "
+              "%d marks\n",
+              kColluders, 20u, 4096);
+  bool ok = true;
+  for (double flip : kFlipFractions) {
+    CollusionAttackConfig config;
+    config.codec.marks = 4096;
+    config.codec.num_recipients = 20;
+    config.colluders = kColluders;
+    config.strategy = CollusionStrategy::kMajority;
+    config.flip_fraction = flip;
+    config.trials = 6;
+    auto outcome = RunCollusionAttack(base, config, ctx);
+    if (!outcome.ok()) {
+      std::printf("  flip=%.2f: attack failed to run: %s\n", flip,
+                  outcome.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    const bool pass = outcome->success_rate() == 0.0;
+    std::printf(
+        "  gate: fingerprint flip=%.2f attacker_success=%.4f "
+        "(%llu trials, must be 0): %s\n",
+        flip, outcome->success_rate(),
+        static_cast<unsigned long long>(outcome->trials),
+        pass ? "PASS" : "FAIL");
+    ok = ok && pass;
+  }
+  return ok;
+}
+
+bool LinkageGate(const DataTable& original, const AttackContext& ctx) {
+  std::vector<size_t> qis;
+  for (size_t c : original.schema().QuasiIdentifierIndices()) {
+    if (original.schema().attribute(c).type != AttributeType::kCategorical) {
+      qis.push_back(c);
+    }
+  }
+  auto masked = PartitionedMdav(original, kMdavK, qis, ctx.pool);
+  if (!masked.ok()) {
+    std::printf("[linkage] MDAV failed: %s\n",
+                masked.status().ToString().c_str());
+    return false;
+  }
+  LinkageConfig config;
+  config.qi_cols = qis;
+  config.block_bins = 24;
+  auto outcome =
+      RunRecordLinkageAttack(original, masked->table, config, ctx);
+  if (!outcome.ok()) {
+    std::printf("[linkage] attack failed to run: %s\n",
+                outcome.status().ToString().c_str());
+    return false;
+  }
+  const double bound = 1.0 / static_cast<double>(kMdavK);
+  const bool pass = outcome->success_rate() < bound;
+  std::printf(
+      "[linkage] MDAV k=%zu over %llu rows\n"
+      "  gate: linkage success=%.4f (bound 1/k = %.4f): %s\n",
+      kMdavK, static_cast<unsigned long long>(original.num_rows()),
+      outcome->success_rate(), bound, pass ? "PASS" : "FAIL");
+  return pass;
+}
+
+}  // namespace
+}  // namespace tripriv
+
+int main(int argc, char** argv) {
+  size_t rows = 1000000;
+  if (argc > 1) {
+    rows = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+    if (rows == 0) {
+      std::fprintf(stderr, "usage: %s [rows]\n", argv[0]);
+      return 2;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  tripriv::ThreadPool pool(hw > 1 ? hw : 2);
+  tripriv::attack::AttackContext ctx;
+  ctx.seed = tripriv::kSeed;
+  ctx.pool = &pool;
+
+  std::printf("attack suite gate @ %zu census rows (seed %llu)\n", rows,
+              static_cast<unsigned long long>(tripriv::kSeed));
+  const tripriv::DataTable census = tripriv::MakeCensusScale(rows, 13);
+
+  bool all_ok = true;
+  all_ok = tripriv::FingerprintGate(census, ctx) && all_ok;
+  all_ok = tripriv::LinkageGate(census, ctx) && all_ok;
+
+  std::printf("\noverall: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,150 @@
+#include "attack/attack.h"
+
+#include <cstdio>
+
+#include "obs/instruments.h"
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace attack {
+namespace {
+
+/// JSON string escape for the small fixed vocabulary used in notes and
+/// attack names (quotes, backslashes, control bytes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+uint8_t DimensionIndex(Dimension d) {
+  switch (d) {
+    case Dimension::kRespondent:
+      return obs::kDimRespondent;
+    case Dimension::kOwner:
+      return obs::kDimOwner;
+    case Dimension::kUser:
+      return obs::kDimUser;
+  }
+  return obs::kDimRespondent;
+}
+
+}  // namespace
+
+double AttackOutcome::success_rate() const {
+  if (trials == 0) return 0.0;
+  return successes / static_cast<double>(trials);
+}
+
+double AttackOutcome::protection_score() const {
+  double score = 1.0 - success_rate();
+  if (score < 0.0) score = 0.0;
+  if (score > 1.0) score = 1.0;
+  return score;
+}
+
+std::string FormatFixed(double value) {
+  // %.6f in the default "C" locale; zero is folded to +0.0 so -0.000000
+  // never appears in a report.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value == 0.0 ? 0.0 : value);
+  return buf;
+}
+
+std::string OutcomeToString(const AttackOutcome& outcome) {
+  std::string line = outcome.attack;
+  line += " [";
+  line += DimensionToString(outcome.dimension);
+  line += "] success=";
+  line += FormatFixed(outcome.success_rate());
+  line += " (";
+  line += FormatFixed(outcome.successes);
+  line += "/";
+  line += std::to_string(outcome.trials);
+  line += ") recovered=";
+  line += FormatFixed(outcome.records_recovered);
+  line += "/";
+  line += std::to_string(outcome.records_total);
+  line += " equivocation=";
+  line += FormatFixed(outcome.equivocation_bits);
+  line += "/";
+  line += FormatFixed(outcome.prior_bits);
+  line += " bits";
+  if (!outcome.note.empty()) {
+    line += " (";
+    line += outcome.note;
+    line += ")";
+  }
+  return line;
+}
+
+std::string OutcomeToJson(const AttackOutcome& outcome) {
+  std::string json = "{\"attack\":\"";
+  json += JsonEscape(outcome.attack);
+  json += "\",\"dimension\":\"";
+  json += DimensionToString(outcome.dimension);
+  json += "\",\"trials\":";
+  json += std::to_string(outcome.trials);
+  json += ",\"successes\":";
+  json += FormatFixed(outcome.successes);
+  json += ",\"success_rate\":";
+  json += FormatFixed(outcome.success_rate());
+  json += ",\"records_recovered\":";
+  json += FormatFixed(outcome.records_recovered);
+  json += ",\"records_total\":";
+  json += std::to_string(outcome.records_total);
+  json += ",\"equivocation_bits\":";
+  json += FormatFixed(outcome.equivocation_bits);
+  json += ",\"prior_bits\":";
+  json += FormatFixed(outcome.prior_bits);
+  json += ",\"protection_score\":";
+  json += FormatFixed(outcome.protection_score());
+  json += ",\"note\":\"";
+  json += JsonEscape(outcome.note);
+  json += "\"}";
+  return json;
+}
+
+AttackOutcome FinishOutcome(AttackOutcome outcome, const AttackContext& ctx) {
+  if (ctx.metrics != nullptr) {
+    ctx.metrics->OnOutcome(DimensionIndex(outcome.dimension),
+                           outcome.success_rate(), outcome.equivocation_bits);
+  }
+  return outcome;
+}
+
+void RunSharded(ThreadPool* pool, size_t n,
+                const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, fn);
+  } else if (n > 0) {
+    fn(0, 0, n);
+  }
+}
+
+}  // namespace attack
+}  // namespace tripriv

@@ -1,0 +1,114 @@
+// The adversary harness: a common shape for every attack the empirical
+// Table 2 scoreboard runs.
+//
+// The paper's Table 2 grades eight technology classes along the
+// respondent/owner/user dimensions; this subsystem regenerates those grades
+// from measurements. Every attack — record linkage, attribute disclosure,
+// the Nussbaum-Segal aggregate attacks, fingerprint collusion/flipping,
+// query-log profiling — reduces to the same outcome vocabulary:
+//
+//   * success rate        — fraction of trials where the adversary wins
+//                           (fractional credit for tie-set guessing);
+//   * records recovered   — expected records/cells re-identified;
+//   * equivocation (bits) — the uncertainty the adversary still has after
+//                           the attack, the information-theoretic privacy
+//                           measure of Sankar et al. (arXiv 1010.0226):
+//                           0 bits = full disclosure, prior_bits = the
+//                           release taught the adversary nothing.
+//
+// Determinism contract: an attack's outcome is a pure function of its
+// inputs and AttackContext::seed. Attacks parallelize only through
+// ParallelFor on the serial-draw -> parallel-pure -> serial-merge
+// discipline, so outcomes (and the scoreboard built from them) are
+// byte-identical at 0/1/2/8 threads.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/framework.h"
+#include "util/status.h"
+
+namespace tripriv {
+
+class ThreadPool;
+
+namespace obs {
+class AttackMetrics;
+}  // namespace obs
+
+namespace attack {
+
+/// What one attack measured. Success figures are expectations, so they are
+/// doubles; an attack that guesses uniformly within a tie set of size s
+/// credits itself 1/s per trial, exactly like sdc/risk.h linkage.
+struct AttackOutcome {
+  /// Stable snake_case attack name ("record_linkage", "fingerprint_majority_collusion", ...).
+  std::string attack;
+  Dimension dimension = Dimension::kRespondent;
+  /// Attack attempts (records linked, queries issued, detections run).
+  uint64_t trials = 0;
+  /// Expected successful attempts (fractional tie credit allowed).
+  double successes = 0.0;
+  /// Expected records (or cells) the adversary recovered.
+  double records_recovered = 0.0;
+  uint64_t records_total = 0;
+  /// Mean residual uncertainty per trial, in bits (see file comment).
+  double equivocation_bits = 0.0;
+  /// Baseline uncertainty before the attack (log2 of the candidate space).
+  double prior_bits = 0.0;
+  /// Free-text qualifier rendered into reports ("k=5", "5 colluders").
+  std::string note;
+
+  /// successes / trials; 0 when no trials ran.
+  double success_rate() const;
+  /// 1 - success_rate, clamped to [0, 1] — the scoreboard's protection
+  /// score for this attack (1 = the attack failed completely).
+  double protection_score() const;
+};
+
+/// Everything an attack may draw on beyond its explicit inputs.
+struct AttackContext {
+  uint64_t seed = 7;
+  /// Optional pool for the pure fan-out stages; null = serial.
+  ThreadPool* pool = nullptr;
+  /// Optional attack-outcome instruments (obs/instruments.h); outcomes are
+  /// aggregates, so publishing them is allowlist-safe.
+  obs::AttackMetrics* metrics = nullptr;
+};
+
+/// Interface for suite composition: concrete attacks capture their inputs
+/// (tables, trails, codecs) at construction and expose a uniform Run.
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  virtual const char* name() const = 0;
+  virtual Dimension dimension() const = 0;
+  virtual Result<AttackOutcome> Run(const AttackContext& ctx) = 0;
+};
+
+/// Fixed-precision decimal rendering (6 places, no locale) so reports and
+/// JSON are byte-identical across platforms and thread counts.
+std::string FormatFixed(double value);
+
+/// One-line text rendering of an outcome.
+std::string OutcomeToString(const AttackOutcome& outcome);
+
+/// Deterministic JSON object for one outcome (keys in fixed order).
+std::string OutcomeToJson(const AttackOutcome& outcome);
+
+/// Publishes an outcome to ctx.metrics (no-op when null) and returns it —
+/// the tail call every attack implementation ends with.
+AttackOutcome FinishOutcome(AttackOutcome outcome, const AttackContext& ctx);
+
+/// ParallelFor when a pool is given, one inline shard when it is null —
+/// the pure fan-out step of every attack's serial-draw -> parallel-pure ->
+/// serial-merge pipeline. `fn(shard, begin, end)` must only write state
+/// owned by indices in [begin, end).
+void RunSharded(ThreadPool* pool, size_t n,
+                const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace attack
+}  // namespace tripriv

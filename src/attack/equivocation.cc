@@ -1,0 +1,38 @@
+#include "attack/equivocation.h"
+
+#include <cmath>
+
+namespace tripriv {
+namespace attack {
+
+double EntropyBits(const std::vector<double>& probabilities) {
+  double total = 0.0;
+  for (double p : probabilities) {
+    if (p > 0.0) total += p;
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double p : probabilities) {
+    if (p <= 0.0) continue;
+    const double q = p / total;
+    entropy -= q * std::log2(q);
+  }
+  // A one-hot posterior must report exactly 0.0, not -0.0 or rounding dust
+  // from q = 1 (log2(1) is exactly 0, so this is only normalizing -0.0).
+  return entropy == 0.0 ? 0.0 : entropy;
+}
+
+double UniformBits(size_t n) {
+  if (n <= 1) return 0.0;
+  return std::log2(static_cast<double>(n));
+}
+
+double MeanCandidateBits(const std::vector<size_t>& candidate_counts) {
+  if (candidate_counts.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t n : candidate_counts) sum += UniformBits(n);
+  return sum / static_cast<double>(candidate_counts.size());
+}
+
+}  // namespace attack
+}  // namespace tripriv

@@ -1,0 +1,40 @@
+// Equivocation: the information-theoretic privacy measure.
+//
+// Sankar et al. (arXiv 1010.0226) quantify database privacy as the
+// entropy of the adversary's posterior over the hidden value given the
+// release — the "equivocation" of Shannon secrecy systems. This header
+// supplies the small entropy toolkit every attack uses to report residual
+// uncertainty in bits:
+//
+//   * a uniform prior over n candidates carries log2(n) bits;
+//   * a deterministic release (adversary pins the value) carries 0 bits;
+//   * a posterior {p_i} carries H(p) = -sum p_i log2 p_i.
+//
+// The closed-form cases anchor the unit tests: EntropyBits on a uniform
+// vector must equal UniformBits(n) exactly (both compute log2 through the
+// same libm), and any one-hot posterior must yield exactly 0.0.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tripriv {
+namespace attack {
+
+/// Shannon entropy of `probabilities` in bits. Zero entries contribute
+/// zero (lim p log p = 0); the vector need not be normalized — entries are
+/// divided by their sum first. Empty or all-zero input yields 0.0.
+double EntropyBits(const std::vector<double>& probabilities);
+
+/// log2(n) — the entropy of a uniform prior over n candidates; 0 when
+/// n <= 1.
+double UniformBits(size_t n);
+
+/// Mean of UniformBits over per-trial candidate-set sizes — the aggregate
+/// equivocation of an attack that narrows each target to a tie set and
+/// guesses uniformly inside it. Empty input yields 0.0.
+double MeanCandidateBits(const std::vector<size_t>& candidate_counts);
+
+}  // namespace attack
+}  // namespace tripriv

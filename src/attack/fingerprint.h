@@ -1,0 +1,161 @@
+// Database fingerprinting: the owner-dimension technology and its attacks.
+//
+// Owner privacy in the paper is about what the data owner loses when
+// copies leave their hands. Fingerprinting (surveyed by Ji et al., arXiv
+// 2109.02768) is the standard countermeasure: each recipient's copy
+// carries a distinct, imperceptible codeword so a leaked copy traces back
+// to its source. This module implements a Boneh-Shaw-style random binary
+// code with a Tardos-style correlation decoder:
+//
+//   * marking — the codec derives `marks` cell positions over the integer
+//     columns from the owner's secret key; recipient r's copy carries
+//     codeword bit(r, m) = FNV-parity(key, r, m) in the LSB of mark m.
+//     Under the marking assumption, recipients cannot see WHICH cells are
+//     marked, only disagree about marked cells they compare.
+//   * releases are OVERLAYS — (row, col, value) triples over the shared
+//     base table — so releasing 20 copies of a 10^6-row table costs
+//     O(marks) per copy, not O(table).
+//   * detection — the decoder correlates a suspect copy's LSBs with every
+//     recipient's codeword (score = sum of +-1 agreements) and accuses the
+//     recipient with the largest |score| when it clears
+//     threshold_sigma * sqrt(marks). An innocent's score is a +-1 random
+//     walk (sd = sqrt(marks)), so 4 sigma keeps false accusations
+//     negligible; |.| catches coalitions that invert their bits.
+//
+// Attacks (the Ji et al. robustness suite):
+//   * collusion — c recipients compare copies and emit majority, minority,
+//     or randomly chosen bits where they disagree;
+//   * bit flipping — a recipient flips a fraction of ALL LSBs, not knowing
+//     which cells are marked.
+//
+// Collusion math the S6 gate leans on: under majority-of-5, a colluder's
+// expected per-mark score is 2*(11/16) - 1 = 0.375, and a flip fraction f
+// scales scores by (1 - 2f) — both far above the 4-sigma threshold at
+// thousands of marks.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/attack.h"
+#include "core/annotations.h"
+#include "table/data_table.h"
+
+namespace tripriv {
+namespace attack {
+
+struct FingerprintConfig {
+  /// Owner's embedding secret; detection requires the same key.
+  uint64_t owner_key = 0x0137ab1e;
+  /// Marked cells per copy. Detection power and collusion resistance grow
+  /// with sqrt(marks); 4096 is comfortable for 20 recipients.
+  size_t marks = 4096;
+  /// Integer columns eligible for LSB embedding; empty = every integer
+  /// column in the schema.
+  std::vector<size_t> columns;
+  /// Copies in circulation (recipient ids are [0, num_recipients)).
+  uint32_t num_recipients = 20;
+  /// Accusation threshold in innocent-score standard deviations.
+  double threshold_sigma = 4.0;
+};
+
+/// One fingerprinted cell: `value` replaces the base table's cell.
+struct MarkCell {
+  size_t row = 0;
+  size_t col = 0;
+  int64_t value = 0;
+};
+
+/// A recipient's copy, as an overlay over the shared base table.
+struct FingerprintedCopy {
+  uint32_t recipient = 0;
+  /// One entry per mark, in mark order (position m = codec mark m). Named
+  /// `mark_cells`, not `cells`: tripriv_taint pools member sensitivity by
+  /// bare field name, and a name as generic as `cells` would taint
+  /// unrelated locals across the tree.
+  TRIPRIV_SENSITIVE(record)
+  std::vector<MarkCell> mark_cells;
+};
+
+/// What the decoder concluded about a suspect copy.
+struct Detection {
+  bool accused = false;
+  uint32_t recipient = 0;  ///< meaningful only when accused
+  double score = 0.0;      ///< best |correlation| over recipients
+  double threshold = 0.0;  ///< threshold_sigma * sqrt(marks)
+};
+
+/// The owner's codec: derives mark positions and codewords from the key,
+/// mints recipient overlays, and traces suspect overlays back.
+class FingerprintCodec {
+ public:
+  /// Validates columns and derives the mark positions. The base table must
+  /// outlive nothing — the codec copies what it needs (positions and base
+  /// LSB values only).
+  static Result<FingerprintCodec> Create(const DataTable& base,
+                                         const FingerprintConfig& config);
+
+  /// Recipient r's overlay (deterministic; same r -> same overlay).
+  Result<FingerprintedCopy> Release(uint32_t recipient) const;
+
+  /// Codeword bit of `recipient` at mark `m` (exposed for tests).
+  uint8_t CodewordBit(uint32_t recipient, size_t m) const;
+
+  /// Traces a suspect overlay. `suspect.mark_cells` must be in mark order (the
+  /// attacks below preserve it). Correlation scores fan out per recipient
+  /// via `pool`; the argmax is a serial recipient-order scan, so the
+  /// verdict is thread-count-invariant.
+  Result<Detection> Detect(const FingerprintedCopy& suspect,
+                           ThreadPool* pool) const;
+
+  size_t marks() const { return positions_.size(); }
+  const FingerprintConfig& config() const { return config_; }
+
+ private:
+  FingerprintCodec() = default;
+
+  FingerprintConfig config_;
+  /// Mark positions (row, col) with the base cell's original value.
+  std::vector<MarkCell> positions_;
+};
+
+/// How a coalition resolves marks its members disagree on.
+enum class CollusionStrategy {
+  kMajority,  ///< most common bit among the coalition
+  kMinority,  ///< least common bit (tries to invert the codeword)
+  kRandom,    ///< a uniformly chosen member's bit per mark
+};
+
+/// Merges coalition copies into the leaked copy. All copies must come from
+/// the same codec (equal cell positions). `seed` drives kRandom and
+/// majority/minority tie-breaks.
+Result<FingerprintedCopy> Collude(
+    const std::vector<FingerprintedCopy>& coalition,
+    CollusionStrategy strategy, uint64_t seed);
+
+/// Flips the LSB of each overlay cell independently with probability
+/// `fraction` — the restriction of a whole-table flip attack to the cells
+/// detection reads (flips elsewhere never affect the decoder).
+void FlipAttack(FingerprintedCopy* copy, double fraction, uint64_t seed);
+
+/// Scoreboard driver: runs `trials` collusion experiments (coalition
+/// members drawn per trial from the seed) followed by an LSB flip of
+/// `flip_fraction`, and scores the ATTACKER's success — a trial succeeds
+/// for the adversary when detection accuses nobody or accuses an innocent.
+/// Equivocation is the owner's posterior over recipients: 0 bits on a
+/// correct accusation, log2(num_recipients) otherwise.
+struct CollusionAttackConfig {
+  FingerprintConfig codec;
+  size_t colluders = 5;
+  CollusionStrategy strategy = CollusionStrategy::kMajority;
+  double flip_fraction = 0.0;
+  size_t trials = 8;
+};
+
+Result<AttackOutcome> RunCollusionAttack(const DataTable& base,
+                                         const CollusionAttackConfig& config,
+                                         const AttackContext& ctx);
+
+}  // namespace attack
+}  // namespace tripriv

@@ -1,0 +1,69 @@
+// User-dimension attacks: the honest-but-curious owner profiles queriers.
+//
+// User privacy in the paper is the querier's interest staying hidden from
+// the database owner. The adversary here IS the service: it reads its own
+// audit trail (service/traffic/simulator.h AccessEvent) or its PIR
+// replica's observation log and tries to answer "what is this principal
+// interested in?".
+//
+//   * RunQueryLogProfilingAttack — per-principal interest profiling over
+//     the access trail. Unblinded (no PIR), the owner sees every (principal,
+//     key) pair: each logged event's key is read straight off the log, so
+//     the principal's interest profile is recovered exactly (the simulator's
+//     keys are per-event unique — MixKey(principal, tick) — so there is no
+//     weaker "prediction" game to fall back to; what the log shows IS the
+//     profile). PIR-blinded, the log carries no keys; the owner's best
+//     attribution is a uniform guess over the key universe, scored as its
+//     exact expected credit. The gap between the two runs is precisely what
+//     PIR buys the user.
+//
+//   * RunSelectionViewGuessingAttack — the compromised-replica guessing
+//     game at the PIR layer. A single XOR-PIR server retains its observed
+//     selection bitmaps; for each retrieval of a known target the server
+//     guesses the target from its view. One server's view is marginally
+//     uniform whatever the target, so the measured success collapses to
+//     chance; the no-PIR baseline (direct reads, the owner's log shows the
+//     index) scores 1.0. Both modes drive a real XorPirServer observation
+//     log rather than asserting the theory.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "attack/attack.h"
+#include "service/traffic/simulator.h"
+
+namespace tripriv {
+namespace attack {
+
+struct ProfilingConfig {
+  /// Simulate the PIR deployment: the trail's keys are invisible and the
+  /// adversary falls back to a uniform guess over the key universe.
+  bool pir_blinded = false;
+};
+
+/// Profiles principals over `trail` (served-request order). Outcome:
+/// trials = logged events, successes = expected correct key attributions
+/// (1 per event unblinded, 1/|keys| expected blinded), equivocation = mean
+/// posterior bits per event (0 unblinded, log2(keys) blinded).
+Result<AttackOutcome> RunQueryLogProfilingAttack(
+    const std::vector<traffic::AccessEvent>& trail,
+    const ProfilingConfig& config, const AttackContext& ctx);
+
+struct SelectionViewConfig {
+  size_t num_records = 256;
+  size_t record_size = 16;
+  size_t trials = 64;
+  /// false = the no-PIR baseline: the owner's log shows the plain index.
+  bool pir = true;
+};
+
+/// The compromised-replica guessing game (see file comment). Outcome:
+/// trials as configured, successes = correct target guesses, equivocation
+/// = mean posterior bits over the record space.
+Result<AttackOutcome> RunSelectionViewGuessingAttack(
+    const SelectionViewConfig& config, const AttackContext& ctx);
+
+}  // namespace attack
+}  // namespace tripriv

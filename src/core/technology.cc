@@ -20,6 +20,8 @@ const char* TechnologyClassToString(TechnologyClass t) {
       return "Use-specific non-crypto PPDM + PIR";
     case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
       return "Generic non-crypto PPDM + PIR";
+    case TechnologyClass::kFingerprinting:
+      return "Database fingerprinting";
   }
   return "?";
 }
@@ -67,6 +69,11 @@ Result<TechnologyClass> ComposeWithPir(TechnologyClass base) {
     case TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir:
     case TechnologyClass::kGenericNonCryptoPpdmPlusPir:
       return Status::InvalidArgument("class already includes PIR");
+    case TechnologyClass::kFingerprinting:
+      return Status::FailedPrecondition(
+          "fingerprint detection requires the owner to inspect suspect "
+          "copies and query logs; the Table 2 compositions do not cover a "
+          "fingerprinting + PIR deployment");
   }
   return Status::Internal("unknown technology class");
 }
@@ -154,8 +161,24 @@ Grade PaperClaimedGrade(TechnologyClass t, Dimension d) {
           return Grade::kHigh;
       }
       break;
+    case TechnologyClass::kFingerprinting:
+      // Not in the paper: reference expectation from the fingerprinting
+      // literature (see header comment). PaperClaimsRow() returns false.
+      switch (d) {
+        case Dimension::kRespondent:
+          return Grade::kLow;
+        case Dimension::kOwner:
+          return Grade::kHigh;
+        case Dimension::kUser:
+          return Grade::kNone;
+      }
+      break;
   }
   return Grade::kNone;
+}
+
+bool PaperClaimsRow(TechnologyClass t) {
+  return t != TechnologyClass::kFingerprinting;
 }
 
 }  // namespace tripriv

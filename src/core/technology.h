@@ -9,7 +9,9 @@
 
 namespace tripriv {
 
-/// The eight technology classes the paper scores (Table 2).
+/// The eight technology classes the paper scores (Table 2), plus database
+/// fingerprinting (Ji et al., arXiv 2109.02768) — an owner-privacy
+/// technology the empirical scoreboard adds as a ninth row.
 enum class TechnologyClass {
   kSdc = 0,                            ///< SDC masking ([17, 26])
   kUseSpecificNonCryptoPpdm = 1,       ///< e.g. [5, 25]
@@ -19,6 +21,7 @@ enum class TechnologyClass {
   kSdcPlusPir = 5,
   kUseSpecificNonCryptoPpdmPlusPir = 6,
   kGenericNonCryptoPpdmPlusPir = 7,
+  kFingerprinting = 8,                 ///< database fingerprinting (2109.02768)
 };
 
 inline constexpr std::array<TechnologyClass, 8> kAllTechnologyClasses = {
@@ -30,6 +33,19 @@ inline constexpr std::array<TechnologyClass, 8> kAllTechnologyClasses = {
     TechnologyClass::kSdcPlusPir,
     TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir,
     TechnologyClass::kGenericNonCryptoPpdmPlusPir,
+};
+
+/// The empirical scoreboard's rows: the paper's eight plus fingerprinting.
+inline constexpr std::array<TechnologyClass, 9> kScoreboardTechnologies = {
+    TechnologyClass::kSdc,
+    TechnologyClass::kUseSpecificNonCryptoPpdm,
+    TechnologyClass::kGenericNonCryptoPpdm,
+    TechnologyClass::kCryptoPpdm,
+    TechnologyClass::kPir,
+    TechnologyClass::kSdcPlusPir,
+    TechnologyClass::kUseSpecificNonCryptoPpdmPlusPir,
+    TechnologyClass::kGenericNonCryptoPpdmPlusPir,
+    TechnologyClass::kFingerprinting,
 };
 
 /// The row label used in Table 2.
@@ -51,7 +67,16 @@ TechnologyClass BaseClass(TechnologyClass t);
 Result<TechnologyClass> ComposeWithPir(TechnologyClass base);
 
 /// The paper's claimed grade (Table 2) for comparison with measurements.
+/// For kFingerprinting — a row the paper does not score — this returns the
+/// reference expectation derived from the fingerprinting literature
+/// (respondent low: data is released near-verbatim; owner high:
+/// traceability is the scheme's purpose; user none: the owner sees
+/// queries). PaperClaimsRow distinguishes the two provenances.
 Grade PaperClaimedGrade(TechnologyClass t, Dimension d);
+
+/// True when Table 2 of the paper actually contains the row (false only for
+/// kFingerprinting, whose claimed grades are literature extrapolations).
+bool PaperClaimsRow(TechnologyClass t);
 
 }  // namespace tripriv
 

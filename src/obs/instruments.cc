@@ -36,6 +36,10 @@ Result<TrafficMetrics> TrafficMetrics::Create(MetricsRegistry* /*registry*/) {
   return TrafficMetrics();
 }
 
+Result<AttackMetrics> AttackMetrics::Create(MetricsRegistry* /*registry*/) {
+  return AttackMetrics();
+}
+
 #else
 
 namespace {
@@ -372,6 +376,37 @@ Result<TrafficMetrics> TrafficMetrics::Create(MetricsRegistry* registry) {
         registry->RegisterGauge("tripriv_traffic_backlog",
                                 "Queued requests at publish, by tenant class",
                                 cls_label));
+  }
+  return metrics;
+}
+
+Result<AttackMetrics> AttackMetrics::Create(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("AttackMetrics requires a registry");
+  }
+  static const char* const kDimValues[kNumDimensions] = {"respondent", "owner",
+                                                         "user"};
+  AttackMetrics metrics;
+  for (uint8_t d = 0; d < kNumDimensions; ++d) {
+    const LabelSet dim_label = {{"dimension", kDimValues[d]}};
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.outcomes_[d],
+        registry->RegisterCounter("tripriv_attack_outcomes_total",
+                                  "Attack outcomes recorded, by privacy "
+                                  "dimension",
+                                  dim_label));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.success_rate_[d],
+        registry->RegisterGauge("tripriv_attack_success_rate",
+                                "Most recent attack success rate, by privacy "
+                                "dimension",
+                                dim_label));
+    TRIPRIV_ASSIGN_OR_RETURN(
+        metrics.equivocation_bits_[d],
+        registry->RegisterGauge("tripriv_attack_equivocation_bits",
+                                "Most recent attacker residual uncertainty in "
+                                "bits, by privacy dimension",
+                                dim_label));
   }
   return metrics;
 }

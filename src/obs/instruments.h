@@ -373,6 +373,45 @@ class TrafficMetrics {
   Gauge* backlog_[kNumTenantClasses] = {};
 };
 
+/// Privacy dimensions as stable indices (mirrors core Dimension; obs stays
+/// below core in the link order, so the enum is not shared).
+inline constexpr uint8_t kDimRespondent = 0;
+inline constexpr uint8_t kDimOwner = 1;
+inline constexpr uint8_t kDimUser = 2;
+inline constexpr uint8_t kNumDimensions = 3;
+
+/// Handle bundle for the adversary harness (src/attack/): outcome counters
+/// and the latest success-rate / equivocation gauges, labeled by privacy
+/// dimension. Attack outcomes are aggregates over a whole attack run —
+/// success rates, bit counts — never the recovered records themselves, so
+/// the series stay inside the label allowlist by construction. Same
+/// discipline as the other bundles: push calls come from the serial
+/// attack-suite loop only (gauges are serial-only), and -DTRIPRIV_OBS=OFF
+/// compiles every body out.
+class AttackMetrics {
+ public:
+  /// `registry` must outlive the bundle.
+  static Result<AttackMetrics> Create(MetricsRegistry* registry);
+
+  // --- push API (serial attack-suite loop) -----------------------------
+
+  /// One finished attack: `dim` is a kDim* index; the gauges keep the most
+  /// recent outcome per dimension (the scoreboard holds the full history).
+  void OnOutcome(uint8_t dim, double success_rate, double equivocation_bits)
+      TRIPRIV_OBS_BODY(if (dim < kNumDimensions) {
+        outcomes_[dim]->Increment();
+        success_rate_[dim]->Set(success_rate);
+        equivocation_bits_[dim]->Set(equivocation_bits);
+      })
+
+ private:
+  AttackMetrics() = default;
+
+  Counter* outcomes_[kNumDimensions] = {};
+  Gauge* success_rate_[kNumDimensions] = {};
+  Gauge* equivocation_bits_[kNumDimensions] = {};
+};
+
 #undef TRIPRIV_OBS_BODY
 #ifdef TRIPRIV_OBS_DISABLED
 #pragma GCC diagnostic pop

@@ -1,0 +1,136 @@
+#include "sdc/partitioned_mdav.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace {
+
+/// Column index with the widest value range over `rows` of `matrix`
+/// (ties to the lowest column, the Mondrian convention).
+size_t WidestColumn(const std::vector<std::vector<double>>& matrix,
+                    const std::vector<size_t>& rows) {
+  size_t best_col = 0;
+  double best_range = -1.0;
+  const size_t d = matrix.empty() ? 0 : matrix[0].size();
+  for (size_t j = 0; j < d; ++j) {
+    double lo = matrix[rows[0]][j];
+    double hi = lo;
+    for (size_t r : rows) {
+      lo = std::min(lo, matrix[r][j]);
+      hi = std::max(hi, matrix[r][j]);
+    }
+    if (hi - lo > best_range) {
+      best_range = hi - lo;
+      best_col = j;
+    }
+  }
+  return best_col;
+}
+
+/// Recursively median-splits `rows` until every partition is at most
+/// `max_rows`; appends finished partitions to `out` in split order (left
+/// before right), which fixes the partition-major group numbering.
+void SplitRows(const std::vector<std::vector<double>>& matrix,
+               std::vector<size_t> rows, size_t max_rows,
+               std::vector<std::vector<size_t>>* out) {
+  if (rows.size() <= max_rows) {
+    out->push_back(std::move(rows));
+    return;
+  }
+  const size_t col = WidestColumn(matrix, rows);
+  // Rank by (value, row index): the tie-break makes the median cut — and
+  // with it every downstream group — a pure function of the data.
+  std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    if (matrix[a][col] != matrix[b][col]) {
+      return matrix[a][col] < matrix[b][col];
+    }
+    return a < b;
+  });
+  const size_t mid = rows.size() / 2;
+  std::vector<size_t> left(rows.begin(), rows.begin() + mid);
+  std::vector<size_t> right(rows.begin() + mid, rows.end());
+  SplitRows(matrix, std::move(left), max_rows, out);
+  SplitRows(matrix, std::move(right), max_rows, out);
+}
+
+}  // namespace
+
+Result<MicroaggregationResult> PartitionedMdav(
+    const DataTable& table, size_t k, const std::vector<size_t>& cols,
+    ThreadPool* workers, size_t max_partition_rows) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot microaggregate an empty table");
+  }
+  if (cols.empty()) return Status::InvalidArgument("no columns given");
+  if (max_partition_rows < 2 * k) {
+    return Status::InvalidArgument(
+        "max_partition_rows must be >= 2k so every partition fits two "
+        "groups");
+  }
+  if (table.num_rows() <= max_partition_rows) {
+    // One partition: exact MDAV (and the parallel distance scans with it).
+    return MdavMicroaggregate(table, k, cols, workers);
+  }
+  TRIPRIV_ASSIGN_OR_RETURN(auto matrix, table.NumericMatrix(cols));
+
+  std::vector<size_t> all(table.num_rows());
+  for (size_t r = 0; r < all.size(); ++r) all[r] = r;
+  std::vector<std::vector<size_t>> partitions;
+  SplitRows(matrix, std::move(all), max_partition_rows, &partitions);
+
+  // Pure per-partition stage: slot p holds partition p's exact-MDAV result.
+  // The inner MDAV runs serially (ParallelFor does not nest); determinism
+  // comes from the per-slot writes and the partition-order merge below.
+  std::vector<Result<MicroaggregationResult>> slots;
+  slots.reserve(partitions.size());
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    slots.emplace_back(Status::Internal("partition not processed"));
+  }
+  const auto run_partition = [&](size_t p) {
+    DataTable sub = table.SelectRows(partitions[p]);
+    slots[p] = MdavMicroaggregate(sub, k, cols, nullptr);
+  };
+  if (workers != nullptr && workers->num_threads() > 0) {
+    workers->ParallelFor(partitions.size(),
+                         [&](size_t /*shard*/, size_t begin, size_t end) {
+                           for (size_t p = begin; p < end; ++p) {
+                             run_partition(p);
+                           }
+                         });
+  } else {
+    for (size_t p = 0; p < partitions.size(); ++p) run_partition(p);
+  }
+
+  // Serial merge in partition order.
+  MicroaggregationResult merged;
+  merged.table = table;
+  merged.group_of_row.assign(table.num_rows(), 0);
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    TRIPRIV_RETURN_IF_ERROR(slots[p].status());
+    const MicroaggregationResult& part = *slots[p];
+    const std::vector<size_t>& rows = partitions[p];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      merged.group_of_row[rows[i]] = merged.num_groups + part.group_of_row[i];
+      for (size_t c : cols) {
+        TRIPRIV_RETURN_IF_ERROR(
+            merged.table.Set(rows[i], c, part.table.at(i, c)));
+      }
+    }
+    merged.num_groups += part.num_groups;
+    merged.within_group_sse += part.within_group_sse;
+  }
+  return merged;
+}
+
+Result<MicroaggregationResult> PartitionedMdav(const DataTable& table,
+                                               size_t k, ThreadPool* workers,
+                                               size_t max_partition_rows) {
+  return PartitionedMdav(table, k, table.schema().QuasiIdentifierIndices(),
+                         workers, max_partition_rows);
+}
+
+}  // namespace tripriv

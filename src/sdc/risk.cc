@@ -64,6 +64,7 @@ Result<LinkageResult> DistanceLinkageAttack(const DataTable& original,
       }
     }
   }
+  result.expected_correct = expected_correct;
   result.correct = static_cast<size_t>(std::llround(expected_correct));
   result.correct_fraction =
       result.total == 0 ? 0.0

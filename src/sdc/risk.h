@@ -23,9 +23,17 @@ namespace tripriv {
 
 /// Outcome of a record-linkage attack.
 struct LinkageResult {
-  size_t correct = 0;  ///< records linked to their true counterpart
+  /// Exact expected number of correct links under fractional tie credit
+  /// (each tie set containing the true row credits 1/|ties|). This is the
+  /// figure the attack subsystem (src/attack/linkage.h) reconciles against:
+  /// `correct` is only its rounded rendering and must never be used to
+  /// derive a rate (correct/total drifts from correct_fraction whenever the
+  /// expectation is fractional — the metric drift the PR 10 reconciliation
+  /// test pins down).
+  double expected_correct = 0.0;
+  size_t correct = 0;  ///< llround(expected_correct), for display
   size_t total = 0;
-  double correct_fraction = 0.0;
+  double correct_fraction = 0.0;  ///< expected_correct / total
 };
 
 /// Distance-based record linkage. `original` and `masked` must have the

@@ -220,6 +220,11 @@ Result<SimulationReport> RunTrafficSimulation(const SimulatorConfig& config,
                                      : 0;
         totals.latency_ticks_sum += latency;
         ++totals.served;
+        if (config.record_access_trail) {
+          report.access_trail.push_back(
+              {completed_at, event.cls, event.principal, event.key,
+               TierIndex(answers[i].tier)});
+        }
         if (traffic_metrics) {
           traffic_metrics->OnAnswer(event.cls, TierIndex(answers[i].tier));
           traffic_metrics->OnLatency(event.cls, latency);

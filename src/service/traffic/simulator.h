@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/instruments.h"
 #include "obs/metrics.h"
@@ -49,6 +50,32 @@ struct SimulatorConfig {
   /// Service ladder configuration; the simulator widens admission to the
   /// scheduler's batch size so fair queueing is the shedding point.
   QueryServiceConfig service;
+  /// Records one AccessEvent per served request into the report — the
+  /// owner-side audit trail the src/attack/ query-log profiling adversary
+  /// consumes. Off by default: the trail holds principal ids (respondent-
+  /// scoped), so only attack harnesses should ask for it.
+  bool record_access_trail = false;
+};
+
+/// One served request as the owner's audit log sees it. This is attack
+/// auxiliary knowledge: `principal` and `key` are the fields PIR is meant
+/// to hide, and the profiling adversary measures exactly how much of them
+/// each deployment exposes.
+struct AccessEvent {
+  uint64_t tick = 0;
+  uint8_t cls = 0;
+  /// Simulated end user — respondent-scoped; never exported, only handed
+  /// to the attack suite as ground truth / the unblinded owner view.
+  TRIPRIV_SENSITIVE(record)
+  uint64_t principal = 0;
+  /// Query-shape key the request resolved to (what the owner's log shows
+  /// without PIR; hidden from the blinded view). Named `query_key`, not
+  /// `key`: tripriv_taint pools member sensitivity by bare field name, and
+  /// annotating a name as generic as `key` would taint every `.key` in the
+  /// tree (the metrics allowlist's for one).
+  TRIPRIV_SENSITIVE(record)
+  uint64_t query_key = 0;
+  uint8_t tier = 0;
 };
 
 /// Per-class outcome tallies (indexed by obs::kClass*).
@@ -77,6 +104,10 @@ struct SimulationReport {
   uint64_t final_tick = 0;
   /// obs JSON export (empty when `registry` was null or obs compiled out).
   std::string metrics_json;
+  /// Served-request audit trail, in completion order; empty unless
+  /// SimulatorConfig::record_access_trail. Part of the determinism
+  /// contract like every other field.
+  std::vector<AccessEvent> access_trail;
 
   /// Arrivals across all classes.
   uint64_t total_arrivals() const;

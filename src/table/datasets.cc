@@ -154,6 +154,54 @@ DataTable MakeCensus(size_t n, uint64_t seed) {
   return table;
 }
 
+DataTable MakeCensusScale(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Schema schema({
+      {"age", AttributeType::kInteger, AttributeRole::kQuasiIdentifier},
+      {"education_years", AttributeType::kInteger,
+       AttributeRole::kQuasiIdentifier},
+      {"hours_per_week", AttributeType::kInteger,
+       AttributeRole::kQuasiIdentifier},
+      {"survey_weight", AttributeType::kReal, AttributeRole::kQuasiIdentifier},
+      {"sex", AttributeType::kCategorical, AttributeRole::kQuasiIdentifier},
+      {"region", AttributeType::kCategorical, AttributeRole::kQuasiIdentifier},
+      {"income", AttributeType::kReal, AttributeRole::kConfidential},
+      {"diagnosis", AttributeType::kCategorical, AttributeRole::kConfidential},
+  });
+  static const char* kDiagnoses[] = {"none",         "hypertension", "diabetes",
+                                     "asthma",       "depression",   "cancer"};
+  static const double kDiagnosisWeights[] = {0.55, 0.16, 0.11, 0.09, 0.06, 0.03};
+  DataTable table(schema);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t age = rng.UniformInt(18, 90);
+    const int64_t education =
+        ClampInt(9.0 + rng.Normal(0.0, 3.5) + (age > 30 ? 2.0 : 0.0), 1, 20);
+    const int64_t hours =
+        ClampInt(38.0 + rng.Normal(0.0, 11.0) - (age > 65 ? 14.0 : 0.0), 1, 99);
+    // Post-stratification weight: continuous and effectively unique, the
+    // attribute that makes an external register a usable linkage key.
+    const double weight = 40.0 + 160.0 * rng.UniformDouble() +
+                          0.3 * static_cast<double>(age);
+    const bool male = rng.Bernoulli(0.49);
+    const int64_t region = rng.UniformInt(0, 11);
+    const double income =
+        std::exp(9.0 + 0.11 * static_cast<double>(education) +
+                 0.006 * static_cast<double>(hours) + rng.Normal(0.0, 0.5));
+    double u = rng.UniformDouble();
+    size_t diag = 0;
+    for (; diag + 1 < 6; ++diag) {
+      if (u < kDiagnosisWeights[diag]) break;
+      u -= kDiagnosisWeights[diag];
+    }
+    auto st = table.AppendRow({Value(age), Value(education), Value(hours),
+                               Value(weight), Value(male ? "M" : "F"),
+                               Value("R" + std::to_string(region)),
+                               Value(income), Value(kDiagnoses[diag])});
+    TRIPRIV_CHECK(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
 DataTable MakeHighDimBinary(size_t n, size_t d, uint64_t seed) {
   TRIPRIV_CHECK_GE(d, 2u);
   Rng rng(seed);

@@ -53,6 +53,17 @@ DataTable MakeExtendedTrial(size_t n, uint64_t seed);
 /// the standing workload for the SDC / Table 2 experiments.
 DataTable MakeCensus(size_t n, uint64_t seed);
 
+/// Census-scale microdata for the empirical Table 2 attack runs: four
+/// numeric quasi-identifiers (age, education_years, hours_per_week, and a
+/// near-unique real survey_weight) plus the categorical quasi-identifiers
+/// sex and region (PRAM targets) and the confidential income (real) and
+/// diagnosis (categorical). The near-unique weight makes raw-data record
+/// linkage succeed almost surely — the baseline the attack suite needs —
+/// while MakeCensus (above) keeps only two numeric QIs and stays
+/// byte-identical for the traffic-simulator digests that depend on it.
+/// Deterministic in `seed`.
+DataTable MakeCensusScale(size_t n, uint64_t seed);
+
 /// n x d binary microdata (integer 0/1 attributes "a0".."a{d-1}", all
 /// quasi-identifiers except the last, which is confidential), with attribute
 /// probabilities drawn so that higher d yields sparser combination space —

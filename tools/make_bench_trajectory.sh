@@ -2,8 +2,9 @@
 # Builds one perf-trajectory snapshot (BENCH_prN.json) out of the
 # serving-path benches: google-benchmark JSON from bench_parallel_throughput
 # and bench_epoch_flip, merged with the parsed bench_obs_overhead report,
-# the per-mix verdicts of the bench_traffic_slo gate, and the upload /
-# compute rows of the bench_recursive_pir gate.
+# the per-mix verdicts of the bench_traffic_slo gate, the upload / compute
+# rows of the bench_recursive_pir gate, and the collusion / k-anonymity
+# verdicts of the bench_attack_suite gate.
 #
 # Usage: tools/make_bench_trajectory.sh [build-dir] [out.json] [min-time]
 #
@@ -15,7 +16,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr9.json}"
+OUT="${2:-BENCH_pr10.json}"
 MIN_TIME="${3:-0.05}"
 
 TMP="$(mktemp -d)"
@@ -36,6 +37,10 @@ trap 'rm -rf "${TMP}"' EXIT
 # And for the recursive-PIR gate: upload ratios are deterministic; the
 # compute ratio is min-of-trials timing, recorded for cross-PR comparison.
 "${BUILD_DIR}/bench/bench_recursive_pir" > "${TMP}/recursive_pir.txt" || true
+# The adversary-harness gate runs at 10^5 rows here (the trajectory tracks
+# the deterministic verdicts and margins; the dedicated CI step runs the
+# full 10^6-row gate and fails the leg on its own exit code).
+"${BUILD_DIR}/bench/bench_attack_suite" 100000 > "${TMP}/attack.txt" || true
 
 python3 - "${TMP}" "${OUT}" <<'PY'
 import json
@@ -176,6 +181,40 @@ def parse_recursive_pir(path):
         "gates": gates,
     }
 
+def parse_attack(path):
+    # Every attack is deterministic in (config, seed), so the success rates
+    # and margins here are exact fingerprints of decoder and anonymizer
+    # behavior, not statistics.
+    with open(path) as f:
+        text = f.read()
+    rows = re.search(r"attack suite gate @ ([0-9]+) census rows", text)
+    fingerprint = {}
+    for m in re.finditer(
+            r"gate: fingerprint flip=([0-9.]+) attacker_success=([0-9.]+) "
+            r"\(([0-9]+) trials, must be 0\): (\w+)", text):
+        fingerprint[f"flip_{m.group(1)}"] = {
+            "attacker_success": float(m.group(2)),
+            "trials": int(m.group(3)),
+            "pass": m.group(4) == "PASS",
+        }
+    linkage = None
+    m = re.search(
+        r"gate: linkage success=([0-9.]+) \(bound 1/k = ([0-9.]+)\): (\w+)",
+        text)
+    if m:
+        linkage = {
+            "success": float(m.group(1)),
+            "bound": float(m.group(2)),
+            "pass": m.group(3) == "PASS",
+        }
+    overall = re.search(r"overall: (\w+)", text)
+    return {
+        "overall_pass": bool(overall) and overall.group(1) == "PASS",
+        "rows": int(rows.group(1)) if rows else None,
+        "fingerprint": fingerprint,
+        "linkage": linkage,
+    }
+
 trajectory = {
     "schema": "tripriv-bench-trajectory/1",
     "suites": {
@@ -184,6 +223,7 @@ trajectory = {
         "bench_obs_overhead": parse_obs(f"{tmp}/obs.txt"),
         "bench_traffic_slo": parse_traffic(f"{tmp}/traffic.txt"),
         "bench_recursive_pir": parse_recursive_pir(f"{tmp}/recursive_pir.txt"),
+        "bench_attack_suite": parse_attack(f"{tmp}/attack.txt"),
     },
 }
 with open(out, "w") as f:

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Renders the empirical Table 2 (the measured scoreboard of
+# src/attack/scoreboard.h) and proves its thread-invariance contract:
+#
+#   1. Determinism cross-check — runs tripriv_table2 at 0, 1, 2, and 8
+#      worker threads on the same config and diffs the text AND JSON
+#      renders byte-for-byte. Any drift is a violation of the
+#      serial-draw -> parallel-pure -> serial-merge discipline and fails
+#      the script.
+#   2. Flagship run — one census-scale run (10^6 rows by default) whose
+#      JSON is the CI artifact tracking measured grades across PRs.
+#
+# The cross-check uses a smaller row count than the flagship run so the
+# four-way sweep stays CI-cheap; the determinism suite under ctest -L
+# attack covers the same contract at unit scale, and the flagship config
+# differs from the cross-check only in `rows`.
+#
+# Usage: tools/make_table2.sh [build-dir] [out.json] [rows] [det-rows]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-table2.json}"
+ROWS="${3:-1000000}"
+DET_ROWS="${4:-100000}"
+
+BIN="${BUILD_DIR}/tools/tripriv_table2"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "== determinism cross-check @ ${DET_ROWS} rows (threads 0/1/2/8) =="
+for t in 0 1 2 8; do
+  "${BIN}" --rows "${DET_ROWS}" --threads "${t}" \
+    --json "${TMP}/t${t}.json" > "${TMP}/t${t}.txt"
+done
+for t in 1 2 8; do
+  diff -q "${TMP}/t0.txt" "${TMP}/t${t}.txt" > /dev/null || {
+    echo "FAIL: text render differs between 0 and ${t} threads" >&2
+    diff "${TMP}/t0.txt" "${TMP}/t${t}.txt" >&2 || true
+    exit 1
+  }
+  diff -q "${TMP}/t0.json" "${TMP}/t${t}.json" > /dev/null || {
+    echo "FAIL: JSON render differs between 0 and ${t} threads" >&2
+    exit 1
+  }
+done
+echo "byte-identical at 0/1/2/8 threads"
+
+echo
+echo "== empirical Table 2 @ ${ROWS} rows =="
+"${BIN}" --rows "${ROWS}" --threads 8 --json "${OUT}"
+echo "wrote ${OUT}"

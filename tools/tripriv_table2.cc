@@ -1,0 +1,83 @@
+// tripriv_table2: renders the empirical Table 2 scoreboard.
+//
+// Usage:
+//   tripriv_table2 [--rows N] [--seed S] [--threads T] [--json OUT.json]
+//
+// Deploys every technology class of src/attack/scoreboard.h on a synthetic
+// census table, runs the full attack battery, and prints the measured
+// scoreboard (grades, protection scores, paper agreement) to stdout. With
+// --json the deterministic JSON document is also written to OUT.json — the
+// CI artifact. --threads 0 runs serially; any thread count produces
+// byte-identical output (tools/make_table2.sh asserts this).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "attack/scoreboard.h"
+#include "util/thread_pool.h"
+
+namespace tripriv {
+namespace {
+
+int Main(int argc, char** argv) {
+  attack::EmpiricalTable2Config config;
+  size_t threads = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--rows") {
+      config.rows = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = static_cast<size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: tripriv_table2 [--rows N] [--seed S] "
+                   "[--threads T] [--json OUT.json]\n");
+      return 2;
+    }
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  attack::AttackContext ctx;
+  ctx.pool = pool.get();
+
+  auto board = attack::RunEmpiricalTable2(config, ctx);
+  if (!board.ok()) {
+    std::fprintf(stderr, "scoreboard failed: %s\n",
+                 board.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", board->RenderText().c_str());
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string json = board->RenderJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tripriv
+
+int main(int argc, char** argv) { return tripriv::Main(argc, argv); }
